@@ -1,0 +1,336 @@
+//! Alignment paths and their presentation.
+//!
+//! In the gaps-between-matches recurrence (crate docs), a local alignment
+//! is fully described by its ordered list of **matched residue pairs**:
+//! consecutive pairs advance by exactly one row *or* one column beyond the
+//! diagonal step, the larger jump being a gap. This is also precisely the
+//! information the override triangle needs (paper §3: "matrix entries that
+//! correspond to matched amino acid pairs").
+
+use crate::alphabet::Alphabet;
+use crate::scoring::Scoring;
+use crate::Score;
+use std::fmt;
+
+/// One matched residue pair: 0-based index into the vertical sequence
+/// (`row`) and the horizontal sequence (`col`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AlignedPair {
+    /// Index into the vertical (prefix) sequence.
+    pub row: usize,
+    /// Index into the horizontal (suffix) sequence.
+    pub col: usize,
+}
+
+/// Which sequence a gap skips residues of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapSide {
+    /// Residues of the vertical sequence are skipped.
+    Vertical,
+    /// Residues of the horizontal sequence are skipped.
+    Horizontal,
+}
+
+/// A scored local alignment: matched pairs in increasing order plus the
+/// total score under the scoring scheme it was computed with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Matched pairs, strictly increasing in both coordinates.
+    pub pairs: Vec<AlignedPair>,
+    /// Total alignment score.
+    pub score: Score,
+}
+
+impl Alignment {
+    /// An empty alignment with score zero (returned when a matrix contains
+    /// no positive cell).
+    pub fn empty() -> Self {
+        Alignment {
+            pairs: Vec::new(),
+            score: 0,
+        }
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` iff the alignment matches nothing.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// First matched pair, if any.
+    pub fn start(&self) -> Option<AlignedPair> {
+        self.pairs.first().copied()
+    }
+
+    /// Last matched pair, if any.
+    pub fn end(&self) -> Option<AlignedPair> {
+        self.pairs.last().copied()
+    }
+
+    /// Check the structural invariant: pairs strictly increase in both
+    /// coordinates, and consecutive pairs never jump in both coordinates
+    /// at once (the recurrence forbids gap-adjacent-to-gap).
+    pub fn is_well_formed(&self) -> bool {
+        self.pairs.windows(2).all(|w| {
+            let (p, q) = (w[0], w[1]);
+            let dr = q.row as i64 - p.row as i64;
+            let dc = q.col as i64 - p.col as i64;
+            dr >= 1 && dc >= 1 && (dr == 1 || dc == 1)
+        })
+    }
+
+    /// Recompute the score of this path from scratch under `scoring`,
+    /// given the two sequences' residue codes. Used by tests and by the
+    /// shadow-alignment verification machinery as an independent oracle.
+    pub fn rescore(&self, a: &[u8], b: &[u8], scoring: &Scoring) -> Score {
+        let mut total = 0;
+        let mut prev: Option<AlignedPair> = None;
+        for &p in &self.pairs {
+            total += scoring.exch(a[p.row], b[p.col]);
+            if let Some(q) = prev {
+                let dr = p.row - q.row;
+                let dc = p.col - q.col;
+                if dr > 1 {
+                    total -= scoring.gaps.cost(dr - 1);
+                }
+                if dc > 1 {
+                    total -= scoring.gaps.cost(dc - 1);
+                }
+            }
+            prev = Some(p);
+        }
+        total
+    }
+
+    /// The gaps in this alignment as `(side, length)` records.
+    pub fn gaps(&self) -> Vec<(GapSide, usize)> {
+        let mut out = Vec::new();
+        for w in self.pairs.windows(2) {
+            let (p, q) = (w[0], w[1]);
+            let dr = q.row - p.row;
+            let dc = q.col - p.col;
+            if dr > 1 {
+                out.push((GapSide::Vertical, dr - 1));
+            }
+            if dc > 1 {
+                out.push((GapSide::Horizontal, dc - 1));
+            }
+        }
+        out
+    }
+
+    /// Fraction of matched pairs whose residues are identical.
+    pub fn identity(&self, a: &[u8], b: &[u8]) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        let same = self
+            .pairs
+            .iter()
+            .filter(|p| a[p.row] == b[p.col])
+            .count();
+        same as f64 / self.pairs.len() as f64
+    }
+
+    /// CIGAR-style operation string, treating the vertical sequence as
+    /// the query and the horizontal one as the reference: `M` for
+    /// aligned pairs (match or mismatch), `I` for query residues skipped
+    /// by a gap (vertical gap), `D` for reference residues skipped
+    /// (horizontal gap).
+    pub fn cigar(&self) -> String {
+        if self.pairs.is_empty() {
+            return String::from("*");
+        }
+        let mut out = String::new();
+        let mut m_run = 1usize;
+        for w in self.pairs.windows(2) {
+            let (p, q) = (w[0], w[1]);
+            let dr = q.row - p.row;
+            let dc = q.col - p.col;
+            if dr == 1 && dc == 1 {
+                m_run += 1;
+                continue;
+            }
+            out.push_str(&format!("{m_run}M"));
+            if dr > 1 {
+                out.push_str(&format!("{}I", dr - 1));
+            }
+            if dc > 1 {
+                out.push_str(&format!("{}D", dc - 1));
+            }
+            m_run = 1;
+        }
+        out.push_str(&format!("{m_run}M"));
+        out
+    }
+
+    /// Render the classic three-line alignment display (top sequence, a
+    /// midline with `|` on identities, bottom sequence; `-` for gaps), as
+    /// in the paper's §2.1 example.
+    #[allow(clippy::needless_range_loop)]
+    pub fn pretty(&self, a: &[u8], b: &[u8], alphabet: Alphabet) -> String {
+        if self.pairs.is_empty() {
+            return String::from("(empty alignment)");
+        }
+        let mut top = String::new();
+        let mut mid = String::new();
+        let mut bot = String::new();
+        let mut prev: Option<AlignedPair> = None;
+        for &p in &self.pairs {
+            if let Some(q) = prev {
+                for r in q.row + 1..p.row {
+                    top.push(alphabet.decode(a[r]) as char);
+                    mid.push(' ');
+                    bot.push('-');
+                }
+                for c in q.col + 1..p.col {
+                    top.push('-');
+                    mid.push(' ');
+                    bot.push(alphabet.decode(b[c]) as char);
+                }
+            }
+            top.push(alphabet.decode(a[p.row]) as char);
+            mid.push(if a[p.row] == b[p.col] { '|' } else { ' ' });
+            bot.push(alphabet.decode(b[p.col]) as char);
+            prev = Some(p);
+        }
+        format!("{top}\n{mid}\n{bot}")
+    }
+}
+
+impl fmt::Display for Alignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.start(), self.end()) {
+            (Some(s), Some(e)) => write!(
+                f,
+                "score {} over rows {}..={} cols {}..={} ({} pairs)",
+                self.score, s.row, e.row, s.col, e.col, self.len()
+            ),
+            _ => write!(f, "empty alignment (score {})", self.score),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::Seq;
+
+    fn pair(row: usize, col: usize) -> AlignedPair {
+        AlignedPair { row, col }
+    }
+
+    /// The paper's worked example: TTACAGA (cols of CTTACAGA) aligned with
+    /// TT-GC-GA pattern. Vertical = ATTGCGA, horizontal = CTTACAGA.
+    fn paper_alignment() -> (Seq, Seq, Alignment) {
+        let vert = Seq::dna("ATTGCGA").unwrap();
+        let horiz = Seq::dna("CTTACAGA").unwrap();
+        // pairs (vertical idx, horizontal idx), 0-based:
+        // T-T (1,1), T-T (2,2), G-A (3,3), C-C (4,4), gap skips horiz A(5),
+        // G-G (5,6), A-A (6,7).
+        let al = Alignment {
+            pairs: vec![
+                pair(1, 1),
+                pair(2, 2),
+                pair(3, 3),
+                pair(4, 4),
+                pair(5, 6),
+                pair(6, 7),
+            ],
+            score: 6,
+        };
+        (vert, horiz, al)
+    }
+
+    #[test]
+    fn paper_example_rescore_is_six() {
+        let (v, h, al) = paper_alignment();
+        assert!(al.is_well_formed());
+        assert_eq!(
+            al.rescore(v.codes(), h.codes(), &Scoring::dna_example()),
+            6
+        );
+    }
+
+    #[test]
+    fn paper_example_gaps() {
+        let (_, _, al) = paper_alignment();
+        assert_eq!(al.gaps(), vec![(GapSide::Horizontal, 1)]);
+    }
+
+    #[test]
+    fn paper_example_pretty() {
+        let (v, h, al) = paper_alignment();
+        let s = al.pretty(v.codes(), h.codes(), Alphabet::Dna);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "TTGC-GA");
+        assert_eq!(lines[1], "|| | ||"); // identities at T,T,C,G,A
+        assert_eq!(lines[2], "TTACAGA");
+    }
+
+    #[test]
+    fn paper_example_cigar() {
+        let (_, _, al) = paper_alignment();
+        assert_eq!(al.cigar(), "4M1D2M");
+    }
+
+    #[test]
+    fn cigar_edge_cases() {
+        assert_eq!(Alignment::empty().cigar(), "*");
+        let single = Alignment {
+            pairs: vec![pair(3, 7)],
+            score: 2,
+        };
+        assert_eq!(single.cigar(), "1M");
+        let both_gaps = Alignment {
+            pairs: vec![pair(0, 0), pair(3, 1), pair(4, 4)],
+            score: 0,
+        };
+        // (0,0)→(3,1): 2 query residues skipped; (3,1)→(4,4): 2 ref.
+        assert_eq!(both_gaps.cigar(), "1M2I1M2D1M");
+    }
+
+    #[test]
+    fn identity_fraction() {
+        let (v, h, al) = paper_alignment();
+        // 5 identities out of 6 pairs.
+        let id = al.identity(v.codes(), h.codes());
+        assert!((id - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn well_formedness_rejects_double_jump() {
+        let al = Alignment {
+            pairs: vec![pair(0, 0), pair(2, 2)],
+            score: 0,
+        };
+        assert!(!al.is_well_formed(), "simultaneous gaps are not allowed");
+        let al2 = Alignment {
+            pairs: vec![pair(0, 0), pair(0, 1)],
+            score: 0,
+        };
+        assert!(!al2.is_well_formed(), "rows must strictly increase");
+    }
+
+    #[test]
+    fn empty_alignment_behaviour() {
+        let al = Alignment::empty();
+        assert!(al.is_empty());
+        assert!(al.is_well_formed());
+        assert_eq!(al.gaps(), vec![]);
+        assert_eq!(al.identity(b"", b""), 0.0);
+        assert_eq!(al.pretty(b"", b"", Alphabet::Dna), "(empty alignment)");
+    }
+
+    #[test]
+    fn display_mentions_score_and_extent() {
+        let (_, _, al) = paper_alignment();
+        let s = format!("{al}");
+        assert!(s.contains("score 6"));
+        assert!(s.contains("rows 1..=6"));
+    }
+}

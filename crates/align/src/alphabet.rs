@@ -1,0 +1,178 @@
+//! Alphabets and residue codes.
+//!
+//! Sequences are stored as compact `u8` *codes* (0-based indices into the
+//! alphabet), not ASCII, so the exchange matrix lookup in the innermost
+//! alignment loop is a direct two-index table access.
+
+use std::fmt;
+
+/// A residue alphabet.
+///
+/// Two built-in alphabets cover the paper's domains:
+/// * [`Alphabet::Dna`] — `ACGT` plus the ambiguity code `N`;
+/// * [`Alphabet::Protein`] — the 20 standard amino acids plus `X`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Alphabet {
+    /// Nucleotides `ACGTN` (codes 0..=4).
+    Dna,
+    /// Amino acids `ARNDCQEGHILKMFPSTWYVX` (codes 0..=20).
+    Protein,
+}
+
+/// DNA letters in code order.
+pub const DNA_LETTERS: &[u8] = b"ACGTN";
+/// Protein letters in code order (the conventional BLOSUM row order).
+pub const PROTEIN_LETTERS: &[u8] = b"ARNDCQEGHILKMFPSTWYVX";
+
+impl Alphabet {
+    /// Number of distinct residue codes, including the ambiguity code.
+    #[inline]
+    pub fn len(self) -> usize {
+        match self {
+            Alphabet::Dna => DNA_LETTERS.len(),
+            Alphabet::Protein => PROTEIN_LETTERS.len(),
+        }
+    }
+
+    /// `true` iff the alphabet has no symbols (never, for the built-ins).
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// The letters of this alphabet in code order.
+    #[inline]
+    pub fn letters(self) -> &'static [u8] {
+        match self {
+            Alphabet::Dna => DNA_LETTERS,
+            Alphabet::Protein => PROTEIN_LETTERS,
+        }
+    }
+
+    /// Code of the ambiguity symbol (`N` or `X`).
+    #[inline]
+    pub fn unknown_code(self) -> u8 {
+        (self.len() - 1) as u8
+    }
+
+    /// Encode one ASCII letter (case-insensitive).
+    ///
+    /// Unknown but alphabetic characters map to the ambiguity code;
+    /// non-alphabetic characters are rejected.
+    pub fn encode(self, ch: u8) -> Result<u8, AlphabetError> {
+        let up = ch.to_ascii_uppercase();
+        if let Some(pos) = self.letters().iter().position(|&l| l == up) {
+            return Ok(pos as u8);
+        }
+        if up.is_ascii_alphabetic() {
+            // Treat e.g. selenocysteine `U` in proteins or IUPAC codes in
+            // DNA as "unknown": the standard tolerant-FASTA behaviour.
+            Ok(self.unknown_code())
+        } else {
+            Err(AlphabetError::BadCharacter(ch as char))
+        }
+    }
+
+    /// Decode one residue code back to its ASCII letter.
+    ///
+    /// # Panics
+    /// Panics if `code` is out of range for this alphabet.
+    #[inline]
+    pub fn decode(self, code: u8) -> u8 {
+        self.letters()[code as usize]
+    }
+
+    /// `true` iff `code` is a valid residue code for this alphabet.
+    #[inline]
+    pub fn is_valid_code(self, code: u8) -> bool {
+        (code as usize) < self.len()
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Alphabet::Dna => write!(f, "DNA"),
+            Alphabet::Protein => write!(f, "protein"),
+        }
+    }
+}
+
+/// Errors produced while encoding text into residue codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlphabetError {
+    /// A character that is not a residue letter (digit, punctuation, ...).
+    BadCharacter(char),
+}
+
+impl fmt::Display for AlphabetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlphabetError::BadCharacter(c) => {
+                write!(f, "character {c:?} is not a sequence residue")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlphabetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_roundtrip() {
+        for (i, &l) in DNA_LETTERS.iter().enumerate() {
+            assert_eq!(Alphabet::Dna.encode(l).unwrap(), i as u8);
+            assert_eq!(Alphabet::Dna.decode(i as u8), l);
+        }
+    }
+
+    #[test]
+    fn protein_roundtrip() {
+        for (i, &l) in PROTEIN_LETTERS.iter().enumerate() {
+            assert_eq!(Alphabet::Protein.encode(l).unwrap(), i as u8);
+            assert_eq!(Alphabet::Protein.decode(i as u8), l);
+        }
+    }
+
+    #[test]
+    fn lower_case_is_accepted() {
+        assert_eq!(Alphabet::Dna.encode(b'a').unwrap(), 0);
+        assert_eq!(Alphabet::Protein.encode(b'w').unwrap(), 17);
+    }
+
+    #[test]
+    fn unknown_letters_map_to_ambiguity_code() {
+        assert_eq!(
+            Alphabet::Dna.encode(b'R').unwrap(),
+            Alphabet::Dna.unknown_code()
+        );
+        assert_eq!(
+            Alphabet::Protein.encode(b'U').unwrap(),
+            Alphabet::Protein.unknown_code()
+        );
+    }
+
+    #[test]
+    fn non_alphabetic_is_rejected() {
+        assert!(Alphabet::Dna.encode(b'3').is_err());
+        assert!(Alphabet::Protein.encode(b'*').is_err());
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Alphabet::Dna.len(), 5);
+        assert_eq!(Alphabet::Protein.len(), 21);
+        assert!(!Alphabet::Dna.is_empty());
+    }
+
+    #[test]
+    fn valid_code_bounds() {
+        assert!(Alphabet::Dna.is_valid_code(4));
+        assert!(!Alphabet::Dna.is_valid_code(5));
+        assert!(Alphabet::Protein.is_valid_code(20));
+        assert!(!Alphabet::Protein.is_valid_code(21));
+    }
+}

@@ -1,0 +1,194 @@
+//! Minimal, strict FASTA reading and writing.
+
+use crate::alphabet::Alphabet;
+use crate::seq::Seq;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// One FASTA record: the header line (without `>`) and the sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header text after `>`, up to the first newline.
+    pub id: String,
+    /// The parsed sequence.
+    pub seq: Seq,
+}
+
+/// Errors produced while reading FASTA.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Sequence data before any `>` header.
+    MissingHeader(usize),
+    /// A residue character the alphabet rejects.
+    BadResidue {
+        /// 1-based line number.
+        line: usize,
+        /// The offending character.
+        ch: char,
+    },
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+            FastaError::MissingHeader(l) => {
+                write!(f, "line {l}: sequence data before any '>' header")
+            }
+            FastaError::BadResidue { line, ch } => {
+                write!(f, "line {line}: invalid residue {ch:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Read every record from a FASTA stream.
+pub fn read_fasta<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Vec<FastaRecord>, FastaError> {
+    let mut records = Vec::new();
+    let mut current: Option<(String, Vec<u8>)> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some((id, codes)) = current.take() {
+                records.push(FastaRecord {
+                    id,
+                    seq: Seq::from_codes(alphabet, codes),
+                });
+            }
+            current = Some((header.trim().to_string(), Vec::new()));
+        } else {
+            let Some((_, codes)) = current.as_mut() else {
+                return Err(FastaError::MissingHeader(lineno + 1));
+            };
+            for &b in line.as_bytes() {
+                if b.is_ascii_whitespace() {
+                    continue;
+                }
+                let code = alphabet.encode(b).map_err(|_| FastaError::BadResidue {
+                    line: lineno + 1,
+                    ch: b as char,
+                })?;
+                codes.push(code);
+            }
+        }
+    }
+    if let Some((id, codes)) = current.take() {
+        records.push(FastaRecord {
+            id,
+            seq: Seq::from_codes(alphabet, codes),
+        });
+    }
+    Ok(records)
+}
+
+/// Parse FASTA from an in-memory string.
+pub fn parse_fasta(text: &str, alphabet: Alphabet) -> Result<Vec<FastaRecord>, FastaError> {
+    read_fasta(text.as_bytes(), alphabet)
+}
+
+/// Write records in FASTA format, wrapping sequence lines at `width`.
+pub fn write_fasta<W: Write>(
+    mut writer: W,
+    records: &[FastaRecord],
+    width: usize,
+) -> io::Result<()> {
+    let width = width.max(1);
+    for rec in records {
+        writeln!(writer, ">{}", rec.id)?;
+        let text = rec.seq.to_text();
+        for chunk in text.as_bytes().chunks(width) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+        if text.is_empty() {
+            // Keep a record boundary even for empty sequences.
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Render records to a FASTA string.
+pub fn format_fasta(records: &[FastaRecord], width: usize) -> String {
+    let mut buf = Vec::new();
+    write_fasta(&mut buf, records, width).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("FASTA output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_two_records() {
+        let text = ">first seq\nACGT\nACGT\n>second\nTTTT\n";
+        let recs = parse_fasta(text, Alphabet::Dna).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "first seq");
+        assert_eq!(recs[0].seq.to_text(), "ACGTACGT");
+        assert_eq!(recs[1].seq.to_text(), "TTTT");
+    }
+
+    #[test]
+    fn blank_lines_and_trailing_whitespace_tolerated() {
+        let text = ">a\n\nAC GT \n\n>b\n\nAA\n";
+        let recs = parse_fasta(text, Alphabet::Dna).unwrap();
+        assert_eq!(recs[0].seq.to_text(), "ACGT");
+        assert_eq!(recs[1].seq.to_text(), "AA");
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = parse_fasta("ACGT\n", Alphabet::Dna).unwrap_err();
+        assert!(matches!(err, FastaError::MissingHeader(1)));
+    }
+
+    #[test]
+    fn bad_residue_is_reported_with_line() {
+        let err = parse_fasta(">a\nAC9T\n", Alphabet::Dna).unwrap_err();
+        match err {
+            FastaError::BadResidue { line, ch } => {
+                assert_eq!(line, 2);
+                assert_eq!(ch, '9');
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_wrapping() {
+        let recs = vec![FastaRecord {
+            id: "titin-like".into(),
+            seq: Seq::protein("MGEKALVPYRLQHCERST").unwrap(),
+        }];
+        let text = format_fasta(&recs, 5);
+        assert_eq!(text, ">titin-like\nMGEKA\nLVPYR\nLQHCE\nRST\n");
+        let back = parse_fasta(&text, Alphabet::Protein).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn empty_record_roundtrip() {
+        let recs = vec![FastaRecord {
+            id: "empty".into(),
+            seq: Seq::dna("").unwrap(),
+        }];
+        let text = format_fasta(&recs, 60);
+        let back = parse_fasta(&text, Alphabet::Dna).unwrap();
+        assert_eq!(back[0].seq.len(), 0);
+    }
+}

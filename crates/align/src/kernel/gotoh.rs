@@ -1,0 +1,237 @@
+//! The `O(1)`-per-cell score pass — the paper's Figure 3.
+//!
+//! Computes the local alignment matrix row by row keeping only the
+//! previous row, the per-row running horizontal-gap maximum `MaxX` and the
+//! per-column vertical-gap maxima `MaxY[x]`, and returns the bottom row
+//! (all the top-alignment machinery ever needs, per Appendix A).
+
+use crate::kernel::{max3, LastRow};
+use crate::mask::CellMask;
+use crate::scoring::Scoring;
+use crate::{Score, NEG_INF};
+
+/// Score-only local alignment of `a` (vertical, rows) against `b`
+/// (horizontal, columns) under `scoring`, with `mask`ed cells forced to
+/// zero. Linear memory: `O(cols)`.
+///
+/// ```
+/// use repro_align::{sw_last_row, NoMask, Scoring, Seq};
+///
+/// // The paper's §2.1 worked example scores 6.
+/// let v = Seq::dna("ATTGCGA").unwrap();
+/// let h = Seq::dna("CTTACAGA").unwrap();
+/// let r = sw_last_row(v.codes(), h.codes(), &Scoring::dna_example(), NoMask);
+/// assert_eq!(r.best, 6);
+/// assert_eq!(r.row, vec![0, 0, 0, 2, 0, 4, 3, 6]); // Figure 2's last row
+/// ```
+#[allow(clippy::needless_range_loop)] // index loops mirror the paper's pseudo code
+pub fn sw_last_row<M: CellMask>(a: &[u8], b: &[u8], scoring: &Scoring, mask: M) -> LastRow {
+    let rows = a.len();
+    let cols = b.len();
+    if rows == 0 || cols == 0 {
+        return LastRow::empty(cols);
+    }
+
+    let open = scoring.gaps.open;
+    let ext = scoring.gaps.extend;
+
+    // m[x] holds M[y−1][x] while row y is being computed, M[y][x] after.
+    let mut m = vec![0 as Score; cols];
+    let mut maxy = vec![NEG_INF; cols];
+
+    let mut best = 0;
+    let mut best_cell = None;
+
+    for y in 0..rows {
+        let exch_row = scoring.exchange.row(a[y]);
+        let mut maxx = NEG_INF;
+        let mut diag = 0; // M[y−1][−1]: the virtual zero column.
+        for x in 0..cols {
+            let up = m[x];
+            let mut v = max3(diag, maxx, maxy[x]) + exch_row[b[x] as usize];
+            if v < 0 {
+                v = 0;
+            }
+            if mask.is_overridden(y, x) {
+                v = 0;
+            }
+            m[x] = v;
+            // Enter M[y−1][x−1] as a gap-start candidate (length 1) and
+            // extend all existing candidates by one (Figure 3).
+            let cand = diag - open;
+            maxx = cand.max(maxx) - ext;
+            maxy[x] = cand.max(maxy[x]) - ext;
+            diag = up;
+            if v > best {
+                best = v;
+                best_cell = Some((y, x));
+            }
+        }
+    }
+
+    let mut best_in_row = 0;
+    let mut best_in_row_col = None;
+    for (x, &v) in m.iter().enumerate() {
+        if v > best_in_row {
+            best_in_row = v;
+            best_in_row_col = Some(x);
+        }
+    }
+
+    LastRow {
+        best,
+        best_cell,
+        row: m,
+        best_in_row,
+        best_in_row_col,
+        cells: rows as u64 * cols as u64,
+    }
+}
+
+/// Convenience wrapper returning only the best score in the matrix.
+pub fn sw_score<M: CellMask>(a: &[u8], b: &[u8], scoring: &Scoring, mask: M) -> Score {
+    sw_last_row(a, b, scoring, mask).best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::{NoMask, SetMask};
+    use crate::seq::Seq;
+
+    fn paper_inputs() -> (Seq, Seq, Scoring) {
+        (
+            Seq::dna("ATTGCGA").unwrap(),  // vertical
+            Seq::dna("CTTACAGA").unwrap(), // horizontal
+            Scoring::dna_example(),
+        )
+    }
+
+    #[test]
+    fn paper_example_best_score_is_six() {
+        let (v, h, s) = paper_inputs();
+        let r = sw_last_row(v.codes(), h.codes(), &s, NoMask);
+        assert_eq!(r.best, 6);
+        // The maximum is achieved at the final A–A pair: row 6, col 7.
+        assert_eq!(r.best_cell, Some((6, 7)));
+        assert_eq!(r.cells, 7 * 8);
+    }
+
+    #[test]
+    fn paper_example_bottom_row() {
+        let (v, h, s) = paper_inputs();
+        let r = sw_last_row(v.codes(), h.codes(), &s, NoMask);
+        // Figure 2's final row (A), recomputed by hand from the recurrence:
+        assert_eq!(r.row, vec![0, 0, 0, 2, 0, 4, 3, 6]);
+        assert_eq!(r.best_in_row, 6);
+        assert_eq!(r.best_in_row_col, Some(7));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = Scoring::dna_example();
+        let a = Seq::dna("ACGT").unwrap();
+        let e = Seq::dna("").unwrap();
+        assert_eq!(sw_score(a.codes(), e.codes(), &s, NoMask), 0);
+        assert_eq!(sw_score(e.codes(), a.codes(), &s, NoMask), 0);
+        let r = sw_last_row(e.codes(), a.codes(), &s, NoMask);
+        assert_eq!(r.row, vec![0, 0, 0, 0]);
+        assert_eq!(r.cells, 0);
+    }
+
+    #[test]
+    fn single_residue_match() {
+        let s = Scoring::dna_example();
+        let a = Seq::dna("A").unwrap();
+        let r = sw_last_row(a.codes(), a.codes(), &s, NoMask);
+        assert_eq!(r.best, 2);
+        assert_eq!(r.best_cell, Some((0, 0)));
+    }
+
+    #[test]
+    fn single_residue_mismatch_clamps_to_zero() {
+        let s = Scoring::dna_example();
+        let a = Seq::dna("A").unwrap();
+        let c = Seq::dna("C").unwrap();
+        let r = sw_last_row(a.codes(), c.codes(), &s, NoMask);
+        assert_eq!(r.best, 0);
+        assert_eq!(r.best_cell, None);
+    }
+
+    #[test]
+    fn identical_sequences_score_perfectly() {
+        let s = Scoring::dna_example();
+        let a = Seq::dna("ACGTACGTAC").unwrap();
+        let r = sw_last_row(a.codes(), a.codes(), &s, NoMask);
+        assert_eq!(r.best, 2 * 10);
+        // Perfect diagonal ends at the last cell.
+        assert_eq!(r.best_cell, Some((9, 9)));
+    }
+
+    #[test]
+    fn masking_the_best_cell_lowers_the_score() {
+        let (v, h, s) = paper_inputs();
+        let mask = SetMask::from_cells([(6, 7)]); // the A–A pair worth 6
+        let r = sw_last_row(v.codes(), h.codes(), &s, &mask);
+        assert!(r.best < 6, "masking the optimum must reduce the best score");
+        // The remaining best is the prefix of the same alignment ending at
+        // its C–C pair: TTGC / TTAC = 3 matches, 1 mismatch = 6 − 1 = 5,
+        // sitting at cell (4, 4) of Figure 2.
+        assert_eq!(r.best, 5);
+        assert_eq!(r.best_cell, Some((4, 4)));
+    }
+
+    #[test]
+    fn masking_everything_zeroes_the_matrix() {
+        struct All;
+        impl CellMask for All {
+            fn is_overridden(&self, _: usize, _: usize) -> bool {
+                true
+            }
+        }
+        let (v, h, s) = paper_inputs();
+        let r = sw_last_row(v.codes(), h.codes(), &s, All);
+        assert_eq!(r.best, 0);
+        assert!(r.row.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn mask_cascades_downstream() {
+        // Masking a mid-path cell must lower cells that depended on it,
+        // the "cascade of entries towards the right and the bottom" (§3).
+        let s = Scoring::dna_example();
+        let a = Seq::dna("ACGTACGT").unwrap();
+        let unmasked = sw_last_row(a.codes(), a.codes(), &s, NoMask);
+        let mask = SetMask::from_cells([(3, 3)]); // break the main diagonal
+        let masked = sw_last_row(a.codes(), a.codes(), &s, &mask);
+        assert!(masked.best < unmasked.best);
+        for x in 3..8 {
+            assert!(
+                masked.row[x] <= unmasked.row[x],
+                "masked bottom row may never exceed the unmasked one"
+            );
+        }
+    }
+
+    #[test]
+    fn scores_are_never_negative() {
+        let s = Scoring::protein_default();
+        let a = Seq::protein("WWWW").unwrap();
+        let b = Seq::protein("PPPP").unwrap();
+        let r = sw_last_row(a.codes(), b.codes(), &s, NoMask);
+        assert_eq!(r.best, 0);
+        assert!(r.row.iter().all(|&v| v >= 0));
+    }
+
+    #[test]
+    fn long_gap_is_bridged_when_profitable() {
+        // Two strong blocks separated by junk on one side only:
+        // bridging pays gap(4) = 2 + 4 = 6, keeps 2*10 = 20 of matches.
+        let s = Scoring::dna_example();
+        let a = Seq::dna("ACGTACGTAC").unwrap();
+        let b = Seq::dna("ACGTATTTTCGTAC").unwrap();
+        let r = sw_last_row(a.codes(), b.codes(), &s, NoMask);
+        // matches ACGTA + CGTAC = 10 matches = 20 minus gap(4) = 6 → 14.
+        assert_eq!(r.best, 14);
+    }
+}

@@ -1,0 +1,67 @@
+//! Alignment kernels.
+//!
+//! All local kernels compute the same matrix (crate-level docs give the
+//! recurrence); they differ in *how*:
+//!
+//! | module | per-cell cost | memory | role |
+//! |---|---|---|---|
+//! | [`gotoh`] | `O(1)` (Figure 3's `MaxX`/`MaxY`) | one row | the production score pass |
+//! | [`naive`] | `O(n)` (Equation 1 verbatim) | full matrix | the old-algorithm baseline and a differential oracle |
+//! | [`full`] | `O(1)` | full matrix | traceback |
+//! | [`striped`] | `O(1)`, cache-aware vertical stripes | one row + per-row carries | paper §4.1 |
+//! | [`nw`] | `O(1)` | full matrix | global alignment (paper §2.1 background) |
+//! | [`linmem`] | `O(1)` | bounding box only | linear-memory traceback (paper App. A's "on-demand recomputation") |
+
+pub mod full;
+pub mod gotoh;
+pub mod linmem;
+pub mod naive;
+pub mod nw;
+pub mod striped;
+pub mod waterman_eggert;
+
+use crate::Score;
+
+/// Result of a score-only local alignment pass.
+///
+/// Carries exactly what the top-alignment machinery needs (paper App. A):
+/// the **bottom row** of the matrix, the best score in that bottom row, and
+/// (for general use) the best cell anywhere in the matrix. `cells` counts
+/// matrix cells computed, the work unit all experiments report in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LastRow {
+    /// Best score anywhere in the matrix (0 if the matrix is empty or all
+    /// cells clamp to zero).
+    pub best: Score,
+    /// Cell achieving `best`, row-major-first tie-break; `None` iff
+    /// `best == 0`.
+    pub best_cell: Option<(usize, usize)>,
+    /// The bottom row `M[rows−1][0..cols]`; empty when either side is empty.
+    pub row: Vec<Score>,
+    /// Best score within the bottom row.
+    pub best_in_row: Score,
+    /// Column achieving `best_in_row`, first-from-left; `None` iff
+    /// `best_in_row == 0`.
+    pub best_in_row_col: Option<usize>,
+    /// Number of matrix cells computed.
+    pub cells: u64,
+}
+
+impl LastRow {
+    /// The result of aligning against an empty side.
+    pub fn empty(cols: usize) -> Self {
+        LastRow {
+            best: 0,
+            best_cell: None,
+            row: vec![0; cols],
+            best_in_row: 0,
+            best_in_row_col: None,
+            cells: 0,
+        }
+    }
+}
+
+#[inline(always)]
+pub(crate) fn max3(a: Score, b: Score, c: Score) -> Score {
+    a.max(b).max(c)
+}

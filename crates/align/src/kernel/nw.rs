@@ -1,0 +1,289 @@
+//! Needleman–Wunsch global alignment with affine gaps (paper §2.1
+//! background: "Global alignment compares entire sequences").
+//!
+//! Uses the conventional three-state (H/E/F) Gotoh formulation — global
+//! alignments may open gaps at the borders and run gaps back to back, so
+//! the gaps-between-matches form used by the local kernels does not apply.
+//! Gap costs follow the same model: `gap(g) = open + extend · g`.
+
+use crate::scoring::Scoring;
+use crate::{Score, NEG_INF};
+
+/// One step of a global alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NwOp {
+    /// Residue `a[i]` aligned with residue `b[j]` (match or mismatch).
+    Pair(usize, usize),
+    /// Residue `a[i]` aligned with a gap.
+    GapInB(usize),
+    /// Residue `b[j]` aligned with a gap.
+    GapInA(usize),
+}
+
+/// A global alignment: its score and the full edit path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NwAlignment {
+    /// Total alignment score.
+    pub score: Score,
+    /// Edit operations from the start of both sequences to their ends.
+    pub ops: Vec<NwOp>,
+}
+
+/// Global alignment score only, linear memory.
+#[allow(clippy::needless_range_loop)] // index loops mirror the paper's pseudo code
+pub fn nw_score(a: &[u8], b: &[u8], scoring: &Scoring) -> Score {
+    let (open, ext) = (scoring.gaps.open, scoring.gaps.extend);
+    let cols = b.len();
+    // h[x]: best score of aligning a[..y] with b[..x]; e[x]: ... ending in
+    // a gap in `a` (consuming b[x−1] last).
+    let mut h = vec![0 as Score; cols + 1];
+    // e[x] carries the vertical gap state (gap consuming `a`) per column;
+    // no vertical gap exists above row 0.
+    let mut e = vec![NEG_INF; cols + 1];
+    for x in 1..=cols {
+        h[x] = -(open + ext * x as Score);
+    }
+    for (y, &ca) in a.iter().enumerate() {
+        let exch_row = scoring.exchange.row(ca);
+        let mut diag = h[0];
+        h[0] = -(open + ext * (y as Score + 1));
+        // Horizontal gap state within this row; none exists at column 0.
+        let mut f = NEG_INF;
+        for x in 1..=cols {
+            e[x] = (e[x] - ext).max(h[x] - open - ext);
+            f = (f - ext).max(h[x - 1] - open - ext);
+            let hv = (diag + exch_row[b[x - 1] as usize]).max(e[x]).max(f);
+            diag = h[x];
+            h[x] = hv;
+        }
+    }
+    h[cols]
+}
+
+/// Global alignment with traceback (`O(rows · cols)` memory).
+pub fn nw_align(a: &[u8], b: &[u8], scoring: &Scoring) -> NwAlignment {
+    let (open, ext) = (scoring.gaps.open, scoring.gaps.extend);
+    let rows = a.len();
+    let cols = b.len();
+    let w = cols + 1;
+    let idx = |y: usize, x: usize| y * w + x;
+
+    let mut h = vec![NEG_INF; (rows + 1) * w];
+    let mut e = vec![NEG_INF; (rows + 1) * w];
+    let mut f = vec![NEG_INF; (rows + 1) * w];
+    h[idx(0, 0)] = 0;
+    for x in 1..=cols {
+        h[idx(0, x)] = -(open + ext * x as Score);
+        e[idx(0, x)] = h[idx(0, x)];
+    }
+    for y in 1..=rows {
+        h[idx(y, 0)] = -(open + ext * y as Score);
+        f[idx(y, 0)] = h[idx(y, 0)];
+    }
+    for y in 1..=rows {
+        let exch_row = scoring.exchange.row(a[y - 1]);
+        for x in 1..=cols {
+            e[idx(y, x)] = (e[idx(y, x - 1)] - ext).max(h[idx(y, x - 1)] - open - ext);
+            f[idx(y, x)] = (f[idx(y - 1, x)] - ext).max(h[idx(y - 1, x)] - open - ext);
+            h[idx(y, x)] = (h[idx(y - 1, x - 1)] + exch_row[b[x - 1] as usize])
+                .max(e[idx(y, x)])
+                .max(f[idx(y, x)]);
+        }
+    }
+
+    // Traceback, re-deriving which state produced each value.
+    let mut ops = Vec::with_capacity(rows + cols);
+    let (mut y, mut x) = (rows, cols);
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        H,
+        E,
+        F,
+    }
+    let mut st = St::H;
+    while y > 0 || x > 0 {
+        match st {
+            St::H => {
+                let v = h[idx(y, x)];
+                if y > 0
+                    && x > 0
+                    && v == h[idx(y - 1, x - 1)] + scoring.exch(a[y - 1], b[x - 1])
+                {
+                    ops.push(NwOp::Pair(y - 1, x - 1));
+                    y -= 1;
+                    x -= 1;
+                } else if x > 0 && v == e[idx(y, x)] {
+                    st = St::E;
+                } else if y > 0 && v == f[idx(y, x)] {
+                    st = St::F;
+                } else {
+                    unreachable!("global traceback stuck at ({y},{x})");
+                }
+            }
+            St::E => {
+                ops.push(NwOp::GapInA(x - 1));
+                let v = e[idx(y, x)];
+                if x > 1 && v == e[idx(y, x - 1)] - ext {
+                    x -= 1;
+                } else {
+                    debug_assert_eq!(v, h[idx(y, x - 1)] - open - ext);
+                    x -= 1;
+                    st = St::H;
+                }
+            }
+            St::F => {
+                ops.push(NwOp::GapInB(y - 1));
+                let v = f[idx(y, x)];
+                if y > 1 && v == f[idx(y - 1, x)] - ext {
+                    y -= 1;
+                } else {
+                    debug_assert_eq!(v, h[idx(y - 1, x)] - open - ext);
+                    y -= 1;
+                    st = St::H;
+                }
+            }
+        }
+    }
+    ops.reverse();
+    NwAlignment {
+        score: h[idx(rows, cols)],
+        ops,
+    }
+}
+
+impl NwAlignment {
+    /// Independent rescore of the edit path (oracle for tests).
+    pub fn rescore(&self, a: &[u8], b: &[u8], scoring: &Scoring) -> Score {
+        let mut total = 0;
+        let mut i = 0;
+        while i < self.ops.len() {
+            match self.ops[i] {
+                NwOp::Pair(y, x) => {
+                    total += scoring.exch(a[y], b[x]);
+                    i += 1;
+                }
+                NwOp::GapInA(_) => {
+                    let mut g = 0;
+                    while i < self.ops.len() && matches!(self.ops[i], NwOp::GapInA(_)) {
+                        g += 1;
+                        i += 1;
+                    }
+                    total -= scoring.gaps.cost(g);
+                }
+                NwOp::GapInB(_) => {
+                    let mut g = 0;
+                    while i < self.ops.len() && matches!(self.ops[i], NwOp::GapInB(_)) {
+                        g += 1;
+                        i += 1;
+                    }
+                    total -= scoring.gaps.cost(g);
+                }
+            }
+        }
+        total
+    }
+
+    /// `true` iff the path consumes every residue of both sequences in
+    /// order, exactly once.
+    pub fn is_complete(&self, a_len: usize, b_len: usize) -> bool {
+        let (mut ny, mut nx) = (0, 0);
+        for op in &self.ops {
+            match *op {
+                NwOp::Pair(y, x) => {
+                    if y != ny || x != nx {
+                        return false;
+                    }
+                    ny += 1;
+                    nx += 1;
+                }
+                NwOp::GapInB(y) => {
+                    if y != ny {
+                        return false;
+                    }
+                    ny += 1;
+                }
+                NwOp::GapInA(x) => {
+                    if x != nx {
+                        return false;
+                    }
+                    nx += 1;
+                }
+            }
+        }
+        ny == a_len && nx == b_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::Seq;
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let s = Scoring::dna_example();
+        let a = Seq::dna("ACGTACGT").unwrap();
+        let al = nw_align(a.codes(), a.codes(), &s);
+        assert_eq!(al.score, 16);
+        assert!(al.ops.iter().all(|o| matches!(o, NwOp::Pair(_, _))));
+        assert!(al.is_complete(8, 8));
+    }
+
+    #[test]
+    fn score_only_matches_traceback_score() {
+        let s = Scoring::dna_example();
+        let a = Seq::dna("CTTACAGA").unwrap();
+        let b = Seq::dna("ATTGCGA").unwrap();
+        let al = nw_align(a.codes(), b.codes(), &s);
+        assert_eq!(nw_score(a.codes(), b.codes(), &s), al.score);
+        assert_eq!(al.rescore(a.codes(), b.codes(), &s), al.score);
+        assert!(al.is_complete(8, 7));
+    }
+
+    #[test]
+    fn pure_insertion() {
+        let s = Scoring::dna_example();
+        let a = Seq::dna("ACGT").unwrap();
+        let b = Seq::dna("ACGGT").unwrap();
+        let al = nw_align(a.codes(), b.codes(), &s);
+        // 4 matches minus one gap of length 1: 8 − 3 = 5.
+        assert_eq!(al.score, 5);
+        assert_eq!(
+            al.ops.iter().filter(|o| matches!(o, NwOp::GapInA(_))).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_one_long_gap() {
+        let s = Scoring::dna_example();
+        let a = Seq::dna("").unwrap();
+        let b = Seq::dna("ACGT").unwrap();
+        let al = nw_align(a.codes(), b.codes(), &s);
+        assert_eq!(al.score, -(2 + 4)); // open 2 + 4 × extend 1
+        assert_eq!(al.ops.len(), 4);
+        assert!(al.is_complete(0, 4));
+        assert_eq!(nw_score(a.codes(), b.codes(), &s), al.score);
+    }
+
+    #[test]
+    fn both_empty() {
+        let s = Scoring::dna_example();
+        let al = nw_align(&[], &[], &s);
+        assert_eq!(al.score, 0);
+        assert!(al.ops.is_empty());
+        assert_eq!(nw_score(&[], &[], &s), 0);
+    }
+
+    #[test]
+    fn global_score_never_exceeds_local_plus_context() {
+        // Global must pay for the unmatched context that local skips.
+        let s = Scoring::dna_example();
+        let a = Seq::dna("TTTTACGTTTTT").unwrap();
+        let b = Seq::dna("CCCCACGTCCCC").unwrap();
+        let global = nw_score(a.codes(), b.codes(), &s);
+        let local = crate::kernel::gotoh::sw_score(a.codes(), b.codes(), &s, crate::mask::NoMask);
+        assert!(global <= local);
+        assert_eq!(local, 8); // ACGT block
+    }
+}

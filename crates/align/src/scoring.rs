@@ -1,0 +1,108 @@
+//! The affine gap model and the combined scoring parameters.
+
+use crate::matrix::ExchangeMatrix;
+use crate::Score;
+
+/// Affine gap penalties, exactly as in the paper (§2.1): a gap of length
+/// `g ≥ 1` costs `open + extend · g`.
+///
+/// Note the convention: *opening* a gap already pays one extension, i.e.
+/// the paper's example (`open = 2`, `extend = 1`) charges 3 for a
+/// single-residue gap. Both penalties are stored as non-negative
+/// magnitudes and *subtracted* from alignment scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapPenalties {
+    /// One-time cost of starting a gap.
+    pub open: Score,
+    /// Per-residue cost of lengthening a gap (paid from length 1).
+    pub extend: Score,
+}
+
+impl GapPenalties {
+    /// Construct; both magnitudes must be non-negative and `extend` must be
+    /// strictly positive so gap costs grow with length (required for the
+    /// incremental `MaxX`/`MaxY` recurrence to terminate its usefulness —
+    /// and biologically, a free-extension gap model is meaningless here).
+    pub fn new(open: Score, extend: Score) -> Self {
+        assert!(open >= 0, "gap-open penalty must be non-negative");
+        assert!(extend > 0, "gap-extend penalty must be positive");
+        GapPenalties { open, extend }
+    }
+
+    /// Total cost of a gap of length `g ≥ 1`.
+    #[inline(always)]
+    pub fn cost(&self, g: usize) -> Score {
+        debug_assert!(g >= 1);
+        self.open + self.extend * g as Score
+    }
+}
+
+/// Everything needed to score an alignment: the exchange matrix and the
+/// gap penalties.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scoring {
+    /// Residue-pair scores.
+    pub exchange: ExchangeMatrix,
+    /// Affine gap penalties.
+    pub gaps: GapPenalties,
+}
+
+impl Scoring {
+    /// Combine an exchange matrix with gap penalties.
+    pub fn new(exchange: ExchangeMatrix, gaps: GapPenalties) -> Self {
+        Scoring { exchange, gaps }
+    }
+
+    /// The paper's worked-example scheme for DNA: +2 match, −1 mismatch,
+    /// gap open 2, gap extend 1.
+    pub fn dna_example() -> Self {
+        Scoring::new(ExchangeMatrix::dna_default(), GapPenalties::new(2, 1))
+    }
+
+    /// A standard protein scheme: BLOSUM62 with gap open 10, extend 1
+    /// (close to the Repro server's defaults).
+    pub fn protein_default() -> Self {
+        Scoring::new(ExchangeMatrix::blosum62(), GapPenalties::new(10, 1))
+    }
+
+    /// Exchange score of residue codes `a` vs `b`.
+    #[inline(always)]
+    pub fn exch(&self, a: u8, b: u8) -> Score {
+        self.exchange.score(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_cost_is_affine() {
+        let g = GapPenalties::new(2, 1);
+        assert_eq!(g.cost(1), 3);
+        assert_eq!(g.cost(2), 4);
+        assert_eq!(g.cost(10), 12);
+    }
+
+    #[test]
+    fn paper_example_scheme() {
+        let s = Scoring::dna_example();
+        assert_eq!(s.gaps.open, 2);
+        assert_eq!(s.gaps.extend, 1);
+        // The worked alignment TTACAGA / TTGC-GA scores
+        // 5 matches, 1 mismatch, 1 gap of length 1: 10 - 1 - 3 = 6.
+        assert_eq!(5 * 2 - 1 - s.gaps.cost(1), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extend_rejected() {
+        GapPenalties::new(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_open_rejected() {
+        GapPenalties::new(-1, 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Validated, alphabet-tagged sequences.
+
+use crate::alphabet::{Alphabet, AlphabetError};
+use std::fmt;
+use std::ops::Index;
+
+/// A biological sequence: residue codes plus the alphabet they belong to.
+///
+/// Positions are 0-based in code. The paper's split `r` (1-based: prefix
+/// `S_{1..r}` vs suffix `S_{r+1..m}`) corresponds to
+/// [`Seq::split`]`(r)` with `r` in `1..m`, returning the code slices
+/// `&codes[..r]` and `&codes[r..]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Seq {
+    alphabet: Alphabet,
+    codes: Vec<u8>,
+}
+
+impl Seq {
+    /// Parse ASCII text (whitespace ignored) into a sequence.
+    pub fn from_text(alphabet: Alphabet, text: &str) -> Result<Self, AlphabetError> {
+        let mut codes = Vec::with_capacity(text.len());
+        for &b in text.as_bytes() {
+            if b.is_ascii_whitespace() {
+                continue;
+            }
+            codes.push(alphabet.encode(b)?);
+        }
+        Ok(Seq { alphabet, codes })
+    }
+
+    /// Build a sequence directly from residue codes.
+    ///
+    /// # Panics
+    /// Panics if any code is out of range for `alphabet`; codes come from
+    /// trusted generators, so this is a programming error, not input error.
+    pub fn from_codes(alphabet: Alphabet, codes: Vec<u8>) -> Self {
+        for &c in &codes {
+            assert!(
+                alphabet.is_valid_code(c),
+                "residue code {c} out of range for {alphabet} alphabet"
+            );
+        }
+        Seq { alphabet, codes }
+    }
+
+    /// Convenience constructor for DNA text.
+    pub fn dna(text: &str) -> Result<Self, AlphabetError> {
+        Seq::from_text(Alphabet::Dna, text)
+    }
+
+    /// Convenience constructor for protein text.
+    pub fn protein(text: &str) -> Result<Self, AlphabetError> {
+        Seq::from_text(Alphabet::Protein, text)
+    }
+
+    /// The alphabet this sequence is encoded in.
+    #[inline]
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// Number of residues.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` iff the sequence has no residues.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The residue codes.
+    #[inline]
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Split into (prefix, suffix) code slices at position `r`
+    /// (`0 < r < len` for a proper split; `r == 0` or `r == len` yield an
+    /// empty side, which the top-alignment driver never requests).
+    #[inline]
+    pub fn split(&self, r: usize) -> (&[u8], &[u8]) {
+        self.codes.split_at(r)
+    }
+
+    /// The first `n` residues as a new sequence (the paper's titin-prefix
+    /// protocol for Table 1).
+    pub fn prefix(&self, n: usize) -> Seq {
+        Seq {
+            alphabet: self.alphabet,
+            codes: self.codes[..n.min(self.codes.len())].to_vec(),
+        }
+    }
+
+    /// A reversed copy (used by the linear-memory traceback and by
+    /// symmetry property tests).
+    pub fn reversed(&self) -> Seq {
+        let mut codes = self.codes.clone();
+        codes.reverse();
+        Seq {
+            alphabet: self.alphabet,
+            codes,
+        }
+    }
+
+    /// Render back to ASCII text.
+    pub fn to_text(&self) -> String {
+        self.codes
+            .iter()
+            .map(|&c| self.alphabet.decode(c) as char)
+            .collect()
+    }
+}
+
+impl Index<usize> for Seq {
+    type Output = u8;
+    #[inline]
+    fn index(&self, i: usize) -> &u8 {
+        &self.codes[i]
+    }
+}
+
+impl fmt::Display for Seq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let s = Seq::dna("ACGTacgtN").unwrap();
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.to_text(), "ACGTACGTN");
+    }
+
+    #[test]
+    fn whitespace_is_ignored() {
+        let s = Seq::protein("MG EK\nAL\tVP").unwrap();
+        assert_eq!(s.to_text(), "MGEKALVP");
+    }
+
+    #[test]
+    fn split_matches_paper_convention() {
+        // ATGCATGCATGC split at r = 4: prefix ATGC, suffix ATGCATGC.
+        let s = Seq::dna("ATGCATGCATGC").unwrap();
+        let (p, q) = s.split(4);
+        assert_eq!(p.len(), 4);
+        assert_eq!(q.len(), 8);
+        assert_eq!(p, &s.codes()[..4]);
+    }
+
+    #[test]
+    fn prefix_truncates_and_clamps() {
+        let s = Seq::dna("ACGTACGT").unwrap();
+        assert_eq!(s.prefix(3).to_text(), "ACG");
+        assert_eq!(s.prefix(100).to_text(), "ACGTACGT");
+    }
+
+    #[test]
+    fn reversed_is_involutive() {
+        let s = Seq::protein("MGEKALVPYR").unwrap();
+        assert_eq!(s.reversed().reversed(), s);
+        assert_eq!(s.reversed().to_text(), "RYPVLAKEGM");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_codes_validates() {
+        Seq::from_codes(Alphabet::Dna, vec![0, 1, 42]);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let s = Seq::dna("").unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.to_text(), "");
+    }
+}

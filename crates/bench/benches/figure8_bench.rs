@@ -1,0 +1,44 @@
+//! Criterion companion to Figure 8: one virtual-time cluster simulation
+//! per iteration (scheduling + protocol overhead; alignment results come
+//! from the shared cache after the first iteration). The printable
+//! sweep lives in `--bin figure8`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repro::cluster::{simulate_cluster, AlignCache, CostModel};
+use repro::xmpi::virtual_time::LinkModel;
+use repro::{find_top_alignments, Scoring};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+use std::time::Duration;
+
+fn bench_figure8(c: &mut Criterion) {
+    let seq = repro_seqgen::titin_like(400, 3);
+    let scoring = Scoring::protein_default();
+    let seq_run = find_top_alignments(&seq, &scoring, 5);
+    let cache = Rc::new(RefCell::new(AlignCache::new()));
+
+    let mut g = c.benchmark_group("figure8_sim");
+    g.measurement_time(Duration::from_secs(4));
+    g.sample_size(10);
+    for procs in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("procs", procs), &procs, |b, &procs| {
+            b.iter(|| {
+                black_box(simulate_cluster(
+                    &seq,
+                    &scoring,
+                    5,
+                    procs,
+                    CostModel::das2(),
+                    LinkModel::default(),
+                    &seq_run.stats,
+                    Rc::clone(&cache),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figure8);
+criterion_main!(benches);

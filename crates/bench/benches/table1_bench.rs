@@ -1,0 +1,44 @@
+//! Criterion companion to Table 1: old vs new algorithm at small,
+//! CI-friendly sizes. The printable table lives in `--bin table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repro::{find_top_alignments, find_top_alignments_old, LegacyKernel, Scoring};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    let scoring = Scoring::protein_default();
+    let mut g = c.benchmark_group("table1");
+    g.measurement_time(Duration::from_secs(4));
+    g.sample_size(10);
+    for n in [80usize, 120] {
+        let seq = repro_seqgen::titin_like(n, 1);
+        g.bench_with_input(BenchmarkId::new("new", n), &n, |b, _| {
+            b.iter(|| black_box(find_top_alignments(&seq, &scoring, 10)))
+        });
+        g.bench_with_input(BenchmarkId::new("old_naive", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(find_top_alignments_old(
+                    &seq,
+                    &scoring,
+                    10,
+                    LegacyKernel::Naive,
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("old_gotoh", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(find_top_alignments_old(
+                    &seq,
+                    &scoring,
+                    10,
+                    LegacyKernel::Gotoh,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

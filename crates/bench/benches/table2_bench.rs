@@ -1,0 +1,53 @@
+//! Criterion companion to Table 2: conventional vs lane kernels on one
+//! large split matrix. The printable table lives in `--bin table2`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use repro::align::{sw_last_row, NoMask, Scoring};
+use repro::simd::group::align_group;
+use repro::simd::lanes::{I16x4, I16x8};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table2(c: &mut Criterion) {
+    let m = 1200usize;
+    let seq = repro_seqgen::titin_like(m, 2);
+    let scoring = Scoring::protein_default();
+    let r = m / 2;
+    let cells = (r as u64) * ((m - r) as u64);
+
+    let mut g = c.benchmark_group("table2");
+    g.measurement_time(Duration::from_secs(4));
+    g.sample_size(15);
+    g.throughput(Throughput::Elements(cells));
+    g.bench_function("conventional_1_matrix", |b| {
+        let (prefix, suffix) = seq.split(r);
+        b.iter(|| black_box(sw_last_row(prefix, suffix, &scoring, NoMask)))
+    });
+    g.throughput(Throughput::Elements(4 * cells));
+    g.bench_function("sse_4_matrices", |b| {
+        b.iter(|| black_box(align_group::<I16x4>(seq.codes(), &scoring, r - 2, 4, None)))
+    });
+    g.throughput(Throughput::Elements(8 * cells));
+    g.bench_function("sse2_8_matrices", |b| {
+        b.iter(|| black_box(align_group::<I16x8>(seq.codes(), &scoring, r - 4, 8, None)))
+    });
+    #[cfg(target_arch = "x86_64")]
+    {
+        use repro::simd::lanes::sse2::I16x8Sse2;
+        g.bench_function("sse2_intrinsics_8_matrices", |b| {
+            b.iter(|| {
+                black_box(align_group::<I16x8Sse2>(
+                    seq.codes(),
+                    &scoring,
+                    r - 4,
+                    8,
+                    None,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! **Table 1** — run times of the old and the new sequential algorithm.
+//!
+//! Paper protocol: the first `n` amino acids of titin, 50 top
+//! alignments, old (`O(n⁴)`) vs new (`O(n³)`) algorithm on a 1 GHz
+//! Pentium III:
+//!
+//! ```text
+//! length   old (s)   new (s)   speedup
+//!   1000      1121      10.6       106
+//!   1200      2460      17.6       140
+//!   1400      5251      28.4       185
+//!   1600      8347      42.3       197
+//!   1800     14672      57.4       256
+//! ```
+//!
+//! Here the workload is a titin-like generated protein (see DESIGN.md:
+//! substitutions) and lengths are scaled so the `O(n⁴)` baseline stays
+//! feasible; the claim under test is the *shape* — the speedup grows
+//! with sequence length because the complexities differ by an order of
+//! magnitude. A second sweep isolates the task-queue effect by giving
+//! the old algorithm the fast (Gotoh) inner loop.
+
+use repro::{find_top_alignments, find_top_alignments_old, LegacyKernel, Scoring};
+use repro_bench::{secs, time, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (naive_lengths, gotoh_lengths, count): (&[usize], &[usize], usize) = match scale {
+        Scale::Small => (&[60, 100, 140], &[100, 200, 300], 10),
+        Scale::Medium => (&[100, 150, 200, 250], &[200, 400, 600, 800], 20),
+        Scale::Full => (&[200, 400, 600, 800, 1000], &[400, 800, 1200, 1600, 2000], 50),
+    };
+    let scoring = Scoring::protein_default();
+    let seq_full = repro_seqgen::titin_like(
+        *naive_lengths.iter().chain(gotoh_lengths).max().unwrap(),
+        1,
+    );
+
+    println!("Table 1 — old vs new sequential algorithm ({count} top alignments)");
+    println!("paper reference (titin, k=50, P-III 1 GHz): speedups 106 → 256 over lengths 1000 → 1800\n");
+
+    println!("(a) authentic O(n^4) baseline: Equation-1 inner loop, full sweep per top\n");
+    let table = Table::new(&["length", "old (s)", "new (s)", "speedup"]);
+    let mut speedups = Vec::new();
+    for &n in naive_lengths {
+        let seq = seq_full.prefix(n);
+        let (old, t_old) = time(|| {
+            find_top_alignments_old(&seq, &scoring, count, LegacyKernel::Naive)
+        });
+        let (new, t_new) = time(|| find_top_alignments(&seq, &scoring, count));
+        assert_eq!(old.alignments, new.alignments, "old and new must agree");
+        let speedup = t_old / t_new.max(1e-12);
+        speedups.push((n, speedup));
+        table.row(&[
+            n.to_string(),
+            secs(t_old),
+            secs(t_new),
+            format!("{speedup:.0}"),
+        ]);
+    }
+    let growing = speedups.windows(2).all(|w| w[1].1 > w[0].1);
+    println!(
+        "\nspeedup grows with length: {} (paper: yes — the complexities differ by ~n)\n",
+        if growing { "YES" } else { "no (noise at this scale)" }
+    );
+
+    println!("(b) queue-only ablation: old algorithm with the Gotoh inner loop (Θ(k·n³))\n");
+    let table = Table::new(&["length", "old-gotoh (s)", "new (s)", "speedup"]);
+    for &n in gotoh_lengths {
+        let seq = seq_full.prefix(n);
+        let (old, t_old) = time(|| {
+            find_top_alignments_old(&seq, &scoring, count, LegacyKernel::Gotoh)
+        });
+        let (new, t_new) = time(|| find_top_alignments(&seq, &scoring, count));
+        assert_eq!(old.alignments, new.alignments);
+        table.row(&[
+            n.to_string(),
+            secs(t_old),
+            secs(t_new),
+            format!("{:.0}", t_old / t_new.max(1e-12)),
+        ]);
+    }
+    println!(
+        "\n(the (b) ratio isolates the best-first queue + bottom-row machinery; \
+         the (a) ratio additionally contains the O(n)-per-cell recurrence the \
+         1993 code used — see EXPERIMENTS.md)"
+    );
+}

@@ -1,0 +1,126 @@
+//! **Table 2** — maximum alignment times: conventional vs SIMD lanes.
+//!
+//! Paper reference (largest titin split matrix, 17175 × 17175):
+//!
+//! ```text
+//!              conventional   SSE        SSE2
+//! Pentium III  5.2 s / 1      3.0 s / 4  —
+//! Pentium 4    2.7 s / 1      1.8 s / 4  2.2 s / 8
+//! ```
+//!
+//! giving speed improvements of 6.9 (P-III SSE), 6.0 (P4 SSE) and 9.8
+//! (P4 SSE2). Here the same measurement runs on the host CPU with the
+//! portable lane kernels (LLVM lowers them to SSE2/AVX2) and, on
+//! x86-64, the explicit SSE2-intrinsics kernel.
+
+use repro::align::{sw_last_row, NoMask, Scoring};
+use repro::simd::group::align_group;
+use repro::simd::lanes::{I16x4, I16x8};
+use repro_bench::{secs, time_min, Scale, Table};
+use std::time::Duration;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (m, budget) = match scale {
+        Scale::Small => (600, Duration::from_millis(200)),
+        Scale::Medium => (2400, Duration::from_secs(1)),
+        Scale::Full => (8000, Duration::from_secs(5)),
+    };
+    let seq = repro_seqgen::titin_like(m, 2);
+    let scoring = Scoring::protein_default();
+    let r_mid = m / 2;
+
+    println!("Table 2 — maximum alignment times ({m}-residue titin-like, largest split)\n");
+    println!("paper reference: conventional 5.2 s/1, SSE 3.0 s/4 (improvement 6.9), SSE2 2.2 s/8 (improvement 9.8)\n");
+
+    // Conventional: one scalar score pass over the central split.
+    let (prefix, suffix) = seq.split(r_mid);
+    let t_conv = time_min(budget, || {
+        std::hint::black_box(sw_last_row(prefix, suffix, &scoring, NoMask));
+    });
+
+    // Lane kernels: 4 (SSE analogue) and 8 (SSE2 analogue) neighbouring
+    // matrices per interleaved sweep; portable lanes and, on x86-64, the
+    // explicit SSE2-intrinsics lanes the engine dispatches to.
+    let r0_4 = r_mid - 2;
+    let r0_8 = r_mid - 4;
+    let t_sse_portable = time_min(budget, || {
+        std::hint::black_box(align_group::<I16x4>(seq.codes(), &scoring, r0_4, 4, None));
+    });
+    let t_sse2_portable = time_min(budget, || {
+        std::hint::black_box(align_group::<I16x8>(seq.codes(), &scoring, r0_8, 8, None));
+    });
+
+    #[cfg(target_arch = "x86_64")]
+    let intrin = {
+        use repro::simd::group::{align_group_striped, DEFAULT_GROUP_STRIPE};
+        use repro::simd::lanes::sse2::{I16x4Sse2, I16x8Sse2};
+        let t4 = time_min(budget, || {
+            std::hint::black_box(align_group_striped::<I16x4Sse2>(
+                seq.codes(),
+                &scoring,
+                r0_4,
+                4,
+                None,
+                DEFAULT_GROUP_STRIPE,
+            ));
+        });
+        let t8 = time_min(budget, || {
+            std::hint::black_box(align_group_striped::<I16x8Sse2>(
+                seq.codes(),
+                &scoring,
+                r0_8,
+                8,
+                None,
+                DEFAULT_GROUP_STRIPE,
+            ));
+        });
+        Some((t4, t8))
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let intrin: Option<(f64, f64)> = None;
+
+    let table = Table::new(&["kernel", "time / matrices", "improvement"]);
+    table.row(&[
+        "conventional".into(),
+        format!("{} / 1", secs(t_conv)),
+        "1.0".into(),
+    ]);
+    if let Some((t4, t8)) = intrin {
+        table.row(&[
+            "SSE, 4 lanes".into(),
+            format!("{} / 4", secs(t4)),
+            format!("{:.1}", 4.0 * t_conv / t4),
+        ]);
+        table.row(&[
+            "SSE2, 8 lanes".into(),
+            format!("{} / 8", secs(t8)),
+            format!("{:.1}", 8.0 * t_conv / t8),
+        ]);
+    }
+    table.row(&[
+        "portable, 4 lanes".into(),
+        format!("{} / 4", secs(t_sse_portable)),
+        format!("{:.1}", 4.0 * t_conv / t_sse_portable),
+    ]);
+    table.row(&[
+        "portable, 8 lanes".into(),
+        format!("{} / 8", secs(t_sse2_portable)),
+        format!("{:.1}", 8.0 * t_conv / t_sse2_portable),
+    ]);
+    let t_sse2 = intrin.map(|(_, t8)| t8).unwrap_or(t_sse2_portable);
+
+    let cells = (r_mid as u64) * ((m - r_mid) as u64);
+    println!(
+        "\nthroughput: conventional {:.0} Mcells/s, 8-lane {:.0} M lane-cells/s \
+         (paper reports >1 G entries/s on the P4)",
+        cells as f64 / t_conv / 1e6,
+        8.0 * cells as f64 / t_sse2 / 1e6
+    );
+    println!(
+        "\n(the paper's superlinear 6.9/9.8 came from the parallel MAX \
+         instruction, the extra registers and dual-pipe scheduling of the \
+         2003 processors; modern scalar code already enjoys most of those, \
+         so the expected improvement here is closer to the lane count)"
+    );
+}

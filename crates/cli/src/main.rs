@@ -1,0 +1,430 @@
+//! `repro` — command-line internal-repeat detection.
+//!
+//! ```text
+//! repro [OPTIONS] <input.fasta | ->
+//! repro --generate titin:LEN:SEED | tandem:U:C:SEED | interspersed:U:C:SEED
+//!
+//! Options:
+//!   --alphabet dna|protein     residue alphabet         [default: protein]
+//!   --tops N                   top alignments to find   [default: 10]
+//!   --engine ENGINE            seq | simd4 | simd8 | threads:N |
+//!                              cluster:N | hybrid:N:T | legacy
+//!                                                       [default: seq]
+//!   --match N --mismatch N     simple exchange matrix (DNA default 2/-1)
+//!   --open N --extend N        affine gap penalties
+//!   --matrix FILE              NCBI-format exchange matrix
+//!   --pairs                    print every matched pair
+//!   --cigar                    print a CIGAR per top alignment
+//!   --gff                      print the repeat units as GFF3
+//!   --consensus                print the repeat-unit consensus
+//!   --low-memory               Appendix A linear-memory configuration
+//!   --quiet                    suppress the per-alignment listing
+//!   --generate SPEC            emit a workload FASTA and exit
+//! ```
+//!
+//! Reads FASTA (`-` = stdin), prints the top alignments and the repeat
+//! report per record.
+
+use repro::align::fasta::read_fasta;
+use repro::align::{Alphabet, ExchangeMatrix, GapPenalties};
+use repro::{Engine, LaneWidth, LegacyKernel, Repro, Scoring, Seq};
+use std::process::ExitCode;
+
+struct Options {
+    input: String,
+    alphabet: Alphabet,
+    tops: usize,
+    engine: Engine,
+    match_score: Option<i32>,
+    mismatch_score: Option<i32>,
+    open: Option<i32>,
+    extend: Option<i32>,
+    matrix_file: Option<String>,
+    pairs: bool,
+    cigar: bool,
+    gff: bool,
+    consensus: bool,
+    low_memory: bool,
+    quiet: bool,
+    generate: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: repro [--alphabet dna|protein] [--tops N] \
+     [--engine seq|simd4|simd8|threads:N|cluster:N|hybrid:N:T|legacy] \
+     [--match N] [--mismatch N] [--open N] [--extend N] [--matrix FILE] \
+     [--pairs] [--cigar] [--consensus] [--low-memory] [--quiet] \
+     <input.fasta | -> | repro --generate titin:LEN:SEED"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        input: String::new(),
+        alphabet: Alphabet::Protein,
+        tops: 10,
+        engine: Engine::Sequential,
+        match_score: None,
+        mismatch_score: None,
+        open: None,
+        extend: None,
+        matrix_file: None,
+        pairs: false,
+        cigar: false,
+        gff: false,
+        consensus: false,
+        low_memory: false,
+        quiet: false,
+        generate: None,
+    };
+    let mut it = args.iter();
+    let mut positional = Vec::new();
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--alphabet" => {
+                opts.alphabet = match next("--alphabet")?.as_str() {
+                    "dna" => Alphabet::Dna,
+                    "protein" => Alphabet::Protein,
+                    other => return Err(format!("unknown alphabet {other:?}")),
+                }
+            }
+            "--tops" => {
+                opts.tops = next("--tops")?
+                    .parse()
+                    .map_err(|_| "--tops needs an integer".to_string())?
+            }
+            "--engine" => {
+                let v = next("--engine")?;
+                opts.engine = match v.as_str() {
+                    "seq" => Engine::Sequential,
+                    "simd4" => Engine::Simd(LaneWidth::X4),
+                    "simd8" => Engine::Simd(LaneWidth::X8),
+                    "legacy" => Engine::Legacy(LegacyKernel::Gotoh),
+                    "legacy-naive" => Engine::Legacy(LegacyKernel::Naive),
+                    other => {
+                        if let Some(n) = other.strip_prefix("threads:") {
+                            Engine::Threads(
+                                n.parse().map_err(|_| "bad thread count".to_string())?,
+                            )
+                        } else if let Some(n) = other.strip_prefix("cluster:") {
+                            Engine::Cluster {
+                                workers: n
+                                    .parse()
+                                    .map_err(|_| "bad worker count".to_string())?,
+                            }
+                        } else if let Some(spec) = other.strip_prefix("hybrid:") {
+                            let (nodes, tpn) = spec
+                                .split_once(':')
+                                .ok_or_else(|| "hybrid needs nodes:threads".to_string())?;
+                            Engine::Hybrid {
+                                nodes: nodes
+                                    .parse()
+                                    .map_err(|_| "bad node count".to_string())?,
+                                threads_per_node: tpn
+                                    .parse()
+                                    .map_err(|_| "bad threads-per-node".to_string())?,
+                            }
+                        } else {
+                            return Err(format!("unknown engine {other:?}"));
+                        }
+                    }
+                }
+            }
+            "--match" => opts.match_score = Some(parse_i32(next("--match")?)?),
+            "--mismatch" => opts.mismatch_score = Some(parse_i32(next("--mismatch")?)?),
+            "--open" => opts.open = Some(parse_i32(next("--open")?)?),
+            "--extend" => opts.extend = Some(parse_i32(next("--extend")?)?),
+            "--matrix" => opts.matrix_file = Some(next("--matrix")?.clone()),
+            "--generate" => opts.generate = Some(next("--generate")?.clone()),
+            "--pairs" => opts.pairs = true,
+            "--cigar" => opts.cigar = true,
+            "--gff" => opts.gff = true,
+            "--consensus" => opts.consensus = true,
+            "--low-memory" => opts.low_memory = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other}\n{}", usage()))
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    match (opts.generate.is_some(), positional.len()) {
+        (true, 0) => Ok(opts),
+        (false, 1) => {
+            opts.input = positional.pop().expect("len checked");
+            Ok(opts)
+        }
+        (false, 0) => Err(format!("missing input file\n{}", usage())),
+        _ => Err(format!("too many positional arguments\n{}", usage())),
+    }
+}
+
+/// Generate a workload FASTA to stdout: `titin:LEN:SEED` (protein),
+/// `tandem:UNIT:COPIES:SEED` (DNA) or `interspersed:UNIT:COPIES:SEED`
+/// (protein).
+fn generate(spec: &str) -> Result<(), String> {
+    use repro::align::fasta::{format_fasta, FastaRecord};
+    use repro::seqgen::{titin_like, PlantedRepeats, RepeatSpec};
+
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<usize, String> {
+        s.parse().map_err(|_| format!("{s:?} is not a number"))
+    };
+    let record = match parts.as_slice() {
+        ["titin", len, seed] => FastaRecord {
+            id: format!("titin-like length={len} seed={seed}"),
+            seq: titin_like(num(len)?, num(seed)? as u64),
+        },
+        ["tandem", unit, copies, seed] => {
+            let planted = PlantedRepeats::generate(
+                &RepeatSpec::dna_tandem(num(unit)?, num(copies)?),
+                num(seed)? as u64,
+            );
+            FastaRecord {
+                id: format!("tandem unit={unit} copies={copies} seed={seed}"),
+                seq: planted.seq,
+            }
+        }
+        ["interspersed", unit, copies, seed] => {
+            let planted = PlantedRepeats::generate(
+                &RepeatSpec::protein_interspersed(num(unit)?, num(copies)?),
+                num(seed)? as u64,
+            );
+            FastaRecord {
+                id: format!("interspersed unit={unit} copies={copies} seed={seed}"),
+                seq: planted.seq,
+            }
+        }
+        _ => {
+            return Err(format!(
+                "bad --generate spec {spec:?}: expected titin:LEN:SEED, \
+                 tandem:UNIT:COPIES:SEED or interspersed:UNIT:COPIES:SEED"
+            ))
+        }
+    };
+    print!("{}", format_fasta(&[record], 60));
+    Ok(())
+}
+
+fn parse_i32(s: &str) -> Result<i32, String> {
+    s.parse().map_err(|_| format!("{s:?} is not an integer"))
+}
+
+fn build_scoring(opts: &Options) -> Result<Scoring, String> {
+    let exchange = if let Some(path) = &opts.matrix_file {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read matrix {path}: {e}"))?;
+        ExchangeMatrix::parse_ncbi(opts.alphabet, &text)
+            .map_err(|e| format!("bad matrix file {path}: {e}"))?
+    } else if opts.match_score.is_some() || opts.mismatch_score.is_some() {
+        ExchangeMatrix::match_mismatch(
+            opts.alphabet,
+            opts.match_score.unwrap_or(2),
+            opts.mismatch_score.unwrap_or(-1),
+        )
+    } else {
+        match opts.alphabet {
+            Alphabet::Dna => ExchangeMatrix::dna_default(),
+            Alphabet::Protein => ExchangeMatrix::blosum62(),
+        }
+    };
+    let (default_open, default_extend) = match opts.alphabet {
+        Alphabet::Dna => (2, 1),
+        Alphabet::Protein => (10, 1),
+    };
+    let gaps = GapPenalties::new(
+        opts.open.unwrap_or(default_open),
+        opts.extend.unwrap_or(default_extend),
+    );
+    Ok(Scoring::new(exchange, gaps))
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    if let Some(spec) = &opts.generate {
+        return generate(spec);
+    }
+    let scoring = build_scoring(opts)?;
+    let records = if opts.input == "-" {
+        let stdin = std::io::stdin();
+        read_fasta(stdin.lock(), opts.alphabet)
+    } else {
+        let file = std::fs::File::open(&opts.input)
+            .map_err(|e| format!("cannot open {}: {e}", opts.input))?;
+        read_fasta(std::io::BufReader::new(file), opts.alphabet)
+    }
+    .map_err(|e| format!("FASTA error: {e}"))?;
+
+    if records.is_empty() {
+        return Err("no FASTA records in input".to_string());
+    }
+
+    for record in &records {
+        analyze_one(&record.id, &record.seq, &scoring, opts);
+    }
+    Ok(())
+}
+
+fn analyze_one(id: &str, seq: &Seq, scoring: &Scoring, opts: &Options) {
+    println!(">{id} ({} residues, {} alphabet)", seq.len(), seq.alphabet());
+    let t0 = std::time::Instant::now();
+    let analysis = Repro::new(scoring.clone())
+        .top_alignments(opts.tops)
+        .engine(opts.engine)
+        .low_memory(opts.low_memory)
+        .run(seq);
+    let elapsed = t0.elapsed();
+
+    if !opts.quiet {
+        for top in &analysis.tops.alignments {
+            let start = top.pairs.first().copied().unwrap_or((0, 0));
+            let end = top.pairs.last().copied().unwrap_or((0, 0));
+            println!(
+                "top {:>3}  score {:>6}  split {:>6}  {}..{} ~ {}..{}  ({} pairs, {:.0}% id)",
+                top.index + 1,
+                top.score,
+                top.r,
+                start.0,
+                end.0,
+                start.1,
+                end.1,
+                top.pairs.len(),
+                100.0 * top.identity(seq)
+            );
+            if opts.cigar {
+                println!("    CIGAR {}", top.cigar());
+            }
+            if opts.pairs {
+                for &(p, q) in &top.pairs {
+                    println!("    {p} ~ {q}");
+                }
+            }
+        }
+    }
+
+    let report = &analysis.report;
+    println!(
+        "repeats: period {:?}, {} units, {:.1}% coverage",
+        report.period,
+        report.copies(),
+        100.0 * report.coverage(seq.len())
+    );
+    for unit in &report.units {
+        println!("  unit {}..{}", unit.range.start, unit.range.end);
+    }
+    if opts.gff {
+        print!("{}", report.to_gff(id.split_whitespace().next().unwrap_or(id)));
+    }
+    if opts.consensus {
+        if let Some(consensus) = &analysis.consensus {
+            println!(
+                "consensus ({} residues, mean identity {:.0}%): {}",
+                consensus.consensus.len(),
+                100.0 * consensus.mean_identity(),
+                consensus.consensus
+            );
+        } else {
+            println!("consensus: (no units)");
+        }
+    }
+    println!(
+        "work: {} alignments, {} cells, {} tracebacks, {:.3?}",
+        analysis.tops.stats.alignments,
+        analysis.tops.stats.cells,
+        analysis.tops.stats.tracebacks,
+        elapsed
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let o = parse_args(&args(&["in.fa"])).unwrap();
+        assert_eq!(o.input, "in.fa");
+        assert_eq!(o.tops, 10);
+        assert_eq!(o.alphabet, Alphabet::Protein);
+        assert_eq!(o.engine, Engine::Sequential);
+    }
+
+    #[test]
+    fn parses_engines() {
+        for (name, want) in [
+            ("seq", Engine::Sequential),
+            ("simd4", Engine::Simd(LaneWidth::X4)),
+            ("simd8", Engine::Simd(LaneWidth::X8)),
+            ("threads:3", Engine::Threads(3)),
+            ("cluster:5", Engine::Cluster { workers: 5 }),
+            (
+                "hybrid:4:2",
+                Engine::Hybrid {
+                    nodes: 4,
+                    threads_per_node: 2,
+                },
+            ),
+            ("legacy", Engine::Legacy(LegacyKernel::Gotoh)),
+            ("legacy-naive", Engine::Legacy(LegacyKernel::Naive)),
+        ] {
+            let o = parse_args(&args(&["--engine", name, "x.fa"])).unwrap();
+            assert_eq!(o.engine, want, "{name}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["--engine", "warp", "x.fa"])).is_err());
+        assert!(parse_args(&args(&["--tops", "many", "x.fa"])).is_err());
+        assert!(parse_args(&args(&["a.fa", "b.fa"])).is_err());
+        assert!(parse_args(&args(&["--bogus", "x.fa"])).is_err());
+    }
+
+    #[test]
+    fn scoring_defaults_per_alphabet() {
+        let dna = parse_args(&args(&["--alphabet", "dna", "x.fa"])).unwrap();
+        let s = build_scoring(&dna).unwrap();
+        assert_eq!(s.gaps.open, 2);
+        let prot = parse_args(&args(&["x.fa"])).unwrap();
+        let s = build_scoring(&prot).unwrap();
+        assert_eq!(s.gaps.open, 10);
+        assert_eq!(s.exchange.max_score(), 11); // BLOSUM62's W/W
+    }
+
+    #[test]
+    fn custom_simple_matrix() {
+        let o = parse_args(&args(&[
+            "--alphabet", "dna", "--match", "5", "--mismatch", "-4", "--open", "3",
+            "--extend", "2", "x.fa",
+        ]))
+        .unwrap();
+        let s = build_scoring(&o).unwrap();
+        assert_eq!(s.exchange.max_score(), 5);
+        assert_eq!(s.gaps.cost(2), 7);
+    }
+}

@@ -1,0 +1,226 @@
+//! End-to-end tests of the `repro` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn repro_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn write_fasta(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("repro-cli-test-{name}-{}.fa", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp fasta");
+    path
+}
+
+#[test]
+fn analyzes_dna_repeat_file() {
+    let path = write_fasta("toy", ">toy repeat\nATGCATGCATGC\n");
+    let out = repro_bin()
+        .args(["--alphabet", "dna", "--tops", "3"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(">toy repeat (12 residues"));
+    assert!(stdout.contains("score      8"));
+    assert!(stdout.contains("period Some(4)"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn reads_stdin_with_dash() {
+    let mut child = repro_bin()
+        .args(["--alphabet", "dna", "--tops", "2", "--quiet", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b">x\nACGGTACGGTACGGT\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("repeats: period"));
+    // --quiet suppresses the per-alignment listing.
+    assert!(!stdout.contains("top   1"));
+}
+
+#[test]
+fn engines_give_identical_answers() {
+    let path = write_fasta("engines", ">r\nACGGTACGGTAACGGTACGGT\n");
+    let mut outputs = Vec::new();
+    for engine in ["seq", "simd4", "simd8", "threads:2", "cluster:2", "hybrid:2:2", "legacy"] {
+        let out = repro_bin()
+            .args(["--alphabet", "dna", "--tops", "4", "--engine", engine])
+            .arg(&path)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{engine} failed");
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        // Strip the timing line, which legitimately differs.
+        let stable: String = text.lines().filter(|l| !l.starts_with("work:")).collect();
+        outputs.push((engine, stable));
+    }
+    for w in outputs.windows(2) {
+        assert_eq!(w[0].1, w[1].1, "{} vs {}", w[0].0, w[1].0);
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = repro_bin()
+        .arg("/nonexistent/genome.fa")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+}
+
+#[test]
+fn bad_flags_are_rejected() {
+    for args in [
+        vec!["--engine", "warp-drive", "x.fa"],
+        vec!["--tops", "several", "x.fa"],
+        vec!["--alphabet", "klingon", "x.fa"],
+        vec![],
+    ] {
+        let out = repro_bin().args(&args).output().expect("binary runs");
+        assert!(!out.status.success(), "args {args:?} should fail");
+    }
+}
+
+#[test]
+fn malformed_fasta_is_a_clean_error() {
+    let path = write_fasta("bad", "ACGT without header\n");
+    let out = repro_bin()
+        .args(["--alphabet", "dna"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("FASTA"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn generate_then_analyze_roundtrip() {
+    // Generate a tandem workload, then feed it straight back in.
+    let gen = repro_bin()
+        .args(["--generate", "tandem:20:5:7"])
+        .output()
+        .expect("binary runs");
+    assert!(gen.status.success());
+    let fasta = String::from_utf8(gen.stdout).unwrap();
+    assert!(fasta.starts_with(">tandem unit=20 copies=5 seed=7"));
+
+    let mut child = repro_bin()
+        .args([
+            "--alphabet",
+            "dna",
+            "--tops",
+            "6",
+            "--consensus",
+            "--cigar",
+            "-",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(fasta.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CIGAR"));
+    assert!(stdout.contains("consensus ("));
+    assert!(stdout.contains("period Some("));
+}
+
+#[test]
+fn generate_titin_and_bad_specs() {
+    let out = repro_bin()
+        .args(["--generate", "titin:150:3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let fasta = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(fasta.lines().filter(|l| !l.starts_with('>')).map(|l| l.len()).sum::<usize>(), 150);
+
+    for bad in ["titin:abc:1", "nonsense:1:2", "tandem:5"] {
+        let out = repro_bin()
+            .args(["--generate", bad])
+            .output()
+            .expect("binary runs");
+        assert!(!out.status.success(), "{bad} should fail");
+    }
+}
+
+#[test]
+fn gff_output() {
+    let path = write_fasta("gff", ">chrT extra words\nATGCATGCATGCATGC\n");
+    let out = repro_bin()
+        .args(["--alphabet", "dna", "--tops", "4", "--quiet", "--gff"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("##gff-version 3"));
+    assert!(stdout.contains("chrT\trepro\trepeat_unit\t1\t4\t"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn low_memory_flag_matches_default() {
+    let path = write_fasta("lowmem", ">r\nATGCATGCATGCATGC\n");
+    let normal = repro_bin()
+        .args(["--alphabet", "dna", "--tops", "3"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    let low = repro_bin()
+        .args(["--alphabet", "dna", "--tops", "3", "--low-memory"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(normal.status.success() && low.status.success());
+    let strip = |b: &[u8]| -> String {
+        String::from_utf8_lossy(b)
+            .lines()
+            .filter(|l| !l.starts_with("work:"))
+            .collect()
+    };
+    assert_eq!(strip(&normal.stdout), strip(&low.stdout));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn custom_matrix_file() {
+    let matrix = std::env::temp_dir().join(format!("repro-cli-matrix-{}.txt", std::process::id()));
+    std::fs::write(&matrix, "   A  C  G  T\nA  5 -4 -4 -4\nC -4  5 -4 -4\nG -4 -4  5 -4\nT -4 -4 -4  5\n").unwrap();
+    let path = write_fasta("matrix", ">m\nATGCATGCATGC\n");
+    let out = repro_bin()
+        .args(["--alphabet", "dna", "--tops", "1", "--matrix"])
+        .arg(&matrix)
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    // 4 matches at +5 each.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("score     20"));
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(matrix);
+}

@@ -1,0 +1,328 @@
+//! The real distributed backend: master and workers as OS threads over
+//! [`repro_xmpi::thread`] channels.
+//!
+//! Rank 0 is the sacrificed master (paper §4.3); ranks `1..P` are
+//! workers holding a replicated override triangle and a cache of
+//! first-pass bottom rows. A worker defers any task stamped with a
+//! triangle version its replica has not reached yet — an ACCEPTED
+//! broadcast and a TASK travel independently, and computing under a
+//! too-old triangle would inflate a score that the master would then
+//! trust as exact. (Computing under a *newer* replica is provably safe:
+//! the result is still a valid upper bound and can never be mistaken for
+//! fresh.)
+//!
+//! Receives carry deadlines: with message loss injected (or a crashed
+//! peer), the engine returns [`ClusterError::Stalled`] instead of
+//! hanging.
+
+use crate::master::{MasterAction, MasterState};
+use crate::protocol::{tag, AcceptedMsg, ResultMsg, TaskMsg};
+use repro_align::{Score, Scoring, Seq};
+use repro_core::{OverrideTriangle, SplitMask, TopAlignments};
+use repro_xmpi::thread::{FaultPlan, ThreadComm};
+use repro_xmpi::{Comm, RecvError};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Distributed-engine failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// No progress within the deadline (lost messages or a dead peer).
+    Stalled,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Stalled => write!(f, "cluster engine stalled (message loss?)"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Result of a distributed run.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// Alignments, stats and triangle — identical alignments to the
+    /// sequential engine.
+    pub result: TopAlignments,
+    /// Total ranks (1 master + workers).
+    pub ranks: usize,
+}
+
+/// Run the distributed engine with `workers` worker ranks (plus the
+/// master), using real threads. `deadline` bounds any single wait for
+/// progress.
+pub fn find_top_alignments_cluster(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    workers: usize,
+    deadline: Duration,
+) -> Result<ClusterResult, ClusterError> {
+    find_top_alignments_cluster_faulty(seq, scoring, count, workers, deadline, FaultPlan::default())
+}
+
+/// [`find_top_alignments_cluster`] with fault injection on every
+/// endpoint (test hook).
+pub fn find_top_alignments_cluster_faulty(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    workers: usize,
+    deadline: Duration,
+    faults: FaultPlan,
+) -> Result<ClusterResult, ClusterError> {
+    assert!(workers >= 1, "need at least one worker rank");
+    let ranks = workers + 1;
+    let mut world = ThreadComm::world_with_faults(ranks, faults);
+    let master_comm = world.remove(0);
+
+    let result = std::thread::scope(|scope| {
+        for comm in world {
+            scope.spawn(move || worker_loop(seq, scoring, comm, deadline));
+        }
+        master_loop(seq, scoring, count, master_comm, deadline)
+    });
+
+    result.map(|r| ClusterResult { result: r, ranks })
+}
+
+fn master_loop(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    comm: ThreadComm,
+    deadline: Duration,
+) -> Result<TopAlignments, ClusterError> {
+    let mut master = MasterState::new(seq, scoring, count);
+    let act = |comm: &ThreadComm, actions: Vec<MasterAction>| -> bool {
+        let mut done = false;
+        for action in actions {
+            match action {
+                MasterAction::Assign { worker, task } => {
+                    comm.send(worker, tag::TASK, task.encode());
+                }
+                MasterAction::Broadcast(acc) => {
+                    repro_xmpi::broadcast_from(&comm, tag::ACCEPTED, &acc.encode());
+                }
+                MasterAction::Done => {
+                    repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
+                    done = true;
+                }
+            }
+        }
+        done
+    };
+
+    loop {
+        let msg = match comm.recv_timeout(deadline) {
+            Ok(m) => m,
+            Err(RecvError::Timeout) | Err(RecvError::Disconnected) => {
+                // Unstick the workers so the scope can join.
+                repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
+                return Err(ClusterError::Stalled);
+            }
+        };
+        let actions = match msg.tag {
+            tag::IDLE => master.worker_idle(msg.from),
+            tag::RESULT => {
+                let res = ResultMsg::decode(&msg.payload);
+                master.result(msg.from, res.r, res.stamp, res.score, res.cells, res.first_row)
+            }
+            other => unreachable!("master received unexpected tag {other}"),
+        };
+        if act(&comm, actions) {
+            return Ok(master.into_result());
+        }
+    }
+}
+
+fn worker_loop(seq: &Seq, scoring: &Scoring, comm: ThreadComm, deadline: Duration) {
+    let mut triangle = OverrideTriangle::new(seq.len());
+    let mut applied = 0usize; // ACCEPTED broadcasts applied so far
+    let mut rows: HashMap<usize, Vec<Score>> = HashMap::new();
+    let mut deferred: Vec<TaskMsg> = Vec::new();
+
+    comm.send(0, tag::IDLE, Vec::new());
+    loop {
+        // Run any deferred task whose stamp the replica has reached.
+        if let Some(pos) = deferred.iter().position(|t| t.stamp <= applied) {
+            let task = deferred.swap_remove(pos);
+            run_task(seq, scoring, &comm, &triangle, &mut rows, task);
+            continue;
+        }
+        let msg = match comm.recv_timeout(deadline) {
+            Ok(m) => m,
+            Err(_) => return, // master died or world torn down
+        };
+        match msg.tag {
+            tag::TASK => {
+                let task = TaskMsg::decode(&msg.payload);
+                if task.stamp <= applied {
+                    run_task(seq, scoring, &comm, &triangle, &mut rows, task);
+                } else {
+                    deferred.push(task); // replica lags; wait for ACCEPTED
+                }
+            }
+            tag::ACCEPTED => {
+                let acc = AcceptedMsg::decode(&msg.payload);
+                for (p, q) in acc.pairs {
+                    triangle.set(p, q);
+                }
+                // The acceptance index makes duplicate broadcasts
+                // idempotent (setting bits twice already is).
+                applied = applied.max(acc.index + 1);
+            }
+            tag::DONE => return,
+            other => unreachable!("worker received unexpected tag {other}"),
+        }
+    }
+}
+
+fn run_task(
+    seq: &Seq,
+    scoring: &Scoring,
+    comm: &ThreadComm,
+    triangle: &OverrideTriangle,
+    rows: &mut HashMap<usize, Vec<Score>>,
+    task: TaskMsg,
+) {
+    let (prefix, suffix) = seq.split(task.r);
+    let mask = SplitMask::new(triangle, task.r);
+    let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
+    let (score, first_row) = if task.first {
+        rows.insert(task.r, last.row.clone());
+        (last.best_in_row, Some(last.row))
+    } else {
+        if let Some(row) = &task.row {
+            rows.insert(task.r, row.clone());
+        }
+        let original = rows
+            .get(&task.r)
+            .expect("realignment without cached or attached row");
+        (
+            repro_core::bottom::best_valid_entry(&last.row, original).0,
+            None,
+        )
+    };
+    let res = ResultMsg {
+        r: task.r,
+        stamp: task.stamp,
+        score,
+        cells: last.cells,
+        first_row,
+    };
+    comm.send(0, tag::RESULT, res.encode());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_core::find_top_alignments;
+
+    const DL: Duration = Duration::from_secs(10);
+
+    #[test]
+    fn figure4_example_matches_sequential() {
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 3);
+        for workers in [1, 2, 4] {
+            let got =
+                find_top_alignments_cluster(&seq, &scoring, 3, workers, DL).unwrap();
+            assert_eq!(
+                got.result.alignments, want.alignments,
+                "{workers} workers disagree with sequential"
+            );
+            assert_eq!(got.ranks, workers + 1);
+        }
+    }
+
+    #[test]
+    fn agrees_on_varied_inputs() {
+        let scoring = Scoring::dna_example();
+        for text in [
+            "ACGTTGCAACGTACGTTGCAGGTT",
+            "AAAAAAAAAAAAAAA",
+            "ACGGTACGGTAACGGTTTTTACGGT",
+        ] {
+            let seq = Seq::dna(text).unwrap();
+            let want = find_top_alignments(&seq, &scoring, 5);
+            for workers in [1, 3] {
+                let got = find_top_alignments_cluster(&seq, &scoring, 5, workers, DL).unwrap();
+                assert_eq!(got.result.alignments, want.alignments, "{workers} on {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn protein_run() {
+        let seq = Seq::protein("MGEKALVPYRLQHCMGEKALVPYRWWMGEKALVPYR").unwrap();
+        let scoring = Scoring::protein_default();
+        let want = find_top_alignments(&seq, &scoring, 4);
+        let got = find_top_alignments_cluster(&seq, &scoring, 4, 2, DL).unwrap();
+        assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn exhaustion_terminates() {
+        let seq = Seq::dna("ACGT").unwrap();
+        let scoring = Scoring::dna_example();
+        let got = find_top_alignments_cluster(&seq, &scoring, 10, 2, DL).unwrap();
+        assert!(got.result.alignments.len() < 10);
+    }
+
+    #[test]
+    fn message_loss_stalls_gracefully() {
+        let seq = Seq::dna(&"ATGC".repeat(10)).unwrap();
+        let scoring = Scoring::dna_example();
+        // Drop every 5th message: the run must terminate with an error
+        // (or, if the losses happen to spare the critical path, succeed
+        // with correct results) — never hang.
+        let out = find_top_alignments_cluster_faulty(
+            &seq,
+            &scoring,
+            5,
+            2,
+            Duration::from_millis(300),
+            FaultPlan {
+                drop_every: 5,
+                dup_every: 0,
+            },
+        );
+        match out {
+            Err(ClusterError::Stalled) => {}
+            Ok(got) => {
+                let want = find_top_alignments(&seq, &scoring, 5);
+                assert_eq!(got.result.alignments, want.alignments);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicated_messages_are_harmless_or_detected() {
+        let seq = Seq::dna(&"ATGC".repeat(8)).unwrap();
+        let scoring = Scoring::dna_example();
+        let out = find_top_alignments_cluster_faulty(
+            &seq,
+            &scoring,
+            4,
+            2,
+            Duration::from_millis(500),
+            FaultPlan {
+                drop_every: 0,
+                dup_every: 7,
+            },
+        );
+        // Duplicates can double-deliver RESULT/IDLE messages; the engine
+        // must either produce the exact sequential answer or stop with a
+        // clean error — never hang, never return a wrong alignment set
+        // silently... so verify when Ok.
+        if let Ok(got) = out {
+            let want = find_top_alignments(&seq, &scoring, 4);
+            assert_eq!(got.result.alignments, want.alignments);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The hybrid configuration of paper §4.3: a cluster of SMPs.
+//!
+//! "Although it is possible to start multiple independent processes on
+//! a single shared-memory multi-processor that communicate through MPI,
+//! this wastes much memory ... Therefore, we run multiple threads on
+//! each SMP that share these data structures. A small complication is
+//! that thread support is not integrated with our MPI implementation,
+//! therefore we protect all MPI calls with a mutex. If the master
+//! processor resides on a SMP, the other processors are regular
+//! slaves."
+//!
+//! Mapping here: one rank per *node*; rank 0 is the sacrificed master
+//! CPU; rank 1 is the rest of the master's SMP (running one fewer
+//! worker thread); ranks 2.. are full SMP nodes. Within a node, worker
+//! threads share the override-triangle replica (an `Arc` snapshot
+//! swapped on each acceptance) and the bottom-row cache, and take
+//! turns on the node's single communication endpoint behind a mutex —
+//! exactly the paper's structure. The master cannot tell threads apart
+//! (an `IDLE` per thread simply registers extra capacity on that
+//! rank), and the shared row cache per rank is precisely why the
+//! master's per-rank row-caching bookkeeping stays correct.
+
+use crate::engine::ClusterError;
+use crate::master::{MasterAction, MasterState};
+use crate::protocol::{tag, AcceptedMsg, ResultMsg, TaskMsg};
+use parking_lot::{Condvar, Mutex};
+use repro_align::{Score, Scoring, Seq};
+use repro_core::{OverrideTriangle, SplitMask, TopAlignments};
+use repro_xmpi::thread::ThreadComm;
+use repro_xmpi::{Comm, RecvError};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Result of a hybrid run.
+#[derive(Debug, Clone)]
+pub struct HybridResult {
+    /// Alignments, stats and triangle — identical alignments to the
+    /// sequential engine.
+    pub result: TopAlignments,
+    /// SMP nodes simulated (including the master's).
+    pub nodes: usize,
+    /// Total worker threads across all nodes.
+    pub workers: usize,
+}
+
+/// Per-node state shared by that node's worker threads.
+struct NodeShared {
+    inner: Mutex<NodeInner>,
+    wake: Condvar,
+}
+
+struct NodeInner {
+    triangle: Arc<OverrideTriangle>,
+    applied: usize,
+    rows: HashMap<usize, Arc<Vec<Score>>>,
+    deferred: Vec<TaskMsg>,
+    done: bool,
+}
+
+/// Run the cluster-of-SMPs configuration: `nodes` multi-CPU nodes with
+/// `threads_per_node` CPUs each; one CPU of node 0 is the master, so
+/// `nodes × threads_per_node − 1` workers do alignment work.
+pub fn find_top_alignments_hybrid(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    nodes: usize,
+    threads_per_node: usize,
+    deadline: Duration,
+) -> Result<HybridResult, ClusterError> {
+    assert!(nodes >= 1, "need at least the master's node");
+    assert!(threads_per_node >= 1, "nodes need at least one CPU");
+    assert!(
+        nodes * threads_per_node >= 2,
+        "need at least one worker CPU besides the master"
+    );
+
+    // Rank 0: master. Ranks 1..=nodes: one per SMP node.
+    let mut world = ThreadComm::world(nodes + 1);
+    let master_comm = world.remove(0);
+
+    let result = std::thread::scope(|scope| {
+        for (node_idx, comm) in world.into_iter().enumerate() {
+            // Node 0 of the cluster (rank 1) lost one CPU to the master.
+            let threads = if node_idx == 0 {
+                threads_per_node - 1
+            } else {
+                threads_per_node
+            };
+            if threads == 0 {
+                continue;
+            }
+            let shared = Arc::new(NodeShared {
+                inner: Mutex::new(NodeInner {
+                    triangle: Arc::new(OverrideTriangle::new(seq.len())),
+                    applied: 0,
+                    rows: HashMap::new(),
+                    deferred: Vec::new(),
+                    done: false,
+                }),
+                wake: Condvar::new(),
+            });
+            // The node's single communication endpoint, mutex-guarded
+            // exactly as the paper guards its MPI calls.
+            let comm = Arc::new(Mutex::new(comm));
+            for _ in 0..threads {
+                let shared = Arc::clone(&shared);
+                let comm = Arc::clone(&comm);
+                scope.spawn(move || node_worker(seq, scoring, comm, shared, deadline));
+            }
+        }
+        master_loop(seq, scoring, count, master_comm, deadline)
+    });
+
+    result.map(|r| HybridResult {
+        result: r,
+        nodes,
+        workers: nodes * threads_per_node - 1,
+    })
+}
+
+fn master_loop(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    comm: ThreadComm,
+    deadline: Duration,
+) -> Result<TopAlignments, ClusterError> {
+    let mut master = MasterState::new(seq, scoring, count);
+    loop {
+        let msg = match comm.recv_timeout(deadline) {
+            Ok(m) => m,
+            Err(RecvError::Timeout) | Err(RecvError::Disconnected) => {
+                repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
+                return Err(ClusterError::Stalled);
+            }
+        };
+        let actions = match msg.tag {
+            tag::IDLE => master.worker_idle(msg.from),
+            tag::RESULT => {
+                let res = ResultMsg::decode(&msg.payload);
+                master.result(msg.from, res.r, res.stamp, res.score, res.cells, res.first_row)
+            }
+            other => unreachable!("master received unexpected tag {other}"),
+        };
+        let mut done = false;
+        for action in actions {
+            match action {
+                MasterAction::Assign { worker, task } => {
+                    comm.send(worker, tag::TASK, task.encode());
+                }
+                MasterAction::Broadcast(acc) => {
+                    repro_xmpi::broadcast_from(&comm, tag::ACCEPTED, &acc.encode());
+                }
+                MasterAction::Done => {
+                    repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
+                    done = true;
+                }
+            }
+        }
+        if done {
+            return Ok(master.into_result());
+        }
+    }
+}
+
+fn node_worker(
+    seq: &Seq,
+    scoring: &Scoring,
+    comm: Arc<Mutex<ThreadComm>>,
+    shared: Arc<NodeShared>,
+    deadline: Duration,
+) {
+    // Each worker thread registers one capacity slot with the master.
+    comm.lock().send(0, tag::IDLE, Vec::new());
+    let started = std::time::Instant::now();
+    loop {
+        // Prefer runnable deferred tasks (their stamp has been reached).
+        let runnable = {
+            let mut inner = shared.inner.lock();
+            if inner.done {
+                return;
+            }
+            match inner.deferred.iter().position(|t| t.stamp <= inner.applied) {
+                Some(pos) => {
+                    let task = inner.deferred.swap_remove(pos);
+                    let snapshot = Arc::clone(&inner.triangle);
+                    Some((task, snapshot))
+                }
+                None => None,
+            }
+        };
+        if let Some((task, triangle)) = runnable {
+            run_task(seq, scoring, &comm, &shared, &triangle, task);
+            continue;
+        }
+
+        // Take a turn on the node's endpoint (short slice so siblings
+        // also get to poll; the master's deadline governs liveness).
+        let msg = {
+            let guard = comm.lock();
+            guard.recv_timeout(Duration::from_millis(20))
+        };
+        let msg = match msg {
+            Ok(m) => m,
+            Err(RecvError::Disconnected) => return,
+            Err(RecvError::Timeout) => {
+                if started.elapsed() > deadline {
+                    return;
+                }
+                continue;
+            }
+        };
+        match msg.tag {
+            tag::TASK => {
+                let task = TaskMsg::decode(&msg.payload);
+                let snapshot = {
+                    let mut inner = shared.inner.lock();
+                    if task.stamp <= inner.applied {
+                        Some(Arc::clone(&inner.triangle))
+                    } else {
+                        inner.deferred.push(task.clone());
+                        None
+                    }
+                };
+                if let Some(triangle) = snapshot {
+                    run_task(seq, scoring, &comm, &shared, &triangle, task);
+                }
+            }
+            tag::ACCEPTED => {
+                let acc = AcceptedMsg::decode(&msg.payload);
+                let mut inner = shared.inner.lock();
+                let mut triangle = (*inner.triangle).clone();
+                for (p, q) in acc.pairs {
+                    triangle.set(p, q);
+                }
+                inner.triangle = Arc::new(triangle);
+                inner.applied = inner.applied.max(acc.index + 1);
+                shared.wake.notify_all();
+            }
+            tag::DONE => {
+                let mut inner = shared.inner.lock();
+                inner.done = true;
+                shared.wake.notify_all();
+                return;
+            }
+            other => unreachable!("worker received unexpected tag {other}"),
+        }
+    }
+}
+
+fn run_task(
+    seq: &Seq,
+    scoring: &Scoring,
+    comm: &Arc<Mutex<ThreadComm>>,
+    shared: &Arc<NodeShared>,
+    triangle: &OverrideTriangle,
+    task: TaskMsg,
+) {
+    let (prefix, suffix) = seq.split(task.r);
+    let mask = SplitMask::new(triangle, task.r);
+    let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
+    let (score, first_row) = if task.first {
+        let row = Arc::new(last.row);
+        shared
+            .inner
+            .lock()
+            .rows
+            .insert(task.r, Arc::clone(&row));
+        (last.best_in_row, Some((*row).clone()))
+    } else {
+        let original = {
+            let mut inner = shared.inner.lock();
+            if let Some(row) = &task.row {
+                inner.rows.insert(task.r, Arc::new(row.clone()));
+            }
+            Arc::clone(
+                inner
+                    .rows
+                    .get(&task.r)
+                    .expect("realignment without cached or attached row"),
+            )
+        };
+        (
+            repro_core::bottom::best_valid_entry(&last.row, &original).0,
+            None,
+        )
+    };
+    let res = ResultMsg {
+        r: task.r,
+        stamp: task.stamp,
+        score,
+        cells: last.cells,
+        first_row,
+    };
+    comm.lock().send(0, tag::RESULT, res.encode());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_core::find_top_alignments;
+
+    const DL: Duration = Duration::from_secs(20);
+
+    #[test]
+    fn hybrid_matches_sequential() {
+        let scoring = Scoring::dna_example();
+        for text in ["ATGCATGCATGC", "ACGGTACGGTAACGGTTTTTACGGT"] {
+            let seq = Seq::dna(text).unwrap();
+            let want = find_top_alignments(&seq, &scoring, 4);
+            for (nodes, tpn) in [(1, 2), (2, 2), (3, 2), (2, 3)] {
+                let got = find_top_alignments_hybrid(&seq, &scoring, 4, nodes, tpn, DL)
+                    .expect("in-process hybrid cannot stall");
+                assert_eq!(
+                    got.result.alignments, want.alignments,
+                    "{nodes} nodes × {tpn} CPUs on {text}"
+                );
+                assert_eq!(got.workers, nodes * tpn - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn master_only_node_plus_full_nodes() {
+        // threads_per_node = 1: the master's node contributes no workers.
+        let seq = Seq::dna(&"ATGC".repeat(10)).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 5);
+        let got = find_top_alignments_hybrid(&seq, &scoring, 5, 3, 1, DL).unwrap();
+        assert_eq!(got.result.alignments, want.alignments);
+        assert_eq!(got.workers, 2);
+    }
+
+    #[test]
+    fn protein_hybrid() {
+        let seq = Seq::protein("MGEKALVPYRLQHCMGEKALVPYRWWMGEKALVPYR").unwrap();
+        let scoring = Scoring::protein_default();
+        let want = find_top_alignments(&seq, &scoring, 4);
+        let got = find_top_alignments_hybrid(&seq, &scoring, 4, 2, 2, DL).unwrap();
+        assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn single_cpu_world_is_rejected() {
+        let seq = Seq::dna("ATGC").unwrap();
+        let _ = find_top_alignments_hybrid(&seq, &Scoring::dna_example(), 1, 1, 1, DL);
+    }
+}

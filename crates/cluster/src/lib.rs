@@ -1,0 +1,39 @@
+//! # repro-cluster — the distributed-memory engine (paper §4.3) and the
+//! DAS-2 cluster simulator (Figure 8)
+//!
+//! One processor (rank 0, the **master**) is sacrificed to own the task
+//! queue and the bottom-row store and to hand work to **workers**,
+//! exactly as the paper does to fit the MPI paradigm. The override
+//! triangle is replicated: each acceptance is broadcast and applied
+//! locally. First-pass bottom rows travel worker → master once and are
+//! pushed back to a worker with its task when it does not hold a cached
+//! copy (the paper has workers *pull* replicas; pushing with the task is
+//! the same caching behaviour minus one round trip).
+//!
+//! The crate is layered so the scheduling logic exists once:
+//!
+//! * [`master`] — the pure master state machine (no I/O): feed it worker
+//!   events, get back protocol actions. Acceptance fires exactly when
+//!   the globally best upper bound is fresh, so the distributed engine
+//!   emits the same alignments as every other engine.
+//! * [`protocol`] — message tags and payload codecs.
+//! * [`engine`] — the real backend on [`repro_xmpi::thread`]: one OS
+//!   thread per rank. Includes deadline handling so injected message
+//!   loss surfaces as an error, never a hang.
+//! * [`sim`] — the same protocol on [`repro_xmpi::virtual_time`]: real
+//!   alignment computations, virtual clocks, calibrated per-cell costs
+//!   and a Myrinet-class link model. This regenerates Figure 8 on one
+//!   machine, for any processor count (see DESIGN.md, substitutions).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod hybrid;
+pub mod master;
+pub mod protocol;
+pub mod sim;
+
+pub use engine::{find_top_alignments_cluster, ClusterError, ClusterResult};
+pub use hybrid::{find_top_alignments_hybrid, HybridResult};
+pub use master::{MasterAction, MasterState};
+pub use sim::{simulate_cluster, AlignCache, CostModel, SimReport};

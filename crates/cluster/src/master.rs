@@ -1,0 +1,347 @@
+//! The master's scheduling state machine, independent of any transport.
+//!
+//! Both backends (real threads and the virtual-time simulator) feed
+//! worker events in and execute the returned actions. The machine
+//! implements the same acceptance rule as every other engine — accept
+//! exactly when the globally best upper bound belongs to a fresh task —
+//! so the distributed engine's alignments are identical to the
+//! sequential ones, independent of worker count or message timing.
+
+use crate::protocol::{AcceptedMsg, TaskMsg};
+use repro_align::{Score, Scoring, Seq};
+use repro_core::{accept_task_with_row, OverrideTriangle, Stats, TopAlignment};
+
+/// What the transport must do next, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MasterAction {
+    /// Send this task to this worker.
+    Assign {
+        /// Destination worker (transport-level id, as registered via
+        /// [`MasterState::worker_idle`]).
+        worker: usize,
+        /// The assignment.
+        task: TaskMsg,
+    },
+    /// Broadcast an acceptance to every worker.
+    Broadcast(AcceptedMsg),
+    /// Broadcast shutdown; the search is complete.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaskState {
+    score: Score,
+    aligned_with: usize,
+    assigned: bool,
+}
+
+const NEVER: usize = usize::MAX;
+
+/// The master's complete state.
+pub struct MasterState<'a> {
+    seq: &'a Seq,
+    scoring: &'a Scoring,
+    count: usize,
+    state: Vec<TaskState>, // index r − 1
+    rows: Vec<Option<Vec<Score>>>,
+    /// Which workers hold a cached copy of which rows.
+    worker_has_row: std::collections::HashMap<usize, Vec<bool>>,
+    triangle: OverrideTriangle,
+    tops: Vec<TopAlignment>,
+    stats: Stats,
+    idle: Vec<usize>,
+    in_flight: usize,
+    done: bool,
+}
+
+impl<'a> MasterState<'a> {
+    /// A master searching for `count` top alignments of `seq`.
+    pub fn new(seq: &'a Seq, scoring: &'a Scoring, count: usize) -> Self {
+        let m = seq.len();
+        let splits = m.saturating_sub(1);
+        MasterState {
+            seq,
+            scoring,
+            count,
+            state: vec![
+                TaskState {
+                    score: Score::MAX,
+                    aligned_with: NEVER,
+                    assigned: false,
+                };
+                splits
+            ],
+            rows: vec![None; splits],
+            worker_has_row: std::collections::HashMap::new(),
+            triangle: OverrideTriangle::new(m),
+            tops: Vec::new(),
+            stats: Stats::new(),
+            idle: Vec::new(),
+            in_flight: 0,
+            done: false,
+        }
+    }
+
+    /// `true` once [`MasterAction::Done`] has been emitted.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Top alignments accepted so far.
+    pub fn alignments(&self) -> &[TopAlignment] {
+        &self.tops
+    }
+
+    /// Work counters (live view).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Consume the machine, yielding the final result.
+    pub fn into_result(self) -> repro_core::TopAlignments {
+        repro_core::TopAlignments {
+            alignments: self.tops,
+            stats: self.stats,
+            triangle: self.triangle,
+        }
+    }
+
+    /// A worker announced itself idle (startup).
+    pub fn worker_idle(&mut self, worker: usize) -> Vec<MasterAction> {
+        self.idle.push(worker);
+        self.worker_has_row
+            .entry(worker)
+            .or_insert_with(|| vec![false; self.state.len()]);
+        self.pump()
+    }
+
+    /// A worker returned a task result.
+    pub fn result(
+        &mut self,
+        worker: usize,
+        r: usize,
+        stamp: usize,
+        score: Score,
+        cells: u64,
+        first_row: Option<Vec<Score>>,
+    ) -> Vec<MasterAction> {
+        if !self.state[r - 1].assigned {
+            // Duplicate delivery (fault injection): the first copy already
+            // settled this assignment; the sender is already idle.
+            return Vec::new();
+        }
+        self.stats.record_alignment(cells, stamp);
+        if let Some(row) = first_row {
+            if self.rows[r - 1].is_none() {
+                self.rows[r - 1] = Some(row);
+            }
+            if let Some(flags) = self.worker_has_row.get_mut(&worker) {
+                flags[r - 1] = true; // the computing worker caches its row
+            }
+        }
+        let t = &mut self.state[r - 1];
+        t.score = score;
+        t.aligned_with = stamp;
+        t.assigned = false;
+        self.in_flight -= 1;
+        self.idle.push(worker);
+        self.pump()
+    }
+
+    /// Advance: accept while possible, then hand work to idle workers.
+    fn pump(&mut self) -> Vec<MasterAction> {
+        let mut actions = Vec::new();
+        if self.done {
+            return actions;
+        }
+        // Accept as long as the global argmax is fresh (acceptance can
+        // make the next argmax fresh too, when a prior realignment
+        // already ran against the triangle the acceptance produced —
+        // impossible by monotonicity, but the loop shape matches the
+        // sequential engine's).
+        while self.tops.len() < self.count {
+            let Some((best_score, best_i)) = self.argmax() else {
+                break;
+            };
+            if best_score <= 0 {
+                break;
+            }
+            let t = self.state[best_i];
+            if t.assigned || t.aligned_with != self.tops.len() {
+                break;
+            }
+            let r = best_i + 1;
+            let index = self.tops.len();
+            let original = self.rows[r - 1]
+                .as_deref()
+                .expect("accepted split must have a stored row");
+            let (top, cells) = accept_task_with_row(
+                self.seq,
+                self.scoring,
+                r,
+                best_score,
+                &mut self.triangle,
+                original,
+                index,
+            );
+            self.stats.record_traceback(cells);
+            actions.push(MasterAction::Broadcast(AcceptedMsg {
+                index,
+                pairs: top.pairs.clone(),
+            }));
+            self.tops.push(top);
+        }
+
+        // Hand the best stale unassigned tasks to idle workers.
+        while let Some(&worker) = self.idle.last() {
+            let Some((_, i)) = self.best_stale_unassigned() else {
+                break;
+            };
+            self.idle.pop();
+            let r = i + 1;
+            self.state[i].assigned = true;
+            self.in_flight += 1;
+            let stamp = self.tops.len();
+            let first = self.rows[i].is_none();
+            let flags = self
+                .worker_has_row
+                .get_mut(&worker)
+                .expect("worker registered at idle time");
+            let row = if first || flags[i] {
+                None // first pass (no row yet), or worker has it cached
+            } else {
+                flags[i] = true;
+                Some(self.rows[i].clone().expect("row checked above"))
+            };
+            actions.push(MasterAction::Assign {
+                worker,
+                task: TaskMsg {
+                    r,
+                    stamp,
+                    first,
+                    row,
+                },
+            });
+        }
+
+        // Finished? The search ends when the target is reached or no
+        // positive alignment remains, and — for a tidy deterministic
+        // shutdown — nothing is still in flight.
+        let exhausted = self.argmax().is_none_or(|(s, _)| s <= 0);
+        if (self.tops.len() >= self.count || exhausted) && self.in_flight == 0 {
+            self.done = true;
+            actions.push(MasterAction::Done);
+        }
+        actions
+    }
+
+    fn argmax(&self) -> Option<(Score, usize)> {
+        let mut best: Option<(Score, usize)> = None;
+        for (i, t) in self.state.iter().enumerate() {
+            if best.is_none_or(|(bs, _)| t.score > bs) {
+                best = Some((t.score, i));
+            }
+        }
+        best
+    }
+
+    fn best_stale_unassigned(&self) -> Option<(Score, usize)> {
+        if self.tops.len() >= self.count {
+            return None; // enough tops: stop issuing work
+        }
+        let tops = self.tops.len();
+        let mut best: Option<(Score, usize)> = None;
+        for (i, t) in self.state.iter().enumerate() {
+            if !t.assigned && t.aligned_with != tops && t.score > 0
+                && best.is_none_or(|(bs, _)| t.score > bs) {
+                    best = Some((t.score, i));
+                }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::tag;
+    use repro_core::{find_top_alignments, SplitMask};
+    use repro_xmpi::wire ::Encoder;
+
+    /// Drive the state machine synchronously with a perfect in-process
+    /// "worker" that computes results immediately — a transport-free
+    /// correctness test of the scheduling logic.
+    fn drive(seq: &Seq, scoring: &Scoring, count: usize, workers: usize) -> Vec<TopAlignment> {
+        let _ = Encoder::new(); // keep the wire import exercised
+        let mut master = MasterState::new(seq, scoring, count);
+        let mut worker_triangles: Vec<OverrideTriangle> =
+            (0..workers).map(|_| OverrideTriangle::new(seq.len())).collect();
+        let mut worker_caches: Vec<std::collections::HashMap<usize, Vec<Score>>> =
+            vec![std::collections::HashMap::new(); workers];
+        let mut pending: std::collections::VecDeque<(usize, TaskMsg)> =
+            std::collections::VecDeque::new();
+
+        let mut actions: Vec<MasterAction> = Vec::new();
+        for w in 0..workers {
+            actions.extend(master.worker_idle(w));
+        }
+        loop {
+            for a in actions.drain(..) {
+                match a {
+                    MasterAction::Assign { worker, task } => pending.push_back((worker, task)),
+                    MasterAction::Broadcast(acc) => {
+                        for t in &mut worker_triangles {
+                            for &(p, q) in &acc.pairs {
+                                t.set(p, q);
+                            }
+                        }
+                    }
+                    MasterAction::Done => return master.into_result().alignments,
+                }
+            }
+            let Some((w, task)) = pending.pop_front() else {
+                panic!("master stalled without Done");
+            };
+            // Worker computes with ITS replica (which here is in lockstep
+            // with the master; async transports exercise the lag).
+            let (prefix, suffix) = seq.split(task.r);
+            let mask = SplitMask::new(&worker_triangles[w], task.r);
+            let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
+            let (score, first_row) = if task.first {
+                worker_caches[w].insert(task.r, last.row.clone());
+                (last.best_in_row, Some(last.row))
+            } else {
+                if let Some(row) = &task.row {
+                    worker_caches[w].insert(task.r, row.clone());
+                }
+                let orig = worker_caches[w]
+                    .get(&task.r)
+                    .expect("realignment without a cached or attached row");
+                (repro_core::bottom::best_valid_entry(&last.row, orig).0, None)
+            };
+            actions = master.result(w, task.r, task.stamp, score, last.cells, first_row);
+            let _ = tag::IDLE;
+        }
+    }
+
+    #[test]
+    fn matches_sequential_for_various_worker_counts() {
+        let scoring = Scoring::dna_example();
+        for text in ["ATGCATGCATGC", "ACGGTACGGTAACGGTTTTTACGGT", "AAAAAAAA"] {
+            let seq = Seq::dna(text).unwrap();
+            let want = find_top_alignments(&seq, &scoring, 4).alignments;
+            for workers in [1, 2, 5] {
+                let got = drive(&seq, &scoring, 4, workers);
+                assert_eq!(got, want, "{workers} workers on {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn terminates_on_exhausted_sequences() {
+        let scoring = Scoring::dna_example();
+        let seq = Seq::dna("ACGT").unwrap();
+        let got = drive(&seq, &scoring, 10, 3);
+        assert!(got.len() < 10);
+    }
+}

@@ -1,0 +1,193 @@
+//! Wire protocol between master and workers.
+
+use repro_align::Score;
+use repro_xmpi::wire::{Decoder, Encoder};
+
+/// Message tags.
+pub mod tag {
+    /// Worker → master: "I am idle" (sent once at startup).
+    pub const IDLE: u32 = 1;
+    /// Master → worker: a task assignment.
+    pub const TASK: u32 = 2;
+    /// Worker → master: task result.
+    pub const RESULT: u32 = 3;
+    /// Master → all workers: a top alignment was accepted; apply these
+    /// pairs to the local triangle replica.
+    pub const ACCEPTED: u32 = 4;
+    /// Master → all workers: search finished, shut down.
+    pub const DONE: u32 = 5;
+}
+
+/// A task assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskMsg {
+    /// Split to (re)align.
+    pub r: usize,
+    /// Triangle version (top alignments accepted so far) to align under.
+    pub stamp: usize,
+    /// `true` iff this is the split's very first alignment (no stored
+    /// row exists anywhere yet; the worker must return its bottom row).
+    pub first: bool,
+    /// The stored first-pass bottom row, included when the worker has no
+    /// cached copy; `None` on first passes and for cache hits.
+    pub row: Option<Vec<Score>>,
+}
+
+impl TaskMsg {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let e = Encoder::new()
+            .usize(self.r)
+            .usize(self.stamp)
+            .u64(self.first as u64);
+        match &self.row {
+            Some(row) => e.u64(1).i32_slice(row),
+            None => e.u64(0),
+        }
+        .finish()
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(payload: &[u8]) -> Self {
+        let mut d = Decoder::new(payload);
+        let r = d.usize();
+        let stamp = d.usize();
+        let first = d.u64() == 1;
+        let row = if d.u64() == 1 { Some(d.i32_vec()) } else { None };
+        TaskMsg {
+            r,
+            stamp,
+            first,
+            row,
+        }
+    }
+}
+
+/// A task result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultMsg {
+    /// Split that was aligned.
+    pub r: usize,
+    /// Version it was aligned under.
+    pub stamp: usize,
+    /// Valid (shadow-filtered) score.
+    pub score: Score,
+    /// Cells computed (for the master's accounting).
+    pub cells: u64,
+    /// First-pass bottom row (only on the first alignment of `r`).
+    pub first_row: Option<Vec<Score>>,
+}
+
+impl ResultMsg {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let e = Encoder::new()
+            .usize(self.r)
+            .usize(self.stamp)
+            .i32(self.score)
+            .u64(self.cells);
+        match &self.first_row {
+            Some(row) => e.u64(1).i32_slice(row),
+            None => e.u64(0),
+        }
+        .finish()
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(payload: &[u8]) -> Self {
+        let mut d = Decoder::new(payload);
+        let r = d.usize();
+        let stamp = d.usize();
+        let score = d.i32();
+        let cells = d.u64();
+        let first_row = if d.u64() == 1 { Some(d.i32_vec()) } else { None };
+        ResultMsg {
+            r,
+            stamp,
+            score,
+            cells,
+            first_row,
+        }
+    }
+}
+
+/// An acceptance broadcast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptedMsg {
+    /// Acceptance index (0-based).
+    pub index: usize,
+    /// The matched pairs to add to the triangle replica.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+impl AcceptedMsg {
+    /// Encode to payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        Encoder::new().usize(self.index).pairs(&self.pairs).finish()
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(payload: &[u8]) -> Self {
+        let mut d = Decoder::new(payload);
+        AcceptedMsg {
+            index: d.usize(),
+            pairs: d.pairs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_roundtrip() {
+        for msg in [
+            TaskMsg {
+                r: 5,
+                stamp: 2,
+                first: true,
+                row: None,
+            },
+            TaskMsg {
+                r: 1,
+                stamp: 0,
+                first: false,
+                row: Some(vec![3, -1, 0, 99]),
+            },
+        ] {
+            assert_eq!(TaskMsg::decode(&msg.encode()), msg);
+        }
+    }
+
+    #[test]
+    fn result_roundtrip() {
+        for msg in [
+            ResultMsg {
+                r: 9,
+                stamp: 4,
+                score: 123,
+                cells: 1 << 40,
+                first_row: None,
+            },
+            ResultMsg {
+                r: 2,
+                stamp: 0,
+                score: 0,
+                cells: 0,
+                first_row: Some(vec![]),
+            },
+        ] {
+            assert_eq!(ResultMsg::decode(&msg.encode()), msg);
+        }
+    }
+
+    #[test]
+    fn accepted_roundtrip() {
+        let msg = AcceptedMsg {
+            index: 7,
+            pairs: vec![(0, 4), (1, 5), (3, 11)],
+        };
+        assert_eq!(AcceptedMsg::decode(&msg.encode()), msg);
+    }
+}

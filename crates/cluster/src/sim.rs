@@ -1,0 +1,437 @@
+//! The DAS-2 cluster simulator: the distributed protocol on the
+//! virtual-time backend (Figure 8's apparatus).
+//!
+//! Workers execute *real* alignments (scores and scheduling decisions
+//! are exact), but time comes from a calibrated cost model instead of a
+//! wall clock: cells divided by a per-processor rate, plus a
+//! Myrinet-class link model for every message. One sacrificed master
+//! plus `P − 1` workers reproduces the paper's setup for any `P`,
+//! including 128, on a single machine.
+//!
+//! Because every engine accepts the same top alignments in the same
+//! order regardless of worker count (see `master.rs`), the triangle
+//! state at version `v` is run-invariant — which lets a shared
+//! [`AlignCache`] memoise `(split, version) → result` across the whole
+//! processor/top-count sweep. The first configuration pays for the real
+//! compute; the rest replay it under different schedules.
+
+use crate::master::{MasterAction, MasterState};
+use crate::protocol::{AcceptedMsg, ResultMsg, TaskMsg};
+use repro_align::{Score, Scoring, Seq};
+use repro_core::{OverrideTriangle, SplitMask, TopAlignments};
+use repro_xmpi::virtual_time::{run, Actor, Ctx, LinkModel};
+use repro_xmpi::Rank;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Per-processor compute rates, calibrated against the paper's measured
+/// Pentium III numbers (§5: 5.2 s for a 17175² matrix conventionally;
+/// 3.0 s for four such matrices with SSE).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Conventional (scalar) kernel rate, cells/second — the Figure 8
+    /// baseline "1 processor, sequential algorithm".
+    pub scalar_cells_per_sec: f64,
+    /// Worker kernel rate, lane-cells/second (the SSE kernel the paper's
+    /// slaves run).
+    pub worker_cells_per_sec: f64,
+    /// Traceback rate on the master, cells/second.
+    pub traceback_cells_per_sec: f64,
+    /// Master bookkeeping cost per handled message, seconds.
+    pub queue_op_seconds: f64,
+}
+
+impl CostModel {
+    /// DAS-2 calibration: 1 GHz Pentium III nodes, Myrinet.
+    pub fn das2() -> Self {
+        CostModel {
+            scalar_cells_per_sec: 17175.0 * 17175.0 / 5.2,
+            worker_cells_per_sec: 4.0 * 17175.0 * 17175.0 / 3.0,
+            traceback_cells_per_sec: 17175.0 * 17175.0 / 5.2,
+            queue_op_seconds: 2e-6,
+        }
+    }
+}
+
+/// Memoised alignment results shared across simulation runs.
+///
+/// Keyed by `(split, triangle version)`; valid because the acceptance
+/// sequence — hence the triangle at each version — is identical for
+/// every processor count.
+#[derive(Debug, Default)]
+pub struct AlignCache {
+    entries: HashMap<(usize, usize), CachedAlign>,
+}
+
+#[derive(Debug, Clone)]
+struct CachedAlign {
+    score: Score,
+    cells: u64,
+    /// First-pass bottom row (version 0 only).
+    row: Option<Vec<Score>>,
+}
+
+impl AlignCache {
+    /// Fresh, empty cache.
+    pub fn new() -> Self {
+        AlignCache::default()
+    }
+
+    /// Number of memoised `(split, version)` results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff nothing is memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Result of one simulated cluster run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Total processors simulated (1 master + workers).
+    pub processors: usize,
+    /// Virtual seconds until the last top alignment was accepted and the
+    /// world shut down.
+    pub virtual_time: f64,
+    /// Sequential-scalar virtual time for the same search (the Figure 8
+    /// baseline), derived from the sequential engine's work profile.
+    pub sequential_time: f64,
+    /// Single-CPU SSE virtual time (the paper's second baseline).
+    pub sse_time: f64,
+    /// `sequential_time / virtual_time` — the Figure 8 y-axis.
+    pub speed_improvement: f64,
+    /// `sse_time / virtual_time` — speedup vs the SSE version.
+    pub speedup_vs_sse: f64,
+    /// Messages exchanged.
+    pub messages: u64,
+    /// Bytes moved over the simulated link.
+    pub bytes: u64,
+    /// The alignments found (identical to the sequential engine's).
+    pub result: TopAlignments,
+}
+
+enum SimActor<'a> {
+    Master(MasterSim<'a>),
+    Worker(WorkerSim<'a>),
+}
+
+struct MasterSim<'a> {
+    state: MasterState<'a>,
+    cost: CostModel,
+}
+
+struct WorkerSim<'a> {
+    seq: &'a Seq,
+    scoring: &'a Scoring,
+    cost: CostModel,
+    triangle: OverrideTriangle,
+    applied: usize,
+    rows: HashMap<usize, Vec<Score>>,
+    deferred: Vec<TaskMsg>,
+    cache: Rc<RefCell<AlignCache>>,
+}
+
+mod sim_tag {
+    pub const IDLE: u32 = 1;
+    pub const TASK: u32 = 2;
+    pub const RESULT: u32 = 3;
+    pub const ACCEPTED: u32 = 4;
+    pub const DONE: u32 = 5;
+}
+
+impl MasterSim<'_> {
+    fn act(&mut self, actions: Vec<MasterAction>, ctx: &mut Ctx) {
+        for action in actions {
+            match action {
+                MasterAction::Assign { worker, task } => {
+                    ctx.send(worker, sim_tag::TASK, task.encode());
+                }
+                MasterAction::Broadcast(acc) => {
+                    // The traceback behind this acceptance ran on the
+                    // master; charge it (paper: "the traceback ... is
+                    // done sequentially and takes a relatively long
+                    // time").
+                    if let Some(&cells) =
+                        self.state.stats().traceback_cells_per_top.get(acc.index)
+                    {
+                        ctx.compute(cells as f64 / self.cost.traceback_cells_per_sec);
+                    }
+                    let payload = acc.encode();
+                    for w in 1..ctx.size() {
+                        ctx.send(w, sim_tag::ACCEPTED, payload.clone());
+                    }
+                }
+                MasterAction::Done => {
+                    for w in 1..ctx.size() {
+                        ctx.send(w, sim_tag::DONE, Vec::new());
+                    }
+                    ctx.stop();
+                }
+            }
+        }
+    }
+}
+
+impl WorkerSim<'_> {
+    fn run_task(&mut self, task: TaskMsg, ctx: &mut Ctx) {
+        let version = self.applied;
+        let key = (task.r, version);
+        let cached = self.cache.borrow().entries.get(&key).cloned();
+        let (score, cells, row) = match cached {
+            Some(c) => (c.score, c.cells, c.row),
+            None => {
+                let (prefix, suffix) = self.seq.split(task.r);
+                let mask = SplitMask::new(&self.triangle, task.r);
+                let last = repro_align::sw_last_row(prefix, suffix, self.scoring, mask);
+                let (score, row) = if task.first {
+                    (last.best_in_row, Some(last.row))
+                } else {
+                    let original = task
+                        .row
+                        .as_deref()
+                        .or_else(|| self.rows.get(&task.r).map(|v| &v[..]))
+                        .expect("realignment without cached or attached row");
+                    (
+                        repro_core::bottom::best_valid_entry(&last.row, original).0,
+                        None,
+                    )
+                };
+                self.cache.borrow_mut().entries.insert(
+                    key,
+                    CachedAlign {
+                        score,
+                        cells: last.cells,
+                        row: row.clone(),
+                    },
+                );
+                (score, last.cells, row)
+            }
+        };
+        // Cache the row locally for future shadow filtering.
+        if let Some(r) = &row {
+            self.rows.insert(task.r, r.clone());
+        } else if let Some(r) = &task.row {
+            self.rows.insert(task.r, r.clone());
+        }
+        ctx.compute(cells as f64 / self.cost.worker_cells_per_sec);
+        let res = ResultMsg {
+            r: task.r,
+            stamp: task.stamp,
+            score,
+            cells,
+            first_row: row,
+        };
+        ctx.send(0, sim_tag::RESULT, res.encode());
+    }
+
+    fn drain_deferred(&mut self, ctx: &mut Ctx) {
+        while let Some(pos) = self.deferred.iter().position(|t| t.stamp <= self.applied) {
+            let task = self.deferred.swap_remove(pos);
+            self.run_task(task, ctx);
+        }
+    }
+}
+
+impl Actor for SimActor<'_> {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        match self {
+            SimActor::Master(_) => {}
+            SimActor::Worker(_) => {
+                ctx.send(0, sim_tag::IDLE, Vec::new());
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: Rank, tag: u32, payload: &[u8], ctx: &mut Ctx) {
+        match self {
+            SimActor::Master(m) => {
+                ctx.compute(m.cost.queue_op_seconds);
+                let actions = match tag {
+                    sim_tag::IDLE => m.state.worker_idle(from),
+                    sim_tag::RESULT => {
+                        let res = ResultMsg::decode(payload);
+                        m.state
+                            .result(from, res.r, res.stamp, res.score, res.cells, res.first_row)
+                    }
+                    other => unreachable!("master got tag {other}"),
+                };
+                m.act(actions, ctx);
+            }
+            SimActor::Worker(w) => match tag {
+                sim_tag::TASK => {
+                    let task = TaskMsg::decode(payload);
+                    if task.stamp <= w.applied {
+                        w.run_task(task, ctx);
+                    } else {
+                        w.deferred.push(task);
+                    }
+                }
+                sim_tag::ACCEPTED => {
+                    let acc = AcceptedMsg::decode(payload);
+                    for (p, q) in acc.pairs {
+                        w.triangle.set(p, q);
+                    }
+                    w.applied = w.applied.max(acc.index + 1);
+                    w.drain_deferred(ctx);
+                }
+                sim_tag::DONE => {}
+                other => unreachable!("worker got tag {other}"),
+            },
+        }
+    }
+}
+
+/// Simulate a `processors`-CPU cluster run (1 master + `processors − 1`
+/// workers) finding `count` top alignments. `seq_stats` must come from a
+/// sequential run with at least `count` tops (it provides the analytic
+/// baselines); `cache` may be shared across calls to amortise compute.
+#[allow(clippy::too_many_arguments)] // experiment APIs spell every knob out
+pub fn simulate_cluster(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    processors: usize,
+    cost: CostModel,
+    link: LinkModel,
+    seq_stats: &repro_core::Stats,
+    cache: Rc<RefCell<AlignCache>>,
+) -> SimReport {
+    assert!(processors >= 2, "need a master and at least one worker");
+    let workers = processors - 1;
+
+    let mut actors: Vec<SimActor> = Vec::with_capacity(processors);
+    actors.push(SimActor::Master(MasterSim {
+        state: MasterState::new(seq, scoring, count),
+        cost,
+    }));
+    for _ in 0..workers {
+        actors.push(SimActor::Worker(WorkerSim {
+            seq,
+            scoring,
+            cost,
+            triangle: OverrideTriangle::new(seq.len()),
+            applied: 0,
+            rows: HashMap::new(),
+            deferred: Vec::new(),
+            cache: Rc::clone(&cache),
+        }));
+    }
+
+    let (outcome, actors) = run(actors, link);
+    let SimActor::Master(master) = actors.into_iter().next().expect("master exists") else {
+        panic!("rank 0 must be the master");
+    };
+    let result = master.state.into_result();
+
+    let found = result.alignments.len();
+    let (score_cells, trace_cells) = seq_stats.cells_to_top(found);
+    let sequential_time = score_cells as f64 / cost.scalar_cells_per_sec
+        + trace_cells as f64 / cost.traceback_cells_per_sec;
+    let sse_time = score_cells as f64 / cost.worker_cells_per_sec
+        + trace_cells as f64 / cost.traceback_cells_per_sec;
+
+    SimReport {
+        processors,
+        virtual_time: outcome.end_time,
+        sequential_time,
+        sse_time,
+        speed_improvement: sequential_time / outcome.end_time.max(1e-12),
+        speedup_vs_sse: sse_time / outcome.end_time.max(1e-12),
+        messages: outcome.messages,
+        bytes: outcome.bytes,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_core::find_top_alignments;
+
+    fn sim(seq: &Seq, scoring: &Scoring, count: usize, procs: usize) -> SimReport {
+        let seq_run = find_top_alignments(seq, scoring, count);
+        simulate_cluster(
+            seq,
+            scoring,
+            count,
+            procs,
+            CostModel::das2(),
+            LinkModel::default(),
+            &seq_run.stats,
+            Rc::new(RefCell::new(AlignCache::new())),
+        )
+    }
+
+    #[test]
+    fn simulated_cluster_finds_the_same_alignments() {
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 3);
+        for procs in [2, 3, 5, 9] {
+            let report = sim(&seq, &scoring, 3, procs);
+            assert_eq!(
+                report.result.alignments, want.alignments,
+                "{procs} processors"
+            );
+            assert!(report.virtual_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn more_processors_never_slow_the_first_sweep_down_much() {
+        let seq = repro_seqgen::titin_like(160, 1);
+        let scoring = Scoring::protein_default();
+        let t2 = sim(&seq, &scoring, 1, 2).virtual_time;
+        let t9 = sim(&seq, &scoring, 1, 9).virtual_time;
+        assert!(
+            t9 < t2,
+            "8 workers must beat 1 worker on the initial sweep: {t9} vs {t2}"
+        );
+    }
+
+    #[test]
+    fn cache_is_shared_and_reused() {
+        let seq = Seq::dna(&"ATGC".repeat(10)).unwrap();
+        let scoring = Scoring::dna_example();
+        let seq_run = find_top_alignments(&seq, &scoring, 3);
+        let cache = Rc::new(RefCell::new(AlignCache::new()));
+        let a = simulate_cluster(
+            &seq,
+            &scoring,
+            3,
+            3,
+            CostModel::das2(),
+            LinkModel::default(),
+            &seq_run.stats,
+            Rc::clone(&cache),
+        );
+        let filled = cache.borrow().len();
+        assert!(filled > 0);
+        let b = simulate_cluster(
+            &seq,
+            &scoring,
+            3,
+            5,
+            CostModel::das2(),
+            LinkModel::default(),
+            &seq_run.stats,
+            Rc::clone(&cache),
+        );
+        assert_eq!(a.result.alignments, b.result.alignments);
+    }
+
+    #[test]
+    fn determinism() {
+        let seq = Seq::dna(&"ACGGT".repeat(8)).unwrap();
+        let scoring = Scoring::dna_example();
+        let a = sim(&seq, &scoring, 4, 4);
+        let b = sim(&seq, &scoring, 4, 4);
+        assert_eq!(a.virtual_time, b.virtual_time);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.result.alignments, b.result.alignments);
+    }
+}

@@ -1,0 +1,73 @@
+//! Deterministic, CI-sized shape checks of the Figure 8 phenomena:
+//! the k = 1 curve grows with processors, large k droops, and the
+//! sacrificed master means 2 processors ≈ 1 worker.
+
+use repro_align::Scoring;
+use repro_cluster::{simulate_cluster, AlignCache, CostModel};
+use repro_core::find_top_alignments;
+use repro_xmpi::virtual_time::LinkModel;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn curve(k: usize, procs: &[usize]) -> Vec<f64> {
+    let seq = repro_seqgen::titin_like(220, 77);
+    let scoring = Scoring::protein_default();
+    let seq_run = find_top_alignments(&seq, &scoring, k);
+    let cache = Rc::new(RefCell::new(AlignCache::new()));
+    procs
+        .iter()
+        .map(|&p| {
+            let report = simulate_cluster(
+                &seq,
+                &scoring,
+                k,
+                p,
+                CostModel::das2(),
+                LinkModel::default(),
+                &seq_run.stats,
+                Rc::clone(&cache),
+            );
+            assert_eq!(report.result.alignments, seq_run.alignments);
+            report.speed_improvement
+        })
+        .collect()
+}
+
+#[test]
+fn k1_curve_grows_with_processors() {
+    let procs = [2usize, 3, 5, 9];
+    let c = curve(1, &procs);
+    for w in c.windows(2) {
+        assert!(
+            w[1] > w[0] * 1.05,
+            "k=1 improvement must grow with processors: {c:?}"
+        );
+    }
+}
+
+#[test]
+fn large_k_droops_below_k1() {
+    let procs = [9usize];
+    let k1 = curve(1, &procs)[0];
+    let k8 = curve(8, &procs)[0];
+    assert!(
+        k8 < k1,
+        "more top alignments must reduce parallel efficiency: k1 {k1} vs k8 {k8}"
+    );
+}
+
+#[test]
+fn two_processors_behave_like_one_worker() {
+    // P = 2 is one master + one worker: the improvement over the scalar
+    // baseline is bounded by the worker's SIMD-class rate (the master's
+    // scalar-speed tracebacks and the per-task round trips only cost —
+    // heavily so at this tiny CI size), and must clearly exceed 1.
+    let c = curve(1, &[2]);
+    let cost = CostModel::das2();
+    let simd_factor = cost.worker_cells_per_sec / cost.scalar_cells_per_sec;
+    assert!(
+        c[0] > 1.5 && c[0] < 1.1 * simd_factor,
+        "P=2 improvement {} should sit between 1.5 and the SIMD factor {simd_factor}",
+        c[0]
+    );
+}

@@ -1,0 +1,73 @@
+//! Property tests: the distributed engine (real threads) and the
+//! virtual-time simulator both reproduce the sequential alignments for
+//! any worker count, and the simulator is deterministic.
+
+use proptest::prelude::*;
+use repro_align::{Alphabet, Scoring, Seq};
+use repro_cluster::{find_top_alignments_cluster, simulate_cluster, AlignCache, CostModel};
+use repro_core::find_top_alignments;
+use repro_xmpi::virtual_time::LinkModel;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+fn arb_dna(max: usize) -> impl Strategy<Value = Seq> {
+    prop::collection::vec(0u8..4, 2..=max).prop_map(|codes| Seq::from_codes(Alphabet::Dna, codes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn threads_backend_matches_sequential(
+        seq in arb_dna(28),
+        count in 1usize..5,
+        workers in 1usize..4,
+    ) {
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, count);
+        let got = find_top_alignments_cluster(
+            &seq, &scoring, count, workers, Duration::from_secs(30),
+        ).expect("lossless in-process run cannot stall");
+        prop_assert_eq!(&got.result.alignments, &want.alignments);
+    }
+
+    #[test]
+    fn simulator_matches_sequential_and_is_deterministic(
+        seq in arb_dna(28),
+        count in 1usize..5,
+        procs in 2usize..8,
+    ) {
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, count);
+        let run = || simulate_cluster(
+            &seq, &scoring, count, procs,
+            CostModel::das2(), LinkModel::default(),
+            &want.stats, Rc::new(RefCell::new(AlignCache::new())),
+        );
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.result.alignments, &want.alignments);
+        prop_assert_eq!(a.virtual_time, b.virtual_time);
+        prop_assert_eq!(a.messages, b.messages);
+        prop_assert!(a.virtual_time > 0.0 || want.alignments.is_empty());
+    }
+
+    /// The shared cache never changes results, only work.
+    #[test]
+    fn cache_reuse_is_transparent(seq in arb_dna(24), count in 1usize..4) {
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, count);
+        let cache = Rc::new(RefCell::new(AlignCache::new()));
+        let first = simulate_cluster(
+            &seq, &scoring, count, 3, CostModel::das2(), LinkModel::default(),
+            &want.stats, Rc::clone(&cache),
+        );
+        let second = simulate_cluster(
+            &seq, &scoring, count, 5, CostModel::das2(), LinkModel::default(),
+            &want.stats, Rc::clone(&cache),
+        );
+        prop_assert_eq!(&first.result.alignments, &want.alignments);
+        prop_assert_eq!(&second.result.alignments, &want.alignments);
+    }
+}

@@ -1,0 +1,195 @@
+//! The bottom-row store (paper Appendix A).
+//!
+//! After a split matrix is aligned for the *first* time — necessarily
+//! with an empty override triangle, since every task is aligned once
+//! before the first top alignment can be accepted — its bottom row is
+//! stored. Later realignments compare their bottom row entry-by-entry
+//! against the stored one: an entry that changed marks a **shadow
+//! alignment** (artificially rerouted around overridden cells) and is an
+//! invalid top-alignment end point.
+//!
+//! Split `r` (1-based, `1 ≤ r ≤ m−1`) has a bottom row of `m − r`
+//! scores; all rows together form a triangle of `m(m−1)/2` scores — the
+//! algorithm's largest data structure.
+
+use repro_align::Score;
+
+/// Triangular store of first-pass bottom rows, one per split.
+#[derive(Debug, Clone)]
+pub struct BottomRowStore {
+    m: usize,
+    /// Flat storage; row of split `r` occupies `offset(r) .. offset(r)+m−r`.
+    data: Vec<Score>,
+    /// Which rows have been stored.
+    present: Vec<bool>,
+}
+
+impl BottomRowStore {
+    /// An empty store for a sequence of length `m`.
+    pub fn new(m: usize) -> Self {
+        let total = m * m.saturating_sub(1) / 2;
+        BottomRowStore {
+            m,
+            data: vec![0; total],
+            present: vec![false; m],
+        }
+    }
+
+    #[inline]
+    fn offset(&self, r: usize) -> usize {
+        debug_assert!((1..self.m).contains(&r), "split {r} out of range");
+        // Rows for splits 1..r stacked: lengths (m−1) + (m−2) + ... + (m−r+1).
+        (r - 1) * self.m - (r - 1) * r / 2
+    }
+
+    /// Row length for split `r`.
+    #[inline]
+    pub fn row_len(&self, r: usize) -> usize {
+        self.m - r
+    }
+
+    /// Store the first-pass bottom row for split `r`.
+    ///
+    /// # Panics
+    /// Panics if the row was already stored (first-pass rows are immutable;
+    /// storing twice indicates a scheduling bug) or has the wrong length.
+    pub fn store(&mut self, r: usize, row: &[Score]) {
+        assert!(!self.present[r], "bottom row for split {r} stored twice");
+        assert_eq!(row.len(), self.row_len(r), "bottom row length mismatch");
+        let o = self.offset(r);
+        self.data[o..o + row.len()].copy_from_slice(row);
+        self.present[r] = true;
+    }
+
+    /// The stored row for split `r`, or `None` if not yet stored.
+    pub fn get(&self, r: usize) -> Option<&[Score]> {
+        if self.present[r] {
+            let o = self.offset(r);
+            Some(&self.data[o..o + self.row_len(r)])
+        } else {
+            None
+        }
+    }
+
+    /// `true` iff split `r`'s first-pass row has been stored.
+    #[inline]
+    pub fn contains(&self, r: usize) -> bool {
+        self.present[r]
+    }
+
+    /// Number of rows stored so far.
+    pub fn stored_rows(&self) -> usize {
+        self.present.iter().filter(|&&p| p).count()
+    }
+
+    /// Total scores held when full (the `m(m−1)/2` of Appendix A).
+    pub fn capacity_scores(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Shadow filter: the best *valid* bottom-row entry of a realignment.
+///
+/// `current` is the freshly computed bottom row under the active override
+/// triangle; `original` is the stored first-pass row. Valid end points are
+/// the positions where both agree (paper App. A); returns the best valid
+/// score and its (leftmost) column, or `(0, None)` when every positive
+/// entry is shadowed.
+pub fn best_valid_entry(current: &[Score], original: &[Score]) -> (Score, Option<usize>) {
+    debug_assert_eq!(current.len(), original.len());
+    let mut best = 0;
+    let mut col = None;
+    for (x, (&c, &o)) in current.iter().zip(original).enumerate() {
+        if c == o && c > best {
+            best = c;
+            col = Some(x);
+        }
+    }
+    (best, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_tile_the_triangle_exactly() {
+        let m = 13;
+        let store = BottomRowStore::new(m);
+        let mut expected = 0;
+        for r in 1..m {
+            assert_eq!(store.offset(r), expected);
+            expected += store.row_len(r);
+        }
+        assert_eq!(expected, store.capacity_scores());
+        assert_eq!(expected, m * (m - 1) / 2);
+    }
+
+    #[test]
+    fn store_and_get_roundtrip() {
+        let mut store = BottomRowStore::new(6);
+        store.store(2, &[5, 0, 3, 9]);
+        store.store(5, &[7]);
+        assert_eq!(store.get(2), Some(&[5, 0, 3, 9][..]));
+        assert_eq!(store.get(5), Some(&[7][..]));
+        assert_eq!(store.get(3), None);
+        assert_eq!(store.stored_rows(), 2);
+        assert!(store.contains(2) && !store.contains(4));
+    }
+
+    #[test]
+    fn adjacent_rows_do_not_clobber() {
+        let m = 8;
+        let mut store = BottomRowStore::new(m);
+        for r in 1..m {
+            let row: Vec<Score> = (0..store.row_len(r)).map(|x| (r * 100 + x) as Score).collect();
+            store.store(r, &row);
+        }
+        for r in 1..m {
+            let row = store.get(r).unwrap();
+            for (x, &v) in row.iter().enumerate() {
+                assert_eq!(v, (r * 100 + x) as Score);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stored twice")]
+    fn double_store_panics() {
+        let mut store = BottomRowStore::new(4);
+        store.store(1, &[1, 2, 3]);
+        store.store(1, &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_panics() {
+        let mut store = BottomRowStore::new(4);
+        store.store(1, &[1]);
+    }
+
+    #[test]
+    fn best_valid_entry_filters_shadows() {
+        let original = [3, 9, 7, 0, 5];
+        // Entry 1 dropped (shadow), entry 2 unchanged, entry 4 unchanged.
+        let current = [3, 4, 7, 0, 5];
+        let (score, col) = best_valid_entry(&current, &original);
+        assert_eq!(score, 7);
+        assert_eq!(col, Some(2));
+    }
+
+    #[test]
+    fn best_valid_entry_all_shadowed() {
+        let original = [5, 6];
+        let current = [4, 5];
+        assert_eq!(best_valid_entry(&current, &original), (0, None));
+    }
+
+    #[test]
+    fn best_valid_entry_prefers_leftmost_tie() {
+        let original = [7, 1, 7];
+        let current = [7, 0, 7];
+        let (score, col) = best_valid_entry(&current, &original);
+        assert_eq!((score, col), (7, Some(0)));
+    }
+}

@@ -1,0 +1,231 @@
+//! Consensus of delineated repeat units.
+//!
+//! Completes the Repro pipeline's second half: once units are
+//! delineated (see [`crate::delineate`]), a star-topology multiple
+//! alignment against a reference unit produces a majority-vote
+//! **consensus** of the ancestral repeat and per-unit identities —
+//! the "preserved sensitivity" output the paper's §6 aims the method
+//! at. The reference is the median-length unit (robust against a
+//! truncated first or last copy); every unit is globally aligned to it
+//! with the affine-gap Needleman–Wunsch kernel.
+
+use crate::delineate::RepeatUnit;
+use repro_align::kernel::nw::{nw_align, NwOp};
+use repro_align::{Scoring, Seq};
+
+/// Majority-vote consensus over repeat units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Consensus {
+    /// The consensus sequence (one residue per reference column that a
+    /// majority of units cover).
+    pub consensus: Seq,
+    /// Per-unit identity against the consensus, in unit order.
+    pub unit_identities: Vec<f64>,
+}
+
+impl Consensus {
+    /// Mean identity of the units against the consensus.
+    pub fn mean_identity(&self) -> f64 {
+        if self.unit_identities.is_empty() {
+            0.0
+        } else {
+            self.unit_identities.iter().sum::<f64>() / self.unit_identities.len() as f64
+        }
+    }
+}
+
+/// Build the consensus of `units` within `seq`. Returns `None` when no
+/// unit is non-empty.
+pub fn unit_consensus(seq: &Seq, units: &[RepeatUnit], scoring: &Scoring) -> Option<Consensus> {
+    let unit_codes: Vec<&[u8]> = units
+        .iter()
+        .filter(|u| !u.range.is_empty())
+        .map(|u| &seq.codes()[u.range.clone()])
+        .collect();
+    if unit_codes.is_empty() {
+        return None;
+    }
+
+    // Reference: the median-length unit (first among ties).
+    let mut by_len: Vec<usize> = (0..unit_codes.len()).collect();
+    by_len.sort_by_key(|&i| (unit_codes[i].len(), i));
+    let ref_idx = by_len[by_len.len() / 2];
+    let reference = unit_codes[ref_idx];
+    let k = seq.alphabet().len();
+
+    // Column votes: counts[col][residue].
+    let mut counts = vec![vec![0u32; k]; reference.len()];
+    let mut coverage = vec![0u32; reference.len()];
+    for unit in &unit_codes {
+        let al = nw_align(unit, reference, scoring);
+        for op in &al.ops {
+            if let NwOp::Pair(y, x) = *op {
+                counts[x][unit[y] as usize] += 1;
+                coverage[x] += 1;
+            }
+        }
+    }
+
+    // Majority vote per covered column; drop columns most units gap out.
+    let quorum = (unit_codes.len() as u32).div_ceil(2);
+    let mut consensus_codes = Vec::with_capacity(reference.len());
+    let mut kept_cols = Vec::with_capacity(reference.len());
+    for (col, votes) in counts.iter().enumerate() {
+        if coverage[col] < quorum {
+            continue;
+        }
+        let best = votes
+            .iter()
+            .enumerate()
+            .max_by(|(ia, va), (ib, vb)| va.cmp(vb).then(ib.cmp(ia)))
+            .map(|(i, _)| i as u8)
+            .expect("alphabet is non-empty");
+        consensus_codes.push(best);
+        kept_cols.push(col);
+    }
+    if consensus_codes.is_empty() {
+        return None;
+    }
+    let consensus = Seq::from_codes(seq.alphabet(), consensus_codes);
+
+    // Per-unit identity against the consensus (global alignment again,
+    // counting identical pairs over consensus length).
+    let unit_identities = unit_codes
+        .iter()
+        .map(|unit| {
+            let al = nw_align(unit, consensus.codes(), scoring);
+            let same = al
+                .ops
+                .iter()
+                .filter(|op| matches!(op, NwOp::Pair(y, x) if unit[*y] == consensus.codes()[*x]))
+                .count();
+            same as f64 / consensus.len().max(1) as f64
+        })
+        .collect();
+
+    Some(Consensus {
+        consensus,
+        unit_identities,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delineate::delineate;
+    use crate::finder::find_top_alignments;
+    use repro_align::Alphabet;
+
+    fn units_of(ranges: &[(usize, usize)]) -> Vec<RepeatUnit> {
+        ranges
+            .iter()
+            .map(|&(a, b)| RepeatUnit { range: a..b })
+            .collect()
+    }
+
+    #[test]
+    fn exact_tandem_consensus_is_the_unit() {
+        let seq = Seq::dna(&"ATGC".repeat(10)).unwrap();
+        let units = units_of(&[(0, 4), (4, 8), (8, 12), (12, 16)]);
+        let c = unit_consensus(&seq, &units, &Scoring::dna_example()).unwrap();
+        assert_eq!(c.consensus.to_text(), "ATGC");
+        assert!(c.unit_identities.iter().all(|&i| (i - 1.0).abs() < 1e-12));
+        assert_eq!(c.mean_identity(), 1.0);
+    }
+
+    #[test]
+    fn mutated_units_still_vote_out_the_ancestor() {
+        // Units are copies of ACGGTACGTT with one substitution each at
+        // different positions: majority voting recovers the ancestor.
+        let ancestor = "ACGGTACGTT";
+        let copies = ["TCGGTACGTT", "ACGTTACGTT", "ACGGTACATT", "ACGGTTCGTT"];
+        let text: String = copies.concat();
+        let seq = Seq::dna(&text).unwrap();
+        let units = units_of(&[(0, 10), (10, 20), (20, 30), (30, 40)]);
+        let c = unit_consensus(&seq, &units, &Scoring::dna_example()).unwrap();
+        assert_eq!(c.consensus.to_text(), ancestor);
+        for &id in &c.unit_identities {
+            assert!((id - 0.9).abs() < 1e-9, "one substitution per 10 residues");
+        }
+    }
+
+    #[test]
+    fn length_variation_is_tolerated() {
+        // Middle unit has an insertion; the reference is median-length.
+        let seq = Seq::dna("ATGCATGGCATGC").unwrap();
+        let units = units_of(&[(0, 4), (4, 9), (9, 13)]);
+        let c = unit_consensus(&seq, &units, &Scoring::dna_example()).unwrap();
+        assert_eq!(c.consensus.to_text(), "ATGC");
+    }
+
+    #[test]
+    fn empty_units_yield_none() {
+        let seq = Seq::dna("ATGC").unwrap();
+        assert!(unit_consensus(&seq, &[], &Scoring::dna_example()).is_none());
+        let empty = units_of(&[(2, 2)]);
+        assert!(unit_consensus(&seq, &empty, &Scoring::dna_example()).is_none());
+    }
+
+    #[test]
+    fn end_to_end_with_delineation() {
+        // Full pipeline: top alignments → delineation → consensus, on a
+        // planted repeat with known ancestor.
+        let seq = Seq::dna(&"ACGGT".repeat(12)).unwrap();
+        let scoring = Scoring::dna_example();
+        let tops = find_top_alignments(&seq, &scoring, 10);
+        let report = delineate(&seq, &tops.alignments);
+        assert_eq!(report.period, Some(5));
+        let c = unit_consensus(&seq, &report.units, &scoring).unwrap();
+        assert_eq!(c.consensus.len(), 5);
+        // The consensus is a rotation of ACGGT (phase is arbitrary) and
+        // units match it perfectly.
+        let doubled = "ACGGTACGGT";
+        assert!(
+            doubled.contains(&c.consensus.to_text()),
+            "consensus {} is not a rotation of ACGGT",
+            c.consensus
+        );
+        assert!(c.mean_identity() > 0.99);
+    }
+
+    #[test]
+    fn single_unit_consensus_is_itself() {
+        let seq = Seq::dna("ATGCATGC").unwrap();
+        let units = units_of(&[(0, 8)]);
+        let c = unit_consensus(&seq, &units, &Scoring::dna_example()).unwrap();
+        assert_eq!(c.consensus.to_text(), "ATGCATGC");
+        assert_eq!(c.unit_identities, vec![1.0]);
+    }
+
+    #[test]
+    fn unrelated_units_yield_low_identity() {
+        // Two completely different units: the consensus equals the
+        // reference-ish majority, but identities stay split.
+        let seq = Seq::dna("AAAAAAAATTTTTTTT").unwrap();
+        let units = units_of(&[(0, 8), (8, 16)]);
+        let c = unit_consensus(&seq, &units, &Scoring::dna_example()).unwrap();
+        assert!(c.mean_identity() <= 1.0);
+        // One of the two units cannot match whatever consensus wins.
+        assert!(c.unit_identities.iter().any(|&i| i < 0.5));
+    }
+
+    #[test]
+    fn median_length_reference_resists_an_outlier_unit() {
+        // Three clean 3-mers plus one long junk-tailed unit: the median
+        // picks a 3-mer as reference, so the junk never defines columns.
+        let seq = Seq::dna("ATGATGATGATGCCCC").unwrap();
+        let units = units_of(&[(0, 3), (3, 6), (6, 9), (9, 16)]);
+        let c = unit_consensus(&seq, &units, &Scoring::dna_example()).unwrap();
+        assert_eq!(c.consensus.to_text(), "ATG");
+    }
+
+    #[test]
+    fn protein_units() {
+        let unit = "MGEKALVPYR";
+        let seq = Seq::protein(&unit.repeat(4)).unwrap();
+        let units = units_of(&[(0, 10), (10, 20), (20, 30), (30, 40)]);
+        let c = unit_consensus(&seq, &units, &Scoring::protein_default()).unwrap();
+        assert_eq!(c.consensus.alphabet(), Alphabet::Protein);
+        assert_eq!(c.consensus.to_text(), unit);
+    }
+}

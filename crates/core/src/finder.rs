@@ -1,0 +1,826 @@
+//! The sequential top-alignment algorithm (paper §3, Figure 5).
+//!
+//! The driver maintains one task per split in a best-first queue. A
+//! task's queued score is an upper bound (scores only drop as the
+//! override triangle grows — the masking-monotonicity property tested in
+//! `repro-align`), so when the queue's head has been aligned against the
+//! *current* triangle it is provably the next top alignment; otherwise it
+//! is realigned and requeued. This skips the 90–97 % of realignments a
+//! naive per-top full sweep would perform.
+//!
+//! The free functions [`align_task`] and [`accept_task`] are the two
+//! primitives; the shared-memory and distributed engines reuse them with
+//! their own schedulers so all engines produce identical output.
+
+use crate::bottom::{best_valid_entry, BottomRowStore};
+use crate::split_mask::SplitMask;
+use crate::stats::Stats;
+use crate::tasks::{Task, TaskQueue, NEVER_ALIGNED};
+use crate::triangle::OverrideTriangle;
+use repro_align::kernel::full::{sw_full, traceback};
+use repro_align::{sw_last_row, sw_last_row_striped, NoMask, Score, Scoring, Seq};
+
+/// How first-pass bottom rows are kept for shadow filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowMode {
+    /// Store all `m(m−1)/2` scores — the paper's default, and its
+    /// largest data structure (App. A).
+    #[default]
+    Store,
+    /// Recompute a split's clean (unmasked) bottom row on demand:
+    /// Appendix A's "on-demand recomputation ... at the expense of extra
+    /// work; this would allow an implementation that requires only a
+    /// linear amount of memory". Combine with
+    /// [`OverrideTriangle::new_sparse`] for the fully linear-memory
+    /// configuration.
+    Recompute,
+}
+
+/// Configuration of a top-alignment search.
+#[derive(Debug, Clone)]
+pub struct FinderConfig {
+    /// Number of top alignments to find (the paper uses 10–100; Table 1
+    /// uses 50).
+    pub count: usize,
+    /// Optional cache-aware stripe width for the score kernel
+    /// (`None` = plain row-major; see paper §4.1).
+    pub stripe: Option<usize>,
+    /// Bottom-row storage strategy.
+    pub row_mode: RowMode,
+    /// Use the compressed (sparse) override triangle.
+    pub sparse_triangle: bool,
+}
+
+impl FinderConfig {
+    /// Find `count` top alignments with default settings (stored rows,
+    /// dense triangle, row-major kernel).
+    pub fn new(count: usize) -> Self {
+        FinderConfig {
+            count,
+            stripe: None,
+            row_mode: RowMode::Store,
+            sparse_triangle: false,
+        }
+    }
+
+    /// The linear-memory configuration of Appendix A: sparse triangle
+    /// plus on-demand row recomputation.
+    pub fn linear_memory(count: usize) -> Self {
+        FinderConfig {
+            count,
+            stripe: None,
+            row_mode: RowMode::Recompute,
+            sparse_triangle: true,
+        }
+    }
+}
+
+/// One accepted nonoverlapping top alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopAlignment {
+    /// Acceptance order (0-based).
+    pub index: usize,
+    /// The split whose matrix produced this alignment.
+    pub r: usize,
+    /// Alignment score.
+    pub score: Score,
+    /// Matched residue pairs in **sequence coordinates** `(p, q)`,
+    /// `p < r ≤ q`, in path order.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+impl TopAlignment {
+    /// Sequence range covered on the prefix side (`None` if empty).
+    pub fn prefix_span(&self) -> Option<std::ops::Range<usize>> {
+        let first = self.pairs.first()?;
+        let last = self.pairs.last()?;
+        Some(first.0..last.0 + 1)
+    }
+
+    /// Sequence range covered on the suffix side (`None` if empty).
+    pub fn suffix_span(&self) -> Option<std::ops::Range<usize>> {
+        let first = self.pairs.first()?;
+        let last = self.pairs.last()?;
+        Some(first.1..last.1 + 1)
+    }
+
+    /// CIGAR-style operation string over the matched pairs: `M` runs
+    /// for aligned pairs, `I` for prefix-side residues skipped by a
+    /// gap, `D` for suffix-side residues skipped.
+    pub fn cigar(&self) -> String {
+        if self.pairs.is_empty() {
+            return String::from("*");
+        }
+        let mut out = String::new();
+        let mut m_run = 1usize;
+        for w in self.pairs.windows(2) {
+            let (p, q) = (w[0], w[1]);
+            let dp = q.0 - p.0;
+            let dq = q.1 - p.1;
+            if dp == 1 && dq == 1 {
+                m_run += 1;
+                continue;
+            }
+            out.push_str(&format!("{m_run}M"));
+            if dp > 1 {
+                out.push_str(&format!("{}I", dp - 1));
+            }
+            if dq > 1 {
+                out.push_str(&format!("{}D", dq - 1));
+            }
+            m_run = 1;
+        }
+        out.push_str(&format!("{m_run}M"));
+        out
+    }
+
+    /// Fraction of matched pairs with identical residues.
+    pub fn identity(&self, seq: &Seq) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        let same = self
+            .pairs
+            .iter()
+            .filter(|&&(p, q)| seq[p] == seq[q])
+            .count();
+        same as f64 / self.pairs.len() as f64
+    }
+}
+
+/// The result of a top-alignment search.
+#[derive(Debug, Clone)]
+pub struct TopAlignments {
+    /// Accepted top alignments, in acceptance order. May be shorter than
+    /// requested when the sequence runs out of positive nonoverlapping
+    /// alignments.
+    pub alignments: Vec<TopAlignment>,
+    /// Work counters.
+    pub stats: Stats,
+    /// Final override triangle (all matched pairs of all alignments).
+    pub triangle: OverrideTriangle,
+}
+
+/// Outcome of [`align_task`].
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// Best valid (non-shadow) bottom-row score; 0 if none.
+    pub score: Score,
+    /// Column of that score, if positive.
+    pub col: Option<usize>,
+    /// The bottom row — returned only for first passes, for storage.
+    pub first_row: Option<Vec<Score>>,
+    /// Cells computed.
+    pub cells: u64,
+}
+
+/// Score-only (re)alignment of split `r` under `triangle`.
+///
+/// `original` is the stored first-pass bottom row; pass `None` for the
+/// first pass (which must, and is asserted to, run with an empty
+/// triangle — Figure 5 guarantees this because every initial task has
+/// infinite priority). For realignments, entries differing from
+/// `original` are shadow alignments and are skipped (Appendix A).
+pub fn align_task(
+    seq: &Seq,
+    scoring: &Scoring,
+    r: usize,
+    triangle: &OverrideTriangle,
+    original: Option<&[Score]>,
+    stripe: Option<usize>,
+) -> TaskResult {
+    let (prefix, suffix) = seq.split(r);
+    let mask = SplitMask::new(triangle, r);
+    let last = match stripe {
+        Some(w) => sw_last_row_striped(prefix, suffix, scoring, mask, w),
+        None => sw_last_row(prefix, suffix, scoring, mask),
+    };
+    match original {
+        None => {
+            debug_assert!(
+                triangle.is_empty(),
+                "first pass of split {r} must see an empty triangle"
+            );
+            TaskResult {
+                score: last.best_in_row,
+                col: last.best_in_row_col,
+                cells: last.cells,
+                first_row: Some(last.row),
+            }
+        }
+        Some(orig) => {
+            let (score, col) = best_valid_entry(&last.row, orig);
+            TaskResult {
+                score,
+                col,
+                cells: last.cells,
+                first_row: None,
+            }
+        }
+    }
+}
+
+/// Accept split `r` as top alignment number `index`: recompute its matrix
+/// under the current triangle, trace back from the best valid bottom-row
+/// end point, and mark every matched pair in the triangle.
+///
+/// Returns the alignment and the number of cells the traceback pass
+/// computed. The caller must have just verified (via a fresh
+/// [`align_task`]) that `r` holds the best score; this function asserts
+/// the score it finds matches `expected_score`.
+pub fn accept_task(
+    seq: &Seq,
+    scoring: &Scoring,
+    r: usize,
+    expected_score: Score,
+    triangle: &mut OverrideTriangle,
+    bottom: &BottomRowStore,
+    index: usize,
+) -> (TopAlignment, u64) {
+    let original = bottom
+        .get(r)
+        .expect("accepted split must have a stored first-pass row");
+    accept_task_with_row(seq, scoring, r, expected_score, triangle, original, index)
+}
+
+/// [`accept_task`] against an explicitly provided first-pass bottom row
+/// (the parallel engines keep rows in their own shared storage).
+pub fn accept_task_with_row(
+    seq: &Seq,
+    scoring: &Scoring,
+    r: usize,
+    expected_score: Score,
+    triangle: &mut OverrideTriangle,
+    original: &[Score],
+    index: usize,
+) -> (TopAlignment, u64) {
+    let (prefix, suffix) = seq.split(r);
+    let matrix = sw_full(prefix, suffix, scoring, SplitMask::new(triangle, r));
+    let (score, col) = best_valid_entry(matrix.last_row(), original);
+    assert_eq!(
+        score, expected_score,
+        "acceptance recomputation of split {r} disagrees with its queue score"
+    );
+    let col = col.expect("accepted task must have a positive valid entry");
+    let al = traceback(&matrix, (r - 1, col), prefix, suffix, scoring);
+    let pairs: Vec<(usize, usize)> = al.pairs.iter().map(|p| (p.row, r + p.col)).collect();
+    for &(p, q) in &pairs {
+        triangle.set(p, q);
+    }
+    (
+        TopAlignment {
+            index,
+            r,
+            score,
+            pairs,
+        },
+        matrix.rows() as u64 * matrix.cols() as u64,
+    )
+}
+
+/// What one [`TopAlignmentFinder::step`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// A stale task was (re)aligned and requeued with this score.
+    Realigned {
+        /// The split that was realigned.
+        r: usize,
+        /// Its new exact score.
+        score: Score,
+    },
+    /// A fresh head task was accepted as the next top alignment.
+    Accepted {
+        /// The split that was accepted.
+        r: usize,
+        /// The accepted score.
+        score: Score,
+    },
+    /// No positive nonoverlapping alignment remains (or the requested
+    /// count is reached).
+    Done,
+}
+
+/// Incremental driver for the sequential algorithm. [`Self::run`] is the
+/// one-shot entry point; `step` exposes the loop for tests and tools.
+pub struct TopAlignmentFinder<'a> {
+    seq: &'a Seq,
+    scoring: &'a Scoring,
+    config: FinderConfig,
+    queue: TaskQueue,
+    triangle: OverrideTriangle,
+    /// `Some` in [`RowMode::Store`], `None` in [`RowMode::Recompute`].
+    bottom: Option<BottomRowStore>,
+    alignments: Vec<TopAlignment>,
+    stats: Stats,
+}
+
+impl<'a> TopAlignmentFinder<'a> {
+    /// Set up a search over `seq`.
+    pub fn new(seq: &'a Seq, scoring: &'a Scoring, config: FinderConfig) -> Self {
+        let m = seq.len();
+        let triangle = if config.sparse_triangle {
+            OverrideTriangle::new_sparse(m)
+        } else {
+            OverrideTriangle::new(m)
+        };
+        let bottom = match config.row_mode {
+            RowMode::Store => Some(BottomRowStore::new(m)),
+            RowMode::Recompute => None,
+        };
+        TopAlignmentFinder {
+            seq,
+            scoring,
+            config,
+            queue: TaskQueue::for_sequence_len(m),
+            triangle,
+            bottom,
+            alignments: Vec::new(),
+            stats: Stats::new(),
+        }
+    }
+
+    /// Recompute the clean (empty-triangle) bottom row of split `r` —
+    /// the on-demand path of [`RowMode::Recompute`].
+    fn recompute_clean_row(&mut self, r: usize) -> Vec<Score> {
+        let (prefix, suffix) = self.seq.split(r);
+        let last = match self.config.stripe {
+            Some(w) => sw_last_row_striped(prefix, suffix, self.scoring, NoMask, w),
+            None => sw_last_row(prefix, suffix, self.scoring, NoMask),
+        };
+        self.stats.record_row_recompute(last.cells);
+        last.row
+    }
+
+    /// Top alignments accepted so far.
+    pub fn alignments(&self) -> &[TopAlignment] {
+        &self.alignments
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The override triangle in its current state.
+    pub fn triangle(&self) -> &OverrideTriangle {
+        &self.triangle
+    }
+
+    /// Execute one scheduling decision (Figure 5's loop body).
+    pub fn step(&mut self) -> Step {
+        if self.alignments.len() >= self.config.count {
+            return Step::Done;
+        }
+        let Some(task) = self.queue.pop() else {
+            return Step::Done;
+        };
+        if task.score <= 0 {
+            // The head is an upper bound for every queued task: nothing
+            // positive remains anywhere.
+            return Step::Done;
+        }
+        let tops_found = self.alignments.len();
+        if task.is_fresh(tops_found) {
+            let index = tops_found;
+            let (top, cells) = match self.config.row_mode {
+                RowMode::Store => {
+                    let original = self
+                        .bottom
+                        .as_ref()
+                        .expect("store mode keeps rows")
+                        .get(task.r)
+                        .expect("accepted split must have a stored row");
+                    accept_task_with_row(
+                        self.seq,
+                        self.scoring,
+                        task.r,
+                        task.score,
+                        &mut self.triangle,
+                        original,
+                        index,
+                    )
+                }
+                RowMode::Recompute => {
+                    let clean = self.recompute_clean_row(task.r);
+                    accept_task_with_row(
+                        self.seq,
+                        self.scoring,
+                        task.r,
+                        task.score,
+                        &mut self.triangle,
+                        &clean,
+                        index,
+                    )
+                }
+            };
+            self.stats.record_traceback(cells);
+            let (r, score) = (top.r, top.score);
+            self.alignments.push(top);
+            // Requeue (Figure 5 line 20): the task keeps its old score as
+            // an upper bound and is stale against the grown triangle.
+            self.queue.push(Task {
+                r: task.r,
+                score: task.score,
+                aligned_with: task.aligned_with,
+            });
+            Step::Accepted { r, score }
+        } else {
+            let first_pass = task.aligned_with == NEVER_ALIGNED;
+            let result = match self.config.row_mode {
+                RowMode::Store => {
+                    let original = self
+                        .bottom
+                        .as_ref()
+                        .expect("store mode keeps rows")
+                        .get(task.r);
+                    debug_assert_eq!(original.is_none(), first_pass);
+                    align_task(
+                        self.seq,
+                        self.scoring,
+                        task.r,
+                        &self.triangle,
+                        original,
+                        self.config.stripe,
+                    )
+                }
+                RowMode::Recompute if first_pass => align_task(
+                    self.seq,
+                    self.scoring,
+                    task.r,
+                    &self.triangle,
+                    None,
+                    self.config.stripe,
+                ),
+                RowMode::Recompute => {
+                    let clean = self.recompute_clean_row(task.r);
+                    align_task(
+                        self.seq,
+                        self.scoring,
+                        task.r,
+                        &self.triangle,
+                        Some(&clean),
+                        self.config.stripe,
+                    )
+                }
+            };
+            if let Some(row) = result.first_row {
+                if let Some(bottom) = self.bottom.as_mut() {
+                    bottom.store(task.r, &row);
+                }
+            }
+            debug_assert!(
+                first_pass || result.score <= task.score,
+                "realignment of split {} rose above its upper bound",
+                task.r
+            );
+            self.stats.record_alignment(result.cells, tops_found);
+            self.queue.push(Task {
+                r: task.r,
+                score: result.score,
+                aligned_with: tops_found,
+            });
+            Step::Realigned {
+                r: task.r,
+                score: result.score,
+            }
+        }
+    }
+
+    /// Run to completion and return the result.
+    pub fn run(mut self) -> TopAlignments {
+        while !matches!(self.step(), Step::Done) {}
+        TopAlignments {
+            alignments: self.alignments,
+            stats: self.stats,
+            triangle: self.triangle,
+        }
+    }
+}
+
+/// One-shot convenience: find `count` top alignments of `seq`.
+///
+/// ```
+/// use repro_core::find_top_alignments;
+/// use repro_align::{Scoring, Seq};
+///
+/// // The paper's Figure 4 example has three top alignments of score 8.
+/// let seq = Seq::dna("ATGCATGCATGC").unwrap();
+/// let tops = find_top_alignments(&seq, &Scoring::dna_example(), 3);
+/// assert_eq!(tops.alignments.len(), 3);
+/// assert!(tops.alignments.iter().all(|t| t.score == 8));
+/// assert_eq!(tops.alignments[0].pairs, vec![(0, 4), (1, 5), (2, 6), (3, 7)]);
+/// ```
+pub fn find_top_alignments(seq: &Seq, scoring: &Scoring, count: usize) -> TopAlignments {
+    TopAlignmentFinder::new(seq, scoring, FinderConfig::new(count)).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_align::Alphabet;
+
+    fn atgc_scoring() -> Scoring {
+        Scoring::dna_example()
+    }
+
+    /// The paper's Figure 4 example: ATGCATGCATGC has three equivalent
+    /// top alignments of score 8 (4 exact ATGC matches each).
+    #[test]
+    fn figure4_three_top_alignments() {
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let result = find_top_alignments(&seq, &atgc_scoring(), 3);
+        assert_eq!(result.alignments.len(), 3);
+
+        let t1 = &result.alignments[0];
+        assert_eq!((t1.r, t1.score), (4, 8));
+        assert_eq!(t1.pairs, vec![(0, 4), (1, 5), (2, 6), (3, 7)]);
+
+        let t2 = &result.alignments[1];
+        assert_eq!((t2.r, t2.score), (4, 8));
+        assert_eq!(t2.pairs, vec![(0, 8), (1, 9), (2, 10), (3, 11)]);
+
+        let t3 = &result.alignments[2];
+        assert_eq!((t3.r, t3.score), (8, 8));
+        assert_eq!(t3.pairs, vec![(4, 8), (5, 9), (6, 10), (7, 11)]);
+    }
+
+    #[test]
+    fn top_alignments_never_overlap() {
+        let seq = Seq::dna("ATGCATGCATGCATGCATGC").unwrap();
+        let result = find_top_alignments(&seq, &atgc_scoring(), 6);
+        let mut seen = std::collections::HashSet::new();
+        for top in &result.alignments {
+            for &pair in &top.pairs {
+                assert!(
+                    seen.insert(pair),
+                    "pair {pair:?} appears in two top alignments"
+                );
+            }
+        }
+        assert_eq!(result.triangle.len(), seen.len());
+    }
+
+    #[test]
+    fn scores_are_non_increasing() {
+        let seq = Seq::dna("ACGTTGCAACGTACGTTGCAGGTT").unwrap();
+        let result = find_top_alignments(&seq, &atgc_scoring(), 8);
+        for w in result.alignments.windows(2) {
+            assert!(
+                w[0].score >= w[1].score,
+                "top alignments must come out best-first"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustion_returns_fewer_alignments() {
+        // A sequence with almost no internal similarity: requesting many
+        // tops must terminate early rather than loop or panic.
+        let seq = Seq::dna("ACGT").unwrap();
+        let result = find_top_alignments(&seq, &atgc_scoring(), 10);
+        assert!(result.alignments.len() < 10);
+        for top in &result.alignments {
+            assert!(top.score > 0);
+        }
+    }
+
+    #[test]
+    fn no_positive_alignment_at_all() {
+        // All-distinct residues: every off-diagonal pair mismatches.
+        let seq = Seq::protein("ARNDCQEGHILKMFPSTWYV").unwrap();
+        let scoring = Scoring::new(
+            repro_align::ExchangeMatrix::match_mismatch(Alphabet::Protein, 2, -1),
+            repro_align::GapPenalties::new(2, 1),
+        );
+        let result = find_top_alignments(&seq, &scoring, 5);
+        assert!(result.alignments.is_empty());
+        assert!(result.triangle.is_empty());
+    }
+
+    #[test]
+    fn pairs_straddle_the_split() {
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let result = find_top_alignments(&seq, &atgc_scoring(), 3);
+        for top in &result.alignments {
+            for &(p, q) in &top.pairs {
+                assert!(p < top.r, "prefix side of pair out of range");
+                assert!(q >= top.r, "suffix side of pair out of range");
+                assert!(q < seq.len());
+            }
+        }
+    }
+
+    #[test]
+    fn striped_kernel_gives_identical_results() {
+        let seq = Seq::dna("ATGCATGCATGCAATTGGCCATGC").unwrap();
+        let plain = find_top_alignments(&seq, &atgc_scoring(), 5);
+        let striped = TopAlignmentFinder::new(
+            &seq,
+            &atgc_scoring(),
+            FinderConfig {
+                stripe: Some(3),
+                ..FinderConfig::new(5)
+            },
+        )
+        .run();
+        assert_eq!(plain.alignments, striped.alignments);
+    }
+
+    /// Golden trace of Figure 5's scheduling on the Figure 4 example:
+    /// every split aligns once (initial ∞ priorities), the best split is
+    /// accepted, and between acceptances only the provably-necessary
+    /// splits realign.
+    #[test]
+    fn figure5_scheduling_golden_trace() {
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let scoring = atgc_scoring();
+        let mut finder = TopAlignmentFinder::new(&seq, &scoring, FinderConfig::new(3));
+        let mut trace = Vec::new();
+        loop {
+            let step = finder.step();
+            if matches!(step, Step::Done) {
+                break;
+            }
+            trace.push(step);
+        }
+        // Phase 1: the 11 first passes (splits pop in descending-r order
+        // among equal ∞ priorities? no — ties break on smaller r).
+        let first_passes: Vec<usize> = trace[..11]
+            .iter()
+            .map(|s| match s {
+                Step::Realigned { r, .. } => *r,
+                other => panic!("expected realignment, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(first_passes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        // Acceptance 1: split 4 at score 8, directly off the sweep (all
+        // sweep scores are fresh, so the head needs no realignment).
+        assert_eq!(trace[11], Step::Accepted { r: 4, score: 8 });
+        // Acceptance 2: split 4 again (the second ATGC block), after a
+        // single freshness realignment.
+        assert_eq!(trace[12], Step::Realigned { r: 4, score: 8 });
+        assert_eq!(trace[13], Step::Accepted { r: 4, score: 8 });
+        // Acceptance 3: split 8, after realigning only the five splits
+        // whose stale upper bounds (8) tie the winner.
+        let realigned: Vec<usize> = trace[14..trace.len() - 1]
+            .iter()
+            .map(|s| match s {
+                Step::Realigned { r, .. } => *r,
+                other => panic!("expected realignment, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(realigned, vec![4, 5, 6, 7, 8]);
+        assert_eq!(*trace.last().unwrap(), Step::Accepted { r: 8, score: 8 });
+    }
+
+    #[test]
+    fn top_alignment_helpers() {
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let result = find_top_alignments(&seq, &atgc_scoring(), 1);
+        let top = &result.alignments[0];
+        assert_eq!(top.cigar(), "4M");
+        assert_eq!(top.prefix_span(), Some(0..4));
+        assert_eq!(top.suffix_span(), Some(4..8));
+        assert_eq!(top.identity(&seq), 1.0);
+    }
+
+    #[test]
+    fn all_tasks_aligned_before_first_acceptance() {
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let scoring = atgc_scoring();
+        let mut finder = TopAlignmentFinder::new(&seq, &scoring, FinderConfig::new(1));
+        let mut realigned = 0;
+        loop {
+            match finder.step() {
+                Step::Realigned { .. } => realigned += 1,
+                Step::Accepted { .. } => break,
+                Step::Done => panic!("should accept one top alignment"),
+            }
+        }
+        // All m−1 = 11 splits align once before the first acceptance.
+        assert_eq!(realigned, 11);
+        assert_eq!(finder.stats().realignments_per_top, vec![11]);
+    }
+
+    #[test]
+    fn realignment_fraction_is_small_on_repetitive_input() {
+        let seq = Seq::dna(&"ATGC".repeat(20)).unwrap();
+        let result = find_top_alignments(&seq, &atgc_scoring(), 10);
+        assert_eq!(result.alignments.len(), 10);
+        let frac = result.stats.realignment_fraction(seq.len() - 1);
+        assert!(
+            frac < 0.5,
+            "queue heuristic should skip most realignments, got {frac}"
+        );
+    }
+
+    #[test]
+    fn stats_count_tracebacks() {
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let result = find_top_alignments(&seq, &atgc_scoring(), 3);
+        assert_eq!(result.stats.tracebacks, 3);
+        assert!(result.stats.traceback_cells > 0);
+        assert!(result.stats.alignments >= 11);
+    }
+
+    #[test]
+    fn empty_and_tiny_sequences() {
+        let scoring = atgc_scoring();
+        for text in ["", "A", "AC"] {
+            let seq = Seq::dna(text).unwrap();
+            let result = find_top_alignments(&seq, &scoring, 3);
+            assert!(result.alignments.len() <= 1, "input {text:?}");
+        }
+        // "AA" has one split: A vs A, score 2.
+        let seq = Seq::dna("AA").unwrap();
+        let result = find_top_alignments(&seq, &scoring, 3);
+        assert_eq!(result.alignments.len(), 1);
+        assert_eq!(result.alignments[0].pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn linear_memory_mode_matches_default() {
+        // Appendix A's linear-memory option (sparse triangle + on-demand
+        // row recomputation) must find the exact same alignments, paying
+        // extra recomputation work.
+        let scoring = atgc_scoring();
+        for text in ["ATGCATGCATGC", "ACGTTGCAACGTACGTTGCAGGTT", "AAAAAAAAAA"] {
+            let seq = Seq::dna(text).unwrap();
+            let default = find_top_alignments(&seq, &scoring, 5);
+            let linmem =
+                TopAlignmentFinder::new(&seq, &scoring, FinderConfig::linear_memory(5)).run();
+            assert_eq!(default.alignments, linmem.alignments, "on {text}");
+            assert_eq!(default.triangle, linmem.triangle);
+            assert!(linmem.triangle.is_sparse());
+            if !linmem.alignments.is_empty() {
+                assert!(
+                    linmem.stats.row_recomputations > 0,
+                    "recompute mode must actually recompute rows"
+                );
+                assert_eq!(default.stats.row_recomputations, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_mode_alone_matches_default() {
+        let scoring = atgc_scoring();
+        let seq = Seq::dna(&"ATGC".repeat(12)).unwrap();
+        let default = find_top_alignments(&seq, &scoring, 8);
+        let cfg = FinderConfig {
+            row_mode: RowMode::Recompute,
+            ..FinderConfig::new(8)
+        };
+        let recompute = TopAlignmentFinder::new(&seq, &scoring, cfg).run();
+        assert_eq!(default.alignments, recompute.alignments);
+        // Work accounting: the scheduled alignment passes are identical;
+        // only the extra recompute passes differ.
+        assert_eq!(default.stats.alignments, recompute.stats.alignments);
+        assert!(recompute.stats.row_recompute_cells > 0);
+    }
+
+    #[test]
+    fn sparse_triangle_alone_matches_default() {
+        let scoring = atgc_scoring();
+        let seq = Seq::dna(&"ACGGT".repeat(10)).unwrap();
+        let default = find_top_alignments(&seq, &scoring, 6);
+        let cfg = FinderConfig {
+            sparse_triangle: true,
+            ..FinderConfig::new(6)
+        };
+        let sparse = TopAlignmentFinder::new(&seq, &scoring, cfg).run();
+        assert_eq!(default.alignments, sparse.alignments);
+        assert_eq!(default.triangle, sparse.triangle);
+    }
+
+    #[test]
+    fn count_zero_returns_immediately() {
+        let seq = Seq::dna("ATGCATGC").unwrap();
+        let result = find_top_alignments(&seq, &atgc_scoring(), 0);
+        assert!(result.alignments.is_empty());
+        assert_eq!(result.stats.alignments, 0);
+    }
+
+    /// Differential oracle: each accepted alignment's score must equal an
+    /// independent masked alignment of its split computed from scratch,
+    /// and its pairs must rescore to exactly that value.
+    #[test]
+    fn accepted_scores_match_independent_recomputation() {
+        let seq = Seq::dna("ATGCAATGCATTTGCATGCA").unwrap();
+        let scoring = atgc_scoring();
+        let result = find_top_alignments(&seq, &scoring, 4);
+        let mut triangle = OverrideTriangle::new(seq.len());
+        for top in &result.alignments {
+            // Recompute the split alignment under the triangle as of the
+            // moment this top was accepted.
+            let (prefix, suffix) = seq.split(top.r);
+            let mask = SplitMask::new(&triangle, top.r);
+            let last = sw_last_row(prefix, suffix, &scoring, mask);
+            assert!(top.score <= last.best_in_row,
+                "accepted score exceeds what the split can produce");
+            for &(p, q) in &top.pairs {
+                triangle.set(p, q);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # repro-core — the paper's `O(n³)` top-alignment algorithm
+//!
+//! This crate implements Section 3 and Appendix A of Romein, Heringa &
+//! Bal (SC 2003): finding a user-defined number of **nonoverlapping top
+//! alignments** of a sequence against itself, the computation that
+//! dominates the Repro internal-repeat method.
+//!
+//! * [`triangle`] — the **override triangle**: a packed bit-triangle over
+//!   residue-position pairs recording which pairs already belong to a top
+//!   alignment; realignments force those cells to zero.
+//! * [`bottom`] — the **bottom-row store**: the first-pass (empty-triangle)
+//!   bottom row of every split matrix, kept for shadow-alignment rejection
+//!   (the largest data structure, `m(m−1)/2` scores, exactly as App. A).
+//! * [`split_mask`] — adapts the triangle to the kernel-level
+//!   [`repro_align::CellMask`] for a given split.
+//! * [`tasks`] — the best-first task queue of Figure 5: one task per
+//!   split, ordered by (upper-bound) score, with the `AlignedWithTopNum`
+//!   freshness stamp.
+//! * [`finder`] — [`finder::TopAlignmentFinder`], the sequential driver,
+//!   plus the task-alignment primitive shared with the parallel engines.
+//! * [`stats`] — work accounting (alignments, cells, realignment rates:
+//!   the quantities behind the paper's "90–97 % fewer realignments" and
+//!   "3–10 % need realignment" claims).
+//! * [`delineate`] — repeat delineation from top alignments (the second
+//!   half of the Repro method; the paper defers it to future work, we
+//!   provide a working implementation).
+
+#![warn(missing_docs)]
+
+pub mod bottom;
+pub mod consensus;
+pub mod delineate;
+pub mod finder;
+pub mod split_mask;
+pub mod stats;
+pub mod tasks;
+pub mod triangle;
+
+pub use bottom::BottomRowStore;
+pub use consensus::{unit_consensus, Consensus};
+pub use delineate::{delineate, RepeatReport, RepeatUnit};
+pub use finder::{
+    accept_task, accept_task_with_row, align_task, find_top_alignments, FinderConfig, RowMode,
+    Step, TaskResult, TopAlignment, TopAlignmentFinder, TopAlignments,
+};
+pub use split_mask::SplitMask;
+pub use stats::Stats;
+pub use tasks::{Task, TaskQueue, NEVER_ALIGNED, SCORE_INFINITY};
+pub use triangle::OverrideTriangle;

@@ -1,0 +1,162 @@
+//! Work accounting.
+//!
+//! Every engine reports the same counters so the experiments can compare
+//! them directly: the paper's "the SSE version hardly computes more
+//! alignments than the sequential version (less than 0.70 %)", "up to
+//! 8.4 % more alignments" for the distributed scheduler, and the "90–97 %
+//! of realignments avoided" claim for the task-queue heuristic all reduce
+//! to these counts.
+
+/// Counters accumulated while finding top alignments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Score-only alignment passes performed (first passes + realignments).
+    pub alignments: u64,
+    /// Matrix cells computed across all score-only passes.
+    pub cells: u64,
+    /// Full-matrix traceback passes (one per accepted top alignment).
+    pub tracebacks: u64,
+    /// Cells computed by traceback passes.
+    pub traceback_cells: u64,
+    /// Realignments per accepted top alignment, index = top number
+    /// (element 0 counts the initial full sweep).
+    pub realignments_per_top: Vec<u64>,
+    /// Score-pass cells per top number (same indexing); the per-phase
+    /// work profile the cluster experiments time-model against.
+    pub cells_per_top: Vec<u64>,
+    /// Traceback cells per accepted top alignment, in acceptance order.
+    pub traceback_cells_per_top: Vec<u64>,
+    /// First-pass bottom rows recomputed on demand (only in
+    /// [`crate::finder::RowMode::Recompute`], the linear-memory option
+    /// of Appendix A).
+    pub row_recomputations: u64,
+    /// Cells spent on those on-demand recomputations.
+    pub row_recompute_cells: u64,
+}
+
+impl Stats {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Record one score-only pass of `cells` cells while `tops_found` top
+    /// alignments exist.
+    pub fn record_alignment(&mut self, cells: u64, tops_found: usize) {
+        self.alignments += 1;
+        self.cells += cells;
+        if self.realignments_per_top.len() <= tops_found {
+            self.realignments_per_top.resize(tops_found + 1, 0);
+            self.cells_per_top.resize(tops_found + 1, 0);
+        }
+        self.realignments_per_top[tops_found] += 1;
+        self.cells_per_top[tops_found] += cells;
+    }
+
+    /// Record one traceback pass.
+    pub fn record_traceback(&mut self, cells: u64) {
+        self.tracebacks += 1;
+        self.traceback_cells += cells;
+        self.traceback_cells_per_top.push(cells);
+    }
+
+    /// Record one on-demand first-pass-row recomputation.
+    pub fn record_row_recompute(&mut self, cells: u64) {
+        self.row_recomputations += 1;
+        self.row_recompute_cells += cells;
+    }
+
+    /// Merge another engine's counters into this one (used by the
+    /// parallel engines to sum per-worker stats).
+    pub fn merge(&mut self, other: &Stats) {
+        self.alignments += other.alignments;
+        self.cells += other.cells;
+        self.tracebacks += other.tracebacks;
+        self.traceback_cells += other.traceback_cells;
+        if self.realignments_per_top.len() < other.realignments_per_top.len() {
+            self.realignments_per_top
+                .resize(other.realignments_per_top.len(), 0);
+            self.cells_per_top.resize(other.cells_per_top.len(), 0);
+        }
+        for (a, b) in self
+            .realignments_per_top
+            .iter_mut()
+            .zip(&other.realignments_per_top)
+        {
+            *a += b;
+        }
+        for (a, b) in self.cells_per_top.iter_mut().zip(&other.cells_per_top) {
+            *a += b;
+        }
+        self.traceback_cells_per_top
+            .extend_from_slice(&other.traceback_cells_per_top);
+        self.row_recomputations += other.row_recomputations;
+        self.row_recompute_cells += other.row_recompute_cells;
+    }
+
+    /// Total score-pass cells spent up to (and including) finding top
+    /// alignment `k`, plus the tracebacks — the sequential-time model
+    /// used as Figure 8's baseline numerator.
+    pub fn cells_to_top(&self, k: usize) -> (u64, u64) {
+        let score: u64 = self.cells_per_top.iter().take(k).sum();
+        let trace: u64 = self.traceback_cells_per_top.iter().take(k).sum();
+        (score, trace)
+    }
+
+    /// Fraction of the naive `tops × splits` realignment budget actually
+    /// spent after the initial sweep — the quantity the paper reports as
+    /// "3–10 % of the matrices need realignment".
+    pub fn realignment_fraction(&self, splits: usize) -> f64 {
+        if self.realignments_per_top.len() <= 1 || splits == 0 {
+            return 0.0;
+        }
+        let after_first: u64 = self.realignments_per_top[1..].iter().sum();
+        let rounds = (self.realignments_per_top.len() - 1) as u64;
+        after_first as f64 / (rounds * splits as u64) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_fraction() {
+        let mut s = Stats::new();
+        // Initial sweep: 10 alignments before any top exists.
+        for _ in 0..10 {
+            s.record_alignment(100, 0);
+        }
+        // One realignment before top 1, two before top 2.
+        s.record_alignment(100, 1);
+        s.record_alignment(100, 2);
+        s.record_alignment(100, 2);
+        assert_eq!(s.alignments, 13);
+        assert_eq!(s.cells, 1300);
+        assert_eq!(s.realignments_per_top, vec![10, 1, 2]);
+        // 3 realignments over 2 rounds × 10 splits = 0.15.
+        assert!((s.realignment_fraction(10) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = Stats::new();
+        a.record_alignment(10, 0);
+        a.record_traceback(5);
+        let mut b = Stats::new();
+        b.record_alignment(20, 0);
+        b.record_alignment(30, 1);
+        a.merge(&b);
+        assert_eq!(a.alignments, 3);
+        assert_eq!(a.cells, 60);
+        assert_eq!(a.tracebacks, 1);
+        assert_eq!(a.realignments_per_top, vec![2, 1]);
+    }
+
+    #[test]
+    fn fraction_degenerate_cases() {
+        let s = Stats::new();
+        assert_eq!(s.realignment_fraction(10), 0.0);
+        assert_eq!(s.realignment_fraction(0), 0.0);
+    }
+}

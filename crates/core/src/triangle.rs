@@ -1,0 +1,288 @@
+//! The override triangle (paper §3).
+//!
+//! A triangular boolean matrix over unordered residue-position pairs
+//! `(p, q)` with `p < q < m`: bit set ⇔ the pair is matched by an
+//! already-accepted top alignment, so realignments must force the
+//! corresponding matrix cell to zero.
+//!
+//! Two representations, selected at construction:
+//!
+//! * **dense** — `m(m−1)/2` packed bits (72 MiB for the full
+//!   34 350-residue titin; cheap to replicate, `O(1)` probes; the
+//!   paper's default);
+//! * **sparse** — a hash set of pairs, for the paper's remark that
+//!   "since the triangle is sparse, it can be compressed if memory
+//!   usage is an issue": only some tens of alignment paths are ever
+//!   marked, a few thousand pairs regardless of `m`.
+//!
+//! Both behave identically; `repro-core`'s tests drive them
+//! differentially and the finder accepts either.
+
+use std::collections::HashSet;
+use std::fmt;
+
+#[derive(Clone)]
+enum Repr {
+    Dense(Vec<u64>),
+    Sparse(HashSet<u64>),
+}
+
+/// Triangular boolean set over position pairs `(p, q)`, `p < q`.
+#[derive(Clone)]
+pub struct OverrideTriangle {
+    m: usize,
+    repr: Repr,
+    set_count: usize,
+}
+
+impl OverrideTriangle {
+    /// An empty dense triangle for a sequence of length `m`.
+    pub fn new(m: usize) -> Self {
+        let nbits = m * m.saturating_sub(1) / 2;
+        OverrideTriangle {
+            m,
+            repr: Repr::Dense(vec![0; nbits.div_ceil(64)]),
+            set_count: 0,
+        }
+    }
+
+    /// An empty sparse (compressed) triangle for a sequence of length
+    /// `m`: memory proportional to the pairs actually overridden.
+    pub fn new_sparse(m: usize) -> Self {
+        OverrideTriangle {
+            m,
+            repr: Repr::Sparse(HashSet::new()),
+            set_count: 0,
+        }
+    }
+
+    /// `true` iff this triangle uses the compressed representation.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.repr, Repr::Sparse(_))
+    }
+
+    /// Approximate heap footprint in bytes (the quantity the dense vs
+    /// sparse trade-off is about).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Dense(bits) => bits.len() * 8,
+            // HashSet of u64: entry + control byte, roughly.
+            Repr::Sparse(set) => set.capacity() * 9,
+        }
+    }
+
+    /// Sequence length this triangle covers.
+    #[inline]
+    pub fn seq_len(&self) -> usize {
+        self.m
+    }
+
+    /// Number of overridden pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.set_count
+    }
+
+    /// `true` iff no pair is overridden.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.set_count == 0
+    }
+
+    #[inline(always)]
+    fn index(&self, p: usize, q: usize) -> usize {
+        debug_assert!(p < q && q < self.m, "pair ({p},{q}) out of triangle");
+        q * (q - 1) / 2 + p
+    }
+
+    /// Is pair `(p, q)` overridden? Requires `p < q < m`.
+    #[inline(always)]
+    pub fn get(&self, p: usize, q: usize) -> bool {
+        let i = self.index(p, q);
+        match &self.repr {
+            Repr::Dense(bits) => (bits[i / 64] >> (i % 64)) & 1 != 0,
+            Repr::Sparse(set) => set.contains(&(i as u64)),
+        }
+    }
+
+    /// Override pair `(p, q)`. Returns `true` if the pair was newly set.
+    pub fn set(&mut self, p: usize, q: usize) -> bool {
+        let i = self.index(p, q);
+        let newly = match &mut self.repr {
+            Repr::Dense(bits) => {
+                let word = &mut bits[i / 64];
+                let mask = 1u64 << (i % 64);
+                if *word & mask == 0 {
+                    *word |= mask;
+                    true
+                } else {
+                    false
+                }
+            }
+            Repr::Sparse(set) => set.insert(i as u64),
+        };
+        if newly {
+            self.set_count += 1;
+        }
+        newly
+    }
+
+    /// Iterate over all overridden pairs (ascending `q`, then `p`).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let m = self.m;
+        (1..m).flat_map(move |q| (0..q).filter(move |&p| self.get(p, q)).map(move |p| (p, q)))
+    }
+}
+
+impl PartialEq for OverrideTriangle {
+    /// Logical equality: same length and same overridden pairs,
+    /// regardless of representation.
+    fn eq(&self, other: &Self) -> bool {
+        self.m == other.m
+            && self.set_count == other.set_count
+            && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for OverrideTriangle {}
+
+impl fmt::Debug for OverrideTriangle {
+    /// Compact Debug: size and population, not megabytes of bits.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OverrideTriangle(m={}, {} pairs set, {})",
+            self.m,
+            self.set_count,
+            if self.is_sparse() { "sparse" } else { "dense" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both(m: usize) -> [OverrideTriangle; 2] {
+        [OverrideTriangle::new(m), OverrideTriangle::new_sparse(m)]
+    }
+
+    #[test]
+    fn starts_empty() {
+        for t in both(100) {
+            assert!(t.is_empty());
+            assert_eq!(t.len(), 0);
+            for q in 1..100 {
+                for p in 0..q {
+                    assert!(!t.get(p, q));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        for mut t in both(50) {
+            assert!(t.set(3, 17));
+            assert!(t.get(3, 17));
+            assert!(!t.get(3, 18));
+            assert!(!t.get(2, 17));
+            assert_eq!(t.len(), 1);
+        }
+    }
+
+    #[test]
+    fn double_set_is_idempotent() {
+        for mut t in both(10) {
+            assert!(t.set(0, 1));
+            assert!(!t.set(0, 1));
+            assert_eq!(t.len(), 1);
+        }
+    }
+
+    #[test]
+    fn all_pairs_are_distinct_bits() {
+        for mut t in both(40) {
+            let mut n = 0;
+            for q in 1..40 {
+                for p in 0..q {
+                    assert!(t.set(p, q), "bit ({p},{q}) collided");
+                    n += 1;
+                }
+            }
+            assert_eq!(t.len(), n);
+            assert_eq!(n, 40 * 39 / 2);
+        }
+    }
+
+    #[test]
+    fn iter_yields_exactly_the_set_pairs() {
+        for mut t in both(20) {
+            let pairs = [(0, 5), (3, 4), (10, 19), (0, 1)];
+            for &(p, q) in &pairs {
+                t.set(p, q);
+            }
+            let mut got: Vec<_> = t.iter().collect();
+            got.sort();
+            let mut want = pairs.to_vec();
+            want.sort();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_logically() {
+        let [mut d, mut s] = both(64);
+        let pairs = [(0, 1), (5, 40), (39, 40), (62, 63), (0, 63)];
+        for &(p, q) in &pairs {
+            d.set(p, q);
+            s.set(p, q);
+        }
+        assert_eq!(d, s, "representations must compare equal");
+        assert!(s.is_sparse() && !d.is_sparse());
+    }
+
+    #[test]
+    fn sparse_is_smaller_when_sparse() {
+        let m = 4000;
+        let mut d = OverrideTriangle::new(m);
+        let mut s = OverrideTriangle::new_sparse(m);
+        for i in 0..100 {
+            d.set(i, i + 2000);
+            s.set(i, i + 2000);
+        }
+        assert!(
+            s.heap_bytes() < d.heap_bytes() / 10,
+            "sparse {} vs dense {} bytes",
+            s.heap_bytes(),
+            d.heap_bytes()
+        );
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        for t in both(0) {
+            assert!(t.is_empty());
+        }
+        for mut t in both(2) {
+            assert!(t.set(0, 1));
+            assert_eq!(t.iter().count(), 1);
+        }
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let t = OverrideTriangle::new(1000);
+        assert_eq!(
+            format!("{t:?}"),
+            "OverrideTriangle(m=1000, 0 pairs set, dense)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of triangle")]
+    #[cfg(debug_assertions)]
+    fn out_of_range_panics() {
+        OverrideTriangle::new(5).get(2, 5);
+    }
+}

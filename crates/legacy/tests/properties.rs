@@ -1,0 +1,51 @@
+//! Property test of the paper's central correctness claim: the new
+//! `O(n³)` algorithm computes *exactly the same* top alignments as the
+//! old `O(n⁴)` one, on arbitrary inputs and scoring schemes.
+
+use proptest::prelude::*;
+use repro_align::{Alphabet, ExchangeMatrix, GapPenalties, Scoring, Seq};
+use repro_core::find_top_alignments;
+use repro_legacy::{find_top_alignments_old, LegacyKernel};
+
+fn arb_dna(max: usize) -> impl Strategy<Value = Seq> {
+    prop::collection::vec(0u8..4, 0..=max).prop_map(|codes| Seq::from_codes(Alphabet::Dna, codes))
+}
+
+fn arb_scoring() -> impl Strategy<Value = Scoring> {
+    (1i32..=4, -3i32..=0, 0i32..=3, 1i32..=2).prop_map(|(m, mm, open, ext)| {
+        Scoring::new(
+            ExchangeMatrix::match_mismatch(Alphabet::Dna, m, mm),
+            GapPenalties::new(open, ext),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn old_and_new_agree(
+        (seq, scoring) in (arb_dna(30), arb_scoring()),
+        count in 1usize..6,
+    ) {
+        let new = find_top_alignments(&seq, &scoring, count);
+        for kernel in [LegacyKernel::Gotoh, LegacyKernel::Naive] {
+            let old = find_top_alignments_old(&seq, &scoring, count, kernel);
+            prop_assert_eq!(
+                &old.alignments, &new.alignments,
+                "{:?} kernel diverged on {}", kernel, seq
+            );
+            prop_assert_eq!(old.triangle.len(), new.triangle.len());
+        }
+    }
+
+    /// The old algorithm always performs at least as many alignment
+    /// passes as the new one (it is what the paper replaced).
+    #[test]
+    fn old_never_does_less_work(seq in arb_dna(30), count in 1usize..5) {
+        let scoring = Scoring::dna_example();
+        let new = find_top_alignments(&seq, &scoring, count);
+        let old = find_top_alignments_old(&seq, &scoring, count, LegacyKernel::Gotoh);
+        prop_assert!(old.stats.alignments >= new.stats.alignments);
+    }
+}

@@ -1,0 +1,373 @@
+//! # repro-parallel — the shared-memory engine (paper §4.2)
+//!
+//! Worker threads share the task state, the override triangle and the
+//! bottom-row store. Each idle worker claims the highest-scoring
+//! *unassigned, stale* task and realigns it speculatively; a top
+//! alignment is accepted exactly when the globally best task (by upper
+//! bound, over assigned and unassigned alike) is *fresh* — the same
+//! fixed point the sequential loop reaches, so all engines emit
+//! identical alignments. Speculative work whose stamp is superseded is
+//! not wasted: its (lower) score re-enters the state, pushing the task
+//! down the order, exactly as the paper observes.
+//!
+//! Synchronisation mirrors the paper's observations: the coarse-grained
+//! tasks make critical sections negligible, the triangle is read-mostly
+//! (an `Arc` snapshot is swapped on each acceptance), and first-pass
+//! bottom rows are written once and then immutable (`OnceLock`).
+
+#![warn(missing_docs)]
+
+use parking_lot::{Condvar, Mutex};
+use repro_align::{Score, Scoring, Seq};
+use repro_core::bottom::best_valid_entry;
+use repro_core::{
+    accept_task_with_row, OverrideTriangle, SplitMask, Stats, TopAlignment, TopAlignments,
+};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Result of the threaded engine.
+#[derive(Debug, Clone)]
+pub struct ParallelResult {
+    /// Alignments, stats and triangle — identical alignments to the
+    /// sequential engine.
+    pub result: TopAlignments,
+    /// Number of worker threads used.
+    pub workers: usize,
+    /// Alignments that were computed against an already-superseded
+    /// triangle version (the speculation overhead; paper: ≤ 8.4 %).
+    pub superseded_alignments: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaskState {
+    score: Score,
+    aligned_with: usize,
+    assigned: bool,
+}
+
+struct Shared {
+    state: Vec<TaskState>, // index r − 1
+    triangle: Arc<OverrideTriangle>,
+    tops: Vec<TopAlignment>,
+    stats: Stats,
+    superseded: u64,
+    accept_in_progress: bool,
+    done: bool,
+}
+
+struct Engine<'a> {
+    seq: &'a Seq,
+    scoring: &'a Scoring,
+    count: usize,
+    shared: Mutex<Shared>,
+    wake: Condvar,
+    rows: Vec<OnceLock<Vec<Score>>>, // index r − 1, first-pass bottom rows
+}
+
+const NEVER: usize = usize::MAX;
+
+/// Find `count` top alignments using `threads` worker threads.
+/// Produces exactly the same alignments as the sequential engine.
+///
+/// ```
+/// use repro_parallel::find_top_alignments_parallel;
+/// use repro_align::{Scoring, Seq};
+///
+/// let seq = Seq::dna("ATGCATGCATGC").unwrap();
+/// let run = find_top_alignments_parallel(&seq, &Scoring::dna_example(), 3, 2);
+/// assert_eq!(run.result.alignments.len(), 3);
+/// assert_eq!(run.workers, 2);
+/// ```
+pub fn find_top_alignments_parallel(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    threads: usize,
+) -> ParallelResult {
+    assert!(threads >= 1, "need at least one worker");
+    let m = seq.len();
+    let splits = m.saturating_sub(1);
+
+    let engine = Engine {
+        seq,
+        scoring,
+        count,
+        shared: Mutex::new(Shared {
+            state: vec![
+                TaskState {
+                    score: Score::MAX,
+                    aligned_with: NEVER,
+                    assigned: false,
+                };
+                splits
+            ],
+            triangle: Arc::new(OverrideTriangle::new(m)),
+            tops: Vec::new(),
+            stats: Stats::new(),
+            superseded: 0,
+            accept_in_progress: false,
+            done: false,
+        }),
+        wake: Condvar::new(),
+        rows: (0..splits).map(|_| OnceLock::new()).collect(),
+    };
+
+    if splits == 0 || count == 0 {
+        let shared = engine.shared.into_inner();
+        return ParallelResult {
+            result: TopAlignments {
+                alignments: shared.tops,
+                stats: shared.stats,
+                triangle: Arc::try_unwrap(shared.triangle).unwrap_or_else(|a| (*a).clone()),
+            },
+            workers: threads,
+            superseded_alignments: 0,
+        };
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| engine.worker());
+        }
+    });
+
+    let shared = engine.shared.into_inner();
+    ParallelResult {
+        result: TopAlignments {
+            alignments: shared.tops,
+            stats: shared.stats,
+            triangle: Arc::try_unwrap(shared.triangle).unwrap_or_else(|a| (*a).clone()),
+        },
+        workers: threads,
+        superseded_alignments: shared.superseded,
+    }
+}
+
+enum Decision {
+    Accept { r: usize, score: Score },
+    Realign { r: usize, stamp: usize, triangle: Arc<OverrideTriangle> },
+    Wait,
+    Finished,
+}
+
+impl Engine<'_> {
+    /// Pick the next action under the lock.
+    fn decide(&self, shared: &mut Shared) -> Decision {
+        if shared.done || shared.tops.len() >= self.count {
+            shared.done = true;
+            return Decision::Finished;
+        }
+        let tops_found = shared.tops.len();
+        // Global argmax over ALL tasks (assigned ones hold their stale
+        // upper bound), ties to the smaller split.
+        let mut best: Option<(Score, usize)> = None;
+        for (i, t) in shared.state.iter().enumerate() {
+            if best.is_none_or(|(bs, _)| t.score > bs) {
+                best = Some((t.score, i));
+            }
+        }
+        let Some((best_score, best_i)) = best else {
+            shared.done = true;
+            return Decision::Finished;
+        };
+        if best_score <= 0 {
+            shared.done = true;
+            return Decision::Finished;
+        }
+        let best_task = shared.state[best_i];
+        if best_task.aligned_with == tops_found && !best_task.assigned {
+            if shared.accept_in_progress {
+                // Someone is already accepting; speculate below.
+            } else {
+                shared.accept_in_progress = true;
+                return Decision::Accept {
+                    r: best_i + 1,
+                    score: best_score,
+                };
+            }
+        }
+        // Speculate: best stale unassigned task, if any.
+        let mut pick: Option<(Score, usize)> = None;
+        for (i, t) in shared.state.iter().enumerate() {
+            if !t.assigned && t.aligned_with != tops_found && t.score > 0
+                && pick.is_none_or(|(ps, _)| t.score > ps) {
+                    pick = Some((t.score, i));
+                }
+        }
+        match pick {
+            Some((_, i)) => {
+                shared.state[i].assigned = true;
+                Decision::Realign {
+                    r: i + 1,
+                    stamp: tops_found,
+                    triangle: Arc::clone(&shared.triangle),
+                }
+            }
+            None => Decision::Wait,
+        }
+    }
+
+    fn worker(&self) {
+        let mut guard = self.shared.lock();
+        loop {
+            match self.decide(&mut guard) {
+                Decision::Finished => {
+                    self.wake.notify_all();
+                    return;
+                }
+                Decision::Wait => {
+                    self.wake.wait(&mut guard);
+                }
+                Decision::Accept { r, score } => {
+                    let index = guard.tops.len();
+                    let mut triangle = (*guard.triangle).clone();
+                    drop(guard);
+
+                    let original = self.rows[r - 1]
+                        .get()
+                        .expect("accepted split must have a first-pass row");
+                    let (top, cells) = accept_task_with_row(
+                        self.seq,
+                        self.scoring,
+                        r,
+                        score,
+                        &mut triangle,
+                        original,
+                        index,
+                    );
+
+                    guard = self.shared.lock();
+                    guard.stats.record_traceback(cells);
+                    guard.triangle = Arc::new(triangle);
+                    guard.tops.push(top);
+                    guard.accept_in_progress = false;
+                    // The accepted task keeps its score as an upper bound
+                    // and is now stale (tops count advanced).
+                    self.wake.notify_all();
+                }
+                Decision::Realign { r, stamp, triangle } => {
+                    drop(guard);
+
+                    let (prefix, suffix) = self.seq.split(r);
+                    let mask = SplitMask::new(&triangle, r);
+                    let last = repro_align::sw_last_row(prefix, suffix, self.scoring, mask);
+                    let cells = last.cells;
+                    let (score, first) = match self.rows[r - 1].get() {
+                        None => {
+                            debug_assert!(triangle.is_empty());
+                            let s = last.best_in_row;
+                            (s, Some(last.row))
+                        }
+                        Some(original) => (best_valid_entry(&last.row, original).0, None),
+                    };
+                    if let Some(row) = first {
+                        self.rows[r - 1]
+                            .set(row)
+                            .expect("first pass runs exactly once per split");
+                    }
+
+                    guard = self.shared.lock();
+                    guard.stats.record_alignment(cells, stamp);
+                    if stamp != guard.tops.len() {
+                        guard.superseded += 1;
+                    }
+                    let t = &mut guard.state[r - 1];
+                    t.score = score;
+                    t.aligned_with = stamp;
+                    t.assigned = false;
+                    self.wake.notify_all();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_core::find_top_alignments;
+
+    #[test]
+    fn figure4_example_matches_sequential() {
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 3);
+        for threads in [1, 2, 4] {
+            let got = find_top_alignments_parallel(&seq, &scoring, 3, threads);
+            assert_eq!(
+                got.result.alignments, want.alignments,
+                "{threads} threads disagree with sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_on_varied_inputs_and_thread_counts() {
+        let scoring = Scoring::dna_example();
+        for text in [
+            "ACGTTGCAACGTACGTTGCAGGTT",
+            "AAAAAAAAAAAAAAA",
+            "ATATATATATATATATATAT",
+            "ACGGTACGGTAACGGTTTTTACGGT",
+        ] {
+            let seq = Seq::dna(text).unwrap();
+            let want = find_top_alignments(&seq, &scoring, 6);
+            for threads in [1, 2, 3, 8] {
+                let got = find_top_alignments_parallel(&seq, &scoring, 6, threads);
+                assert_eq!(
+                    got.result.alignments, want.alignments,
+                    "{threads} threads on {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_does_no_superseded_work() {
+        let seq = Seq::dna(&"ATGC".repeat(20)).unwrap();
+        let scoring = Scoring::dna_example();
+        let got = find_top_alignments_parallel(&seq, &scoring, 8, 1);
+        assert_eq!(got.superseded_alignments, 0);
+        let want = find_top_alignments(&seq, &scoring, 8);
+        assert_eq!(got.result.alignments, want.alignments);
+        // One worker does exactly the sequential amount of work.
+        assert_eq!(got.result.stats.alignments, want.stats.alignments);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let scoring = Scoring::dna_example();
+        for text in ["", "A", "AA"] {
+            let seq = Seq::dna(text).unwrap();
+            let want = find_top_alignments(&seq, &scoring, 3);
+            let got = find_top_alignments_parallel(&seq, &scoring, 3, 2);
+            assert_eq!(got.result.alignments, want.alignments, "input {text:?}");
+        }
+    }
+
+    #[test]
+    fn count_zero() {
+        let seq = Seq::dna("ATGCATGC").unwrap();
+        let scoring = Scoring::dna_example();
+        let got = find_top_alignments_parallel(&seq, &scoring, 0, 4);
+        assert!(got.result.alignments.is_empty());
+    }
+
+    #[test]
+    fn protein_with_many_threads() {
+        let seq = Seq::protein("MGEKALVPYRLQHCMGEKALVPYRWWMGEKALVPYR").unwrap();
+        let scoring = Scoring::protein_default();
+        let want = find_top_alignments(&seq, &scoring, 5);
+        let got = find_top_alignments_parallel(&seq, &scoring, 5, 6);
+        assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn exhaustion_terminates_with_threads() {
+        let seq = Seq::dna("ACGT").unwrap();
+        let scoring = Scoring::dna_example();
+        let got = find_top_alignments_parallel(&seq, &scoring, 10, 4);
+        assert!(got.result.alignments.len() < 10);
+    }
+}

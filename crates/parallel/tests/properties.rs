@@ -1,0 +1,33 @@
+//! Property test: the shared-memory engine is schedule-independent —
+//! any thread count produces exactly the sequential alignments.
+
+use proptest::prelude::*;
+use repro_align::{Alphabet, Scoring, Seq};
+use repro_core::find_top_alignments;
+use repro_parallel::find_top_alignments_parallel;
+
+fn arb_dna(max: usize) -> impl Strategy<Value = Seq> {
+    prop::collection::vec(0u8..4, 0..=max).prop_map(|codes| Seq::from_codes(Alphabet::Dna, codes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_thread_count_matches_sequential(
+        seq in arb_dna(32),
+        count in 1usize..6,
+        threads in 1usize..5,
+    ) {
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, count);
+        let got = find_top_alignments_parallel(&seq, &scoring, count, threads);
+        prop_assert_eq!(&got.result.alignments, &want.alignments,
+            "{} threads diverged on {}", threads, seq);
+        // A single worker must be speculation-free.
+        if threads == 1 {
+            prop_assert_eq!(got.superseded_alignments, 0);
+            prop_assert_eq!(got.result.stats.alignments, want.stats.alignments);
+        }
+    }
+}

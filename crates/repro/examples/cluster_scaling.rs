@@ -1,0 +1,56 @@
+//! A miniature Figure 8: simulate the DAS-2-style cluster at several
+//! processor counts and print the speed-improvement curve.
+//!
+//! Workers execute real alignments; time comes from the calibrated
+//! virtual-clock cost model (see `repro-cluster`), so 128 processors
+//! run happily on one machine. The full-size experiment lives in
+//! `repro-bench --bin figure8`.
+//!
+//! Run with: `cargo run --release -p repro --example cluster_scaling`
+
+use repro::cluster::{simulate_cluster, AlignCache, CostModel};
+use repro::xmpi::virtual_time::LinkModel;
+use repro::{find_top_alignments, Scoring};
+use repro_seqgen::titin_like;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    let seq = titin_like(800, 42);
+    let scoring = Scoring::protein_default();
+    let count = 5;
+
+    // One sequential run provides the Figure 8 baselines.
+    let seq_run = find_top_alignments(&seq, &scoring, count);
+    println!(
+        "workload: titin-like {} aa, {} top alignments, {} sequential \
+         alignment passes",
+        seq.len(),
+        count,
+        seq_run.stats.alignments
+    );
+
+    let cache = Rc::new(RefCell::new(AlignCache::new()));
+    println!("\n{:>6} {:>14} {:>16} {:>14}", "procs", "virtual time", "improvement", "vs SSE");
+    for procs in [2, 3, 5, 9, 17, 33, 65] {
+        let report = simulate_cluster(
+            &seq,
+            &scoring,
+            count,
+            procs,
+            CostModel::das2(),
+            LinkModel::default(),
+            &seq_run.stats,
+            Rc::clone(&cache),
+        );
+        assert_eq!(report.result.alignments, seq_run.alignments);
+        println!(
+            "{:>6} {:>12.4} s {:>15.1}x {:>13.1}x",
+            procs, report.virtual_time, report.speed_improvement, report.speedup_vs_sse
+        );
+    }
+    println!(
+        "\n(cache now holds {} memoised alignment results shared across runs)",
+        cache.borrow().len()
+    );
+}

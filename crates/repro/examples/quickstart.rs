@@ -1,0 +1,56 @@
+//! Quickstart: find the paper's three top alignments of ATGCATGCATGC
+//! (Figure 4) and print them, then delineate the repeat.
+//!
+//! Run with: `cargo run --release -p repro --example quickstart`
+
+use repro::{Repro, Scoring, Seq};
+
+fn main() {
+    // The example sequence and scoring scheme straight from the paper
+    // (§2: +2 match, −1 mismatch, gap open 2, gap extend 1).
+    let seq = Seq::dna("ATGCATGCATGC").unwrap();
+    let analysis = Repro::new(Scoring::dna_example())
+        .top_alignments(3)
+        .run(&seq);
+
+    println!("sequence: {seq}");
+    println!();
+    for top in &analysis.tops.alignments {
+        println!(
+            "top alignment #{}: split r={}, score {}",
+            top.index + 1,
+            top.r,
+            top.score
+        );
+        let (ps, qs): (Vec<_>, Vec<_>) = top.pairs.iter().copied().unzip();
+        println!("  prefix positions: {ps:?}");
+        println!("  suffix positions: {qs:?}");
+    }
+
+    println!();
+    println!(
+        "delineation: period {:?}, {} copies, {:.0}% coverage",
+        analysis.report.period,
+        analysis.report.copies(),
+        100.0 * analysis.report.coverage(seq.len())
+    );
+    for (i, unit) in analysis.report.units.iter().enumerate() {
+        let text: String = seq.to_text()[unit.range.clone()].to_string();
+        println!("  unit {}: {:?} = {}", i + 1, unit.range, text);
+    }
+
+    if let Some(consensus) = &analysis.consensus {
+        println!();
+        println!(
+            "consensus unit: {} (mean identity {:.0}%)",
+            consensus.consensus,
+            100.0 * consensus.mean_identity()
+        );
+    }
+
+    println!();
+    println!(
+        "work: {} alignments, {} cells, {} tracebacks",
+        analysis.tops.stats.alignments, analysis.tops.stats.cells, analysis.tops.stats.tracebacks
+    );
+}

@@ -1,0 +1,243 @@
+//! # repro — internal-repeat detection via nonoverlapping top alignments
+//!
+//! A Rust reproduction of Romein, Heringa & Bal, *A Million-Fold Speed
+//! Improvement in Genomic Repeats Detection* (SC 2003): the `O(n³)`
+//! top-alignment algorithm behind the Repro protein-repeat method, with
+//! the paper's three parallelisation levels (coarse-grained SIMD,
+//! shared-memory threads, distributed master/worker) and the `O(n⁴)`
+//! 1993 baseline for comparison.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use repro::{Repro, Seq, Scoring};
+//!
+//! let seq = Seq::dna("ATGCATGCATGC").unwrap();
+//! let analysis = Repro::new(Scoring::dna_example())
+//!     .top_alignments(3)
+//!     .run(&seq);
+//! assert_eq!(analysis.tops.alignments.len(), 3);
+//! assert_eq!(analysis.report.period, Some(4));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`align`](repro_align) | alignment kernels, alphabets, matrices, FASTA |
+//! | [`core`](repro_core) | override triangle, bottom rows, task queue, the sequential finder, delineation |
+//! | [`simd`](repro_simd) | 4/8-lane interleaved neighbouring-matrix kernel and engine |
+//! | [`parallel`](repro_parallel) | shared-memory speculative engine |
+//! | [`xmpi`](repro_xmpi) | message-passing substrate (threads + virtual time) |
+//! | [`cluster`](repro_cluster) | distributed engine and the DAS-2 simulator |
+//! | [`legacy`](repro_legacy) | the old `O(n⁴)` algorithm |
+//! | [`seqgen`](repro_seqgen) | deterministic workloads (planted repeats, titin-like) |
+//!
+//! Every engine produces **identical** top alignments; they differ only
+//! in how the work is scheduled, exactly as the paper claims.
+
+#![warn(missing_docs)]
+
+pub use repro_align as align;
+pub use repro_cluster as cluster;
+pub use repro_core as core;
+pub use repro_legacy as legacy;
+pub use repro_parallel as parallel;
+pub use repro_seqgen as seqgen;
+pub use repro_simd as simd;
+pub use repro_xmpi as xmpi;
+
+pub use repro_align::{
+    Alphabet, ExchangeMatrix, GapPenalties, Scoring, Seq,
+};
+pub use repro_core::{
+    delineate, find_top_alignments, unit_consensus, Consensus, RepeatReport, Stats, TopAlignment,
+    TopAlignments,
+};
+pub use repro_legacy::{find_top_alignments_old, LegacyKernel};
+pub use repro_parallel::find_top_alignments_parallel;
+pub use repro_simd::{find_top_alignments_simd, LaneWidth};
+
+use std::time::Duration;
+
+/// Which execution engine to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The sequential `O(n³)` algorithm (paper §3).
+    Sequential,
+    /// Coarse-grained SIMD groups (paper §4.1).
+    Simd(LaneWidth),
+    /// Shared-memory worker threads (paper §4.2).
+    Threads(usize),
+    /// Distributed master/worker over in-process ranks (paper §4.3).
+    Cluster {
+        /// Worker ranks (one extra rank is the sacrificed master).
+        workers: usize,
+    },
+    /// Cluster of SMPs (paper §4.3's hybrid): threads within a node
+    /// share the triangle replica and row cache; nodes message-pass.
+    Hybrid {
+        /// SMP nodes (node 0 donates one CPU to the master).
+        nodes: usize,
+        /// CPUs per node.
+        threads_per_node: usize,
+    },
+    /// The old `O(n⁴)` algorithm (Table 1's baseline).
+    Legacy(LegacyKernel),
+}
+
+/// High-level entry point: configure once, run on any sequence.
+#[derive(Debug, Clone)]
+pub struct Repro {
+    scoring: Scoring,
+    count: usize,
+    engine: Engine,
+    low_memory: bool,
+}
+
+/// Everything a run produces: the top alignments (with work stats and
+/// the override triangle), the delineated repeat report, and the
+/// majority-vote consensus of the repeat units.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Top alignments in acceptance order, plus stats and triangle.
+    pub tops: TopAlignments,
+    /// Repeat units delineated from the top alignments.
+    pub report: RepeatReport,
+    /// Consensus of the delineated units (`None` when no units exist).
+    pub consensus: Option<Consensus>,
+}
+
+impl Repro {
+    /// A sequential-engine run with 10 top alignments (the paper's
+    /// "typically 10–30").
+    pub fn new(scoring: Scoring) -> Self {
+        Repro {
+            scoring,
+            count: 10,
+            engine: Engine::Sequential,
+            low_memory: false,
+        }
+    }
+
+    /// Set the number of top alignments to search for.
+    pub fn top_alignments(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Select the execution engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Use the linear-memory configuration of the paper's Appendix A
+    /// (sparse override triangle + on-demand bottom-row recomputation).
+    /// Only the [`Engine::Sequential`] engine honours this; results are
+    /// identical either way, only memory/work trade off.
+    pub fn low_memory(mut self, on: bool) -> Self {
+        self.low_memory = on;
+        self
+    }
+
+    /// The configured scoring scheme.
+    pub fn scoring(&self) -> &Scoring {
+        &self.scoring
+    }
+
+    /// Run the analysis. All engines return identical alignments.
+    pub fn run(&self, seq: &Seq) -> Analysis {
+        let tops = match self.engine {
+            Engine::Sequential if self.low_memory => repro_core::TopAlignmentFinder::new(
+                seq,
+                &self.scoring,
+                repro_core::FinderConfig::linear_memory(self.count),
+            )
+            .run(),
+            Engine::Sequential => find_top_alignments(seq, &self.scoring, self.count),
+            Engine::Simd(width) => {
+                find_top_alignments_simd(seq, &self.scoring, self.count, width).result
+            }
+            Engine::Threads(threads) => {
+                find_top_alignments_parallel(seq, &self.scoring, self.count, threads).result
+            }
+            Engine::Cluster { workers } => repro_cluster::find_top_alignments_cluster(
+                seq,
+                &self.scoring,
+                self.count,
+                workers,
+                Duration::from_secs(600),
+            )
+            .expect("in-process cluster cannot lose messages")
+            .result,
+            Engine::Hybrid {
+                nodes,
+                threads_per_node,
+            } => repro_cluster::find_top_alignments_hybrid(
+                seq,
+                &self.scoring,
+                self.count,
+                nodes,
+                threads_per_node,
+                Duration::from_secs(600),
+            )
+            .expect("in-process hybrid cannot lose messages")
+            .result,
+            Engine::Legacy(kernel) => {
+                find_top_alignments_old(seq, &self.scoring, self.count, kernel)
+            }
+        };
+        let report = delineate(seq, &tops.alignments);
+        let consensus = unit_consensus(seq, &report.units, &self.scoring);
+        Analysis {
+            tops,
+            report,
+            consensus,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let r = Repro::new(Scoring::dna_example());
+        assert_eq!(r.count, 10);
+        assert_eq!(r.engine, Engine::Sequential);
+    }
+
+    #[test]
+    fn every_engine_agrees_through_the_facade() {
+        let seq = Seq::dna("ATGCATGCATGCATGCATGC").unwrap();
+        let engines = [
+            Engine::Sequential,
+            Engine::Simd(LaneWidth::X4),
+            Engine::Simd(LaneWidth::X8),
+            Engine::Threads(2),
+            Engine::Cluster { workers: 2 },
+            Engine::Hybrid {
+                nodes: 2,
+                threads_per_node: 2,
+            },
+            Engine::Legacy(LegacyKernel::Gotoh),
+            Engine::Legacy(LegacyKernel::Naive),
+        ];
+        let base = Repro::new(Scoring::dna_example())
+            .top_alignments(4)
+            .run(&seq);
+        for engine in engines {
+            let analysis = Repro::new(Scoring::dna_example())
+                .top_alignments(4)
+                .engine(engine)
+                .run(&seq);
+            assert_eq!(
+                analysis.tops.alignments, base.tops.alignments,
+                "{engine:?} disagrees"
+            );
+            assert_eq!(analysis.report, base.report, "{engine:?} report disagrees");
+        }
+    }
+}

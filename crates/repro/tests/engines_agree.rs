@@ -1,0 +1,81 @@
+//! Cross-crate integration: every engine — sequential, SIMD (4 and 8
+//! lanes), threads, distributed, legacy — must produce identical top
+//! alignments on realistic workloads. This is the paper's correctness
+//! backbone: parallelisation and the `O(n³)` rewrite change *work*, not
+//! *answers*.
+
+use repro::{Engine, LaneWidth, LegacyKernel, Repro, Scoring, Seq};
+use repro_seqgen::{titin_like, PlantedRepeats, RepeatSpec, Rng};
+
+fn all_engines() -> Vec<Engine> {
+    vec![
+        Engine::Sequential,
+        Engine::Simd(LaneWidth::X4),
+        Engine::Simd(LaneWidth::X8),
+        Engine::Threads(1),
+        Engine::Threads(3),
+        Engine::Cluster { workers: 1 },
+        Engine::Cluster { workers: 3 },
+        Engine::Hybrid {
+            nodes: 2,
+            threads_per_node: 2,
+        },
+        Engine::Legacy(LegacyKernel::Gotoh),
+    ]
+}
+
+fn assert_all_agree(seq: &Seq, scoring: &Scoring, count: usize) {
+    let base = Repro::new(scoring.clone()).top_alignments(count).run(seq);
+    for top in &base.tops.alignments {
+        assert!(top.score > 0);
+    }
+    for engine in all_engines() {
+        let analysis = Repro::new(scoring.clone())
+            .top_alignments(count)
+            .engine(engine)
+            .run(seq);
+        assert_eq!(
+            analysis.tops.alignments, base.tops.alignments,
+            "{engine:?} disagrees on {}…",
+            &seq.to_text()[..seq.len().min(30)]
+        );
+    }
+}
+
+#[test]
+fn titin_like_protein() {
+    let seq = titin_like(300, 11);
+    assert_all_agree(&seq, &Scoring::protein_default(), 8);
+}
+
+#[test]
+fn planted_tandem_dna() {
+    let planted = PlantedRepeats::generate(&RepeatSpec::dna_tandem(25, 6), 3);
+    assert_all_agree(&planted.seq, &Scoring::dna_example(), 10);
+}
+
+#[test]
+fn planted_interspersed_protein() {
+    let planted =
+        PlantedRepeats::generate(&RepeatSpec::protein_interspersed(30, 4), 5);
+    assert_all_agree(&planted.seq, &Scoring::protein_default(), 6);
+}
+
+#[test]
+fn random_dna_little_signal() {
+    let mut rng = Rng::new(17);
+    let seq = repro_seqgen::random_seq(repro::Alphabet::Dna, 120, &mut rng);
+    assert_all_agree(&seq, &Scoring::dna_example(), 5);
+}
+
+#[test]
+fn pathological_homopolymer() {
+    let seq = Seq::dna(&"A".repeat(60)).unwrap();
+    assert_all_agree(&seq, &Scoring::dna_example(), 5);
+}
+
+#[test]
+fn two_residue_period() {
+    let seq = Seq::dna(&"AT".repeat(40)).unwrap();
+    assert_all_agree(&seq, &Scoring::dna_example(), 6);
+}

@@ -1,0 +1,123 @@
+//! End-to-end pipeline tests: generator → top alignments → delineation
+//! → consensus, scored against planted ground truth.
+
+use repro::{Repro, Scoring};
+use repro_seqgen::{titin_like, PlantedRepeats, RepeatKind, RepeatSpec};
+
+#[test]
+fn recovers_planted_dna_tandem_period_and_copies() {
+    for seed in [1u64, 2, 3, 4, 5] {
+        let spec = RepeatSpec {
+            alphabet: repro::Alphabet::Dna,
+            unit_len: 30,
+            copies: 6,
+            substitution_rate: 0.04,
+            indel_rate: 0.0,
+            kind: RepeatKind::Tandem,
+            flank: 25,
+        };
+        let planted = PlantedRepeats::generate(&spec, seed);
+        let analysis = Repro::new(Scoring::dna_example())
+            .top_alignments(8)
+            .run(&planted.seq);
+
+        let period = analysis.report.period.expect("period must be found");
+        assert!(
+            (27..=33).contains(&period),
+            "seed {seed}: period {period} far from planted 30"
+        );
+        let copies = analysis.report.copies();
+        assert!(
+            (5..=8).contains(&copies),
+            "seed {seed}: {copies} copies vs planted 6"
+        );
+    }
+}
+
+#[test]
+fn consensus_recovers_the_ancestral_unit() {
+    let spec = RepeatSpec {
+        alphabet: repro::Alphabet::Dna,
+        unit_len: 24,
+        copies: 7,
+        substitution_rate: 0.05,
+        indel_rate: 0.0,
+        kind: RepeatKind::Tandem,
+        flank: 0,
+    };
+    let planted = PlantedRepeats::generate(&spec, 11);
+    let analysis = Repro::new(Scoring::dna_example())
+        .top_alignments(10)
+        .run(&planted.seq);
+    let consensus = analysis.consensus.expect("consensus must exist");
+
+    // The consensus is a rotation of the ancestral unit (delineation
+    // phase is arbitrary); check it matches some rotation well.
+    let ancestor = planted.unit.to_text();
+    let doubled = format!("{ancestor}{ancestor}");
+    let ctext = consensus.consensus.to_text();
+    let best_matches = (0..ancestor.len())
+        .map(|rot| {
+            doubled[rot..rot + ancestor.len()]
+                .bytes()
+                .zip(ctext.bytes())
+                .filter(|(a, b)| a == b)
+                .count()
+        })
+        .max()
+        .unwrap_or(0);
+    assert!(
+        best_matches * 10 >= ctext.len() * 9,
+        "consensus {ctext} matches ancestor {ancestor} at only {best_matches}/{} positions",
+        ctext.len()
+    );
+    assert!(consensus.mean_identity() > 0.8);
+}
+
+#[test]
+fn interspersed_protein_repeats_are_found() {
+    let spec = RepeatSpec::protein_interspersed(40, 5);
+    let planted = PlantedRepeats::generate(&spec, 21);
+    let analysis = Repro::new(Scoring::protein_default())
+        .top_alignments(10)
+        .run(&planted.seq);
+
+    // Every planted copy participates in at least one top alignment.
+    for (i, range) in planted.copy_ranges.iter().enumerate() {
+        let touched = analysis.tops.alignments.iter().any(|top| {
+            top.pairs
+                .iter()
+                .any(|&(p, q)| range.contains(&p) || range.contains(&q))
+        });
+        assert!(touched, "planted copy {i} untouched by any top alignment");
+    }
+}
+
+#[test]
+fn titin_like_realignment_fraction_matches_paper_band() {
+    // The paper: "only 3–10% of the matrices need realignment with a new
+    // override triangle before the next top alignment is found."
+    let seq = titin_like(800, 31);
+    let scoring = Scoring::protein_default();
+    let analysis = Repro::new(scoring).top_alignments(20).run(&seq);
+    let frac = analysis.tops.stats.realignment_fraction(seq.len() - 1);
+    assert!(
+        (0.005..=0.25).contains(&frac),
+        "realignment fraction {frac} far outside the paper's band"
+    );
+}
+
+#[test]
+fn low_memory_pipeline_is_equivalent() {
+    let seq = titin_like(400, 41);
+    let scoring = Scoring::protein_default();
+    let a = Repro::new(scoring.clone()).top_alignments(8).run(&seq);
+    let b = Repro::new(scoring)
+        .top_alignments(8)
+        .low_memory(true)
+        .run(&seq);
+    assert_eq!(a.tops.alignments, b.tops.alignments);
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.consensus, b.consensus);
+    assert!(b.tops.stats.row_recomputations > 0);
+}

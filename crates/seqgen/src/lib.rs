@@ -1,0 +1,32 @@
+//! # repro-seqgen — deterministic workload generation
+//!
+//! The paper evaluates on human titin (34 350 amino acids, the longest
+//! known protein) and its prefixes. We have no licence-encumbered
+//! databases here, so this crate *generates* repeat-rich workloads with
+//! known ground truth:
+//!
+//! * [`rng`] — a self-contained xoshiro256\*\* PRNG (no external RNG
+//!   dependency: deterministic, seedable, identical on every platform);
+//! * [`random`] — i.i.d. random sequences, optionally with a residue
+//!   composition;
+//! * [`repeats`] — sequences with *planted* repeats: tandem or
+//!   interspersed copies of a unit, mutated by substitutions and indels,
+//!   with the exact copy locations returned as ground truth;
+//! * [`titin`] — a titin-like protein generator: a long chain of
+//!   diverged ~95-residue immunoglobulin/fibronectin-like domain units,
+//!   the workload shape Table 1 and Figure 8 sweep over.
+//!
+//! Everything is pure and seed-deterministic, so every experiment in
+//! `repro-bench` is exactly reproducible.
+
+#![warn(missing_docs)]
+
+pub mod random;
+pub mod repeats;
+pub mod rng;
+pub mod titin;
+
+pub use random::random_seq;
+pub use repeats::{PlantedRepeats, RepeatKind, RepeatSpec};
+pub use rng::Rng;
+pub use titin::titin_like;

@@ -1,0 +1,96 @@
+//! Random sequences.
+
+use crate::rng::Rng;
+use repro_align::{Alphabet, Seq};
+
+/// A uniformly random sequence over the alphabet's *informative* residues
+/// (the ambiguity code is excluded — random `N`/`X` runs would only
+/// suppress alignment signal).
+pub fn random_seq(alphabet: Alphabet, len: usize, rng: &mut Rng) -> Seq {
+    let k = alphabet.len() - 1; // exclude the trailing ambiguity code
+    let codes = (0..len).map(|_| rng.below(k) as u8).collect();
+    Seq::from_codes(alphabet, codes)
+}
+
+/// A random sequence drawn from an explicit composition: `weights[c]` is
+/// the relative frequency of residue code `c`. Extra weights are ignored;
+/// missing weights count as zero.
+pub fn random_seq_weighted(
+    alphabet: Alphabet,
+    len: usize,
+    weights: &[f64],
+    rng: &mut Rng,
+) -> Seq {
+    let k = alphabet.len().min(weights.len());
+    let total: f64 = weights[..k].iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let codes = (0..len)
+        .map(|_| {
+            let mut t = rng.f64() * total;
+            for (c, &w) in weights[..k].iter().enumerate() {
+                t -= w;
+                if t < 0.0 {
+                    return c as u8;
+                }
+            }
+            (k - 1) as u8
+        })
+        .collect();
+    Seq::from_codes(alphabet, codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_right_length() {
+        let a = random_seq(Alphabet::Dna, 100, &mut Rng::new(1));
+        let b = random_seq(Alphabet::Dna, 100, &mut Rng::new(1));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn never_emits_ambiguity_code() {
+        let s = random_seq(Alphabet::Protein, 5000, &mut Rng::new(2));
+        let x = Alphabet::Protein.unknown_code();
+        assert!(s.codes().iter().all(|&c| c != x));
+    }
+
+    #[test]
+    fn roughly_uniform_composition() {
+        let s = random_seq(Alphabet::Dna, 40_000, &mut Rng::new(3));
+        let mut counts = [0usize; 4];
+        for &c in s.codes() {
+            counts[c as usize] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / 40_000.0;
+            assert!((f - 0.25).abs() < 0.02, "composition skew: {f}");
+        }
+    }
+
+    #[test]
+    fn weighted_composition_respected() {
+        let s = random_seq_weighted(
+            Alphabet::Dna,
+            30_000,
+            &[0.7, 0.1, 0.1, 0.1],
+            &mut Rng::new(4),
+        );
+        let a_frac = s.codes().iter().filter(|&&c| c == 0).count() as f64 / 30_000.0;
+        assert!((a_frac - 0.7).abs() < 0.02, "A fraction {a_frac}");
+    }
+
+    #[test]
+    fn zero_length() {
+        assert!(random_seq(Alphabet::Dna, 0, &mut Rng::new(5)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weights_rejected() {
+        random_seq_weighted(Alphabet::Dna, 10, &[0.0; 4], &mut Rng::new(6));
+    }
+}

@@ -1,0 +1,186 @@
+//! Titin-like protein generation.
+//!
+//! Human titin — the paper's flagship input at 34 350 amino acids — is a
+//! chain of ~300 immunoglobulin-like and fibronectin-type-III domains,
+//! each roughly 90–100 residues, mutually diverged to the 10–35 %
+//! identity regime that makes Repro's sensitivity matter. This generator
+//! reproduces that *shape*: a small family of ancestral domain units,
+//! concatenated with per-copy mutation and short linkers, to any target
+//! length (including the full 34 350).
+
+use crate::random::random_seq_weighted;
+use crate::rng::Rng;
+use repro_align::{Alphabet, Seq};
+
+/// Approximate residue composition of globular proteins (A..V order of
+/// the protein alphabet, X weight zero). Coarse Swiss-Prot frequencies.
+const PROTEIN_COMPOSITION: [f64; 21] = [
+    8.3, 5.6, 4.1, 5.5, 1.4, 3.9, 6.7, 7.1, 2.3, 6.0, 9.7, 5.8, 2.4, 3.9, 4.7, 6.6, 5.4, 1.1,
+    2.9, 6.9, 0.0,
+];
+
+/// Parameters of the titin-like generator.
+#[derive(Debug, Clone)]
+pub struct TitinParams {
+    /// Number of distinct ancestral domain families (titin has Ig and
+    /// Fn3; a couple of families keeps the signal realistic).
+    pub families: usize,
+    /// Domain length range (inclusive), residues.
+    pub domain_len: (usize, usize),
+    /// Per-residue substitution probability per domain copy.
+    pub substitution_rate: f64,
+    /// Per-residue indel probability per domain copy.
+    pub indel_rate: f64,
+    /// Linker length range between domains (inclusive).
+    pub linker_len: (usize, usize),
+}
+
+impl Default for TitinParams {
+    fn default() -> Self {
+        TitinParams {
+            families: 2,
+            domain_len: (89, 100),
+            substitution_rate: 0.55,
+            indel_rate: 0.02,
+            linker_len: (2, 8),
+        }
+    }
+}
+
+/// Generate a titin-like protein of exactly `len` residues (truncating the
+/// final domain if needed), deterministic in `seed`.
+///
+/// ```
+/// use repro_seqgen::titin_like;
+///
+/// let t = titin_like(500, 42);
+/// assert_eq!(t.len(), 500);
+/// assert_eq!(t, titin_like(500, 42)); // deterministic
+/// assert_ne!(t, titin_like(500, 43));
+/// ```
+pub fn titin_like(len: usize, seed: u64) -> Seq {
+    titin_like_with(len, seed, &TitinParams::default())
+}
+
+/// [`titin_like`] with explicit parameters.
+pub fn titin_like_with(len: usize, seed: u64, params: &TitinParams) -> Seq {
+    assert!(params.families > 0, "need at least one domain family");
+    assert!(
+        params.domain_len.0 > 0 && params.domain_len.0 <= params.domain_len.1,
+        "bad domain length range"
+    );
+    let mut rng = Rng::new(seed);
+    let k = Alphabet::Protein.len() - 1;
+
+    // Ancestral units, one per family.
+    let ancestors: Vec<Seq> = (0..params.families)
+        .map(|_| {
+            let dlen = range_inclusive(&mut rng, params.domain_len);
+            random_seq_weighted(Alphabet::Protein, dlen, &PROTEIN_COMPOSITION, &mut rng)
+        })
+        .collect();
+
+    let mut codes: Vec<u8> = Vec::with_capacity(len + 128);
+    while codes.len() < len {
+        let family = rng.below(params.families);
+        let unit = ancestors[family].codes();
+        for &c in unit {
+            if rng.chance(params.indel_rate) {
+                if rng.chance(0.5) {
+                    continue;
+                }
+                codes.push(rng.below(k) as u8);
+            }
+            if rng.chance(params.substitution_rate) {
+                let mut sub = rng.below(k) as u8;
+                if sub == c {
+                    sub = ((sub as usize + 1) % k) as u8;
+                }
+                codes.push(sub);
+            } else {
+                codes.push(c);
+            }
+        }
+        let linker_len = range_inclusive(&mut rng, params.linker_len);
+        let linker =
+            random_seq_weighted(Alphabet::Protein, linker_len, &PROTEIN_COMPOSITION, &mut rng);
+        codes.extend_from_slice(linker.codes());
+    }
+    codes.truncate(len);
+    Seq::from_codes(Alphabet::Protein, codes)
+}
+
+fn range_inclusive(rng: &mut Rng, (lo, hi): (usize, usize)) -> usize {
+    if lo >= hi {
+        lo
+    } else {
+        rng.range(lo, hi + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_align::{sw_last_row, NoMask, Scoring};
+
+    #[test]
+    fn exact_length_and_deterministic() {
+        let a = titin_like(1000, 7);
+        let b = titin_like(1000, 7);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(titin_like(500, 1), titin_like(500, 2));
+    }
+
+    #[test]
+    fn self_similarity_beats_random() {
+        // A titin-like prefix vs a disjoint titin-like window of the same
+        // protein aligns far better than two unrelated random proteins:
+        // the internal-repeat signal the whole paper is about.
+        let t = titin_like(1200, 3);
+        let scoring = Scoring::protein_default();
+        let (prefix, suffix) = t.split(600);
+        let signal = sw_last_row(prefix, suffix, &scoring, NoMask).best;
+
+        let u = titin_like(1200, 4);
+        let noise = sw_last_row(&u.codes()[..600], t.split(600).1, &scoring, NoMask).best;
+        assert!(
+            signal > noise + 30,
+            "titin-like self-similarity too weak: {signal} vs {noise}"
+        );
+    }
+
+    #[test]
+    fn no_ambiguity_codes() {
+        let t = titin_like(2000, 5);
+        let x = Alphabet::Protein.unknown_code();
+        assert!(t.codes().iter().all(|&c| c != x));
+    }
+
+    #[test]
+    fn full_titin_length_is_feasible() {
+        let t = titin_like(34_350, 6);
+        assert_eq!(t.len(), 34_350);
+    }
+
+    #[test]
+    fn custom_params() {
+        let p = TitinParams {
+            families: 1,
+            domain_len: (10, 10),
+            substitution_rate: 0.0,
+            indel_rate: 0.0,
+            linker_len: (0, 0),
+        };
+        let t = titin_like_with(100, 8, &p);
+        // Exact tandem repetition of a single 10-mer.
+        let unit = &t.codes()[..10];
+        for c in t.codes().chunks(10) {
+            assert_eq!(c, &unit[..c.len()]);
+        }
+    }
+}

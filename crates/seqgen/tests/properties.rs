@@ -1,0 +1,80 @@
+//! Property tests for the workload generators.
+
+use proptest::prelude::*;
+use repro_align::Alphabet;
+use repro_seqgen::{random_seq, titin_like, PlantedRepeats, RepeatKind, RepeatSpec, Rng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Planted-repeat structural invariants: right copy count, ranges
+    /// in order, disjoint, in bounds, tandem adjacency when requested.
+    #[test]
+    fn planted_repeats_are_well_formed(
+        unit_len in 1usize..40,
+        copies in 1usize..8,
+        sub in 0.0f64..0.5,
+        indel in 0.0f64..0.2,
+        tandem in any::<bool>(),
+        flank in 0usize..30,
+        seed in any::<u64>(),
+    ) {
+        let spec = RepeatSpec {
+            alphabet: Alphabet::Dna,
+            unit_len,
+            copies,
+            substitution_rate: sub,
+            indel_rate: indel,
+            kind: if tandem {
+                RepeatKind::Tandem
+            } else {
+                RepeatKind::Interspersed { min_spacer: 1, max_spacer: 10 }
+            },
+            flank,
+        };
+        let p = PlantedRepeats::generate(&spec, seed);
+        prop_assert_eq!(p.copy_ranges.len(), copies);
+        prop_assert_eq!(p.unit.len(), unit_len);
+        let mut prev_end = 0;
+        for (i, r) in p.copy_ranges.iter().enumerate() {
+            prop_assert!(r.start >= prev_end, "copy {i} overlaps its predecessor");
+            prop_assert!(r.end <= p.seq.len());
+            if tandem && i > 0 {
+                prop_assert_eq!(r.start, prev_end, "tandem copies must be adjacent");
+            }
+            prev_end = r.end;
+        }
+        // With zero indels every copy has the unit's exact length.
+        if indel == 0.0 {
+            for r in &p.copy_ranges {
+                prop_assert_eq!(r.len(), unit_len);
+            }
+        }
+    }
+
+    /// Determinism: same spec + seed ⇒ identical output; different seeds
+    /// (almost surely) differ for non-trivial sizes.
+    #[test]
+    fn generators_are_deterministic(seed in any::<u64>(), len in 1usize..200) {
+        let a = titin_like(len, seed);
+        let b = titin_like(len, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), len);
+
+        let mut r1 = Rng::new(seed);
+        let mut r2 = Rng::new(seed);
+        let s1 = random_seq(Alphabet::Protein, len, &mut r1);
+        let s2 = random_seq(Alphabet::Protein, len, &mut r2);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// The PRNG's `below` is uniform enough not to lose values and never
+    /// exceeds its bound.
+    #[test]
+    fn rng_below_respects_bounds(seed in any::<u64>(), bound in 1usize..1000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Group-granular top-alignment search (paper §4.1's static scheme).
+//!
+//! The task queue holds *groups* of neighbouring splits; a group's
+//! priority is its best member's (upper-bound) score. Popping a stale
+//! group realigns **all** members in one interleaved SIMD sweep — the
+//! speculation the paper describes: "if a matrix is scheduled for
+//! computation, it is likely that the neighbouring matrices will be
+//! scheduled shortly thereafter". A fresh group at the head of the queue
+//! yields its best member as the next top alignment.
+//!
+//! Results are identical to the sequential engine: acceptance order is
+//! still driven by exact scores under the same deterministic tie-breaks,
+//! only the *work grouping* differs. The extra lane-alignments performed
+//! are reported in [`SimdStats`] (the paper measured < 0.70 % extra).
+
+use crate::group::{align_group_striped, DEFAULT_GROUP_STRIPE};
+use crate::lanes::SimdVec;
+use crate::LaneWidth;
+use repro_align::{Score, Scoring, Seq};
+use repro_core::bottom::best_valid_entry;
+use repro_core::{accept_task, BottomRowStore, OverrideTriangle, Stats, TopAlignment, TopAlignments};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// SIMD-engine-specific counters, on top of the common [`Stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimdStats {
+    /// Group sweeps performed.
+    pub group_sweeps: u64,
+    /// Vector cells computed (including dead lanes).
+    pub vector_cells: u64,
+    /// Groups recomputed scalarly because a lane saturated.
+    pub saturation_fallbacks: u64,
+}
+
+/// Result of the SIMD engine: the common result plus SIMD counters.
+#[derive(Debug, Clone)]
+pub struct SimdFinderResult {
+    /// Alignments, stats and triangle, exactly as the sequential engine
+    /// reports them.
+    pub result: TopAlignments,
+    /// SIMD-specific counters.
+    pub simd: SimdStats,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GroupTask {
+    score: Score,
+    /// `Reverse` so equal scores pop the lowest group first, matching the
+    /// sequential engine's smallest-split tie-break.
+    gi: Reverse<usize>,
+    aligned_with: usize,
+}
+
+impl Ord for GroupTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .cmp(&other.score)
+            .then_with(|| self.gi.cmp(&other.gi))
+    }
+}
+
+impl PartialOrd for GroupTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Find `count` top alignments using lane width `width`; produces the
+/// same alignments as [`repro_core::find_top_alignments`].
+///
+/// ```
+/// use repro_simd::{find_top_alignments_simd, LaneWidth};
+/// use repro_align::{Scoring, Seq};
+///
+/// let seq = Seq::dna("ATGCATGCATGC").unwrap();
+/// let run = find_top_alignments_simd(&seq, &Scoring::dna_example(), 3, LaneWidth::X8);
+/// assert_eq!(run.result.alignments.len(), 3);
+/// assert!(run.simd.group_sweeps > 0);
+/// ```
+pub fn find_top_alignments_simd(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    width: LaneWidth,
+) -> SimdFinderResult {
+    // On x86-64 the explicit SSE2 lane types are used (the portable
+    // 4-lane array form scalarises); results are identical either way —
+    // the lanes tests verify op-for-op equality.
+    #[cfg(target_arch = "x86_64")]
+    {
+        match width {
+            LaneWidth::X4 => run::<crate::lanes::sse2::I16x4Sse2>(seq, scoring, count),
+            LaneWidth::X8 => run::<crate::lanes::sse2::I16x8Sse2>(seq, scoring, count),
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        match width {
+            LaneWidth::X4 => run::<crate::lanes::I16x4>(seq, scoring, count),
+            LaneWidth::X8 => run::<crate::lanes::I16x8>(seq, scoring, count),
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // index loops mirror the paper's pseudo code
+fn run<V: SimdVec>(seq: &Seq, scoring: &Scoring, count: usize) -> SimdFinderResult {
+    let m = seq.len();
+    let splits = m.saturating_sub(1); // splits are 1..=splits
+    let lanes = V::LANES;
+    let ngroups = splits.div_ceil(lanes.max(1));
+
+    let group_r0 = |gi: usize| 1 + gi * lanes;
+    let group_lanes = |gi: usize| lanes.min(splits - gi * lanes);
+
+    let mut triangle = OverrideTriangle::new(m);
+    let mut bottomstore = BottomRowStore::new(m);
+    let mut stats = Stats::new();
+    let mut simd = SimdStats::default();
+    let mut alignments: Vec<TopAlignment> = Vec::new();
+
+    // Last exact member scores per group (valid, shadow-filtered).
+    let mut member_scores: Vec<Vec<Score>> = (0..ngroups)
+        .map(|gi| vec![Score::MAX; group_lanes(gi)])
+        .collect();
+
+    let mut queue: BinaryHeap<GroupTask> = (0..ngroups)
+        .map(|gi| GroupTask {
+            score: Score::MAX,
+            gi: Reverse(gi),
+            aligned_with: usize::MAX,
+        })
+        .collect();
+
+    while alignments.len() < count {
+        let Some(task) = queue.pop() else { break };
+        if task.score <= 0 {
+            break;
+        }
+        let Reverse(gi) = task.gi;
+        let tops_found = alignments.len();
+
+        if task.aligned_with == tops_found {
+            // Fresh group at the head: its best member is the next top
+            // alignment (smallest split on ties).
+            let scores = &member_scores[gi];
+            let (best_l, &best_score) = scores
+                .iter()
+                .enumerate()
+                .max_by(|(la, sa), (lb, sb)| sa.cmp(sb).then(lb.cmp(la)))
+                .expect("groups are never empty");
+            let r = group_r0(gi) + best_l;
+            let index = tops_found;
+            let (top, cells) = accept_task(
+                seq,
+                scoring,
+                r,
+                best_score,
+                &mut triangle,
+                &bottomstore,
+                index,
+            );
+            stats.record_traceback(cells);
+            alignments.push(top);
+            queue.push(GroupTask {
+                score: task.score,
+                gi: Reverse(gi),
+                aligned_with: task.aligned_with,
+            });
+        } else {
+            let r0 = group_r0(gi);
+            let nl = group_lanes(gi);
+            let first_pass = task.aligned_with == usize::MAX;
+            let tri = if first_pass { None } else { Some(&triangle) };
+            let mut g = align_group_striped::<V>(
+                seq.codes(),
+                scoring,
+                r0,
+                nl,
+                tri,
+                DEFAULT_GROUP_STRIPE,
+            );
+            simd.group_sweeps += 1;
+            simd.vector_cells += g.vector_cells;
+            if g.saturated {
+                // Scores may be clamped: recompute every member scalarly.
+                simd.saturation_fallbacks += 1;
+                for l in 0..nl {
+                    let r = r0 + l;
+                    let (prefix, suffix) = seq.split(r);
+                    let mask = repro_core::SplitMask::new(&triangle, r);
+                    g.rows[l] = repro_align::sw_last_row(prefix, suffix, scoring, mask).row;
+                }
+            }
+            let per_lane_cells = g.cells / nl as u64;
+            let mut group_best = 0;
+            for l in 0..nl {
+                let r = r0 + l;
+                let score = if first_pass {
+                    debug_assert!(triangle.is_empty());
+                    let s = g.rows[l].iter().copied().max().unwrap_or(0).max(0);
+                    bottomstore.store(r, &g.rows[l]);
+                    s
+                } else {
+                    let original = bottomstore
+                        .get(r)
+                        .expect("realigned member must have a stored first-pass row");
+                    best_valid_entry(&g.rows[l], original).0
+                };
+                stats.record_alignment(per_lane_cells, tops_found);
+                member_scores[gi][l] = score;
+                group_best = group_best.max(score);
+            }
+            queue.push(GroupTask {
+                score: group_best,
+                gi: Reverse(gi),
+                aligned_with: tops_found,
+            });
+        }
+    }
+
+    SimdFinderResult {
+        result: TopAlignments {
+            alignments,
+            stats,
+            triangle,
+        },
+        simd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_core::find_top_alignments;
+
+    #[test]
+    fn figure4_example_matches_sequential() {
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let scoring = Scoring::dna_example();
+        let seq_result = find_top_alignments(&seq, &scoring, 3);
+        for width in [LaneWidth::X4, LaneWidth::X8] {
+            let simd = find_top_alignments_simd(&seq, &scoring, 3, width);
+            assert_eq!(
+                simd.result.alignments, seq_result.alignments,
+                "{width:?} disagrees with the sequential engine"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_on_varied_inputs() {
+        let scoring = Scoring::dna_example();
+        for text in [
+            "ACGTTGCAACGTACGTTGCAGGTT",
+            "AAAAAAAAAAAAAAA",
+            "ATATATATATATATATATAT",
+            "ACGGTACGGTAACGGTTTTTACGGT",
+            "ACGT",
+        ] {
+            let seq = Seq::dna(text).unwrap();
+            let want = find_top_alignments(&seq, &scoring, 6);
+            for width in [LaneWidth::X4, LaneWidth::X8] {
+                let got = find_top_alignments_simd(&seq, &scoring, 6, width);
+                assert_eq!(got.result.alignments, want.alignments, "{width:?} on {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn protein_agreement() {
+        let seq = Seq::protein("MGEKALVPYRLQHCMGEKALVPYRWWMGEKALVPYR").unwrap();
+        let scoring = Scoring::protein_default();
+        let want = find_top_alignments(&seq, &scoring, 4);
+        let got = find_top_alignments_simd(&seq, &scoring, 4, LaneWidth::X8);
+        assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn speculation_overhead_is_bounded() {
+        // The group engine may align more members than the sequential
+        // engine aligns tasks, but not catastrophically (paper: < 0.70 %
+        // for titin; small inputs allow more slack).
+        let seq = Seq::dna(&"ATGC".repeat(30)).unwrap();
+        let scoring = Scoring::dna_example();
+        let seq_result = find_top_alignments(&seq, &scoring, 10);
+        let simd = find_top_alignments_simd(&seq, &scoring, 10, LaneWidth::X4);
+        assert_eq!(simd.result.alignments, seq_result.alignments);
+        let ratio = simd.result.stats.alignments as f64 / seq_result.stats.alignments as f64;
+        assert!(
+            ratio < 4.5,
+            "group speculation aligned {ratio}× the sequential count"
+        );
+        assert!(simd.simd.group_sweeps > 0);
+    }
+
+    #[test]
+    fn saturation_fallback_keeps_results_exact() {
+        let seq = Seq::dna(&"A".repeat(120)).unwrap();
+        let scoring = Scoring::new(
+            repro_align::ExchangeMatrix::match_mismatch(repro_align::Alphabet::Dna, 800, -1),
+            repro_align::GapPenalties::new(2, 1),
+        );
+        let want = find_top_alignments(&seq, &scoring, 2);
+        let got = find_top_alignments_simd(&seq, &scoring, 2, LaneWidth::X8);
+        assert_eq!(got.result.alignments, want.alignments);
+        assert!(
+            got.simd.saturation_fallbacks > 0,
+            "this workload must exercise the fallback"
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let scoring = Scoring::dna_example();
+        for text in ["", "A", "AA", "ATG"] {
+            let seq = Seq::dna(text).unwrap();
+            let want = find_top_alignments(&seq, &scoring, 3);
+            let got = find_top_alignments_simd(&seq, &scoring, 3, LaneWidth::X4);
+            assert_eq!(got.result.alignments, want.alignments, "input {text:?}");
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! The interleaved multi-matrix kernel (paper Figures 6 and 7).
+//!
+//! A *group* is a run of consecutive splits `r0, r0+1, …, r0+lanes−1`.
+//! Lane `l` computes the matrix of split `r_l = r0 + l`. The sweep runs
+//! over sequence positions: row `p` (prefix residue) and column `q`
+//! (suffix residue), `q ∈ [r0, m)`. At `(p, q)` every lane aligns the
+//! same residue pair `(S[p], S[q])`, so the exchange value is looked up
+//! once and splatted — the whole point of grouping *neighbouring*
+//! matrices.
+//!
+//! Border corrections:
+//! * **left**: lane `l` has no column `q < r_l`; those cells are forced
+//!   to 0, which doubles as the virtual zero column for the lane's first
+//!   real column (only the first `lanes−1` columns need this);
+//! * **bottom**: lane `l`'s matrix ends at row `r_l − 1`; its bottom row
+//!   is captured when that row completes, and deeper rows of the lane
+//!   are dead weight (the paper's speculation cost).
+//! * **override**: cell `(p, q)` represents sequence pair `(p, q)` in
+//!   *every* lane, so the triangle mask is lane-uniform — one scalar bit
+//!   test zeroes all lanes.
+
+use crate::lanes::SimdVec;
+use repro_align::{Score, Scoring};
+use repro_core::OverrideTriangle;
+
+/// Per-lane results of one group alignment.
+#[derive(Debug, Clone)]
+pub struct GroupResult {
+    /// First split in the group.
+    pub r0: usize,
+    /// Number of live lanes (the final group of a sequence may be short).
+    pub lanes: usize,
+    /// Per-lane bottom rows, widened to the scalar score type; entry `l`
+    /// is the bottom row of split `r0 + l` (length `m − r0 − l`).
+    pub rows: Vec<Vec<Score>>,
+    /// Logical cells (sum over lanes of each split's own matrix size) —
+    /// comparable with the sequential engine's counters.
+    pub cells: u64,
+    /// Vector-sweep cells (`rows × width`), the actual SIMD work incl.
+    /// dead lanes; `cells / (vector_cells × LANES)` is lane utilisation.
+    pub vector_cells: u64,
+    /// `true` iff any lane saturated at `i16::MAX`; the caller must fall
+    /// back to a scalar recomputation (scores would be clamped).
+    pub saturated: bool,
+}
+
+/// Default stripe width for [`align_group_striped`]: the stripe's slice
+/// of the interleaved previous-row and `MaxY` arrays (16 B per column
+/// each for 8 lanes) then occupies ≈12 KiB — "a third of the
+/// first-level cache" per §4.1, leaving room for the exchange row and
+/// miscellany.
+pub const DEFAULT_GROUP_STRIPE: usize = 384;
+
+/// Align the group of `lanes` consecutive splits starting at `r0`
+/// (`1 ≤ r0`, `r0 + lanes − 1 ≤ m − 1`) in one interleaved sweep.
+/// `triangle = None` means the unmasked first pass.
+pub fn align_group<V: SimdVec>(
+    seq: &[u8],
+    scoring: &Scoring,
+    r0: usize,
+    lanes: usize,
+    triangle: Option<&OverrideTriangle>,
+) -> GroupResult {
+    align_group_striped::<V>(seq, scoring, r0, lanes, triangle, usize::MAX)
+}
+
+/// [`align_group`] computed in vertical stripes of `stripe` columns —
+/// the cache-aware traversal of paper §4.1 ("we compute a section of
+/// the row that fits in a third of the first-level cache, after which
+/// we compute the section of the row below it"). Bit-identical results;
+/// only the traversal order and the cache behaviour change.
+pub fn align_group_striped<V: SimdVec>(
+    seq: &[u8],
+    scoring: &Scoring,
+    r0: usize,
+    lanes: usize,
+    triangle: Option<&OverrideTriangle>,
+    stripe: usize,
+) -> GroupResult {
+    let m = seq.len();
+    assert!(lanes >= 1 && lanes <= V::LANES, "bad lane count");
+    assert!(r0 >= 1 && r0 + lanes - 1 <= m.saturating_sub(1), "group out of range");
+    let rmax = r0 + lanes - 1; // largest split ⇒ deepest row rmax−1
+    let width = m - r0; // columns q ∈ [r0, m)
+
+    let gap_open: i16 = scoring
+        .gaps
+        .open
+        .try_into()
+        .expect("gap-open penalty must fit i16 for the SIMD kernel");
+    let gap_ext: i16 = scoring
+        .gaps
+        .extend
+        .try_into()
+        .expect("gap-extend penalty must fit i16 for the SIMD kernel");
+
+    let neg = V::splat(i16::MIN);
+    let zero = V::splat(0);
+    let vopen = V::splat(gap_open);
+    let vext = V::splat(gap_ext);
+
+    // One-time narrowing of the exchange table to i16 keeps the hot loop
+    // free of checked conversions.
+    let k = scoring.exchange.alphabet().len();
+    let exch16: Vec<i16> = (0..k * k)
+        .map(|i| {
+            scoring
+                .exchange
+                .score((i / k) as u8, (i % k) as u8)
+                .try_into()
+                .expect("exchange scores must fit i16 for the SIMD kernel")
+        })
+        .collect();
+
+    // Interleaved previous-row and MaxY arrays (Figure 7): element qi
+    // packs the `lanes` matrices' entries for column q = r0 + qi.
+    let mut mrow = vec![zero; width];
+    let mut maxy = vec![neg; width];
+
+    let mut rows: Vec<Vec<Score>> = (0..lanes).map(|l| vec![0; m - (r0 + l)]).collect();
+    // Saturation is detected by a running max (v is always ≥ 0), checked
+    // once at the end instead of per cell.
+    let mut sat_acc = zero;
+
+    let triangle = triangle.filter(|t| !t.is_empty());
+    assert!(stripe > 0, "stripe width must be positive");
+
+    // Per-row carries across stripe boundaries (cf. the scalar striped
+    // kernel): the running horizontal-gap maximum and the previous
+    // stripe's last-column value (the next stripe's diagonal input).
+    let mut maxx_carry = vec![neg; rmax];
+    let mut edge = vec![zero; rmax];
+
+    let mut x0 = 0;
+    while x0 < width {
+        let x1 = x0.saturating_add(stripe).min(width);
+        // Row p consumes row p−1's *old* edge value; rows run top to
+        // bottom, so carry it across one iteration.
+        let mut above_old_edge = zero;
+        for p in 0..rmax {
+            let my_old_edge = edge[p];
+            let exch_row = &exch16[seq[p] as usize * k..(seq[p] as usize + 1) * k];
+            let mut maxx = if x0 == 0 { neg } else { maxx_carry[p] };
+            let mut diag = if x0 == 0 || p == 0 { zero } else { above_old_edge };
+            for qi in x0..x1 {
+                let up = mrow[qi];
+                let exch = exch_row[seq[r0 + qi] as usize];
+                let mut v = diag.max(maxx).max(maxy[qi]).adds(V::splat(exch)).max(zero);
+                // Lane-uniform override masking (p < q holds for every
+                // cell that belongs to any live lane) and the left-border
+                // correction (lane l is active iff q ≥ r0 + l). Both only
+                // fire on a sparse subset of cells.
+                if let Some(t) = triangle {
+                    let q = r0 + qi;
+                    if p < q && t.get(p, q) {
+                        v = zero;
+                    }
+                }
+                if qi + 1 < lanes {
+                    v = v.zero_lanes_from(qi + 1);
+                }
+                sat_acc = sat_acc.max(v);
+                mrow[qi] = v;
+                let cand = diag.subs(vopen);
+                maxx = cand.max(maxx).subs(vext);
+                maxy[qi] = cand.max(maxy[qi]).subs(vext);
+                diag = up;
+            }
+            maxx_carry[p] = maxx;
+            edge[p] = mrow[x1 - 1];
+            above_old_edge = my_old_edge;
+            // Bottom-border capture for this stripe's segment: row p is
+            // the bottom row of lane l = p + 1 − r0 (split r_l = p + 1),
+            // and segment values are final once computed.
+            if p + 1 >= r0 {
+                let l = p + 1 - r0;
+                if l < lanes {
+                    let rl = r0 + l;
+                    for qi in x0.max(rl - r0)..x1 {
+                        rows[l][r0 + qi - rl] = mrow[qi].get(l) as Score;
+                    }
+                }
+            }
+        }
+        x0 = x1;
+    }
+    let saturated = sat_acc.any_saturated();
+
+    let cells: u64 = (0..lanes)
+        .map(|l| {
+            let r = r0 + l;
+            r as u64 * (m - r) as u64
+        })
+        .sum();
+
+    GroupResult {
+        r0,
+        lanes,
+        rows,
+        cells,
+        vector_cells: rmax as u64 * width as u64,
+        saturated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::{I16x4, I16x8};
+    use repro_align::{sw_last_row, NoMask, Seq};
+    use repro_core::SplitMask;
+
+    fn scalar_row(seq: &Seq, scoring: &Scoring, r: usize, t: Option<&OverrideTriangle>) -> Vec<Score> {
+        let (prefix, suffix) = seq.split(r);
+        match t {
+            Some(t) => sw_last_row(prefix, suffix, scoring, SplitMask::new(t, r)).row,
+            None => sw_last_row(prefix, suffix, scoring, NoMask).row,
+        }
+    }
+
+    #[test]
+    fn group_matches_scalar_per_split_unmasked() {
+        let seq = Seq::dna("ATGCATGCATGCACGGTTACGT").unwrap();
+        let scoring = Scoring::dna_example();
+        for r0 in [1, 3, 7, 15] {
+            let lanes = 4.min(seq.len() - 1 - r0 + 1).min(4);
+            let g = align_group::<I16x4>(seq.codes(), &scoring, r0, lanes, None);
+            for l in 0..lanes {
+                let want = scalar_row(&seq, &scoring, r0 + l, None);
+                assert_eq!(g.rows[l], want, "split {} in group r0={r0}", r0 + l);
+            }
+        }
+    }
+
+    #[test]
+    fn group_matches_scalar_with_mask() {
+        let seq = Seq::dna("ATGCATGCATGCATGC").unwrap();
+        let scoring = Scoring::dna_example();
+        let mut t = OverrideTriangle::new(seq.len());
+        for &(p, q) in &[(0, 4), (1, 5), (2, 6), (3, 7), (5, 13), (2, 11)] {
+            t.set(p, q);
+        }
+        for r0 in [1, 5, 9] {
+            let g = align_group::<I16x8>(seq.codes(), &scoring, r0, 4, Some(&t));
+            for l in 0..4 {
+                let want = scalar_row(&seq, &scoring, r0 + l, Some(&t));
+                assert_eq!(g.rows[l], want, "masked split {}", r0 + l);
+            }
+        }
+    }
+
+    #[test]
+    fn eight_lanes_match_scalar() {
+        let seq = Seq::protein("MGEKALVPYRLQHCERSTMGEKALVPYRWFND").unwrap();
+        let scoring = Scoring::protein_default();
+        let g = align_group::<I16x8>(seq.codes(), &scoring, 5, 8, None);
+        assert!(!g.saturated);
+        for l in 0..8 {
+            let want = scalar_row(&seq, &scoring, 5 + l, None);
+            assert_eq!(g.rows[l], want, "split {}", 5 + l);
+        }
+    }
+
+    #[test]
+    fn short_tail_group() {
+        // Group at the end of the sequence with fewer live lanes.
+        let seq = Seq::dna("ATGCATGCAT").unwrap();
+        let scoring = Scoring::dna_example();
+        let g = align_group::<I16x4>(seq.codes(), &scoring, 8, 2, None);
+        assert_eq!(g.lanes, 2);
+        for l in 0..2 {
+            let want = scalar_row(&seq, &scoring, 8 + l, None);
+            assert_eq!(g.rows[l], want);
+        }
+    }
+
+    #[test]
+    fn single_lane_group() {
+        let seq = Seq::dna("ATGCATGC").unwrap();
+        let scoring = Scoring::dna_example();
+        let g = align_group::<I16x4>(seq.codes(), &scoring, 4, 1, None);
+        assert_eq!(g.rows[0], scalar_row(&seq, &scoring, 4, None));
+    }
+
+    #[test]
+    fn cells_accounting() {
+        let seq = Seq::dna("ATGCATGCATGC").unwrap(); // m = 12
+        let scoring = Scoring::dna_example();
+        let g = align_group::<I16x4>(seq.codes(), &scoring, 2, 4, None);
+        // Logical: Σ r(m−r) for r = 2..=5.
+        let want: u64 = (2..=5).map(|r| r * (12 - r)).sum::<usize>() as u64;
+        assert_eq!(g.cells, want);
+        // Vector sweep: rmax × width = 5 × 10.
+        assert_eq!(g.vector_cells, 50);
+    }
+
+    #[test]
+    fn saturation_is_detected() {
+        // A long perfect repeat with huge match scores overflows i16.
+        let seq = Seq::dna(&"A".repeat(80)).unwrap();
+        let scoring = Scoring::new(
+            repro_align::ExchangeMatrix::match_mismatch(repro_align::Alphabet::Dna, 1000, -1),
+            repro_align::GapPenalties::new(2, 1),
+        );
+        let g = align_group::<I16x4>(seq.codes(), &scoring, 38, 4, None);
+        assert!(g.saturated, "40 000-ish scores must trip the saturation flag");
+    }
+
+    #[test]
+    fn striped_group_matches_unstriped() {
+        let seq = Seq::dna("ATGCATGCATGCACGGTTACGTAACCGGTTAC").unwrap();
+        let scoring = Scoring::dna_example();
+        let mut t = OverrideTriangle::new(seq.len());
+        for &(p, q) in &[(0, 4), (3, 9), (7, 20)] {
+            t.set(p, q);
+        }
+        for tri in [None, Some(&t)] {
+            let reference = align_group::<I16x8>(seq.codes(), &scoring, 5, 8, tri);
+            for w in [1usize, 3, 7, 16, 100] {
+                let striped =
+                    crate::group::align_group_striped::<I16x8>(seq.codes(), &scoring, 5, 8, tri, w);
+                assert_eq!(striped.rows, reference.rows, "stripe {w}, mask {:?}", tri.is_some());
+                assert_eq!(striped.cells, reference.cells);
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse2_kernel_matches_portable() {
+        use crate::lanes::sse2::I16x8Sse2;
+        let seq = Seq::dna("ATGCATGCATGCACGGTTACGTAACCGGTT").unwrap();
+        let scoring = Scoring::dna_example();
+        let a = align_group::<I16x8>(seq.codes(), &scoring, 3, 8, None);
+        let b = align_group::<I16x8Sse2>(seq.codes(), &scoring, 3, 8, None);
+        assert_eq!(a.rows, b.rows);
+    }
+}

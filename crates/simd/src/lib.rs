@@ -1,0 +1,56 @@
+//! # repro-simd — coarse-grained SIMD alignment (paper §4.1)
+//!
+//! The paper's counterintuitive SIMD technique: instead of vectorising
+//! *within* one alignment matrix (hard, because of the loop-carried
+//! `MaxX` dependency), compute **four or eight neighbouring split
+//! matrices at once**, one per SIMD lane. Neighbouring splits share
+//! shape, and — crucially — all lanes align the *same residue pair*
+//! `(S[p], S[q])` at each step, so a single exchange-matrix lookup feeds
+//! every lane (Figure 6), and matrix entries interleave in memory
+//! exactly as in Figure 7.
+//!
+//! * [`lanes`] — saturating `i16 × 4` / `i16 × 8` lane vectors. The
+//!   portable implementations are written so LLVM compiles them to
+//!   `PADDSW`/`PSUBSW`/`PMAXSW`; on x86-64 an explicit SSE2 path uses the
+//!   very instructions the paper's Pentium III/4 did. Lane width 4
+//!   models SSE (4 shorts), width 8 models SSE2 (8 shorts).
+//! * [`group`] — the interleaved multi-matrix kernel with the left/bottom
+//!   border corrections and lane-uniform override masking.
+//! * [`engine`] — group-granular top-alignment search: groups of
+//!   neighbouring splits are scheduled through the best-first queue, the
+//!   highest-scoring member sets the group's priority, and results are
+//!   bit-identical to the sequential engine (speculation wastes a little
+//!   work, never changes answers).
+//!
+//! Scores are the paper's 16-bit "shorts": saturating arithmetic, with a
+//! saturation flag that triggers a scalar recomputation of the affected
+//! group, so results stay exact even beyond ±32 767.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod group;
+pub mod lanes;
+
+pub use engine::{find_top_alignments_simd, SimdFinderResult, SimdStats};
+pub use group::{align_group, align_group_striped, GroupResult, DEFAULT_GROUP_STRIPE};
+pub use lanes::{I16x4, I16x8, SimdVec};
+
+/// Lane-width selection mirroring the paper's Table 2 columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneWidth {
+    /// 4 × i16 — the SSE (Pentium III) configuration.
+    X4,
+    /// 8 × i16 — the SSE2 (Pentium 4) configuration.
+    X8,
+}
+
+impl LaneWidth {
+    /// Number of lanes.
+    pub fn lanes(self) -> usize {
+        match self {
+            LaneWidth::X4 => 4,
+            LaneWidth::X8 => 8,
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: the interleaved group kernel and the group engine
+//! are exact drop-ins for their scalar counterparts on arbitrary
+//! inputs, masks, lane counts and group positions.
+
+use proptest::prelude::*;
+use repro_align::{sw_last_row, Alphabet, Scoring, Seq};
+use repro_core::{find_top_alignments, OverrideTriangle, SplitMask};
+use repro_simd::group::align_group;
+use repro_simd::lanes::{I16x4, I16x8};
+use repro_simd::{find_top_alignments_simd, LaneWidth};
+
+fn arb_dna(min: usize, max: usize) -> impl Strategy<Value = Seq> {
+    prop::collection::vec(0u8..4, min..=max)
+        .prop_map(|codes| Seq::from_codes(Alphabet::Dna, codes))
+}
+
+fn arb_triangle(m: usize) -> impl Strategy<Value = OverrideTriangle> {
+    prop::collection::vec((0usize..m.max(2), 0usize..m.max(2)), 0..12).prop_map(move |pairs| {
+        let mut t = OverrideTriangle::new(m);
+        for (a, b) in pairs {
+            let (p, q) = (a.min(b), a.max(b));
+            if p < q && q < m {
+                t.set(p, q);
+            }
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every lane of a group reproduces the scalar kernel's bottom row,
+    /// for any group position, live-lane count and override triangle.
+    #[test]
+    fn group_rows_equal_scalar_rows(
+        seq in arb_dna(10, 40),
+        r0_frac in 0.0f64..1.0,
+        lanes in 1usize..=8,
+        use_mask in any::<bool>(),
+        tri_seed in prop::collection::vec((0usize..40, 0usize..40), 0..10),
+    ) {
+        let m = seq.len();
+        let scoring = Scoring::dna_example();
+        let max_lanes = lanes.min(m - 1);
+        let r0 = 1 + ((r0_frac * (m - 1 - max_lanes) as f64) as usize);
+        let lanes = max_lanes.min(m - r0);
+        prop_assume!(lanes >= 1 && r0 + lanes - 1 < m);
+
+        let mut t = OverrideTriangle::new(m);
+        for (a, b) in tri_seed {
+            let (p, q) = (a.min(b), a.max(b));
+            if p < q && q < m {
+                t.set(p, q);
+            }
+        }
+        let tri = if use_mask { Some(&t) } else { None };
+
+        let check = |rows: &[Vec<i32>]| -> Result<(), TestCaseError> {
+            for (l, row) in rows.iter().enumerate() {
+                let r = r0 + l;
+                let (prefix, suffix) = seq.split(r);
+                let want = match tri {
+                    Some(t) => sw_last_row(prefix, suffix, &scoring, SplitMask::new(t, r)).row,
+                    None => sw_last_row(prefix, suffix, &scoring, repro_align::NoMask).row,
+                };
+                prop_assert_eq!(row, &want, "lane {} (split {})", l, r);
+            }
+            Ok(())
+        };
+
+        if lanes <= 4 {
+            let g = align_group::<I16x4>(seq.codes(), &scoring, r0, lanes, tri);
+            prop_assert!(!g.saturated);
+            check(&g.rows)?;
+        }
+        let g = align_group::<I16x8>(seq.codes(), &scoring, r0, lanes, tri);
+        prop_assert!(!g.saturated);
+        check(&g.rows)?;
+    }
+
+    /// The group engine finds exactly the sequential engine's alignments.
+    #[test]
+    fn engine_equals_sequential(seq in arb_dna(2, 36), count in 1usize..6) {
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, count);
+        for width in [LaneWidth::X4, LaneWidth::X8] {
+            let got = find_top_alignments_simd(&seq, &scoring, count, width);
+            prop_assert_eq!(
+                &got.result.alignments, &want.alignments,
+                "{:?} diverged", width
+            );
+        }
+    }
+
+    /// Triangle strategy sanity (exercise the helper above too).
+    #[test]
+    fn triangle_strategy_is_well_formed(t in arb_triangle(30)) {
+        for (p, q) in t.iter() {
+            prop_assert!(p < q && q < 30);
+        }
+    }
+}

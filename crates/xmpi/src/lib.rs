@@ -1,0 +1,95 @@
+//! # repro-xmpi — a message-passing substrate
+//!
+//! The paper's third parallelisation level runs over MPI on the DAS-2
+//! cluster (§4.3). No MPI runtime (or 72-node Myrinet cluster) exists
+//! here, so this crate supplies the substrate the distributed engine is
+//! written against:
+//!
+//! * [`Comm`] — the rank/send/recv interface, deliberately shaped like
+//!   the subset of MPI the paper uses (blocking receive on "any source",
+//!   tagged messages, one process per rank);
+//! * [`thread`] — a real backend: every rank is an OS thread, messages
+//!   travel over crossbeam channels. Functional runs and tests use this.
+//! * [`virtual_time`] — a deterministic discrete-event backend: ranks
+//!   are actors on a virtual clock, message delivery costs latency plus
+//!   size/bandwidth, and handlers charge explicit compute time. The
+//!   Figure 8 cluster experiments run here, which is how a single
+//!   machine reproduces 128-processor scaling curves (see DESIGN.md's
+//!   substitution table).
+//! * [`wire`] — a minimal byte codec for message payloads (the engines
+//!   exchange task ids, scores and bottom rows; no serde needed).
+//!
+//! Timeouts are first-class: a blocking receive with a deadline returns
+//! [`RecvError::Timeout`] instead of hanging, so an engine facing a
+//! dead peer degrades into a reported error (exercised by the fault-
+//! injection tests).
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod thread;
+pub mod virtual_time;
+pub mod wire;
+
+pub use collectives::{barrier, broadcast_from, gather_at_root};
+
+/// Process identifier within a world, `0 .. size`.
+pub type Rank = usize;
+
+/// A received message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending rank.
+    pub from: Rank,
+    /// Application-defined tag.
+    pub tag: u32,
+    /// Payload bytes (see [`wire`]).
+    pub payload: Vec<u8>,
+}
+
+/// Receive failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// Every peer's sending endpoint is gone: the world shut down.
+    Disconnected,
+}
+
+/// Blanket impl so `&C` works wherever a [`Comm`] is expected.
+impl<C: Comm + ?Sized> Comm for &C {
+    fn rank(&self) -> Rank {
+        (**self).rank()
+    }
+    fn size(&self) -> usize {
+        (**self).size()
+    }
+    fn send(&self, to: Rank, tag: u32, payload: Vec<u8>) {
+        (**self).send(to, tag, payload)
+    }
+    fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Message, RecvError> {
+        (**self).recv_timeout(timeout)
+    }
+    fn try_recv(&self) -> Option<Message> {
+        (**self).try_recv()
+    }
+}
+
+/// The MPI-like communication interface (blocking flavour).
+pub trait Comm {
+    /// This process's rank.
+    fn rank(&self) -> Rank;
+
+    /// Number of ranks in the world.
+    fn size(&self) -> usize;
+
+    /// Send `payload` to `to` with `tag`. Sends never block (buffered,
+    /// like small-message MPI sends in practice).
+    fn send(&self, to: Rank, tag: u32, payload: Vec<u8>);
+
+    /// Block until a message arrives from any source, with a deadline.
+    fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Message, RecvError>;
+
+    /// Non-blocking probe-and-receive.
+    fn try_recv(&self) -> Option<Message>;
+}

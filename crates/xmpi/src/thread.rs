@@ -1,0 +1,191 @@
+//! The real backend: one OS thread per rank, crossbeam channels as the
+//! interconnect.
+//!
+//! Mirrors the paper's deployment shape: the distributed engine runs the
+//! same code here (functionally, on however many cores exist) as on the
+//! virtual-time backend (for calibrated scaling curves).
+
+use crate::{Comm, Message, Rank, RecvError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Per-message fault injection for robustness tests: deterministic drops
+/// and duplicates keyed by a message counter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Drop every `drop_every`-th message (0 = never).
+    pub drop_every: u64,
+    /// Duplicate every `dup_every`-th message (0 = never).
+    pub dup_every: u64,
+}
+
+/// One rank's endpoint in a threaded world.
+pub struct ThreadComm {
+    rank: Rank,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    faults: FaultPlan,
+    counter: std::sync::atomic::AtomicU64,
+}
+
+impl ThreadComm {
+    /// Create a world of `n` connected endpoints.
+    pub fn world(n: usize) -> Vec<ThreadComm> {
+        ThreadComm::world_with_faults(n, FaultPlan::default())
+    }
+
+    /// A world with fault injection on every endpoint's sends.
+    pub fn world_with_faults(n: usize, faults: FaultPlan) -> Vec<ThreadComm> {
+        assert!(n > 0, "a world needs at least one rank");
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| ThreadComm {
+                rank,
+                senders: senders.clone(),
+                receiver,
+                faults,
+                counter: std::sync::atomic::AtomicU64::new(0),
+            })
+            .collect()
+    }
+}
+
+impl Comm for ThreadComm {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn send(&self, to: Rank, tag: u32, payload: Vec<u8>) {
+        let n = self
+            .counter
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        if self.faults.drop_every != 0 && n.is_multiple_of(self.faults.drop_every) {
+            return; // injected loss
+        }
+        let msg = Message {
+            from: self.rank,
+            tag,
+            payload,
+        };
+        if self.faults.dup_every != 0 && n.is_multiple_of(self.faults.dup_every) {
+            let _ = self.senders[to].send(msg.clone());
+        }
+        // A send to a rank whose endpoint was dropped is silently void,
+        // like an MPI send racing a finalized peer.
+        let _ = self.senders[to].send(msg);
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected),
+        }
+    }
+
+    fn try_recv(&self) -> Option<Message> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn ranks_and_size() {
+        let world = ThreadComm::world(3);
+        for (i, c) in world.iter().enumerate() {
+            assert_eq!(c.rank(), i);
+            assert_eq!(c.size(), 3);
+        }
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let world = ThreadComm::world(2);
+        world[0].send(1, 7, vec![1, 2, 3]);
+        let m = world[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(m.from, 0);
+        assert_eq!(m.tag, 7);
+        assert_eq!(m.payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let world = ThreadComm::world(1);
+        world[0].send(0, 1, vec![]);
+        assert!(world[0].try_recv().is_some());
+    }
+
+    #[test]
+    fn timeout_instead_of_hang() {
+        let world = ThreadComm::world(2);
+        let err = world[1].recv_timeout(Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, RecvError::Timeout);
+    }
+
+    #[test]
+    fn cross_thread_roundtrip() {
+        let mut world = ThreadComm::world(2);
+        let c1 = world.pop().unwrap();
+        let c0 = world.pop().unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                // Echo server on rank 1.
+                let m = c1.recv_timeout(Duration::from_secs(5)).unwrap();
+                c1.send(m.from, m.tag + 1, m.payload);
+            });
+            c0.send(1, 10, vec![9]);
+            let echo = c0.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(echo.tag, 11);
+            assert_eq!(echo.payload, vec![9]);
+        });
+    }
+
+    #[test]
+    fn fault_injection_drops_and_duplicates() {
+        let world = ThreadComm::world_with_faults(
+            2,
+            FaultPlan {
+                drop_every: 2,
+                dup_every: 3,
+            },
+        );
+        // Messages 1..=6 from rank 0: drops at 2,4,6; dup at 3.
+        for i in 1..=6u8 {
+            world[0].send(1, i as u32, vec![i]);
+        }
+        let mut got = Vec::new();
+        while let Some(m) = world[1].try_recv() {
+            got.push(m.tag);
+        }
+        assert_eq!(got, vec![1, 3, 3, 5]);
+    }
+
+    #[test]
+    fn messages_preserve_order_per_sender() {
+        let world = ThreadComm::world(2);
+        for i in 0..100u32 {
+            world[0].send(1, i, vec![]);
+        }
+        for i in 0..100u32 {
+            let m = world[1].recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(m.tag, i);
+        }
+    }
+}

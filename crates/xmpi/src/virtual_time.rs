@@ -1,0 +1,355 @@
+//! The deterministic virtual-time backend: a discrete-event simulator
+//! over actor ranks.
+//!
+//! Each rank is an [`Actor`]: a message handler that may *charge compute
+//! time* ([`Ctx::compute`]) and send messages. The simulator owns a
+//! virtual clock; a message sent at time `t` with `len` bytes is
+//! delivered at `t + latency + len / bandwidth`, and a rank processes
+//! one event at a time (events queue while it is busy), modelling a
+//! single-threaded processor per rank.
+//!
+//! This is the substrate on which the Figure 8 cluster experiments run:
+//! the master/worker engine executes its *real* alignment computations
+//! inside the handlers, but wall-clock is replaced by a calibrated
+//! cost model — so one machine measures 128-processor scheduling
+//! behaviour exactly (see DESIGN.md, substitution table).
+//!
+//! Determinism: events are ordered by (time, sequence number); handlers
+//! run single-threaded; no real clocks are consulted.
+
+use crate::Rank;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Link parameters of the simulated interconnect.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkModel {
+    /// One-way message latency, seconds (Myrinet-class default ~10 µs).
+    pub latency: f64,
+    /// Link bandwidth, bytes/second (2 Gb/s ≈ 2.5e8 B/s).
+    pub bandwidth: f64,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            latency: 10e-6,
+            bandwidth: 2.5e8,
+        }
+    }
+}
+
+/// An event-handler process bound to one rank.
+pub trait Actor {
+    /// Called once at time 0, before any message.
+    fn on_start(&mut self, ctx: &mut Ctx);
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, from: Rank, tag: u32, payload: &[u8], ctx: &mut Ctx);
+}
+
+/// Handler-side view of the simulator.
+pub struct Ctx {
+    rank: Rank,
+    size: usize,
+    now: f64,
+    outbox: Vec<(Rank, u32, Vec<u8>, f64)>, // (to, tag, payload, depart time)
+    stop: bool,
+}
+
+impl Ctx {
+    /// This actor's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual time (seconds).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Charge `seconds` of compute time to this rank.
+    pub fn compute(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "compute time cannot be negative");
+        self.now += seconds;
+    }
+
+    /// Send a message; it departs now and arrives after link costs.
+    pub fn send(&mut self, to: Rank, tag: u32, payload: Vec<u8>) {
+        self.outbox.push((to, tag, payload, self.now));
+    }
+
+    /// Ask the simulator to stop after this handler returns (pending
+    /// events are discarded).
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+#[derive(Debug)]
+struct Event {
+    time: f64,
+    seq: u64,
+    to: Rank,
+    from: Rank,
+    tag: u32,
+    payload: Vec<u8>,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Total order: time, then sequence number. NaN times are a bug.
+        self.time
+            .partial_cmp(&other.time)
+            .expect("event times must not be NaN")
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Virtual time at which the last handler finished.
+    pub end_time: f64,
+    /// Number of messages delivered.
+    pub messages: u64,
+    /// Total bytes moved across the link.
+    pub bytes: u64,
+    /// Per-rank busy time (compute charged via [`Ctx::compute`]).
+    pub busy: Vec<f64>,
+}
+
+/// Run a world of actors to quiescence (or until an actor calls
+/// [`Ctx::stop`]). Returns the outcome and hands the actors back for
+/// inspection.
+pub fn run<A: Actor>(mut actors: Vec<A>, link: LinkModel) -> (SimOutcome, Vec<A>) {
+    let size = actors.len();
+    let mut calendar: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut rank_free = vec![0.0f64; size];
+    let mut busy = vec![0.0f64; size];
+    let mut end_time = 0.0f64;
+    let mut messages = 0u64;
+    let mut bytes = 0u64;
+
+    let flush =
+        |ctx: &mut Ctx, calendar: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64,
+         bytes: &mut u64| {
+            for (to, tag, payload, depart) in ctx.outbox.drain(..) {
+                *seq += 1;
+                *bytes += payload.len() as u64;
+                let arrive = depart + link.latency + payload.len() as f64 / link.bandwidth;
+                calendar.push(Reverse(Event {
+                    time: arrive,
+                    seq: *seq,
+                    to,
+                    from: ctx.rank,
+                    tag,
+                    payload,
+                }));
+            }
+        };
+
+    // Start phase: every actor runs on_start at t = 0, rank order.
+    for (rank, actor) in actors.iter_mut().enumerate() {
+        let mut ctx = Ctx {
+            rank,
+            size,
+            now: 0.0,
+            outbox: Vec::new(),
+            stop: false,
+        };
+        actor.on_start(&mut ctx);
+        busy[rank] += ctx.now;
+        rank_free[rank] = ctx.now;
+        end_time = end_time.max(ctx.now);
+        let stop = ctx.stop;
+        flush(&mut ctx, &mut calendar, &mut seq, &mut bytes);
+        if stop {
+            return (
+                SimOutcome {
+                    end_time,
+                    messages,
+                    bytes,
+                    busy,
+                },
+                actors,
+            );
+        }
+    }
+
+    while let Some(Reverse(ev)) = calendar.pop() {
+        messages += 1;
+        let start = ev.time.max(rank_free[ev.to]);
+        let mut ctx = Ctx {
+            rank: ev.to,
+            size,
+            now: start,
+            outbox: Vec::new(),
+            stop: false,
+        };
+        actors[ev.to].on_message(ev.from, ev.tag, &ev.payload, &mut ctx);
+        busy[ev.to] += ctx.now - start;
+        rank_free[ev.to] = ctx.now;
+        end_time = end_time.max(ctx.now);
+        let stop = ctx.stop;
+        flush(&mut ctx, &mut calendar, &mut seq, &mut bytes);
+        if stop {
+            break;
+        }
+    }
+
+    (
+        SimOutcome {
+            end_time,
+            messages,
+            bytes,
+            busy,
+        },
+        actors,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong: rank 0 sends a ball, rank 1 returns it, k times.
+    struct PingPong {
+        remaining: u32,
+        finished_at: f64,
+    }
+
+    impl Actor for PingPong {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, vec![0; 100]);
+            }
+        }
+
+        fn on_message(&mut self, from: Rank, _tag: u32, _payload: &[u8], ctx: &mut Ctx) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send(from, 0, vec![0; 100]);
+            } else {
+                self.finished_at = ctx.now();
+                ctx.stop();
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_timing() {
+        let link = LinkModel {
+            latency: 1e-3,
+            bandwidth: 1e6,
+        };
+        let mk = || PingPong {
+            remaining: 5,
+            finished_at: 0.0,
+        };
+        let (outcome, _) = run(vec![mk(), mk()], link);
+        // Each hop costs 1 ms + 100 B / 1 MB/s = 1.1 ms. The initial send
+        // plus 5 returned balls ⇒ at least 6 hops.
+        let hop = 1e-3 + 100.0 / 1e6;
+        assert!(outcome.end_time >= 6.0 * hop - 1e-12);
+        assert!(outcome.messages >= 6);
+        assert_eq!(outcome.bytes % 100, 0);
+    }
+
+    /// Compute charges serialize on one rank.
+    struct Sink {
+        handled: Vec<f64>,
+    }
+    struct Burst;
+
+    impl Actor for Sink {
+        fn on_start(&mut self, _ctx: &mut Ctx) {}
+        fn on_message(&mut self, _from: Rank, _tag: u32, _p: &[u8], ctx: &mut Ctx) {
+            ctx.compute(1.0);
+            self.handled.push(ctx.now());
+        }
+    }
+    impl Actor for Burst {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for _ in 0..3 {
+                ctx.send(0, 0, vec![]);
+            }
+        }
+        fn on_message(&mut self, _: Rank, _: u32, _: &[u8], _: &mut Ctx) {}
+    }
+
+    enum Either {
+        Sink(Sink),
+        Burst(Burst),
+    }
+    impl Actor for Either {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            match self {
+                Either::Sink(s) => s.on_start(ctx),
+                Either::Burst(b) => b.on_start(ctx),
+            }
+        }
+        fn on_message(&mut self, f: Rank, t: u32, p: &[u8], ctx: &mut Ctx) {
+            match self {
+                Either::Sink(s) => s.on_message(f, t, p, ctx),
+                Either::Burst(b) => b.on_message(f, t, p, ctx),
+            }
+        }
+    }
+
+    #[test]
+    fn busy_rank_serializes_events() {
+        let link = LinkModel {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+        };
+        let actors = vec![Either::Sink(Sink { handled: vec![] }), Either::Burst(Burst)];
+        let (outcome, actors) = run(actors, link);
+        let Either::Sink(sink) = &actors[0] else {
+            panic!()
+        };
+        // Three 1-second jobs arriving simultaneously finish at 1, 2, 3.
+        assert_eq!(sink.handled.len(), 3);
+        assert!((sink.handled[0] - 1.0).abs() < 1e-9);
+        assert!((sink.handled[1] - 2.0).abs() < 1e-9);
+        assert!((sink.handled[2] - 3.0).abs() < 1e-9);
+        assert!((outcome.end_time - 3.0).abs() < 1e-9);
+        assert!((outcome.busy[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinism() {
+        let link = LinkModel::default();
+        let mk = || PingPong {
+            remaining: 10,
+            finished_at: 0.0,
+        };
+        let (a, _) = run(vec![mk(), mk()], link);
+        let (b, _) = run(vec![mk(), mk()], link);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_world_terminates() {
+        let (outcome, _) = run(Vec::<PingPong>::new(), LinkModel::default());
+        assert_eq!(outcome.end_time, 0.0);
+        assert_eq!(outcome.messages, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! A minimal payload codec: little-endian integers appended to a byte
+//! buffer. Enough for the engines' task ids, scores and score rows,
+//! without pulling a serialisation framework into the dependency tree.
+
+/// Append-only payload writer.
+#[derive(Debug, Default, Clone)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh empty payload.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Append a `u64`.
+    pub fn u64(mut self, v: u64) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `usize` (as `u64`).
+    pub fn usize(self, v: usize) -> Self {
+        self.u64(v as u64)
+    }
+
+    /// Append an `i32`.
+    pub fn i32(mut self, v: i32) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed `i32` slice.
+    pub fn i32_slice(mut self, vs: &[i32]) -> Self {
+        self = self.usize(vs.len());
+        for &v in vs {
+            self = self.i32(v);
+        }
+        self
+    }
+
+    /// Append a length-prefixed list of `usize` pairs.
+    pub fn pairs(mut self, ps: &[(usize, usize)]) -> Self {
+        self = self.usize(ps.len());
+        for &(a, b) in ps {
+            self = self.usize(a).usize(b);
+        }
+        self
+    }
+
+    /// Finish and take the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Sequential payload reader. Panics on malformed payloads — messages
+/// come from our own encoder, so corruption is a bug, not input.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Start reading `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> u64 {
+        let bytes: [u8; 8] = self.buf[self.pos..self.pos + 8].try_into().unwrap();
+        self.pos += 8;
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Read a `usize`.
+    pub fn usize(&mut self) -> usize {
+        self.u64() as usize
+    }
+
+    /// Read an `i32`.
+    pub fn i32(&mut self) -> i32 {
+        let bytes: [u8; 4] = self.buf[self.pos..self.pos + 4].try_into().unwrap();
+        self.pos += 4;
+        i32::from_le_bytes(bytes)
+    }
+
+    /// Read a length-prefixed `i32` vector.
+    pub fn i32_vec(&mut self) -> Vec<i32> {
+        let n = self.usize();
+        (0..n).map(|_| self.i32()).collect()
+    }
+
+    /// Read a length-prefixed list of `usize` pairs.
+    pub fn pairs(&mut self) -> Vec<(usize, usize)> {
+        let n = self.usize();
+        (0..n).map(|_| (self.usize(), self.usize())).collect()
+    }
+
+    /// `true` iff every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_everything() {
+        let payload = Encoder::new()
+            .u64(u64::MAX)
+            .usize(42)
+            .i32(-7)
+            .i32_slice(&[1, -2, 3])
+            .pairs(&[(0, 9), (5, 5)])
+            .finish();
+        let mut d = Decoder::new(&payload);
+        assert_eq!(d.u64(), u64::MAX);
+        assert_eq!(d.usize(), 42);
+        assert_eq!(d.i32(), -7);
+        assert_eq!(d.i32_vec(), vec![1, -2, 3]);
+        assert_eq!(d.pairs(), vec![(0, 9), (5, 5)]);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn empty_collections() {
+        let payload = Encoder::new().i32_slice(&[]).pairs(&[]).finish();
+        let mut d = Decoder::new(&payload);
+        assert!(d.i32_vec().is_empty());
+        assert!(d.pairs().is_empty());
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let payload = Encoder::new().i32(1).finish();
+        let mut d = Decoder::new(&payload);
+        d.u64();
+    }
+}

@@ -1,0 +1,107 @@
+//! Cross-backend invariants of the message-passing substrate.
+
+use proptest::prelude::*;
+use repro_xmpi::thread::ThreadComm;
+use repro_xmpi::virtual_time::{run, Actor, Ctx, LinkModel};
+use repro_xmpi::{Comm, Rank};
+use std::time::Duration;
+
+/// A relay chain: rank 0 sends a token that hops 0→1→…→n−1 and stops.
+struct Relay {
+    hops_seen: u32,
+    compute: f64,
+}
+
+impl Actor for Relay {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        if ctx.rank() == 0 && ctx.size() > 1 {
+            ctx.send(1, 0, vec![1, 2, 3]);
+        }
+    }
+
+    fn on_message(&mut self, _from: Rank, tag: u32, payload: &[u8], ctx: &mut Ctx) {
+        self.hops_seen += 1;
+        ctx.compute(self.compute);
+        let next = ctx.rank() + 1;
+        if next < ctx.size() {
+            ctx.send(next, tag + 1, payload.to_vec());
+        } else {
+            ctx.stop();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Virtual time accounting: the end time of a relay chain is exactly
+    /// hops × (latency + size/bandwidth + compute); busy time per rank
+    /// equals its compute charge; message and byte counters are exact.
+    #[test]
+    fn relay_timing_is_exact(
+        n in 2usize..10,
+        latency_us in 1u32..1000,
+        compute_ms in 0u32..50,
+        size in 0usize..4096,
+    ) {
+        let latency = latency_us as f64 * 1e-6;
+        let compute = compute_ms as f64 * 1e-3;
+        let bandwidth = 1e8;
+        struct SizedRelay(Relay, usize);
+        impl Actor for SizedRelay {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                if ctx.rank() == 0 && ctx.size() > 1 {
+                    ctx.send(1, 0, vec![0; self.1]);
+                }
+            }
+            fn on_message(&mut self, f: Rank, t: u32, p: &[u8], ctx: &mut Ctx) {
+                self.0.on_message(f, t, p, ctx);
+            }
+        }
+        let actors: Vec<SizedRelay> = (0..n)
+            .map(|_| SizedRelay(Relay { hops_seen: 0, compute }, size))
+            .collect();
+        let (outcome, actors) = run(actors, LinkModel { latency, bandwidth });
+        let hops = (n - 1) as f64;
+        let per_hop = latency + size as f64 / bandwidth + compute;
+        prop_assert!((outcome.end_time - hops * per_hop).abs() < 1e-9,
+            "end {} vs expected {}", outcome.end_time, hops * per_hop);
+        prop_assert_eq!(outcome.messages, n as u64 - 1);
+        prop_assert_eq!(outcome.bytes, (n as u64 - 1) * size as u64);
+        let total_hops: u32 = actors.iter().map(|a| a.0.hops_seen).sum();
+        prop_assert_eq!(total_hops, n as u32 - 1);
+        for (rank, busy) in outcome.busy.iter().enumerate() {
+            let expected = if rank == 0 { 0.0 } else { compute };
+            prop_assert!((busy - expected).abs() < 1e-9);
+        }
+    }
+
+    /// Thread backend: fan-in from many senders delivers everything,
+    /// in per-sender order.
+    #[test]
+    fn thread_fan_in_is_complete(senders in 1usize..6, per in 1usize..30) {
+        let mut world = ThreadComm::world(senders + 1);
+        let sink = world.remove(0);
+        std::thread::scope(|s| {
+            for comm in world {
+                s.spawn(move || {
+                    for i in 0..per {
+                        comm.send(0, i as u32, vec![comm.rank() as u8]);
+                    }
+                });
+            }
+            let mut last_tag = vec![None::<u32>; senders + 1];
+            for _ in 0..senders * per {
+                let m = sink
+                    .recv_timeout(Duration::from_secs(10))
+                    .expect("all messages must arrive");
+                if let Some(prev) = last_tag[m.from] {
+                    assert!(m.tag > prev, "per-sender order violated");
+                }
+                last_tag[m.from] = Some(m.tag);
+            }
+            assert!(sink.try_recv().is_none(), "no extra messages");
+        });
+        prop_assert!(true);
+    }
+}
