@@ -1,8 +1,8 @@
 //! Waterman–Eggert non-overlapping suboptimal alignments.
 //!
 //! The prior art the paper builds on (Appendix A): "Waterman and
-//! Eggert [14] also published an algorithm that overrides matrix
-//! entries with zeros; Huang et al. [5] followed their approach with an
+//! Eggert \[14\] also published an algorithm that overrides matrix
+//! entries with zeros; Huang et al. \[5\] followed their approach with an
 //! algorithm that reduced the memory requirements ... However, our
 //! algorithm rejects shadow alignments."
 //!

@@ -30,6 +30,7 @@ use repro::align::{Alphabet, ExchangeMatrix, GapPenalties};
 use repro::{Engine, LaneWidth, LegacyKernel, Repro, Scoring, Seq};
 use std::process::ExitCode;
 
+#[derive(Debug)]
 struct Options {
     input: String,
     alphabet: Alphabet,
@@ -105,26 +106,36 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "legacy-naive" => Engine::Legacy(LegacyKernel::Naive),
                     other => {
                         if let Some(n) = other.strip_prefix("threads:") {
-                            Engine::Threads(
-                                n.parse().map_err(|_| "bad thread count".to_string())?,
-                            )
-                        } else if let Some(n) = other.strip_prefix("cluster:") {
-                            Engine::Cluster {
-                                workers: n
-                                    .parse()
-                                    .map_err(|_| "bad worker count".to_string())?,
+                            let threads: usize =
+                                n.parse().map_err(|_| "bad thread count".to_string())?;
+                            if threads == 0 {
+                                return Err("threads:N needs at least 1 thread".to_string());
                             }
+                            Engine::Threads(threads)
+                        } else if let Some(n) = other.strip_prefix("cluster:") {
+                            let workers: usize =
+                                n.parse().map_err(|_| "bad worker count".to_string())?;
+                            if workers == 0 {
+                                return Err("cluster:N needs at least 1 worker".to_string());
+                            }
+                            Engine::Cluster { workers }
                         } else if let Some(spec) = other.strip_prefix("hybrid:") {
                             let (nodes, tpn) = spec
                                 .split_once(':')
                                 .ok_or_else(|| "hybrid needs nodes:threads".to_string())?;
+                            let nodes: usize =
+                                nodes.parse().map_err(|_| "bad node count".to_string())?;
+                            let threads_per_node: usize =
+                                tpn.parse().map_err(|_| "bad threads-per-node".to_string())?;
+                            if nodes == 0 || threads_per_node == 0 || nodes * threads_per_node < 2 {
+                                return Err(
+                                    "hybrid:N:T needs at least 2 CPUs total (one is the master)"
+                                        .to_string(),
+                                );
+                            }
                             Engine::Hybrid {
-                                nodes: nodes
-                                    .parse()
-                                    .map_err(|_| "bad node count".to_string())?,
-                                threads_per_node: tpn
-                                    .parse()
-                                    .map_err(|_| "bad threads-per-node".to_string())?,
+                                nodes,
+                                threads_per_node,
                             }
                         } else {
                             return Err(format!("unknown engine {other:?}"));
@@ -262,19 +273,20 @@ fn run(opts: &Options) -> Result<(), String> {
     }
 
     for record in &records {
-        analyze_one(&record.id, &record.seq, &scoring, opts);
+        analyze_one(&record.id, &record.seq, &scoring, opts)?;
     }
     Ok(())
 }
 
-fn analyze_one(id: &str, seq: &Seq, scoring: &Scoring, opts: &Options) {
+fn analyze_one(id: &str, seq: &Seq, scoring: &Scoring, opts: &Options) -> Result<(), String> {
     println!(">{id} ({} residues, {} alphabet)", seq.len(), seq.alphabet());
     let t0 = std::time::Instant::now();
     let analysis = Repro::new(scoring.clone())
         .top_alignments(opts.tops)
         .engine(opts.engine)
         .low_memory(opts.low_memory)
-        .run(seq);
+        .try_run(seq)
+        .map_err(|e| format!("engine failure on {id:?}: {e}"))?;
     let elapsed = t0.elapsed();
 
     if !opts.quiet {
@@ -336,9 +348,30 @@ fn analyze_one(id: &str, seq: &Seq, scoring: &Scoring, opts: &Options) {
         analysis.tops.stats.tracebacks,
         elapsed
     );
+    Ok(())
 }
 
+/// Restore the default SIGPIPE disposition so `repro ... | head` ends
+/// the process quietly (as cat/grep do) instead of panicking when the
+/// downstream reader closes the pipe. Rust's runtime ignores SIGPIPE,
+/// which turns every println! into a potential broken-pipe panic.
+#[cfg(unix)]
+fn restore_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn restore_sigpipe() {}
+
 fn main() -> ExitCode {
+    restore_sigpipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
         Ok(o) => o,
@@ -403,6 +436,16 @@ mod tests {
         assert!(parse_args(&args(&["--tops", "many", "x.fa"])).is_err());
         assert!(parse_args(&args(&["a.fa", "b.fa"])).is_err());
         assert!(parse_args(&args(&["--bogus", "x.fa"])).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_engine_configs() {
+        // Worlds too small to host a master + one worker must be a
+        // parse-time diagnostic, not a panic deep in the engine.
+        for spec in ["threads:0", "cluster:0", "hybrid:0:4", "hybrid:4:0", "hybrid:1:1"] {
+            let err = parse_args(&args(&["--engine", spec, "x.fa"])).unwrap_err();
+            assert!(err.contains("needs"), "{spec}: {err}");
+        }
     }
 
     #[test]

@@ -90,11 +90,47 @@ fn bad_flags_are_rejected() {
         vec!["--engine", "warp-drive", "x.fa"],
         vec!["--tops", "several", "x.fa"],
         vec!["--alphabet", "klingon", "x.fa"],
+        vec!["--engine", "cluster:0", "x.fa"],
+        vec!["--engine", "threads:0", "x.fa"],
+        vec!["--engine", "hybrid:1:1", "x.fa"],
         vec![],
     ] {
         let out = repro_bin().args(&args).output().expect("binary runs");
         assert!(!out.status.success(), "args {args:?} should fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.lines().filter(|l| !l.trim().is_empty()).count() <= 2,
+            "args {args:?}: diagnostic should be short, got: {stderr}"
+        );
     }
+}
+
+#[test]
+fn bad_residues_are_a_clean_error() {
+    let path = write_fasta("residues", ">r\nACGT!!ACGT\n");
+    let out = repro_bin()
+        .args(["--alphabet", "dna"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid residue"), "stderr: {stderr}");
+    assert!(stderr.contains("line 2"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn empty_input_is_a_clean_error() {
+    let path = write_fasta("empty", "");
+    let out = repro_bin()
+        .args(["--alphabet", "dna"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no FASTA records"));
+    let _ = std::fs::remove_file(path);
 }
 
 #[test]

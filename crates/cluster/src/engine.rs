@@ -11,30 +11,40 @@
 //! the result is still a valid upper bound and can never be mistaken for
 //! fresh.)
 //!
-//! Receives carry deadlines: with message loss injected (or a crashed
-//! peer), the engine returns [`ClusterError::Stalled`] instead of
-//! hanging.
+//! The master side runs the recovery loop of [`crate::recovery`]:
+//! per-task deadlines with retransmission and exponential backoff,
+//! liveness tracking from worker beacons, reassignment away from dead
+//! workers, and a master-local fallback when every worker is lost. The
+//! worker side beacons IDLE/RESYNC, requests replica resyncs when an
+//! ACCEPTED broadcast went missing, and watches its own deadline so a
+//! dead master never leaves a thread hanging.
 
-use crate::master::{MasterAction, MasterState};
-use crate::protocol::{tag, AcceptedMsg, ResultMsg, TaskMsg};
+use crate::protocol::{tag, AcceptedMsg, ResultMsg, ResyncMsg, TaskMsg};
+use crate::recovery::{
+    already_deferred, idle_payload, master_loop, RecoveryConfig, BEACON_PERIOD, WORKER_POLL,
+};
 use repro_align::{Score, Scoring, Seq};
 use repro_core::{OverrideTriangle, SplitMask, TopAlignments};
 use repro_xmpi::thread::{FaultPlan, ThreadComm};
 use repro_xmpi::{Comm, RecvError};
-use std::collections::HashMap;
-use std::time::Duration;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 /// Distributed-engine failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClusterError {
-    /// No progress within the deadline (lost messages or a dead peer).
+    /// No progress within the deadline (lost messages or dead peers),
+    /// and even local fallback could not complete the search.
     Stalled,
+    /// The master's own endpoint died; no result can be produced.
+    MasterDead,
 }
 
 impl std::fmt::Display for ClusterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClusterError::Stalled => write!(f, "cluster engine stalled (message loss?)"),
+            ClusterError::MasterDead => write!(f, "cluster master crashed"),
         }
     }
 }
@@ -52,8 +62,9 @@ pub struct ClusterResult {
 }
 
 /// Run the distributed engine with `workers` worker ranks (plus the
-/// master), using real threads. `deadline` bounds any single wait for
-/// progress.
+/// master), using real threads. `deadline` bounds the total time the
+/// master spends waiting on the cluster before it degrades to local
+/// computation.
 pub fn find_top_alignments_cluster(
     seq: &Seq,
     scoring: &Scoring,
@@ -65,7 +76,7 @@ pub fn find_top_alignments_cluster(
 }
 
 /// [`find_top_alignments_cluster`] with fault injection on every
-/// endpoint (test hook).
+/// endpoint (the chaos-test hook).
 pub fn find_top_alignments_cluster_faulty(
     seq: &Seq,
     scoring: &Scoring,
@@ -83,60 +94,16 @@ pub fn find_top_alignments_cluster_faulty(
         for comm in world {
             scope.spawn(move || worker_loop(seq, scoring, comm, deadline));
         }
-        master_loop(seq, scoring, count, master_comm, deadline)
+        master_loop(
+            seq,
+            scoring,
+            count,
+            master_comm,
+            RecoveryConfig::with_overall(deadline),
+        )
     });
 
     result.map(|r| ClusterResult { result: r, ranks })
-}
-
-fn master_loop(
-    seq: &Seq,
-    scoring: &Scoring,
-    count: usize,
-    comm: ThreadComm,
-    deadline: Duration,
-) -> Result<TopAlignments, ClusterError> {
-    let mut master = MasterState::new(seq, scoring, count);
-    let act = |comm: &ThreadComm, actions: Vec<MasterAction>| -> bool {
-        let mut done = false;
-        for action in actions {
-            match action {
-                MasterAction::Assign { worker, task } => {
-                    comm.send(worker, tag::TASK, task.encode());
-                }
-                MasterAction::Broadcast(acc) => {
-                    repro_xmpi::broadcast_from(&comm, tag::ACCEPTED, &acc.encode());
-                }
-                MasterAction::Done => {
-                    repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
-                    done = true;
-                }
-            }
-        }
-        done
-    };
-
-    loop {
-        let msg = match comm.recv_timeout(deadline) {
-            Ok(m) => m,
-            Err(RecvError::Timeout) | Err(RecvError::Disconnected) => {
-                // Unstick the workers so the scope can join.
-                repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
-                return Err(ClusterError::Stalled);
-            }
-        };
-        let actions = match msg.tag {
-            tag::IDLE => master.worker_idle(msg.from),
-            tag::RESULT => {
-                let res = ResultMsg::decode(&msg.payload);
-                master.result(msg.from, res.r, res.stamp, res.score, res.cells, res.first_row)
-            }
-            other => unreachable!("master received unexpected tag {other}"),
-        };
-        if act(&comm, actions) {
-            return Ok(master.into_result());
-        }
-    }
 }
 
 fn worker_loop(seq: &Seq, scoring: &Scoring, comm: ThreadComm, deadline: Duration) {
@@ -144,43 +111,102 @@ fn worker_loop(seq: &Seq, scoring: &Scoring, comm: ThreadComm, deadline: Duratio
     let mut applied = 0usize; // ACCEPTED broadcasts applied so far
     let mut rows: HashMap<usize, Vec<Score>> = HashMap::new();
     let mut deferred: Vec<TaskMsg> = Vec::new();
+    // Attempts whose result we already sent once: receiving them again
+    // means that result was lost, so its replacement is sent twice (a
+    // single copy can phase-lock with a deterministic loss pattern).
+    let mut sent: HashSet<(usize, u64)> = HashSet::new();
+    let mut last_master = Instant::now();
+    let mut next_beacon = Instant::now(); // fires immediately: first IDLE
 
-    comm.send(0, tag::IDLE, Vec::new());
     loop {
         // Run any deferred task whose stamp the replica has reached.
         if let Some(pos) = deferred.iter().position(|t| t.stamp <= applied) {
             let task = deferred.swap_remove(pos);
-            run_task(seq, scoring, &comm, &triangle, &mut rows, task);
+            let repeat = !sent.insert((task.r, task.attempt));
+            if !run_task(seq, scoring, &comm, &triangle, &mut rows, task, repeat) {
+                return; // endpoint (ours or the master's) is dead
+            }
             continue;
         }
-        let msg = match comm.recv_timeout(deadline) {
+        let now = Instant::now();
+        if now.duration_since(last_master) > deadline {
+            return; // master has gone silent for the whole budget
+        }
+        if now >= next_beacon {
+            // Free workers re-announce IDLE (idempotent at the master —
+            // it dedupes per slot — and robust to a lost first one);
+            // workers stuck on deferred work send a liveness heartbeat
+            // and ask for the acceptances their replica is missing.
+            let beacon = if deferred.is_empty() {
+                comm.send(0, tag::IDLE, idle_payload(0))
+            } else {
+                // Sent as a pair: a lone copy each period can land on
+                // the same phase of a deterministic loss pattern every
+                // time, starving the replica forever. Any received
+                // traffic refreshes liveness at the master, so the
+                // resync request doubles as the heartbeat.
+                let _ = comm.send(0, tag::RESYNC, ResyncMsg { applied }.encode());
+                comm.send(0, tag::RESYNC, ResyncMsg { applied }.encode())
+            };
+            if beacon.is_err() {
+                return;
+            }
+            next_beacon = now + BEACON_PERIOD;
+        }
+        let msg = match comm.recv_timeout(WORKER_POLL) {
             Ok(m) => m,
-            Err(_) => return, // master died or world torn down
+            Err(RecvError::Timeout) => continue,
+            Err(RecvError::Disconnected) => return,
         };
+        last_master = Instant::now();
         match msg.tag {
             tag::TASK => {
-                let task = TaskMsg::decode(&msg.payload);
+                let Ok(task) = TaskMsg::decode(&msg.payload) else {
+                    continue; // corrupted; the master will retransmit
+                };
                 if task.stamp <= applied {
-                    run_task(seq, scoring, &comm, &triangle, &mut rows, task);
-                } else {
+                    let repeat = !sent.insert((task.r, task.attempt));
+                    if !run_task(seq, scoring, &comm, &triangle, &mut rows, task, repeat) {
+                        return;
+                    }
+                } else if !already_deferred(&deferred, &task) {
                     deferred.push(task); // replica lags; wait for ACCEPTED
                 }
             }
             tag::ACCEPTED => {
-                let acc = AcceptedMsg::decode(&msg.payload);
+                let Ok(acc) = AcceptedMsg::decode(&msg.payload) else {
+                    // A corrupted acceptance would leave the replica
+                    // behind forever; ask for it again right away.
+                    let _ = comm.send(0, tag::RESYNC, ResyncMsg { applied }.encode());
+                    continue;
+                };
+                // Acceptances must be applied *in order*: if index k
+                // was lost and k+1 arrives first, applying it and
+                // claiming stamp k+2 would leave k's override pairs
+                // silently missing — and every score computed under
+                // that replica would be wrongly trusted as fresh.
+                if acc.index > applied {
+                    let _ = comm.send(0, tag::RESYNC, ResyncMsg { applied }.encode());
+                    continue;
+                }
+                if acc.index < applied {
+                    continue; // duplicate of an already-applied acceptance
+                }
                 for (p, q) in acc.pairs {
                     triangle.set(p, q);
                 }
-                // The acceptance index makes duplicate broadcasts
-                // idempotent (setting bits twice already is).
-                applied = applied.max(acc.index + 1);
+                applied += 1;
             }
             tag::DONE => return,
-            other => unreachable!("worker received unexpected tag {other}"),
+            _ => {} // stray tag: ignore
         }
     }
 }
 
+/// Compute one task and send its result. Returns `false` when the
+/// send proves an endpoint dead (ours or the master's), which is the
+/// worker's cue to exit; injected drops stay invisible and are healed
+/// by the master's retransmission.
 fn run_task(
     seq: &Seq,
     scoring: &Scoring,
@@ -188,7 +214,8 @@ fn run_task(
     triangle: &OverrideTriangle,
     rows: &mut HashMap<usize, Vec<Score>>,
     task: TaskMsg,
-) {
+    repeat: bool,
+) -> bool {
     let (prefix, suffix) = seq.split(task.r);
     let mask = SplitMask::new(triangle, task.r);
     let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
@@ -210,11 +237,20 @@ fn run_task(
     let res = ResultMsg {
         r: task.r,
         stamp: task.stamp,
+        attempt: task.attempt,
         score,
         cells: last.cells,
         first_row,
     };
-    comm.send(0, tag::RESULT, res.encode());
+    let payload = res.encode();
+    // A repeat means the first copy was lost en route: send two copies
+    // back to back so a period-2 loss pattern cannot swallow both.
+    for _ in 0..if repeat { 2 } else { 1 } {
+        if comm.send(0, tag::RESULT, payload.clone()).is_err() {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -275,54 +311,172 @@ mod tests {
     }
 
     #[test]
-    fn message_loss_stalls_gracefully() {
+    fn message_loss_is_healed_by_retransmission() {
         let seq = Seq::dna(&"ATGC".repeat(10)).unwrap();
         let scoring = Scoring::dna_example();
-        // Drop every 5th message: the run must terminate with an error
-        // (or, if the losses happen to spare the critical path, succeed
-        // with correct results) — never hang.
-        let out = find_top_alignments_cluster_faulty(
+        let want = find_top_alignments(&seq, &scoring, 5);
+        // Drop every 5th message on every endpoint: the retry layer
+        // must recover every lost task, result and acceptance, and the
+        // alignments must still be exactly the sequential ones.
+        let got = find_top_alignments_cluster_faulty(
             &seq,
             &scoring,
             5,
             2,
-            Duration::from_millis(300),
+            Duration::from_secs(20),
             FaultPlan {
                 drop_every: 5,
-                dup_every: 0,
+                ..FaultPlan::default()
             },
-        );
-        match out {
-            Err(ClusterError::Stalled) => {}
-            Ok(got) => {
-                let want = find_top_alignments(&seq, &scoring, 5);
-                assert_eq!(got.result.alignments, want.alignments);
-            }
-        }
+        )
+        .expect("message loss must be recovered, not fatal");
+        assert_eq!(got.result.alignments, want.alignments);
     }
 
     #[test]
-    fn duplicated_messages_are_harmless_or_detected() {
+    fn heavy_message_loss_completes_instead_of_stalling() {
+        // The regression the recovery layer exists for: dropping every
+        // 2nd message used to yield ClusterError::Stalled.
+        let seq = Seq::dna(&"ATGC".repeat(6)).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 3);
+        let got = find_top_alignments_cluster_faulty(
+            &seq,
+            &scoring,
+            3,
+            2,
+            Duration::from_secs(30),
+            FaultPlan {
+                drop_every: 2,
+                ..FaultPlan::default()
+            },
+        )
+        .expect("drop_every=2 must complete, possibly via local fallback");
+        assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn duplicated_messages_are_harmless() {
         let seq = Seq::dna(&"ATGC".repeat(8)).unwrap();
         let scoring = Scoring::dna_example();
-        let out = find_top_alignments_cluster_faulty(
+        let want = find_top_alignments(&seq, &scoring, 4);
+        let got = find_top_alignments_cluster_faulty(
             &seq,
             &scoring,
             4,
             2,
-            Duration::from_millis(500),
+            DL,
             FaultPlan {
-                drop_every: 0,
                 dup_every: 7,
+                ..FaultPlan::default()
+            },
+        )
+        .expect("duplicates must be absorbed by attempt dedup");
+        assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn corrupted_payloads_are_dropped_and_recovered() {
+        let seq = Seq::dna(&"ATGC".repeat(8)).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 4);
+        let got = find_top_alignments_cluster_faulty(
+            &seq,
+            &scoring,
+            4,
+            2,
+            Duration::from_secs(20),
+            FaultPlan {
+                corrupt_every: 9,
+                ..FaultPlan::default()
+            },
+        )
+        .expect("corruption is detected by framing and healed by retry");
+        assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn crashed_worker_is_reassigned_around() {
+        let seq = Seq::dna(&"ATGC".repeat(8)).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 4);
+        // Rank 2 (a worker) dies after its first few sends; the master
+        // must reassign its work to the survivor and still finish.
+        let got = find_top_alignments_cluster_faulty(
+            &seq,
+            &scoring,
+            4,
+            2,
+            Duration::from_secs(20),
+            FaultPlan {
+                crash_rank: Some(2),
+                crash_after_sends: 3,
+                ..FaultPlan::default()
+            },
+        )
+        .expect("a crashed worker must not sink the run");
+        assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn all_workers_crashing_degrades_to_local_fallback() {
+        let seq = Seq::dna(&"ATGC".repeat(6)).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 3);
+        // The only worker dies almost immediately.
+        let got = find_top_alignments_cluster_faulty(
+            &seq,
+            &scoring,
+            3,
+            1,
+            Duration::from_secs(20),
+            FaultPlan {
+                crash_rank: Some(1),
+                crash_after_sends: 1,
+                ..FaultPlan::default()
+            },
+        )
+        .expect("losing every worker must degrade to local computation");
+        assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn crashed_master_is_a_typed_error() {
+        let seq = Seq::dna(&"ATGC".repeat(6)).unwrap();
+        let scoring = Scoring::dna_example();
+        let out = find_top_alignments_cluster_faulty(
+            &seq,
+            &scoring,
+            3,
+            2,
+            Duration::from_secs(5),
+            FaultPlan {
+                crash_rank: Some(0),
+                crash_after_sends: 2,
+                ..FaultPlan::default()
             },
         );
-        // Duplicates can double-deliver RESULT/IDLE messages; the engine
-        // must either produce the exact sequential answer or stop with a
-        // clean error — never hang, never return a wrong alignment set
-        // silently... so verify when Ok.
-        if let Ok(got) = out {
-            let want = find_top_alignments(&seq, &scoring, 4);
-            assert_eq!(got.result.alignments, want.alignments);
-        }
+        assert_eq!(out.unwrap_err(), ClusterError::MasterDead);
+    }
+
+    #[test]
+    fn delayed_messages_do_not_change_the_answer() {
+        let seq = Seq::dna(&"ATGC".repeat(8)).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 4);
+        let got = find_top_alignments_cluster_faulty(
+            &seq,
+            &scoring,
+            4,
+            3,
+            Duration::from_secs(20),
+            FaultPlan {
+                delay_every: 4,
+                delay: Duration::from_millis(70),
+                ..FaultPlan::default()
+            },
+        )
+        .expect("delays reorder traffic but never corrupt the schedule");
+        assert_eq!(got.result.alignments, want.alignments);
     }
 }

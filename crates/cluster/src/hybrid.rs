@@ -15,22 +15,28 @@
 //! threads share the override-triangle replica (an `Arc` snapshot
 //! swapped on each acceptance) and the bottom-row cache, and take
 //! turns on the node's single communication endpoint behind a mutex —
-//! exactly the paper's structure. The master cannot tell threads apart
-//! (an `IDLE` per thread simply registers extra capacity on that
-//! rank), and the shared row cache per rank is precisely why the
-//! master's per-rank row-caching bookkeeping stays correct.
+//! exactly the paper's structure. Each thread registers its own
+//! capacity **slot** with the master (an `IDLE` carrying the slot id),
+//! which is how one rank offers several units of capacity without the
+//! master confusing a re-announced IDLE with extra CPUs.
+//!
+//! The master side is the same recovery loop as [`crate::engine`]
+//! (retransmission, liveness, reassignment, local fallback), so a dead
+//! node's work migrates to the surviving nodes.
 
 use crate::engine::ClusterError;
-use crate::master::{MasterAction, MasterState};
-use crate::protocol::{tag, AcceptedMsg, ResultMsg, TaskMsg};
+use crate::protocol::{tag, AcceptedMsg, ResultMsg, ResyncMsg, TaskMsg};
+use crate::recovery::{
+    already_deferred, idle_payload, master_loop, RecoveryConfig, BEACON_PERIOD, WORKER_POLL,
+};
 use parking_lot::{Condvar, Mutex};
 use repro_align::{Score, Scoring, Seq};
 use repro_core::{OverrideTriangle, SplitMask, TopAlignments};
 use repro_xmpi::thread::ThreadComm;
 use repro_xmpi::{Comm, RecvError};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Result of a hybrid run.
 #[derive(Debug, Clone)]
@@ -55,6 +61,12 @@ struct NodeInner {
     applied: usize,
     rows: HashMap<usize, Arc<Vec<Score>>>,
     deferred: Vec<TaskMsg>,
+    /// Attempts whose result already went out once (node-wide — the
+    /// retransmit may be polled by a different thread than the one
+    /// that answered the original). A repeat means that result was
+    /// lost, so its replacement is sent twice; see the engine worker.
+    sent: HashSet<(usize, u64)>,
+    last_master: Instant,
     done: bool,
 }
 
@@ -97,6 +109,8 @@ pub fn find_top_alignments_hybrid(
                     applied: 0,
                     rows: HashMap::new(),
                     deferred: Vec::new(),
+                    sent: HashSet::new(),
+                    last_master: Instant::now(),
                     done: false,
                 }),
                 wake: Condvar::new(),
@@ -104,13 +118,19 @@ pub fn find_top_alignments_hybrid(
             // The node's single communication endpoint, mutex-guarded
             // exactly as the paper guards its MPI calls.
             let comm = Arc::new(Mutex::new(comm));
-            for _ in 0..threads {
+            for slot in 0..threads {
                 let shared = Arc::clone(&shared);
                 let comm = Arc::clone(&comm);
-                scope.spawn(move || node_worker(seq, scoring, comm, shared, deadline));
+                scope.spawn(move || node_worker(seq, scoring, comm, shared, slot, deadline));
             }
         }
-        master_loop(seq, scoring, count, master_comm, deadline)
+        master_loop(
+            seq,
+            scoring,
+            count,
+            master_comm,
+            RecoveryConfig::with_overall(deadline),
+        )
     });
 
     result.map(|r| HybridResult {
@@ -120,61 +140,15 @@ pub fn find_top_alignments_hybrid(
     })
 }
 
-fn master_loop(
-    seq: &Seq,
-    scoring: &Scoring,
-    count: usize,
-    comm: ThreadComm,
-    deadline: Duration,
-) -> Result<TopAlignments, ClusterError> {
-    let mut master = MasterState::new(seq, scoring, count);
-    loop {
-        let msg = match comm.recv_timeout(deadline) {
-            Ok(m) => m,
-            Err(RecvError::Timeout) | Err(RecvError::Disconnected) => {
-                repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
-                return Err(ClusterError::Stalled);
-            }
-        };
-        let actions = match msg.tag {
-            tag::IDLE => master.worker_idle(msg.from),
-            tag::RESULT => {
-                let res = ResultMsg::decode(&msg.payload);
-                master.result(msg.from, res.r, res.stamp, res.score, res.cells, res.first_row)
-            }
-            other => unreachable!("master received unexpected tag {other}"),
-        };
-        let mut done = false;
-        for action in actions {
-            match action {
-                MasterAction::Assign { worker, task } => {
-                    comm.send(worker, tag::TASK, task.encode());
-                }
-                MasterAction::Broadcast(acc) => {
-                    repro_xmpi::broadcast_from(&comm, tag::ACCEPTED, &acc.encode());
-                }
-                MasterAction::Done => {
-                    repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
-                    done = true;
-                }
-            }
-        }
-        if done {
-            return Ok(master.into_result());
-        }
-    }
-}
-
 fn node_worker(
     seq: &Seq,
     scoring: &Scoring,
     comm: Arc<Mutex<ThreadComm>>,
     shared: Arc<NodeShared>,
+    slot: usize,
     deadline: Duration,
 ) {
-    // Each worker thread registers one capacity slot with the master.
-    comm.lock().send(0, tag::IDLE, Vec::new());
-    let started = std::time::Instant::now();
+    let mut next_beacon = Instant::now(); // fires immediately: first IDLE
     loop {
         // Prefer runnable deferred tasks (their stamp has been reached).
         let runnable = {
@@ -186,57 +160,112 @@ fn node_worker(
                 Some(pos) => {
                     let task = inner.deferred.swap_remove(pos);
                     let snapshot = Arc::clone(&inner.triangle);
-                    Some((task, snapshot))
+                    let repeat = !inner.sent.insert((task.r, task.attempt));
+                    Some((task, snapshot, repeat))
                 }
                 None => None,
             }
         };
-        if let Some((task, triangle)) = runnable {
-            run_task(seq, scoring, &comm, &shared, &triangle, task);
+        if let Some((task, triangle, repeat)) = runnable {
+            run_task(seq, scoring, &comm, &shared, &triangle, task, repeat);
             continue;
         }
 
+        let now = Instant::now();
+        {
+            let lagging = {
+                let inner = shared.inner.lock();
+                if now.duration_since(inner.last_master) > deadline {
+                    return; // master silent for the whole budget
+                }
+                (!inner.deferred.is_empty()).then_some(inner.applied)
+            };
+            if now >= next_beacon {
+                // This thread's capacity slot re-announces itself while
+                // free (the master dedupes); a lagging replica instead
+                // heartbeats and asks for the acceptances it missed.
+                let guard = comm.lock();
+                let sent = match lagging {
+                    None => guard.send(0, tag::IDLE, idle_payload(slot)),
+                    Some(applied) => {
+                        // Paired so a deterministic loss pattern cannot
+                        // starve the replica (see the engine worker);
+                        // the request itself refreshes liveness.
+                        let _ = guard.send(0, tag::RESYNC, ResyncMsg { applied }.encode());
+                        guard.send(0, tag::RESYNC, ResyncMsg { applied }.encode())
+                    }
+                };
+                drop(guard);
+                if sent.is_err() {
+                    shared.inner.lock().done = true;
+                    return;
+                }
+                next_beacon = now + BEACON_PERIOD;
+            }
+        }
+
         // Take a turn on the node's endpoint (short slice so siblings
-        // also get to poll; the master's deadline governs liveness).
+        // also get to poll; the master's recovery loop governs liveness).
         let msg = {
             let guard = comm.lock();
-            guard.recv_timeout(Duration::from_millis(20))
+            guard.recv_timeout(WORKER_POLL)
         };
         let msg = match msg {
             Ok(m) => m,
-            Err(RecvError::Disconnected) => return,
-            Err(RecvError::Timeout) => {
-                if started.elapsed() > deadline {
-                    return;
-                }
-                continue;
+            Err(RecvError::Disconnected) => {
+                shared.inner.lock().done = true;
+                return;
             }
+            Err(RecvError::Timeout) => continue,
         };
+        shared.inner.lock().last_master = Instant::now();
         match msg.tag {
             tag::TASK => {
-                let task = TaskMsg::decode(&msg.payload);
+                let Ok(task) = TaskMsg::decode(&msg.payload) else {
+                    continue; // corrupted; the master will retransmit
+                };
                 let snapshot = {
                     let mut inner = shared.inner.lock();
                     if task.stamp <= inner.applied {
-                        Some(Arc::clone(&inner.triangle))
+                        let repeat = !inner.sent.insert((task.r, task.attempt));
+                        Some((Arc::clone(&inner.triangle), repeat))
                     } else {
-                        inner.deferred.push(task.clone());
+                        if !already_deferred(&inner.deferred, &task) {
+                            inner.deferred.push(task.clone());
+                        }
                         None
                     }
                 };
-                if let Some(triangle) = snapshot {
-                    run_task(seq, scoring, &comm, &shared, &triangle, task);
+                if let Some((triangle, repeat)) = snapshot {
+                    run_task(seq, scoring, &comm, &shared, &triangle, task, repeat);
                 }
             }
             tag::ACCEPTED => {
-                let acc = AcceptedMsg::decode(&msg.payload);
+                let Ok(acc) = AcceptedMsg::decode(&msg.payload) else {
+                    let applied = shared.inner.lock().applied;
+                    let _ = comm.lock().send(0, tag::RESYNC, ResyncMsg { applied }.encode());
+                    continue;
+                };
                 let mut inner = shared.inner.lock();
+                // In-order application only: skipping a lost acceptance
+                // would leave its override pairs out of the shared
+                // replica while the stamp claims otherwise (see the
+                // engine worker for the full argument).
+                if acc.index > inner.applied {
+                    let applied = inner.applied;
+                    drop(inner);
+                    let _ = comm.lock().send(0, tag::RESYNC, ResyncMsg { applied }.encode());
+                    continue;
+                }
+                if acc.index < inner.applied {
+                    continue; // duplicate of an already-applied acceptance
+                }
                 let mut triangle = (*inner.triangle).clone();
                 for (p, q) in acc.pairs {
                     triangle.set(p, q);
                 }
                 inner.triangle = Arc::new(triangle);
-                inner.applied = inner.applied.max(acc.index + 1);
+                inner.applied += 1;
                 shared.wake.notify_all();
             }
             tag::DONE => {
@@ -245,7 +274,7 @@ fn node_worker(
                 shared.wake.notify_all();
                 return;
             }
-            other => unreachable!("worker received unexpected tag {other}"),
+            _ => {} // stray tag: ignore
         }
     }
 }
@@ -257,6 +286,7 @@ fn run_task(
     shared: &Arc<NodeShared>,
     triangle: &OverrideTriangle,
     task: TaskMsg,
+    repeat: bool,
 ) {
     let (prefix, suffix) = seq.split(task.r);
     let mask = SplitMask::new(triangle, task.r);
@@ -290,11 +320,21 @@ fn run_task(
     let res = ResultMsg {
         r: task.r,
         stamp: task.stamp,
+        attempt: task.attempt,
         score,
         cells: last.cells,
         first_row,
     };
-    comm.lock().send(0, tag::RESULT, res.encode());
+    let payload = res.encode();
+    // A repeat means the first copy was lost: double-send so a
+    // period-2 loss pattern cannot swallow both copies.
+    for _ in 0..if repeat { 2 } else { 1 } {
+        if comm.lock().send(0, tag::RESULT, payload.clone()).is_err() {
+            // The master is gone; let the node wind down.
+            shared.inner.lock().done = true;
+            return;
+        }
+    }
 }
 
 #[cfg(test)]

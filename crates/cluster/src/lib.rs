@@ -17,9 +17,14 @@
 //!   the globally best upper bound is fresh, so the distributed engine
 //!   emits the same alignments as every other engine.
 //! * [`protocol`] — message tags and payload codecs.
+//! * [`recovery`] — the fault-tolerant transport loop shared by the
+//!   thread-backed engines: per-task deadlines with bounded retry and
+//!   exponential backoff, liveness tracking, reassignment away from
+//!   dead workers, and a master-local sequential fallback when the
+//!   whole worker pool is lost.
 //! * [`engine`] — the real backend on [`repro_xmpi::thread`]: one OS
-//!   thread per rank. Includes deadline handling so injected message
-//!   loss surfaces as an error, never a hang.
+//!   thread per rank. Injected message loss is healed by retransmission
+//!   and surfaces, at worst, as a typed error — never a hang.
 //! * [`sim`] — the same protocol on [`repro_xmpi::virtual_time`]: real
 //!   alignment computations, virtual clocks, calibrated per-cell costs
 //!   and a Myrinet-class link model. This regenerates Figure 8 on one
@@ -31,9 +36,13 @@ pub mod engine;
 pub mod hybrid;
 pub mod master;
 pub mod protocol;
+pub mod recovery;
 pub mod sim;
 
-pub use engine::{find_top_alignments_cluster, ClusterError, ClusterResult};
+pub use engine::{
+    find_top_alignments_cluster, find_top_alignments_cluster_faulty, ClusterError, ClusterResult,
+};
 pub use hybrid::{find_top_alignments_hybrid, HybridResult};
-pub use master::{MasterAction, MasterState};
+pub use master::{MasterAction, MasterState, LOCAL_WORKER};
+pub use recovery::RecoveryConfig;
 pub use sim::{simulate_cluster, AlignCache, CostModel, SimReport};

@@ -6,10 +6,35 @@
 //! exactly when the globally best upper bound belongs to a fresh task —
 //! so the distributed engine's alignments are identical to the
 //! sequential ones, independent of worker count or message timing.
+//!
+//! Fault tolerance lives here too, transport-independently:
+//!
+//! * every assignment carries an **attempt number**; a result is only
+//!   allowed to settle the assignment whose attempt it echoes, so
+//!   duplicated, delayed or reassigned-and-then-delivered results are
+//!   recognised as stale and discarded;
+//! * capacity is tracked as **(worker, slot) tokens** — a slot is one
+//!   CPU's worth of capacity (the hybrid engine runs several per rank).
+//!   A token is consumed by an assignment and returned exactly when
+//!   that assignment settles, so duplicated IDLE announcements and
+//!   stale results can never inflate or leak capacity;
+//! * [`MasterState::worker_dead`] withdraws a lost worker: its
+//!   in-flight tasks return to the pool for reassignment and any later
+//!   message from it (a zombie) is ignored;
+//! * [`MasterState::finish_locally`] is the last line of degradation:
+//!   with every worker gone, the master itself computes the remaining
+//!   tasks against its own (authoritative) triangle, which completes
+//!   the search with the exact sequential result instead of stalling.
 
-use crate::protocol::{AcceptedMsg, TaskMsg};
-use repro_align::{Score, Scoring, Seq};
-use repro_core::{accept_task_with_row, OverrideTriangle, Stats, TopAlignment};
+use crate::protocol::{AcceptedMsg, ResultMsg, TaskMsg};
+use repro_align::{sw_last_row, Score, Scoring, Seq};
+use repro_core::{accept_task_with_row, OverrideTriangle, SplitMask, Stats, TopAlignment};
+use std::collections::{HashMap, HashSet};
+
+/// The worker id the master uses for itself when it falls back to
+/// local computation ([`MasterState::finish_locally`]). Transports must
+/// never register a real worker under this id.
+pub const LOCAL_WORKER: usize = usize::MAX;
 
 /// What the transport must do next, in order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,10 +54,20 @@ pub enum MasterAction {
 }
 
 #[derive(Debug, Clone, Copy)]
+struct Assignment {
+    worker: usize,
+    /// The capacity slot this assignment consumed; returned on settle.
+    slot: usize,
+    attempt: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
 struct TaskState {
     score: Score,
     aligned_with: usize,
-    assigned: bool,
+    assigned: Option<Assignment>,
+    /// Attempts issued so far for this split (monotone).
+    attempts: u64,
 }
 
 const NEVER: usize = usize::MAX;
@@ -45,11 +80,14 @@ pub struct MasterState<'a> {
     state: Vec<TaskState>, // index r − 1
     rows: Vec<Option<Vec<Score>>>,
     /// Which workers hold a cached copy of which rows.
-    worker_has_row: std::collections::HashMap<usize, Vec<bool>>,
+    worker_has_row: HashMap<usize, Vec<bool>>,
+    /// Workers declared dead; all their later traffic is ignored.
+    dead: HashSet<usize>,
     triangle: OverrideTriangle,
     tops: Vec<TopAlignment>,
     stats: Stats,
-    idle: Vec<usize>,
+    /// Free capacity tokens: (worker, slot).
+    idle: Vec<(usize, usize)>,
     in_flight: usize,
     done: bool,
 }
@@ -67,12 +105,14 @@ impl<'a> MasterState<'a> {
                 TaskState {
                     score: Score::MAX,
                     aligned_with: NEVER,
-                    assigned: false,
+                    assigned: None,
+                    attempts: 0,
                 };
                 splits
             ],
             rows: vec![None; splits],
-            worker_has_row: std::collections::HashMap::new(),
+            worker_has_row: HashMap::new(),
+            dead: HashSet::new(),
             triangle: OverrideTriangle::new(m),
             tops: Vec::new(),
             stats: Stats::new(),
@@ -97,6 +137,16 @@ impl<'a> MasterState<'a> {
         &self.stats
     }
 
+    /// Registered workers not declared dead.
+    pub fn live_workers(&self) -> usize {
+        self.worker_has_row.len()
+    }
+
+    /// `true` iff `worker` has been declared dead.
+    pub fn is_dead(&self, worker: usize) -> bool {
+        self.dead.contains(&worker)
+    }
+
     /// Consume the machine, yielding the final result.
     pub fn into_result(self) -> repro_core::TopAlignments {
         repro_core::TopAlignments {
@@ -106,46 +156,174 @@ impl<'a> MasterState<'a> {
         }
     }
 
-    /// A worker announced itself idle (startup).
-    pub fn worker_idle(&mut self, worker: usize) -> Vec<MasterAction> {
-        self.idle.push(worker);
+    /// The acceptances with index ≥ `have`, for re-broadcast to a
+    /// worker whose replica missed one (RESYNC).
+    pub fn accepted_since(&self, have: usize) -> Vec<AcceptedMsg> {
+        self.tops
+            .iter()
+            .enumerate()
+            .skip(have)
+            .map(|(index, top)| AcceptedMsg {
+                index,
+                pairs: top.pairs.clone(),
+            })
+            .collect()
+    }
+
+    /// `true` iff capacity token (`worker`, `slot`) is consumed by an
+    /// in-flight assignment.
+    fn slot_busy(&self, worker: usize, slot: usize) -> bool {
+        self.state
+            .iter()
+            .any(|t| t.assigned.is_some_and(|a| a.worker == worker && a.slot == slot))
+    }
+
+    /// Return capacity token (`worker`, `slot`) to the pool, unless it
+    /// is already there or still consumed by an assignment. This makes
+    /// IDLE re-announcements (workers beacon while free) idempotent.
+    fn credit_idle(&mut self, worker: usize, slot: usize) {
+        if !self.idle.contains(&(worker, slot)) && !self.slot_busy(worker, slot) {
+            self.idle.push((worker, slot));
+        }
+    }
+
+    /// A worker announced capacity slot `slot` as idle (sent at startup
+    /// and re-beaconed while the slot stays free; safe to repeat).
+    pub fn worker_idle(&mut self, worker: usize, slot: usize) -> Vec<MasterAction> {
+        if self.dead.contains(&worker) {
+            return Vec::new(); // zombie: already written off
+        }
         self.worker_has_row
             .entry(worker)
             .or_insert_with(|| vec![false; self.state.len()]);
+        self.credit_idle(worker, slot);
         self.pump()
     }
 
     /// A worker returned a task result.
-    pub fn result(
-        &mut self,
-        worker: usize,
-        r: usize,
-        stamp: usize,
-        score: Score,
-        cells: u64,
-        first_row: Option<Vec<Score>>,
-    ) -> Vec<MasterAction> {
-        if !self.state[r - 1].assigned {
-            // Duplicate delivery (fault injection): the first copy already
-            // settled this assignment; the sender is already idle.
-            return Vec::new();
+    pub fn result(&mut self, worker: usize, res: ResultMsg) -> Vec<MasterAction> {
+        if self.dead.contains(&worker) || res.r == 0 || res.r > self.state.len() {
+            return Vec::new(); // zombie, or a frame that decoded to nonsense
         }
-        self.stats.record_alignment(cells, stamp);
-        if let Some(row) = first_row {
-            if self.rows[r - 1].is_none() {
-                self.rows[r - 1] = Some(row);
+        let current = self.state[res.r - 1].assigned;
+        let Some(a) = current.filter(|a| a.worker == worker && a.attempt == res.attempt) else {
+            // Stale: a duplicate delivery, or an attempt that was
+            // reassigned before this copy arrived. Discard the content
+            // (a late first-pass recompute may have run under a newer
+            // replica, so even its row cannot be trusted as version-0)
+            // and credit nothing — the token for this slot was already
+            // returned when the first copy settled.
+            return Vec::new();
+        };
+        self.stats.record_alignment(res.cells, res.stamp);
+        if let Some(row) = res.first_row {
+            if self.rows[res.r - 1].is_none() {
+                self.rows[res.r - 1] = Some(row);
             }
             if let Some(flags) = self.worker_has_row.get_mut(&worker) {
-                flags[r - 1] = true; // the computing worker caches its row
+                flags[res.r - 1] = true; // the computing worker caches its row
             }
         }
-        let t = &mut self.state[r - 1];
-        t.score = score;
-        t.aligned_with = stamp;
-        t.assigned = false;
+        let t = &mut self.state[res.r - 1];
+        t.score = res.score;
+        t.aligned_with = res.stamp;
+        t.assigned = None;
         self.in_flight -= 1;
-        self.idle.push(worker);
+        self.credit_idle(worker, a.slot);
         self.pump()
+    }
+
+    /// Withdraw `worker` without rescheduling (shared by
+    /// [`MasterState::worker_dead`] and [`MasterState::finish_locally`]).
+    fn mark_dead(&mut self, worker: usize) {
+        if self.dead.contains(&worker) {
+            return;
+        }
+        self.dead.insert(worker);
+        self.worker_has_row.remove(&worker);
+        self.idle.retain(|&(w, _)| w != worker);
+        for t in &mut self.state {
+            if t.assigned.is_some_and(|a| a.worker == worker) {
+                t.assigned = None;
+                self.in_flight -= 1;
+            }
+        }
+    }
+
+    /// Declare `worker` dead: drop its idle slots and row-cache flags,
+    /// return its in-flight tasks to the pool, and reassign them to
+    /// whoever is idle. Any message it sends later is ignored.
+    pub fn worker_dead(&mut self, worker: usize) -> Vec<MasterAction> {
+        self.mark_dead(worker);
+        self.pump()
+    }
+
+    /// Graceful degradation: every remote worker is written off and the
+    /// master finishes the remaining search itself, against its own
+    /// triangle (which is authoritative, so every local task runs at
+    /// exactly the stamped version — the acceptance rule is unchanged).
+    /// Returns the leftover broadcast/done actions for best-effort
+    /// forwarding to any half-dead ranks.
+    pub fn finish_locally(&mut self) -> Vec<MasterAction> {
+        let workers: Vec<usize> = self
+            .worker_has_row
+            .keys()
+            .copied()
+            .filter(|&w| w != LOCAL_WORKER)
+            .collect();
+        for w in workers {
+            self.mark_dead(w);
+        }
+        let mut out = Vec::new();
+        let mut queue = self.worker_idle(LOCAL_WORKER, 0);
+        loop {
+            let local = queue.iter().position(
+                |a| matches!(a, MasterAction::Assign { worker, .. } if *worker == LOCAL_WORKER),
+            );
+            let Some(pos) = local else {
+                break;
+            };
+            let MasterAction::Assign { task, .. } = queue.remove(pos) else {
+                unreachable!("position matched an Assign");
+            };
+            out.append(&mut queue);
+            let (score, cells, first_row) = self.compute_local(&task);
+            queue = self.result(
+                LOCAL_WORKER,
+                ResultMsg {
+                    r: task.r,
+                    stamp: task.stamp,
+                    attempt: task.attempt,
+                    score,
+                    cells,
+                    first_row,
+                },
+            );
+        }
+        out.extend(queue);
+        out
+    }
+
+    /// Run one task on the master itself. Identical to a worker's
+    /// compute, but against the master's own triangle — always at
+    /// version `tops.len()`, which equals every locally issued stamp.
+    fn compute_local(&self, task: &TaskMsg) -> (Score, u64, Option<Vec<Score>>) {
+        debug_assert_eq!(task.stamp, self.tops.len());
+        let (prefix, suffix) = self.seq.split(task.r);
+        let mask = SplitMask::new(&self.triangle, task.r);
+        let last = sw_last_row(prefix, suffix, self.scoring, mask);
+        if task.first {
+            (last.best_in_row, last.cells, Some(last.row))
+        } else {
+            let original = self.rows[task.r - 1]
+                .as_deref()
+                .expect("realignment of a split with no stored row");
+            (
+                repro_core::bottom::best_valid_entry(&last.row, original).0,
+                last.cells,
+                None,
+            )
+        }
     }
 
     /// Advance: accept while possible, then hand work to idle workers.
@@ -167,7 +345,7 @@ impl<'a> MasterState<'a> {
                 break;
             }
             let t = self.state[best_i];
-            if t.assigned || t.aligned_with != self.tops.len() {
+            if t.assigned.is_some() || t.aligned_with != self.tops.len() {
                 break;
             }
             let r = best_i + 1;
@@ -192,14 +370,20 @@ impl<'a> MasterState<'a> {
             self.tops.push(top);
         }
 
-        // Hand the best stale unassigned tasks to idle workers.
-        while let Some(&worker) = self.idle.last() {
+        // Hand the best stale unassigned tasks to idle capacity.
+        while let Some(&(worker, slot)) = self.idle.last() {
             let Some((_, i)) = self.best_stale_unassigned() else {
                 break;
             };
             self.idle.pop();
             let r = i + 1;
-            self.state[i].assigned = true;
+            let attempt = self.state[i].attempts + 1;
+            self.state[i].attempts = attempt;
+            self.state[i].assigned = Some(Assignment {
+                worker,
+                slot,
+                attempt,
+            });
             self.in_flight += 1;
             let stamp = self.tops.len();
             let first = self.rows[i].is_none();
@@ -218,6 +402,7 @@ impl<'a> MasterState<'a> {
                 task: TaskMsg {
                     r,
                     stamp,
+                    attempt,
                     first,
                     row,
                 },
@@ -252,7 +437,7 @@ impl<'a> MasterState<'a> {
         let tops = self.tops.len();
         let mut best: Option<(Score, usize)> = None;
         for (i, t) in self.state.iter().enumerate() {
-            if !t.assigned && t.aligned_with != tops && t.score > 0
+            if t.assigned.is_none() && t.aligned_with != tops && t.score > 0
                 && best.is_none_or(|(bs, _)| t.score > bs) {
                     best = Some((t.score, i));
                 }
@@ -266,13 +451,11 @@ mod tests {
     use super::*;
     use crate::protocol::tag;
     use repro_core::{find_top_alignments, SplitMask};
-    use repro_xmpi::wire ::Encoder;
 
     /// Drive the state machine synchronously with a perfect in-process
     /// "worker" that computes results immediately — a transport-free
     /// correctness test of the scheduling logic.
     fn drive(seq: &Seq, scoring: &Scoring, count: usize, workers: usize) -> Vec<TopAlignment> {
-        let _ = Encoder::new(); // keep the wire import exercised
         let mut master = MasterState::new(seq, scoring, count);
         let mut worker_triangles: Vec<OverrideTriangle> =
             (0..workers).map(|_| OverrideTriangle::new(seq.len())).collect();
@@ -283,7 +466,7 @@ mod tests {
 
         let mut actions: Vec<MasterAction> = Vec::new();
         for w in 0..workers {
-            actions.extend(master.worker_idle(w));
+            actions.extend(master.worker_idle(w, 0));
         }
         loop {
             for a in actions.drain(..) {
@@ -319,7 +502,17 @@ mod tests {
                     .expect("realignment without a cached or attached row");
                 (repro_core::bottom::best_valid_entry(&last.row, orig).0, None)
             };
-            actions = master.result(w, task.r, task.stamp, score, last.cells, first_row);
+            actions = master.result(
+                w,
+                ResultMsg {
+                    r: task.r,
+                    stamp: task.stamp,
+                    attempt: task.attempt,
+                    score,
+                    cells: last.cells,
+                    first_row,
+                },
+            );
             let _ = tag::IDLE;
         }
     }
@@ -343,5 +536,83 @@ mod tests {
         let seq = Seq::dna("ACGT").unwrap();
         let got = drive(&seq, &scoring, 10, 3);
         assert!(got.len() < 10);
+    }
+
+    #[test]
+    fn stale_attempt_results_are_discarded() {
+        let scoring = Scoring::dna_example();
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let mut master = MasterState::new(&seq, &scoring, 2);
+        let actions = master.worker_idle(1, 0);
+        let Some(MasterAction::Assign { worker, task }) = actions.first().cloned() else {
+            panic!("one idle worker must receive an assignment");
+        };
+        assert_eq!(worker, 1);
+        // The worker "dies"; its task goes back to the pool.
+        let _ = master.worker_dead(1);
+        // A new worker picks the task up under a fresh attempt…
+        let actions = master.worker_idle(2, 0);
+        let Some(MasterAction::Assign { task: task2, .. }) = actions.first().cloned() else {
+            panic!("reissued task expected");
+        };
+        assert_eq!(task2.r, task.r);
+        assert!(task2.attempt > task.attempt, "reissue must bump the attempt");
+        // …and the zombie's late result (old attempt) changes nothing.
+        let before = master.stats().alignments;
+        let zombie = master.result(
+            1,
+            ResultMsg {
+                r: task.r,
+                stamp: task.stamp,
+                attempt: task.attempt,
+                score: 999_999, // a wrong score that must never be trusted
+                cells: 1,
+                first_row: Some(vec![0; seq.len()]),
+            },
+        );
+        assert!(zombie.is_empty(), "dead worker traffic must be ignored");
+        assert_eq!(master.stats().alignments, before);
+    }
+
+    #[test]
+    fn all_workers_lost_finishes_locally_with_sequential_result() {
+        let scoring = Scoring::dna_example();
+        for text in ["ATGCATGCATGC", "ACGGTACGGTAACGGTTTTTACGGT"] {
+            let seq = Seq::dna(text).unwrap();
+            let want = find_top_alignments(&seq, &scoring, 3).alignments;
+            let mut master = MasterState::new(&seq, &scoring, 3);
+            // Two workers register, take work, and vanish mid-search.
+            let _ = master.worker_idle(1, 0);
+            let _ = master.worker_idle(2, 0);
+            let actions = master.finish_locally();
+            assert!(
+                matches!(actions.last(), Some(MasterAction::Done)),
+                "local fallback must run the search to completion"
+            );
+            assert!(master.is_done());
+            assert_eq!(master.into_result().alignments, want, "on {text}");
+        }
+    }
+
+    #[test]
+    fn repeated_idle_does_not_inflate_capacity() {
+        let scoring = Scoring::dna_example();
+        let seq = Seq::dna("ATGCATGC").unwrap();
+        let mut master = MasterState::new(&seq, &scoring, 2);
+        let first = master.worker_idle(1, 0);
+        let assigns = |v: &[MasterAction]| {
+            v.iter()
+                .filter(|a| matches!(a, MasterAction::Assign { .. }))
+                .count()
+        };
+        assert_eq!(assigns(&first), 1, "one idle worker, one task");
+        // The slot's IDLE announcement is re-delivered (duplicate or
+        // re-beacon): the busy slot must not be handed a second task.
+        let again = master.worker_idle(1, 0);
+        assert_eq!(assigns(&again), 0, "duplicate IDLE must not assign");
+        // A *different* slot on the same rank is genuine extra capacity
+        // (the hybrid engine runs several CPUs behind one rank).
+        let second = master.worker_idle(1, 1);
+        assert_eq!(assigns(&second), 1, "second slot is real capacity");
     }
 }

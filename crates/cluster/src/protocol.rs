@@ -1,13 +1,23 @@
 //! Wire protocol between master and workers.
+//!
+//! Every structured message travels as a checksummed frame
+//! ([`repro_xmpi::wire::Encoder::finish_framed`]), so a payload
+//! corrupted in flight decodes to a [`WireError`] the engine can drop
+//! (and let the retry layer recover) instead of a panic or — worse — a
+//! silently wrong score. Tasks and results carry an `attempt` number:
+//! the master bumps it on every (re)issue of a task, which lets it tell
+//! the result of the current assignment from stale deliveries of
+//! earlier attempts that were duplicated, delayed or reassigned.
 
 use repro_align::Score;
-use repro_xmpi::wire::{Decoder, Encoder};
+use repro_xmpi::wire::{Decoder, Encoder, WireError};
 
 /// Message tags.
 pub mod tag {
-    /// Worker → master: "I am idle" (sent once at startup).
+    /// Worker → master: "I am idle" (sent at startup, repeated until
+    /// the master's first assignment proves the registration arrived).
     pub const IDLE: u32 = 1;
-    /// Master → worker: a task assignment.
+    /// Master → worker: a task assignment (or a retransmission of one).
     pub const TASK: u32 = 2;
     /// Worker → master: task result.
     pub const RESULT: u32 = 3;
@@ -16,6 +26,11 @@ pub mod tag {
     pub const ACCEPTED: u32 = 4;
     /// Master → all workers: search finished, shut down.
     pub const DONE: u32 = 5;
+    /// Worker → master: liveness beacon, sent while waiting for work.
+    pub const HEARTBEAT: u32 = 6;
+    /// Worker → master: "my replica is at version `applied`; re-send
+    /// the acceptances I am missing" (recovers from a lost ACCEPTED).
+    pub const RESYNC: u32 = 7;
 }
 
 /// A task assignment.
@@ -25,6 +40,9 @@ pub struct TaskMsg {
     pub r: usize,
     /// Triangle version (top alignments accepted so far) to align under.
     pub stamp: usize,
+    /// Assignment attempt for this split, bumped on every (re)issue;
+    /// echoed back in the result so the master can discard stale ones.
+    pub attempt: u64,
     /// `true` iff this is the split's very first alignment (no stored
     /// row exists anywhere yet; the worker must return its bottom row).
     pub first: bool,
@@ -34,32 +52,40 @@ pub struct TaskMsg {
 }
 
 impl TaskMsg {
-    /// Encode to payload bytes.
+    /// Encode to a framed payload.
     pub fn encode(&self) -> Vec<u8> {
         let e = Encoder::new()
             .usize(self.r)
             .usize(self.stamp)
+            .u64(self.attempt)
             .u64(self.first as u64);
         match &self.row {
             Some(row) => e.u64(1).i32_slice(row),
             None => e.u64(0),
         }
-        .finish()
+        .finish_framed()
     }
 
-    /// Decode from payload bytes.
-    pub fn decode(payload: &[u8]) -> Self {
-        let mut d = Decoder::new(payload);
-        let r = d.usize();
-        let stamp = d.usize();
-        let first = d.u64() == 1;
-        let row = if d.u64() == 1 { Some(d.i32_vec()) } else { None };
-        TaskMsg {
+    /// Decode from a framed payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut d = Decoder::new_framed(payload)?;
+        let r = d.usize()?;
+        let stamp = d.usize()?;
+        let attempt = d.u64()?;
+        let first = d.u64()? == 1;
+        let row = if d.u64()? == 1 {
+            Some(d.i32_vec()?)
+        } else {
+            None
+        };
+        d.expect_exhausted()?;
+        Ok(TaskMsg {
             r,
             stamp,
+            attempt,
             first,
             row,
-        }
+        })
     }
 }
 
@@ -70,6 +96,8 @@ pub struct ResultMsg {
     pub r: usize,
     /// Version it was aligned under.
     pub stamp: usize,
+    /// The attempt number echoed from the [`TaskMsg`].
+    pub attempt: u64,
     /// Valid (shadow-filtered) score.
     pub score: Score,
     /// Cells computed (for the master's accounting).
@@ -79,35 +107,43 @@ pub struct ResultMsg {
 }
 
 impl ResultMsg {
-    /// Encode to payload bytes.
+    /// Encode to a framed payload.
     pub fn encode(&self) -> Vec<u8> {
         let e = Encoder::new()
             .usize(self.r)
             .usize(self.stamp)
+            .u64(self.attempt)
             .i32(self.score)
             .u64(self.cells);
         match &self.first_row {
             Some(row) => e.u64(1).i32_slice(row),
             None => e.u64(0),
         }
-        .finish()
+        .finish_framed()
     }
 
-    /// Decode from payload bytes.
-    pub fn decode(payload: &[u8]) -> Self {
-        let mut d = Decoder::new(payload);
-        let r = d.usize();
-        let stamp = d.usize();
-        let score = d.i32();
-        let cells = d.u64();
-        let first_row = if d.u64() == 1 { Some(d.i32_vec()) } else { None };
-        ResultMsg {
+    /// Decode from a framed payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut d = Decoder::new_framed(payload)?;
+        let r = d.usize()?;
+        let stamp = d.usize()?;
+        let attempt = d.u64()?;
+        let score = d.i32()?;
+        let cells = d.u64()?;
+        let first_row = if d.u64()? == 1 {
+            Some(d.i32_vec()?)
+        } else {
+            None
+        };
+        d.expect_exhausted()?;
+        Ok(ResultMsg {
             r,
             stamp,
+            attempt,
             score,
             cells,
             first_row,
-        }
+        })
     }
 }
 
@@ -121,18 +157,47 @@ pub struct AcceptedMsg {
 }
 
 impl AcceptedMsg {
-    /// Encode to payload bytes.
+    /// Encode to a framed payload.
     pub fn encode(&self) -> Vec<u8> {
-        Encoder::new().usize(self.index).pairs(&self.pairs).finish()
+        Encoder::new()
+            .usize(self.index)
+            .pairs(&self.pairs)
+            .finish_framed()
     }
 
-    /// Decode from payload bytes.
-    pub fn decode(payload: &[u8]) -> Self {
-        let mut d = Decoder::new(payload);
-        AcceptedMsg {
-            index: d.usize(),
-            pairs: d.pairs(),
-        }
+    /// Decode from a framed payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut d = Decoder::new_framed(payload)?;
+        let msg = AcceptedMsg {
+            index: d.usize()?,
+            pairs: d.pairs()?,
+        };
+        d.expect_exhausted()?;
+        Ok(msg)
+    }
+}
+
+/// A worker's replica-resync request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResyncMsg {
+    /// Acceptances the worker has applied so far.
+    pub applied: usize,
+}
+
+impl ResyncMsg {
+    /// Encode to a framed payload.
+    pub fn encode(&self) -> Vec<u8> {
+        Encoder::new().usize(self.applied).finish_framed()
+    }
+
+    /// Decode from a framed payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut d = Decoder::new_framed(payload)?;
+        let msg = ResyncMsg {
+            applied: d.usize()?,
+        };
+        d.expect_exhausted()?;
+        Ok(msg)
     }
 }
 
@@ -146,17 +211,19 @@ mod tests {
             TaskMsg {
                 r: 5,
                 stamp: 2,
+                attempt: 1,
                 first: true,
                 row: None,
             },
             TaskMsg {
                 r: 1,
                 stamp: 0,
+                attempt: 3,
                 first: false,
                 row: Some(vec![3, -1, 0, 99]),
             },
         ] {
-            assert_eq!(TaskMsg::decode(&msg.encode()), msg);
+            assert_eq!(TaskMsg::decode(&msg.encode()).unwrap(), msg);
         }
     }
 
@@ -166,6 +233,7 @@ mod tests {
             ResultMsg {
                 r: 9,
                 stamp: 4,
+                attempt: 2,
                 score: 123,
                 cells: 1 << 40,
                 first_row: None,
@@ -173,12 +241,13 @@ mod tests {
             ResultMsg {
                 r: 2,
                 stamp: 0,
+                attempt: 1,
                 score: 0,
                 cells: 0,
                 first_row: Some(vec![]),
             },
         ] {
-            assert_eq!(ResultMsg::decode(&msg.encode()), msg);
+            assert_eq!(ResultMsg::decode(&msg.encode()).unwrap(), msg);
         }
     }
 
@@ -188,6 +257,69 @@ mod tests {
             index: 7,
             pairs: vec![(0, 4), (1, 5), (3, 11)],
         };
-        assert_eq!(AcceptedMsg::decode(&msg.encode()), msg);
+        assert_eq!(AcceptedMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn resync_roundtrip() {
+        let msg = ResyncMsg { applied: 3 };
+        assert_eq!(ResyncMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected_for_every_message_kind() {
+        let frames = [
+            TaskMsg {
+                r: 4,
+                stamp: 1,
+                attempt: 2,
+                first: false,
+                row: Some(vec![1, 2, 3]),
+            }
+            .encode(),
+            ResultMsg {
+                r: 4,
+                stamp: 1,
+                attempt: 2,
+                score: 17,
+                cells: 99,
+                first_row: None,
+            }
+            .encode(),
+            AcceptedMsg {
+                index: 0,
+                pairs: vec![(1, 2)],
+            }
+            .encode(),
+            ResyncMsg { applied: 1 }.encode(),
+        ];
+        for frame in frames {
+            for i in 0..frame.len() {
+                let mut bad = frame.clone();
+                bad[i] ^= 0xA5; // the injector's corruption pattern
+                assert!(
+                    TaskMsg::decode(&bad).is_err()
+                        && ResultMsg::decode(&bad).is_err()
+                        && AcceptedMsg::decode(&bad).is_err()
+                        && ResyncMsg::decode(&bad).is_err(),
+                    "byte {i} flip survived decoding"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let frame = TaskMsg {
+            r: 1,
+            stamp: 0,
+            attempt: 1,
+            first: true,
+            row: None,
+        }
+        .encode();
+        for cut in 0..frame.len() {
+            assert!(TaskMsg::decode(&frame[..cut]).is_err());
+        }
     }
 }

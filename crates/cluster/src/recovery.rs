@@ -1,0 +1,311 @@
+//! The transport-level recovery loop shared by the thread-backed
+//! engines ([`crate::engine`] and [`crate::hybrid`]).
+//!
+//! [`MasterState`] decides *what* to do;
+//! this module decides *when to stop believing a worker*. It wraps the
+//! state machine with:
+//!
+//! * **per-task deadlines with bounded retry** — every assignment is
+//!   remembered; if its result does not arrive in time the identical
+//!   task (same attempt number) is retransmitted under exponential
+//!   backoff. Recomputing is idempotent and the attempt number makes
+//!   late duplicates harmless;
+//! * **liveness tracking** — any traffic from a rank (results, IDLE
+//!   re-announcements, heartbeats, resync requests) refreshes its
+//!   last-heard time. A worker whose retries are exhausted *and* whose
+//!   beacons stopped is declared dead; a send that fails with
+//!   [`SendError::PeerDead`] declares it dead immediately;
+//! * **reassignment** — a dead worker's in-flight tasks return to the
+//!   master's pool and are reissued (with a bumped attempt) to the
+//!   surviving workers;
+//! * **graceful degradation** — when every worker is lost, or the
+//!   overall budget runs out with work still undone, the master
+//!   finishes the search locally against its own triangle. The result
+//!   is still exactly the sequential one; [`ClusterError::Stalled`] is
+//!   reserved for worlds where not even that is possible.
+
+use crate::engine::ClusterError;
+use crate::master::{MasterAction, MasterState};
+use crate::protocol::{tag, ResultMsg, ResyncMsg, TaskMsg};
+use repro_align::{Scoring, Seq};
+use repro_core::TopAlignments;
+use repro_xmpi::thread::ThreadComm;
+use repro_xmpi::{Comm, RecvError, SendError};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Knobs for the recovery loop. The defaults are tuned for in-process
+/// test worlds (short timeouts); `overall` is set per run.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryConfig {
+    /// First retransmission timeout for an unanswered assignment.
+    pub retry_base: Duration,
+    /// Retransmissions before the worker's liveness is questioned.
+    pub max_retries: u32,
+    /// Ceiling on the exponential backoff between retransmissions.
+    /// Under *sustained* loss (every task needs several retransmits)
+    /// an uncapped doubling turns a lossy-but-live world into minutes
+    /// of idle waiting; past the point where liveness would catch a
+    /// dead worker there is nothing to gain from waiting longer.
+    pub retry_cap: Duration,
+    /// How long a rank may stay silent before "no result + retries
+    /// exhausted" escalates to a death declaration.
+    pub liveness: Duration,
+    /// Hard budget for the whole run; when it expires the master stops
+    /// waiting and finishes the remaining work locally.
+    pub overall: Duration,
+}
+
+impl RecoveryConfig {
+    /// Defaults with the given overall budget.
+    pub fn with_overall(overall: Duration) -> Self {
+        RecoveryConfig {
+            retry_base: Duration::from_millis(60),
+            max_retries: 3,
+            retry_cap: Duration::from_millis(250),
+            liveness: Duration::from_millis(400),
+            overall,
+        }
+    }
+}
+
+/// An assignment the master is still waiting on.
+struct Flight {
+    worker: usize,
+    attempt: u64,
+    /// Encoded task, kept for retransmission.
+    payload: Vec<u8>,
+    retry_at: Instant,
+    backoff: Duration,
+    retries: u32,
+}
+
+/// Receive poll granularity when no retransmit deadline is nearer.
+const TICK: Duration = Duration::from_millis(25);
+
+/// The fault-tolerant master loop: drives [`MasterState`] over `comm`
+/// until the search completes (possibly via local fallback) or the
+/// world is genuinely unrecoverable.
+pub(crate) fn master_loop(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    comm: ThreadComm,
+    config: RecoveryConfig,
+) -> Result<TopAlignments, ClusterError> {
+    let mut master = MasterState::new(seq, scoring, count);
+    let mut flights: HashMap<usize, Flight> = HashMap::new();
+    let start = Instant::now();
+    let mut last_heard: HashMap<usize, Instant> = (1..comm.size()).map(|r| (r, start)).collect();
+
+    // Execute master actions; returns Ok(true) when DONE was emitted.
+    // A failed direct send declares the destination dead on the spot,
+    // and the resulting reassignments join the work list.
+    fn act(
+        comm: &ThreadComm,
+        master: &mut MasterState,
+        flights: &mut HashMap<usize, Flight>,
+        config: &RecoveryConfig,
+        actions: Vec<MasterAction>,
+    ) -> Result<bool, ClusterError> {
+        let mut queue: std::collections::VecDeque<MasterAction> = actions.into();
+        let mut done = false;
+        while let Some(action) = queue.pop_front() {
+            match action {
+                MasterAction::Assign { worker, task } => {
+                    let payload = task.encode();
+                    let now = Instant::now();
+                    flights.insert(
+                        task.r,
+                        Flight {
+                            worker,
+                            attempt: task.attempt,
+                            payload: payload.clone(),
+                            retry_at: now + config.retry_base,
+                            backoff: config.retry_base,
+                            retries: 0,
+                        },
+                    );
+                    match comm.send(worker, tag::TASK, payload) {
+                        Ok(()) => {}
+                        Err(SendError::SelfDead) => return Err(ClusterError::MasterDead),
+                        Err(SendError::PeerDead(_)) => {
+                            flights.remove(&task.r);
+                            queue.extend(master.worker_dead(worker));
+                        }
+                    }
+                }
+                MasterAction::Broadcast(acc) => {
+                    repro_xmpi::broadcast_from(comm, tag::ACCEPTED, &acc.encode());
+                }
+                MasterAction::Done => {
+                    repro_xmpi::broadcast_from(comm, tag::DONE, &[]);
+                    done = true;
+                }
+            }
+        }
+        Ok(done)
+    }
+
+    let finish_locally = |mut master: MasterState,
+                          comm: &ThreadComm|
+     -> Result<TopAlignments, ClusterError> {
+        for action in master.finish_locally() {
+            match action {
+                MasterAction::Broadcast(acc) => {
+                    repro_xmpi::broadcast_from(comm, tag::ACCEPTED, &acc.encode());
+                }
+                MasterAction::Done => {
+                    repro_xmpi::broadcast_from(comm, tag::DONE, &[]);
+                }
+                MasterAction::Assign { .. } => unreachable!("local assigns are internal"),
+            }
+        }
+        if master.is_done() {
+            Ok(master.into_result())
+        } else {
+            // No workers, and the local pass could not finish either
+            // (it always can; this is a defensive dead end).
+            Err(ClusterError::Stalled)
+        }
+    };
+
+    loop {
+        let now = Instant::now();
+        if now.duration_since(start) >= config.overall {
+            // Budget exhausted with the search unfinished: stop
+            // believing the cluster and compute the rest ourselves.
+            repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
+            return finish_locally(master, &comm);
+        }
+
+        // Retransmit overdue assignments; escalate silent workers.
+        let mut newly_dead: Vec<usize> = Vec::new();
+        for flight in flights.values_mut() {
+            if now < flight.retry_at {
+                continue;
+            }
+            let heard = last_heard
+                .get(&flight.worker)
+                .is_some_and(|&t| now.duration_since(t) < config.liveness);
+            if flight.retries >= config.max_retries && !heard {
+                newly_dead.push(flight.worker);
+                continue;
+            }
+            // Retransmit in back-to-back pairs: a deterministic loss
+            // pattern with a short period can phase-lock with the
+            // loop's regular cadence and swallow every single-copy
+            // retransmission; two consecutive copies straddle any
+            // period-2 lock, and recomputation is idempotent anyway.
+            let mut fate = Ok(());
+            for _ in 0..2 {
+                fate = comm.send(flight.worker, tag::TASK, flight.payload.clone());
+                if fate.is_err() {
+                    break;
+                }
+            }
+            match fate {
+                Ok(()) => {
+                    flight.retries += 1;
+                    flight.backoff = (flight.backoff * 2).min(config.retry_cap);
+                    flight.retry_at = now + flight.backoff;
+                }
+                Err(SendError::SelfDead) => return Err(ClusterError::MasterDead),
+                Err(SendError::PeerDead(_)) => newly_dead.push(flight.worker),
+            }
+        }
+        if !newly_dead.is_empty() {
+            newly_dead.sort_unstable();
+            newly_dead.dedup();
+            let mut actions = Vec::new();
+            for w in newly_dead {
+                flights.retain(|_, f| f.worker != w);
+                actions.extend(master.worker_dead(w));
+            }
+            if act(&comm, &mut master, &mut flights, &config, actions)? {
+                return Ok(master.into_result());
+            }
+            if master.live_workers() == 0 && !master.is_done() {
+                return finish_locally(master, &comm);
+            }
+        }
+
+        // Wait for traffic, but never past the next retransmit due time.
+        let mut timeout = TICK;
+        if let Some(next) = flights.values().map(|f| f.retry_at).min() {
+            timeout = timeout.min(next.saturating_duration_since(now));
+        }
+        let msg = match comm.recv_timeout(timeout.max(Duration::from_millis(1))) {
+            Ok(m) => m,
+            Err(RecvError::Timeout) => continue,
+            Err(RecvError::Disconnected) => {
+                // Our own endpoint crashed (or the world tore down
+                // beneath us): the master cannot produce a result.
+                return Err(ClusterError::MasterDead);
+            }
+        };
+        last_heard.insert(msg.from, Instant::now());
+        let actions = match msg.tag {
+            tag::IDLE => match ResyncMsg::decode(&msg.payload) {
+                // IDLE carries the announcing slot in `applied`'s place.
+                Ok(m) => master.worker_idle(msg.from, m.applied),
+                Err(_) => Vec::new(), // corrupted announcement; it repeats
+            },
+            tag::HEARTBEAT => Vec::new(),
+            tag::RESULT => match ResultMsg::decode(&msg.payload) {
+                Ok(res) => {
+                    if flights
+                        .get(&res.r)
+                        .is_some_and(|f| f.worker == msg.from && f.attempt == res.attempt)
+                    {
+                        flights.remove(&res.r);
+                    }
+                    master.result(msg.from, res)
+                }
+                Err(_) => Vec::new(), // corrupted in flight; retry recovers
+            },
+            tag::RESYNC => {
+                if let Ok(m) = ResyncMsg::decode(&msg.payload) {
+                    for acc in master.accepted_since(m.applied) {
+                        // Paired: the reply is retransmission traffic,
+                        // and a single copy per round can phase-lock
+                        // with a deterministic loss pattern.
+                        let payload = acc.encode();
+                        let _ = comm.send(msg.from, tag::ACCEPTED, payload.clone());
+                        let _ = comm.send(msg.from, tag::ACCEPTED, payload);
+                    }
+                }
+                Vec::new()
+            }
+            _ => Vec::new(), // stray tag: ignore rather than crash
+        };
+        if act(&comm, &mut master, &mut flights, &config, actions)? {
+            return Ok(master.into_result());
+        }
+        if master.live_workers() == 0 && !master.is_done() && flights.is_empty() {
+            // Every registered worker has been written off.
+            return finish_locally(master, &comm);
+        }
+    }
+}
+
+/// How often a worker beacons (IDLE while free, a paired RESYNC while
+/// it has deferred work) so the master can tell "slow" from "gone".
+pub(crate) const BEACON_PERIOD: Duration = Duration::from_millis(40);
+
+/// Worker-side receive poll granularity.
+pub(crate) const WORKER_POLL: Duration = Duration::from_millis(15);
+
+/// Encode a worker's IDLE announcement (the slot rides in the
+/// [`ResyncMsg`] frame — both are a single `usize`).
+pub(crate) fn idle_payload(slot: usize) -> Vec<u8> {
+    ResyncMsg { applied: slot }.encode()
+}
+
+/// `true` if `task` duplicates an entry already deferred (same split
+/// and attempt) — re-deferring it would just burn compute later.
+pub(crate) fn already_deferred(deferred: &[TaskMsg], task: &TaskMsg) -> bool {
+    deferred
+        .iter()
+        .any(|t| t.r == task.r && t.attempt == task.attempt)
+}

@@ -115,7 +115,9 @@ pub struct SimReport {
 }
 
 enum SimActor<'a> {
-    Master(MasterSim<'a>),
+    // Boxed: MasterState dwarfs a worker, and the actor vector holds
+    // one master next to many workers.
+    Master(Box<MasterSim<'a>>),
     Worker(WorkerSim<'a>),
 }
 
@@ -221,6 +223,7 @@ impl WorkerSim<'_> {
         let res = ResultMsg {
             r: task.r,
             stamp: task.stamp,
+            attempt: task.attempt,
             score,
             cells,
             first_row: row,
@@ -251,11 +254,11 @@ impl Actor for SimActor<'_> {
             SimActor::Master(m) => {
                 ctx.compute(m.cost.queue_op_seconds);
                 let actions = match tag {
-                    sim_tag::IDLE => m.state.worker_idle(from),
+                    sim_tag::IDLE => m.state.worker_idle(from, 0),
                     sim_tag::RESULT => {
-                        let res = ResultMsg::decode(payload);
-                        m.state
-                            .result(from, res.r, res.stamp, res.score, res.cells, res.first_row)
+                        let res = ResultMsg::decode(payload)
+                            .expect("simulator transport cannot corrupt frames");
+                        m.state.result(from, res)
                     }
                     other => unreachable!("master got tag {other}"),
                 };
@@ -263,7 +266,8 @@ impl Actor for SimActor<'_> {
             }
             SimActor::Worker(w) => match tag {
                 sim_tag::TASK => {
-                    let task = TaskMsg::decode(payload);
+                    let task = TaskMsg::decode(payload)
+                        .expect("simulator transport cannot corrupt frames");
                     if task.stamp <= w.applied {
                         w.run_task(task, ctx);
                     } else {
@@ -271,7 +275,8 @@ impl Actor for SimActor<'_> {
                     }
                 }
                 sim_tag::ACCEPTED => {
-                    let acc = AcceptedMsg::decode(payload);
+                    let acc = AcceptedMsg::decode(payload)
+                        .expect("simulator transport cannot corrupt frames");
                     for (p, q) in acc.pairs {
                         w.triangle.set(p, q);
                     }
@@ -304,10 +309,10 @@ pub fn simulate_cluster(
     let workers = processors - 1;
 
     let mut actors: Vec<SimActor> = Vec::with_capacity(processors);
-    actors.push(SimActor::Master(MasterSim {
+    actors.push(SimActor::Master(Box::new(MasterSim {
         state: MasterState::new(seq, scoring, count),
         cost,
-    }));
+    })));
     for _ in 0..workers {
         actors.push(SimActor::Worker(WorkerSim {
             seq,

@@ -1,13 +1,19 @@
 //! Property tests: the distributed engine (real threads) and the
 //! virtual-time simulator both reproduce the sequential alignments for
-//! any worker count, and the simulator is deterministic.
+//! any worker count, the simulator is deterministic, and the master's
+//! retry/reassignment machinery never lets a stale result corrupt the
+//! acceptance sequence.
 
 use proptest::prelude::*;
-use repro_align::{Alphabet, Scoring, Seq};
-use repro_cluster::{find_top_alignments_cluster, simulate_cluster, AlignCache, CostModel};
-use repro_core::find_top_alignments;
+use repro_align::{sw_last_row, Alphabet, Score, Scoring, Seq};
+use repro_cluster::protocol::{ResultMsg, TaskMsg};
+use repro_cluster::{
+    find_top_alignments_cluster, simulate_cluster, AlignCache, CostModel, MasterAction, MasterState,
+};
+use repro_core::{find_top_alignments, OverrideTriangle, SplitMask};
 use repro_xmpi::virtual_time::LinkModel;
 use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -51,6 +57,154 @@ proptest! {
         prop_assert_eq!(a.virtual_time, b.virtual_time);
         prop_assert_eq!(a.messages, b.messages);
         prop_assert!(a.virtual_time > 0.0 || want.alignments.is_empty());
+    }
+
+    /// Under arbitrary worker deaths, task reassignments, zombie
+    /// deliveries with *inflated* scores, and duplicated results, the
+    /// master accepts exactly the sequential alignments. This is the
+    /// stamp/attempt safety argument as an executable property: a
+    /// result from a superseded attempt must never be re-admitted as a
+    /// "fresh" score, no matter how tempting its value looks.
+    #[test]
+    fn reassignment_never_reaccepts_a_stale_score(
+        seq in arb_dna(20),
+        count in 1usize..4,
+        chaos in prop::collection::vec(any::<u8>(), 96),
+    ) {
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, count);
+        let mut master = MasterState::new(&seq, &scoring, count);
+        let mut chaos = chaos.into_iter().cycle();
+
+        // Honest worker replicas, kept in lockstep with the master's
+        // broadcasts (worker-side stamp deferral is exercised by the
+        // thread-backend tests; here the adversary is the scheduler).
+        // `lockstep` mirrors the overrides broadcast so far: a worker
+        // registering mid-run starts from it, as a real worker would
+        // after its initial resync — an empty replica would honestly
+        // compute scores that are inflated relative to its stamp.
+        let mut lockstep = OverrideTriangle::new(seq.len());
+        let mut triangles: HashMap<usize, OverrideTriangle> = HashMap::new();
+        let mut caches: HashMap<usize, HashMap<usize, Vec<Score>>> = HashMap::new();
+        let mut pending: VecDeque<(usize, TaskMsg)> = VecDeque::new();
+        // Results computed by workers that died before delivering them;
+        // replayed later as zombie traffic with wildly inflated scores.
+        let mut zombies: Vec<(usize, ResultMsg)> = Vec::new();
+
+        fn compute(
+            seq: &Seq,
+            scoring: &Scoring,
+            triangle: &OverrideTriangle,
+            cache: &mut HashMap<usize, Vec<Score>>,
+            task: &TaskMsg,
+        ) -> ResultMsg {
+            let (prefix, suffix) = seq.split(task.r);
+            let mask = SplitMask::new(triangle, task.r);
+            let last = sw_last_row(prefix, suffix, scoring, mask);
+            let (score, first_row) = if task.first {
+                cache.insert(task.r, last.row.clone());
+                (last.best_in_row, Some(last.row))
+            } else {
+                if let Some(row) = &task.row {
+                    cache.insert(task.r, row.clone());
+                }
+                let orig = cache.get(&task.r).expect("realignment without a row");
+                (repro_core::bottom::best_valid_entry(&last.row, orig).0, None)
+            };
+            ResultMsg {
+                r: task.r,
+                stamp: task.stamp,
+                attempt: task.attempt,
+                score,
+                cells: last.cells,
+                first_row,
+            }
+        }
+
+        let mut next_worker = 1usize;
+        let mut actions: Vec<MasterAction> = Vec::new();
+        for _ in 0..2 {
+            triangles.insert(next_worker, OverrideTriangle::new(seq.len()));
+            caches.insert(next_worker, HashMap::new());
+            actions.extend(master.worker_idle(next_worker, 0));
+            next_worker += 1;
+        }
+
+        let mut steps = 0u32;
+        'world: loop {
+            steps += 1;
+            prop_assert!(steps < 20_000, "master livelocked");
+            for a in actions.drain(..) {
+                match a {
+                    MasterAction::Assign { worker, task } => pending.push_back((worker, task)),
+                    MasterAction::Broadcast(acc) => {
+                        for &(p, q) in &acc.pairs {
+                            lockstep.set(p, q);
+                        }
+                        for t in triangles.values_mut() {
+                            for &(p, q) in &acc.pairs {
+                                t.set(p, q);
+                            }
+                        }
+                    }
+                    MasterAction::Done => break 'world,
+                }
+            }
+            let Some((w, task)) = pending.pop_front() else {
+                // Nothing honest in flight: replay zombie traffic, which
+                // must be inert — then the world has truly stalled.
+                let Some((zw, res)) = zombies.pop() else {
+                    prop_assert!(false, "master stalled without Done");
+                    unreachable!();
+                };
+                actions = master.result(zw, res);
+                continue;
+            };
+            match chaos.next().unwrap() % 4 {
+                // The worker dies mid-task. Its computed-but-undelivered
+                // result becomes a zombie (score poisoned upward so any
+                // acceptance of it would corrupt the alignments), its
+                // other in-flight tasks are reassigned, and a fresh
+                // replacement worker registers.
+                0 if triangles.len() > 1 => {
+                    let mut res = compute(
+                        &seq, &scoring, &triangles[&w], caches.get_mut(&w).unwrap(), &task,
+                    );
+                    res.score = res.score.saturating_add(1_000_000);
+                    zombies.push((w, res));
+                    triangles.remove(&w);
+                    caches.remove(&w);
+                    pending.retain(|(pw, _)| *pw != w);
+                    actions = master.worker_dead(w);
+                    triangles.insert(next_worker, lockstep.clone());
+                    caches.insert(next_worker, HashMap::new());
+                    actions.extend(master.worker_idle(next_worker, 0));
+                    next_worker += 1;
+                }
+                // The transport duplicates the delivery: the second copy
+                // echoes a settled attempt and must be discarded.
+                1 => {
+                    let res = compute(
+                        &seq, &scoring, &triangles[&w], caches.get_mut(&w).unwrap(), &task,
+                    );
+                    actions = master.result(w, res.clone());
+                    let mut dup = res;
+                    dup.score = dup.score.saturating_add(1_000_000); // corrupt copy
+                    actions.extend(master.result(w, dup));
+                }
+                // Honest delivery.
+                _ => {
+                    let res = compute(
+                        &seq, &scoring, &triangles[&w], caches.get_mut(&w).unwrap(), &task,
+                    );
+                    actions = master.result(w, res);
+                }
+            }
+        }
+        prop_assert_eq!(
+            &master.into_result().alignments, &want.alignments,
+            "stale or zombie traffic corrupted the acceptance sequence"
+        );
     }
 
     /// The shared cache never changes results, only work.

@@ -1,7 +1,7 @@
 //! Consensus of delineated repeat units.
 //!
 //! Completes the Repro pipeline's second half: once units are
-//! delineated (see [`crate::delineate`]), a star-topology multiple
+//! delineated (see [`crate::delineate()`]), a star-topology multiple
 //! alignment against a reference unit produces a majority-vote
 //! **consensus** of the ancestral repeat and per-unit identities —
 //! the "preserved sensitivity" output the paper's §6 aims the method

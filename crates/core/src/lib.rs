@@ -21,7 +21,7 @@
 //! * [`stats`] — work accounting (alignments, cells, realignment rates:
 //!   the quantities behind the paper's "90–97 % fewer realignments" and
 //!   "3–10 % need realignment" claims).
-//! * [`delineate`] — repeat delineation from top alignments (the second
+//! * [`mod@delineate`] — repeat delineation from top alignments (the second
 //!   half of the Repro method; the paper defers it to future work, we
 //!   provide a working implementation).
 

@@ -1,0 +1,123 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this package
+//! supplies the subset of the proptest API the workspace's property
+//! tests use: the [`proptest!`] macro, `prop_assert*` / `prop_assume!`,
+//! [`Strategy`] with `prop_map`/`prop_flat_map`, integer/float range
+//! strategies, tuple strategies, [`collection::vec`], [`any`] and
+//! [`test_runner::Config`].
+//!
+//! Semantics: each test runs `cases` iterations with values drawn from
+//! a deterministic per-test RNG (seeded from the test's name, or from
+//! `PROPTEST_SEED` if set), so failures are reproducible. There is no
+//! shrinking — the failing case index and seed are printed instead.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+pub use strategy::{Just, Strategy};
+
+/// The customary prelude; `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written explicitly inside the
+/// block, as with real proptest) running `body` for many generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let strats = ($($strat,)+);
+                for case in 0..config.cases {
+                    let case_seed = rng.state();
+                    let ($($pat,)+) = $crate::Strategy::generate(&strats, &mut rng);
+                    // The body runs in a Result-returning closure, as in
+                    // real proptest, so `?` on helpers returning
+                    // `Result<(), TestCaseError>` works unchanged.
+                    let run = std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            Ok(())
+                        },
+                    );
+                    let fail = |kind: &str| {
+                        eprintln!(
+                            "proptest (offline shim): {} {kind} at case {case}/{} \
+                             (rng state {case_seed:#x}; no shrinking)",
+                            stringify!($name),
+                            config.cases,
+                        );
+                    };
+                    match std::panic::catch_unwind(run) {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => {
+                            fail("failed");
+                            panic!("{e}");
+                        }
+                        Err(payload) => {
+                            fail("panicked");
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Discard the current case when its inputs don't satisfy a
+/// precondition. (The shim simply skips the case; discards are not
+/// counted against a maximum.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}

@@ -24,19 +24,21 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`align`](repro_align) | alignment kernels, alphabets, matrices, FASTA |
-//! | [`core`](repro_core) | override triangle, bottom rows, task queue, the sequential finder, delineation |
-//! | [`simd`](repro_simd) | 4/8-lane interleaved neighbouring-matrix kernel and engine |
-//! | [`parallel`](repro_parallel) | shared-memory speculative engine |
-//! | [`xmpi`](repro_xmpi) | message-passing substrate (threads + virtual time) |
-//! | [`cluster`](repro_cluster) | distributed engine and the DAS-2 simulator |
-//! | [`legacy`](repro_legacy) | the old `O(n⁴)` algorithm |
-//! | [`seqgen`](repro_seqgen) | deterministic workloads (planted repeats, titin-like) |
+//! | [`align`] | alignment kernels, alphabets, matrices, FASTA |
+//! | [`core`] | override triangle, bottom rows, task queue, the sequential finder, delineation |
+//! | [`simd`] | 4/8-lane interleaved neighbouring-matrix kernel and engine |
+//! | [`parallel`] | shared-memory speculative engine |
+//! | [`xmpi`] | message-passing substrate (threads + virtual time) |
+//! | [`cluster`] | distributed engine and the DAS-2 simulator |
+//! | [`legacy`] | the old `O(n⁴)` algorithm |
+//! | [`seqgen`] | deterministic workloads (planted repeats, titin-like) |
 //!
 //! Every engine produces **identical** top alignments; they differ only
 //! in how the work is scheduled, exactly as the paper claims.
 
 #![warn(missing_docs)]
+
+pub mod chaos;
 
 pub use repro_align as align;
 pub use repro_cluster as cluster;
@@ -54,6 +56,7 @@ pub use repro_core::{
     delineate, find_top_alignments, unit_consensus, Consensus, RepeatReport, Stats, TopAlignment,
     TopAlignments,
 };
+pub use repro_cluster::ClusterError;
 pub use repro_legacy::{find_top_alignments_old, LegacyKernel};
 pub use repro_parallel::find_top_alignments_parallel;
 pub use repro_simd::{find_top_alignments_simd, LaneWidth};
@@ -147,7 +150,22 @@ impl Repro {
     }
 
     /// Run the analysis. All engines return identical alignments.
+    ///
+    /// Panics if a distributed engine fails outright (its master rank
+    /// dying) — which cannot happen without fault injection; use
+    /// [`Repro::try_run`] to handle that case as a value.
     pub fn run(&self, seq: &Seq) -> Analysis {
+        self.try_run(seq)
+            .expect("in-process engines without fault injection cannot fail")
+    }
+
+    /// Run the analysis, surfacing distributed-engine failures as a
+    /// typed error instead of a panic. The message-passing engines
+    /// tolerate message loss, duplication, corruption, delay and worker
+    /// crashes (retrying, reassigning and finally degrading to local
+    /// computation); `Err` is reserved for genuinely unrecoverable
+    /// worlds, e.g. the master's own endpoint dying.
+    pub fn try_run(&self, seq: &Seq) -> Result<Analysis, ClusterError> {
         let tops = match self.engine {
             Engine::Sequential if self.low_memory => repro_core::TopAlignmentFinder::new(
                 seq,
@@ -162,39 +180,41 @@ impl Repro {
             Engine::Threads(threads) => {
                 find_top_alignments_parallel(seq, &self.scoring, self.count, threads).result
             }
-            Engine::Cluster { workers } => repro_cluster::find_top_alignments_cluster(
-                seq,
-                &self.scoring,
-                self.count,
-                workers,
-                Duration::from_secs(600),
-            )
-            .expect("in-process cluster cannot lose messages")
-            .result,
+            Engine::Cluster { workers } => {
+                repro_cluster::find_top_alignments_cluster(
+                    seq,
+                    &self.scoring,
+                    self.count,
+                    workers,
+                    Duration::from_secs(600),
+                )?
+                .result
+            }
             Engine::Hybrid {
                 nodes,
                 threads_per_node,
-            } => repro_cluster::find_top_alignments_hybrid(
-                seq,
-                &self.scoring,
-                self.count,
-                nodes,
-                threads_per_node,
-                Duration::from_secs(600),
-            )
-            .expect("in-process hybrid cannot lose messages")
-            .result,
+            } => {
+                repro_cluster::find_top_alignments_hybrid(
+                    seq,
+                    &self.scoring,
+                    self.count,
+                    nodes,
+                    threads_per_node,
+                    Duration::from_secs(600),
+                )?
+                .result
+            }
             Engine::Legacy(kernel) => {
                 find_top_alignments_old(seq, &self.scoring, self.count, kernel)
             }
         };
         let report = delineate(seq, &tops.alignments);
         let consensus = unit_consensus(seq, &report.units, &self.scoring);
-        Analysis {
+        Ok(Analysis {
             tops,
             report,
             consensus,
-        }
+        })
     }
 }
 

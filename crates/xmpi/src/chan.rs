@@ -1,0 +1,250 @@
+//! The in-process interconnect: an unbounded channel with cloneable
+//! senders, receive timeouts, disconnection detection and — because the
+//! fault injector needs it — *delayed delivery*: a message can be
+//! timestamped into the future and becomes visible to the receiver only
+//! once its due time passes, re-ordering it past later traffic exactly
+//! like a delayed packet.
+//!
+//! (This replaces the external `crossbeam` channel dependency: the
+//! build environment is offline, and delayed delivery has to live
+//! inside the channel anyway.)
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChanSendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived before the deadline.
+    Timeout,
+    /// Every sender is gone and the queue is drained.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    /// Messages waiting out an injected delay: `(due, seq, msg)`.
+    delayed: Vec<(Instant, u64, T)>,
+    next_seq: u64,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    cond: Condvar,
+}
+
+/// The sending half; cloneable, usable from any thread.
+pub struct Sender<T>(Arc<Shared<T>>);
+
+/// The receiving half; single consumer.
+pub struct Receiver<T>(Arc<Shared<T>>);
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            delayed: Vec::new(),
+            next_seq: 0,
+            senders: 1,
+            receiver_alive: true,
+        }),
+        cond: Condvar::new(),
+    });
+    (Sender(Arc::clone(&shared)), Receiver(shared))
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.0.state.lock().senders += 1;
+        Sender(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock();
+        state.senders -= 1;
+        if state.senders == 0 {
+            self.0.cond.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.0.state.lock().receiver_alive = false;
+    }
+}
+
+impl<T> Sender<T> {
+    /// Deliver `value` immediately (in send order).
+    pub fn send(&self, value: T) -> Result<(), ChanSendError<T>> {
+        let mut state = self.0.state.lock();
+        if !state.receiver_alive {
+            return Err(ChanSendError(value));
+        }
+        state.queue.push_back(value);
+        self.0.cond.notify_one();
+        Ok(())
+    }
+
+    /// Deliver `value` no earlier than `delay` from now. Later
+    /// immediate sends may overtake it — deliberately.
+    pub fn send_delayed(&self, value: T, delay: Duration) -> Result<(), ChanSendError<T>> {
+        if delay.is_zero() {
+            return self.send(value);
+        }
+        let mut state = self.0.state.lock();
+        if !state.receiver_alive {
+            return Err(ChanSendError(value));
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.delayed.push((Instant::now() + delay, seq, value));
+        self.0.cond.notify_one();
+        Ok(())
+    }
+}
+
+/// Move every due delayed message into the visible queue, oldest due
+/// first.
+fn promote_due<T>(state: &mut State<T>) {
+    if state.delayed.is_empty() {
+        return;
+    }
+    let now = Instant::now();
+    let mut due: Vec<(Instant, u64, T)> = Vec::new();
+    let mut i = 0;
+    while i < state.delayed.len() {
+        if state.delayed[i].0 <= now {
+            due.push(state.delayed.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    due.sort_by_key(|&(at, seq, _)| (at, seq));
+    state.queue.extend(due.into_iter().map(|(_, _, m)| m));
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message is available or `timeout` passes.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.0.state.lock();
+        loop {
+            promote_due(&mut state);
+            if let Some(m) = state.queue.pop_front() {
+                return Ok(m);
+            }
+            if state.senders == 0 && state.delayed.is_empty() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let mut wait = deadline - now;
+            if let Some(&due) = state.delayed.iter().map(|(at, _, _)| at).min() {
+                let until_due = due
+                    .saturating_duration_since(now)
+                    .max(Duration::from_micros(50));
+                wait = wait.min(until_due);
+            }
+            self.0.cond.wait_for(&mut state, wait);
+        }
+    }
+
+    /// Take an already-available message, if any.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut state = self.0.state.lock();
+        promote_due(&mut state);
+        state.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive_in_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(2));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn timeout_when_empty() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn disconnected_when_all_senders_drop() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(ChanSendError(1)));
+    }
+
+    #[test]
+    fn delayed_messages_are_overtaken_then_delivered() {
+        let (tx, rx) = unbounded();
+        tx.send_delayed("late", Duration::from_millis(40)).unwrap();
+        tx.send("early").unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok("early"));
+        // Not yet due.
+        assert_eq!(rx.try_recv(), None);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok("late"));
+    }
+
+    #[test]
+    fn pending_delay_is_not_a_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send_delayed(9, Duration::from_millis(30)).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(9));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn delayed_ordering_by_due_time() {
+        let (tx, rx) = unbounded();
+        tx.send_delayed(2, Duration::from_millis(30)).unwrap();
+        tx.send_delayed(1, Duration::from_millis(10)).unwrap();
+        std::thread::sleep(Duration::from_millis(45));
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(rx.try_recv(), Some(2));
+    }
+}

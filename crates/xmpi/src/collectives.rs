@@ -9,12 +9,17 @@ use crate::{Comm, Message, RecvError};
 use std::time::Duration;
 
 /// Send `payload` with `tag` from this rank to every *other* rank.
-pub fn broadcast_from<C: Comm>(comm: &C, tag: u32, payload: &[u8]) {
+/// Returns the number of ranks the message was handed to — dead peers
+/// are skipped, so a caller tracking liveness can compare against
+/// `size() - 1`.
+pub fn broadcast_from<C: Comm>(comm: &C, tag: u32, payload: &[u8]) -> usize {
+    let mut delivered = 0;
     for rank in 0..comm.size() {
-        if rank != comm.rank() {
-            comm.send(rank, tag, payload.to_vec());
+        if rank != comm.rank() && comm.send(rank, tag, payload.to_vec()).is_ok() {
+            delivered += 1;
         }
     }
+    delivered
 }
 
 /// Root side of a gather: collect exactly one message with `tag` from
@@ -55,7 +60,8 @@ pub fn barrier<C: Comm>(comm: &C, tag: u32, timeout: Duration) -> Result<(), Rec
         broadcast_from(comm, tag + 1, &[]);
         Ok(())
     } else {
-        comm.send(0, tag, Vec::new());
+        comm.send(0, tag, Vec::new())
+            .map_err(|_| RecvError::Disconnected)?;
         loop {
             let msg = comm.recv_timeout(timeout)?;
             if msg.tag == tag + 1 {
@@ -90,9 +96,9 @@ mod tests {
     #[test]
     fn gather_collects_one_per_rank_in_rank_order() {
         let world = ThreadComm::world(4);
-        world[3].send(0, 5, vec![3]);
-        world[1].send(0, 5, vec![1]);
-        world[2].send(0, 5, vec![2]);
+        world[3].send(0, 5, vec![3]).unwrap();
+        world[1].send(0, 5, vec![1]).unwrap();
+        world[2].send(0, 5, vec![2]).unwrap();
         let (msgs, leftovers) = gather_at_root(&world[0], 5, DL).unwrap();
         assert!(leftovers.is_empty());
         let froms: Vec<Rank> = msgs.iter().map(|m| m.from).collect();
@@ -102,9 +108,9 @@ mod tests {
     #[test]
     fn gather_buffers_unrelated_tags() {
         let world = ThreadComm::world(3);
-        world[1].send(0, 7, vec![]); // unrelated
-        world[1].send(0, 5, vec![]);
-        world[2].send(0, 5, vec![]);
+        world[1].send(0, 7, vec![]).unwrap(); // unrelated tag
+        world[1].send(0, 5, vec![]).unwrap();
+        world[2].send(0, 5, vec![]).unwrap();
         let (msgs, leftovers) = gather_at_root(&world[0], 5, DL).unwrap();
         assert_eq!(msgs.len(), 2);
         assert_eq!(leftovers.len(), 1);
@@ -114,7 +120,7 @@ mod tests {
     #[test]
     fn gather_times_out_when_a_rank_is_silent() {
         let world = ThreadComm::world(3);
-        world[1].send(0, 5, vec![]);
+        world[1].send(0, 5, vec![]).unwrap();
         let err = gather_at_root(&world[0], 5, Duration::from_millis(30)).unwrap_err();
         assert_eq!(err, RecvError::Timeout);
     }

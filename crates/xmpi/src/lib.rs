@@ -9,7 +9,9 @@
 //!   the subset of MPI the paper uses (blocking receive on "any source",
 //!   tagged messages, one process per rank);
 //! * [`thread`] — a real backend: every rank is an OS thread, messages
-//!   travel over crossbeam channels. Functional runs and tests use this.
+//!   travel over the in-process channels of [`chan`]. Functional runs
+//!   and tests use this; its [`thread::FaultPlan`] injects drops,
+//!   duplicates, delays, payload corruption and whole-rank crashes.
 //! * [`virtual_time`] — a deterministic discrete-event backend: ranks
 //!   are actors on a virtual clock, message delivery costs latency plus
 //!   size/bandwidth, and handlers charge explicit compute time. The
@@ -26,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chan;
 pub mod collectives;
 pub mod thread;
 pub mod virtual_time;
@@ -56,6 +59,28 @@ pub enum RecvError {
     Disconnected,
 }
 
+/// Send failure modes. A send that fails this way was *not* delivered;
+/// plain message loss (injected drops, network loss) stays invisible to
+/// the sender, exactly like MPI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// The destination endpoint is dead (crashed or torn down).
+    PeerDead(Rank),
+    /// This endpoint itself has crashed; it can no longer send.
+    SelfDead,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::PeerDead(rank) => write!(f, "peer rank {rank} is dead"),
+            SendError::SelfDead => write!(f, "this endpoint has crashed"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
 /// Blanket impl so `&C` works wherever a [`Comm`] is expected.
 impl<C: Comm + ?Sized> Comm for &C {
     fn rank(&self) -> Rank {
@@ -64,7 +89,7 @@ impl<C: Comm + ?Sized> Comm for &C {
     fn size(&self) -> usize {
         (**self).size()
     }
-    fn send(&self, to: Rank, tag: u32, payload: Vec<u8>) {
+    fn send(&self, to: Rank, tag: u32, payload: Vec<u8>) -> Result<(), SendError> {
         (**self).send(to, tag, payload)
     }
     fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Message, RecvError> {
@@ -84,8 +109,10 @@ pub trait Comm {
     fn size(&self) -> usize;
 
     /// Send `payload` to `to` with `tag`. Sends never block (buffered,
-    /// like small-message MPI sends in practice).
-    fn send(&self, to: Rank, tag: u32, payload: Vec<u8>);
+    /// like small-message MPI sends in practice). A send to a dead
+    /// endpoint is reported with [`SendError`]; ordinary message loss
+    /// is not (the sender cannot tell).
+    fn send(&self, to: Rank, tag: u32, payload: Vec<u8>) -> Result<(), SendError>;
 
     /// Block until a message arrives from any source, with a deadline.
     fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Message, RecvError>;

@@ -1,22 +1,69 @@
-//! The real backend: one OS thread per rank, crossbeam channels as the
-//! interconnect.
+//! The real backend: one OS thread per rank, in-process channels as the
+//! interconnect (see [`crate::chan`]).
 //!
 //! Mirrors the paper's deployment shape: the distributed engine runs the
 //! same code here (functionally, on however many cores exist) as on the
 //! virtual-time backend (for calibrated scaling curves).
+//!
+//! The backend doubles as the chaos apparatus: a [`FaultPlan`] injects
+//! deterministic message drops, duplicates, delivery delays, payload
+//! corruption and whole-rank crashes, keyed by per-endpoint message
+//! counters so every schedule is reproducible. A send to a dead
+//! endpoint is *reported* ([`SendError`]) rather than silently voided,
+//! and every undelivered message increments a visible drop counter —
+//! the recovery layer in `repro-cluster` depends on both signals.
 
-use crate::{Comm, Message, Rank, RecvError};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::chan::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::{Comm, Message, Rank, RecvError, SendError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Per-message fault injection for robustness tests: deterministic drops
-/// and duplicates keyed by a message counter.
+/// Per-message fault injection for robustness tests: deterministic
+/// faults keyed by a per-endpoint message counter.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FaultPlan {
     /// Drop every `drop_every`-th message (0 = never).
     pub drop_every: u64,
     /// Duplicate every `dup_every`-th message (0 = never).
     pub dup_every: u64,
+    /// Delay every `delay_every`-th message by [`FaultPlan::delay`]
+    /// (0 = never); later messages overtake it.
+    pub delay_every: u64,
+    /// How long delayed messages wait before becoming visible.
+    pub delay: Duration,
+    /// Corrupt the payload of every `corrupt_every`-th message
+    /// (0 = never): one byte is flipped, or a garbage byte appended to
+    /// empty payloads.
+    pub corrupt_every: u64,
+    /// Crash this rank's endpoint once it has attempted
+    /// [`FaultPlan::crash_after_sends`] sends: further sends fail with
+    /// [`SendError::SelfDead`] and its receives report `Disconnected`.
+    pub crash_rank: Option<Rank>,
+    /// Send attempts the crashing rank completes before dying.
+    pub crash_after_sends: u64,
+}
+
+impl FaultPlan {
+    /// `true` iff the plan injects no faults at all.
+    pub fn is_clean(&self) -> bool {
+        self.drop_every == 0
+            && self.dup_every == 0
+            && self.delay_every == 0
+            && self.corrupt_every == 0
+            && self.crash_rank.is_none()
+    }
+}
+
+/// State shared by every endpoint of one world.
+struct WorldShared {
+    alive: Vec<AtomicBool>,
+    /// Per-sender-rank count of messages accepted by `send` but not
+    /// delivered (injected drops, dead-peer sends, closed channels).
+    dropped: Vec<AtomicU64>,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+    duplicated: AtomicU64,
 }
 
 /// One rank's endpoint in a threaded world.
@@ -25,7 +72,8 @@ pub struct ThreadComm {
     senders: Vec<Sender<Message>>,
     receiver: Receiver<Message>,
     faults: FaultPlan,
-    counter: std::sync::atomic::AtomicU64,
+    counter: AtomicU64,
+    shared: Arc<WorldShared>,
 }
 
 impl ThreadComm {
@@ -44,6 +92,13 @@ impl ThreadComm {
             senders.push(tx);
             receivers.push(rx);
         }
+        let shared = Arc::new(WorldShared {
+            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            dropped: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            corrupted: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+        });
         receivers
             .into_iter()
             .enumerate()
@@ -52,9 +107,58 @@ impl ThreadComm {
                 senders: senders.clone(),
                 receiver,
                 faults,
-                counter: std::sync::atomic::AtomicU64::new(0),
+                counter: AtomicU64::new(0),
+                shared: Arc::clone(&shared),
             })
             .collect()
+    }
+
+    /// Mark this endpoint dead: subsequent sends fail with
+    /// [`SendError::SelfDead`], receives report `Disconnected`, and
+    /// peers sending to it get [`SendError::PeerDead`].
+    pub fn kill(&self) {
+        self.shared.alive[self.rank].store(false, Ordering::SeqCst);
+    }
+
+    /// Test hook: mark any rank's endpoint dead.
+    pub fn kill_rank(&self, rank: Rank) {
+        self.shared.alive[rank].store(false, Ordering::SeqCst);
+    }
+
+    /// `true` iff `rank`'s endpoint has not crashed.
+    pub fn is_alive(&self, rank: Rank) -> bool {
+        self.shared.alive[rank].load(Ordering::SeqCst)
+    }
+
+    /// Messages this endpoint accepted for sending but did not deliver
+    /// (injected drops, dead-peer sends, closed channels). The
+    /// "visible drop counter" the invariants tests assert on.
+    pub fn dropped_sends(&self) -> u64 {
+        self.shared.dropped[self.rank].load(Ordering::SeqCst)
+    }
+
+    /// Undelivered sends across the whole world.
+    pub fn world_dropped_sends(&self) -> u64 {
+        self.shared.dropped.iter().map(|c| c.load(Ordering::SeqCst)).sum()
+    }
+
+    /// Payloads corrupted by the fault injector, world-wide.
+    pub fn corrupted_sends(&self) -> u64 {
+        self.shared.corrupted.load(Ordering::SeqCst)
+    }
+
+    /// Messages delayed by the fault injector, world-wide.
+    pub fn delayed_sends(&self) -> u64 {
+        self.shared.delayed.load(Ordering::SeqCst)
+    }
+
+    /// Messages duplicated by the fault injector, world-wide.
+    pub fn duplicated_sends(&self) -> u64 {
+        self.shared.duplicated.load(Ordering::SeqCst)
+    }
+
+    fn count_drop(&self) {
+        self.shared.dropped[self.rank].fetch_add(1, Ordering::SeqCst);
     }
 }
 
@@ -67,13 +171,30 @@ impl Comm for ThreadComm {
         self.senders.len()
     }
 
-    fn send(&self, to: Rank, tag: u32, payload: Vec<u8>) {
-        let n = self
-            .counter
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-            + 1;
+    fn send(&self, to: Rank, tag: u32, payload: Vec<u8>) -> Result<(), SendError> {
+        if !self.is_alive(self.rank) {
+            return Err(SendError::SelfDead);
+        }
+        let n = self.counter.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.faults.crash_rank == Some(self.rank) && n > self.faults.crash_after_sends {
+            self.kill();
+            return Err(SendError::SelfDead);
+        }
+        if !self.is_alive(to) {
+            self.count_drop();
+            return Err(SendError::PeerDead(to));
+        }
         if self.faults.drop_every != 0 && n.is_multiple_of(self.faults.drop_every) {
-            return; // injected loss
+            self.count_drop();
+            return Ok(()); // injected loss: invisible to the sender
+        }
+        let mut payload = payload;
+        if self.faults.corrupt_every != 0 && n.is_multiple_of(self.faults.corrupt_every) {
+            match payload.len() {
+                0 => payload.push(0xA5),
+                len => payload[(n as usize) % len] ^= 0xA5,
+            }
+            self.shared.corrupted.fetch_add(1, Ordering::SeqCst);
         }
         let msg = Message {
             from: self.rank,
@@ -81,14 +202,32 @@ impl Comm for ThreadComm {
             payload,
         };
         if self.faults.dup_every != 0 && n.is_multiple_of(self.faults.dup_every) {
-            let _ = self.senders[to].send(msg.clone());
+            self.shared.duplicated.fetch_add(1, Ordering::SeqCst);
+            if self.senders[to].send(msg.clone()).is_err() {
+                self.count_drop();
+            }
         }
-        // A send to a rank whose endpoint was dropped is silently void,
-        // like an MPI send racing a finalized peer.
-        let _ = self.senders[to].send(msg);
+        let delayed = self.faults.delay_every != 0
+            && n.is_multiple_of(self.faults.delay_every)
+            && !self.faults.delay.is_zero();
+        let outcome = if delayed {
+            self.shared.delayed.fetch_add(1, Ordering::SeqCst);
+            self.senders[to].send_delayed(msg, self.faults.delay)
+        } else {
+            self.senders[to].send(msg)
+        };
+        if outcome.is_err() {
+            // The peer's receiver is gone (its endpoint was dropped).
+            self.count_drop();
+            return Err(SendError::PeerDead(to));
+        }
+        Ok(())
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Message, RecvError> {
+        if !self.is_alive(self.rank) {
+            return Err(RecvError::Disconnected);
+        }
         match self.receiver.recv_timeout(timeout) {
             Ok(m) => Ok(m),
             Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
@@ -97,7 +236,10 @@ impl Comm for ThreadComm {
     }
 
     fn try_recv(&self) -> Option<Message> {
-        self.receiver.try_recv().ok()
+        if !self.is_alive(self.rank) {
+            return None;
+        }
+        self.receiver.try_recv()
     }
 }
 
@@ -118,7 +260,7 @@ mod tests {
     #[test]
     fn point_to_point_delivery() {
         let world = ThreadComm::world(2);
-        world[0].send(1, 7, vec![1, 2, 3]);
+        world[0].send(1, 7, vec![1, 2, 3]).unwrap();
         let m = world[1].recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(m.from, 0);
         assert_eq!(m.tag, 7);
@@ -128,7 +270,7 @@ mod tests {
     #[test]
     fn self_send_works() {
         let world = ThreadComm::world(1);
-        world[0].send(0, 1, vec![]);
+        world[0].send(0, 1, vec![]).unwrap();
         assert!(world[0].try_recv().is_some());
     }
 
@@ -148,9 +290,9 @@ mod tests {
             s.spawn(move || {
                 // Echo server on rank 1.
                 let m = c1.recv_timeout(Duration::from_secs(5)).unwrap();
-                c1.send(m.from, m.tag + 1, m.payload);
+                c1.send(m.from, m.tag + 1, m.payload).unwrap();
             });
-            c0.send(1, 10, vec![9]);
+            c0.send(1, 10, vec![9]).unwrap();
             let echo = c0.recv_timeout(Duration::from_secs(5)).unwrap();
             assert_eq!(echo.tag, 11);
             assert_eq!(echo.payload, vec![9]);
@@ -164,24 +306,99 @@ mod tests {
             FaultPlan {
                 drop_every: 2,
                 dup_every: 3,
+                ..FaultPlan::default()
             },
         );
         // Messages 1..=6 from rank 0: drops at 2,4,6; dup at 3.
         for i in 1..=6u8 {
-            world[0].send(1, i as u32, vec![i]);
+            let _ = world[0].send(1, i as u32, vec![i]);
         }
         let mut got = Vec::new();
         while let Some(m) = world[1].try_recv() {
             got.push(m.tag);
         }
         assert_eq!(got, vec![1, 3, 3, 5]);
+        assert_eq!(world[0].dropped_sends(), 3);
+        assert_eq!(world[0].duplicated_sends(), 1);
+    }
+
+    #[test]
+    fn delayed_messages_arrive_late_but_arrive() {
+        let world = ThreadComm::world_with_faults(
+            2,
+            FaultPlan {
+                delay_every: 2,
+                delay: Duration::from_millis(30),
+                ..FaultPlan::default()
+            },
+        );
+        world[0].send(1, 1, vec![]).unwrap(); // on time
+        world[0].send(1, 2, vec![]).unwrap(); // delayed
+        world[0].send(1, 3, vec![]).unwrap(); // on time
+        let a = world[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        let b = world[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        let c = world[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!((a.tag, b.tag), (1, 3), "delayed message overtaken");
+        assert_eq!(c.tag, 2, "delayed message still delivered");
+        assert_eq!(world[0].delayed_sends(), 1);
+    }
+
+    #[test]
+    fn corruption_flips_payload_bytes() {
+        let world = ThreadComm::world_with_faults(
+            2,
+            FaultPlan {
+                corrupt_every: 1,
+                ..FaultPlan::default()
+            },
+        );
+        world[0].send(1, 1, vec![0, 0, 0]).unwrap();
+        let m = world[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_ne!(m.payload, vec![0, 0, 0]);
+        assert_eq!(world[0].corrupted_sends(), 1);
+        // Empty payloads gain a garbage byte instead.
+        world[0].send(1, 2, vec![]).unwrap();
+        let m = world[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(!m.payload.is_empty());
+    }
+
+    #[test]
+    fn crashed_rank_stops_sending_and_receiving() {
+        let world = ThreadComm::world_with_faults(
+            3,
+            FaultPlan {
+                crash_rank: Some(1),
+                crash_after_sends: 2,
+                ..FaultPlan::default()
+            },
+        );
+        assert!(world[1].send(0, 1, vec![]).is_ok());
+        assert!(world[1].send(0, 2, vec![]).is_ok());
+        // Third send attempt kills the endpoint.
+        assert_eq!(world[1].send(0, 3, vec![]), Err(SendError::SelfDead));
+        assert!(!world[0].is_alive(1));
+        assert_eq!(
+            world[1].recv_timeout(Duration::from_millis(5)),
+            Err(RecvError::Disconnected)
+        );
+        // Peers get a typed error, and the drop is counted.
+        assert_eq!(world[0].send(1, 9, vec![]), Err(SendError::PeerDead(1)));
+        assert_eq!(world[0].dropped_sends(), 1);
+    }
+
+    #[test]
+    fn kill_is_observable_by_peers() {
+        let world = ThreadComm::world(2);
+        world[1].kill();
+        assert_eq!(world[0].send(1, 0, vec![]), Err(SendError::PeerDead(1)));
+        assert_eq!(world[1].send(0, 0, vec![]), Err(SendError::SelfDead));
     }
 
     #[test]
     fn messages_preserve_order_per_sender() {
         let world = ThreadComm::world(2);
         for i in 0..100u32 {
-            world[0].send(1, i, vec![]);
+            world[0].send(1, i, vec![]).unwrap();
         }
         for i in 0..100u32 {
             let m = world[1].recv_timeout(Duration::from_secs(1)).unwrap();

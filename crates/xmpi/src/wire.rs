@@ -1,6 +1,71 @@
 //! A minimal payload codec: little-endian integers appended to a byte
 //! buffer. Enough for the engines' task ids, scores and score rows,
 //! without pulling a serialisation framework into the dependency tree.
+//!
+//! Two integrity layers:
+//!
+//! * every [`Decoder`] read is bounds-checked and returns a
+//!   [`WireError`] instead of panicking, so a truncated or garbled
+//!   payload is an error value the engine can drop;
+//! * [`Encoder::finish_framed`] / [`Decoder::new_framed`] wrap the
+//!   payload in a `[len: u32][payload][fnv1a64 checksum]` frame, so a
+//!   payload whose *bytes* were flipped in flight (not just shortened)
+//!   is detected before any field is interpreted.
+
+/// Decoding failure modes. All of them mean "this payload did not come
+/// intact from our encoder" — the right response is to drop the
+/// message, never to trust partial fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes remained than the requested field needs.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A length prefix claims more elements than the buffer could hold.
+    BadLength {
+        /// Claimed element count.
+        claimed: usize,
+    },
+    /// The frame header is malformed (too short, or the declared
+    /// payload length disagrees with the buffer size).
+    BadFrame,
+    /// The frame checksum does not match the payload bytes.
+    BadChecksum,
+    /// Bytes were left over after the message was fully decoded.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => {
+                write!(f, "payload truncated: needed {needed} bytes, {remaining} remain")
+            }
+            WireError::BadLength { claimed } => {
+                write!(f, "length prefix claims {claimed} elements, buffer too small")
+            }
+            WireError::BadFrame => write!(f, "malformed frame header"),
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// FNV-1a 64-bit over `bytes` — the frame checksum. Not cryptographic;
+/// it guards against corruption, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Append-only payload writer.
 #[derive(Debug, Default, Clone)]
@@ -49,14 +114,26 @@ impl Encoder {
         self
     }
 
-    /// Finish and take the bytes.
+    /// Finish and take the bytes (unframed).
     pub fn finish(self) -> Vec<u8> {
         self.buf
     }
+
+    /// Finish as a checksummed frame:
+    /// `[len: u32 LE][payload][fnv1a64(payload): u64 LE]`.
+    pub fn finish_framed(self) -> Vec<u8> {
+        let payload = self.buf;
+        let mut out = Vec::with_capacity(payload.len() + 12);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out
+    }
 }
 
-/// Sequential payload reader. Panics on malformed payloads — messages
-/// come from our own encoder, so corruption is a bug, not input.
+/// Sequential payload reader. Every read is bounds-checked: malformed
+/// input yields a [`WireError`], never a panic — messages may have been
+/// corrupted or truncated in flight.
 #[derive(Debug)]
 pub struct Decoder<'a> {
     buf: &'a [u8],
@@ -64,45 +141,96 @@ pub struct Decoder<'a> {
 }
 
 impl<'a> Decoder<'a> {
-    /// Start reading `buf`.
+    /// Start reading an unframed `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
         Decoder { buf, pos: 0 }
     }
 
+    /// Verify and strip a [`Encoder::finish_framed`] frame, returning a
+    /// decoder positioned over the payload. Rejects short buffers,
+    /// length mismatches and checksum failures.
+    pub fn new_framed(buf: &'a [u8]) -> Result<Self, WireError> {
+        if buf.len() < 12 {
+            return Err(WireError::BadFrame);
+        }
+        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        if buf.len() != len + 12 {
+            return Err(WireError::BadFrame);
+        }
+        let payload = &buf[4..4 + len];
+        let want = u64::from_le_bytes(buf[4 + len..].try_into().unwrap());
+        if fnv1a64(payload) != want {
+            return Err(WireError::BadChecksum);
+        }
+        Ok(Decoder {
+            buf: payload,
+            pos: 0,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let remaining = self.buf.len() - self.pos;
+        if remaining < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                remaining,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
     /// Read a `u64`.
-    pub fn u64(&mut self) -> u64 {
-        let bytes: [u8; 8] = self.buf[self.pos..self.pos + 8].try_into().unwrap();
-        self.pos += 8;
-        u64::from_le_bytes(bytes)
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     /// Read a `usize`.
-    pub fn usize(&mut self) -> usize {
-        self.u64() as usize
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        Ok(self.u64()? as usize)
     }
 
     /// Read an `i32`.
-    pub fn i32(&mut self) -> i32 {
-        let bytes: [u8; 4] = self.buf[self.pos..self.pos + 4].try_into().unwrap();
-        self.pos += 4;
-        i32::from_le_bytes(bytes)
+    pub fn i32(&mut self) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    /// Read a length-prefixed `i32` vector.
-    pub fn i32_vec(&mut self) -> Vec<i32> {
-        let n = self.usize();
+    /// Read a length-prefixed `i32` vector. The claimed length is
+    /// validated against the remaining bytes before any allocation, so
+    /// a corrupted prefix cannot trigger a huge reservation.
+    pub fn i32_vec(&mut self) -> Result<Vec<i32>, WireError> {
+        let n = self.usize()?;
+        if n > (self.buf.len() - self.pos) / 4 {
+            return Err(WireError::BadLength { claimed: n });
+        }
         (0..n).map(|_| self.i32()).collect()
     }
 
-    /// Read a length-prefixed list of `usize` pairs.
-    pub fn pairs(&mut self) -> Vec<(usize, usize)> {
-        let n = self.usize();
-        (0..n).map(|_| (self.usize(), self.usize())).collect()
+    /// Read a length-prefixed list of `usize` pairs (length validated
+    /// as in [`Decoder::i32_vec`]).
+    pub fn pairs(&mut self) -> Result<Vec<(usize, usize)>, WireError> {
+        let n = self.usize()?;
+        if n > (self.buf.len() - self.pos) / 16 {
+            return Err(WireError::BadLength { claimed: n });
+        }
+        (0..n).map(|_| Ok((self.usize()?, self.usize()?))).collect()
     }
 
     /// `true` iff every byte has been consumed.
     pub fn is_exhausted(&self) -> bool {
         self.pos == self.buf.len()
+    }
+
+    /// Fail with [`WireError::TrailingBytes`] unless the payload was
+    /// consumed exactly — a decoded message that leaves bytes behind
+    /// parsed garbage into plausible fields.
+    pub fn expect_exhausted(&self) -> Result<(), WireError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
     }
 }
 
@@ -120,28 +248,93 @@ mod tests {
             .pairs(&[(0, 9), (5, 5)])
             .finish();
         let mut d = Decoder::new(&payload);
-        assert_eq!(d.u64(), u64::MAX);
-        assert_eq!(d.usize(), 42);
-        assert_eq!(d.i32(), -7);
-        assert_eq!(d.i32_vec(), vec![1, -2, 3]);
-        assert_eq!(d.pairs(), vec![(0, 9), (5, 5)]);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.usize().unwrap(), 42);
+        assert_eq!(d.i32().unwrap(), -7);
+        assert_eq!(d.i32_vec().unwrap(), vec![1, -2, 3]);
+        assert_eq!(d.pairs().unwrap(), vec![(0, 9), (5, 5)]);
         assert!(d.is_exhausted());
+        assert_eq!(d.expect_exhausted(), Ok(()));
     }
 
     #[test]
     fn empty_collections() {
         let payload = Encoder::new().i32_slice(&[]).pairs(&[]).finish();
         let mut d = Decoder::new(&payload);
-        assert!(d.i32_vec().is_empty());
-        assert!(d.pairs().is_empty());
+        assert!(d.i32_vec().unwrap().is_empty());
+        assert!(d.pairs().unwrap().is_empty());
         assert!(d.is_exhausted());
     }
 
     #[test]
-    #[should_panic]
-    fn underflow_panics() {
+    fn underflow_is_an_error_not_a_panic() {
         let payload = Encoder::new().i32(1).finish();
         let mut d = Decoder::new(&payload);
-        d.u64();
+        assert_eq!(
+            d.u64(),
+            Err(WireError::Truncated {
+                needed: 8,
+                remaining: 4
+            })
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        // A prefix claiming u64::MAX elements must not reserve memory.
+        let payload = Encoder::new().u64(u64::MAX).finish();
+        let mut d = Decoder::new(&payload);
+        assert!(matches!(d.i32_vec(), Err(WireError::BadLength { .. })));
+        let mut d = Decoder::new(&payload);
+        assert!(matches!(d.pairs(), Err(WireError::BadLength { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let payload = Encoder::new().i32(1).i32(2).finish();
+        let mut d = Decoder::new(&payload);
+        d.i32().unwrap();
+        assert_eq!(d.expect_exhausted(), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn framed_roundtrip() {
+        let framed = Encoder::new().usize(7).i32(-3).finish_framed();
+        let mut d = Decoder::new_framed(&framed).unwrap();
+        assert_eq!(d.usize().unwrap(), 7);
+        assert_eq!(d.i32().unwrap(), -3);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn framed_detects_any_single_byte_flip() {
+        let framed = Encoder::new().usize(5).i32_slice(&[1, 2, 3]).finish_framed();
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0xA5;
+            assert!(
+                Decoder::new_framed(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn framed_rejects_truncation_and_garbage() {
+        let framed = Encoder::new().u64(9).finish_framed();
+        for cut in 0..framed.len() {
+            assert!(Decoder::new_framed(&framed[..cut]).is_err());
+        }
+        let mut extended = framed.clone();
+        extended.push(0xA5);
+        assert_eq!(Decoder::new_framed(&extended).unwrap_err(), WireError::BadFrame);
+        assert_eq!(Decoder::new_framed(&[]).unwrap_err(), WireError::BadFrame);
+    }
+
+    #[test]
+    fn empty_payload_frames_fine() {
+        let framed = Encoder::new().finish_framed();
+        let d = Decoder::new_framed(&framed).unwrap();
+        assert!(d.is_exhausted());
     }
 }

@@ -3,8 +3,42 @@
 use proptest::prelude::*;
 use repro_xmpi::thread::ThreadComm;
 use repro_xmpi::virtual_time::{run, Actor, Ctx, LinkModel};
-use repro_xmpi::{Comm, Rank};
+use repro_xmpi::{Comm, Rank, SendError};
 use std::time::Duration;
+
+/// Documented dead-endpoint semantics: a send to a crashed endpoint is
+/// *reported* — it returns [`SendError::PeerDead`] and increments the
+/// sender's visible drop counter — never silently voided.
+#[test]
+fn send_to_dead_endpoint_is_reported_not_silent() {
+    let world = ThreadComm::world(3);
+    assert!(world[0].is_alive(2));
+    world[2].kill();
+    assert!(!world[0].is_alive(2));
+    assert_eq!(world[0].dropped_sends(), 0);
+    let err = world[0].send(2, 7, vec![1, 2, 3]).unwrap_err();
+    assert_eq!(err, SendError::PeerDead(2));
+    assert_eq!(
+        world[0].dropped_sends(),
+        1,
+        "the failed send must be visible in the sender's drop counter"
+    );
+    // The rest of the world is untouched.
+    world[0].send(1, 7, vec![]).unwrap();
+    assert_eq!(world[1].recv_timeout(Duration::from_secs(5)).unwrap().tag, 7);
+}
+
+/// A crashed endpoint cannot send either: it gets [`SendError::SelfDead`].
+/// The world-wide drop counter tracks messages lost *to* dead endpoints
+/// (a crashed sender's refusals are not message loss).
+#[test]
+fn dead_sender_reports_self_dead() {
+    let world = ThreadComm::world(2);
+    world[1].kill();
+    assert_eq!(world[1].send(0, 1, vec![]).unwrap_err(), SendError::SelfDead);
+    assert_eq!(world[0].send(1, 1, vec![]).unwrap_err(), SendError::PeerDead(1));
+    assert_eq!(world[0].world_dropped_sends(), 1);
+}
 
 /// A relay chain: rank 0 sends a token that hops 0→1→…→n−1 and stops.
 struct Relay {
@@ -86,7 +120,7 @@ proptest! {
             for comm in world {
                 s.spawn(move || {
                     for i in 0..per {
-                        comm.send(0, i as u32, vec![comm.rank() as u8]);
+                        comm.send(0, i as u32, vec![comm.rank() as u8]).unwrap();
                     }
                 });
             }
