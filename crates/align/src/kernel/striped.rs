@@ -15,10 +15,33 @@ use crate::mask::CellMask;
 use crate::scoring::Scoring;
 use crate::{Score, NEG_INF};
 
-/// Default stripe width, sized so that the stripe's previous-row slice,
-/// `MaxY` slice and miscellaneous state share a typical 32 KiB L1 data
-/// cache (the paper's "a third of the first-level cache" rule).
-pub const DEFAULT_STRIPE: usize = 2048;
+/// L1 budget for a stripe's hot state: the two streamed row arrays
+/// (previous-row `M` and `MaxY`) are kept to half of a typical 32 KiB
+/// L1 data cache, leaving the other half for the exchange/profile row,
+/// the sequence slice, and miscellany (the paper's "a third of the
+/// first-level cache" rule, rounded to a power of two).
+pub const STRIPE_L1_BUDGET: usize = 16 * 1024;
+
+/// Derive a stripe width from the number of bytes each column occupies
+/// in **one** of the two streamed row arrays: `bytes_per_col` is
+/// `size_of::<elem>()` for a scalar kernel and
+/// `lanes × size_of::<elem>()` for an interleaved SIMD kernel. The
+/// L1 sizing rule is `stripe × 2 × bytes_per_col ≤ STRIPE_L1_BUDGET`,
+/// so the rule keeps holding when the element in flight widens (i16
+/// rows vs promoted i32 rows) instead of silently overflowing L1 as a
+/// fixed constant would.
+pub const fn stripe_for_bytes(bytes_per_col: usize) -> usize {
+    let w = STRIPE_L1_BUDGET / (2 * bytes_per_col);
+    if w == 0 {
+        1
+    } else {
+        w
+    }
+}
+
+/// Default stripe width for the scalar (`i32`-element) kernels,
+/// derived from the element width actually in flight.
+pub const DEFAULT_STRIPE: usize = stripe_for_bytes(std::mem::size_of::<Score>());
 
 /// Score-only local alignment computed in vertical stripes of width
 /// `stripe`. Produces exactly the same [`LastRow`] as the row-major
@@ -159,6 +182,20 @@ mod tests {
         let r = sw_last_row_striped(e.codes(), a.codes(), &s, NoMask, 4);
         assert_eq!(r.best, 0);
         assert_eq!(sw_last_row_striped(a.codes(), e.codes(), &s, NoMask, 4).cells, 0);
+    }
+
+    #[test]
+    fn derived_stripe_obeys_the_l1_rule() {
+        // Scalar i32 rows: 4 B per column per array → the historical 2048.
+        assert_eq!(DEFAULT_STRIPE, 2048);
+        for bytes in [2usize, 4, 16, 32, 64] {
+            let w = stripe_for_bytes(bytes);
+            assert!(w * 2 * bytes <= STRIPE_L1_BUDGET, "bytes {bytes}");
+            // Tight: doubling the stripe would blow the budget.
+            assert!((w + 1) * 2 * bytes > STRIPE_L1_BUDGET || w * 2 * bytes == STRIPE_L1_BUDGET);
+        }
+        // Degenerate element sizes still yield a usable stripe.
+        assert_eq!(stripe_for_bytes(STRIPE_L1_BUDGET), 1);
     }
 
     #[test]

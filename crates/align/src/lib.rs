@@ -58,6 +58,7 @@ pub mod fasta;
 pub mod kernel;
 pub mod mask;
 pub mod matrix;
+pub mod profile;
 pub mod scoring;
 pub mod seq;
 
@@ -69,11 +70,12 @@ pub use kernel::gotoh::{sw_last_row, sw_score};
 pub use kernel::linmem::sw_align_linmem;
 pub use kernel::naive::sw_last_row_naive;
 pub use kernel::nw::{nw_align, nw_score, NwAlignment, NwOp};
-pub use kernel::striped::{sw_last_row_striped, DEFAULT_STRIPE};
+pub use kernel::striped::{stripe_for_bytes, sw_last_row_striped, DEFAULT_STRIPE, STRIPE_L1_BUDGET};
 pub use kernel::waterman_eggert::{is_shadow, waterman_eggert};
 pub use kernel::LastRow;
 pub use mask::{CellMask, NoMask, SetMask};
 pub use matrix::ExchangeMatrix;
+pub use profile::QueryProfile;
 pub use scoring::{GapPenalties, Scoring};
 pub use seq::Seq;
 

@@ -3,8 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use repro::align::{sw_last_row, NoMask, Scoring};
+use repro::simd::dispatch::sweep_group_lookup_i16;
 use repro::simd::group::align_group;
-use repro::simd::lanes::{I16x4, I16x8};
+use repro::simd::lanes::{I16x4, I16x8, NativeI16x8};
+use repro::simd::{select, LaneWidth};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -31,21 +33,33 @@ fn bench_table2(c: &mut Criterion) {
     g.bench_function("sse2_8_matrices", |b| {
         b.iter(|| black_box(align_group::<I16x8>(seq.codes(), &scoring, r - 4, 8, None)))
     });
-    #[cfg(target_arch = "x86_64")]
-    {
-        use repro::simd::lanes::sse2::I16x8Sse2;
-        g.bench_function("sse2_intrinsics_8_matrices", |b| {
-            b.iter(|| {
-                black_box(align_group::<I16x8Sse2>(
-                    seq.codes(),
-                    &scoring,
-                    r - 4,
-                    8,
-                    None,
-                ))
-            })
-        });
-    }
+    // `NativeI16x8` is the SSE2 intrinsics type on x86-64 and the
+    // portable array under `portable-only` / other arches.
+    g.bench_function("native_8_matrices", |b| {
+        b.iter(|| {
+            black_box(align_group::<NativeI16x8>(
+                seq.codes(),
+                &scoring,
+                r - 4,
+                8,
+                None,
+            ))
+        })
+    });
+    let sel16 = select(Some(LaneWidth::X16), None).expect("x16 always selectable");
+    g.throughput(Throughput::Elements(16 * cells));
+    g.bench_function("dispatched_16_matrices", |b| {
+        b.iter(|| {
+            black_box(sweep_group_lookup_i16(
+                sel16,
+                seq.codes(),
+                &scoring,
+                r - 8,
+                16,
+                None,
+            ))
+        })
+    });
     g.finish();
 }
 

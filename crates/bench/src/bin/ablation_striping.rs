@@ -14,15 +14,16 @@
 //! expect compressed ratios at equal widths, the *direction* and the
 //! SIMD-vs-scalar asymmetry are what is under test).
 
-use repro::align::{sw_last_row, sw_last_row_striped, NoMask, Scoring};
-use repro::simd::group::align_group_striped;
+use repro::align::{
+    stripe_for_bytes, sw_last_row, sw_last_row_striped, NoMask, Scoring, DEFAULT_STRIPE,
+};
+use repro::simd::group::{align_group_striped, group_stripe};
 use repro_bench::{secs, time_min, Scale, Table};
 use std::time::Duration;
 
-#[cfg(target_arch = "x86_64")]
-type Lanes8 = repro::simd::lanes::sse2::I16x8Sse2;
-#[cfg(not(target_arch = "x86_64"))]
-type Lanes8 = repro::simd::lanes::I16x8;
+// The native 8-lane kernel: SSE2 intrinsics on x86-64, the portable
+// array kernel elsewhere (and under `--features portable-only`).
+type Lanes8 = repro::simd::lanes::NativeI16x8;
 
 fn main() {
     let scale = Scale::from_args();
@@ -47,6 +48,7 @@ fn main() {
 
     println!("(a) SIMD kernel, 8 lanes\n");
     let r0 = r_mid - 4;
+    let derived_simd = group_stripe(8, 2);
     let t_flat = time_min(budget, || {
         std::hint::black_box(align_group_striped::<Lanes8>(
             seq.codes(),
@@ -59,7 +61,9 @@ fn main() {
     });
     let table = Table::new(&["stripe width", "time", "vs unstriped"]);
     table.row(&["unstriped".into(), secs(t_flat), "1.00x".into()]);
-    for w in widths {
+    let mut best_simd = (f64::INFINITY, 0usize);
+    let mut t_derived_simd = f64::INFINITY;
+    for w in widths.iter().copied().filter(|&w| w != derived_simd).chain([derived_simd]) {
         if w >= m - r0 {
             continue;
         }
@@ -73,24 +77,70 @@ fn main() {
                 w,
             ));
         });
-        table.row(&[w.to_string(), secs(t), format!("{:.2}x", t_flat / t)]);
+        let label = if w == derived_simd {
+            format!("{w} (derived)")
+        } else {
+            w.to_string()
+        };
+        table.row(&[label, secs(t), format!("{:.2}x", t_flat / t)]);
+        if t < best_simd.0 {
+            best_simd = (t, w);
+        }
+        if w == derived_simd {
+            t_derived_simd = t;
+        }
     }
 
     println!("\n(b) conventional (scalar) kernel\n");
     let (prefix, suffix) = seq.split(r_mid);
+    let derived_scalar = DEFAULT_STRIPE;
     let t_plain = time_min(budget, || {
         std::hint::black_box(sw_last_row(prefix, suffix, &scoring, NoMask));
     });
     let table = Table::new(&["stripe width", "time", "vs unstriped"]);
     table.row(&["unstriped".into(), secs(t_plain), "1.00x".into()]);
-    for w in widths {
+    for w in widths.iter().copied().filter(|&w| w != derived_scalar).chain([derived_scalar]) {
         if w >= suffix.len() {
             continue;
         }
         let t = time_min(budget, || {
             std::hint::black_box(sw_last_row_striped(prefix, suffix, &scoring, NoMask, w));
         });
-        table.row(&[w.to_string(), secs(t), format!("{:.2}x", t_plain / t)]);
+        let label = if w == derived_scalar {
+            format!("{w} (derived)")
+        } else {
+            w.to_string()
+        };
+        table.row(&[label, secs(t), format!("{:.2}x", t_plain / t)]);
+    }
+
+    // Ablation check for the derived stripe rule: the width the engine
+    // derives from the element size in flight (stripe × 2 arrays ×
+    // bytes-per-column ≤ 16 KiB) must sit within noise of the best
+    // fixed width on the grid — i.e. deriving beats hand-tuning.
+    println!(
+        "\nderived-stripe check: scalar {} cols × 2 × {} B = {} KiB, \
+         8-lane i16 {} cols × 2 × 16 B = {} KiB (budget 16 KiB each)",
+        derived_scalar,
+        std::mem::size_of::<repro::align::Score>(),
+        derived_scalar * 2 * std::mem::size_of::<repro::align::Score>() / 1024,
+        derived_simd,
+        derived_simd * 2 * 16 / 1024,
+    );
+    assert_eq!(derived_scalar, stripe_for_bytes(std::mem::size_of::<repro::align::Score>()));
+    assert_eq!(derived_simd, stripe_for_bytes(8 * 2));
+    if t_derived_simd.is_finite() && best_simd.0.is_finite() {
+        println!(
+            "derived SIMD stripe {} runs at {:.2}x the best grid width ({}): {}",
+            derived_simd,
+            t_derived_simd / best_simd.0,
+            best_simd.1,
+            if t_derived_simd <= best_simd.0 * 1.10 {
+                "within 10% — OK"
+            } else {
+                "SLOWER than hand-tuned — investigate"
+            }
+        );
     }
 
     println!(

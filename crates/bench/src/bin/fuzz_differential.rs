@@ -1,9 +1,10 @@
 //! Differential fuzzing across every engine.
 //!
 //! Generates random workloads (sequences, scorings, top-counts) and
-//! asserts that all engines — sequential, linear-memory, SIMD ×2,
-//! threads, cluster, hybrid, legacy ×2 — return identical top
-//! alignments. Deterministic: the case stream derives from `--seed`.
+//! asserts that all engines — sequential, linear-memory, SIMD at every
+//! lane width (auto-dispatched, pinned portable), SIMD × SMP, threads,
+//! cluster, hybrid, legacy — return identical top alignments.
+//! Deterministic: the case stream derives from `--seed`.
 //!
 //! Usage: `cargo run --release -p repro-bench --bin fuzz_differential
 //! -- [--cases N] [--seed S]`.
@@ -28,6 +29,20 @@ fn main() {
     let engines = [
         Engine::Simd(LaneWidth::X4),
         Engine::Simd(LaneWidth::X8),
+        Engine::Simd(LaneWidth::X16),
+        Engine::SimdDispatch {
+            width: None,
+            path: None,
+        },
+        Engine::SimdDispatch {
+            width: Some(LaneWidth::X16),
+            path: Some(repro::DispatchPath::Portable),
+        },
+        Engine::SimdThreads {
+            threads: 3,
+            width: None,
+            path: None,
+        },
         Engine::Threads(3),
         Engine::Cluster { workers: 2 },
         Engine::Hybrid {

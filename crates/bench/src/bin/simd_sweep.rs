@@ -1,0 +1,235 @@
+//! **SIMD sweep** — machine-readable kernel × lane-width × dispatch-path
+//! throughput matrix.
+//!
+//! Measures lane-cells/second for every selectable `i16` kernel
+//! (lookup-based and query-profile-based sweeps, at 4/8/16 lanes, on
+//! every dispatch path the host CPU supports), the promoted `i32` wide
+//! sweeps, and the engine-level composition (sequential vs
+//! auto-dispatched SIMD vs SIMD × SMP). Emits `BENCH_simd.json` — the
+//! checked-in copy lives under `results/`.
+//!
+//! Usage: `cargo run --release -p repro-bench --bin simd_sweep --
+//! [--scale small|medium|full] [--out results/BENCH_simd.json]`.
+
+use repro::align::QueryProfile;
+use repro::core::find_top_alignments;
+use repro::simd::dispatch::{
+    available, max_width, sweep_group_lookup_i16, sweep_group_profile_i16, sweep_group_wide,
+};
+use repro::simd::{find_top_alignments_simd_sel, select, DispatchPath, LaneWidth};
+use repro::{find_top_alignments_parallel_simd, Scoring};
+use repro_bench::{time_min, Scale};
+use std::time::Duration;
+
+const PATHS: [DispatchPath; 3] = [DispatchPath::Portable, DispatchPath::Sse2, DispatchPath::Avx2];
+const WIDTHS: [LaneWidth; 3] = [LaneWidth::X4, LaneWidth::X8, LaneWidth::X16];
+
+fn out_path() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_simd.json".to_string())
+}
+
+/// One kernel measurement, already formatted as a JSON object.
+struct KernelPoint {
+    path: DispatchPath,
+    lanes: usize,
+    kernel: &'static str,
+    secs: f64,
+    lane_cells_per_sec: f64,
+}
+
+impl KernelPoint {
+    fn json(&self) -> String {
+        format!(
+            "{{\"path\": \"{}\", \"lanes\": {}, \"kernel\": \"{}\", \"secs\": {:e}, \"lane_cells_per_sec\": {:.0}}}",
+            self.path, self.lanes, self.kernel, self.secs, self.lane_cells_per_sec
+        )
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (m, budget) = match scale {
+        Scale::Small => (600, Duration::from_millis(150)),
+        Scale::Medium => (2400, Duration::from_secs(1)),
+        Scale::Full => (8000, Duration::from_secs(5)),
+    };
+    let seq = repro_seqgen::titin_like(m, 2);
+    let scoring = Scoring::protein_default();
+    let r_mid = m / 2;
+
+    let prof16 = QueryProfile::<i16>::new_narrow(&scoring, seq.codes())
+        .expect("protein defaults fit i16");
+    let prof32 = QueryProfile::<i32>::new_wide(&scoring, seq.codes());
+
+    eprintln!("SIMD sweep: {m}-residue titin-like, central group, budget {budget:?} per point");
+
+    // Kernel matrix: every (path, width, kernel) the host can run.
+    let mut points: Vec<KernelPoint> = Vec::new();
+    for path in PATHS {
+        if !available(path) {
+            eprintln!("  {path}: unavailable on this host, skipped");
+            continue;
+        }
+        for width in WIDTHS {
+            let lanes = width.lanes();
+            if lanes > max_width(path).lanes() {
+                continue;
+            }
+            let sel = select(Some(width), Some(path)).expect("probed available above");
+            let r0 = r_mid - lanes / 2;
+            let sample = sweep_group_lookup_i16(sel, seq.codes(), &scoring, r0, lanes, None);
+            assert!(!sample.saturated, "benchmark workload must not saturate");
+            // `vector_cells` counts vector ops; each covers `lanes` cells.
+            let lane_cells = (sample.vector_cells * lanes as u64) as f64;
+
+            let t_lookup = time_min(budget, || {
+                std::hint::black_box(sweep_group_lookup_i16(
+                    sel,
+                    seq.codes(),
+                    &scoring,
+                    r0,
+                    lanes,
+                    None,
+                ));
+            });
+            let t_profile = time_min(budget, || {
+                std::hint::black_box(sweep_group_profile_i16(
+                    sel,
+                    seq.codes(),
+                    &scoring,
+                    &prof16,
+                    r0,
+                    lanes,
+                    None,
+                ));
+            });
+            for (kernel, secs) in [("lookup", t_lookup), ("profile", t_profile)] {
+                eprintln!(
+                    "  {path} x{lanes} {kernel}: {:.0} M lane-cells/s",
+                    lane_cells / secs / 1e6
+                );
+                points.push(KernelPoint {
+                    path,
+                    lanes,
+                    kernel,
+                    secs,
+                    lane_cells_per_sec: lane_cells / secs,
+                });
+            }
+        }
+    }
+
+    // Promoted i32 wide sweeps (always portable lanes).
+    let mut wide: Vec<String> = Vec::new();
+    for width in WIDTHS {
+        let lanes = width.lanes();
+        let r0 = r_mid - lanes / 2;
+        let sample = sweep_group_wide(width, seq.codes(), &scoring, &prof32, r0, lanes, None);
+        let lane_cells = (sample.vector_cells * lanes as u64) as f64;
+        let t = time_min(budget, || {
+            std::hint::black_box(sweep_group_wide(
+                width,
+                seq.codes(),
+                &scoring,
+                &prof32,
+                r0,
+                lanes,
+                None,
+            ));
+        });
+        eprintln!("  wide i32 x{lanes}: {:.0} M lane-cells/s", lane_cells / t / 1e6);
+        wide.push(format!(
+            "{{\"lanes\": {lanes}, \"secs\": {t:e}, \"lane_cells_per_sec\": {:.0}}}",
+            lane_cells / t
+        ));
+    }
+
+    // Engine-level composition on a smaller instance (full runs are
+    // O(m³) per engine).
+    let em = (m / 4).max(120);
+    let eseq = repro_seqgen::titin_like(em, 7);
+    let count = 6;
+    let mut engines: Vec<String> = Vec::new();
+    let t_seq = time_min(budget, || {
+        std::hint::black_box(find_top_alignments(&eseq, &scoring, count));
+    });
+    engines.push(format!("{{\"engine\": \"seq\", \"secs\": {t_seq:e}, \"vs_seq\": 1.00}}"));
+    let auto = select(None, None).expect("auto selection never fails");
+    let t_simd = time_min(budget, || {
+        std::hint::black_box(find_top_alignments_simd_sel(&eseq, &scoring, count, auto));
+    });
+    engines.push(format!(
+        "{{\"engine\": \"simd {auto}\", \"secs\": {t_simd:e}, \"vs_seq\": {:.2}}}",
+        t_seq / t_simd
+    ));
+    for threads in [1usize, 2, 4] {
+        let t = time_min(budget, || {
+            std::hint::black_box(find_top_alignments_parallel_simd(
+                &eseq, &scoring, count, threads, auto,
+            ));
+        });
+        engines.push(format!(
+            "{{\"engine\": \"simd-threads:{threads} {auto}\", \"secs\": {t:e}, \"vs_seq\": {:.2}}}",
+            t_seq / t
+        ));
+    }
+
+    // Acceptance checks.
+    let rate = |path: DispatchPath, lanes: usize, kernel: &str| {
+        points
+            .iter()
+            .find(|p| p.path == path && p.lanes == lanes && p.kernel == kernel)
+            .map(|p| p.lane_cells_per_sec)
+    };
+    let x16_vs_x8 = match (rate(DispatchPath::Avx2, 16, "profile"), rate(DispatchPath::Sse2, 8, "profile")) {
+        (Some(a), Some(b)) => Some(a / b),
+        _ => None,
+    };
+    // At every lane width, on the path the dispatcher selects for that
+    // width, the profile sweep must outrun the lookup sweep. (On the
+    // portable path the two compile to near-identical code — the
+    // profile's win is removing the dependent table load, which only
+    // exists as a load in the explicit-intrinsics kernels.)
+    let profile_beats_lookup = WIDTHS.iter().all(|&w| {
+        let sel = select(Some(w), None).expect("width-only selection never fails");
+        match (rate(sel.path, w.lanes(), "profile"), rate(sel.path, w.lanes(), "lookup")) {
+            (Some(p), Some(l)) => p >= l,
+            _ => false,
+        }
+    });
+
+    let json = format!(
+        "{{\n  \"bench\": \"simd_sweep\",\n  \"scale\": \"{scale:?}\",\n  \
+         \"sequence\": {{\"kind\": \"titin_like\", \"residues\": {m}}},\n  \
+         \"paths_available\": [{}],\n  \
+         \"kernels\": [\n    {}\n  ],\n  \
+         \"wide_i32\": [\n    {}\n  ],\n  \
+         \"engines\": [\n    {}\n  ],\n  \
+         \"checks\": {{\n    \"avx2_x16_over_sse2_x8\": {},\n    \
+         \"profile_beats_lookup_at_every_width\": {}\n  }}\n}}\n",
+        PATHS
+            .iter()
+            .filter(|&&p| available(p))
+            .map(|p| format!("\"{p}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+        points.iter().map(KernelPoint::json).collect::<Vec<_>>().join(",\n    "),
+        wide.join(",\n    "),
+        engines.join(",\n    "),
+        x16_vs_x8.map(|r| format!("{r:.2}")).unwrap_or_else(|| "null".into()),
+        profile_beats_lookup,
+    );
+
+    let out = out_path();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {out}");
+    if let Some(r) = x16_vs_x8 {
+        eprintln!("check: avx2 x16 / sse2 x8 = {r:.2}x (target >= 1.5x)");
+    }
+    eprintln!("check: profile >= lookup at every width: {profile_beats_lookup}");
+}

@@ -10,12 +10,15 @@
 //!
 //! giving speed improvements of 6.9 (P-III SSE), 6.0 (P4 SSE) and 9.8
 //! (P4 SSE2). Here the same measurement runs on the host CPU with the
-//! portable lane kernels (LLVM lowers them to SSE2/AVX2) and, on
-//! x86-64, the explicit SSE2-intrinsics kernel.
+//! portable lane kernels (LLVM lowers them to SSE2/AVX2), the native
+//! kernels the engine actually dispatches to, and — when the CPU has
+//! AVX2 — the 16-lane wide kernel.
 
 use repro::align::{sw_last_row, NoMask, Scoring};
-use repro::simd::group::align_group;
-use repro::simd::lanes::{I16x4, I16x8};
+use repro::simd::dispatch::sweep_group_lookup_i16;
+use repro::simd::group::{align_group, align_group_striped, group_stripe};
+use repro::simd::lanes::{I16x4, I16x8, NativeI16x4, NativeI16x8};
+use repro::simd::{select, LaneWidth};
 use repro_bench::{secs, time_min, Scale, Table};
 use std::time::Duration;
 
@@ -40,10 +43,13 @@ fn main() {
     });
 
     // Lane kernels: 4 (SSE analogue) and 8 (SSE2 analogue) neighbouring
-    // matrices per interleaved sweep; portable lanes and, on x86-64, the
-    // explicit SSE2-intrinsics lanes the engine dispatches to.
+    // matrices per interleaved sweep; portable lanes and the native
+    // lanes the engine actually dispatches to (SSE2 intrinsics on
+    // x86-64, the same portable arrays elsewhere or under
+    // `portable-only`).
     let r0_4 = r_mid - 2;
     let r0_8 = r_mid - 4;
+    let r0_16 = r_mid.saturating_sub(8).max(1);
     let t_sse_portable = time_min(budget, || {
         std::hint::black_box(align_group::<I16x4>(seq.codes(), &scoring, r0_4, 4, None));
     });
@@ -51,34 +57,39 @@ fn main() {
         std::hint::black_box(align_group::<I16x8>(seq.codes(), &scoring, r0_8, 8, None));
     });
 
-    #[cfg(target_arch = "x86_64")]
-    let intrin = {
-        use repro::simd::group::{align_group_striped, DEFAULT_GROUP_STRIPE};
-        use repro::simd::lanes::sse2::{I16x4Sse2, I16x8Sse2};
-        let t4 = time_min(budget, || {
-            std::hint::black_box(align_group_striped::<I16x4Sse2>(
-                seq.codes(),
-                &scoring,
-                r0_4,
-                4,
-                None,
-                DEFAULT_GROUP_STRIPE,
-            ));
-        });
-        let t8 = time_min(budget, || {
-            std::hint::black_box(align_group_striped::<I16x8Sse2>(
-                seq.codes(),
-                &scoring,
-                r0_8,
-                8,
-                None,
-                DEFAULT_GROUP_STRIPE,
-            ));
-        });
-        Some((t4, t8))
-    };
-    #[cfg(not(target_arch = "x86_64"))]
-    let intrin: Option<(f64, f64)> = None;
+    let t4 = time_min(budget, || {
+        std::hint::black_box(align_group_striped::<NativeI16x4>(
+            seq.codes(),
+            &scoring,
+            r0_4,
+            4,
+            None,
+            group_stripe(4, 2),
+        ));
+    });
+    let t8 = time_min(budget, || {
+        std::hint::black_box(align_group_striped::<NativeI16x8>(
+            seq.codes(),
+            &scoring,
+            r0_8,
+            8,
+            None,
+            group_stripe(8, 2),
+        ));
+    });
+    // 16 lanes go through the runtime dispatcher: AVX2 intrinsics when
+    // the CPU has them, the portable 16-lane kernel otherwise.
+    let sel16 = select(Some(LaneWidth::X16), None).expect("width-only selection never fails");
+    let t16 = time_min(budget, || {
+        std::hint::black_box(sweep_group_lookup_i16(
+            sel16,
+            seq.codes(),
+            &scoring,
+            r0_16,
+            16,
+            None,
+        ));
+    });
 
     let table = Table::new(&["kernel", "time / matrices", "improvement"]);
     table.row(&[
@@ -86,18 +97,21 @@ fn main() {
         format!("{} / 1", secs(t_conv)),
         "1.0".into(),
     ]);
-    if let Some((t4, t8)) = intrin {
-        table.row(&[
-            "SSE, 4 lanes".into(),
-            format!("{} / 4", secs(t4)),
-            format!("{:.1}", 4.0 * t_conv / t4),
-        ]);
-        table.row(&[
-            "SSE2, 8 lanes".into(),
-            format!("{} / 8", secs(t8)),
-            format!("{:.1}", 8.0 * t_conv / t8),
-        ]);
-    }
+    table.row(&[
+        "native, 4 lanes".into(),
+        format!("{} / 4", secs(t4)),
+        format!("{:.1}", 4.0 * t_conv / t4),
+    ]);
+    table.row(&[
+        "native, 8 lanes".into(),
+        format!("{} / 8", secs(t8)),
+        format!("{:.1}", 8.0 * t_conv / t8),
+    ]);
+    table.row(&[
+        format!("{sel16}, 16 lanes"),
+        format!("{} / 16", secs(t16)),
+        format!("{:.1}", 16.0 * t_conv / t16),
+    ]);
     table.row(&[
         "portable, 4 lanes".into(),
         format!("{} / 4", secs(t_sse_portable)),
@@ -108,14 +122,13 @@ fn main() {
         format!("{} / 8", secs(t_sse2_portable)),
         format!("{:.1}", 8.0 * t_conv / t_sse2_portable),
     ]);
-    let t_sse2 = intrin.map(|(_, t8)| t8).unwrap_or(t_sse2_portable);
-
     let cells = (r_mid as u64) * ((m - r_mid) as u64);
     println!(
-        "\nthroughput: conventional {:.0} Mcells/s, 8-lane {:.0} M lane-cells/s \
-         (paper reports >1 G entries/s on the P4)",
+        "\nthroughput: conventional {:.0} Mcells/s, 8-lane {:.0} M lane-cells/s, \
+         16-lane {:.0} M lane-cells/s (paper reports >1 G entries/s on the P4)",
         cells as f64 / t_conv / 1e6,
-        8.0 * cells as f64 / t_sse2 / 1e6
+        8.0 * cells as f64 / t8 / 1e6,
+        16.0 * cells as f64 / t16 / 1e6
     );
     println!(
         "\n(the paper's superlinear 6.9/9.8 came from the parallel MAX \

@@ -7,9 +7,15 @@
 //! Options:
 //!   --alphabet dna|protein     residue alphabet         [default: protein]
 //!   --tops N                   top alignments to find   [default: 10]
-//!   --engine ENGINE            seq | simd4 | simd8 | threads:N |
+//!   --engine ENGINE            seq | simd | simd4 | simd8 | simd16 |
+//!                              simd-threads:N | threads:N |
 //!                              cluster:N | hybrid:N:T | legacy
 //!                                                       [default: seq]
+//!   --lanes auto|4|8|16        SIMD lane width for --engine simd /
+//!                              simd-threads:N            [default: auto]
+//!   --dispatch auto|portable|sse2|avx2
+//!                              SIMD kernel path, same engines
+//!                                                       [default: auto]
 //!   --match N --mismatch N     simple exchange matrix (DNA default 2/-1)
 //!   --open N --extend N        affine gap penalties
 //!   --matrix FILE              NCBI-format exchange matrix
@@ -27,7 +33,7 @@
 
 use repro::align::fasta::read_fasta;
 use repro::align::{Alphabet, ExchangeMatrix, GapPenalties};
-use repro::{Engine, LaneWidth, LegacyKernel, Repro, Scoring, Seq};
+use repro::{DispatchPath, Engine, LaneWidth, LegacyKernel, Repro, Scoring, Seq};
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -36,6 +42,8 @@ struct Options {
     alphabet: Alphabet,
     tops: usize,
     engine: Engine,
+    lanes: Option<Option<LaneWidth>>,
+    dispatch: Option<Option<DispatchPath>>,
     match_score: Option<i32>,
     mismatch_score: Option<i32>,
     open: Option<i32>,
@@ -52,7 +60,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: repro [--alphabet dna|protein] [--tops N] \
-     [--engine seq|simd4|simd8|threads:N|cluster:N|hybrid:N:T|legacy] \
+     [--engine seq|simd|simd4|simd8|simd16|simd-threads:N|threads:N|cluster:N|hybrid:N:T|legacy] \
+     [--lanes auto|4|8|16] [--dispatch auto|portable|sse2|avx2] \
      [--match N] [--mismatch N] [--open N] [--extend N] [--matrix FILE] \
      [--pairs] [--cigar] [--consensus] [--low-memory] [--quiet] \
      <input.fasta | -> | repro --generate titin:LEN:SEED"
@@ -64,6 +73,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         alphabet: Alphabet::Protein,
         tops: 10,
         engine: Engine::Sequential,
+        lanes: None,
+        dispatch: None,
         match_score: None,
         mismatch_score: None,
         open: None,
@@ -100,12 +111,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let v = next("--engine")?;
                 opts.engine = match v.as_str() {
                     "seq" => Engine::Sequential,
+                    "simd" => Engine::SimdDispatch {
+                        width: None,
+                        path: None,
+                    },
                     "simd4" => Engine::Simd(LaneWidth::X4),
                     "simd8" => Engine::Simd(LaneWidth::X8),
+                    "simd16" => Engine::Simd(LaneWidth::X16),
                     "legacy" => Engine::Legacy(LegacyKernel::Gotoh),
                     "legacy-naive" => Engine::Legacy(LegacyKernel::Naive),
                     other => {
-                        if let Some(n) = other.strip_prefix("threads:") {
+                        if let Some(n) = other.strip_prefix("simd-threads:") {
+                            let threads: usize =
+                                n.parse().map_err(|_| "bad thread count".to_string())?;
+                            if threads == 0 {
+                                return Err(
+                                    "simd-threads:N needs at least 1 thread".to_string()
+                                );
+                            }
+                            Engine::SimdThreads {
+                                threads,
+                                width: None,
+                                path: None,
+                            }
+                        } else if let Some(n) = other.strip_prefix("threads:") {
                             let threads: usize =
                                 n.parse().map_err(|_| "bad thread count".to_string())?;
                             if threads == 0 {
@@ -143,6 +172,33 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     }
                 }
             }
+            "--lanes" => {
+                let v = next("--lanes")?;
+                opts.lanes = Some(match v.as_str() {
+                    "auto" => None,
+                    other => {
+                        let n: usize = other.parse().map_err(|_| {
+                            format!("--lanes needs auto, 4, 8 or 16, not {other:?}")
+                        })?;
+                        Some(LaneWidth::from_lanes(n).ok_or_else(|| {
+                            format!("unsupported lane width {n}: expected auto, 4, 8 or 16")
+                        })?)
+                    }
+                });
+            }
+            "--dispatch" => {
+                opts.dispatch = Some(match next("--dispatch")?.as_str() {
+                    "auto" => None,
+                    "portable" => Some(DispatchPath::Portable),
+                    "sse2" => Some(DispatchPath::Sse2),
+                    "avx2" => Some(DispatchPath::Avx2),
+                    other => {
+                        return Err(format!(
+                            "--dispatch needs auto, portable, sse2 or avx2, not {other:?}"
+                        ))
+                    }
+                });
+            }
             "--match" => opts.match_score = Some(parse_i32(next("--match")?)?),
             "--mismatch" => opts.mismatch_score = Some(parse_i32(next("--mismatch")?)?),
             "--open" => opts.open = Some(parse_i32(next("--open")?)?),
@@ -160,6 +216,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 return Err(format!("unknown option {other}\n{}", usage()))
             }
             other => positional.push(other.to_string()),
+        }
+    }
+    if opts.lanes.is_some() || opts.dispatch.is_some() {
+        // Fold the kernel knobs into the engine; they only make sense for
+        // the runtime-dispatched engines.
+        match &mut opts.engine {
+            Engine::SimdDispatch { width, path }
+            | Engine::SimdThreads { width, path, .. } => {
+                if let Some(w) = opts.lanes {
+                    *width = w;
+                }
+                if let Some(p) = opts.dispatch {
+                    *path = p;
+                }
+            }
+            _ => {
+                return Err(
+                    "--lanes/--dispatch apply only to --engine simd and simd-threads:N"
+                        .to_string(),
+                )
+            }
         }
     }
     match (opts.generate.is_some(), positional.len()) {
@@ -410,8 +487,24 @@ mod tests {
     fn parses_engines() {
         for (name, want) in [
             ("seq", Engine::Sequential),
+            (
+                "simd",
+                Engine::SimdDispatch {
+                    width: None,
+                    path: None,
+                },
+            ),
             ("simd4", Engine::Simd(LaneWidth::X4)),
             ("simd8", Engine::Simd(LaneWidth::X8)),
+            ("simd16", Engine::Simd(LaneWidth::X16)),
+            (
+                "simd-threads:3",
+                Engine::SimdThreads {
+                    threads: 3,
+                    width: None,
+                    path: None,
+                },
+            ),
             ("threads:3", Engine::Threads(3)),
             ("cluster:5", Engine::Cluster { workers: 5 }),
             (
@@ -436,6 +529,57 @@ mod tests {
         assert!(parse_args(&args(&["--tops", "many", "x.fa"])).is_err());
         assert!(parse_args(&args(&["a.fa", "b.fa"])).is_err());
         assert!(parse_args(&args(&["--bogus", "x.fa"])).is_err());
+    }
+
+    #[test]
+    fn lanes_and_dispatch_fold_into_the_engine() {
+        let o = parse_args(&args(&[
+            "--engine", "simd", "--lanes", "16", "--dispatch", "avx2", "x.fa",
+        ]))
+        .unwrap();
+        assert_eq!(
+            o.engine,
+            Engine::SimdDispatch {
+                width: Some(LaneWidth::X16),
+                path: Some(DispatchPath::Avx2),
+            }
+        );
+        // Flag order doesn't matter.
+        let o = parse_args(&args(&[
+            "--lanes", "8", "--engine", "simd-threads:2", "x.fa",
+        ]))
+        .unwrap();
+        assert_eq!(
+            o.engine,
+            Engine::SimdThreads {
+                threads: 2,
+                width: Some(LaneWidth::X8),
+                path: None,
+            }
+        );
+        // "auto" is the explicit spelling of the default.
+        let o = parse_args(&args(&["--engine", "simd", "--lanes", "auto", "x.fa"])).unwrap();
+        assert_eq!(
+            o.engine,
+            Engine::SimdDispatch {
+                width: None,
+                path: None,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_lanes_and_dispatch() {
+        let err =
+            parse_args(&args(&["--engine", "simd", "--lanes", "32", "x.fa"])).unwrap_err();
+        assert!(err.contains("unsupported lane width 32"), "{err}");
+        assert!(parse_args(&args(&["--engine", "simd", "--lanes", "wide", "x.fa"])).is_err());
+        assert!(
+            parse_args(&args(&["--engine", "simd", "--dispatch", "mmx", "x.fa"])).is_err()
+        );
+        // Kernel knobs demand a dispatch-capable engine.
+        let err = parse_args(&args(&["--engine", "seq", "--lanes", "8", "x.fa"])).unwrap_err();
+        assert!(err.contains("simd"), "{err}");
     }
 
     #[test]

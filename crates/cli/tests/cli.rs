@@ -56,7 +56,18 @@ fn reads_stdin_with_dash() {
 fn engines_give_identical_answers() {
     let path = write_fasta("engines", ">r\nACGGTACGGTAACGGTACGGT\n");
     let mut outputs = Vec::new();
-    for engine in ["seq", "simd4", "simd8", "threads:2", "cluster:2", "hybrid:2:2", "legacy"] {
+    for engine in [
+        "seq",
+        "simd",
+        "simd4",
+        "simd8",
+        "simd16",
+        "simd-threads:2",
+        "threads:2",
+        "cluster:2",
+        "hybrid:2:2",
+        "legacy",
+    ] {
         let out = repro_bin()
             .args(["--alphabet", "dna", "--tops", "4", "--engine", engine])
             .arg(&path)
@@ -72,6 +83,45 @@ fn engines_give_identical_answers() {
         assert_eq!(w[0].1, w[1].1, "{} vs {}", w[0].0, w[1].0);
     }
     let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn unsupported_lane_width_is_a_clean_typed_error() {
+    // SSE2 registers hold at most 8 i16 lanes, so pinning the path to
+    // sse2 while asking for 16 lanes must fail gracefully on *every*
+    // x86-64 machine (and on other machines the sse2 path itself is
+    // unavailable — also a clean, path-naming error). Never a panic.
+    let path = write_fasta("lanes16", ">r\nACGGTACGGTACGGT\n");
+    let out = repro_bin()
+        .args([
+            "--alphabet",
+            "dna",
+            "--engine",
+            "simd",
+            "--dispatch",
+            "sse2",
+            "--lanes",
+            "16",
+        ])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("sse2"), "stderr: {stderr}");
+    assert!(
+        !stderr.contains("panicked"),
+        "must be a diagnostic, not a panic: {stderr}"
+    );
+    let _ = std::fs::remove_file(path);
+
+    // A width outside {4, 8, 16} is rejected at parse time.
+    let out = repro_bin()
+        .args(["--engine", "simd", "--lanes", "32", "x.fa"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported lane width 32"));
 }
 
 #[test]

@@ -14,8 +14,16 @@
 //! tasks make critical sections negligible, the triangle is read-mostly
 //! (an `Arc` snapshot is swapped on each acceptance), and first-pass
 //! bottom rows are written once and then immutable (`OnceLock`).
+//!
+//! [`simd_smp`] composes this scheme with the SIMD kernels: workers
+//! claim *groups* of neighbouring splits and realign them with the
+//! runtime-dispatched vector sweep — the paper's SIMD × SMP stacking.
 
 #![warn(missing_docs)]
+
+pub mod simd_smp;
+
+pub use simd_smp::{find_top_alignments_parallel_simd, ParallelSimdResult};
 
 use parking_lot::{Condvar, Mutex};
 use repro_align::{Score, Scoring, Seq};

@@ -1,0 +1,466 @@
+//! SIMD × SMP composition: worker threads claim **group** tasks.
+//!
+//! The paper composes its accelerations — "the improvements are
+//! orthogonal: the SIMD kernel speeds up each alignment, the SMP and
+//! cluster schemes distribute the alignments". This module is that
+//! composition for shared memory: the speculative worker scheme of
+//! [`crate::find_top_alignments_parallel`], with the unit of work
+//! enlarged from one split to one *group* of neighbouring splits, each
+//! realignment running the runtime-dispatched interleaved SIMD sweep
+//! ([`repro_simd::GroupSweeper`]).
+//!
+//! Correctness carries over unchanged from the split-level proof:
+//!
+//! * a top alignment is accepted only when the globally best group (by
+//!   stale upper bound, over assigned and unassigned alike) is *fresh*
+//!   (aligned against the current triangle) — the sequential fixed
+//!   point;
+//! * groups are **contiguous, ordered** ranges of splits, so the
+//!   deterministic tie-break (lowest group index, then lowest lane)
+//!   selects exactly the smallest split among the top-scoring ones —
+//!   the same split the sequential engine accepts;
+//! * the query profiles are built once and shared read-only across
+//!   workers; first-pass bottom rows are write-once (`OnceLock`), and
+//!   — as in the split engine — every first pass completes before the
+//!   first acceptance, because a never-swept group holds score
+//!   `Score::MAX` and can never be fresh.
+
+use parking_lot::{Condvar, Mutex};
+use repro_align::{Score, Scoring, Seq};
+use repro_core::bottom::best_valid_entry;
+use repro_core::{accept_task_with_row, OverrideTriangle, Stats, TopAlignment, TopAlignments};
+use repro_simd::{GroupSweeper, SimdSel, SimdStats};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Result of the SIMD × SMP engine.
+#[derive(Debug, Clone)]
+pub struct ParallelSimdResult {
+    /// Alignments, stats and triangle — identical alignments to the
+    /// sequential engine.
+    pub result: TopAlignments,
+    /// Number of worker threads used.
+    pub workers: usize,
+    /// The kernel selection every worker's sweeps routed to.
+    pub sel: SimdSel,
+    /// SIMD counters aggregated across workers.
+    pub simd: SimdStats,
+    /// Group sweeps computed against an already-superseded triangle
+    /// version (speculation overhead).
+    pub superseded_sweeps: u64,
+}
+
+#[derive(Debug, Clone)]
+struct GroupState {
+    /// Best member's upper bound (drives scheduling).
+    score: Score,
+    /// Per-lane upper bounds from the last sweep.
+    members: Vec<Score>,
+    aligned_with: usize,
+    assigned: bool,
+}
+
+struct Shared {
+    groups: Vec<GroupState>,
+    triangle: Arc<OverrideTriangle>,
+    tops: Vec<TopAlignment>,
+    stats: Stats,
+    simd: SimdStats,
+    superseded: u64,
+    accept_in_progress: bool,
+    done: bool,
+}
+
+struct Engine<'a> {
+    seq: &'a Seq,
+    scoring: &'a Scoring,
+    sweeper: GroupSweeper<'a>,
+    count: usize,
+    lanes: usize,
+    splits: usize,
+    shared: Mutex<Shared>,
+    wake: Condvar,
+    rows: Vec<OnceLock<Vec<Score>>>, // index r − 1, first-pass bottom rows
+}
+
+const NEVER: usize = usize::MAX;
+
+/// Find `count` top alignments with `threads` workers, each realigning
+/// whole groups through the `sel`-dispatched SIMD sweep. Produces
+/// exactly the same alignments as the sequential engine.
+///
+/// ```
+/// use repro_parallel::find_top_alignments_parallel_simd;
+/// use repro_align::{Scoring, Seq};
+/// use repro_simd::select;
+///
+/// let seq = Seq::dna("ATGCATGCATGC").unwrap();
+/// let sel = select(None, None).unwrap();
+/// let run = find_top_alignments_parallel_simd(&seq, &Scoring::dna_example(), 3, 2, sel);
+/// assert_eq!(run.result.alignments.len(), 3);
+/// assert_eq!(run.workers, 2);
+/// ```
+pub fn find_top_alignments_parallel_simd(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    threads: usize,
+    sel: SimdSel,
+) -> ParallelSimdResult {
+    assert!(threads >= 1, "need at least one worker");
+    let m = seq.len();
+    let splits = m.saturating_sub(1);
+    let lanes = sel.width.lanes();
+    let ngroups = splits.div_ceil(lanes.max(1));
+    let group_lanes = |gi: usize| lanes.min(splits - gi * lanes);
+
+    let engine = Engine {
+        seq,
+        scoring,
+        sweeper: GroupSweeper::new(seq, scoring, sel),
+        count,
+        lanes,
+        splits,
+        shared: Mutex::new(Shared {
+            groups: (0..ngroups)
+                .map(|gi| GroupState {
+                    score: Score::MAX,
+                    members: vec![Score::MAX; group_lanes(gi)],
+                    aligned_with: NEVER,
+                    assigned: false,
+                })
+                .collect(),
+            triangle: Arc::new(OverrideTriangle::new(m)),
+            tops: Vec::new(),
+            stats: Stats::new(),
+            simd: SimdStats::default(),
+            superseded: 0,
+            accept_in_progress: false,
+            done: false,
+        }),
+        wake: Condvar::new(),
+        rows: (0..splits).map(|_| OnceLock::new()).collect(),
+    };
+
+    if splits > 0 && count > 0 {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| engine.worker());
+            }
+        });
+    }
+
+    let shared = engine.shared.into_inner();
+    ParallelSimdResult {
+        result: TopAlignments {
+            alignments: shared.tops,
+            stats: shared.stats,
+            triangle: Arc::try_unwrap(shared.triangle).unwrap_or_else(|a| (*a).clone()),
+        },
+        workers: threads,
+        sel,
+        simd: shared.simd,
+        superseded_sweeps: shared.superseded,
+    }
+}
+
+enum Decision {
+    Accept { r: usize, score: Score },
+    Sweep { gi: usize, stamp: usize, triangle: Arc<OverrideTriangle> },
+    Wait,
+    Finished,
+}
+
+impl Engine<'_> {
+    fn group_r0(&self, gi: usize) -> usize {
+        1 + gi * self.lanes
+    }
+
+    fn group_lanes(&self, gi: usize) -> usize {
+        self.lanes.min(self.splits - gi * self.lanes)
+    }
+
+    /// Pick the next action under the lock.
+    fn decide(&self, shared: &mut Shared) -> Decision {
+        if shared.done || shared.tops.len() >= self.count {
+            shared.done = true;
+            return Decision::Finished;
+        }
+        let tops_found = shared.tops.len();
+        // Global argmax over ALL groups (assigned ones hold their stale
+        // upper bound), ties to the smaller group index — which, because
+        // groups partition the splits in order, is the smaller split.
+        let mut best: Option<(Score, usize)> = None;
+        for (gi, g) in shared.groups.iter().enumerate() {
+            if best.is_none_or(|(bs, _)| g.score > bs) {
+                best = Some((g.score, gi));
+            }
+        }
+        let Some((best_score, best_gi)) = best else {
+            shared.done = true;
+            return Decision::Finished;
+        };
+        if best_score <= 0 {
+            shared.done = true;
+            return Decision::Finished;
+        }
+        let best_group = &shared.groups[best_gi];
+        if best_group.aligned_with == tops_found && !best_group.assigned {
+            if shared.accept_in_progress {
+                // Someone is already accepting; speculate below.
+            } else {
+                // Best member, lowest lane on ties ⇒ smallest split.
+                let (best_l, &score) = best_group
+                    .members
+                    .iter()
+                    .enumerate()
+                    .max_by(|(la, sa), (lb, sb)| sa.cmp(sb).then(lb.cmp(la)))
+                    .expect("groups are never empty");
+                shared.accept_in_progress = true;
+                return Decision::Accept {
+                    r: self.group_r0(best_gi) + best_l,
+                    score,
+                };
+            }
+        }
+        // Speculate: best stale unassigned group, if any.
+        let mut pick: Option<(Score, usize)> = None;
+        for (gi, g) in shared.groups.iter().enumerate() {
+            if !g.assigned && g.aligned_with != tops_found && g.score > 0
+                && pick.is_none_or(|(ps, _)| g.score > ps) {
+                    pick = Some((g.score, gi));
+                }
+        }
+        match pick {
+            Some((_, gi)) => {
+                shared.groups[gi].assigned = true;
+                Decision::Sweep {
+                    gi,
+                    stamp: tops_found,
+                    triangle: Arc::clone(&shared.triangle),
+                }
+            }
+            None => Decision::Wait,
+        }
+    }
+
+    fn worker(&self) {
+        let mut guard = self.shared.lock();
+        loop {
+            match self.decide(&mut guard) {
+                Decision::Finished => {
+                    self.wake.notify_all();
+                    return;
+                }
+                Decision::Wait => {
+                    self.wake.wait(&mut guard);
+                }
+                Decision::Accept { r, score } => {
+                    let index = guard.tops.len();
+                    let mut triangle = (*guard.triangle).clone();
+                    drop(guard);
+
+                    let original = self.rows[r - 1]
+                        .get()
+                        .expect("accepted split must have a first-pass row");
+                    let (top, cells) = accept_task_with_row(
+                        self.seq,
+                        self.scoring,
+                        r,
+                        score,
+                        &mut triangle,
+                        original,
+                        index,
+                    );
+
+                    guard = self.shared.lock();
+                    guard.stats.record_traceback(cells);
+                    guard.triangle = Arc::new(triangle);
+                    guard.tops.push(top);
+                    guard.accept_in_progress = false;
+                    // The accepted group keeps its score as an upper bound
+                    // and is now stale (tops count advanced).
+                    self.wake.notify_all();
+                }
+                Decision::Sweep { gi, stamp, triangle } => {
+                    drop(guard);
+
+                    let r0 = self.group_r0(gi);
+                    let nl = self.group_lanes(gi);
+                    let first_pass = self.rows[r0 - 1].get().is_none();
+                    let tri = if first_pass {
+                        debug_assert!(triangle.is_empty());
+                        None
+                    } else {
+                        Some(&*triangle)
+                    };
+                    let outcome = self.sweeper.sweep(r0, nl, tri);
+                    let g = outcome.group;
+                    let per_lane_cells = g.cells / nl as u64;
+                    let mut members = Vec::with_capacity(nl);
+                    for l in 0..nl {
+                        let r = r0 + l;
+                        let score = if first_pass {
+                            let s = g.rows[l].iter().copied().max().unwrap_or(0).max(0);
+                            self.rows[r - 1]
+                                .set(g.rows[l].clone())
+                                .expect("first pass runs exactly once per split");
+                            s
+                        } else {
+                            let original = self.rows[r - 1]
+                                .get()
+                                .expect("re-swept member must have a stored first-pass row");
+                            best_valid_entry(&g.rows[l], original).0
+                        };
+                        members.push(score);
+                    }
+
+                    guard = self.shared.lock();
+                    for _ in 0..nl {
+                        guard.stats.record_alignment(per_lane_cells, stamp);
+                    }
+                    guard.simd.group_sweeps += 1;
+                    guard.simd.vector_cells += outcome.vector_cells;
+                    if outcome.saturated_narrow {
+                        guard.simd.saturation_fallbacks += 1;
+                    }
+                    if outcome.promoted {
+                        guard.simd.promoted_sweeps += 1;
+                    }
+                    if stamp != guard.tops.len() {
+                        guard.superseded += 1;
+                    }
+                    let state = &mut guard.groups[gi];
+                    state.score = members.iter().copied().max().unwrap_or(0);
+                    state.members = members;
+                    state.aligned_with = stamp;
+                    state.assigned = false;
+                    self.wake.notify_all();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_core::find_top_alignments;
+    use repro_simd::{select, DispatchPath, LaneWidth};
+
+    fn sel_for(width: LaneWidth) -> SimdSel {
+        select(Some(width), None).unwrap()
+    }
+
+    #[test]
+    fn figure4_example_matches_sequential() {
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 3);
+        for threads in [1, 2, 4] {
+            for width in [LaneWidth::X4, LaneWidth::X8, LaneWidth::X16] {
+                let got = find_top_alignments_parallel_simd(
+                    &seq,
+                    &scoring,
+                    3,
+                    threads,
+                    sel_for(width),
+                );
+                assert_eq!(
+                    got.result.alignments, want.alignments,
+                    "{threads} threads × {width:?} disagree with sequential"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_on_varied_inputs_and_thread_counts() {
+        let scoring = Scoring::dna_example();
+        for text in [
+            "ACGTTGCAACGTACGTTGCAGGTT",
+            "AAAAAAAAAAAAAAA",
+            "ATATATATATATATATATAT",
+            "ACGGTACGGTAACGGTTTTTACGGT",
+        ] {
+            let seq = Seq::dna(text).unwrap();
+            let want = find_top_alignments(&seq, &scoring, 6);
+            for threads in [1, 2, 3, 8] {
+                let got = find_top_alignments_parallel_simd(
+                    &seq,
+                    &scoring,
+                    6,
+                    threads,
+                    sel_for(LaneWidth::X8),
+                );
+                assert_eq!(
+                    got.result.alignments, want.alignments,
+                    "{threads} threads on {text}"
+                );
+                assert!(got.simd.group_sweeps > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn portable_path_under_threads() {
+        let seq = Seq::dna("ACGGTACGGTAACGGTTTTTACGGTACGT").unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 5);
+        let sel = select(Some(LaneWidth::X16), Some(DispatchPath::Portable)).unwrap();
+        let got = find_top_alignments_parallel_simd(&seq, &scoring, 5, 4, sel);
+        assert_eq!(got.result.alignments, want.alignments);
+        assert_eq!(got.sel, sel);
+    }
+
+    #[test]
+    fn saturating_workload_promotes_and_stays_exact() {
+        let seq = Seq::dna(&"A".repeat(120)).unwrap();
+        let scoring = Scoring::new(
+            repro_align::ExchangeMatrix::match_mismatch(repro_align::Alphabet::Dna, 800, -1),
+            repro_align::GapPenalties::new(2, 1),
+        );
+        let want = find_top_alignments(&seq, &scoring, 2);
+        let got =
+            find_top_alignments_parallel_simd(&seq, &scoring, 2, 3, sel_for(LaneWidth::X8));
+        assert_eq!(got.result.alignments, want.alignments);
+        assert!(got.simd.saturation_fallbacks > 0);
+    }
+
+    #[test]
+    fn single_thread_matches_group_engine_work() {
+        // One worker never speculates past the sequential fixed point.
+        let seq = Seq::dna(&"ATGC".repeat(20)).unwrap();
+        let scoring = Scoring::dna_example();
+        let got =
+            find_top_alignments_parallel_simd(&seq, &scoring, 8, 1, sel_for(LaneWidth::X4));
+        assert_eq!(got.superseded_sweeps, 0);
+        let want = find_top_alignments(&seq, &scoring, 8);
+        assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn empty_tiny_and_count_zero() {
+        let scoring = Scoring::dna_example();
+        for text in ["", "A", "AA"] {
+            let seq = Seq::dna(text).unwrap();
+            let want = find_top_alignments(&seq, &scoring, 3);
+            let got =
+                find_top_alignments_parallel_simd(&seq, &scoring, 3, 2, sel_for(LaneWidth::X4));
+            assert_eq!(got.result.alignments, want.alignments, "input {text:?}");
+        }
+        let seq = Seq::dna("ATGCATGC").unwrap();
+        let got =
+            find_top_alignments_parallel_simd(&seq, &scoring, 0, 4, sel_for(LaneWidth::X8));
+        assert!(got.result.alignments.is_empty());
+    }
+
+    #[test]
+    fn exhaustion_terminates_with_threads() {
+        let seq = Seq::dna("ACGT").unwrap();
+        let scoring = Scoring::dna_example();
+        let got =
+            find_top_alignments_parallel_simd(&seq, &scoring, 10, 4, sel_for(LaneWidth::X4));
+        assert!(got.result.alignments.len() < 10);
+    }
+}

@@ -26,7 +26,7 @@
 //! |---|---|
 //! | [`align`] | alignment kernels, alphabets, matrices, FASTA |
 //! | [`core`] | override triangle, bottom rows, task queue, the sequential finder, delineation |
-//! | [`simd`] | 4/8-lane interleaved neighbouring-matrix kernel and engine |
+//! | [`simd`] | 4/8/16-lane interleaved neighbouring-matrix kernels, query profiles, runtime dispatch |
 //! | [`parallel`] | shared-memory speculative engine |
 //! | [`xmpi`] | message-passing substrate (threads + virtual time) |
 //! | [`cluster`] | distributed engine and the DAS-2 simulator |
@@ -58,18 +58,76 @@ pub use repro_core::{
 };
 pub use repro_cluster::ClusterError;
 pub use repro_legacy::{find_top_alignments_old, LegacyKernel};
-pub use repro_parallel::find_top_alignments_parallel;
-pub use repro_simd::{find_top_alignments_simd, LaneWidth};
+pub use repro_parallel::{find_top_alignments_parallel, find_top_alignments_parallel_simd};
+pub use repro_simd::{
+    find_top_alignments_simd, find_top_alignments_simd_auto, find_top_alignments_simd_sel,
+    select, DispatchError, DispatchPath, LaneWidth, SimdSel,
+};
 
 use std::time::Duration;
+
+/// Why a run could not start or finish: either the distributed engine
+/// hit an unrecoverable world, or a SIMD kernel request cannot be
+/// satisfied on the running CPU (e.g. forcing SSE2 at 16 lanes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReproError {
+    /// A message-passing engine failed unrecoverably.
+    Cluster(ClusterError),
+    /// The requested SIMD lane width / dispatch path is impossible here.
+    Dispatch(DispatchError),
+}
+
+impl std::fmt::Display for ReproError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReproError::Cluster(e) => write!(f, "{e}"),
+            ReproError::Dispatch(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReproError {}
+
+impl From<ClusterError> for ReproError {
+    fn from(e: ClusterError) -> Self {
+        ReproError::Cluster(e)
+    }
+}
+
+impl From<DispatchError> for ReproError {
+    fn from(e: DispatchError) -> Self {
+        ReproError::Dispatch(e)
+    }
+}
 
 /// Which execution engine to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
     /// The sequential `O(n³)` algorithm (paper §3).
     Sequential,
-    /// Coarse-grained SIMD groups (paper §4.1).
+    /// Coarse-grained SIMD groups (paper §4.1) at a fixed lane width on
+    /// the fastest dispatch path that supports it (never fails — the
+    /// portable kernels cover every width).
     Simd(LaneWidth),
+    /// Coarse-grained SIMD with runtime dispatch: `None` means "let the
+    /// CPU probe decide". Surfaces [`DispatchError`] through
+    /// [`Repro::try_run`] when an explicit combination is impossible.
+    SimdDispatch {
+        /// Lane width, or `None` for the widest the path supports.
+        width: Option<LaneWidth>,
+        /// Kernel path, or `None` for the best available.
+        path: Option<DispatchPath>,
+    },
+    /// SIMD × SMP: worker threads claiming whole groups, each realigned
+    /// with the runtime-dispatched vector sweep.
+    SimdThreads {
+        /// Worker threads.
+        threads: usize,
+        /// Lane width, or `None` for the widest the path supports.
+        width: Option<LaneWidth>,
+        /// Kernel path, or `None` for the best available.
+        path: Option<DispatchPath>,
+    },
     /// Shared-memory worker threads (paper §4.2).
     Threads(usize),
     /// Distributed master/worker over in-process ranks (paper §4.3).
@@ -152,11 +210,12 @@ impl Repro {
     /// Run the analysis. All engines return identical alignments.
     ///
     /// Panics if a distributed engine fails outright (its master rank
-    /// dying) — which cannot happen without fault injection; use
-    /// [`Repro::try_run`] to handle that case as a value.
+    /// dying — impossible without fault injection) or an explicit SIMD
+    /// dispatch request is unsatisfiable on this CPU; use
+    /// [`Repro::try_run`] to handle those cases as values.
     pub fn run(&self, seq: &Seq) -> Analysis {
         self.try_run(seq)
-            .expect("in-process engines without fault injection cannot fail")
+            .expect("engine cannot fail without fault injection or an impossible dispatch request")
     }
 
     /// Run the analysis, surfacing distributed-engine failures as a
@@ -164,8 +223,9 @@ impl Repro {
     /// tolerate message loss, duplication, corruption, delay and worker
     /// crashes (retrying, reassigning and finally degrading to local
     /// computation); `Err` is reserved for genuinely unrecoverable
-    /// worlds, e.g. the master's own endpoint dying.
-    pub fn try_run(&self, seq: &Seq) -> Result<Analysis, ClusterError> {
+    /// worlds (e.g. the master's own endpoint dying) and for SIMD
+    /// dispatch requests the running CPU cannot honour.
+    pub fn try_run(&self, seq: &Seq) -> Result<Analysis, ReproError> {
         let tops = match self.engine {
             Engine::Sequential if self.low_memory => repro_core::TopAlignmentFinder::new(
                 seq,
@@ -176,6 +236,19 @@ impl Repro {
             Engine::Sequential => find_top_alignments(seq, &self.scoring, self.count),
             Engine::Simd(width) => {
                 find_top_alignments_simd(seq, &self.scoring, self.count, width).result
+            }
+            Engine::SimdDispatch { width, path } => {
+                let sel = select(width, path)?;
+                find_top_alignments_simd_sel(seq, &self.scoring, self.count, sel).result
+            }
+            Engine::SimdThreads {
+                threads,
+                width,
+                path,
+            } => {
+                let sel = select(width, path)?;
+                find_top_alignments_parallel_simd(seq, &self.scoring, self.count, threads, sel)
+                    .result
             }
             Engine::Threads(threads) => {
                 find_top_alignments_parallel(seq, &self.scoring, self.count, threads).result
@@ -230,12 +303,42 @@ mod tests {
     }
 
     #[test]
+    fn impossible_dispatch_is_a_typed_error() {
+        let seq = Seq::dna("ATGCATGC").unwrap();
+        let err = Repro::new(Scoring::dna_example())
+            .engine(Engine::SimdDispatch {
+                width: Some(LaneWidth::X16),
+                path: Some(DispatchPath::Sse2),
+            })
+            .try_run(&seq)
+            .unwrap_err();
+        let ReproError::Dispatch(e) = err else {
+            panic!("expected a dispatch error, got {err:?}");
+        };
+        assert!(e.to_string().contains("sse2"), "{e}");
+    }
+
+    #[test]
     fn every_engine_agrees_through_the_facade() {
         let seq = Seq::dna("ATGCATGCATGCATGCATGC").unwrap();
         let engines = [
             Engine::Sequential,
             Engine::Simd(LaneWidth::X4),
             Engine::Simd(LaneWidth::X8),
+            Engine::Simd(LaneWidth::X16),
+            Engine::SimdDispatch {
+                width: None,
+                path: None,
+            },
+            Engine::SimdDispatch {
+                width: Some(LaneWidth::X16),
+                path: Some(DispatchPath::Portable),
+            },
+            Engine::SimdThreads {
+                threads: 2,
+                width: None,
+                path: None,
+            },
             Engine::Threads(2),
             Engine::Cluster { workers: 2 },
             Engine::Hybrid {

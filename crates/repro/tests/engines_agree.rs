@@ -1,17 +1,30 @@
-//! Cross-crate integration: every engine — sequential, SIMD (4 and 8
-//! lanes), threads, distributed, legacy — must produce identical top
-//! alignments on realistic workloads. This is the paper's correctness
-//! backbone: parallelisation and the `O(n³)` rewrite change *work*, not
-//! *answers*.
+//! Cross-crate integration: every engine — sequential, SIMD at every
+//! lane width (auto-dispatched and pinned to the portable path, so the
+//! `core::arch` and array kernels are differenced against each other on
+//! every workload), SIMD × SMP, threads, distributed, legacy — must
+//! produce identical top alignments on realistic workloads. This is
+//! the paper's correctness backbone: parallelisation and the `O(n³)`
+//! rewrite change *work*, not *answers*.
 
-use repro::{Engine, LaneWidth, LegacyKernel, Repro, Scoring, Seq};
+use repro::{DispatchPath, Engine, LaneWidth, LegacyKernel, Repro, Scoring, Seq};
 use repro_seqgen::{titin_like, PlantedRepeats, RepeatSpec, Rng};
 
 fn all_engines() -> Vec<Engine> {
-    vec![
+    let mut engines = vec![
         Engine::Sequential,
         Engine::Simd(LaneWidth::X4),
         Engine::Simd(LaneWidth::X8),
+        Engine::Simd(LaneWidth::X16),
+        // Whatever the CPU probe picks (AVX2 where available)…
+        Engine::SimdDispatch {
+            width: None,
+            path: None,
+        },
+        Engine::SimdThreads {
+            threads: 3,
+            width: None,
+            path: None,
+        },
         Engine::Threads(1),
         Engine::Threads(3),
         Engine::Cluster { workers: 1 },
@@ -21,7 +34,15 @@ fn all_engines() -> Vec<Engine> {
             threads_per_node: 2,
         },
         Engine::Legacy(LegacyKernel::Gotoh),
-    ]
+    ];
+    // …differenced against the portable kernels at every width.
+    for width in [LaneWidth::X4, LaneWidth::X8, LaneWidth::X16] {
+        engines.push(Engine::SimdDispatch {
+            width: Some(width),
+            path: Some(DispatchPath::Portable),
+        });
+    }
+    engines
 }
 
 fn assert_all_agree(seq: &Seq, scoring: &Scoring, count: usize) {

@@ -8,29 +8,45 @@
 //! scheduled shortly thereafter". A fresh group at the head of the queue
 //! yields its best member as the next top alignment.
 //!
+//! Sweeps go through a [`GroupSweeper`]: the query profiles (narrow
+//! `i16` and wide `i32`) are built once per sequence and shared by all
+//! sweeps, the kernel is the runtime-dispatched selection of
+//! [`crate::dispatch`], and a sweep whose `i16` lanes saturate is
+//! recomputed with wide `i32` lanes — still vectorised, bit-identical
+//! to the scalar reference — instead of the historical whole-group
+//! scalar fallback. Scorings whose values don't fit `i16` at all skip
+//! the narrow sweep entirely (they used to panic).
+//!
 //! Results are identical to the sequential engine: acceptance order is
 //! still driven by exact scores under the same deterministic tie-breaks,
 //! only the *work grouping* differs. The extra lane-alignments performed
 //! are reported in [`SimdStats`] (the paper measured < 0.70 % extra).
 
-use crate::group::{align_group_striped, DEFAULT_GROUP_STRIPE};
-use crate::lanes::SimdVec;
+use crate::dispatch::{select, sweep_group_profile_i16, sweep_group_wide, SimdSel};
+use crate::group::GroupResult;
 use crate::LaneWidth;
-use repro_align::{Score, Scoring, Seq};
+use repro_align::{QueryProfile, Score, Scoring, Seq};
 use repro_core::bottom::best_valid_entry;
 use repro_core::{accept_task, BottomRowStore, OverrideTriangle, Stats, TopAlignment, TopAlignments};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 /// SIMD-engine-specific counters, on top of the common [`Stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimdStats {
-    /// Group sweeps performed.
+    /// Group sweeps performed (narrow and wide combined).
     pub group_sweeps: u64,
-    /// Vector cells computed (including dead lanes).
+    /// Vector cells computed (including dead lanes, and including the
+    /// wide re-sweep of promoted groups).
     pub vector_cells: u64,
-    /// Groups recomputed scalarly because a lane saturated.
+    /// Groups whose narrow (`i16`) sweep saturated. Kept under its
+    /// historical name; the remedy is now the wide-lane promotion sweep,
+    /// not a scalar recomputation.
     pub saturation_fallbacks: u64,
+    /// Wide (`i32`) promotion sweeps performed — saturated groups plus
+    /// every sweep of a scoring too large for `i16` altogether.
+    pub promoted_sweeps: u64,
 }
 
 /// Result of the SIMD engine: the common result plus SIMD counters.
@@ -41,6 +57,115 @@ pub struct SimdFinderResult {
     pub result: TopAlignments,
     /// SIMD-specific counters.
     pub simd: SimdStats,
+}
+
+/// One group sweep's outcome: the (exact) group result plus how it was
+/// obtained.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Exact per-lane bottom rows — post-promotion if the narrow sweep
+    /// saturated, so always safe to consume.
+    pub group: GroupResult,
+    /// The narrow `i16` sweep saturated and was redone in `i32`.
+    pub saturated_narrow: bool,
+    /// A wide sweep produced the result (saturation, or a scoring whose
+    /// values don't fit `i16`).
+    pub promoted: bool,
+    /// Total vector cells across the sweeps performed (narrow + wide).
+    pub vector_cells: u64,
+}
+
+/// Shared, reusable sweep state for one `(sequence, scoring, kernel)`
+/// triple: both query profiles plus the dispatch selection.
+///
+/// Built once, used by every group sweep of a run — sequential or
+/// multi-threaded ([`GroupSweeper`] is `Sync`; the SIMD×SMP engine in
+/// `repro-parallel` shares one across workers).
+pub struct GroupSweeper<'a> {
+    seq: &'a Seq,
+    scoring: &'a Scoring,
+    sel: SimdSel,
+    /// Narrow profile; `None` when some exchange score exceeds `i16`
+    /// range, in which case every sweep goes straight to the wide path.
+    prof16: Option<QueryProfile<i16>>,
+    /// Wide profile, built lazily on first promotion.
+    prof32: OnceLock<QueryProfile<i32>>,
+}
+
+impl<'a> GroupSweeper<'a> {
+    /// Build the sweeper (and the narrow profile) for one run.
+    pub fn new(seq: &'a Seq, scoring: &'a Scoring, sel: SimdSel) -> Self {
+        GroupSweeper {
+            seq,
+            scoring,
+            sel,
+            prof16: QueryProfile::new_narrow(scoring, seq.codes()),
+            prof32: OnceLock::new(),
+        }
+    }
+
+    /// The kernel selection this sweeper routes to.
+    pub fn sel(&self) -> SimdSel {
+        self.sel
+    }
+
+    /// Sweep the group of `lanes` splits starting at `r0`, exactly.
+    ///
+    /// The chain is: narrow `i16` profile sweep; on saturation (or an
+    /// un-narrowable scoring) the wide `i32` profile sweep, which is the
+    /// scalar recurrence verbatim and cannot clamp.
+    pub fn sweep(
+        &self,
+        r0: usize,
+        lanes: usize,
+        triangle: Option<&OverrideTriangle>,
+    ) -> SweepOutcome {
+        let mut vector_cells = 0;
+        let mut saturated_narrow = false;
+        if let Some(p16) = &self.prof16 {
+            let g = sweep_group_profile_i16(
+                self.sel,
+                self.seq.codes(),
+                self.scoring,
+                p16,
+                r0,
+                lanes,
+                triangle,
+            );
+            vector_cells += g.vector_cells;
+            if !g.saturated {
+                return SweepOutcome {
+                    group: g,
+                    saturated_narrow: false,
+                    promoted: false,
+                    vector_cells,
+                };
+            }
+            saturated_narrow = true;
+        }
+        let p32 = self
+            .prof32
+            .get_or_init(|| QueryProfile::new_wide(self.scoring, self.seq.codes()));
+        let g = sweep_group_wide(
+            self.sel.width,
+            self.seq.codes(),
+            self.scoring,
+            p32,
+            r0,
+            lanes,
+            triangle,
+        );
+        // The wide element wraps exactly like the scalar kernel; a score
+        // actually reaching i32::MAX would be wrong scalarly too.
+        debug_assert!(!g.saturated);
+        vector_cells += g.vector_cells;
+        SweepOutcome {
+            group: g,
+            saturated_narrow,
+            promoted: true,
+            vector_cells,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,8 +191,9 @@ impl PartialOrd for GroupTask {
     }
 }
 
-/// Find `count` top alignments using lane width `width`; produces the
-/// same alignments as [`repro_core::find_top_alignments`].
+/// Find `count` top alignments using lane width `width` on the fastest
+/// available dispatch path; produces the same alignments as
+/// [`repro_core::find_top_alignments`].
 ///
 /// ```
 /// use repro_simd::{find_top_alignments_simd, LaneWidth};
@@ -84,34 +210,40 @@ pub fn find_top_alignments_simd(
     count: usize,
     width: LaneWidth,
 ) -> SimdFinderResult {
-    // On x86-64 the explicit SSE2 lane types are used (the portable
-    // 4-lane array form scalarises); results are identical either way —
-    // the lanes tests verify op-for-op equality.
-    #[cfg(target_arch = "x86_64")]
-    {
-        match width {
-            LaneWidth::X4 => run::<crate::lanes::sse2::I16x4Sse2>(seq, scoring, count),
-            LaneWidth::X8 => run::<crate::lanes::sse2::I16x8Sse2>(seq, scoring, count),
-        }
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        match width {
-            LaneWidth::X4 => run::<crate::lanes::I16x4>(seq, scoring, count),
-            LaneWidth::X8 => run::<crate::lanes::I16x8>(seq, scoring, count),
-        }
-    }
+    let sel = select(Some(width), None)
+        .expect("width-only selection always resolves (portable covers every width)");
+    run(seq, scoring, count, sel)
+}
+
+/// [`find_top_alignments_simd`] with full auto-dispatch: the widest
+/// kernel the running CPU supports.
+pub fn find_top_alignments_simd_auto(seq: &Seq, scoring: &Scoring, count: usize) -> SimdFinderResult {
+    let sel = select(None, None).expect("full auto selection always resolves");
+    run(seq, scoring, count, sel)
+}
+
+/// [`find_top_alignments_simd`] with an explicit, pre-resolved kernel
+/// selection (obtain one from [`crate::dispatch::select`]).
+pub fn find_top_alignments_simd_sel(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    sel: SimdSel,
+) -> SimdFinderResult {
+    run(seq, scoring, count, sel)
 }
 
 #[allow(clippy::needless_range_loop)] // index loops mirror the paper's pseudo code
-fn run<V: SimdVec>(seq: &Seq, scoring: &Scoring, count: usize) -> SimdFinderResult {
+fn run(seq: &Seq, scoring: &Scoring, count: usize, sel: SimdSel) -> SimdFinderResult {
     let m = seq.len();
     let splits = m.saturating_sub(1); // splits are 1..=splits
-    let lanes = V::LANES;
+    let lanes = sel.width.lanes();
     let ngroups = splits.div_ceil(lanes.max(1));
 
     let group_r0 = |gi: usize| 1 + gi * lanes;
     let group_lanes = |gi: usize| lanes.min(splits - gi * lanes);
+
+    let sweeper = GroupSweeper::new(seq, scoring, sel);
 
     let mut triangle = OverrideTriangle::new(m);
     let mut bottomstore = BottomRowStore::new(m);
@@ -172,26 +304,16 @@ fn run<V: SimdVec>(seq: &Seq, scoring: &Scoring, count: usize) -> SimdFinderResu
             let nl = group_lanes(gi);
             let first_pass = task.aligned_with == usize::MAX;
             let tri = if first_pass { None } else { Some(&triangle) };
-            let mut g = align_group_striped::<V>(
-                seq.codes(),
-                scoring,
-                r0,
-                nl,
-                tri,
-                DEFAULT_GROUP_STRIPE,
-            );
+            let outcome = sweeper.sweep(r0, nl, tri);
             simd.group_sweeps += 1;
-            simd.vector_cells += g.vector_cells;
-            if g.saturated {
-                // Scores may be clamped: recompute every member scalarly.
+            simd.vector_cells += outcome.vector_cells;
+            if outcome.saturated_narrow {
                 simd.saturation_fallbacks += 1;
-                for l in 0..nl {
-                    let r = r0 + l;
-                    let (prefix, suffix) = seq.split(r);
-                    let mask = repro_core::SplitMask::new(&triangle, r);
-                    g.rows[l] = repro_align::sw_last_row(prefix, suffix, scoring, mask).row;
-                }
             }
+            if outcome.promoted {
+                simd.promoted_sweeps += 1;
+            }
+            let g = outcome.group;
             let per_lane_cells = g.cells / nl as u64;
             let mut group_best = 0;
             for l in 0..nl {
@@ -232,14 +354,17 @@ fn run<V: SimdVec>(seq: &Seq, scoring: &Scoring, count: usize) -> SimdFinderResu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dispatch::DispatchPath;
     use repro_core::find_top_alignments;
+
+    const ALL_WIDTHS: [LaneWidth; 3] = [LaneWidth::X4, LaneWidth::X8, LaneWidth::X16];
 
     #[test]
     fn figure4_example_matches_sequential() {
         let seq = Seq::dna("ATGCATGCATGC").unwrap();
         let scoring = Scoring::dna_example();
         let seq_result = find_top_alignments(&seq, &scoring, 3);
-        for width in [LaneWidth::X4, LaneWidth::X8] {
+        for width in ALL_WIDTHS {
             let simd = find_top_alignments_simd(&seq, &scoring, 3, width);
             assert_eq!(
                 simd.result.alignments, seq_result.alignments,
@@ -260,10 +385,31 @@ mod tests {
         ] {
             let seq = Seq::dna(text).unwrap();
             let want = find_top_alignments(&seq, &scoring, 6);
-            for width in [LaneWidth::X4, LaneWidth::X8] {
+            for width in ALL_WIDTHS {
                 let got = find_top_alignments_simd(&seq, &scoring, 6, width);
                 assert_eq!(got.result.alignments, want.alignments, "{width:?} on {text}");
             }
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_matches_sequential() {
+        let seq = Seq::dna("ACGGTACGGTAACGGTTTTTACGGTACGT").unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 5);
+        let got = find_top_alignments_simd_auto(&seq, &scoring, 5);
+        assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn portable_path_matches_sequential() {
+        let seq = Seq::dna("ACGGTACGGTAACGGTTTTTACGGTACGT").unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 5);
+        for width in ALL_WIDTHS {
+            let sel = crate::dispatch::select(Some(width), Some(DispatchPath::Portable)).unwrap();
+            let got = find_top_alignments_simd_sel(&seq, &scoring, 5, sel);
+            assert_eq!(got.result.alignments, want.alignments, "portable {width:?}");
         }
     }
 
@@ -272,8 +418,10 @@ mod tests {
         let seq = Seq::protein("MGEKALVPYRLQHCMGEKALVPYRWWMGEKALVPYR").unwrap();
         let scoring = Scoring::protein_default();
         let want = find_top_alignments(&seq, &scoring, 4);
-        let got = find_top_alignments_simd(&seq, &scoring, 4, LaneWidth::X8);
-        assert_eq!(got.result.alignments, want.alignments);
+        for width in [LaneWidth::X8, LaneWidth::X16] {
+            let got = find_top_alignments_simd(&seq, &scoring, 4, width);
+            assert_eq!(got.result.alignments, want.alignments, "{width:?}");
+        }
     }
 
     #[test]
@@ -302,12 +450,31 @@ mod tests {
             repro_align::GapPenalties::new(2, 1),
         );
         let want = find_top_alignments(&seq, &scoring, 2);
-        let got = find_top_alignments_simd(&seq, &scoring, 2, LaneWidth::X8);
-        assert_eq!(got.result.alignments, want.alignments);
-        assert!(
-            got.simd.saturation_fallbacks > 0,
-            "this workload must exercise the fallback"
+        for width in ALL_WIDTHS {
+            let got = find_top_alignments_simd(&seq, &scoring, 2, width);
+            assert_eq!(got.result.alignments, want.alignments, "{width:?}");
+            assert!(
+                got.simd.saturation_fallbacks > 0,
+                "this workload must exercise the promotion path ({width:?})"
+            );
+            assert!(got.simd.promoted_sweeps >= got.simd.saturation_fallbacks);
+        }
+    }
+
+    #[test]
+    fn un_narrowable_scoring_skips_straight_to_wide() {
+        // Scores beyond i16 range used to panic inside the kernel; now
+        // the narrow profile refuses to build and every sweep promotes.
+        let seq = Seq::dna("ATGCATGCATGCATGC").unwrap();
+        let scoring = Scoring::new(
+            repro_align::ExchangeMatrix::match_mismatch(repro_align::Alphabet::Dna, 40_000, -1),
+            repro_align::GapPenalties::new(2, 1),
         );
+        let want = find_top_alignments(&seq, &scoring, 3);
+        let got = find_top_alignments_simd(&seq, &scoring, 3, LaneWidth::X8);
+        assert_eq!(got.result.alignments, want.alignments);
+        assert_eq!(got.simd.promoted_sweeps, got.simd.group_sweeps);
+        assert_eq!(got.simd.saturation_fallbacks, 0);
     }
 
     #[test]

@@ -8,6 +8,21 @@
 //! once and splatted — the whole point of grouping *neighbouring*
 //! matrices.
 //!
+//! Two sweeps implement the same recurrence:
+//!
+//! * [`align_group_striped`] — the historical **lookup** sweep: each
+//!   cell gathers `E(S[p], S[q])` through the narrowed exchange table
+//!   (`seq[q] → table[row][seq[q]]`, two dependent loads per cell);
+//! * [`align_group_profile`] — the **query-profile** sweep: the
+//!   exchange matrix is pre-unrolled along the sequence
+//!   ([`repro_align::QueryProfile`]), so each cell issues a single
+//!   contiguous load `prow[qi]`. The profile is built once per
+//!   sequence and shared by every group and every realignment.
+//!
+//! Both are generic over the lane element: `i16` (saturating, the
+//! paper's "shorts") or `i32` (wrapping, bit-identical to the scalar
+//! reference — the saturation-promotion path).
+//!
 //! Border corrections:
 //! * **left**: lane `l` has no column `q < r_l`; those cells are forced
 //!   to 0, which doubles as the virtual zero column for the lane's first
@@ -19,8 +34,8 @@
 //!   *every* lane, so the triangle mask is lane-uniform — one scalar bit
 //!   test zeroes all lanes.
 
-use crate::lanes::SimdVec;
-use repro_align::{Score, Scoring};
+use crate::lanes::{SimdElem, SimdVec};
+use repro_align::{stripe_for_bytes, QueryProfile, Score, Scoring};
 use repro_core::OverrideTriangle;
 
 /// Per-lane results of one group alignment.
@@ -39,17 +54,25 @@ pub struct GroupResult {
     /// Vector-sweep cells (`rows × width`), the actual SIMD work incl.
     /// dead lanes; `cells / (vector_cells × LANES)` is lane utilisation.
     pub vector_cells: u64,
-    /// `true` iff any lane saturated at `i16::MAX`; the caller must fall
-    /// back to a scalar recomputation (scores would be clamped).
+    /// `true` iff any lane saturated at the element's `MAX`; the caller
+    /// must recompute the group exactly (promote `i16 → i32`, or fall
+    /// back to the scalar kernel).
     pub saturated: bool,
 }
 
-/// Default stripe width for [`align_group_striped`]: the stripe's slice
-/// of the interleaved previous-row and `MaxY` arrays (16 B per column
-/// each for 8 lanes) then occupies ≈12 KiB — "a third of the
-/// first-level cache" per §4.1, leaving room for the exchange row and
-/// miscellany.
-pub const DEFAULT_GROUP_STRIPE: usize = 384;
+/// Stripe width for a group sweep of `lanes` lanes of `elem_bytes`-byte
+/// elements: the interleaved previous-row and `MaxY` arrays carry
+/// `lanes × elem_bytes` bytes per column each, and the L1 rule
+/// ([`repro_align::stripe_for_bytes`]) bounds their combined footprint.
+pub const fn group_stripe(lanes: usize, elem_bytes: usize) -> usize {
+    stripe_for_bytes(lanes * elem_bytes)
+}
+
+/// Default stripe width for an 8-lane `i16` sweep (16 B per column per
+/// array), derived from the same L1 rule every other width uses. Wider
+/// lanes and promoted `i32` rows get proportionally narrower stripes —
+/// see [`group_stripe`].
+pub const DEFAULT_GROUP_STRIPE: usize = group_stripe(8, 2);
 
 /// Align the group of `lanes` consecutive splits starting at `r0`
 /// (`1 ≤ r0`, `r0 + lanes − 1 ≤ m − 1`) in one interleaved sweep.
@@ -69,6 +92,9 @@ pub fn align_group<V: SimdVec>(
 /// the row that fits in a third of the first-level cache, after which
 /// we compute the section of the row below it"). Bit-identical results;
 /// only the traversal order and the cache behaviour change.
+///
+/// This is the per-cell **lookup** sweep; [`align_group_profile`] is
+/// the faster query-profile variant the engines use.
 pub fn align_group_striped<V: SimdVec>(
     seq: &[u8],
     scoring: &Scoring,
@@ -77,136 +103,293 @@ pub fn align_group_striped<V: SimdVec>(
     triangle: Option<&OverrideTriangle>,
     stripe: usize,
 ) -> GroupResult {
-    let m = seq.len();
+    align_group_lookup_impl::<V>(seq, scoring, r0, lanes, triangle, stripe)
+}
+
+/// The query-profile sweep: identical recurrence and results to
+/// [`align_group_striped`], but the per-cell substitution lookup is
+/// replaced by one contiguous load from `profile` (built once per
+/// sequence with the matching element width). `profile.len()` must
+/// equal `seq.len()`.
+pub fn align_group_profile<V: SimdVec>(
+    seq: &[u8],
+    scoring: &Scoring,
+    profile: &QueryProfile<V::Elem>,
+    r0: usize,
+    lanes: usize,
+    triangle: Option<&OverrideTriangle>,
+    stripe: usize,
+) -> GroupResult {
+    align_group_profile_impl::<V>(seq, scoring, profile, r0, lanes, triangle, stripe)
+}
+
+/// Shared prologue: bounds checks, gap narrowing, state allocation.
+struct SweepState<V: SimdVec> {
+    rmax: usize,
+    width: usize,
+    vopen: V,
+    vext: V,
+    mrow: Vec<V>,
+    maxy: Vec<V>,
+    maxx_carry: Vec<V>,
+    edge: Vec<V>,
+    rows: Vec<Vec<Score>>,
+    sat_acc: V,
+}
+
+#[inline(always)]
+fn sweep_prologue<V: SimdVec>(
+    m: usize,
+    scoring: &Scoring,
+    r0: usize,
+    lanes: usize,
+    stripe: usize,
+) -> SweepState<V> {
     assert!(lanes >= 1 && lanes <= V::LANES, "bad lane count");
     assert!(r0 >= 1 && r0 + lanes - 1 <= m.saturating_sub(1), "group out of range");
+    assert!(stripe > 0, "stripe width must be positive");
     let rmax = r0 + lanes - 1; // largest split ⇒ deepest row rmax−1
     let width = m - r0; // columns q ∈ [r0, m)
 
-    let gap_open: i16 = scoring
-        .gaps
-        .open
-        .try_into()
-        .expect("gap-open penalty must fit i16 for the SIMD kernel");
-    let gap_ext: i16 = scoring
-        .gaps
-        .extend
-        .try_into()
-        .expect("gap-extend penalty must fit i16 for the SIMD kernel");
+    let gap_open = V::Elem::from_score(scoring.gaps.open)
+        .expect("gap-open penalty must fit the SIMD element");
+    let gap_ext = V::Elem::from_score(scoring.gaps.extend)
+        .expect("gap-extend penalty must fit the SIMD element");
 
-    let neg = V::splat(i16::MIN);
-    let zero = V::splat(0);
-    let vopen = V::splat(gap_open);
-    let vext = V::splat(gap_ext);
-
-    // One-time narrowing of the exchange table to i16 keeps the hot loop
-    // free of checked conversions.
-    let k = scoring.exchange.alphabet().len();
-    let exch16: Vec<i16> = (0..k * k)
-        .map(|i| {
-            scoring
-                .exchange
-                .score((i / k) as u8, (i % k) as u8)
-                .try_into()
-                .expect("exchange scores must fit i16 for the SIMD kernel")
-        })
-        .collect();
-
-    // Interleaved previous-row and MaxY arrays (Figure 7): element qi
-    // packs the `lanes` matrices' entries for column q = r0 + qi.
-    let mut mrow = vec![zero; width];
-    let mut maxy = vec![neg; width];
-
-    let mut rows: Vec<Vec<Score>> = (0..lanes).map(|l| vec![0; m - (r0 + l)]).collect();
-    // Saturation is detected by a running max (v is always ≥ 0), checked
-    // once at the end instead of per cell.
-    let mut sat_acc = zero;
-
-    let triangle = triangle.filter(|t| !t.is_empty());
-    assert!(stripe > 0, "stripe width must be positive");
-
-    // Per-row carries across stripe boundaries (cf. the scalar striped
-    // kernel): the running horizontal-gap maximum and the previous
-    // stripe's last-column value (the next stripe's diagonal input).
-    let mut maxx_carry = vec![neg; rmax];
-    let mut edge = vec![zero; rmax];
-
-    let mut x0 = 0;
-    while x0 < width {
-        let x1 = x0.saturating_add(stripe).min(width);
-        // Row p consumes row p−1's *old* edge value; rows run top to
-        // bottom, so carry it across one iteration.
-        let mut above_old_edge = zero;
-        for p in 0..rmax {
-            let my_old_edge = edge[p];
-            let exch_row = &exch16[seq[p] as usize * k..(seq[p] as usize + 1) * k];
-            let mut maxx = if x0 == 0 { neg } else { maxx_carry[p] };
-            let mut diag = if x0 == 0 || p == 0 { zero } else { above_old_edge };
-            for qi in x0..x1 {
-                let up = mrow[qi];
-                let exch = exch_row[seq[r0 + qi] as usize];
-                let mut v = diag.max(maxx).max(maxy[qi]).adds(V::splat(exch)).max(zero);
-                // Lane-uniform override masking (p < q holds for every
-                // cell that belongs to any live lane) and the left-border
-                // correction (lane l is active iff q ≥ r0 + l). Both only
-                // fire on a sparse subset of cells.
-                if let Some(t) = triangle {
-                    let q = r0 + qi;
-                    if p < q && t.get(p, q) {
-                        v = zero;
-                    }
-                }
-                if qi + 1 < lanes {
-                    v = v.zero_lanes_from(qi + 1);
-                }
-                sat_acc = sat_acc.max(v);
-                mrow[qi] = v;
-                let cand = diag.subs(vopen);
-                maxx = cand.max(maxx).subs(vext);
-                maxy[qi] = cand.max(maxy[qi]).subs(vext);
-                diag = up;
-            }
-            maxx_carry[p] = maxx;
-            edge[p] = mrow[x1 - 1];
-            above_old_edge = my_old_edge;
-            // Bottom-border capture for this stripe's segment: row p is
-            // the bottom row of lane l = p + 1 − r0 (split r_l = p + 1),
-            // and segment values are final once computed.
-            if p + 1 >= r0 {
-                let l = p + 1 - r0;
-                if l < lanes {
-                    let rl = r0 + l;
-                    for qi in x0.max(rl - r0)..x1 {
-                        rows[l][r0 + qi - rl] = mrow[qi].get(l) as Score;
-                    }
-                }
-            }
-        }
-        x0 = x1;
+    let neg = V::splat(V::Elem::NEG_INF);
+    let zero = V::splat(V::Elem::ZERO);
+    SweepState {
+        rmax,
+        width,
+        vopen: V::splat(gap_open),
+        vext: V::splat(gap_ext),
+        // Interleaved previous-row and MaxY arrays (Figure 7): element qi
+        // packs the `lanes` matrices' entries for column q = r0 + qi.
+        mrow: vec![zero; width],
+        maxy: vec![neg; width],
+        // Per-row carries across stripe boundaries (cf. the scalar striped
+        // kernel): the running horizontal-gap maximum and the previous
+        // stripe's last-column value (the next stripe's diagonal input).
+        maxx_carry: vec![neg; rmax],
+        edge: vec![zero; rmax],
+        rows: (0..lanes).map(|l| vec![0; m - (r0 + l)]).collect(),
+        // Saturation is detected by a running max (v is always ≥ 0),
+        // checked once at the end instead of per cell.
+        sat_acc: zero,
     }
-    let saturated = sat_acc.any_saturated();
+}
 
+fn finish<V: SimdVec>(st: SweepState<V>, m: usize, r0: usize, lanes: usize) -> GroupResult {
     let cells: u64 = (0..lanes)
         .map(|l| {
             let r = r0 + l;
             r as u64 * (m - r) as u64
         })
         .sum();
-
     GroupResult {
         r0,
         lanes,
-        rows,
+        saturated: st.sat_acc.any_saturated(),
+        rows: st.rows,
         cells,
-        vector_cells: rmax as u64 * width as u64,
-        saturated,
+        vector_cells: st.rmax as u64 * st.width as u64,
     }
+}
+
+/// Per-cell override probe, monomorphised so the first pass (no
+/// triangle — the overwhelmingly common case) compiles to a loop with
+/// no mask test at all. Mirrors the scalar kernel's `NoMask` /
+/// `SplitMask` split: keeping the probe out of the unmasked loop frees
+/// enough vector registers that the whole recurrence stays resident
+/// (with the probe inline, LLVM spills every `ymm` value to the stack
+/// and the 16-lane kernel runs at less than half speed).
+trait TriProbe: Copy {
+    /// `true` iff cell `(p, q)` is overridden to zero.
+    fn hit(self, p: usize, q: usize) -> bool;
+}
+
+/// First-pass probe: nothing is ever overridden.
+#[derive(Clone, Copy)]
+struct NoTri;
+
+impl TriProbe for NoTri {
+    #[inline(always)]
+    fn hit(self, _p: usize, _q: usize) -> bool {
+        false
+    }
+}
+
+impl TriProbe for &OverrideTriangle {
+    #[inline(always)]
+    fn hit(self, p: usize, q: usize) -> bool {
+        // p < q holds for every cell that belongs to any live lane.
+        p < q && self.get(p, q)
+    }
+}
+
+/// The two sweep bodies are textually parallel; this macro holds the
+/// shared stripe/row/column loop so the lookup and profile variants
+/// differ only in how `exch` is produced (`$row_setup` runs once per
+/// row, `$cell_exch` once per cell). A macro rather than a closure
+/// keeps everything monomorphic and `inline(always)`-friendly for the
+/// `#[target_feature]` trampolines in [`crate::dispatch`].
+macro_rules! sweep_body {
+    ($V:ty, $st:ident, $seq:ident, $r0:ident, $lanes:ident, $tri:ident, $stripe:ident,
+     |$p:ident| $row_setup:expr, |$rowctx:ident, $qi:ident| $cell_exch:expr) => {{
+        let mut x0 = 0;
+        while x0 < $st.width {
+            let x1 = x0.saturating_add($stripe).min($st.width);
+            // Row p consumes row p−1's *old* edge value; rows run top to
+            // bottom, so carry it across one iteration.
+            let mut above_old_edge = <$V>::splat(SimdElem::ZERO);
+            for $p in 0..$st.rmax {
+                let my_old_edge = $st.edge[$p];
+                let $rowctx = $row_setup;
+                let mut maxx = if x0 == 0 {
+                    <$V>::splat(SimdElem::NEG_INF)
+                } else {
+                    $st.maxx_carry[$p]
+                };
+                let mut diag = if x0 == 0 || $p == 0 {
+                    <$V>::splat(SimdElem::ZERO)
+                } else {
+                    above_old_edge
+                };
+                for $qi in x0..x1 {
+                    let up = $st.mrow[$qi];
+                    let exch = $cell_exch;
+                    let mut v = diag
+                        .max(maxx)
+                        .max($st.maxy[$qi])
+                        .adds(<$V>::splat(exch))
+                        .max(<$V>::splat(SimdElem::ZERO));
+                    // Lane-uniform override masking (monomorphised away on
+                    // the first pass) and the left-border correction (lane l
+                    // is active iff q ≥ r0 + l); both fire on a sparse
+                    // subset of cells.
+                    if $tri.hit($p, $r0 + $qi) {
+                        v = <$V>::splat(SimdElem::ZERO);
+                    }
+                    if $qi + 1 < $lanes {
+                        v = v.zero_lanes_from($qi + 1);
+                    }
+                    $st.sat_acc = $st.sat_acc.max(v);
+                    $st.mrow[$qi] = v;
+                    let cand = diag.subs($st.vopen);
+                    maxx = cand.max(maxx).subs($st.vext);
+                    $st.maxy[$qi] = cand.max($st.maxy[$qi]).subs($st.vext);
+                    diag = up;
+                }
+                $st.maxx_carry[$p] = maxx;
+                $st.edge[$p] = $st.mrow[x1 - 1];
+                above_old_edge = my_old_edge;
+                // Bottom-border capture for this stripe's segment: row p is
+                // the bottom row of lane l = p + 1 − r0 (split r_l = p + 1),
+                // and segment values are final once computed.
+                if $p + 1 >= $r0 {
+                    let l = $p + 1 - $r0;
+                    if l < $lanes {
+                        let rl = $r0 + l;
+                        for qi in x0.max(rl - $r0)..x1 {
+                            $st.rows[l][$r0 + qi - rl] = $st.mrow[qi].get(l).to_score();
+                        }
+                    }
+                }
+            }
+            x0 = x1;
+        }
+    }};
+}
+
+#[inline(always)]
+pub(crate) fn align_group_lookup_impl<V: SimdVec>(
+    seq: &[u8],
+    scoring: &Scoring,
+    r0: usize,
+    lanes: usize,
+    triangle: Option<&OverrideTriangle>,
+    stripe: usize,
+) -> GroupResult {
+    match triangle.filter(|t| !t.is_empty()) {
+        None => lookup_sweep::<V, NoTri>(seq, scoring, r0, lanes, NoTri, stripe),
+        Some(t) => lookup_sweep::<V, &OverrideTriangle>(seq, scoring, r0, lanes, t, stripe),
+    }
+}
+
+#[inline(always)]
+fn lookup_sweep<V: SimdVec, T: TriProbe>(
+    seq: &[u8],
+    scoring: &Scoring,
+    r0: usize,
+    lanes: usize,
+    tri: T,
+    stripe: usize,
+) -> GroupResult {
+    let m = seq.len();
+    let mut st = sweep_prologue::<V>(m, scoring, r0, lanes, stripe);
+
+    // One-time narrowing of the exchange table to the lane element keeps
+    // the hot loop free of checked conversions.
+    let k = scoring.exchange.alphabet().len();
+    let exch: Vec<V::Elem> = (0..k * k)
+        .map(|i| {
+            V::Elem::from_score(scoring.exchange.score((i / k) as u8, (i % k) as u8))
+                .expect("exchange scores must fit the SIMD element")
+        })
+        .collect();
+
+    sweep_body!(
+        V, st, seq, r0, lanes, tri, stripe,
+        |p| &exch[seq[p] as usize * k..(seq[p] as usize + 1) * k],
+        |exch_row, qi| exch_row[seq[r0 + qi] as usize]
+    );
+    finish(st, m, r0, lanes)
+}
+
+#[inline(always)]
+pub(crate) fn align_group_profile_impl<V: SimdVec>(
+    seq: &[u8],
+    scoring: &Scoring,
+    profile: &QueryProfile<V::Elem>,
+    r0: usize,
+    lanes: usize,
+    triangle: Option<&OverrideTriangle>,
+    stripe: usize,
+) -> GroupResult {
+    match triangle.filter(|t| !t.is_empty()) {
+        None => profile_sweep::<V, NoTri>(seq, scoring, profile, r0, lanes, NoTri, stripe),
+        Some(t) => {
+            profile_sweep::<V, &OverrideTriangle>(seq, scoring, profile, r0, lanes, t, stripe)
+        }
+    }
+}
+
+#[inline(always)]
+fn profile_sweep<V: SimdVec, T: TriProbe>(
+    seq: &[u8],
+    scoring: &Scoring,
+    profile: &QueryProfile<V::Elem>,
+    r0: usize,
+    lanes: usize,
+    tri: T,
+    stripe: usize,
+) -> GroupResult {
+    let m = seq.len();
+    assert_eq!(profile.len(), m, "profile must cover the whole sequence");
+    let mut st = sweep_prologue::<V>(m, scoring, r0, lanes, stripe);
+
+    sweep_body!(
+        V, st, seq, r0, lanes, tri, stripe,
+        |p| profile.row(seq[p], r0),
+        |prow, qi| prow[qi]
+    );
+    finish(st, m, r0, lanes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lanes::{I16x4, I16x8};
+    use crate::lanes::{I16x16, I16x4, I16x8, I32x16, I32x8};
     use repro_align::{sw_last_row, NoMask, Seq};
     use repro_core::SplitMask;
 
@@ -258,6 +441,71 @@ mod tests {
         for l in 0..8 {
             let want = scalar_row(&seq, &scoring, 5 + l, None);
             assert_eq!(g.rows[l], want, "split {}", 5 + l);
+        }
+    }
+
+    #[test]
+    fn sixteen_lanes_match_scalar() {
+        let seq = Seq::protein("MGEKALVPYRLQHCERSTMGEKALVPYRWFNDAGHTKLMNPQ").unwrap();
+        let scoring = Scoring::protein_default();
+        let g = align_group::<I16x16>(seq.codes(), &scoring, 7, 16, None);
+        assert!(!g.saturated);
+        for l in 0..16 {
+            let want = scalar_row(&seq, &scoring, 7 + l, None);
+            assert_eq!(g.rows[l], want, "split {}", 7 + l);
+        }
+    }
+
+    #[test]
+    fn profile_sweep_matches_lookup_sweep() {
+        let seq = Seq::dna("ATGCATGCATGCACGGTTACGTAACCGGTTAC").unwrap();
+        let scoring = Scoring::dna_example();
+        let prof = QueryProfile::new_narrow(&scoring, seq.codes()).unwrap();
+        let mut t = OverrideTriangle::new(seq.len());
+        for &(p, q) in &[(0, 4), (3, 9), (7, 20)] {
+            t.set(p, q);
+        }
+        for tri in [None, Some(&t)] {
+            for (r0, lanes) in [(1, 8), (5, 8), (9, 4), (20, 2)] {
+                let lookup =
+                    align_group_striped::<I16x8>(seq.codes(), &scoring, r0, lanes, tri, 7);
+                let profile = align_group_profile::<I16x8>(
+                    seq.codes(),
+                    &scoring,
+                    &prof,
+                    r0,
+                    lanes,
+                    tri,
+                    7,
+                );
+                assert_eq!(profile.rows, lookup.rows, "r0={r0} lanes={lanes}");
+                assert_eq!(profile.cells, lookup.cells);
+                assert_eq!(profile.vector_cells, lookup.vector_cells);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_lanes_match_scalar_exactly() {
+        // The i32 promotion sweep is the scalar recurrence, vectorised:
+        // identical rows even where i16 would clamp.
+        let seq = Seq::dna(&"A".repeat(80)).unwrap();
+        let scoring = Scoring::new(
+            repro_align::ExchangeMatrix::match_mismatch(repro_align::Alphabet::Dna, 1000, -1),
+            repro_align::GapPenalties::new(2, 1),
+        );
+        let prof = QueryProfile::new_wide(&scoring, seq.codes());
+        let g = align_group_profile::<I32x8>(seq.codes(), &scoring, &prof, 38, 8, None, 64);
+        assert!(!g.saturated);
+        for l in 0..8 {
+            let want = scalar_row(&seq, &scoring, 38 + l, None);
+            assert_eq!(g.rows[l], want, "wide split {}", 38 + l);
+        }
+        let g16 = align_group_profile::<I32x16>(seq.codes(), &scoring, &prof, 30, 16, None, 64);
+        assert!(!g16.saturated);
+        for l in 0..16 {
+            let want = scalar_row(&seq, &scoring, 30 + l, None);
+            assert_eq!(g16.rows[l], want, "wide x16 split {}", 30 + l);
         }
     }
 
@@ -325,7 +573,18 @@ mod tests {
         }
     }
 
-    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn derived_group_stripes() {
+        // 8 × i16 = 16 B per column per array → 512 columns under the
+        // 16 KiB two-array budget; 16 lanes halve it; promotion to i32
+        // halves it again.
+        assert_eq!(DEFAULT_GROUP_STRIPE, group_stripe(8, 2));
+        assert_eq!(group_stripe(16, 2), DEFAULT_GROUP_STRIPE / 2);
+        assert_eq!(group_stripe(16, 4), DEFAULT_GROUP_STRIPE / 4);
+        assert!(group_stripe(16, 4) * 2 * 16 * 4 <= repro_align::STRIPE_L1_BUDGET);
+    }
+
+    #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
     #[test]
     fn sse2_kernel_matches_portable() {
         use crate::lanes::sse2::I16x8Sse2;
@@ -334,5 +593,23 @@ mod tests {
         let a = align_group::<I16x8>(seq.codes(), &scoring, 3, 8, None);
         let b = align_group::<I16x8Sse2>(seq.codes(), &scoring, 3, 8, None);
         assert_eq!(a.rows, b.rows);
+    }
+
+    #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
+    #[test]
+    fn avx2_kernel_matches_portable() {
+        use crate::lanes::avx2::I16x16Avx2;
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            eprintln!("skipping: no AVX2 on this CPU");
+            return;
+        }
+        let seq = Seq::protein("MGEKALVPYRLQHCERSTMGEKALVPYRWFNDAGHTKLMNPQ").unwrap();
+        let scoring = Scoring::protein_default();
+        let prof = QueryProfile::new_narrow(&scoring, seq.codes()).unwrap();
+        let a = align_group::<I16x16>(seq.codes(), &scoring, 3, 16, None);
+        let b = align_group::<I16x16Avx2>(seq.codes(), &scoring, 3, 16, None);
+        assert_eq!(a.rows, b.rows);
+        let c = align_group_profile::<I16x16Avx2>(seq.codes(), &scoring, &prof, 3, 16, None, 16);
+        assert_eq!(a.rows, c.rows);
     }
 }

@@ -1,30 +1,133 @@
-//! Saturating 16-bit lane vectors.
+//! Fixed-width lane vectors over 16-bit and 32-bit score elements.
 //!
-//! The portable implementations operate on fixed-size `[i16; N]` arrays
+//! The portable implementations operate on fixed-size `[T; N]` arrays
 //! in straight-line loops; at `opt-level ≥ 2` LLVM lowers these to the
-//! SSE2 `PADDSW`/`PSUBSW`/`PMAXSW` instructions on x86-64 (and to NEON on
-//! aarch64). On x86-64 an explicit `core::arch` SSE2 kernel is also
-//! provided for the 8-lane type and used automatically — the exact
-//! instructions the paper's compiler intrinsics emitted.
+//! SSE2 `PADDSW`/`PSUBSW`/`PMAXSW` instructions on x86-64 (and to NEON
+//! on aarch64). On x86-64, explicit `core::arch` kernels are also
+//! provided: SSE2 (`__m128i`, the exact instructions the paper's
+//! compiler intrinsics emitted) for the 4- and 8-lane `i16` types, and
+//! AVX2 (`__m256i`, `VPADDSW`/`VPSUBSW`/`VPMAXSW`) for the 16-lane
+//! `i16` type. The [`crate::dispatch`] module probes CPU features at
+//! runtime and selects the widest safe kernel.
+//!
+//! Two element disciplines coexist behind [`SimdElem`]:
+//!
+//! * **`i16`** — the paper's "shorts": saturating arithmetic, with
+//!   `i16::MAX` acting as the saturation sentinel that triggers the
+//!   promotion path;
+//! * **`i32`** — the promotion element, matching the scalar reference
+//!   kernel's plain (two's-complement) arithmetic bit for bit, so a
+//!   promoted sweep is exactly the scalar recurrence run `N` matrices
+//!   at a time.
+//!
+//! Compiling with the `portable-only` cargo feature removes every
+//! `core::arch` kernel, leaving only the portable arrays — CI runs the
+//! whole suite in that configuration to keep both dispatch branches
+//! honest.
 
-/// A fixed-width vector of saturating `i16` lanes.
+use repro_align::Score;
+
+/// A scalar element a lane vector can hold: the score type narrowed
+/// (i16) or kept wide (i32), with the overflow discipline the matching
+/// hardware instructions implement.
+pub trait SimdElem: Copy + Ord + std::fmt::Debug + 'static {
+    /// Additive identity.
+    const ZERO: Self;
+    /// Largest value; for `i16` this doubles as the saturation sentinel.
+    const MAX: Self;
+    /// "No predecessor" sentinel for the running gap maxima. `i16` uses
+    /// `i16::MIN` (saturating subtraction keeps it pinned); `i32` uses
+    /// [`repro_align::NEG_INF`], the exact constant of the scalar
+    /// kernels, so promoted sweeps match them bit for bit.
+    const NEG_INF: Self;
+    /// Size in bytes (drives the L1 stripe-width rule).
+    const BYTES: usize;
+    /// Element addition: saturating for `i16` (hardware `PADDSW`),
+    /// wrapping for `i32` (hardware `PADDD`, matching scalar `+`).
+    fn vadd(self, o: Self) -> Self;
+    /// Element subtraction, same discipline as [`SimdElem::vadd`].
+    fn vsub(self, o: Self) -> Self;
+    /// Checked narrowing from the scalar score type.
+    fn from_score(s: Score) -> Option<Self>;
+    /// Widening back to the scalar score type.
+    fn to_score(self) -> Score;
+}
+
+impl SimdElem for i16 {
+    const ZERO: Self = 0;
+    const MAX: Self = i16::MAX;
+    const NEG_INF: Self = i16::MIN;
+    const BYTES: usize = 2;
+
+    #[inline(always)]
+    fn vadd(self, o: Self) -> Self {
+        self.saturating_add(o)
+    }
+
+    #[inline(always)]
+    fn vsub(self, o: Self) -> Self {
+        self.saturating_sub(o)
+    }
+
+    #[inline(always)]
+    fn from_score(s: Score) -> Option<Self> {
+        s.try_into().ok()
+    }
+
+    #[inline(always)]
+    fn to_score(self) -> Score {
+        self as Score
+    }
+}
+
+impl SimdElem for i32 {
+    const ZERO: Self = 0;
+    const MAX: Self = i32::MAX;
+    const NEG_INF: Self = repro_align::NEG_INF;
+    const BYTES: usize = 4;
+
+    #[inline(always)]
+    fn vadd(self, o: Self) -> Self {
+        self.wrapping_add(o)
+    }
+
+    #[inline(always)]
+    fn vsub(self, o: Self) -> Self {
+        self.wrapping_sub(o)
+    }
+
+    #[inline(always)]
+    fn from_score(s: Score) -> Option<Self> {
+        Some(s)
+    }
+
+    #[inline(always)]
+    fn to_score(self) -> Score {
+        self
+    }
+}
+
+/// A fixed-width vector of [`SimdElem`] lanes.
 pub trait SimdVec: Copy + std::fmt::Debug {
+    /// The per-lane element type.
+    type Elem: SimdElem;
+
     /// Number of lanes.
     const LANES: usize;
 
     /// All lanes set to `v`.
-    fn splat(v: i16) -> Self;
+    fn splat(v: Self::Elem) -> Self;
 
     /// Build from a per-lane function.
-    fn from_fn(f: impl FnMut(usize) -> i16) -> Self;
+    fn from_fn(f: impl FnMut(usize) -> Self::Elem) -> Self;
 
     /// Read one lane.
-    fn get(self, lane: usize) -> i16;
+    fn get(self, lane: usize) -> Self::Elem;
 
-    /// Lane-wise saturating addition.
+    /// Lane-wise addition under the element's overflow discipline.
     fn adds(self, o: Self) -> Self;
 
-    /// Lane-wise saturating subtraction.
+    /// Lane-wise subtraction under the element's overflow discipline.
     fn subs(self, o: Self) -> Self;
 
     /// Lane-wise maximum (the `PMAXSW` the paper highlights: "the SSE and
@@ -36,29 +139,31 @@ pub trait SimdVec: Copy + std::fmt::Debug {
     /// partially active columns).
     fn zero_lanes_from(self, keep: usize) -> Self;
 
-    /// `true` iff any lane equals `i16::MAX` (saturation sentinel).
+    /// `true` iff any lane equals `Elem::MAX` (saturation sentinel; only
+    /// meaningful for the saturating `i16` element).
     fn any_saturated(self) -> bool {
-        (0..Self::LANES).any(|l| self.get(l) == i16::MAX)
+        (0..Self::LANES).any(|l| self.get(l) == Self::Elem::MAX)
     }
 }
 
 macro_rules! portable_lanes {
-    ($name:ident, $n:expr, $doc:literal) => {
+    ($name:ident, $elem:ty, $n:expr, $doc:literal) => {
         #[doc = $doc]
         #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-        pub struct $name(pub [i16; $n]);
+        pub struct $name(pub [$elem; $n]);
 
         impl SimdVec for $name {
+            type Elem = $elem;
             const LANES: usize = $n;
 
             #[inline(always)]
-            fn splat(v: i16) -> Self {
+            fn splat(v: $elem) -> Self {
                 $name([v; $n])
             }
 
             #[inline(always)]
-            fn from_fn(mut f: impl FnMut(usize) -> i16) -> Self {
-                let mut a = [0i16; $n];
+            fn from_fn(mut f: impl FnMut(usize) -> $elem) -> Self {
+                let mut a = [0 as $elem; $n];
                 for (l, slot) in a.iter_mut().enumerate() {
                     *slot = f(l);
                 }
@@ -66,31 +171,31 @@ macro_rules! portable_lanes {
             }
 
             #[inline(always)]
-            fn get(self, lane: usize) -> i16 {
+            fn get(self, lane: usize) -> $elem {
                 self.0[lane]
             }
 
             #[inline(always)]
             fn adds(self, o: Self) -> Self {
-                let mut a = [0i16; $n];
+                let mut a = [0 as $elem; $n];
                 for i in 0..$n {
-                    a[i] = self.0[i].saturating_add(o.0[i]);
+                    a[i] = SimdElem::vadd(self.0[i], o.0[i]);
                 }
                 $name(a)
             }
 
             #[inline(always)]
             fn subs(self, o: Self) -> Self {
-                let mut a = [0i16; $n];
+                let mut a = [0 as $elem; $n];
                 for i in 0..$n {
-                    a[i] = self.0[i].saturating_sub(o.0[i]);
+                    a[i] = SimdElem::vsub(self.0[i], o.0[i]);
                 }
                 $name(a)
             }
 
             #[inline(always)]
             fn max(self, o: Self) -> Self {
-                let mut a = [0i16; $n];
+                let mut a = [0 as $elem; $n];
                 for i in 0..$n {
                     a[i] = self.0[i].max(o.0[i]);
                 }
@@ -109,15 +214,29 @@ macro_rules! portable_lanes {
     };
 }
 
-portable_lanes!(I16x4, 4, "Four saturating `i16` lanes — the paper's SSE width.");
-portable_lanes!(I16x8, 8, "Eight saturating `i16` lanes — the paper's SSE2 width.");
+portable_lanes!(I16x4, i16, 4, "Four saturating `i16` lanes — the paper's SSE width.");
+portable_lanes!(I16x8, i16, 8, "Eight saturating `i16` lanes — the paper's SSE2 width.");
+portable_lanes!(
+    I16x16,
+    i16,
+    16,
+    "Sixteen saturating `i16` lanes — the AVX2 width (portable form)."
+);
+portable_lanes!(I32x4, i32, 4, "Four wide `i32` lanes — the 4-lane promotion element.");
+portable_lanes!(I32x8, i32, 8, "Eight wide `i32` lanes — the 8-lane promotion element.");
+portable_lanes!(
+    I32x16,
+    i32,
+    16,
+    "Sixteen wide `i32` lanes — the 16-lane promotion element."
+);
 
 /// Explicit SSE2 lanes (x86-64 only): the literal `PADDSW`/`PSUBSW`/
 /// `PMAXSW` path. Results are identical to [`I16x8`]; this type exists
 /// so the benchmarks can compare compiler autovectorisation against
 /// hand-placed intrinsics, as the paper compared compiler-vectorised code
 /// against intrinsics.
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
 pub mod sse2 {
     use super::SimdVec;
     use core::arch::x86_64::*;
@@ -165,6 +284,7 @@ pub mod sse2 {
     }
 
     impl SimdVec for I16x4Sse2 {
+        type Elem = i16;
         const LANES: usize = 4;
 
         #[inline(always)]
@@ -205,6 +325,7 @@ pub mod sse2 {
     }
 
     impl SimdVec for I16x8Sse2 {
+        type Elem = i16;
         const LANES: usize = 8;
 
         #[inline(always)]
@@ -256,28 +377,155 @@ pub mod sse2 {
     }
 }
 
+/// Explicit AVX2 lanes (x86-64 only): sixteen saturating `i16` lanes on
+/// a `__m256i` (`VPADDSW`/`VPSUBSW`/`VPMAXSW`).
+///
+/// Unlike SSE2, AVX2 is **not** a baseline feature of x86-64: every
+/// operation on [`avx2::I16x16Avx2`] requires the CPU to support AVX2
+/// at runtime. The [`crate::dispatch`] module only selects this type
+/// after `is_x86_feature_detected!("avx2")` succeeds; constructing or
+/// operating on it on a CPU without AVX2 is undefined behaviour.
+#[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
+pub mod avx2 {
+    use super::SimdVec;
+    use core::arch::x86_64::*;
+
+    /// Sixteen saturating `i16` lanes backed by a literal `__m256i`.
+    /// Requires AVX2 at runtime (see the module docs).
+    #[derive(Clone, Copy)]
+    pub struct I16x16Avx2(pub __m256i);
+
+    impl std::fmt::Debug for I16x16Avx2 {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            let a = self.to_array();
+            write!(f, "I16x16Avx2({a:?})")
+        }
+    }
+
+    impl I16x16Avx2 {
+        fn to_array(self) -> [i16; 16] {
+            // SAFETY: caller of any I16x16Avx2 operation guarantees AVX
+            // support (dispatch gates on AVX2, which implies AVX).
+            unsafe {
+                let mut a = [0i16; 16];
+                _mm256_storeu_si256(a.as_mut_ptr() as *mut __m256i, self.0);
+                a
+            }
+        }
+
+        fn from_array(a: [i16; 16]) -> Self {
+            // SAFETY: as in `to_array`.
+            unsafe { I16x16Avx2(_mm256_loadu_si256(a.as_ptr() as *const __m256i)) }
+        }
+    }
+
+    impl SimdVec for I16x16Avx2 {
+        type Elem = i16;
+        const LANES: usize = 16;
+
+        #[inline(always)]
+        fn splat(v: i16) -> Self {
+            // SAFETY: dispatch guarantees AVX2 before this type is used.
+            unsafe { I16x16Avx2(_mm256_set1_epi16(v)) }
+        }
+
+        #[inline(always)]
+        fn from_fn(mut f: impl FnMut(usize) -> i16) -> Self {
+            let mut a = [0i16; 16];
+            for (l, slot) in a.iter_mut().enumerate() {
+                *slot = f(l);
+            }
+            Self::from_array(a)
+        }
+
+        #[inline(always)]
+        fn get(self, lane: usize) -> i16 {
+            self.to_array()[lane]
+        }
+
+        #[inline(always)]
+        fn adds(self, o: Self) -> Self {
+            // SAFETY: dispatch guarantees AVX2 before this type is used.
+            unsafe { I16x16Avx2(_mm256_adds_epi16(self.0, o.0)) }
+        }
+
+        #[inline(always)]
+        fn subs(self, o: Self) -> Self {
+            // SAFETY: dispatch guarantees AVX2 before this type is used.
+            unsafe { I16x16Avx2(_mm256_subs_epi16(self.0, o.0)) }
+        }
+
+        #[inline(always)]
+        fn max(self, o: Self) -> Self {
+            // SAFETY: dispatch guarantees AVX2 before this type is used.
+            unsafe { I16x16Avx2(_mm256_max_epi16(self.0, o.0)) }
+        }
+
+        #[inline(always)]
+        fn zero_lanes_from(self, keep: usize) -> Self {
+            let mut a = self.to_array();
+            for slot in a.iter_mut().skip(keep.min(16)) {
+                *slot = 0;
+            }
+            Self::from_array(a)
+        }
+
+        #[inline(always)]
+        fn any_saturated(self) -> bool {
+            // SAFETY: dispatch guarantees AVX2 before this type is used.
+            unsafe {
+                let sat = _mm256_cmpeq_epi16(self.0, _mm256_set1_epi16(i16::MAX));
+                _mm256_movemask_epi8(sat) != 0
+            }
+        }
+    }
+}
+
+/// The fastest *always-safe* kernel type for 4 `i16` lanes on this
+/// build: explicit SSE2 on x86-64 (a baseline feature there), portable
+/// arrays elsewhere or under `portable-only`. The 16-lane AVX2 type has
+/// no such alias — AVX2 needs runtime detection, which only the
+/// [`crate::dispatch`] module performs.
+#[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
+pub type NativeI16x4 = sse2::I16x4Sse2;
+/// Portable fallback of [`NativeI16x4`].
+#[cfg(not(all(target_arch = "x86_64", not(feature = "portable-only"))))]
+pub type NativeI16x4 = I16x4;
+
+/// The fastest always-safe kernel type for 8 `i16` lanes on this build
+/// (see [`NativeI16x4`]).
+#[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
+pub type NativeI16x8 = sse2::I16x8Sse2;
+/// Portable fallback of [`NativeI16x8`].
+#[cfg(not(all(target_arch = "x86_64", not(feature = "portable-only"))))]
+pub type NativeI16x8 = I16x8;
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn e<V: SimdVec>(x: Score) -> V::Elem {
+        V::Elem::from_score(x).expect("test constant fits the element")
+    }
+
     fn check_basic<V: SimdVec>() {
-        let a = V::from_fn(|l| l as i16);
-        let b = V::splat(10);
+        let a = V::from_fn(|l| e::<V>(l as Score));
+        let b = V::splat(e::<V>(10));
         let sum = a.adds(b);
         for l in 0..V::LANES {
-            assert_eq!(sum.get(l), l as i16 + 10);
+            assert_eq!(sum.get(l).to_score(), l as Score + 10);
         }
         let diff = b.subs(a);
         for l in 0..V::LANES {
-            assert_eq!(diff.get(l), 10 - l as i16);
+            assert_eq!(diff.get(l).to_score(), 10 - l as Score);
         }
-        let m = a.max(V::splat(2));
+        let m = a.max(V::splat(e::<V>(2)));
         for l in 0..V::LANES {
-            assert_eq!(m.get(l), (l as i16).max(2));
+            assert_eq!(m.get(l).to_score(), (l as Score).max(2));
         }
     }
 
-    fn check_saturation<V: SimdVec>() {
+    fn check_saturation<V: SimdVec<Elem = i16>>() {
         let big = V::splat(i16::MAX - 1);
         let sum = big.adds(V::splat(100));
         assert!(sum.any_saturated());
@@ -293,14 +541,14 @@ mod tests {
     }
 
     fn check_zeroing<V: SimdVec>() {
-        let a = V::splat(7);
+        let a = V::splat(e::<V>(7));
         let z = a.zero_lanes_from(2);
         for l in 0..V::LANES {
-            assert_eq!(z.get(l), if l < 2 { 7 } else { 0 });
+            assert_eq!(z.get(l).to_score(), if l < 2 { 7 } else { 0 });
         }
         let all = a.zero_lanes_from(V::LANES);
         for l in 0..V::LANES {
-            assert_eq!(all.get(l), 7);
+            assert_eq!(all.get(l).to_score(), 7);
         }
     }
 
@@ -318,7 +566,34 @@ mod tests {
         check_zeroing::<I16x8>();
     }
 
-    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn portable_x16() {
+        check_basic::<I16x16>();
+        check_saturation::<I16x16>();
+        check_zeroing::<I16x16>();
+    }
+
+    #[test]
+    fn portable_wide() {
+        check_basic::<I32x4>();
+        check_zeroing::<I32x4>();
+        check_basic::<I32x8>();
+        check_zeroing::<I32x8>();
+        check_basic::<I32x16>();
+        check_zeroing::<I32x16>();
+    }
+
+    #[test]
+    fn wide_matches_scalar_wrapping() {
+        // The i32 element is the scalar kernel's arithmetic verbatim:
+        // wrapping, not saturating.
+        let a = I32x8::splat(i32::MAX - 1);
+        let sum = a.adds(I32x8::splat(100));
+        assert_eq!(sum.get(0), (i32::MAX - 1).wrapping_add(100));
+        assert_eq!(i32::NEG_INF, repro_align::NEG_INF);
+    }
+
+    #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
     #[test]
     fn sse2_x8_matches_portable() {
         use super::sse2::I16x8Sse2;
@@ -344,6 +619,38 @@ mod tests {
                 .subs(I16x8Sse2::splat(3));
             for l in 0..8 {
                 assert_eq!(pm.get(l), im.get(l));
+            }
+        }
+    }
+
+    #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
+    #[test]
+    fn avx2_x16_matches_portable() {
+        use super::avx2::I16x16Avx2;
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            eprintln!("skipping: no AVX2 on this CPU");
+            return;
+        }
+        check_basic::<I16x16Avx2>();
+        check_saturation::<I16x16Avx2>();
+        check_zeroing::<I16x16Avx2>();
+        let mut x: i32 = 987;
+        let mut next = move || {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            ((x >> 8) % 2000 - 1000) as i16
+        };
+        for _ in 0..100 {
+            let (a, b) = (next(), next());
+            let pa = I16x16::from_fn(|l| a.wrapping_add(l as i16))
+                .adds(I16x16::splat(b))
+                .max(I16x16::splat(3))
+                .subs(I16x16::splat(a / 2));
+            let ia = I16x16Avx2::from_fn(|l| a.wrapping_add(l as i16))
+                .adds(I16x16Avx2::splat(b))
+                .max(I16x16Avx2::splat(3))
+                .subs(I16x16Avx2::splat(a / 2));
+            for l in 0..16 {
+                assert_eq!(pa.get(l), ia.get(l), "lane {l}");
             }
         }
     }

@@ -1,13 +1,56 @@
-//! Property tests: the interleaved group kernel and the group engine
-//! are exact drop-ins for their scalar counterparts on arbitrary
-//! inputs, masks, lane counts and group positions.
+//! Property tests: the lane vectors obey their scalar element oracle
+//! on arbitrary inputs, and the interleaved group kernel and the group
+//! engine are exact drop-ins for their scalar counterparts on
+//! arbitrary inputs, masks, lane counts and group positions.
 
 use proptest::prelude::*;
-use repro_align::{sw_last_row, Alphabet, Scoring, Seq};
+use repro_align::{sw_last_row, Alphabet, Score, Scoring, Seq};
 use repro_core::{find_top_alignments, OverrideTriangle, SplitMask};
 use repro_simd::group::align_group;
-use repro_simd::lanes::{I16x4, I16x8};
-use repro_simd::{find_top_alignments_simd, LaneWidth};
+use repro_simd::lanes::{
+    I16x16, I16x4, I16x8, I32x16, I32x4, I32x8, NativeI16x4, NativeI16x8, SimdElem, SimdVec,
+};
+use repro_simd::{
+    find_top_alignments_simd, find_top_alignments_simd_sel, select, DispatchPath, LaneWidth,
+};
+
+/// Check every `SimdVec` operation of `V` against the scalar element
+/// oracle ([`SimdElem`]'s `vadd`/`vsub`, `Ord::max`, and the `MAX`
+/// saturation sentinel), lane by lane. The portable types are defined
+/// *via* the element ops, so for them this is a consistency check; for
+/// the `core::arch` types it proves the intrinsics implement the same
+/// semantics (saturating `i16`, wrapping `i32`).
+fn check_lane_ops<V: SimdVec>(a16: &[i16], b16: &[i16], keep: usize) -> Result<(), TestCaseError> {
+    let conv =
+        |x: i16| <V::Elem as SimdElem>::from_score(x as Score).expect("i16 fits every element");
+    let keep = keep % (V::LANES + 2); // exercise keep == LANES and beyond
+    let a = V::from_fn(|l| conv(a16[l % a16.len()]));
+    let b = V::from_fn(|l| conv(b16[l % b16.len()]));
+
+    // from_fn / get round-trip, and splat.
+    let s = V::splat(conv(a16[0]));
+    for l in 0..V::LANES {
+        prop_assert_eq!(a.get(l), conv(a16[l % a16.len()]), "from_fn lane {}", l);
+        prop_assert_eq!(s.get(l), conv(a16[0]), "splat lane {}", l);
+    }
+
+    let (add, sub, max) = (a.adds(b), a.subs(b), a.max(b));
+    let zeroed = a.zero_lanes_from(keep.min(V::LANES));
+    for l in 0..V::LANES {
+        let (x, y) = (a.get(l), b.get(l));
+        prop_assert_eq!(add.get(l), x.vadd(y), "adds lane {}", l);
+        prop_assert_eq!(sub.get(l), x.vsub(y), "subs lane {}", l);
+        prop_assert_eq!(max.get(l), x.max(y), "max lane {}", l);
+        let want = if l >= keep.min(V::LANES) { V::Elem::ZERO } else { x };
+        prop_assert_eq!(zeroed.get(l), want, "zero_lanes_from({}) lane {}", keep, l);
+    }
+
+    for v in [a, b, add, sub, max, zeroed] {
+        let oracle = (0..V::LANES).any(|l| v.get(l) == V::Elem::MAX);
+        prop_assert_eq!(v.any_saturated(), oracle, "any_saturated");
+    }
+    Ok(())
+}
 
 fn arb_dna(min: usize, max: usize) -> impl Strategy<Value = Seq> {
     prop::collection::vec(0u8..4, min..=max)
@@ -29,6 +72,33 @@ fn arb_triangle(m: usize) -> impl Strategy<Value = OverrideTriangle> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every lane op of every vector type — portable arrays at 4/8/16
+    /// lanes over both elements, and (on x86-64) the SSE2 and AVX2
+    /// intrinsics types — matches the scalar element oracle. Inputs
+    /// span the full `i16` range, so saturation and the sentinel are
+    /// exercised constantly.
+    #[test]
+    fn lane_ops_match_scalar_oracle(
+        a in prop::collection::vec(any::<i16>(), 16),
+        b in prop::collection::vec(any::<i16>(), 16),
+        keep in 0usize..64,
+    ) {
+        check_lane_ops::<I16x4>(&a, &b, keep)?;
+        check_lane_ops::<I16x8>(&a, &b, keep)?;
+        check_lane_ops::<I16x16>(&a, &b, keep)?;
+        check_lane_ops::<I32x4>(&a, &b, keep)?;
+        check_lane_ops::<I32x8>(&a, &b, keep)?;
+        check_lane_ops::<I32x16>(&a, &b, keep)?;
+        // On x86-64 these alias the SSE2 intrinsics types; elsewhere
+        // (and under `portable-only`) they re-check the arrays.
+        check_lane_ops::<NativeI16x4>(&a, &b, keep)?;
+        check_lane_ops::<NativeI16x8>(&a, &b, keep)?;
+        #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            check_lane_ops::<repro_simd::lanes::avx2::I16x16Avx2>(&a, &b, keep)?;
+        }
+    }
 
     /// Every lane of a group reproduces the scalar kernel's bottom row,
     /// for any group position, live-lane count and override triangle.
@@ -79,16 +149,25 @@ proptest! {
         check(&g.rows)?;
     }
 
-    /// The group engine finds exactly the sequential engine's alignments.
+    /// The group engine finds exactly the sequential engine's
+    /// alignments — at every lane width, and on the portable path as
+    /// well as whatever the auto-dispatcher picks for this CPU.
     #[test]
     fn engine_equals_sequential(seq in arb_dna(2, 36), count in 1usize..6) {
         let scoring = Scoring::dna_example();
         let want = find_top_alignments(&seq, &scoring, count);
-        for width in [LaneWidth::X4, LaneWidth::X8] {
+        for width in [LaneWidth::X4, LaneWidth::X8, LaneWidth::X16] {
             let got = find_top_alignments_simd(&seq, &scoring, count, width);
             prop_assert_eq!(
                 &got.result.alignments, &want.alignments,
                 "{:?} diverged", width
+            );
+            let sel = select(Some(width), Some(DispatchPath::Portable))
+                .expect("portable supports every width");
+            let got = find_top_alignments_simd_sel(&seq, &scoring, count, sel);
+            prop_assert_eq!(
+                &got.result.alignments, &want.alignments,
+                "portable {:?} diverged", width
             );
         }
     }
