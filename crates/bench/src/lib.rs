@@ -12,6 +12,7 @@
 //! | `... --bin ablation_speculation` | §5.1: SIMD group speculation overhead |
 //! | `... --bin ablation_queue` | §3: realignments avoided by the task queue |
 //! | `... --bin ablation_smp` | §5.2: SMP scaling and speculative waste |
+//! | `... --bin run_report` | per-engine `RunReport`s + flight-recorder ablation (→ `results/BENCH_report.json`) |
 //! | `cargo bench --workspace` | kernel/queue micro-benchmarks |
 //!
 //! Every binary accepts `--scale small|medium|full` (default `medium`;

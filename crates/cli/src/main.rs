@@ -25,6 +25,10 @@
 //!   --consensus                print the repeat-unit consensus
 //!   --low-memory               Appendix A linear-memory configuration
 //!   --quiet                    suppress the per-alignment listing
+//!   --report FILE              write a structured JSON run report
+//!                              (`{"reports":[…]}`, one per record)
+//!   --trace FILE               write the structured event log as JSONL
+//!                              (cluster/hybrid engines; see repro-obs)
 //!   --generate SPEC            emit a workload FASTA and exit
 //! ```
 //!
@@ -55,6 +59,8 @@ struct Options {
     consensus: bool,
     low_memory: bool,
     quiet: bool,
+    report: Option<String>,
+    trace: Option<String>,
     generate: Option<String>,
 }
 
@@ -64,6 +70,7 @@ fn usage() -> &'static str {
      [--lanes auto|4|8|16] [--dispatch auto|portable|sse2|avx2] \
      [--match N] [--mismatch N] [--open N] [--extend N] [--matrix FILE] \
      [--pairs] [--cigar] [--consensus] [--low-memory] [--quiet] \
+     [--report FILE] [--trace FILE] \
      <input.fasta | -> | repro --generate titin:LEN:SEED"
 }
 
@@ -86,6 +93,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         consensus: false,
         low_memory: false,
         quiet: false,
+        report: None,
+        trace: None,
         generate: None,
     };
     let mut it = args.iter();
@@ -211,6 +220,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--consensus" => opts.consensus = true,
             "--low-memory" => opts.low_memory = true,
             "--quiet" => opts.quiet = true,
+            "--report" => opts.report = Some(next("--report")?.clone()),
+            "--trace" => opts.trace = Some(next("--trace")?.clone()),
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}\n{}", usage()))
@@ -349,19 +360,49 @@ fn run(opts: &Options) -> Result<(), String> {
         return Err("no FASTA records in input".to_string());
     }
 
+    let mut reports: Vec<repro::obs::json::Json> = Vec::new();
+    let mut trace_lines: Vec<String> = Vec::new();
     for record in &records {
-        analyze_one(&record.id, &record.seq, &scoring, opts)?;
+        let analysis = analyze_one(&record.id, &record.seq, &scoring, opts)?;
+        if opts.report.is_some() {
+            reports.push(analysis.run.to_json());
+        }
+        if opts.trace.is_some() {
+            trace_lines.extend(analysis.events.iter().map(|e| e.to_jsonl()));
+        }
+    }
+    if let Some(path) = &opts.report {
+        let doc = repro::obs::json::obj(vec![(
+            "reports",
+            repro::obs::json::Json::Arr(reports),
+        )]);
+        let mut text = doc.to_string_compact();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write report {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.trace {
+        let mut text = trace_lines.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        std::fs::write(path, text).map_err(|e| format!("cannot write trace {path}: {e}"))?;
     }
     Ok(())
 }
 
-fn analyze_one(id: &str, seq: &Seq, scoring: &Scoring, opts: &Options) -> Result<(), String> {
+fn analyze_one(
+    id: &str,
+    seq: &Seq,
+    scoring: &Scoring,
+    opts: &Options,
+) -> Result<repro::Analysis, String> {
     println!(">{id} ({} residues, {} alphabet)", seq.len(), seq.alphabet());
     let t0 = std::time::Instant::now();
     let analysis = Repro::new(scoring.clone())
         .top_alignments(opts.tops)
         .engine(opts.engine)
         .low_memory(opts.low_memory)
+        .trace(opts.trace.is_some())
         .try_run(seq)
         .map_err(|e| format!("engine failure on {id:?}: {e}"))?;
     let elapsed = t0.elapsed();
@@ -425,7 +466,7 @@ fn analyze_one(id: &str, seq: &Seq, scoring: &Scoring, opts: &Options) -> Result
         analysis.tops.stats.tracebacks,
         elapsed
     );
-    Ok(())
+    Ok(analysis)
 }
 
 /// Restore the default SIGPIPE disposition so `repro ... | head` ends
@@ -589,6 +630,57 @@ mod tests {
         for spec in ["threads:0", "cluster:0", "hybrid:0:4", "hybrid:4:0", "hybrid:1:1"] {
             let err = parse_args(&args(&["--engine", spec, "x.fa"])).unwrap_err();
             assert!(err.contains("needs"), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn parses_report_and_trace_paths() {
+        let o = parse_args(&args(&[
+            "--report", "r.json", "--trace", "t.jsonl", "x.fa",
+        ]))
+        .unwrap();
+        assert_eq!(o.report.as_deref(), Some("r.json"));
+        assert_eq!(o.trace.as_deref(), Some("t.jsonl"));
+        assert!(parse_args(&args(&["--report"])).is_err());
+        assert!(parse_args(&args(&["x.fa", "--trace"])).is_err());
+    }
+
+    #[test]
+    fn report_and_trace_files_are_written_and_valid() {
+        use repro::obs::json::Json;
+        let dir = std::env::temp_dir();
+        let fasta = dir.join("repro_cli_obs_test.fa");
+        let report = dir.join("repro_cli_obs_test.json");
+        let trace = dir.join("repro_cli_obs_test.jsonl");
+        std::fs::write(&fasta, ">t\nATGCATGCATGCATGC\n").unwrap();
+        let o = parse_args(&args(&[
+            "--alphabet",
+            "dna",
+            "--tops",
+            "3",
+            "--engine",
+            "cluster:2",
+            "--quiet",
+            "--report",
+            report.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            fasta.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&o).unwrap();
+
+        let doc = Json::parse(&std::fs::read_to_string(&report).unwrap()).unwrap();
+        let reports = doc.get("reports").and_then(Json::as_arr).unwrap();
+        assert_eq!(reports.len(), 1);
+        repro::RunReport::validate(&reports[0]).unwrap();
+
+        // The cluster engine emits assign/result/done events; every line
+        // of the trace must be a standalone JSON object.
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.lines().count() >= 2, "trace too short:\n{trace_text}");
+        for line in trace_text.lines() {
+            Json::parse(line).unwrap();
         }
     }
 

@@ -25,6 +25,7 @@ use crate::recovery::{
 };
 use repro_align::{Score, Scoring, Seq};
 use repro_core::{OverrideTriangle, SplitMask, TopAlignments};
+use repro_obs::{NoopRecorder, Recorder};
 use repro_xmpi::thread::{FaultPlan, ThreadComm};
 use repro_xmpi::{Comm, RecvError};
 use std::collections::{HashMap, HashSet};
@@ -85,11 +86,59 @@ pub fn find_top_alignments_cluster_faulty(
     deadline: Duration,
     faults: FaultPlan,
 ) -> Result<ClusterResult, ClusterError> {
+    find_top_alignments_cluster_faulty_recorded(
+        seq,
+        scoring,
+        count,
+        workers,
+        deadline,
+        faults,
+        &mut NoopRecorder,
+    )
+}
+
+/// [`find_top_alignments_cluster`] with a flight recorder attached to
+/// the master: every assign/result/retry/death/resync/fallback incident
+/// is mirrored into `rec` as a structured event, which is what makes a
+/// chaos-test failure replayable from its JSONL event log.
+pub fn find_top_alignments_cluster_recorded<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    workers: usize,
+    deadline: Duration,
+    rec: &mut R,
+) -> Result<ClusterResult, ClusterError> {
+    find_top_alignments_cluster_faulty_recorded(
+        seq,
+        scoring,
+        count,
+        workers,
+        deadline,
+        FaultPlan::default(),
+        rec,
+    )
+}
+
+/// The fully general entry point: fault injection *and* a recorder.
+/// The recorder runs on the master's (calling) thread only, so it needs
+/// no synchronisation; worker-side tallies travel home inside
+/// [`ResultMsg`] and are folded into the master's stats.
+pub fn find_top_alignments_cluster_faulty_recorded<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    workers: usize,
+    deadline: Duration,
+    faults: FaultPlan,
+    rec: &mut R,
+) -> Result<ClusterResult, ClusterError> {
     assert!(workers >= 1, "need at least one worker rank");
     let ranks = workers + 1;
     let mut world = ThreadComm::world_with_faults(ranks, faults);
     let master_comm = world.remove(0);
 
+    rec.phase_start(repro_obs::Phase::Recovery);
     let result = std::thread::scope(|scope| {
         for comm in world {
             scope.spawn(move || worker_loop(seq, scoring, comm, deadline));
@@ -100,8 +149,10 @@ pub fn find_top_alignments_cluster_faulty(
             count,
             master_comm,
             RecoveryConfig::with_overall(deadline),
+            rec,
         )
     });
+    rec.phase_end(repro_obs::Phase::Recovery);
 
     result.map(|r| ClusterResult { result: r, ranks })
 }
@@ -219,9 +270,9 @@ fn run_task(
     let (prefix, suffix) = seq.split(task.r);
     let mask = SplitMask::new(triangle, task.r);
     let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
-    let (score, first_row) = if task.first {
+    let (score, shadow_rejections, first_row) = if task.first {
         rows.insert(task.r, last.row.clone());
-        (last.best_in_row, Some(last.row))
+        (last.best_in_row, 0, Some(last.row))
     } else {
         if let Some(row) = &task.row {
             rows.insert(task.r, row.clone());
@@ -229,10 +280,9 @@ fn run_task(
         let original = rows
             .get(&task.r)
             .expect("realignment without cached or attached row");
-        (
-            repro_core::bottom::best_valid_entry(&last.row, original).0,
-            None,
-        )
+        let (score, _, shadows) =
+            repro_core::bottom::best_valid_entry_counted(&last.row, original);
+        (score, shadows, None)
     };
     let res = ResultMsg {
         r: task.r,
@@ -240,6 +290,7 @@ fn run_task(
         attempt: task.attempt,
         score,
         cells: last.cells,
+        shadow_rejections,
         first_row,
     };
     let payload = res.encode();
@@ -457,6 +508,71 @@ mod tests {
             },
         );
         assert_eq!(out.unwrap_err(), ClusterError::MasterDead);
+    }
+
+    #[test]
+    fn recorded_chaos_run_produces_a_replayable_event_log() {
+        use repro_obs::{Counter, Event, FlightRecorder, Phase};
+        let seq = Seq::dna(&"ATGC".repeat(8)).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 4);
+        let mut rec = FlightRecorder::with_events(10_000);
+        // Crash one of two workers mid-run: the event log must show the
+        // death and the reassignments that healed it.
+        let got = find_top_alignments_cluster_faulty_recorded(
+            &seq,
+            &scoring,
+            4,
+            2,
+            Duration::from_secs(20),
+            FaultPlan {
+                crash_rank: Some(2),
+                crash_after_sends: 3,
+                ..FaultPlan::default()
+            },
+            &mut rec,
+        )
+        .expect("a crashed worker must not sink the recorded run");
+        assert_eq!(got.result.alignments, want.alignments);
+
+        // The recovery phase wraps the whole run.
+        assert_eq!(rec.phase_entries(Phase::Recovery), 1);
+        assert!(rec.phase_secs(Phase::Recovery) > 0.0);
+
+        // The transport tallies surface both in the recorder and in the
+        // result's stats, and they agree.
+        assert_eq!(
+            rec.counter(Counter::ClusterReassignments),
+            got.result.stats.cluster_reassignments
+        );
+        assert_eq!(
+            rec.counter(Counter::ClusterRetries),
+            got.result.stats.cluster_retries
+        );
+        assert!(rec.counter(Counter::ClusterWorkerDeaths) >= 1);
+
+        // The structured event stream tells the story: assignments,
+        // results, the death, and a terminal Done with the right count.
+        let events = rec.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, Event::Assign { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, Event::Result { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, Event::WorkerDead { worker: 2 })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, Event::Done { tops } if tops == want.alignments.len())));
+        // Timestamps are monotone, so the JSONL log replays in order.
+        assert!(events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+        // And every record serialises to a JSONL line.
+        for e in events {
+            let line = e.to_jsonl();
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::recovery::{
 use parking_lot::{Condvar, Mutex};
 use repro_align::{Score, Scoring, Seq};
 use repro_core::{OverrideTriangle, SplitMask, TopAlignments};
+use repro_obs::{NoopRecorder, Recorder};
 use repro_xmpi::thread::ThreadComm;
 use repro_xmpi::{Comm, RecvError};
 use std::collections::{HashMap, HashSet};
@@ -81,6 +82,29 @@ pub fn find_top_alignments_hybrid(
     threads_per_node: usize,
     deadline: Duration,
 ) -> Result<HybridResult, ClusterError> {
+    find_top_alignments_hybrid_recorded(
+        seq,
+        scoring,
+        count,
+        nodes,
+        threads_per_node,
+        deadline,
+        &mut NoopRecorder,
+    )
+}
+
+/// [`find_top_alignments_hybrid`] with a flight recorder attached to
+/// the master: the same structured event stream as the flat cluster
+/// engine (see [`crate::engine::find_top_alignments_cluster_recorded`]).
+pub fn find_top_alignments_hybrid_recorded<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    nodes: usize,
+    threads_per_node: usize,
+    deadline: Duration,
+    rec: &mut R,
+) -> Result<HybridResult, ClusterError> {
     assert!(nodes >= 1, "need at least the master's node");
     assert!(threads_per_node >= 1, "nodes need at least one CPU");
     assert!(
@@ -92,6 +116,7 @@ pub fn find_top_alignments_hybrid(
     let mut world = ThreadComm::world(nodes + 1);
     let master_comm = world.remove(0);
 
+    rec.phase_start(repro_obs::Phase::Recovery);
     let result = std::thread::scope(|scope| {
         for (node_idx, comm) in world.into_iter().enumerate() {
             // Node 0 of the cluster (rank 1) lost one CPU to the master.
@@ -130,8 +155,10 @@ pub fn find_top_alignments_hybrid(
             count,
             master_comm,
             RecoveryConfig::with_overall(deadline),
+            rec,
         )
     });
+    rec.phase_end(repro_obs::Phase::Recovery);
 
     result.map(|r| HybridResult {
         result: r,
@@ -291,14 +318,14 @@ fn run_task(
     let (prefix, suffix) = seq.split(task.r);
     let mask = SplitMask::new(triangle, task.r);
     let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
-    let (score, first_row) = if task.first {
+    let (score, shadow_rejections, first_row) = if task.first {
         let row = Arc::new(last.row);
         shared
             .inner
             .lock()
             .rows
             .insert(task.r, Arc::clone(&row));
-        (last.best_in_row, Some((*row).clone()))
+        (last.best_in_row, 0, Some((*row).clone()))
     } else {
         let original = {
             let mut inner = shared.inner.lock();
@@ -312,10 +339,9 @@ fn run_task(
                     .expect("realignment without cached or attached row"),
             )
         };
-        (
-            repro_core::bottom::best_valid_entry(&last.row, &original).0,
-            None,
-        )
+        let (score, _, shadows) =
+            repro_core::bottom::best_valid_entry_counted(&last.row, &original);
+        (score, shadows, None)
     };
     let res = ResultMsg {
         r: task.r,
@@ -323,6 +349,7 @@ fn run_task(
         attempt: task.attempt,
         score,
         cells: last.cells,
+        shadow_rejections,
         first_row,
     };
     let payload = res.encode();

@@ -40,9 +40,11 @@ pub mod recovery;
 pub mod sim;
 
 pub use engine::{
-    find_top_alignments_cluster, find_top_alignments_cluster_faulty, ClusterError, ClusterResult,
+    find_top_alignments_cluster, find_top_alignments_cluster_faulty,
+    find_top_alignments_cluster_faulty_recorded, find_top_alignments_cluster_recorded,
+    ClusterError, ClusterResult,
 };
-pub use hybrid::{find_top_alignments_hybrid, HybridResult};
+pub use hybrid::{find_top_alignments_hybrid, find_top_alignments_hybrid_recorded, HybridResult};
 pub use master::{MasterAction, MasterState, LOCAL_WORKER};
 pub use recovery::RecoveryConfig;
 pub use sim::{simulate_cluster, AlignCache, CostModel, SimReport};

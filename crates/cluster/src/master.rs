@@ -216,6 +216,7 @@ impl<'a> MasterState<'a> {
             return Vec::new();
         };
         self.stats.record_alignment(res.cells, res.stamp);
+        self.stats.shadow_rejections += res.shadow_rejections;
         if let Some(row) = res.first_row {
             if self.rows[res.r - 1].is_none() {
                 self.rows[res.r - 1] = Some(row);
@@ -287,7 +288,7 @@ impl<'a> MasterState<'a> {
                 unreachable!("position matched an Assign");
             };
             out.append(&mut queue);
-            let (score, cells, first_row) = self.compute_local(&task);
+            let (score, cells, shadow_rejections, first_row) = self.compute_local(&task);
             queue = self.result(
                 LOCAL_WORKER,
                 ResultMsg {
@@ -296,6 +297,7 @@ impl<'a> MasterState<'a> {
                     attempt: task.attempt,
                     score,
                     cells,
+                    shadow_rejections,
                     first_row,
                 },
             );
@@ -307,22 +309,20 @@ impl<'a> MasterState<'a> {
     /// Run one task on the master itself. Identical to a worker's
     /// compute, but against the master's own triangle — always at
     /// version `tops.len()`, which equals every locally issued stamp.
-    fn compute_local(&self, task: &TaskMsg) -> (Score, u64, Option<Vec<Score>>) {
+    fn compute_local(&self, task: &TaskMsg) -> (Score, u64, u64, Option<Vec<Score>>) {
         debug_assert_eq!(task.stamp, self.tops.len());
         let (prefix, suffix) = self.seq.split(task.r);
         let mask = SplitMask::new(&self.triangle, task.r);
         let last = sw_last_row(prefix, suffix, self.scoring, mask);
         if task.first {
-            (last.best_in_row, last.cells, Some(last.row))
+            (last.best_in_row, last.cells, 0, Some(last.row))
         } else {
             let original = self.rows[task.r - 1]
                 .as_deref()
                 .expect("realignment of a split with no stored row");
-            (
-                repro_core::bottom::best_valid_entry(&last.row, original).0,
-                last.cells,
-                None,
-            )
+            let (score, _, shadows) =
+                repro_core::bottom::best_valid_entry_counted(&last.row, original);
+            (score, last.cells, shadows, None)
         }
     }
 
@@ -363,6 +363,7 @@ impl<'a> MasterState<'a> {
                 index,
             );
             self.stats.record_traceback(cells);
+            self.stats.fresh_pops += 1;
             actions.push(MasterAction::Broadcast(AcceptedMsg {
                 index,
                 pairs: top.pairs.clone(),
@@ -385,6 +386,7 @@ impl<'a> MasterState<'a> {
                 attempt,
             });
             self.in_flight += 1;
+            self.stats.stale_pops += 1;
             let stamp = self.tops.len();
             let first = self.rows[i].is_none();
             let flags = self
@@ -490,9 +492,9 @@ mod tests {
             let (prefix, suffix) = seq.split(task.r);
             let mask = SplitMask::new(&worker_triangles[w], task.r);
             let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
-            let (score, first_row) = if task.first {
+            let (score, shadows, first_row) = if task.first {
                 worker_caches[w].insert(task.r, last.row.clone());
-                (last.best_in_row, Some(last.row))
+                (last.best_in_row, 0, Some(last.row))
             } else {
                 if let Some(row) = &task.row {
                     worker_caches[w].insert(task.r, row.clone());
@@ -500,7 +502,9 @@ mod tests {
                 let orig = worker_caches[w]
                     .get(&task.r)
                     .expect("realignment without a cached or attached row");
-                (repro_core::bottom::best_valid_entry(&last.row, orig).0, None)
+                let (s, _, shadows) =
+                    repro_core::bottom::best_valid_entry_counted(&last.row, orig);
+                (s, shadows, None)
             };
             actions = master.result(
                 w,
@@ -510,6 +514,7 @@ mod tests {
                     attempt: task.attempt,
                     score,
                     cells: last.cells,
+                    shadow_rejections: shadows,
                     first_row,
                 },
             );
@@ -567,6 +572,7 @@ mod tests {
                 attempt: task.attempt,
                 score: 999_999, // a wrong score that must never be trusted
                 cells: 1,
+                shadow_rejections: 0,
                 first_row: Some(vec![0; seq.len()]),
             },
         );

@@ -102,6 +102,9 @@ pub struct ResultMsg {
     pub score: Score,
     /// Cells computed (for the master's accounting).
     pub cells: u64,
+    /// Bottom-row entries the worker's shadow filter rejected (0 on
+    /// first passes; folded into the master's `Stats`).
+    pub shadow_rejections: u64,
     /// First-pass bottom row (only on the first alignment of `r`).
     pub first_row: Option<Vec<Score>>,
 }
@@ -114,7 +117,8 @@ impl ResultMsg {
             .usize(self.stamp)
             .u64(self.attempt)
             .i32(self.score)
-            .u64(self.cells);
+            .u64(self.cells)
+            .u64(self.shadow_rejections);
         match &self.first_row {
             Some(row) => e.u64(1).i32_slice(row),
             None => e.u64(0),
@@ -130,6 +134,7 @@ impl ResultMsg {
         let attempt = d.u64()?;
         let score = d.i32()?;
         let cells = d.u64()?;
+        let shadow_rejections = d.u64()?;
         let first_row = if d.u64()? == 1 {
             Some(d.i32_vec()?)
         } else {
@@ -142,6 +147,7 @@ impl ResultMsg {
             attempt,
             score,
             cells,
+            shadow_rejections,
             first_row,
         })
     }
@@ -236,6 +242,7 @@ mod tests {
                 attempt: 2,
                 score: 123,
                 cells: 1 << 40,
+                shadow_rejections: 7,
                 first_row: None,
             },
             ResultMsg {
@@ -244,6 +251,7 @@ mod tests {
                 attempt: 1,
                 score: 0,
                 cells: 0,
+                shadow_rejections: 0,
                 first_row: Some(vec![]),
             },
         ] {
@@ -283,6 +291,7 @@ mod tests {
                 attempt: 2,
                 score: 17,
                 cells: 99,
+                shadow_rejections: 3,
                 first_row: None,
             }
             .encode(),

@@ -29,6 +29,7 @@ use crate::master::{MasterAction, MasterState};
 use crate::protocol::{tag, ResultMsg, ResyncMsg, TaskMsg};
 use repro_align::{Scoring, Seq};
 use repro_core::TopAlignments;
+use repro_obs::{Counter, Event, Recorder};
 use repro_xmpi::thread::ThreadComm;
 use repro_xmpi::{Comm, RecvError, SendError};
 use std::collections::HashMap;
@@ -83,92 +84,150 @@ struct Flight {
 /// Receive poll granularity when no retransmit deadline is nearer.
 const TICK: Duration = Duration::from_millis(25);
 
+/// Patch the transport-level recovery tallies into the result's stats
+/// before handing it back (the state machine itself never sees them).
+fn finalize(mut tops: TopAlignments, retries: u64, reassigns: u64) -> TopAlignments {
+    tops.stats.cluster_retries = retries;
+    tops.stats.cluster_reassignments = reassigns;
+    tops
+}
+
+/// Drain the master's local-fallback actions and return its result.
+/// Emits a [`Event::LocalFallback`] so event logs make the degradation
+/// visible, then the terminal [`Event::Done`].
+fn local_finish<R: Recorder>(
+    mut master: MasterState,
+    comm: &ThreadComm,
+    rec: &mut R,
+    retries: u64,
+    reassigns: u64,
+) -> Result<TopAlignments, ClusterError> {
+    rec.add(Counter::ClusterLocalFallbacks, 1);
+    rec.event(Event::LocalFallback);
+    for action in master.finish_locally() {
+        match action {
+            MasterAction::Broadcast(acc) => {
+                rec.add(Counter::ClusterBroadcasts, 1);
+                if R::ENABLED {
+                    rec.event(Event::Broadcast { index: acc.index });
+                }
+                repro_xmpi::broadcast_from(comm, tag::ACCEPTED, &acc.encode());
+            }
+            MasterAction::Done => {
+                repro_xmpi::broadcast_from(comm, tag::DONE, &[]);
+            }
+            MasterAction::Assign { .. } => unreachable!("local assigns are internal"),
+        }
+    }
+    if master.is_done() {
+        if R::ENABLED {
+            rec.event(Event::Done {
+                tops: master.alignments().len(),
+            });
+        }
+        Ok(finalize(master.into_result(), retries, reassigns))
+    } else {
+        // No workers, and the local pass could not finish either
+        // (it always can; this is a defensive dead end).
+        Err(ClusterError::Stalled)
+    }
+}
+
+// Execute master actions; returns Ok(true) when DONE was emitted.
+// A failed direct send declares the destination dead on the spot,
+// and the resulting reassignments join the work list.
+#[allow(clippy::too_many_arguments)] // transport loop state, threaded explicitly
+fn act<R: Recorder>(
+    comm: &ThreadComm,
+    master: &mut MasterState,
+    flights: &mut HashMap<usize, Flight>,
+    config: &RecoveryConfig,
+    actions: Vec<MasterAction>,
+    rec: &mut R,
+    reassigns: &mut u64,
+) -> Result<bool, ClusterError> {
+    let mut queue: std::collections::VecDeque<MasterAction> = actions.into();
+    let mut done = false;
+    while let Some(action) = queue.pop_front() {
+        match action {
+            MasterAction::Assign { worker, task } => {
+                let payload = task.encode();
+                let now = Instant::now();
+                if R::ENABLED {
+                    rec.event(Event::Assign {
+                        worker,
+                        r: task.r,
+                        attempt: task.attempt,
+                        stamp: task.stamp,
+                    });
+                }
+                flights.insert(
+                    task.r,
+                    Flight {
+                        worker,
+                        attempt: task.attempt,
+                        payload: payload.clone(),
+                        retry_at: now + config.retry_base,
+                        backoff: config.retry_base,
+                        retries: 0,
+                    },
+                );
+                match comm.send(worker, tag::TASK, payload) {
+                    Ok(()) => {}
+                    Err(SendError::SelfDead) => return Err(ClusterError::MasterDead),
+                    Err(SendError::PeerDead(_)) => {
+                        flights.remove(&task.r);
+                        *reassigns += 1;
+                        rec.add(Counter::ClusterReassignments, 1);
+                        rec.add(Counter::ClusterWorkerDeaths, 1);
+                        if R::ENABLED {
+                            rec.event(Event::WorkerDead { worker });
+                        }
+                        queue.extend(master.worker_dead(worker));
+                    }
+                }
+            }
+            MasterAction::Broadcast(acc) => {
+                rec.add(Counter::ClusterBroadcasts, 1);
+                if R::ENABLED {
+                    rec.event(Event::Broadcast { index: acc.index });
+                }
+                repro_xmpi::broadcast_from(comm, tag::ACCEPTED, &acc.encode());
+            }
+            MasterAction::Done => {
+                if R::ENABLED {
+                    rec.event(Event::Done {
+                        tops: master.alignments().len(),
+                    });
+                }
+                repro_xmpi::broadcast_from(comm, tag::DONE, &[]);
+                done = true;
+            }
+        }
+    }
+    Ok(done)
+}
+
 /// The fault-tolerant master loop: drives [`MasterState`] over `comm`
 /// until the search completes (possibly via local fallback) or the
-/// world is genuinely unrecoverable.
-pub(crate) fn master_loop(
+/// world is genuinely unrecoverable. Every transport-level incident
+/// (assign, result, retransmit, death, resync, fallback) is mirrored
+/// into `rec` as a structured [`Event`], which is what makes chaos
+/// failures replayable from the JSONL event log.
+pub(crate) fn master_loop<R: Recorder>(
     seq: &Seq,
     scoring: &Scoring,
     count: usize,
     comm: ThreadComm,
     config: RecoveryConfig,
+    rec: &mut R,
 ) -> Result<TopAlignments, ClusterError> {
     let mut master = MasterState::new(seq, scoring, count);
     let mut flights: HashMap<usize, Flight> = HashMap::new();
     let start = Instant::now();
     let mut last_heard: HashMap<usize, Instant> = (1..comm.size()).map(|r| (r, start)).collect();
-
-    // Execute master actions; returns Ok(true) when DONE was emitted.
-    // A failed direct send declares the destination dead on the spot,
-    // and the resulting reassignments join the work list.
-    fn act(
-        comm: &ThreadComm,
-        master: &mut MasterState,
-        flights: &mut HashMap<usize, Flight>,
-        config: &RecoveryConfig,
-        actions: Vec<MasterAction>,
-    ) -> Result<bool, ClusterError> {
-        let mut queue: std::collections::VecDeque<MasterAction> = actions.into();
-        let mut done = false;
-        while let Some(action) = queue.pop_front() {
-            match action {
-                MasterAction::Assign { worker, task } => {
-                    let payload = task.encode();
-                    let now = Instant::now();
-                    flights.insert(
-                        task.r,
-                        Flight {
-                            worker,
-                            attempt: task.attempt,
-                            payload: payload.clone(),
-                            retry_at: now + config.retry_base,
-                            backoff: config.retry_base,
-                            retries: 0,
-                        },
-                    );
-                    match comm.send(worker, tag::TASK, payload) {
-                        Ok(()) => {}
-                        Err(SendError::SelfDead) => return Err(ClusterError::MasterDead),
-                        Err(SendError::PeerDead(_)) => {
-                            flights.remove(&task.r);
-                            queue.extend(master.worker_dead(worker));
-                        }
-                    }
-                }
-                MasterAction::Broadcast(acc) => {
-                    repro_xmpi::broadcast_from(comm, tag::ACCEPTED, &acc.encode());
-                }
-                MasterAction::Done => {
-                    repro_xmpi::broadcast_from(comm, tag::DONE, &[]);
-                    done = true;
-                }
-            }
-        }
-        Ok(done)
-    }
-
-    let finish_locally = |mut master: MasterState,
-                          comm: &ThreadComm|
-     -> Result<TopAlignments, ClusterError> {
-        for action in master.finish_locally() {
-            match action {
-                MasterAction::Broadcast(acc) => {
-                    repro_xmpi::broadcast_from(comm, tag::ACCEPTED, &acc.encode());
-                }
-                MasterAction::Done => {
-                    repro_xmpi::broadcast_from(comm, tag::DONE, &[]);
-                }
-                MasterAction::Assign { .. } => unreachable!("local assigns are internal"),
-            }
-        }
-        if master.is_done() {
-            Ok(master.into_result())
-        } else {
-            // No workers, and the local pass could not finish either
-            // (it always can; this is a defensive dead end).
-            Err(ClusterError::Stalled)
-        }
-    };
+    let mut retries_total: u64 = 0;
+    let mut reassigns_total: u64 = 0;
 
     loop {
         let now = Instant::now();
@@ -176,12 +235,12 @@ pub(crate) fn master_loop(
             // Budget exhausted with the search unfinished: stop
             // believing the cluster and compute the rest ourselves.
             repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
-            return finish_locally(master, &comm);
+            return local_finish(master, &comm, rec, retries_total, reassigns_total);
         }
 
         // Retransmit overdue assignments; escalate silent workers.
         let mut newly_dead: Vec<usize> = Vec::new();
-        for flight in flights.values_mut() {
+        for (&r, flight) in flights.iter_mut() {
             if now < flight.retry_at {
                 continue;
             }
@@ -209,6 +268,16 @@ pub(crate) fn master_loop(
                     flight.retries += 1;
                     flight.backoff = (flight.backoff * 2).min(config.retry_cap);
                     flight.retry_at = now + flight.backoff;
+                    retries_total += 1;
+                    rec.add(Counter::ClusterRetries, 1);
+                    if R::ENABLED {
+                        rec.event(Event::Retry {
+                            worker: flight.worker,
+                            r,
+                            attempt: flight.attempt,
+                            retries: flight.retries,
+                        });
+                    }
                 }
                 Err(SendError::SelfDead) => return Err(ClusterError::MasterDead),
                 Err(SendError::PeerDead(_)) => newly_dead.push(flight.worker),
@@ -219,14 +288,34 @@ pub(crate) fn master_loop(
             newly_dead.dedup();
             let mut actions = Vec::new();
             for w in newly_dead {
+                let before = flights.len();
                 flights.retain(|_, f| f.worker != w);
+                let dropped = (before - flights.len()) as u64;
+                reassigns_total += dropped;
+                rec.add(Counter::ClusterReassignments, dropped);
+                rec.add(Counter::ClusterWorkerDeaths, 1);
+                if R::ENABLED {
+                    rec.event(Event::WorkerDead { worker: w });
+                }
                 actions.extend(master.worker_dead(w));
             }
-            if act(&comm, &mut master, &mut flights, &config, actions)? {
-                return Ok(master.into_result());
+            if act(
+                &comm,
+                &mut master,
+                &mut flights,
+                &config,
+                actions,
+                rec,
+                &mut reassigns_total,
+            )? {
+                return Ok(finalize(
+                    master.into_result(),
+                    retries_total,
+                    reassigns_total,
+                ));
             }
             if master.live_workers() == 0 && !master.is_done() {
-                return finish_locally(master, &comm);
+                return local_finish(master, &comm, rec, retries_total, reassigns_total);
             }
         }
 
@@ -260,12 +349,27 @@ pub(crate) fn master_loop(
                     {
                         flights.remove(&res.r);
                     }
+                    if R::ENABLED {
+                        rec.event(Event::Result {
+                            worker: msg.from,
+                            r: res.r,
+                            attempt: res.attempt,
+                            score: res.score as i64,
+                        });
+                    }
                     master.result(msg.from, res)
                 }
                 Err(_) => Vec::new(), // corrupted in flight; retry recovers
             },
             tag::RESYNC => {
                 if let Ok(m) = ResyncMsg::decode(&msg.payload) {
+                    rec.add(Counter::ClusterResyncs, 1);
+                    if R::ENABLED {
+                        rec.event(Event::Resync {
+                            worker: msg.from,
+                            applied: m.applied,
+                        });
+                    }
                     for acc in master.accepted_since(m.applied) {
                         // Paired: the reply is retransmission traffic,
                         // and a single copy per round can phase-lock
@@ -279,12 +383,24 @@ pub(crate) fn master_loop(
             }
             _ => Vec::new(), // stray tag: ignore rather than crash
         };
-        if act(&comm, &mut master, &mut flights, &config, actions)? {
-            return Ok(master.into_result());
+        if act(
+            &comm,
+            &mut master,
+            &mut flights,
+            &config,
+            actions,
+            rec,
+            &mut reassigns_total,
+        )? {
+            return Ok(finalize(
+                master.into_result(),
+                retries_total,
+                reassigns_total,
+            ));
         }
         if master.live_workers() == 0 && !master.is_done() && flights.is_empty() {
             // Every registered worker has been written off.
-            return finish_locally(master, &comm);
+            return local_finish(master, &comm, rec, retries_total, reassigns_total);
         }
     }
 }

@@ -68,6 +68,8 @@ pub struct AlignCache {
 struct CachedAlign {
     score: Score,
     cells: u64,
+    /// Shadow-filter rejections behind `score` (0 on first passes).
+    shadows: u64,
     /// First-pass bottom row (version 0 only).
     row: Option<Vec<Score>>,
 }
@@ -183,34 +185,34 @@ impl WorkerSim<'_> {
         let version = self.applied;
         let key = (task.r, version);
         let cached = self.cache.borrow().entries.get(&key).cloned();
-        let (score, cells, row) = match cached {
-            Some(c) => (c.score, c.cells, c.row),
+        let (score, cells, shadows, row) = match cached {
+            Some(c) => (c.score, c.cells, c.shadows, c.row),
             None => {
                 let (prefix, suffix) = self.seq.split(task.r);
                 let mask = SplitMask::new(&self.triangle, task.r);
                 let last = repro_align::sw_last_row(prefix, suffix, self.scoring, mask);
-                let (score, row) = if task.first {
-                    (last.best_in_row, Some(last.row))
+                let (score, shadows, row) = if task.first {
+                    (last.best_in_row, 0, Some(last.row))
                 } else {
                     let original = task
                         .row
                         .as_deref()
                         .or_else(|| self.rows.get(&task.r).map(|v| &v[..]))
                         .expect("realignment without cached or attached row");
-                    (
-                        repro_core::bottom::best_valid_entry(&last.row, original).0,
-                        None,
-                    )
+                    let (score, _, shadows) =
+                        repro_core::bottom::best_valid_entry_counted(&last.row, original);
+                    (score, shadows, None)
                 };
                 self.cache.borrow_mut().entries.insert(
                     key,
                     CachedAlign {
                         score,
                         cells: last.cells,
+                        shadows,
                         row: row.clone(),
                     },
                 );
-                (score, last.cells, row)
+                (score, last.cells, shadows, row)
             }
         };
         // Cache the row locally for future shadow filtering.
@@ -226,6 +228,7 @@ impl WorkerSim<'_> {
             attempt: task.attempt,
             score,
             cells,
+            shadow_rejections: shadows,
             first_row: row,
         };
         ctx.send(0, sim_tag::RESULT, res.encode());

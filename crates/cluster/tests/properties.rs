@@ -101,15 +101,17 @@ proptest! {
             let (prefix, suffix) = seq.split(task.r);
             let mask = SplitMask::new(triangle, task.r);
             let last = sw_last_row(prefix, suffix, scoring, mask);
-            let (score, first_row) = if task.first {
+            let (score, shadow_rejections, first_row) = if task.first {
                 cache.insert(task.r, last.row.clone());
-                (last.best_in_row, Some(last.row))
+                (last.best_in_row, 0, Some(last.row))
             } else {
                 if let Some(row) = &task.row {
                     cache.insert(task.r, row.clone());
                 }
                 let orig = cache.get(&task.r).expect("realignment without a row");
-                (repro_core::bottom::best_valid_entry(&last.row, orig).0, None)
+                let (score, _, shadows) =
+                    repro_core::bottom::best_valid_entry_counted(&last.row, orig);
+                (score, shadows, None)
             };
             ResultMsg {
                 r: task.r,
@@ -117,6 +119,7 @@ proptest! {
                 attempt: task.attempt,
                 score,
                 cells: last.cells,
+                shadow_rejections,
                 first_row,
             }
         }

@@ -96,16 +96,33 @@ impl BottomRowStore {
 /// score and its (leftmost) column, or `(0, None)` when every positive
 /// entry is shadowed.
 pub fn best_valid_entry(current: &[Score], original: &[Score]) -> (Score, Option<usize>) {
+    let (best, col, _) = best_valid_entry_counted(current, original);
+    (best, col)
+}
+
+/// [`best_valid_entry`] that also counts the shadow rejections: the
+/// number of positions where the realigned row disagrees with the
+/// stored first-pass row. The count feeds
+/// [`crate::Stats::shadow_rejections`].
+pub fn best_valid_entry_counted(
+    current: &[Score],
+    original: &[Score],
+) -> (Score, Option<usize>, u64) {
     debug_assert_eq!(current.len(), original.len());
     let mut best = 0;
     let mut col = None;
+    let mut shadows = 0u64;
     for (x, (&c, &o)) in current.iter().zip(original).enumerate() {
-        if c == o && c > best {
-            best = c;
-            col = Some(x);
+        if c == o {
+            if c > best {
+                best = c;
+                col = Some(x);
+            }
+        } else {
+            shadows += 1;
         }
     }
-    (best, col)
+    (best, col, shadows)
 }
 
 #[cfg(test)]
@@ -176,6 +193,15 @@ mod tests {
         let (score, col) = best_valid_entry(&current, &original);
         assert_eq!(score, 7);
         assert_eq!(col, Some(2));
+    }
+
+    #[test]
+    fn counted_variant_tallies_disagreements() {
+        let original = [3, 9, 7, 0, 5];
+        let current = [3, 4, 7, 1, 5];
+        let (score, col, shadows) = best_valid_entry_counted(&current, &original);
+        assert_eq!((score, col), (7, Some(2)));
+        assert_eq!(shadows, 2);
     }
 
     #[test]

@@ -12,13 +12,14 @@
 //! primitives; the shared-memory and distributed engines reuse them with
 //! their own schedulers so all engines produce identical output.
 
-use crate::bottom::{best_valid_entry, BottomRowStore};
+use crate::bottom::{best_valid_entry, best_valid_entry_counted, BottomRowStore};
 use crate::split_mask::SplitMask;
 use crate::stats::Stats;
 use crate::tasks::{Task, TaskQueue, NEVER_ALIGNED};
 use crate::triangle::OverrideTriangle;
 use repro_align::kernel::full::{sw_full, traceback};
 use repro_align::{sw_last_row, sw_last_row_striped, NoMask, Score, Scoring, Seq};
+use repro_obs::{NoopRecorder, Phase, Recorder};
 
 /// How first-pass bottom rows are kept for shadow filtering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -172,6 +173,9 @@ pub struct TaskResult {
     pub first_row: Option<Vec<Score>>,
     /// Cells computed.
     pub cells: u64,
+    /// Bottom-row positions the shadow filter rejected (always 0 for a
+    /// first pass, which has nothing to compare against).
+    pub shadow_rejections: u64,
 }
 
 /// Score-only (re)alignment of split `r` under `triangle`.
@@ -206,15 +210,17 @@ pub fn align_task(
                 col: last.best_in_row_col,
                 cells: last.cells,
                 first_row: Some(last.row),
+                shadow_rejections: 0,
             }
         }
         Some(orig) => {
-            let (score, col) = best_valid_entry(&last.row, orig);
+            let (score, col, shadows) = best_valid_entry_counted(&last.row, orig);
             TaskResult {
                 score,
                 col,
                 cells: last.cells,
                 first_row: None,
+                shadow_rejections: shadows,
             }
         }
     }
@@ -341,13 +347,15 @@ impl<'a> TopAlignmentFinder<'a> {
 
     /// Recompute the clean (empty-triangle) bottom row of split `r` —
     /// the on-demand path of [`RowMode::Recompute`].
-    fn recompute_clean_row(&mut self, r: usize) -> Vec<Score> {
+    fn recompute_clean_row<R: Recorder>(&mut self, r: usize, rec: &mut R) -> Vec<Score> {
+        rec.phase_start(Phase::RowRecompute);
         let (prefix, suffix) = self.seq.split(r);
         let last = match self.config.stripe {
             Some(w) => sw_last_row_striped(prefix, suffix, self.scoring, NoMask, w),
             None => sw_last_row(prefix, suffix, self.scoring, NoMask),
         };
         self.stats.record_row_recompute(last.cells);
+        rec.phase_end(Phase::RowRecompute);
         last.row
     }
 
@@ -368,6 +376,14 @@ impl<'a> TopAlignmentFinder<'a> {
 
     /// Execute one scheduling decision (Figure 5's loop body).
     pub fn step(&mut self) -> Step {
+        self.step_recorded(&mut NoopRecorder)
+    }
+
+    /// [`Self::step`] with instrumentation: phase spans around the
+    /// alignment kernels and stale/fresh pop accounting. The recorder is
+    /// a monomorphized generic — with [`NoopRecorder`] this compiles to
+    /// exactly the uninstrumented loop.
+    pub fn step_recorded<R: Recorder>(&mut self, rec: &mut R) -> Step {
         if self.alignments.len() >= self.config.count {
             return Step::Done;
         }
@@ -381,16 +397,18 @@ impl<'a> TopAlignmentFinder<'a> {
         }
         let tops_found = self.alignments.len();
         if task.is_fresh(tops_found) {
+            self.stats.fresh_pops += 1;
             let index = tops_found;
             let (top, cells) = match self.config.row_mode {
                 RowMode::Store => {
+                    rec.phase_start(Phase::Traceback);
                     let original = self
                         .bottom
                         .as_ref()
                         .expect("store mode keeps rows")
                         .get(task.r)
                         .expect("accepted split must have a stored row");
-                    accept_task_with_row(
+                    let out = accept_task_with_row(
                         self.seq,
                         self.scoring,
                         task.r,
@@ -398,11 +416,14 @@ impl<'a> TopAlignmentFinder<'a> {
                         &mut self.triangle,
                         original,
                         index,
-                    )
+                    );
+                    rec.phase_end(Phase::Traceback);
+                    out
                 }
                 RowMode::Recompute => {
-                    let clean = self.recompute_clean_row(task.r);
-                    accept_task_with_row(
+                    let clean = self.recompute_clean_row(task.r, rec);
+                    rec.phase_start(Phase::Traceback);
+                    let out = accept_task_with_row(
                         self.seq,
                         self.scoring,
                         task.r,
@@ -410,7 +431,9 @@ impl<'a> TopAlignmentFinder<'a> {
                         &mut self.triangle,
                         &clean,
                         index,
-                    )
+                    );
+                    rec.phase_end(Phase::Traceback);
+                    out
                 }
             };
             self.stats.record_traceback(cells);
@@ -425,7 +448,13 @@ impl<'a> TopAlignmentFinder<'a> {
             });
             Step::Accepted { r, score }
         } else {
+            self.stats.stale_pops += 1;
             let first_pass = task.aligned_with == NEVER_ALIGNED;
+            let sweep_phase = if first_pass {
+                Phase::FirstSweep
+            } else {
+                Phase::Drain
+            };
             let result = match self.config.row_mode {
                 RowMode::Store => {
                     let original = self
@@ -434,33 +463,44 @@ impl<'a> TopAlignmentFinder<'a> {
                         .expect("store mode keeps rows")
                         .get(task.r);
                     debug_assert_eq!(original.is_none(), first_pass);
-                    align_task(
+                    rec.phase_start(sweep_phase);
+                    let out = align_task(
                         self.seq,
                         self.scoring,
                         task.r,
                         &self.triangle,
                         original,
                         self.config.stripe,
-                    )
+                    );
+                    rec.phase_end(sweep_phase);
+                    out
                 }
-                RowMode::Recompute if first_pass => align_task(
-                    self.seq,
-                    self.scoring,
-                    task.r,
-                    &self.triangle,
-                    None,
-                    self.config.stripe,
-                ),
+                RowMode::Recompute if first_pass => {
+                    rec.phase_start(sweep_phase);
+                    let out = align_task(
+                        self.seq,
+                        self.scoring,
+                        task.r,
+                        &self.triangle,
+                        None,
+                        self.config.stripe,
+                    );
+                    rec.phase_end(sweep_phase);
+                    out
+                }
                 RowMode::Recompute => {
-                    let clean = self.recompute_clean_row(task.r);
-                    align_task(
+                    let clean = self.recompute_clean_row(task.r, rec);
+                    rec.phase_start(sweep_phase);
+                    let out = align_task(
                         self.seq,
                         self.scoring,
                         task.r,
                         &self.triangle,
                         Some(&clean),
                         self.config.stripe,
-                    )
+                    );
+                    rec.phase_end(sweep_phase);
+                    out
                 }
             };
             if let Some(row) = result.first_row {
@@ -473,6 +513,7 @@ impl<'a> TopAlignmentFinder<'a> {
                 "realignment of split {} rose above its upper bound",
                 task.r
             );
+            self.stats.shadow_rejections += result.shadow_rejections;
             self.stats.record_alignment(result.cells, tops_found);
             self.queue.push(Task {
                 r: task.r,
@@ -487,8 +528,13 @@ impl<'a> TopAlignmentFinder<'a> {
     }
 
     /// Run to completion and return the result.
-    pub fn run(mut self) -> TopAlignments {
-        while !matches!(self.step(), Step::Done) {}
+    pub fn run(self) -> TopAlignments {
+        self.run_recorded(&mut NoopRecorder)
+    }
+
+    /// [`Self::run`] with instrumentation (see [`Self::step_recorded`]).
+    pub fn run_recorded<R: Recorder>(mut self, rec: &mut R) -> TopAlignments {
+        while !matches!(self.step_recorded(rec), Step::Done) {}
         TopAlignments {
             alignments: self.alignments,
             stats: self.stats,
@@ -512,6 +558,17 @@ impl<'a> TopAlignmentFinder<'a> {
 /// ```
 pub fn find_top_alignments(seq: &Seq, scoring: &Scoring, count: usize) -> TopAlignments {
     TopAlignmentFinder::new(seq, scoring, FinderConfig::new(count)).run()
+}
+
+/// [`find_top_alignments`] with a recorder capturing phase timings and
+/// pop/shadow accounting (see [`TopAlignmentFinder::step_recorded`]).
+pub fn find_top_alignments_recorded<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    rec: &mut R,
+) -> TopAlignments {
+    TopAlignmentFinder::new(seq, scoring, FinderConfig::new(count)).run_recorded(rec)
 }
 
 #[cfg(test)]
@@ -671,6 +728,55 @@ mod tests {
             .collect();
         assert_eq!(realigned, vec![4, 5, 6, 7, 8]);
         assert_eq!(*trace.last().unwrap(), Step::Accepted { r: 8, score: 8 });
+    }
+
+    /// Known-answer recorder totals on the Figure 4 example: the golden
+    /// trace above fixes the schedule (11 first passes, acceptance,
+    /// 1 drain realignment, acceptance, 5 drain realignments,
+    /// acceptance), so every span entry count and pop counter is exact.
+    #[test]
+    fn recorder_known_answer_totals() {
+        use repro_obs::FlightRecorder;
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let mut rec = FlightRecorder::new();
+        let result = find_top_alignments_recorded(&seq, &atgc_scoring(), 3, &mut rec);
+        assert_eq!(result.alignments.len(), 3);
+        // Pops: 11 first passes + 6 drain realignments are stale, the
+        // 3 acceptances are fresh.
+        assert_eq!(result.stats.stale_pops, 17);
+        assert_eq!(result.stats.fresh_pops, 3);
+        assert_eq!(result.stats.alignments, 17);
+        assert_eq!(result.stats.tracebacks, 3);
+        // Span entry counts mirror the pops exactly.
+        assert_eq!(rec.phase_entries(Phase::FirstSweep), 11);
+        assert_eq!(rec.phase_entries(Phase::Drain), 6);
+        assert_eq!(rec.phase_entries(Phase::Traceback), 3);
+        assert_eq!(rec.phase_entries(Phase::RowRecompute), 0);
+        assert!(rec.phase_secs(Phase::FirstSweep) > 0.0);
+        assert!(rec.phase_secs(Phase::Traceback) > 0.0);
+        // Realignments after an acceptance hit the shadow filter.
+        assert!(result.stats.shadow_rejections > 0);
+        // The recorded run is the same computation: identical output and
+        // stats as the unrecorded entry point.
+        let plain = find_top_alignments(&seq, &atgc_scoring(), 3);
+        assert_eq!(plain.alignments, result.alignments);
+        assert_eq!(plain.stats, result.stats);
+    }
+
+    #[test]
+    fn recorder_sees_row_recompute_phase_in_linear_memory_mode() {
+        use repro_obs::FlightRecorder;
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let scoring = atgc_scoring();
+        let mut rec = FlightRecorder::new();
+        let result = TopAlignmentFinder::new(&seq, &scoring, FinderConfig::linear_memory(3))
+            .run_recorded(&mut rec);
+        assert_eq!(result.alignments.len(), 3);
+        assert_eq!(
+            rec.phase_entries(Phase::RowRecompute),
+            result.stats.row_recomputations
+        );
+        assert!(rec.phase_entries(Phase::RowRecompute) > 0);
     }
 
     #[test]

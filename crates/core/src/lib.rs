@@ -36,12 +36,13 @@ pub mod stats;
 pub mod tasks;
 pub mod triangle;
 
-pub use bottom::BottomRowStore;
+pub use bottom::{best_valid_entry_counted, BottomRowStore};
 pub use consensus::{unit_consensus, Consensus};
 pub use delineate::{delineate, RepeatReport, RepeatUnit};
 pub use finder::{
-    accept_task, accept_task_with_row, align_task, find_top_alignments, FinderConfig, RowMode,
-    Step, TaskResult, TopAlignment, TopAlignmentFinder, TopAlignments,
+    accept_task, accept_task_with_row, align_task, find_top_alignments,
+    find_top_alignments_recorded, FinderConfig, RowMode, Step, TaskResult, TopAlignment,
+    TopAlignmentFinder, TopAlignments,
 };
 pub use split_mask::SplitMask;
 pub use stats::Stats;

@@ -32,6 +32,19 @@ pub struct Stats {
     pub row_recomputations: u64,
     /// Cells spent on those on-demand recomputations.
     pub row_recompute_cells: u64,
+    /// Bottom-row entries rejected by the shadow filter during
+    /// realignment acceptance: positions where the realigned row
+    /// disagreed with the stored first-pass row (paper App. A).
+    pub shadow_rejections: u64,
+    /// Queue pops whose upper bound was stale (→ the task was realigned).
+    pub stale_pops: u64,
+    /// Queue pops whose bound was fresh (→ the head was accepted as a
+    /// top alignment without realignment).
+    pub fresh_pops: u64,
+    /// Cluster task retransmissions (recovery layer).
+    pub cluster_retries: u64,
+    /// Cluster tasks reassigned away from a dead worker.
+    pub cluster_reassignments: u64,
 }
 
 impl Stats {
@@ -92,6 +105,11 @@ impl Stats {
             .extend_from_slice(&other.traceback_cells_per_top);
         self.row_recomputations += other.row_recomputations;
         self.row_recompute_cells += other.row_recompute_cells;
+        self.shadow_rejections += other.shadow_rejections;
+        self.stale_pops += other.stale_pops;
+        self.fresh_pops += other.fresh_pops;
+        self.cluster_retries += other.cluster_retries;
+        self.cluster_reassignments += other.cluster_reassignments;
     }
 
     /// Total score-pass cells spent up to (and including) finding top
@@ -146,11 +164,23 @@ mod tests {
         let mut b = Stats::new();
         b.record_alignment(20, 0);
         b.record_alignment(30, 1);
+        a.shadow_rejections = 2;
+        a.stale_pops = 4;
+        b.shadow_rejections = 3;
+        b.stale_pops = 1;
+        b.fresh_pops = 2;
+        b.cluster_retries = 5;
+        b.cluster_reassignments = 1;
         a.merge(&b);
         assert_eq!(a.alignments, 3);
         assert_eq!(a.cells, 60);
         assert_eq!(a.tracebacks, 1);
         assert_eq!(a.realignments_per_top, vec![2, 1]);
+        assert_eq!(a.shadow_rejections, 5);
+        assert_eq!(a.stale_pops, 5);
+        assert_eq!(a.fresh_pops, 2);
+        assert_eq!(a.cluster_retries, 5);
+        assert_eq!(a.cluster_reassignments, 1);
     }
 
     #[test]

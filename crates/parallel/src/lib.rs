@@ -27,12 +27,13 @@ pub use simd_smp::{find_top_alignments_parallel_simd, ParallelSimdResult};
 
 use parking_lot::{Condvar, Mutex};
 use repro_align::{Score, Scoring, Seq};
-use repro_core::bottom::best_valid_entry;
+use repro_core::bottom::best_valid_entry_counted;
 use repro_core::{
     accept_task_with_row, OverrideTriangle, SplitMask, Stats, TopAlignment, TopAlignments,
 };
 use std::sync::Arc;
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Result of the threaded engine.
 #[derive(Debug, Clone)]
@@ -45,6 +46,13 @@ pub struct ParallelResult {
     /// Alignments that were computed against an already-superseded
     /// triangle version (the speculation overhead; paper: ≤ 8.4 %).
     pub superseded_alignments: u64,
+    /// Tasks claimed by workers (acceptances + realignments) — the
+    /// scheduling-churn figure the flight recorder reports as
+    /// `task_claims`.
+    pub task_claims: u64,
+    /// Total seconds worker threads spent blocked waiting for claimable
+    /// work, summed across workers (reported as the `worker_idle` phase).
+    pub idle_secs: f64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +68,8 @@ struct Shared {
     tops: Vec<TopAlignment>,
     stats: Stats,
     superseded: u64,
+    claims: u64,
+    idle_secs: f64,
     accept_in_progress: bool,
     done: bool,
 }
@@ -114,6 +124,8 @@ pub fn find_top_alignments_parallel(
             tops: Vec::new(),
             stats: Stats::new(),
             superseded: 0,
+            claims: 0,
+            idle_secs: 0.0,
             accept_in_progress: false,
             done: false,
         }),
@@ -131,6 +143,8 @@ pub fn find_top_alignments_parallel(
             },
             workers: threads,
             superseded_alignments: 0,
+            task_claims: 0,
+            idle_secs: 0.0,
         };
     }
 
@@ -149,6 +163,8 @@ pub fn find_top_alignments_parallel(
         },
         workers: threads,
         superseded_alignments: shared.superseded,
+        task_claims: shared.claims,
+        idle_secs: shared.idle_secs,
     }
 }
 
@@ -189,6 +205,8 @@ impl Engine<'_> {
                 // Someone is already accepting; speculate below.
             } else {
                 shared.accept_in_progress = true;
+                shared.claims += 1;
+                shared.stats.fresh_pops += 1;
                 return Decision::Accept {
                     r: best_i + 1,
                     score: best_score,
@@ -206,6 +224,8 @@ impl Engine<'_> {
         match pick {
             Some((_, i)) => {
                 shared.state[i].assigned = true;
+                shared.claims += 1;
+                shared.stats.stale_pops += 1;
                 Decision::Realign {
                     r: i + 1,
                     stamp: tops_found,
@@ -225,7 +245,9 @@ impl Engine<'_> {
                     return;
                 }
                 Decision::Wait => {
+                    let t0 = Instant::now();
                     self.wake.wait(&mut guard);
+                    guard.idle_secs += t0.elapsed().as_secs_f64();
                 }
                 Decision::Accept { r, score } => {
                     let index = guard.tops.len();
@@ -261,13 +283,16 @@ impl Engine<'_> {
                     let mask = SplitMask::new(&triangle, r);
                     let last = repro_align::sw_last_row(prefix, suffix, self.scoring, mask);
                     let cells = last.cells;
-                    let (score, first) = match self.rows[r - 1].get() {
+                    let (score, shadows, first) = match self.rows[r - 1].get() {
                         None => {
                             debug_assert!(triangle.is_empty());
                             let s = last.best_in_row;
-                            (s, Some(last.row))
+                            (s, 0, Some(last.row))
                         }
-                        Some(original) => (best_valid_entry(&last.row, original).0, None),
+                        Some(original) => {
+                            let (s, _, shadows) = best_valid_entry_counted(&last.row, original);
+                            (s, shadows, None)
+                        }
                     };
                     if let Some(row) = first {
                         self.rows[r - 1]
@@ -276,6 +301,7 @@ impl Engine<'_> {
                     }
 
                     guard = self.shared.lock();
+                    guard.stats.shadow_rejections += shadows;
                     guard.stats.record_alignment(cells, stamp);
                     if stamp != guard.tops.len() {
                         guard.superseded += 1;
@@ -339,8 +365,31 @@ mod tests {
         assert_eq!(got.superseded_alignments, 0);
         let want = find_top_alignments(&seq, &scoring, 8);
         assert_eq!(got.result.alignments, want.alignments);
-        // One worker does exactly the sequential amount of work.
+        // One worker does exactly the sequential amount of work — the
+        // claim accounting must agree with the sequential pop counters.
         assert_eq!(got.result.stats.alignments, want.stats.alignments);
+        assert_eq!(got.result.stats.stale_pops, want.stats.stale_pops);
+        assert_eq!(got.result.stats.fresh_pops, want.stats.fresh_pops);
+        assert_eq!(got.result.stats.shadow_rejections, want.stats.shadow_rejections);
+        assert_eq!(
+            got.task_claims,
+            got.result.stats.stale_pops + got.result.stats.fresh_pops
+        );
+    }
+
+    #[test]
+    fn claims_and_idle_are_accounted_with_many_threads() {
+        let seq = Seq::dna(&"ATGC".repeat(20)).unwrap();
+        let scoring = Scoring::dna_example();
+        let got = find_top_alignments_parallel(&seq, &scoring, 8, 4);
+        // Every alignment and every acceptance was claimed by some worker.
+        assert_eq!(
+            got.task_claims,
+            got.result.stats.stale_pops + got.result.stats.fresh_pops
+        );
+        assert_eq!(got.result.stats.stale_pops, got.result.stats.alignments);
+        assert_eq!(got.result.stats.fresh_pops, got.result.stats.tracebacks);
+        assert!(got.idle_secs >= 0.0);
     }
 
     #[test]

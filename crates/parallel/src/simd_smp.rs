@@ -27,11 +27,12 @@
 
 use parking_lot::{Condvar, Mutex};
 use repro_align::{Score, Scoring, Seq};
-use repro_core::bottom::best_valid_entry;
+use repro_core::bottom::best_valid_entry_counted;
 use repro_core::{accept_task_with_row, OverrideTriangle, Stats, TopAlignment, TopAlignments};
 use repro_simd::{GroupSweeper, SimdSel, SimdStats};
 use std::sync::Arc;
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Result of the SIMD × SMP engine.
 #[derive(Debug, Clone)]
@@ -48,6 +49,11 @@ pub struct ParallelSimdResult {
     /// Group sweeps computed against an already-superseded triangle
     /// version (speculation overhead).
     pub superseded_sweeps: u64,
+    /// Group tasks (sweeps + acceptances) claimed by workers.
+    pub task_claims: u64,
+    /// Total seconds workers spent blocked waiting for claimable work,
+    /// summed across workers.
+    pub idle_secs: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -67,6 +73,8 @@ struct Shared {
     stats: Stats,
     simd: SimdStats,
     superseded: u64,
+    claims: u64,
+    idle_secs: f64,
     accept_in_progress: bool,
     done: bool,
 }
@@ -135,6 +143,8 @@ pub fn find_top_alignments_parallel_simd(
             stats: Stats::new(),
             simd: SimdStats::default(),
             superseded: 0,
+            claims: 0,
+            idle_secs: 0.0,
             accept_in_progress: false,
             done: false,
         }),
@@ -161,6 +171,8 @@ pub fn find_top_alignments_parallel_simd(
         sel,
         simd: shared.simd,
         superseded_sweeps: shared.superseded,
+        task_claims: shared.claims,
+        idle_secs: shared.idle_secs,
     }
 }
 
@@ -217,6 +229,8 @@ impl Engine<'_> {
                     .max_by(|(la, sa), (lb, sb)| sa.cmp(sb).then(lb.cmp(la)))
                     .expect("groups are never empty");
                 shared.accept_in_progress = true;
+                shared.claims += 1;
+                shared.stats.fresh_pops += 1;
                 return Decision::Accept {
                     r: self.group_r0(best_gi) + best_l,
                     score,
@@ -234,6 +248,8 @@ impl Engine<'_> {
         match pick {
             Some((_, gi)) => {
                 shared.groups[gi].assigned = true;
+                shared.claims += 1;
+                shared.stats.stale_pops += 1;
                 Decision::Sweep {
                     gi,
                     stamp: tops_found,
@@ -253,7 +269,9 @@ impl Engine<'_> {
                     return;
                 }
                 Decision::Wait => {
+                    let t0 = Instant::now();
                     self.wake.wait(&mut guard);
+                    guard.idle_secs += t0.elapsed().as_secs_f64();
                 }
                 Decision::Accept { r, score } => {
                     let index = guard.tops.len();
@@ -298,6 +316,7 @@ impl Engine<'_> {
                     let g = outcome.group;
                     let per_lane_cells = g.cells / nl as u64;
                     let mut members = Vec::with_capacity(nl);
+                    let mut shadows = 0u64;
                     for l in 0..nl {
                         let r = r0 + l;
                         let score = if first_pass {
@@ -310,12 +329,16 @@ impl Engine<'_> {
                             let original = self.rows[r - 1]
                                 .get()
                                 .expect("re-swept member must have a stored first-pass row");
-                            best_valid_entry(&g.rows[l], original).0
+                            let (s, _, lane_shadows) =
+                                best_valid_entry_counted(&g.rows[l], original);
+                            shadows += lane_shadows;
+                            s
                         };
                         members.push(score);
                     }
 
                     guard = self.shared.lock();
+                    guard.stats.shadow_rejections += shadows;
                     for _ in 0..nl {
                         guard.stats.record_alignment(per_lane_cells, stamp);
                     }
@@ -437,6 +460,13 @@ mod tests {
         assert_eq!(got.superseded_sweeps, 0);
         let want = find_top_alignments(&seq, &scoring, 8);
         assert_eq!(got.result.alignments, want.alignments);
+        // Group-level claims: one per sweep, one per acceptance.
+        assert_eq!(
+            got.task_claims,
+            got.result.stats.stale_pops + got.result.stats.fresh_pops
+        );
+        assert_eq!(got.result.stats.stale_pops, got.simd.group_sweeps);
+        assert_eq!(got.result.stats.fresh_pops, got.result.stats.tracebacks);
     }
 
     #[test]

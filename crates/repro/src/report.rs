@@ -1,0 +1,388 @@
+//! Structured run reports.
+//!
+//! A [`RunReport`] is the serializable snapshot of one engine run: the
+//! configuration, the common work counters (`Stats`), the flight
+//! recorder's per-phase timings and engine counters, and the derived
+//! **paper-claim ratios** — the fraction of realignments the task-queue
+//! heuristic avoided (the paper's "90–97 %") and, when a sequential
+//! baseline is attached, the extra-alignment overhead of a parallel
+//! engine (the paper's "< 0.70 %" / "up to 8.4 %").
+//!
+//! Reports serialize to JSON through `repro-obs`'s dependency-free
+//! writer and validate structurally with [`RunReport::validate`], which
+//! is what the CI smoke job and the `run_report` bench bin check
+//! emitted files against.
+
+use repro_core::TopAlignments;
+use repro_obs::json::{num, obj, str, Json};
+use repro_obs::{Counter, FlightRecorder, Phase};
+
+/// Schema version stamped into every report; bump on breaking layout
+/// changes so downstream consumers can fail loudly instead of misread.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// One phase's accumulated wall-clock time and entry count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Stable snake_case phase name (see [`Phase::name`]).
+    pub name: &'static str,
+    /// Total seconds spent in the phase.
+    pub secs: f64,
+    /// Times the phase was entered (or credited externally).
+    pub entries: u64,
+}
+
+/// The ratios behind the paper's headline work-accounting claims.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperClaims {
+    /// Fraction of the naive `tops × splits` realignment budget spent
+    /// after the initial sweep (the paper reports 3–10 %).
+    pub realignment_fraction: f64,
+    /// `1 − realignment_fraction`: the fraction of realignments the
+    /// stale-upper-bound queue avoided (the paper's 90–97 %).
+    pub realignments_avoided: f64,
+    /// Relative extra score-only alignments versus an attached
+    /// sequential baseline (`None` until [`RunReport::set_baseline`]):
+    /// the paper's "< 0.70 %" (SSE) and "up to 8.4 %" (cluster).
+    pub extra_alignment_overhead: Option<f64>,
+}
+
+/// A serializable snapshot of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Engine label, e.g. `"sequential"`, `"simd-dispatch"`,
+    /// `"cluster:2"`.
+    pub engine: String,
+    /// Input sequence length.
+    pub seq_len: usize,
+    /// Top alignments requested.
+    pub tops_requested: usize,
+    /// Top alignments actually found (≤ requested on short inputs).
+    pub tops_found: usize,
+    /// Wall-clock seconds from recorder creation to report capture.
+    pub elapsed_secs: f64,
+    /// Score-only alignment passes (first sweep + realignments).
+    pub alignments: u64,
+    /// Matrix cells across all score-only passes.
+    pub cells: u64,
+    /// Traceback passes (one per accepted top alignment).
+    pub tracebacks: u64,
+    /// Cells computed by traceback passes.
+    pub traceback_cells: u64,
+    /// Queue pops with a stale bound (each cost a realignment).
+    pub stale_pops: u64,
+    /// Queue pops with a fresh bound (accepted without realignment).
+    pub fresh_pops: u64,
+    /// Bottom-row entries rejected by the shadow filter.
+    pub shadow_rejections: u64,
+    /// On-demand first-pass-row recomputations (linear-memory mode).
+    pub row_recomputations: u64,
+    /// Cluster task retransmissions (recovery layer).
+    pub cluster_retries: u64,
+    /// Cluster tasks reassigned away from a dead worker.
+    pub cluster_reassignments: u64,
+    /// Every phase's timing, in [`Phase::ALL`] order (zero entries
+    /// included so the schema is identical across engines).
+    pub phases: Vec<PhaseTiming>,
+    /// Every flight-recorder counter, in [`Counter::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Derived paper-claim ratios.
+    pub claims: PaperClaims,
+    /// Events the recorder dropped because its buffer cap was reached.
+    pub dropped_events: u64,
+}
+
+impl RunReport {
+    /// Capture a report from a finished run. `elapsed_secs` and the
+    /// phase/counter totals come from `rec`; the work counters from
+    /// `tops.stats`; the claim ratios are derived on the spot.
+    pub fn capture(
+        engine: impl Into<String>,
+        seq_len: usize,
+        tops_requested: usize,
+        tops: &TopAlignments,
+        rec: &FlightRecorder,
+    ) -> Self {
+        let stats = &tops.stats;
+        let splits = seq_len.saturating_sub(1);
+        let fraction = stats.realignment_fraction(splits);
+        RunReport {
+            engine: engine.into(),
+            seq_len,
+            tops_requested,
+            tops_found: tops.alignments.len(),
+            elapsed_secs: rec.elapsed_secs(),
+            alignments: stats.alignments,
+            cells: stats.cells,
+            tracebacks: stats.tracebacks,
+            traceback_cells: stats.traceback_cells,
+            stale_pops: stats.stale_pops,
+            fresh_pops: stats.fresh_pops,
+            shadow_rejections: stats.shadow_rejections,
+            row_recomputations: stats.row_recomputations,
+            cluster_retries: stats.cluster_retries,
+            cluster_reassignments: stats.cluster_reassignments,
+            phases: Phase::ALL
+                .iter()
+                .map(|&p| PhaseTiming {
+                    name: p.name(),
+                    secs: rec.phase_secs(p),
+                    entries: rec.phase_entries(p),
+                })
+                .collect(),
+            counters: Counter::ALL.iter().map(|&c| (c.name(), rec.counter(c))).collect(),
+            claims: PaperClaims {
+                realignment_fraction: fraction,
+                realignments_avoided: 1.0 - fraction,
+                extra_alignment_overhead: None,
+            },
+            dropped_events: rec.dropped_events(),
+        }
+    }
+
+    /// Attach a sequential baseline: fills
+    /// [`PaperClaims::extra_alignment_overhead`] with the relative extra
+    /// score-only alignments this run performed versus `baseline`.
+    pub fn set_baseline(&mut self, baseline: &RunReport) {
+        if baseline.alignments > 0 {
+            let extra = self.alignments as f64 - baseline.alignments as f64;
+            self.claims.extra_alignment_overhead = Some(extra / baseline.alignments as f64);
+        }
+    }
+
+    /// Serialize to a JSON value (see the module docs for the layout).
+    pub fn to_json(&self) -> Json {
+        let stats = obj(vec![
+            ("alignments", num(self.alignments as f64)),
+            ("cells", num(self.cells as f64)),
+            ("tracebacks", num(self.tracebacks as f64)),
+            ("traceback_cells", num(self.traceback_cells as f64)),
+            ("stale_pops", num(self.stale_pops as f64)),
+            ("fresh_pops", num(self.fresh_pops as f64)),
+            ("shadow_rejections", num(self.shadow_rejections as f64)),
+            ("row_recomputations", num(self.row_recomputations as f64)),
+            ("cluster_retries", num(self.cluster_retries as f64)),
+            (
+                "cluster_reassignments",
+                num(self.cluster_reassignments as f64),
+            ),
+        ]);
+        let phases = Json::Arr(
+            self.phases
+                .iter()
+                .map(|p| {
+                    obj(vec![
+                        ("name", str(p.name)),
+                        ("secs", num(p.secs)),
+                        ("entries", num(p.entries as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        let counters = obj(self
+            .counters
+            .iter()
+            .map(|&(name, v)| (name, num(v as f64)))
+            .collect());
+        let claims = obj(vec![
+            (
+                "realignment_fraction",
+                num(self.claims.realignment_fraction),
+            ),
+            ("realignments_avoided", num(self.claims.realignments_avoided)),
+            (
+                "extra_alignment_overhead",
+                match self.claims.extra_alignment_overhead {
+                    Some(v) => num(v),
+                    None => Json::Null,
+                },
+            ),
+        ]);
+        obj(vec![
+            ("schema_version", num(REPORT_SCHEMA_VERSION as f64)),
+            ("engine", str(&self.engine)),
+            ("seq_len", num(self.seq_len as f64)),
+            ("tops_requested", num(self.tops_requested as f64)),
+            ("tops_found", num(self.tops_found as f64)),
+            ("elapsed_secs", num(self.elapsed_secs)),
+            ("stats", stats),
+            ("phases", phases),
+            ("counters", counters),
+            ("claims", claims),
+            ("dropped_events", num(self.dropped_events as f64)),
+        ])
+    }
+
+    /// Structurally validate a parsed report: every required key
+    /// present with the right type, the schema version supported, the
+    /// phase list complete, and the claim ratios in range. Returns a
+    /// human-readable description of the first problem found.
+    pub fn validate(v: &Json) -> Result<(), String> {
+        fn req_num(v: &Json, key: &str) -> Result<f64, String> {
+            v.get(key)
+                .and_then(|j| j.as_f64())
+                .ok_or_else(|| format!("missing or non-numeric field `{key}`"))
+        }
+        let version = req_num(v, "schema_version")?;
+        if version != REPORT_SCHEMA_VERSION as f64 {
+            return Err(format!("unsupported schema_version {version}"));
+        }
+        v.get("engine")
+            .and_then(|j| j.as_str())
+            .ok_or("missing or non-string field `engine`")?;
+        for key in ["seq_len", "tops_requested", "tops_found", "elapsed_secs"] {
+            req_num(v, key)?;
+        }
+        let stats = v
+            .get("stats")
+            .and_then(|j| j.as_obj())
+            .ok_or("missing or non-object field `stats`")?;
+        for key in [
+            "alignments",
+            "cells",
+            "tracebacks",
+            "traceback_cells",
+            "stale_pops",
+            "fresh_pops",
+            "shadow_rejections",
+            "row_recomputations",
+            "cluster_retries",
+            "cluster_reassignments",
+        ] {
+            if !stats.iter().any(|(k, j)| k == key && j.as_f64().is_some()) {
+                return Err(format!("stats: missing or non-numeric field `{key}`"));
+            }
+        }
+        let phases = v
+            .get("phases")
+            .and_then(|j| j.as_arr())
+            .ok_or("missing or non-array field `phases`")?;
+        if phases.len() != Phase::ALL.len() {
+            return Err(format!(
+                "phases: expected {} entries, got {}",
+                Phase::ALL.len(),
+                phases.len()
+            ));
+        }
+        for (i, (p, want)) in phases.iter().zip(Phase::ALL).enumerate() {
+            let name = p
+                .get("name")
+                .and_then(|j| j.as_str())
+                .ok_or_else(|| format!("phases[{i}]: missing `name`"))?;
+            if name != want.name() {
+                return Err(format!(
+                    "phases[{i}]: expected `{}`, got `{name}`",
+                    want.name()
+                ));
+            }
+            req_num(p, "secs").map_err(|e| format!("phases[{i}]: {e}"))?;
+            req_num(p, "entries").map_err(|e| format!("phases[{i}]: {e}"))?;
+        }
+        let counters = v
+            .get("counters")
+            .and_then(|j| j.as_obj())
+            .ok_or("missing or non-object field `counters`")?;
+        for c in Counter::ALL {
+            if !counters
+                .iter()
+                .any(|(k, j)| k == c.name() && j.as_f64().is_some())
+            {
+                return Err(format!("counters: missing or non-numeric `{}`", c.name()));
+            }
+        }
+        let claims = v.get("claims").ok_or("missing field `claims`")?;
+        let fraction = req_num(claims, "realignment_fraction")
+            .map_err(|e| format!("claims: {e}"))?;
+        let avoided = req_num(claims, "realignments_avoided")
+            .map_err(|e| format!("claims: {e}"))?;
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(format!("claims: realignment_fraction {fraction} out of [0, 1]"));
+        }
+        if (fraction + avoided - 1.0).abs() > 1e-9 {
+            return Err("claims: fraction and avoided do not sum to 1".into());
+        }
+        match claims.get("extra_alignment_overhead") {
+            Some(Json::Null) | Some(Json::Num(_)) => {}
+            _ => return Err("claims: `extra_alignment_overhead` must be number or null".into()),
+        }
+        req_num(v, "dropped_events")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_align::{Scoring, Seq};
+    use repro_core::find_top_alignments_recorded;
+
+    fn sample() -> RunReport {
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let scoring = Scoring::dna_example();
+        let mut rec = FlightRecorder::new();
+        let tops = find_top_alignments_recorded(&seq, &scoring, 3, &mut rec);
+        RunReport::capture("sequential", seq.len(), 3, &tops, &rec)
+    }
+
+    #[test]
+    fn capture_reflects_stats_and_phases() {
+        let report = sample();
+        assert_eq!(report.engine, "sequential");
+        assert_eq!(report.tops_found, 3);
+        assert_eq!(report.stale_pops, 17);
+        assert_eq!(report.fresh_pops, 3);
+        assert_eq!(report.phases.len(), Phase::ALL.len());
+        assert_eq!(report.phases[0].name, "first_sweep");
+        assert_eq!(report.phases[0].entries, 11);
+        let sum = report.claims.realignment_fraction + report.claims.realignments_avoided;
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let report = sample();
+        let text = report.to_json().to_string_compact();
+        let parsed = Json::parse(&text).unwrap();
+        RunReport::validate(&parsed).unwrap();
+        assert_eq!(
+            parsed.get("engine").and_then(|j| j.as_str()),
+            Some("sequential")
+        );
+        assert_eq!(
+            parsed
+                .get("stats")
+                .and_then(|s| s.get("stale_pops"))
+                .and_then(|j| j.as_u64()),
+            Some(17)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_structural_damage() {
+        let report = sample();
+        let good = report.to_json().to_string_compact();
+        // Missing stats field.
+        let bad = good.replace("\"stale_pops\"", "\"stole_pops\"");
+        let err = RunReport::validate(&Json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("stale_pops"), "{err}");
+        // Wrong schema version.
+        let bad = good.replace("\"schema_version\":1", "\"schema_version\":999");
+        let err = RunReport::validate(&Json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        // Phase renamed.
+        let bad = good.replace("\"first_sweep\"", "\"zeroth_sweep\"");
+        assert!(RunReport::validate(&Json::parse(&bad).unwrap()).is_err());
+    }
+
+    #[test]
+    fn baseline_attaches_overhead() {
+        let mut report = sample();
+        let baseline = sample();
+        assert_eq!(report.claims.extra_alignment_overhead, None);
+        report.set_baseline(&baseline);
+        // Identical runs: zero overhead.
+        assert_eq!(report.claims.extra_alignment_overhead, Some(0.0));
+        let text = report.to_json().to_string_compact();
+        RunReport::validate(&Json::parse(&text).unwrap()).unwrap();
+    }
+}

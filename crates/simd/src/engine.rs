@@ -26,8 +26,9 @@ use crate::dispatch::{select, sweep_group_profile_i16, sweep_group_wide, SimdSel
 use crate::group::GroupResult;
 use crate::LaneWidth;
 use repro_align::{QueryProfile, Score, Scoring, Seq};
-use repro_core::bottom::best_valid_entry;
+use repro_core::bottom::best_valid_entry_counted;
 use repro_core::{accept_task, BottomRowStore, OverrideTriangle, Stats, TopAlignment, TopAlignments};
+use repro_obs::{Counter, NoopRecorder, Phase, Recorder};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::OnceLock;
@@ -212,14 +213,14 @@ pub fn find_top_alignments_simd(
 ) -> SimdFinderResult {
     let sel = select(Some(width), None)
         .expect("width-only selection always resolves (portable covers every width)");
-    run(seq, scoring, count, sel)
+    run(seq, scoring, count, sel, &mut NoopRecorder)
 }
 
 /// [`find_top_alignments_simd`] with full auto-dispatch: the widest
 /// kernel the running CPU supports.
 pub fn find_top_alignments_simd_auto(seq: &Seq, scoring: &Scoring, count: usize) -> SimdFinderResult {
     let sel = select(None, None).expect("full auto selection always resolves");
-    run(seq, scoring, count, sel)
+    run(seq, scoring, count, sel, &mut NoopRecorder)
 }
 
 /// [`find_top_alignments_simd`] with an explicit, pre-resolved kernel
@@ -230,11 +231,33 @@ pub fn find_top_alignments_simd_sel(
     count: usize,
     sel: SimdSel,
 ) -> SimdFinderResult {
-    run(seq, scoring, count, sel)
+    run(seq, scoring, count, sel, &mut NoopRecorder)
+}
+
+/// [`find_top_alignments_simd_sel`] with a recorder: phase spans around
+/// the group sweeps and tracebacks, lane-occupancy counters
+/// ([`Counter::LanesActive`] / [`Counter::LanesPadded`]), sweep counts,
+/// and stale/fresh pop + shadow accounting in the common `Stats`. The
+/// recorder is monomorphized; the plain entry points above compile this
+/// same function against [`NoopRecorder`].
+pub fn find_top_alignments_simd_recorded<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    sel: SimdSel,
+    rec: &mut R,
+) -> SimdFinderResult {
+    run(seq, scoring, count, sel, rec)
 }
 
 #[allow(clippy::needless_range_loop)] // index loops mirror the paper's pseudo code
-fn run(seq: &Seq, scoring: &Scoring, count: usize, sel: SimdSel) -> SimdFinderResult {
+fn run<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    sel: SimdSel,
+    rec: &mut R,
+) -> SimdFinderResult {
     let m = seq.len();
     let splits = m.saturating_sub(1); // splits are 1..=splits
     let lanes = sel.width.lanes();
@@ -273,6 +296,8 @@ fn run(seq: &Seq, scoring: &Scoring, count: usize, sel: SimdSel) -> SimdFinderRe
         let tops_found = alignments.len();
 
         if task.aligned_with == tops_found {
+            stats.fresh_pops += 1;
+            rec.phase_start(Phase::Traceback);
             // Fresh group at the head: its best member is the next top
             // alignment (smallest split on ties).
             let scores = &member_scores[gi];
@@ -299,19 +324,32 @@ fn run(seq: &Seq, scoring: &Scoring, count: usize, sel: SimdSel) -> SimdFinderRe
                 gi: Reverse(gi),
                 aligned_with: task.aligned_with,
             });
+            rec.phase_end(Phase::Traceback);
         } else {
+            stats.stale_pops += 1;
             let r0 = group_r0(gi);
             let nl = group_lanes(gi);
             let first_pass = task.aligned_with == usize::MAX;
+            let sweep_phase = if first_pass {
+                Phase::FirstSweep
+            } else {
+                Phase::Drain
+            };
             let tri = if first_pass { None } else { Some(&triangle) };
+            rec.phase_start(sweep_phase);
             let outcome = sweeper.sweep(r0, nl, tri);
             simd.group_sweeps += 1;
             simd.vector_cells += outcome.vector_cells;
+            rec.add(Counter::GroupSweeps, 1);
+            rec.add(Counter::LanesActive, nl as u64);
+            rec.add(Counter::LanesPadded, (lanes - nl) as u64);
             if outcome.saturated_narrow {
                 simd.saturation_fallbacks += 1;
+                rec.add(Counter::NarrowSaturations, 1);
             }
             if outcome.promoted {
                 simd.promoted_sweeps += 1;
+                rec.add(Counter::PromotedSweeps, 1);
             }
             let g = outcome.group;
             let per_lane_cells = g.cells / nl as u64;
@@ -327,12 +365,15 @@ fn run(seq: &Seq, scoring: &Scoring, count: usize, sel: SimdSel) -> SimdFinderRe
                     let original = bottomstore
                         .get(r)
                         .expect("realigned member must have a stored first-pass row");
-                    best_valid_entry(&g.rows[l], original).0
+                    let (s, _, shadows) = best_valid_entry_counted(&g.rows[l], original);
+                    stats.shadow_rejections += shadows;
+                    s
                 };
                 stats.record_alignment(per_lane_cells, tops_found);
                 member_scores[gi][l] = score;
                 group_best = group_best.max(score);
             }
+            rec.phase_end(sweep_phase);
             queue.push(GroupTask {
                 score: group_best,
                 gi: Reverse(gi),
@@ -475,6 +516,52 @@ mod tests {
         assert_eq!(got.result.alignments, want.alignments);
         assert_eq!(got.simd.promoted_sweeps, got.simd.group_sweeps);
         assert_eq!(got.simd.saturation_fallbacks, 0);
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_and_counts_lanes() {
+        use repro_obs::FlightRecorder;
+        let seq = Seq::dna(&"ATGC".repeat(10)).unwrap(); // 39 splits
+        let scoring = Scoring::dna_example();
+        let sel = crate::dispatch::select(Some(LaneWidth::X4), Some(DispatchPath::Portable))
+            .unwrap();
+        let plain = find_top_alignments_simd_sel(&seq, &scoring, 5, sel);
+        let mut rec = FlightRecorder::new();
+        let recorded = find_top_alignments_simd_recorded(&seq, &scoring, 5, sel, &mut rec);
+        assert_eq!(plain.result.alignments, recorded.result.alignments);
+        assert_eq!(plain.result.stats, recorded.result.stats);
+        assert_eq!(plain.simd, recorded.simd);
+        // The recorder's sweep counters mirror SimdStats exactly.
+        assert_eq!(rec.counter(Counter::GroupSweeps), recorded.simd.group_sweeps);
+        assert_eq!(
+            rec.counter(Counter::PromotedSweeps),
+            recorded.simd.promoted_sweeps
+        );
+        // 39 splits in X4 groups: 9 full groups + one 3-lane group. Every
+        // sweep of the short group pads one lane.
+        let active = rec.counter(Counter::LanesActive);
+        let padded = rec.counter(Counter::LanesPadded);
+        assert!(active > 0);
+        assert_eq!(
+            (active + padded) % 4,
+            0,
+            "active+padded must be whole vectors"
+        );
+        // Pops: every stale pop is one group sweep; every fresh pop is
+        // one acceptance.
+        assert_eq!(recorded.result.stats.stale_pops, recorded.simd.group_sweeps);
+        assert_eq!(
+            recorded.result.stats.fresh_pops,
+            recorded.result.alignments.len() as u64
+        );
+        assert_eq!(
+            rec.phase_entries(Phase::Traceback),
+            recorded.result.stats.tracebacks
+        );
+        assert_eq!(
+            rec.phase_entries(Phase::FirstSweep) + rec.phase_entries(Phase::Drain),
+            recorded.simd.group_sweeps
+        );
     }
 
     #[test]

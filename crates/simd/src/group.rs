@@ -599,8 +599,7 @@ mod tests {
     #[test]
     fn avx2_kernel_matches_portable() {
         use crate::lanes::avx2::I16x16Avx2;
-        if !std::arch::is_x86_feature_detected!("avx2") {
-            eprintln!("skipping: no AVX2 on this CPU");
+        if !crate::test_support::require_avx2("avx2_kernel_matches_portable") {
             return;
         }
         let seq = Seq::protein("MGEKALVPYRLQHCERSTMGEKALVPYRWFNDAGHTKLMNPQ").unwrap();

@@ -627,8 +627,7 @@ mod tests {
     #[test]
     fn avx2_x16_matches_portable() {
         use super::avx2::I16x16Avx2;
-        if !std::arch::is_x86_feature_detected!("avx2") {
-            eprintln!("skipping: no AVX2 on this CPU");
+        if !crate::test_support::require_avx2("avx2_x16_matches_portable") {
             return;
         }
         check_basic::<I16x16Avx2>();

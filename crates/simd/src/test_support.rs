@@ -1,0 +1,54 @@
+//! Shared test-support helpers.
+//!
+//! Hardware-gated tests (the AVX2 kernels) must skip, not fail, on CPUs
+//! without the feature — but an ad-hoc `eprintln!` + `return` loses the
+//! information that coverage was reduced. [`skip`] is the one funnel:
+//! it prints the notice *and* records `(test, reason)` so a meta-test
+//! (or a human reading the log) can see exactly which tests were
+//! skipped and why.
+
+use std::sync::Mutex;
+
+/// Every `(test name, reason)` skipped so far in this process.
+static SKIPPED: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+/// Record that `test` was skipped because of `reason`, and print the
+/// notice the old ad-hoc `eprintln!`s used to.
+pub fn skip(test: &str, reason: &str) {
+    eprintln!("skipping {test}: {reason}");
+    SKIPPED
+        .lock()
+        .expect("skip registry poisoned")
+        .push((test.to_string(), reason.to_string()));
+}
+
+/// Snapshot of the skip registry.
+pub fn skipped() -> Vec<(String, String)> {
+    SKIPPED.lock().expect("skip registry poisoned").clone()
+}
+
+/// `true` iff the running CPU has AVX2; otherwise records the skip for
+/// `test` and returns `false` (callers `return` early).
+#[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
+pub fn require_avx2(test: &str) -> bool {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        true
+    } else {
+        skip(test, "no AVX2 on this CPU");
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_records_test_and_reason() {
+        skip("some_gated_test", "hardware feature missing");
+        let all = skipped();
+        assert!(all
+            .iter()
+            .any(|(t, r)| t == "some_gated_test" && r == "hardware feature missing"));
+    }
+}
