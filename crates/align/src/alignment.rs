@@ -128,11 +128,7 @@ impl Alignment {
         if self.pairs.is_empty() {
             return 0.0;
         }
-        let same = self
-            .pairs
-            .iter()
-            .filter(|p| a[p.row] == b[p.col])
-            .count();
+        let same = self.pairs.iter().filter(|p| a[p.row] == b[p.col]).count();
         same as f64 / self.pairs.len() as f64
     }
 
@@ -208,7 +204,12 @@ impl fmt::Display for Alignment {
             (Some(s), Some(e)) => write!(
                 f,
                 "score {} over rows {}..={} cols {}..={} ({} pairs)",
-                self.score, s.row, e.row, s.col, e.col, self.len()
+                self.score,
+                s.row,
+                e.row,
+                s.col,
+                e.col,
+                self.len()
             ),
             _ => write!(f, "empty alignment (score {})", self.score),
         }
@@ -250,10 +251,7 @@ mod tests {
     fn paper_example_rescore_is_six() {
         let (v, h, al) = paper_alignment();
         assert!(al.is_well_formed());
-        assert_eq!(
-            al.rescore(v.codes(), h.codes(), &Scoring::dna_example()),
-            6
-        );
+        assert_eq!(al.rescore(v.codes(), h.codes(), &Scoring::dna_example()), 6);
     }
 
     #[test]

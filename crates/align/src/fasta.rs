@@ -53,7 +53,10 @@ impl From<io::Error> for FastaError {
 }
 
 /// Read every record from a FASTA stream.
-pub fn read_fasta<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Vec<FastaRecord>, FastaError> {
+pub fn read_fasta<R: BufRead>(
+    reader: R,
+    alphabet: Alphabet,
+) -> Result<Vec<FastaRecord>, FastaError> {
     let mut records = Vec::new();
     let mut current: Option<(String, Vec<u8>)> = None;
     for (lineno, line) in reader.lines().enumerate() {

@@ -288,10 +288,7 @@ mod tests {
         let (v, h, s) = paper_inputs();
         let al = sw_align(h.codes(), v.codes(), &s, NoMask);
         assert_eq!(al.score, 6);
-        assert_eq!(
-            al.gaps(),
-            vec![(crate::alignment::GapSide::Vertical, 1)]
-        );
+        assert_eq!(al.gaps(), vec![(crate::alignment::GapSide::Vertical, 1)]);
         assert_eq!(al.rescore(h.codes(), v.codes(), &s), 6);
     }
 
@@ -300,7 +297,10 @@ mod tests {
         let s = Scoring::dna_example();
         let a = Seq::dna("AAAA").unwrap();
         let b = Seq::dna("CCCC").unwrap();
-        assert_eq!(sw_align(a.codes(), b.codes(), &s, NoMask), Alignment::empty());
+        assert_eq!(
+            sw_align(a.codes(), b.codes(), &s, NoMask),
+            Alignment::empty()
+        );
     }
 
     #[test]
@@ -309,10 +309,7 @@ mod tests {
         let mask = SetMask::from_cells([(6, 7)]);
         let al = sw_align(v.codes(), h.codes(), &s, &mask);
         assert_eq!(al.score, 5);
-        assert!(al
-            .pairs
-            .iter()
-            .all(|p| !(p.row == 6 && p.col == 7)));
+        assert!(al.pairs.iter().all(|p| !(p.row == 6 && p.col == 7)));
         assert_eq!(al.rescore(v.codes(), h.codes(), &s), 5);
     }
 

@@ -93,6 +93,105 @@ pub fn sw_score<M: CellMask>(a: &[u8], b: &[u8], scoring: &Scoring, mask: M) -> 
     sw_last_row(a, b, scoring, mask).best
 }
 
+/// [`sw_last_row`] restarted mid-matrix from checkpointed inter-row
+/// state — the incremental-realignment entry point.
+///
+/// `m` and `maxy` must hold the kernel's exact state after rows
+/// `0..start_row` (for `start_row == 0`: all zeros and all
+/// [`NEG_INF`]); the sweep then replays rows `start_row..rows`
+/// **bit-identically** to the corresponding tail of a full sweep — the
+/// per-row `MaxX` and diagonal reset each row, so `(m, maxy)` is the
+/// complete inter-row state. `m` is consumed and becomes the returned
+/// bottom row; `maxy` is updated in place so the caller can recycle it.
+///
+/// `capture_rows` (strictly ascending, each in `start_row..rows`) asks
+/// for state snapshots: `capture(y, m, maxy)` runs *before* row `y` is
+/// computed, i.e. with the state after rows `0..y` — exactly what a
+/// later call needs to resume at `start_row = y`.
+///
+/// Caveats versus a full sweep: `best`/`best_cell` only cover the swept
+/// rows, and `cells` counts only `(rows − start_row) × cols`. The
+/// realignment machinery consumes only `row`/`best_in_row`/
+/// `best_in_row_col`/`cells`, which are exact.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's full state
+#[allow(clippy::type_complexity)] // the capture hook signature IS the contract
+#[allow(clippy::needless_range_loop)] // index loops mirror the paper's pseudo code
+pub fn sw_last_row_resume<M: CellMask>(
+    a: &[u8],
+    b: &[u8],
+    scoring: &Scoring,
+    mask: M,
+    start_row: usize,
+    mut m: Vec<Score>,
+    maxy: &mut [Score],
+    capture_rows: &[usize],
+    capture: &mut dyn FnMut(usize, &[Score], &[Score]),
+) -> LastRow {
+    let rows = a.len();
+    let cols = b.len();
+    if rows == 0 || cols == 0 {
+        return LastRow::empty(cols);
+    }
+    assert!(start_row <= rows, "resume row {start_row} past {rows} rows");
+    assert_eq!(m.len(), cols, "resume state width mismatch");
+    assert_eq!(maxy.len(), cols, "resume state width mismatch");
+    debug_assert!(capture_rows.windows(2).all(|w| w[0] < w[1]));
+
+    let open = scoring.gaps.open;
+    let ext = scoring.gaps.extend;
+
+    let mut best = 0;
+    let mut best_cell = None;
+    let mut next_capture = 0usize;
+
+    for y in start_row..rows {
+        while next_capture < capture_rows.len() && capture_rows[next_capture] == y {
+            capture(y, &m, maxy);
+            next_capture += 1;
+        }
+        let exch_row = scoring.exchange.row(a[y]);
+        let mut maxx = NEG_INF;
+        let mut diag = 0; // M[y−1][−1]: the virtual zero column.
+        for x in 0..cols {
+            let up = m[x];
+            let mut v = max3(diag, maxx, maxy[x]) + exch_row[b[x] as usize];
+            if v < 0 {
+                v = 0;
+            }
+            if mask.is_overridden(y, x) {
+                v = 0;
+            }
+            m[x] = v;
+            let cand = diag - open;
+            maxx = cand.max(maxx) - ext;
+            maxy[x] = cand.max(maxy[x]) - ext;
+            diag = up;
+            if v > best {
+                best = v;
+                best_cell = Some((y, x));
+            }
+        }
+    }
+
+    let mut best_in_row = 0;
+    let mut best_in_row_col = None;
+    for (x, &v) in m.iter().enumerate() {
+        if v > best_in_row {
+            best_in_row = v;
+            best_in_row_col = Some(x);
+        }
+    }
+
+    LastRow {
+        best,
+        best_cell,
+        row: m,
+        best_in_row,
+        best_in_row_col,
+        cells: (rows - start_row) as u64 * cols as u64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +320,139 @@ mod tests {
         let r = sw_last_row(a.codes(), b.codes(), &s, NoMask);
         assert_eq!(r.best, 0);
         assert!(r.row.iter().all(|&v| v >= 0));
+    }
+
+    /// A tiny xorshift so the differential tests need no dependencies.
+    fn rng(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    fn random_dna(len: usize, seed: &mut u64) -> Seq {
+        let text: String = (0..len)
+            .map(|_| ['A', 'C', 'G', 'T'][(rng(seed) % 4) as usize])
+            .collect();
+        Seq::dna(&text).unwrap()
+    }
+
+    #[test]
+    fn resume_from_scratch_matches_full_sweep_exactly() {
+        let (v, h, s) = paper_inputs();
+        let cols = h.len();
+        let mut maxy = vec![NEG_INF; cols];
+        let full = sw_last_row(v.codes(), h.codes(), &s, NoMask);
+        let resumed = sw_last_row_resume(
+            v.codes(),
+            h.codes(),
+            &s,
+            NoMask,
+            0,
+            vec![0; cols],
+            &mut maxy,
+            &[],
+            &mut |_, _, _| {},
+        );
+        assert_eq!(resumed.best, full.best);
+        assert_eq!(resumed.best_cell, full.best_cell);
+        assert_eq!(resumed.row, full.row);
+        assert_eq!(resumed.best_in_row, full.best_in_row);
+        assert_eq!(resumed.best_in_row_col, full.best_in_row_col);
+        assert_eq!(resumed.cells, full.cells);
+    }
+
+    /// The load-bearing property: capture the state at every row
+    /// boundary, then resume from each one — every resumed sweep must
+    /// reproduce the full sweep's bottom row bit-for-bit, across random
+    /// sequences and random masks.
+    #[test]
+    fn resume_from_any_captured_row_is_bit_identical() {
+        let s = Scoring::dna_example();
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for case in 0..12 {
+            let a = random_dna(5 + (case % 5) * 7, &mut seed);
+            let b = random_dna(4 + (case % 7) * 5, &mut seed);
+            let rows = a.len();
+            let cols = b.len();
+            let mask = SetMask::from_cells((0..rows).filter_map(|y| {
+                if rng(&mut seed).is_multiple_of(3) {
+                    Some((y, (rng(&mut seed) as usize) % cols))
+                } else {
+                    None
+                }
+            }));
+            let full = sw_last_row(a.codes(), b.codes(), &s, &mask);
+            // Capture the state before every row.
+            let capture_rows: Vec<usize> = (1..rows).collect();
+            let mut snaps: Vec<(usize, Vec<Score>, Vec<Score>)> = Vec::new();
+            let mut maxy = vec![NEG_INF; cols];
+            let from_zero = sw_last_row_resume(
+                a.codes(),
+                b.codes(),
+                &s,
+                &mask,
+                0,
+                vec![0; cols],
+                &mut maxy,
+                &capture_rows,
+                &mut |y, m, my| snaps.push((y, m.to_vec(), my.to_vec())),
+            );
+            assert_eq!(from_zero.row, full.row, "case {case}");
+            assert_eq!(snaps.len(), rows - 1);
+            for (y, m, my) in snaps {
+                let mut maxy = my.clone();
+                let resumed = sw_last_row_resume(
+                    a.codes(),
+                    b.codes(),
+                    &s,
+                    &mask,
+                    y,
+                    m,
+                    &mut maxy,
+                    &[],
+                    &mut |_, _, _| {},
+                );
+                assert_eq!(resumed.row, full.row, "case {case} resume at {y}");
+                assert_eq!(resumed.best_in_row, full.best_in_row);
+                assert_eq!(resumed.best_in_row_col, full.best_in_row_col);
+                assert_eq!(resumed.cells, (rows - y) as u64 * cols as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn resume_at_rows_sweeps_nothing_and_returns_the_state_row() {
+        let (v, h, s) = paper_inputs();
+        let full = sw_last_row(v.codes(), h.codes(), &s, NoMask);
+        let mut maxy = vec![NEG_INF; h.len()];
+        // Sweep everything once to obtain the final state…
+        let rows = v.len();
+        let swept = sw_last_row_resume(
+            v.codes(),
+            h.codes(),
+            &s,
+            NoMask,
+            0,
+            vec![0; h.len()],
+            &mut maxy,
+            &[],
+            &mut |_, _, _| {},
+        );
+        // …then "resume" at the very end: zero cells, same bottom row.
+        let resumed = sw_last_row_resume(
+            v.codes(),
+            h.codes(),
+            &s,
+            NoMask,
+            rows,
+            swept.row,
+            &mut maxy,
+            &[],
+            &mut |_, _, _| {},
+        );
+        assert_eq!(resumed.row, full.row);
+        assert_eq!(resumed.cells, 0);
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub fn sw_last_row_naive<M: CellMask>(a: &[u8], b: &[u8], scoring: &Scoring, mas
         let exch_row = scoring.exchange.row(a[y]);
         for x in 0..cols {
             // Diagonal predecessor (virtual zero border outside).
-            let diag = if y > 0 && x > 0 { m[(y - 1) * cols + (x - 1)] } else { 0 };
+            let diag = if y > 0 && x > 0 {
+                m[(y - 1) * cols + (x - 1)]
+            } else {
+                0
+            };
             let mut base = diag;
             if y > 0 && x > 0 {
                 // Horizontal gaps: predecessors M[y−1][x−1−g] − gap(g).

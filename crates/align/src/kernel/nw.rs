@@ -105,10 +105,7 @@ pub fn nw_align(a: &[u8], b: &[u8], scoring: &Scoring) -> NwAlignment {
         match st {
             St::H => {
                 let v = h[idx(y, x)];
-                if y > 0
-                    && x > 0
-                    && v == h[idx(y - 1, x - 1)] + scoring.exch(a[y - 1], b[x - 1])
-                {
+                if y > 0 && x > 0 && v == h[idx(y - 1, x - 1)] + scoring.exch(a[y - 1], b[x - 1]) {
                     ops.push(NwOp::Pair(y - 1, x - 1));
                     y -= 1;
                     x -= 1;
@@ -249,7 +246,10 @@ mod tests {
         // 4 matches minus one gap of length 1: 8 − 3 = 5.
         assert_eq!(al.score, 5);
         assert_eq!(
-            al.ops.iter().filter(|o| matches!(o, NwOp::GapInA(_))).count(),
+            al.ops
+                .iter()
+                .filter(|o| matches!(o, NwOp::GapInA(_)))
+                .count(),
             1
         );
     }

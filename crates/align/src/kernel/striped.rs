@@ -181,7 +181,10 @@ mod tests {
         let e = Seq::dna("").unwrap();
         let r = sw_last_row_striped(e.codes(), a.codes(), &s, NoMask, 4);
         assert_eq!(r.best, 0);
-        assert_eq!(sw_last_row_striped(a.codes(), e.codes(), &s, NoMask, 4).cells, 0);
+        assert_eq!(
+            sw_last_row_striped(a.codes(), e.codes(), &s, NoMask, 4).cells,
+            0
+        );
     }
 
     #[test]

@@ -141,7 +141,9 @@ mod tests {
         let s = Scoring::dna_example();
         let mut lcg: u64 = 0x2545F4914F6CDD1D;
         let mut next = move || {
-            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((lcg >> 33) % 4) as u8
         };
         let mut shadows = 0;

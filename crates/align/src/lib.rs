@@ -54,6 +54,7 @@
 
 pub mod alignment;
 pub mod alphabet;
+pub mod checkpoint;
 pub mod fasta;
 pub mod kernel;
 pub mod mask;
@@ -64,13 +65,16 @@ pub mod seq;
 
 pub use alignment::{AlignedPair, Alignment, GapSide};
 pub use alphabet::Alphabet;
+pub use checkpoint::{Checkpoint, CheckpointStore, ScratchPool, DEFAULT_CHECKPOINT_BUDGET};
 pub use fasta::{parse_fasta, read_fasta, write_fasta, FastaRecord};
 pub use kernel::full::{sw_align, sw_full, traceback, FullMatrix};
-pub use kernel::gotoh::{sw_last_row, sw_score};
+pub use kernel::gotoh::{sw_last_row, sw_last_row_resume, sw_score};
 pub use kernel::linmem::sw_align_linmem;
 pub use kernel::naive::sw_last_row_naive;
 pub use kernel::nw::{nw_align, nw_score, NwAlignment, NwOp};
-pub use kernel::striped::{stripe_for_bytes, sw_last_row_striped, DEFAULT_STRIPE, STRIPE_L1_BUDGET};
+pub use kernel::striped::{
+    stripe_for_bytes, sw_last_row_striped, DEFAULT_STRIPE, STRIPE_L1_BUDGET,
+};
 pub use kernel::waterman_eggert::{is_shadow, waterman_eggert};
 pub use kernel::LastRow;
 pub use mask::{CellMask, NoMask, SetMask};

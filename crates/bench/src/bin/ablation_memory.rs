@@ -25,9 +25,8 @@ fn main() {
     println!("paper reference (App. A): stored rows = m(m−1)/2 scores; on-demand recomputation trades work for linear memory\n");
 
     let (store, t_store) = time(|| find_top_alignments(&seq, &scoring, count));
-    let (linmem, t_linmem) = time(|| {
-        TopAlignmentFinder::new(&seq, &scoring, FinderConfig::linear_memory(count)).run()
-    });
+    let (linmem, t_linmem) =
+        time(|| TopAlignmentFinder::new(&seq, &scoring, FinderConfig::linear_memory(count)).run());
     assert_eq!(store.alignments, linmem.alignments, "modes must agree");
 
     let row_bytes = m * (m - 1) / 2 * std::mem::size_of::<i32>();
@@ -36,17 +35,17 @@ fn main() {
         "store rows + dense".into(),
         secs(t_store),
         format!("{:.1} MiB", row_bytes as f64 / (1 << 20) as f64),
-        format!("{:.1} MiB", store.triangle.heap_bytes() as f64 / (1 << 20) as f64),
+        format!(
+            "{:.1} MiB",
+            store.triangle.heap_bytes() as f64 / (1 << 20) as f64
+        ),
         "0".into(),
     ]);
     table.row(&[
         "recompute + sparse".into(),
         secs(t_linmem),
         format!("{:.1} KiB", (m * 4) as f64 / 1024.0), // one row at a time
-        format!(
-            "{:.1} KiB",
-            linmem.triangle.heap_bytes() as f64 / 1024.0
-        ),
+        format!("{:.1} KiB", linmem.triangle.heap_bytes() as f64 / 1024.0),
         linmem.stats.row_recompute_cells.to_string(),
     ]);
 

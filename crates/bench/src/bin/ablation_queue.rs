@@ -20,15 +20,11 @@ fn main() {
     let splits = seq.len() - 1;
 
     println!("Task-queue ablation (titin-like {m} aa, {splits} splits)");
-    println!("paper reference: 90–97% of realignments avoided; 3–10% of matrices realigned per top\n");
+    println!(
+        "paper reference: 90–97% of realignments avoided; 3–10% of matrices realigned per top\n"
+    );
 
-    let table = Table::new(&[
-        "tops",
-        "new aligns",
-        "realign/top",
-        "old aligns",
-        "avoided",
-    ]);
+    let table = Table::new(&["tops", "new aligns", "realign/top", "old aligns", "avoided"]);
     for &count in counts {
         let new = find_top_alignments(&seq, &scoring, count);
         let old = find_top_alignments_old(&seq, &scoring, count, LegacyKernel::Gotoh);

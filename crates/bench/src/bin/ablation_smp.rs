@@ -36,7 +36,13 @@ fn main() {
 
     let (base, t_seq) = time(|| find_top_alignments(&seq, &scoring, count));
 
-    let table = Table::new(&["threads", "wall time", "vs 1 thread", "extra aligns", "superseded"]);
+    let table = Table::new(&[
+        "threads",
+        "wall time",
+        "vs 1 thread",
+        "extra aligns",
+        "superseded",
+    ]);
     let mut t1 = None;
     for threads in [1usize, 2, 4] {
         let (run, t) = time(|| find_top_alignments_parallel(&seq, &scoring, count, threads));
@@ -61,10 +67,24 @@ fn main() {
     };
     let cache = Rc::new(RefCell::new(AlignCache::new()));
     let one = simulate_cluster(
-        &seq, &scoring, count, 2, CostModel::das2(), link, &base.stats, Rc::clone(&cache),
+        &seq,
+        &scoring,
+        count,
+        2,
+        CostModel::das2(),
+        link,
+        &base.stats,
+        Rc::clone(&cache),
     );
     let two = simulate_cluster(
-        &seq, &scoring, count, 3, CostModel::das2(), link, &base.stats, Rc::clone(&cache),
+        &seq,
+        &scoring,
+        count,
+        3,
+        CostModel::das2(),
+        link,
+        &base.stats,
+        Rc::clone(&cache),
     );
     println!(
         "\nvirtual-time dual-CPU model: 1 worker {} → 2 workers {} \

@@ -63,7 +63,12 @@ fn main() {
     table.row(&["unstriped".into(), secs(t_flat), "1.00x".into()]);
     let mut best_simd = (f64::INFINITY, 0usize);
     let mut t_derived_simd = f64::INFINITY;
-    for w in widths.iter().copied().filter(|&w| w != derived_simd).chain([derived_simd]) {
+    for w in widths
+        .iter()
+        .copied()
+        .filter(|&w| w != derived_simd)
+        .chain([derived_simd])
+    {
         if w >= m - r0 {
             continue;
         }
@@ -99,7 +104,12 @@ fn main() {
     });
     let table = Table::new(&["stripe width", "time", "vs unstriped"]);
     table.row(&["unstriped".into(), secs(t_plain), "1.00x".into()]);
-    for w in widths.iter().copied().filter(|&w| w != derived_scalar).chain([derived_scalar]) {
+    for w in widths
+        .iter()
+        .copied()
+        .filter(|&w| w != derived_scalar)
+        .chain([derived_scalar])
+    {
         if w >= suffix.len() {
             continue;
         }
@@ -127,7 +137,10 @@ fn main() {
         derived_simd,
         derived_simd * 2 * 16 / 1024,
     );
-    assert_eq!(derived_scalar, stripe_for_bytes(std::mem::size_of::<repro::align::Score>()));
+    assert_eq!(
+        derived_scalar,
+        stripe_for_bytes(std::mem::size_of::<repro::align::Score>())
+    );
     assert_eq!(derived_simd, stripe_for_bytes(8 * 2));
     if t_derived_simd.is_finite() && best_simd.0.is_finite() {
         println!(

@@ -25,19 +25,30 @@ fn main() {
     let (m, ks, procs): (usize, &[usize], &[usize]) = match scale {
         Scale::Small => (400, &[1, 2, 5], &[2, 4, 8, 16]),
         Scale::Medium => (1600, &[1, 2, 5, 10, 25], &[2, 4, 8, 16, 32, 64, 128]),
-        Scale::Full => (4000, &[1, 2, 5, 10, 25, 100], &[2, 4, 8, 16, 32, 64, 96, 128]),
+        Scale::Full => (
+            4000,
+            &[1, 2, 5, 10, 25, 100],
+            &[2, 4, 8, 16, 32, 64, 96, 128],
+        ),
     };
     let kmax = *ks.iter().max().unwrap();
     let seq = repro_seqgen::titin_like(m, 3);
     let scoring = Scoring::protein_default();
 
-    println!("Figure 8 — speed improvement vs processors (titin-like {m} aa, DAS-2 virtual-time model)");
-    println!("paper reference: k=1 → 831 at 128 CPUs; k=100 → 500 at 128 CPUs; droop grows with k\n");
+    println!(
+        "Figure 8 — speed improvement vs processors (titin-like {m} aa, DAS-2 virtual-time model)"
+    );
+    println!(
+        "paper reference: k=1 → 831 at 128 CPUs; k=100 → 500 at 128 CPUs; droop grows with k\n"
+    );
 
     // One sequential run at the largest k provides every baseline.
     eprintln!("running the sequential reference (k = {kmax})...");
     let seq_run = find_top_alignments(&seq, &scoring, kmax);
-    assert!(seq_run.alignments.len() >= kmax.min(seq.len() / 4), "workload too sparse");
+    assert!(
+        seq_run.alignments.len() >= kmax.min(seq.len() / 4),
+        "workload too sparse"
+    );
 
     let cache = Rc::new(RefCell::new(AlignCache::new()));
     let cost = CostModel::das2();
@@ -79,7 +90,11 @@ fn main() {
     println!(
         "k = {} improvement grows monotonically with processors: {}",
         ks[0],
-        if k1.windows(2).all(|w| w[1] >= w[0] * 0.98) { "YES" } else { "no" }
+        if k1.windows(2).all(|w| w[1] >= w[0] * 0.98) {
+            "YES"
+        } else {
+            "no"
+        }
     );
     if ks.len() > 1 {
         let last = procs.len() - 1;

@@ -62,13 +62,7 @@ fn main() {
             let base = repro_seqgen::random_seq(repro::Alphabet::Dna, unit, &mut rng);
             // Half the cases are repeat-rich (tandem-ish), half random.
             if rng.chance(0.5) {
-                let codes: Vec<u8> = base
-                    .codes()
-                    .iter()
-                    .cycle()
-                    .take(len)
-                    .copied()
-                    .collect();
+                let codes: Vec<u8> = base.codes().iter().cycle().take(len).copied().collect();
                 Seq::from_codes(repro::Alphabet::Dna, codes)
             } else {
                 repro_seqgen::random_seq(repro::Alphabet::Dna, len, &mut rng)
@@ -90,12 +84,10 @@ fn main() {
         };
         let count = rng.range(1, 7);
 
-        let base = Repro::new(scoring.clone())
-            .top_alignments(count)
-            .run(&seq);
+        let base = Repro::new(scoring.clone()).top_alignments(count).run(&seq);
         // Linear-memory configuration through the core API.
-        let linmem = TopAlignmentFinder::new(&seq, &scoring, FinderConfig::linear_memory(count))
-            .run();
+        let linmem =
+            TopAlignmentFinder::new(&seq, &scoring, FinderConfig::linear_memory(count)).run();
         assert_eq!(
             linmem.alignments, base.tops.alignments,
             "case {case}: linear-memory diverged on {seq}"

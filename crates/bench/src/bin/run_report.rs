@@ -38,8 +38,7 @@ use std::time::Duration;
 const ABLATION_THRESHOLD: f64 = 1.25;
 
 fn validate_file(path: &str) -> Result<usize, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let reports = doc
         .get("reports")
@@ -194,10 +193,7 @@ fn main() {
                 ("noop_secs".to_string(), Json::Num(noop)),
                 ("flight_secs".to_string(), Json::Num(flight)),
                 ("ratio".to_string(), Json::Num(ratio)),
-                (
-                    "threshold".to_string(),
-                    Json::Num(ABLATION_THRESHOLD),
-                ),
+                ("threshold".to_string(), Json::Num(ABLATION_THRESHOLD)),
             ]),
         ),
         ("reports".to_string(), Json::Arr(reports)),

@@ -21,7 +21,11 @@ use repro::{find_top_alignments_parallel_simd, Scoring};
 use repro_bench::{time_min, Scale};
 use std::time::Duration;
 
-const PATHS: [DispatchPath; 3] = [DispatchPath::Portable, DispatchPath::Sse2, DispatchPath::Avx2];
+const PATHS: [DispatchPath; 3] = [
+    DispatchPath::Portable,
+    DispatchPath::Sse2,
+    DispatchPath::Avx2,
+];
 const WIDTHS: [LaneWidth; 3] = [LaneWidth::X4, LaneWidth::X8, LaneWidth::X16];
 
 fn out_path() -> String {
@@ -61,8 +65,8 @@ fn main() {
     let scoring = Scoring::protein_default();
     let r_mid = m / 2;
 
-    let prof16 = QueryProfile::<i16>::new_narrow(&scoring, seq.codes())
-        .expect("protein defaults fit i16");
+    let prof16 =
+        QueryProfile::<i16>::new_narrow(&scoring, seq.codes()).expect("protein defaults fit i16");
     let prof32 = QueryProfile::<i32>::new_wide(&scoring, seq.codes());
 
     eprintln!("SIMD sweep: {m}-residue titin-like, central group, budget {budget:?} per point");
@@ -141,7 +145,10 @@ fn main() {
                 None,
             ));
         });
-        eprintln!("  wide i32 x{lanes}: {:.0} M lane-cells/s", lane_cells / t / 1e6);
+        eprintln!(
+            "  wide i32 x{lanes}: {:.0} M lane-cells/s",
+            lane_cells / t / 1e6
+        );
         wide.push(format!(
             "{{\"lanes\": {lanes}, \"secs\": {t:e}, \"lane_cells_per_sec\": {:.0}}}",
             lane_cells / t
@@ -157,7 +164,9 @@ fn main() {
     let t_seq = time_min(budget, || {
         std::hint::black_box(find_top_alignments(&eseq, &scoring, count));
     });
-    engines.push(format!("{{\"engine\": \"seq\", \"secs\": {t_seq:e}, \"vs_seq\": 1.00}}"));
+    engines.push(format!(
+        "{{\"engine\": \"seq\", \"secs\": {t_seq:e}, \"vs_seq\": 1.00}}"
+    ));
     let auto = select(None, None).expect("auto selection never fails");
     let t_simd = time_min(budget, || {
         std::hint::black_box(find_top_alignments_simd_sel(&eseq, &scoring, count, auto));
@@ -185,7 +194,10 @@ fn main() {
             .find(|p| p.path == path && p.lanes == lanes && p.kernel == kernel)
             .map(|p| p.lane_cells_per_sec)
     };
-    let x16_vs_x8 = match (rate(DispatchPath::Avx2, 16, "profile"), rate(DispatchPath::Sse2, 8, "profile")) {
+    let x16_vs_x8 = match (
+        rate(DispatchPath::Avx2, 16, "profile"),
+        rate(DispatchPath::Sse2, 8, "profile"),
+    ) {
         (Some(a), Some(b)) => Some(a / b),
         _ => None,
     };
@@ -196,7 +208,10 @@ fn main() {
     // exists as a load in the explicit-intrinsics kernels.)
     let profile_beats_lookup = WIDTHS.iter().all(|&w| {
         let sel = select(Some(w), None).expect("width-only selection never fails");
-        match (rate(sel.path, w.lanes(), "profile"), rate(sel.path, w.lanes(), "lookup")) {
+        match (
+            rate(sel.path, w.lanes(), "profile"),
+            rate(sel.path, w.lanes(), "lookup"),
+        ) {
             (Some(p), Some(l)) => p >= l,
             _ => false,
         }
@@ -217,10 +232,16 @@ fn main() {
             .map(|p| format!("\"{p}\""))
             .collect::<Vec<_>>()
             .join(", "),
-        points.iter().map(KernelPoint::json).collect::<Vec<_>>().join(",\n    "),
+        points
+            .iter()
+            .map(KernelPoint::json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
         wide.join(",\n    "),
         engines.join(",\n    "),
-        x16_vs_x8.map(|r| format!("{r:.2}")).unwrap_or_else(|| "null".into()),
+        x16_vs_x8
+            .map(|r| format!("{r:.2}"))
+            .unwrap_or_else(|| "null".into()),
         profile_beats_lookup,
     );
 

@@ -28,25 +28,28 @@ fn main() {
     let (naive_lengths, gotoh_lengths, count): (&[usize], &[usize], usize) = match scale {
         Scale::Small => (&[60, 100, 140], &[100, 200, 300], 10),
         Scale::Medium => (&[100, 150, 200, 250], &[200, 400, 600, 800], 20),
-        Scale::Full => (&[200, 400, 600, 800, 1000], &[400, 800, 1200, 1600, 2000], 50),
+        Scale::Full => (
+            &[200, 400, 600, 800, 1000],
+            &[400, 800, 1200, 1600, 2000],
+            50,
+        ),
     };
     let scoring = Scoring::protein_default();
-    let seq_full = repro_seqgen::titin_like(
-        *naive_lengths.iter().chain(gotoh_lengths).max().unwrap(),
-        1,
-    );
+    let seq_full =
+        repro_seqgen::titin_like(*naive_lengths.iter().chain(gotoh_lengths).max().unwrap(), 1);
 
     println!("Table 1 — old vs new sequential algorithm ({count} top alignments)");
-    println!("paper reference (titin, k=50, P-III 1 GHz): speedups 106 → 256 over lengths 1000 → 1800\n");
+    println!(
+        "paper reference (titin, k=50, P-III 1 GHz): speedups 106 → 256 over lengths 1000 → 1800\n"
+    );
 
     println!("(a) authentic O(n^4) baseline: Equation-1 inner loop, full sweep per top\n");
     let table = Table::new(&["length", "old (s)", "new (s)", "speedup"]);
     let mut speedups = Vec::new();
     for &n in naive_lengths {
         let seq = seq_full.prefix(n);
-        let (old, t_old) = time(|| {
-            find_top_alignments_old(&seq, &scoring, count, LegacyKernel::Naive)
-        });
+        let (old, t_old) =
+            time(|| find_top_alignments_old(&seq, &scoring, count, LegacyKernel::Naive));
         let (new, t_new) = time(|| find_top_alignments(&seq, &scoring, count));
         assert_eq!(old.alignments, new.alignments, "old and new must agree");
         let speedup = t_old / t_new.max(1e-12);
@@ -61,16 +64,19 @@ fn main() {
     let growing = speedups.windows(2).all(|w| w[1].1 > w[0].1);
     println!(
         "\nspeedup grows with length: {} (paper: yes — the complexities differ by ~n)\n",
-        if growing { "YES" } else { "no (noise at this scale)" }
+        if growing {
+            "YES"
+        } else {
+            "no (noise at this scale)"
+        }
     );
 
     println!("(b) queue-only ablation: old algorithm with the Gotoh inner loop (Θ(k·n³))\n");
     let table = Table::new(&["length", "old-gotoh (s)", "new (s)", "speedup"]);
     for &n in gotoh_lengths {
         let seq = seq_full.prefix(n);
-        let (old, t_old) = time(|| {
-            find_top_alignments_old(&seq, &scoring, count, LegacyKernel::Gotoh)
-        });
+        let (old, t_old) =
+            time(|| find_top_alignments_old(&seq, &scoring, count, LegacyKernel::Gotoh));
         let (new, t_new) = time(|| find_top_alignments(&seq, &scoring, count));
         assert_eq!(old.alignments, new.alignments);
         table.row(&[

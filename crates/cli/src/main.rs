@@ -24,6 +24,9 @@
 //!   --gff                      print the repeat units as GFF3
 //!   --consensus                print the repeat-unit consensus
 //!   --low-memory               Appendix A linear-memory configuration
+//!   --checkpoint-budget BYTES  enable incremental realignment with a
+//!                              checkpoint store of BYTES (0 = account
+//!                              only; results identical either way)
 //!   --quiet                    suppress the per-alignment listing
 //!   --report FILE              write a structured JSON run report
 //!                              (`{"reports":[…]}`, one per record)
@@ -58,6 +61,7 @@ struct Options {
     gff: bool,
     consensus: bool,
     low_memory: bool,
+    checkpoint_budget: Option<usize>,
     quiet: bool,
     report: Option<String>,
     trace: Option<String>,
@@ -69,7 +73,7 @@ fn usage() -> &'static str {
      [--engine seq|simd|simd4|simd8|simd16|simd-threads:N|threads:N|cluster:N|hybrid:N:T|legacy] \
      [--lanes auto|4|8|16] [--dispatch auto|portable|sse2|avx2] \
      [--match N] [--mismatch N] [--open N] [--extend N] [--matrix FILE] \
-     [--pairs] [--cigar] [--consensus] [--low-memory] [--quiet] \
+     [--pairs] [--cigar] [--consensus] [--low-memory] [--checkpoint-budget BYTES] [--quiet] \
      [--report FILE] [--trace FILE] \
      <input.fasta | -> | repro --generate titin:LEN:SEED"
 }
@@ -92,6 +96,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         gff: false,
         consensus: false,
         low_memory: false,
+        checkpoint_budget: None,
         quiet: false,
         report: None,
         trace: None,
@@ -134,9 +139,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                             let threads: usize =
                                 n.parse().map_err(|_| "bad thread count".to_string())?;
                             if threads == 0 {
-                                return Err(
-                                    "simd-threads:N needs at least 1 thread".to_string()
-                                );
+                                return Err("simd-threads:N needs at least 1 thread".to_string());
                             }
                             Engine::SimdThreads {
                                 threads,
@@ -163,8 +166,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                                 .ok_or_else(|| "hybrid needs nodes:threads".to_string())?;
                             let nodes: usize =
                                 nodes.parse().map_err(|_| "bad node count".to_string())?;
-                            let threads_per_node: usize =
-                                tpn.parse().map_err(|_| "bad threads-per-node".to_string())?;
+                            let threads_per_node: usize = tpn
+                                .parse()
+                                .map_err(|_| "bad threads-per-node".to_string())?;
                             if nodes == 0 || threads_per_node == 0 || nodes * threads_per_node < 2 {
                                 return Err(
                                     "hybrid:N:T needs at least 2 CPUs total (one is the master)"
@@ -219,6 +223,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--gff" => opts.gff = true,
             "--consensus" => opts.consensus = true,
             "--low-memory" => opts.low_memory = true,
+            "--checkpoint-budget" => {
+                opts.checkpoint_budget = Some(
+                    next("--checkpoint-budget")?
+                        .parse()
+                        .map_err(|_| "--checkpoint-budget needs a byte count".to_string())?,
+                )
+            }
             "--quiet" => opts.quiet = true,
             "--report" => opts.report = Some(next("--report")?.clone()),
             "--trace" => opts.trace = Some(next("--trace")?.clone()),
@@ -233,8 +244,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         // Fold the kernel knobs into the engine; they only make sense for
         // the runtime-dispatched engines.
         match &mut opts.engine {
-            Engine::SimdDispatch { width, path }
-            | Engine::SimdThreads { width, path, .. } => {
+            Engine::SimdDispatch { width, path } | Engine::SimdThreads { width, path, .. } => {
                 if let Some(w) = opts.lanes {
                     *width = w;
                 }
@@ -244,8 +254,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             _ => {
                 return Err(
-                    "--lanes/--dispatch apply only to --engine simd and simd-threads:N"
-                        .to_string(),
+                    "--lanes/--dispatch apply only to --engine simd and simd-threads:N".to_string(),
                 )
             }
         }
@@ -314,8 +323,8 @@ fn parse_i32(s: &str) -> Result<i32, String> {
 
 fn build_scoring(opts: &Options) -> Result<Scoring, String> {
     let exchange = if let Some(path) = &opts.matrix_file {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read matrix {path}: {e}"))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read matrix {path}: {e}"))?;
         ExchangeMatrix::parse_ncbi(opts.alphabet, &text)
             .map_err(|e| format!("bad matrix file {path}: {e}"))?
     } else if opts.match_score.is_some() || opts.mismatch_score.is_some() {
@@ -372,10 +381,7 @@ fn run(opts: &Options) -> Result<(), String> {
         }
     }
     if let Some(path) = &opts.report {
-        let doc = repro::obs::json::obj(vec![(
-            "reports",
-            repro::obs::json::Json::Arr(reports),
-        )]);
+        let doc = repro::obs::json::obj(vec![("reports", repro::obs::json::Json::Arr(reports))]);
         let mut text = doc.to_string_compact();
         text.push('\n');
         std::fs::write(path, text).map_err(|e| format!("cannot write report {path}: {e}"))?;
@@ -396,12 +402,17 @@ fn analyze_one(
     scoring: &Scoring,
     opts: &Options,
 ) -> Result<repro::Analysis, String> {
-    println!(">{id} ({} residues, {} alphabet)", seq.len(), seq.alphabet());
+    println!(
+        ">{id} ({} residues, {} alphabet)",
+        seq.len(),
+        seq.alphabet()
+    );
     let t0 = std::time::Instant::now();
     let analysis = Repro::new(scoring.clone())
         .top_alignments(opts.tops)
         .engine(opts.engine)
         .low_memory(opts.low_memory)
+        .checkpoint_budget(opts.checkpoint_budget)
         .trace(opts.trace.is_some())
         .try_run(seq)
         .map_err(|e| format!("engine failure on {id:?}: {e}"))?;
@@ -445,7 +456,10 @@ fn analyze_one(
         println!("  unit {}..{}", unit.range.start, unit.range.end);
     }
     if opts.gff {
-        print!("{}", report.to_gff(id.split_whitespace().next().unwrap_or(id)));
+        print!(
+            "{}",
+            report.to_gff(id.split_whitespace().next().unwrap_or(id))
+        );
     }
     if opts.consensus {
         if let Some(consensus) = &analysis.consensus {
@@ -575,7 +589,13 @@ mod tests {
     #[test]
     fn lanes_and_dispatch_fold_into_the_engine() {
         let o = parse_args(&args(&[
-            "--engine", "simd", "--lanes", "16", "--dispatch", "avx2", "x.fa",
+            "--engine",
+            "simd",
+            "--lanes",
+            "16",
+            "--dispatch",
+            "avx2",
+            "x.fa",
         ]))
         .unwrap();
         assert_eq!(
@@ -587,7 +607,11 @@ mod tests {
         );
         // Flag order doesn't matter.
         let o = parse_args(&args(&[
-            "--lanes", "8", "--engine", "simd-threads:2", "x.fa",
+            "--lanes",
+            "8",
+            "--engine",
+            "simd-threads:2",
+            "x.fa",
         ]))
         .unwrap();
         assert_eq!(
@@ -611,13 +635,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_lanes_and_dispatch() {
-        let err =
-            parse_args(&args(&["--engine", "simd", "--lanes", "32", "x.fa"])).unwrap_err();
+        let err = parse_args(&args(&["--engine", "simd", "--lanes", "32", "x.fa"])).unwrap_err();
         assert!(err.contains("unsupported lane width 32"), "{err}");
         assert!(parse_args(&args(&["--engine", "simd", "--lanes", "wide", "x.fa"])).is_err());
-        assert!(
-            parse_args(&args(&["--engine", "simd", "--dispatch", "mmx", "x.fa"])).is_err()
-        );
+        assert!(parse_args(&args(&["--engine", "simd", "--dispatch", "mmx", "x.fa"])).is_err());
         // Kernel knobs demand a dispatch-capable engine.
         let err = parse_args(&args(&["--engine", "seq", "--lanes", "8", "x.fa"])).unwrap_err();
         assert!(err.contains("simd"), "{err}");
@@ -627,18 +648,33 @@ mod tests {
     fn rejects_degenerate_engine_configs() {
         // Worlds too small to host a master + one worker must be a
         // parse-time diagnostic, not a panic deep in the engine.
-        for spec in ["threads:0", "cluster:0", "hybrid:0:4", "hybrid:4:0", "hybrid:1:1"] {
+        for spec in [
+            "threads:0",
+            "cluster:0",
+            "hybrid:0:4",
+            "hybrid:4:0",
+            "hybrid:1:1",
+        ] {
             let err = parse_args(&args(&["--engine", spec, "x.fa"])).unwrap_err();
             assert!(err.contains("needs"), "{spec}: {err}");
         }
     }
 
     #[test]
+    fn parses_checkpoint_budget() {
+        let o = parse_args(&args(&["x.fa"])).unwrap();
+        assert_eq!(o.checkpoint_budget, None);
+        let o = parse_args(&args(&["--checkpoint-budget", "1048576", "x.fa"])).unwrap();
+        assert_eq!(o.checkpoint_budget, Some(1_048_576));
+        let o = parse_args(&args(&["--checkpoint-budget", "0", "x.fa"])).unwrap();
+        assert_eq!(o.checkpoint_budget, Some(0));
+        assert!(parse_args(&args(&["--checkpoint-budget", "lots", "x.fa"])).is_err());
+        assert!(parse_args(&args(&["x.fa", "--checkpoint-budget"])).is_err());
+    }
+
+    #[test]
     fn parses_report_and_trace_paths() {
-        let o = parse_args(&args(&[
-            "--report", "r.json", "--trace", "t.jsonl", "x.fa",
-        ]))
-        .unwrap();
+        let o = parse_args(&args(&["--report", "r.json", "--trace", "t.jsonl", "x.fa"])).unwrap();
         assert_eq!(o.report.as_deref(), Some("r.json"));
         assert_eq!(o.trace.as_deref(), Some("t.jsonl"));
         assert!(parse_args(&args(&["--report"])).is_err());
@@ -678,7 +714,10 @@ mod tests {
         // The cluster engine emits assign/result/done events; every line
         // of the trace must be a standalone JSON object.
         let trace_text = std::fs::read_to_string(&trace).unwrap();
-        assert!(trace_text.lines().count() >= 2, "trace too short:\n{trace_text}");
+        assert!(
+            trace_text.lines().count() >= 2,
+            "trace too short:\n{trace_text}"
+        );
         for line in trace_text.lines() {
             Json::parse(line).unwrap();
         }
@@ -698,8 +737,17 @@ mod tests {
     #[test]
     fn custom_simple_matrix() {
         let o = parse_args(&args(&[
-            "--alphabet", "dna", "--match", "5", "--mismatch", "-4", "--open", "3",
-            "--extend", "2", "x.fa",
+            "--alphabet",
+            "dna",
+            "--match",
+            "5",
+            "--mismatch",
+            "-4",
+            "--open",
+            "3",
+            "--extend",
+            "2",
+            "x.fa",
         ]))
         .unwrap();
         let s = build_scoring(&o).unwrap();

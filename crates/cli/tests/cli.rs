@@ -8,7 +8,8 @@ fn repro_bin() -> Command {
 }
 
 fn write_fasta(name: &str, contents: &str) -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!("repro-cli-test-{name}-{}.fa", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("repro-cli-test-{name}-{}.fa", std::process::id()));
     std::fs::write(&path, contents).expect("write temp fasta");
     path
 }
@@ -21,7 +22,11 @@ fn analyzes_dna_repeat_file() {
         .arg(&path)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains(">toy repeat (12 residues"));
     assert!(stdout.contains("score      8"));
@@ -243,7 +248,14 @@ fn generate_titin_and_bad_specs() {
         .expect("binary runs");
     assert!(out.status.success());
     let fasta = String::from_utf8_lossy(&out.stdout);
-    assert_eq!(fasta.lines().filter(|l| !l.starts_with('>')).map(|l| l.len()).sum::<usize>(), 150);
+    assert_eq!(
+        fasta
+            .lines()
+            .filter(|l| !l.starts_with('>'))
+            .map(|l| l.len())
+            .sum::<usize>(),
+        150
+    );
 
     for bad in ["titin:abc:1", "nonsense:1:2", "tandem:5"] {
         let out = repro_bin()
@@ -296,7 +308,11 @@ fn low_memory_flag_matches_default() {
 #[test]
 fn custom_matrix_file() {
     let matrix = std::env::temp_dir().join(format!("repro-cli-matrix-{}.txt", std::process::id()));
-    std::fs::write(&matrix, "   A  C  G  T\nA  5 -4 -4 -4\nC -4  5 -4 -4\nG -4 -4  5 -4\nT -4 -4 -4  5\n").unwrap();
+    std::fs::write(
+        &matrix,
+        "   A  C  G  T\nA  5 -4 -4 -4\nC -4  5 -4 -4\nG -4 -4  5 -4\nT -4 -4 -4  5\n",
+    )
+    .unwrap();
     let path = write_fasta("matrix", ">m\nATGCATGCATGC\n");
     let out = repro_bin()
         .args(["--alphabet", "dna", "--tops", "1", "--matrix"])
@@ -304,7 +320,11 @@ fn custom_matrix_file() {
         .arg(&path)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // 4 matches at +5 each.
     assert!(String::from_utf8_lossy(&out.stdout).contains("score     20"));
     let _ = std::fs::remove_file(path);

@@ -24,7 +24,7 @@ use crate::recovery::{
     already_deferred, idle_payload, master_loop, RecoveryConfig, BEACON_PERIOD, WORKER_POLL,
 };
 use repro_align::{Score, Scoring, Seq};
-use repro_core::{OverrideTriangle, SplitMask, TopAlignments};
+use repro_core::{DirtyLog, IncrementalSweeper, OverrideTriangle, SplitMask, TopAlignments};
 use repro_obs::{NoopRecorder, Recorder};
 use repro_xmpi::thread::{FaultPlan, ThreadComm};
 use repro_xmpi::{Comm, RecvError};
@@ -74,6 +74,55 @@ pub fn find_top_alignments_cluster(
     deadline: Duration,
 ) -> Result<ClusterResult, ClusterError> {
     find_top_alignments_cluster_faulty(seq, scoring, count, workers, deadline, FaultPlan::default())
+}
+
+/// [`find_top_alignments_cluster`] with the incremental realignment
+/// layer on every worker rank: each worker keeps a checkpoint store and
+/// a dirty-log replica fed by the ACCEPTED broadcasts it applies, and
+/// its per-task tallies travel home inside [`ResultMsg`]. Alignments
+/// are bit-identical either way.
+pub fn find_top_alignments_cluster_checkpointed(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    workers: usize,
+    deadline: Duration,
+    checkpoint_budget: Option<usize>,
+) -> Result<ClusterResult, ClusterError> {
+    run_cluster(
+        seq,
+        scoring,
+        count,
+        workers,
+        deadline,
+        FaultPlan::default(),
+        &mut NoopRecorder,
+        checkpoint_budget,
+    )
+}
+
+/// [`find_top_alignments_cluster_checkpointed`] with a flight recorder
+/// attached to the master (see
+/// [`find_top_alignments_cluster_recorded`]).
+pub fn find_top_alignments_cluster_checkpointed_recorded<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    workers: usize,
+    deadline: Duration,
+    checkpoint_budget: Option<usize>,
+    rec: &mut R,
+) -> Result<ClusterResult, ClusterError> {
+    run_cluster(
+        seq,
+        scoring,
+        count,
+        workers,
+        deadline,
+        FaultPlan::default(),
+        rec,
+        checkpoint_budget,
+    )
 }
 
 /// [`find_top_alignments_cluster`] with fault injection on every
@@ -133,6 +182,21 @@ pub fn find_top_alignments_cluster_faulty_recorded<R: Recorder>(
     faults: FaultPlan,
     rec: &mut R,
 ) -> Result<ClusterResult, ClusterError> {
+    run_cluster(seq, scoring, count, workers, deadline, faults, rec, None)
+}
+
+/// The engine body every public entry point funnels into.
+#[allow(clippy::too_many_arguments)] // the thin pub wrappers pick the knobs
+fn run_cluster<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    workers: usize,
+    deadline: Duration,
+    faults: FaultPlan,
+    rec: &mut R,
+    checkpoint_budget: Option<usize>,
+) -> Result<ClusterResult, ClusterError> {
     assert!(workers >= 1, "need at least one worker rank");
     let ranks = workers + 1;
     let mut world = ThreadComm::world_with_faults(ranks, faults);
@@ -141,7 +205,7 @@ pub fn find_top_alignments_cluster_faulty_recorded<R: Recorder>(
     rec.phase_start(repro_obs::Phase::Recovery);
     let result = std::thread::scope(|scope| {
         for comm in world {
-            scope.spawn(move || worker_loop(seq, scoring, comm, deadline));
+            scope.spawn(move || worker_loop(seq, scoring, comm, deadline, checkpoint_budget));
         }
         master_loop(
             seq,
@@ -157,10 +221,21 @@ pub fn find_top_alignments_cluster_faulty_recorded<R: Recorder>(
     result.map(|r| ClusterResult { result: r, ranks })
 }
 
-fn worker_loop(seq: &Seq, scoring: &Scoring, comm: ThreadComm, deadline: Duration) {
+fn worker_loop(
+    seq: &Seq,
+    scoring: &Scoring,
+    comm: ThreadComm,
+    deadline: Duration,
+    checkpoint_budget: Option<usize>,
+) {
     let mut triangle = OverrideTriangle::new(seq.len());
     let mut applied = 0usize; // ACCEPTED broadcasts applied so far
     let mut rows: HashMap<usize, Vec<Score>> = HashMap::new();
+    // Incremental realignment state, tracking this worker's replica:
+    // the dirty log records exactly the ACCEPTED broadcasts applied, so
+    // its version always equals `applied`.
+    let mut incr = checkpoint_budget.map(IncrementalSweeper::new);
+    let mut dirty = DirtyLog::new();
     let mut deferred: Vec<TaskMsg> = Vec::new();
     // Attempts whose result we already sent once: receiving them again
     // means that result was lost, so its replacement is sent twice (a
@@ -174,7 +249,9 @@ fn worker_loop(seq: &Seq, scoring: &Scoring, comm: ThreadComm, deadline: Duratio
         if let Some(pos) = deferred.iter().position(|t| t.stamp <= applied) {
             let task = deferred.swap_remove(pos);
             let repeat = !sent.insert((task.r, task.attempt));
-            if !run_task(seq, scoring, &comm, &triangle, &mut rows, task, repeat) {
+            if !run_task(
+                seq, scoring, &comm, &triangle, &mut rows, &mut incr, &dirty, applied, task, repeat,
+            ) {
                 return; // endpoint (ours or the master's) is dead
             }
             continue;
@@ -217,7 +294,10 @@ fn worker_loop(seq: &Seq, scoring: &Scoring, comm: ThreadComm, deadline: Duratio
                 };
                 if task.stamp <= applied {
                     let repeat = !sent.insert((task.r, task.attempt));
-                    if !run_task(seq, scoring, &comm, &triangle, &mut rows, task, repeat) {
+                    if !run_task(
+                        seq, scoring, &comm, &triangle, &mut rows, &mut incr, &dirty, applied,
+                        task, repeat,
+                    ) {
                         return;
                     }
                 } else if !already_deferred(&deferred, &task) {
@@ -243,8 +323,11 @@ fn worker_loop(seq: &Seq, scoring: &Scoring, comm: ThreadComm, deadline: Duratio
                 if acc.index < applied {
                     continue; // duplicate of an already-applied acceptance
                 }
-                for (p, q) in acc.pairs {
+                for &(p, q) in &acc.pairs {
                     triangle.set(p, q);
+                }
+                if incr.is_some() {
+                    dirty.record_accept(&acc.pairs);
                 }
                 applied += 1;
             }
@@ -258,39 +341,88 @@ fn worker_loop(seq: &Seq, scoring: &Scoring, comm: ThreadComm, deadline: Duratio
 /// send proves an endpoint dead (ours or the master's), which is the
 /// worker's cue to exit; injected drops stay invisible and are healed
 /// by the master's retransmission.
+#[allow(clippy::too_many_arguments)] // the worker loop threads its whole replica state
 fn run_task(
     seq: &Seq,
     scoring: &Scoring,
     comm: &ThreadComm,
     triangle: &OverrideTriangle,
     rows: &mut HashMap<usize, Vec<Score>>,
+    incr: &mut Option<IncrementalSweeper>,
+    dirty: &DirtyLog,
+    applied: usize,
     task: TaskMsg,
     repeat: bool,
 ) -> bool {
-    let (prefix, suffix) = seq.split(task.r);
-    let mask = SplitMask::new(triangle, task.r);
-    let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
-    let (score, shadow_rejections, first_row) = if task.first {
-        rows.insert(task.r, last.row.clone());
-        (last.best_in_row, 0, Some(last.row))
-    } else {
+    if !task.first {
         if let Some(row) = &task.row {
             rows.insert(task.r, row.clone());
         }
-        let original = rows
-            .get(&task.r)
-            .expect("realignment without cached or attached row");
-        let (score, _, shadows) =
-            repro_core::bottom::best_valid_entry_counted(&last.row, original);
-        (score, shadows, None)
+    }
+    // The incremental path serves realignments, and first passes while
+    // the replica is still pristine. A first pass re-run under a newer
+    // replica (a retransmitted attempt racing an acceptance) takes the
+    // plain path: the sweeper's memo must only ever describe the
+    // version-stamped state the dirty log can account for.
+    let use_incr = incr.is_some() && (!task.first || applied == 0);
+    let (score, shadow_rejections, cells, incr_tallies, first_row) = if use_incr {
+        let sweeper = incr.as_mut().expect("checked incr.is_some()");
+        if task.first {
+            let res = sweeper.first_pass(seq, scoring, task.r, triangle, 0);
+            let row = res.first_row.expect("first pass returns its row");
+            rows.insert(task.r, row.clone());
+            (res.score, 0, res.cells, [0; 4], Some(row))
+        } else {
+            let original = rows
+                .get(&task.r)
+                .expect("realignment without cached or attached row");
+            let sweep = sweeper.realign(
+                seq,
+                scoring,
+                task.r,
+                triangle,
+                original,
+                dirty,
+                applied as u64,
+            );
+            let tallies = [
+                u64::from(sweep.hit()),
+                u64::from(!sweep.hit()),
+                sweep.rows_swept,
+                sweep.rows_skipped,
+            ];
+            (
+                sweep.result.score,
+                sweep.result.shadow_rejections,
+                sweep.result.cells,
+                tallies,
+                None,
+            )
+        }
+    } else {
+        let (prefix, suffix) = seq.split(task.r);
+        let mask = SplitMask::new(triangle, task.r);
+        let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
+        if task.first {
+            rows.insert(task.r, last.row.clone());
+            (last.best_in_row, 0, last.cells, [0; 4], Some(last.row))
+        } else {
+            let original = rows
+                .get(&task.r)
+                .expect("realignment without cached or attached row");
+            let (score, _, shadows) =
+                repro_core::bottom::best_valid_entry_counted(&last.row, original);
+            (score, shadows, last.cells, [0; 4], None)
+        }
     };
     let res = ResultMsg {
         r: task.r,
         stamp: task.stamp,
         attempt: task.attempt,
         score,
-        cells: last.cells,
+        cells,
         shadow_rejections,
+        incr: incr_tallies,
         first_row,
     };
     let payload = res.encode();
@@ -317,8 +449,7 @@ mod tests {
         let scoring = Scoring::dna_example();
         let want = find_top_alignments(&seq, &scoring, 3);
         for workers in [1, 2, 4] {
-            let got =
-                find_top_alignments_cluster(&seq, &scoring, 3, workers, DL).unwrap();
+            let got = find_top_alignments_cluster(&seq, &scoring, 3, workers, DL).unwrap();
             assert_eq!(
                 got.result.alignments, want.alignments,
                 "{workers} workers disagree with sequential"
@@ -339,7 +470,10 @@ mod tests {
             let want = find_top_alignments(&seq, &scoring, 5);
             for workers in [1, 3] {
                 let got = find_top_alignments_cluster(&seq, &scoring, 5, workers, DL).unwrap();
-                assert_eq!(got.result.alignments, want.alignments, "{workers} on {text}");
+                assert_eq!(
+                    got.result.alignments, want.alignments,
+                    "{workers} on {text}"
+                );
             }
         }
     }
@@ -351,6 +485,39 @@ mod tests {
         let want = find_top_alignments(&seq, &scoring, 4);
         let got = find_top_alignments_cluster(&seq, &scoring, 4, 2, DL).unwrap();
         assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn checkpointed_matches_plain_and_skips_rows() {
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAA{motif}CCAAGGTT{motif}TGCATTGG");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 6);
+        for budget in [Some(0), Some(1 << 20)] {
+            for workers in [1, 2] {
+                let got = find_top_alignments_cluster_checkpointed(
+                    &seq, &scoring, 6, workers, DL, budget,
+                )
+                .unwrap();
+                assert_eq!(
+                    got.result.alignments, want.alignments,
+                    "budget {budget:?}, {workers} workers"
+                );
+                let s = &got.result.stats;
+                if budget == Some(0) {
+                    assert_eq!(s.checkpoint_hits, 0, "budget 0 must always miss");
+                    assert_eq!(s.realign_rows_skipped, 0);
+                    assert!(s.checkpoint_misses > 0);
+                } else {
+                    assert!(
+                        s.checkpoint_hits > 0,
+                        "{workers} workers: expected memo/checkpoint hits"
+                    );
+                    assert!(s.realign_rows_skipped > 0);
+                }
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::recovery::{
 };
 use parking_lot::{Condvar, Mutex};
 use repro_align::{Score, Scoring, Seq};
-use repro_core::{OverrideTriangle, SplitMask, TopAlignments};
+use repro_core::{DirtyLog, IncrementalSweeper, OverrideTriangle, SplitMask, TopAlignments};
 use repro_obs::{NoopRecorder, Recorder};
 use repro_xmpi::thread::ThreadComm;
 use repro_xmpi::{Comm, RecvError};
@@ -60,6 +60,10 @@ struct NodeShared {
 struct NodeInner {
     triangle: Arc<OverrideTriangle>,
     applied: usize,
+    /// Pair lists of the acceptances applied so far, in order — the
+    /// node-wide feed for each thread's private dirty-log replica.
+    /// Only populated when the incremental layer is on.
+    accepts: Vec<Vec<(usize, usize)>>,
     rows: HashMap<usize, Arc<Vec<Score>>>,
     deferred: Vec<TaskMsg>,
     /// Attempts whose result already went out once (node-wide — the
@@ -93,6 +97,58 @@ pub fn find_top_alignments_hybrid(
     )
 }
 
+/// [`find_top_alignments_hybrid`] with the incremental realignment
+/// layer on every worker thread: each thread keeps its own checkpoint
+/// store, fed by a private dirty-log replica synced from the node's
+/// accept history under the node lock. Alignments are bit-identical
+/// either way.
+pub fn find_top_alignments_hybrid_checkpointed(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    nodes: usize,
+    threads_per_node: usize,
+    deadline: Duration,
+    checkpoint_budget: Option<usize>,
+) -> Result<HybridResult, ClusterError> {
+    run_hybrid(
+        seq,
+        scoring,
+        count,
+        nodes,
+        threads_per_node,
+        deadline,
+        &mut NoopRecorder,
+        checkpoint_budget,
+    )
+}
+
+/// [`find_top_alignments_hybrid_checkpointed`] with a flight recorder
+/// attached to the master (see
+/// [`find_top_alignments_hybrid_recorded`]).
+#[allow(clippy::too_many_arguments)] // thin wrapper over run_hybrid
+pub fn find_top_alignments_hybrid_checkpointed_recorded<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    nodes: usize,
+    threads_per_node: usize,
+    deadline: Duration,
+    checkpoint_budget: Option<usize>,
+    rec: &mut R,
+) -> Result<HybridResult, ClusterError> {
+    run_hybrid(
+        seq,
+        scoring,
+        count,
+        nodes,
+        threads_per_node,
+        deadline,
+        rec,
+        checkpoint_budget,
+    )
+}
+
 /// [`find_top_alignments_hybrid`] with a flight recorder attached to
 /// the master: the same structured event stream as the flat cluster
 /// engine (see [`crate::engine::find_top_alignments_cluster_recorded`]).
@@ -104,6 +160,30 @@ pub fn find_top_alignments_hybrid_recorded<R: Recorder>(
     threads_per_node: usize,
     deadline: Duration,
     rec: &mut R,
+) -> Result<HybridResult, ClusterError> {
+    run_hybrid(
+        seq,
+        scoring,
+        count,
+        nodes,
+        threads_per_node,
+        deadline,
+        rec,
+        None,
+    )
+}
+
+/// The engine body every public hybrid entry point funnels into.
+#[allow(clippy::too_many_arguments)] // the thin pub wrappers pick the knobs
+fn run_hybrid<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    nodes: usize,
+    threads_per_node: usize,
+    deadline: Duration,
+    rec: &mut R,
+    checkpoint_budget: Option<usize>,
 ) -> Result<HybridResult, ClusterError> {
     assert!(nodes >= 1, "need at least the master's node");
     assert!(threads_per_node >= 1, "nodes need at least one CPU");
@@ -132,6 +212,7 @@ pub fn find_top_alignments_hybrid_recorded<R: Recorder>(
                 inner: Mutex::new(NodeInner {
                     triangle: Arc::new(OverrideTriangle::new(seq.len())),
                     applied: 0,
+                    accepts: Vec::new(),
                     rows: HashMap::new(),
                     deferred: Vec::new(),
                     sent: HashSet::new(),
@@ -146,7 +227,17 @@ pub fn find_top_alignments_hybrid_recorded<R: Recorder>(
             for slot in 0..threads {
                 let shared = Arc::clone(&shared);
                 let comm = Arc::clone(&comm);
-                scope.spawn(move || node_worker(seq, scoring, comm, shared, slot, deadline));
+                scope.spawn(move || {
+                    node_worker(
+                        seq,
+                        scoring,
+                        comm,
+                        shared,
+                        slot,
+                        deadline,
+                        checkpoint_budget,
+                    )
+                });
             }
         }
         master_loop(
@@ -167,6 +258,7 @@ pub fn find_top_alignments_hybrid_recorded<R: Recorder>(
     })
 }
 
+#[allow(clippy::too_many_arguments)] // per-thread replica state, threaded explicitly
 fn node_worker(
     seq: &Seq,
     scoring: &Scoring,
@@ -174,7 +266,13 @@ fn node_worker(
     shared: Arc<NodeShared>,
     slot: usize,
     deadline: Duration,
+    checkpoint_budget: Option<usize>,
 ) {
+    // Per-thread incremental state; the dirty-log replica is caught up
+    // from the node's accept history at every claim, under the node
+    // lock, so its version equals the `applied` of the snapshot swept.
+    let mut incr = checkpoint_budget.map(IncrementalSweeper::new);
+    let mut local_dirty = DirtyLog::new();
     let mut next_beacon = Instant::now(); // fires immediately: first IDLE
     loop {
         // Prefer runnable deferred tasks (their stamp has been reached).
@@ -188,13 +286,27 @@ fn node_worker(
                     let task = inner.deferred.swap_remove(pos);
                     let snapshot = Arc::clone(&inner.triangle);
                     let repeat = !inner.sent.insert((task.r, task.attempt));
-                    Some((task, snapshot, repeat))
+                    if incr.is_some() {
+                        sync_dirty(&mut local_dirty, &inner);
+                    }
+                    Some((task, snapshot, repeat, inner.applied))
                 }
                 None => None,
             }
         };
-        if let Some((task, triangle, repeat)) = runnable {
-            run_task(seq, scoring, &comm, &shared, &triangle, task, repeat);
+        if let Some((task, triangle, repeat, applied)) = runnable {
+            run_task(
+                seq,
+                scoring,
+                &comm,
+                &shared,
+                &triangle,
+                &mut incr,
+                &local_dirty,
+                applied,
+                task,
+                repeat,
+            );
             continue;
         }
 
@@ -255,7 +367,10 @@ fn node_worker(
                     let mut inner = shared.inner.lock();
                     if task.stamp <= inner.applied {
                         let repeat = !inner.sent.insert((task.r, task.attempt));
-                        Some((Arc::clone(&inner.triangle), repeat))
+                        if incr.is_some() {
+                            sync_dirty(&mut local_dirty, &inner);
+                        }
+                        Some((Arc::clone(&inner.triangle), repeat, inner.applied))
                     } else {
                         if !already_deferred(&inner.deferred, &task) {
                             inner.deferred.push(task.clone());
@@ -263,14 +378,27 @@ fn node_worker(
                         None
                     }
                 };
-                if let Some((triangle, repeat)) = snapshot {
-                    run_task(seq, scoring, &comm, &shared, &triangle, task, repeat);
+                if let Some((triangle, repeat, applied)) = snapshot {
+                    run_task(
+                        seq,
+                        scoring,
+                        &comm,
+                        &shared,
+                        &triangle,
+                        &mut incr,
+                        &local_dirty,
+                        applied,
+                        task,
+                        repeat,
+                    );
                 }
             }
             tag::ACCEPTED => {
                 let Ok(acc) = AcceptedMsg::decode(&msg.payload) else {
                     let applied = shared.inner.lock().applied;
-                    let _ = comm.lock().send(0, tag::RESYNC, ResyncMsg { applied }.encode());
+                    let _ = comm
+                        .lock()
+                        .send(0, tag::RESYNC, ResyncMsg { applied }.encode());
                     continue;
                 };
                 let mut inner = shared.inner.lock();
@@ -281,17 +409,22 @@ fn node_worker(
                 if acc.index > inner.applied {
                     let applied = inner.applied;
                     drop(inner);
-                    let _ = comm.lock().send(0, tag::RESYNC, ResyncMsg { applied }.encode());
+                    let _ = comm
+                        .lock()
+                        .send(0, tag::RESYNC, ResyncMsg { applied }.encode());
                     continue;
                 }
                 if acc.index < inner.applied {
                     continue; // duplicate of an already-applied acceptance
                 }
                 let mut triangle = (*inner.triangle).clone();
-                for (p, q) in acc.pairs {
+                for &(p, q) in &acc.pairs {
                     triangle.set(p, q);
                 }
                 inner.triangle = Arc::new(triangle);
+                if checkpoint_budget.is_some() {
+                    inner.accepts.push(acc.pairs);
+                }
                 inner.applied += 1;
                 shared.wake.notify_all();
             }
@@ -306,50 +439,116 @@ fn node_worker(
     }
 }
 
+/// Append the accept entries `local` has not yet seen from the node's
+/// history. Called under the node lock, so afterwards
+/// `local.version() == inner.applied` whenever the layer is on.
+fn sync_dirty(local: &mut DirtyLog, inner: &NodeInner) {
+    while (local.version() as usize) < inner.accepts.len() {
+        local.record_accept(&inner.accepts[local.version() as usize]);
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // per-thread replica state, threaded explicitly
 fn run_task(
     seq: &Seq,
     scoring: &Scoring,
     comm: &Arc<Mutex<ThreadComm>>,
     shared: &Arc<NodeShared>,
     triangle: &OverrideTriangle,
+    incr: &mut Option<IncrementalSweeper>,
+    dirty: &DirtyLog,
+    applied: usize,
     task: TaskMsg,
     repeat: bool,
 ) {
-    let (prefix, suffix) = seq.split(task.r);
-    let mask = SplitMask::new(triangle, task.r);
-    let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
-    let (score, shadow_rejections, first_row) = if task.first {
-        let row = Arc::new(last.row);
-        shared
-            .inner
-            .lock()
-            .rows
-            .insert(task.r, Arc::clone(&row));
-        (last.best_in_row, 0, Some((*row).clone()))
-    } else {
-        let original = {
-            let mut inner = shared.inner.lock();
-            if let Some(row) = &task.row {
-                inner.rows.insert(task.r, Arc::new(row.clone()));
-            }
-            Arc::clone(
-                inner
-                    .rows
-                    .get(&task.r)
-                    .expect("realignment without cached or attached row"),
+    // Same routing rule as the flat cluster worker: incremental for
+    // realignments, and for first passes only while the replica is
+    // pristine (a re-run first pass under a newer replica would seed
+    // the memo with unaccounted state).
+    let use_incr = incr.is_some() && (!task.first || applied == 0);
+    let (score, shadow_rejections, cells, incr_tallies, first_row) = if use_incr {
+        let sweeper = incr.as_mut().expect("checked incr.is_some()");
+        if task.first {
+            let res = sweeper.first_pass(seq, scoring, task.r, triangle, 0);
+            let row = Arc::new(res.first_row.expect("first pass returns its row"));
+            shared.inner.lock().rows.insert(task.r, Arc::clone(&row));
+            (res.score, 0, res.cells, [0; 4], Some((*row).clone()))
+        } else {
+            let original = {
+                let mut inner = shared.inner.lock();
+                if let Some(row) = &task.row {
+                    inner.rows.insert(task.r, Arc::new(row.clone()));
+                }
+                Arc::clone(
+                    inner
+                        .rows
+                        .get(&task.r)
+                        .expect("realignment without cached or attached row"),
+                )
+            };
+            let sweep = sweeper.realign(
+                seq,
+                scoring,
+                task.r,
+                triangle,
+                &original,
+                dirty,
+                applied as u64,
+            );
+            let tallies = [
+                u64::from(sweep.hit()),
+                u64::from(!sweep.hit()),
+                sweep.rows_swept,
+                sweep.rows_skipped,
+            ];
+            (
+                sweep.result.score,
+                sweep.result.shadow_rejections,
+                sweep.result.cells,
+                tallies,
+                None,
             )
-        };
-        let (score, _, shadows) =
-            repro_core::bottom::best_valid_entry_counted(&last.row, &original);
-        (score, shadows, None)
+        }
+    } else {
+        let (prefix, suffix) = seq.split(task.r);
+        let mask = SplitMask::new(triangle, task.r);
+        let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
+        if task.first {
+            let row = Arc::new(last.row);
+            shared.inner.lock().rows.insert(task.r, Arc::clone(&row));
+            (
+                last.best_in_row,
+                0,
+                last.cells,
+                [0; 4],
+                Some((*row).clone()),
+            )
+        } else {
+            let original = {
+                let mut inner = shared.inner.lock();
+                if let Some(row) = &task.row {
+                    inner.rows.insert(task.r, Arc::new(row.clone()));
+                }
+                Arc::clone(
+                    inner
+                        .rows
+                        .get(&task.r)
+                        .expect("realignment without cached or attached row"),
+                )
+            };
+            let (score, _, shadows) =
+                repro_core::bottom::best_valid_entry_counted(&last.row, &original);
+            (score, shadows, last.cells, [0; 4], None)
+        }
     };
     let res = ResultMsg {
         r: task.r,
         stamp: task.stamp,
         attempt: task.attempt,
         score,
-        cells: last.cells,
+        cells,
         shadow_rejections,
+        incr: incr_tallies,
         first_row,
     };
     let payload = res.encode();
@@ -407,6 +606,36 @@ mod tests {
         let want = find_top_alignments(&seq, &scoring, 4);
         let got = find_top_alignments_hybrid(&seq, &scoring, 4, 2, 2, DL).unwrap();
         assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn checkpointed_matches_plain_and_skips_rows() {
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAA{motif}CCAAGGTT{motif}TGCATTGG");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 6);
+        for budget in [Some(0), Some(1 << 20)] {
+            for (nodes, tpn) in [(1, 2), (2, 2)] {
+                let got = find_top_alignments_hybrid_checkpointed(
+                    &seq, &scoring, 6, nodes, tpn, DL, budget,
+                )
+                .unwrap();
+                assert_eq!(
+                    got.result.alignments, want.alignments,
+                    "budget {budget:?}, {nodes}×{tpn}"
+                );
+                let s = &got.result.stats;
+                if budget == Some(0) {
+                    assert_eq!(s.checkpoint_hits, 0, "budget 0 must always miss");
+                    assert_eq!(s.realign_rows_skipped, 0);
+                    assert!(s.checkpoint_misses > 0);
+                } else {
+                    assert!(s.checkpoint_hits > 0, "{nodes}×{tpn}: expected hits");
+                    assert!(s.realign_rows_skipped > 0);
+                }
+            }
+        }
     }
 
     #[test]

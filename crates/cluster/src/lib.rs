@@ -40,11 +40,16 @@ pub mod recovery;
 pub mod sim;
 
 pub use engine::{
-    find_top_alignments_cluster, find_top_alignments_cluster_faulty,
+    find_top_alignments_cluster, find_top_alignments_cluster_checkpointed,
+    find_top_alignments_cluster_checkpointed_recorded, find_top_alignments_cluster_faulty,
     find_top_alignments_cluster_faulty_recorded, find_top_alignments_cluster_recorded,
     ClusterError, ClusterResult,
 };
-pub use hybrid::{find_top_alignments_hybrid, find_top_alignments_hybrid_recorded, HybridResult};
+pub use hybrid::{
+    find_top_alignments_hybrid, find_top_alignments_hybrid_checkpointed,
+    find_top_alignments_hybrid_checkpointed_recorded, find_top_alignments_hybrid_recorded,
+    HybridResult,
+};
 pub use master::{MasterAction, MasterState, LOCAL_WORKER};
 pub use recovery::RecoveryConfig;
 pub use sim::{simulate_cluster, AlignCache, CostModel, SimReport};

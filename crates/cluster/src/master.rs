@@ -173,9 +173,10 @@ impl<'a> MasterState<'a> {
     /// `true` iff capacity token (`worker`, `slot`) is consumed by an
     /// in-flight assignment.
     fn slot_busy(&self, worker: usize, slot: usize) -> bool {
-        self.state
-            .iter()
-            .any(|t| t.assigned.is_some_and(|a| a.worker == worker && a.slot == slot))
+        self.state.iter().any(|t| {
+            t.assigned
+                .is_some_and(|a| a.worker == worker && a.slot == slot)
+        })
     }
 
     /// Return capacity token (`worker`, `slot`) to the pool, unless it
@@ -217,6 +218,10 @@ impl<'a> MasterState<'a> {
         };
         self.stats.record_alignment(res.cells, res.stamp);
         self.stats.shadow_rejections += res.shadow_rejections;
+        self.stats.checkpoint_hits += res.incr[0];
+        self.stats.checkpoint_misses += res.incr[1];
+        self.stats.realign_rows_swept += res.incr[2];
+        self.stats.realign_rows_skipped += res.incr[3];
         if let Some(row) = res.first_row {
             if self.rows[res.r - 1].is_none() {
                 self.rows[res.r - 1] = Some(row);
@@ -298,6 +303,7 @@ impl<'a> MasterState<'a> {
                     score,
                     cells,
                     shadow_rejections,
+                    incr: [0; 4],
                     first_row,
                 },
             );
@@ -439,10 +445,13 @@ impl<'a> MasterState<'a> {
         let tops = self.tops.len();
         let mut best: Option<(Score, usize)> = None;
         for (i, t) in self.state.iter().enumerate() {
-            if t.assigned.is_none() && t.aligned_with != tops && t.score > 0
-                && best.is_none_or(|(bs, _)| t.score > bs) {
-                    best = Some((t.score, i));
-                }
+            if t.assigned.is_none()
+                && t.aligned_with != tops
+                && t.score > 0
+                && best.is_none_or(|(bs, _)| t.score > bs)
+            {
+                best = Some((t.score, i));
+            }
         }
         best
     }
@@ -459,8 +468,9 @@ mod tests {
     /// correctness test of the scheduling logic.
     fn drive(seq: &Seq, scoring: &Scoring, count: usize, workers: usize) -> Vec<TopAlignment> {
         let mut master = MasterState::new(seq, scoring, count);
-        let mut worker_triangles: Vec<OverrideTriangle> =
-            (0..workers).map(|_| OverrideTriangle::new(seq.len())).collect();
+        let mut worker_triangles: Vec<OverrideTriangle> = (0..workers)
+            .map(|_| OverrideTriangle::new(seq.len()))
+            .collect();
         let mut worker_caches: Vec<std::collections::HashMap<usize, Vec<Score>>> =
             vec![std::collections::HashMap::new(); workers];
         let mut pending: std::collections::VecDeque<(usize, TaskMsg)> =
@@ -502,8 +512,7 @@ mod tests {
                 let orig = worker_caches[w]
                     .get(&task.r)
                     .expect("realignment without a cached or attached row");
-                let (s, _, shadows) =
-                    repro_core::bottom::best_valid_entry_counted(&last.row, orig);
+                let (s, _, shadows) = repro_core::bottom::best_valid_entry_counted(&last.row, orig);
                 (s, shadows, None)
             };
             actions = master.result(
@@ -515,6 +524,7 @@ mod tests {
                     score,
                     cells: last.cells,
                     shadow_rejections: shadows,
+                    incr: [0; 4],
                     first_row,
                 },
             );
@@ -561,7 +571,10 @@ mod tests {
             panic!("reissued task expected");
         };
         assert_eq!(task2.r, task.r);
-        assert!(task2.attempt > task.attempt, "reissue must bump the attempt");
+        assert!(
+            task2.attempt > task.attempt,
+            "reissue must bump the attempt"
+        );
         // …and the zombie's late result (old attempt) changes nothing.
         let before = master.stats().alignments;
         let zombie = master.result(
@@ -573,6 +586,7 @@ mod tests {
                 score: 999_999, // a wrong score that must never be trusted
                 cells: 1,
                 shadow_rejections: 0,
+                incr: [0; 4],
                 first_row: Some(vec![0; seq.len()]),
             },
         );

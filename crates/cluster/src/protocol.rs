@@ -105,6 +105,11 @@ pub struct ResultMsg {
     /// Bottom-row entries the worker's shadow filter rejected (0 on
     /// first passes; folded into the master's `Stats`).
     pub shadow_rejections: u64,
+    /// Incremental-realignment tallies from the worker's checkpoint
+    /// layer, folded into the master's `Stats` exactly once (stale
+    /// attempts are discarded wholesale): `(checkpoint hits, misses,
+    /// rows swept, rows skipped)`. All zero when the layer is off.
+    pub incr: [u64; 4],
     /// First-pass bottom row (only on the first alignment of `r`).
     pub first_row: Option<Vec<Score>>,
 }
@@ -118,7 +123,11 @@ impl ResultMsg {
             .u64(self.attempt)
             .i32(self.score)
             .u64(self.cells)
-            .u64(self.shadow_rejections);
+            .u64(self.shadow_rejections)
+            .u64(self.incr[0])
+            .u64(self.incr[1])
+            .u64(self.incr[2])
+            .u64(self.incr[3]);
         match &self.first_row {
             Some(row) => e.u64(1).i32_slice(row),
             None => e.u64(0),
@@ -135,6 +144,7 @@ impl ResultMsg {
         let score = d.i32()?;
         let cells = d.u64()?;
         let shadow_rejections = d.u64()?;
+        let incr = [d.u64()?, d.u64()?, d.u64()?, d.u64()?];
         let first_row = if d.u64()? == 1 {
             Some(d.i32_vec()?)
         } else {
@@ -148,6 +158,7 @@ impl ResultMsg {
             score,
             cells,
             shadow_rejections,
+            incr,
             first_row,
         })
     }
@@ -243,6 +254,7 @@ mod tests {
                 score: 123,
                 cells: 1 << 40,
                 shadow_rejections: 7,
+                incr: [1, 2, 30, 40],
                 first_row: None,
             },
             ResultMsg {
@@ -252,6 +264,7 @@ mod tests {
                 score: 0,
                 cells: 0,
                 shadow_rejections: 0,
+                incr: [0; 4],
                 first_row: Some(vec![]),
             },
         ] {
@@ -292,6 +305,7 @@ mod tests {
                 score: 17,
                 cells: 99,
                 shadow_rejections: 3,
+                incr: [0; 4],
                 first_row: None,
             }
             .encode(),

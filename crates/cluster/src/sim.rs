@@ -159,8 +159,7 @@ impl MasterSim<'_> {
                     // master; charge it (paper: "the traceback ... is
                     // done sequentially and takes a relatively long
                     // time").
-                    if let Some(&cells) =
-                        self.state.stats().traceback_cells_per_top.get(acc.index)
+                    if let Some(&cells) = self.state.stats().traceback_cells_per_top.get(acc.index)
                     {
                         ctx.compute(cells as f64 / self.cost.traceback_cells_per_sec);
                     }
@@ -229,6 +228,7 @@ impl WorkerSim<'_> {
             score,
             cells,
             shadow_rejections: shadows,
+            incr: [0; 4],
             first_row: row,
         };
         ctx.send(0, sim_tag::RESULT, res.encode());

@@ -120,6 +120,7 @@ proptest! {
                 score,
                 cells: last.cells,
                 shadow_rejections,
+                incr: [0; 4],
                 first_row,
             }
         }

@@ -159,7 +159,9 @@ mod tests {
         let m = 8;
         let mut store = BottomRowStore::new(m);
         for r in 1..m {
-            let row: Vec<Score> = (0..store.row_len(r)).map(|x| (r * 100 + x) as Score).collect();
+            let row: Vec<Score> = (0..store.row_len(r))
+                .map(|x| (r * 100 + x) as Score)
+                .collect();
             store.store(r, &row);
         }
         for r in 1..m {

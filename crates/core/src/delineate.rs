@@ -141,10 +141,7 @@ fn estimate_period(tops: &[TopAlignment]) -> Option<usize> {
             })
             .sum()
     };
-    let best_score = candidates
-        .iter()
-        .map(|&d| score(d))
-        .fold(0.0f64, f64::max);
+    let best_score = candidates.iter().map(|&d| score(d)).fold(0.0f64, f64::max);
     // Periodicity must explain a substantial share of the offsets, or
     // the offsets simply are not periodic.
     if best_score < 0.4 * offsets.len() as f64 {
@@ -321,7 +318,10 @@ mod tests {
         let tops = find_top_alignments(&seq, &scoring, 5);
         let report = delineate(&seq, &tops.alignments);
         let cov = report.coverage(seq.len());
-        assert!(cov > 0.5, "repetitive sequence should be well covered: {cov}");
+        assert!(
+            cov > 0.5,
+            "repetitive sequence should be well covered: {cov}"
+        );
         assert!(cov <= 1.0);
     }
 

@@ -13,13 +13,15 @@
 //! their own schedulers so all engines produce identical output.
 
 use crate::bottom::{best_valid_entry, best_valid_entry_counted, BottomRowStore};
+use crate::dirty::DirtyLog;
+use crate::incremental::IncrementalSweeper;
 use crate::split_mask::SplitMask;
 use crate::stats::Stats;
 use crate::tasks::{Task, TaskQueue, NEVER_ALIGNED};
 use crate::triangle::OverrideTriangle;
 use repro_align::kernel::full::{sw_full, traceback};
 use repro_align::{sw_last_row, sw_last_row_striped, NoMask, Score, Scoring, Seq};
-use repro_obs::{NoopRecorder, Phase, Recorder};
+use repro_obs::{Counter, NoopRecorder, Phase, Recorder};
 
 /// How first-pass bottom rows are kept for shadow filtering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +52,13 @@ pub struct FinderConfig {
     pub row_mode: RowMode,
     /// Use the compressed (sparse) override triangle.
     pub sparse_triangle: bool,
+    /// Byte budget for the incremental realignment layer's checkpoint
+    /// store (`None` disables the layer entirely; `Some(0)` enables the
+    /// accounting but never stores state, so every sweep is a miss).
+    /// When enabled, realignments use the plain row-major kernel — the
+    /// `stripe` option only affects the clean-row recomputations.
+    /// Results are bit-identical either way.
+    pub checkpoint_budget: Option<usize>,
 }
 
 impl FinderConfig {
@@ -61,6 +70,16 @@ impl FinderConfig {
             stripe: None,
             row_mode: RowMode::Store,
             sparse_triangle: false,
+            checkpoint_budget: None,
+        }
+    }
+
+    /// [`Self::new`] with the incremental realignment layer enabled
+    /// under a checkpoint byte budget.
+    pub fn checkpointed(count: usize, budget: usize) -> Self {
+        FinderConfig {
+            checkpoint_budget: Some(budget),
+            ..FinderConfig::new(count)
         }
     }
 
@@ -72,6 +91,7 @@ impl FinderConfig {
             stripe: None,
             row_mode: RowMode::Recompute,
             sparse_triangle: true,
+            checkpoint_budget: None,
         }
     }
 }
@@ -318,6 +338,11 @@ pub struct TopAlignmentFinder<'a> {
     bottom: Option<BottomRowStore>,
     alignments: Vec<TopAlignment>,
     stats: Stats,
+    /// Dirty-bound log feeding the incremental layer (empty while
+    /// `incr` is `None`).
+    dirty: DirtyLog,
+    /// `Some` iff `config.checkpoint_budget` is set.
+    incr: Option<IncrementalSweeper>,
 }
 
 impl<'a> TopAlignmentFinder<'a> {
@@ -333,6 +358,7 @@ impl<'a> TopAlignmentFinder<'a> {
             RowMode::Store => Some(BottomRowStore::new(m)),
             RowMode::Recompute => None,
         };
+        let incr = config.checkpoint_budget.map(IncrementalSweeper::new);
         TopAlignmentFinder {
             seq,
             scoring,
@@ -342,6 +368,8 @@ impl<'a> TopAlignmentFinder<'a> {
             bottom,
             alignments: Vec::new(),
             stats: Stats::new(),
+            dirty: DirtyLog::new(),
+            incr,
         }
     }
 
@@ -357,6 +385,56 @@ impl<'a> TopAlignmentFinder<'a> {
         self.stats.record_row_recompute(last.cells);
         rec.phase_end(Phase::RowRecompute);
         last.row
+    }
+
+    /// The stale-pop sweep routed through the incremental layer:
+    /// first passes sweep fully (and seed memo + checkpoints),
+    /// realignments skip or resume below the dirty boundary.
+    /// Bit-identical to the from-scratch sweep in all cases.
+    fn incremental_sweep<R: Recorder>(
+        &mut self,
+        task: &Task,
+        first_pass: bool,
+        sweep_phase: Phase,
+        rec: &mut R,
+    ) -> TaskResult {
+        // Recompute-mode original row, before borrowing the sweeper.
+        let clean = match self.config.row_mode {
+            RowMode::Recompute if !first_pass => Some(self.recompute_clean_row(task.r, rec)),
+            _ => None,
+        };
+        let version = self.dirty.version();
+        let incr = self.incr.as_mut().expect("caller checked incr.is_some()");
+        rec.phase_start(sweep_phase);
+        let result = if first_pass {
+            incr.first_pass(self.seq, self.scoring, task.r, &self.triangle, version)
+        } else {
+            let original = match &clean {
+                Some(row) => &row[..],
+                None => self
+                    .bottom
+                    .as_ref()
+                    .expect("store mode keeps rows")
+                    .get(task.r)
+                    .expect("realignment implies a stored first-pass row"),
+            };
+            let sweep = incr.realign(
+                self.seq,
+                self.scoring,
+                task.r,
+                &self.triangle,
+                original,
+                &self.dirty,
+                version,
+            );
+            self.stats.checkpoint_hits += u64::from(sweep.hit());
+            self.stats.checkpoint_misses += u64::from(!sweep.hit());
+            self.stats.realign_rows_swept += sweep.rows_swept;
+            self.stats.realign_rows_skipped += sweep.rows_skipped;
+            sweep.result
+        };
+        rec.phase_end(sweep_phase);
+        result
     }
 
     /// Top alignments accepted so far.
@@ -437,6 +515,9 @@ impl<'a> TopAlignmentFinder<'a> {
                 }
             };
             self.stats.record_traceback(cells);
+            if self.incr.is_some() {
+                self.dirty.record_accept(&top.pairs);
+            }
             let (r, score) = (top.r, top.score);
             self.alignments.push(top);
             // Requeue (Figure 5 line 20): the task keeps its old score as
@@ -455,57 +536,67 @@ impl<'a> TopAlignmentFinder<'a> {
             } else {
                 Phase::Drain
             };
-            let result = match self.config.row_mode {
-                RowMode::Store => {
-                    let original = self
-                        .bottom
-                        .as_ref()
-                        .expect("store mode keeps rows")
-                        .get(task.r);
-                    debug_assert_eq!(original.is_none(), first_pass);
-                    rec.phase_start(sweep_phase);
-                    let out = align_task(
-                        self.seq,
-                        self.scoring,
-                        task.r,
-                        &self.triangle,
-                        original,
-                        self.config.stripe,
-                    );
-                    rec.phase_end(sweep_phase);
-                    out
-                }
-                RowMode::Recompute if first_pass => {
-                    rec.phase_start(sweep_phase);
-                    let out = align_task(
-                        self.seq,
-                        self.scoring,
-                        task.r,
-                        &self.triangle,
-                        None,
-                        self.config.stripe,
-                    );
-                    rec.phase_end(sweep_phase);
-                    out
-                }
-                RowMode::Recompute => {
-                    let clean = self.recompute_clean_row(task.r, rec);
-                    rec.phase_start(sweep_phase);
-                    let out = align_task(
-                        self.seq,
-                        self.scoring,
-                        task.r,
-                        &self.triangle,
-                        Some(&clean),
-                        self.config.stripe,
-                    );
-                    rec.phase_end(sweep_phase);
-                    out
+            let result = if self.incr.is_some() {
+                self.incremental_sweep(&task, first_pass, sweep_phase, rec)
+            } else {
+                match self.config.row_mode {
+                    RowMode::Store => {
+                        let original = self
+                            .bottom
+                            .as_ref()
+                            .expect("store mode keeps rows")
+                            .get(task.r);
+                        debug_assert_eq!(original.is_none(), first_pass);
+                        rec.phase_start(sweep_phase);
+                        let out = align_task(
+                            self.seq,
+                            self.scoring,
+                            task.r,
+                            &self.triangle,
+                            original,
+                            self.config.stripe,
+                        );
+                        rec.phase_end(sweep_phase);
+                        out
+                    }
+                    RowMode::Recompute if first_pass => {
+                        rec.phase_start(sweep_phase);
+                        let out = align_task(
+                            self.seq,
+                            self.scoring,
+                            task.r,
+                            &self.triangle,
+                            None,
+                            self.config.stripe,
+                        );
+                        rec.phase_end(sweep_phase);
+                        out
+                    }
+                    RowMode::Recompute => {
+                        let clean = self.recompute_clean_row(task.r, rec);
+                        rec.phase_start(sweep_phase);
+                        let out = align_task(
+                            self.seq,
+                            self.scoring,
+                            task.r,
+                            &self.triangle,
+                            Some(&clean),
+                            self.config.stripe,
+                        );
+                        rec.phase_end(sweep_phase);
+                        out
+                    }
                 }
             };
             if let Some(row) = result.first_row {
                 if let Some(bottom) = self.bottom.as_mut() {
                     bottom.store(task.r, &row);
+                }
+                // First-pass rows come out of the sweeper's scratch pool
+                // when the incremental layer is on; recycle them once
+                // they have been copied into the store.
+                if let Some(incr) = self.incr.as_mut() {
+                    incr.reclaim(row);
                 }
             }
             debug_assert!(
@@ -535,6 +626,14 @@ impl<'a> TopAlignmentFinder<'a> {
     /// [`Self::run`] with instrumentation (see [`Self::step_recorded`]).
     pub fn run_recorded<R: Recorder>(mut self, rec: &mut R) -> TopAlignments {
         while !matches!(self.step_recorded(rec), Step::Done) {}
+        if let Some(incr) = &self.incr {
+            self.stats.pool_reuses = incr.pool_reuses();
+            rec.add(Counter::CheckpointHits, self.stats.checkpoint_hits);
+            rec.add(Counter::CheckpointMisses, self.stats.checkpoint_misses);
+            rec.add(Counter::RealignRowsSwept, self.stats.realign_rows_swept);
+            rec.add(Counter::RealignRowsSkipped, self.stats.realign_rows_skipped);
+            rec.add(Counter::PoolReuses, self.stats.pool_reuses);
+        }
         TopAlignments {
             alignments: self.alignments,
             stats: self.stats,
@@ -907,6 +1006,156 @@ mod tests {
         assert_eq!(result.stats.alignments, 0);
     }
 
+    /// The incremental realignment layer must be invisible in the
+    /// output: identical alignments, triangle, and schedule-sensitive
+    /// stats at every budget — including 0, where every sweep misses.
+    #[test]
+    fn checkpointing_matches_default_bit_for_bit() {
+        let scoring = atgc_scoring();
+        for text in [
+            "ATGCATGCATGC".to_string(),
+            "ACGTTGCAACGTACGTTGCAGGTT".to_string(),
+            "ATGC".repeat(20),
+            "AAAAAAAAAA".to_string(),
+        ] {
+            let seq = Seq::dna(&text).unwrap();
+            let base = find_top_alignments(&seq, &scoring, 10);
+            for budget in [0usize, 4096, repro_align::DEFAULT_CHECKPOINT_BUDGET] {
+                let cfg = FinderConfig::checkpointed(10, budget);
+                let incr = TopAlignmentFinder::new(&seq, &scoring, cfg).run();
+                assert_eq!(
+                    base.alignments, incr.alignments,
+                    "budget {budget} on {text}"
+                );
+                assert_eq!(base.triangle, incr.triangle);
+                // The schedule (and therefore every schedule-derived
+                // count) is untouched; only cells may shrink.
+                assert_eq!(base.stats.alignments, incr.stats.alignments);
+                assert_eq!(base.stats.stale_pops, incr.stats.stale_pops);
+                assert_eq!(base.stats.fresh_pops, incr.stats.fresh_pops);
+                assert_eq!(
+                    base.stats.realignments_per_top,
+                    incr.stats.realignments_per_top
+                );
+                assert_eq!(
+                    base.stats.shadow_rejections, incr.stats.shadow_rejections,
+                    "budget {budget} on {text}"
+                );
+                assert!(incr.stats.cells <= base.stats.cells);
+                // Every realignment is either a hit or a miss.
+                let drains = incr.stats.stale_pops
+                    - incr
+                        .stats
+                        .realignments_per_top
+                        .first()
+                        .copied()
+                        .unwrap_or(0);
+                assert_eq!(
+                    incr.stats.checkpoint_hits + incr.stats.checkpoint_misses,
+                    drains
+                );
+                if budget == 0 {
+                    assert_eq!(incr.stats.checkpoint_hits, 0);
+                    assert_eq!(incr.stats.realign_rows_skipped, 0);
+                }
+            }
+        }
+    }
+
+    /// On a sequence with *embedded* repeats (motifs at interior
+    /// positions, the realistic shape), accepts dirty only a band of
+    /// rows, so realignments full-skip or resume. A perfectly periodic
+    /// sequence is the adversarial case — its top alignments all start
+    /// at residue 0 and dirty every split from row 0.
+    #[test]
+    fn checkpointing_skips_rows_on_embedded_repeats() {
+        let scoring = atgc_scoring();
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAA{motif}CCAAGGTT{motif}TGCATTGG");
+        let seq = Seq::dna(&text).unwrap();
+        let cfg = FinderConfig::checkpointed(10, repro_align::DEFAULT_CHECKPOINT_BUDGET);
+        let result = TopAlignmentFinder::new(&seq, &scoring, cfg).run();
+        assert!(!result.alignments.is_empty());
+        assert!(result.stats.checkpoint_hits > 0, "no sweep was served");
+        assert!(result.stats.realign_rows_skipped > 0);
+        assert!(result.stats.pool_reuses > 0, "scratch pool never reused");
+        assert!(result.stats.rows_skipped_fraction() > 0.0);
+    }
+
+    #[test]
+    fn checkpointing_composes_with_linear_memory_mode() {
+        let scoring = atgc_scoring();
+        let seq = Seq::dna(&"ACGGT".repeat(10)).unwrap();
+        let base = find_top_alignments(&seq, &scoring, 6);
+        let cfg = FinderConfig {
+            checkpoint_budget: Some(repro_align::DEFAULT_CHECKPOINT_BUDGET),
+            ..FinderConfig::linear_memory(6)
+        };
+        let incr = TopAlignmentFinder::new(&seq, &scoring, cfg).run();
+        assert_eq!(base.alignments, incr.alignments);
+        assert_eq!(base.triangle, incr.triangle);
+        assert!(incr.stats.row_recomputations > 0);
+    }
+
+    #[test]
+    fn checkpointing_composes_with_striped_config() {
+        // Stripe requests fall back to the plain kernel on the
+        // incremental path; results must stay identical.
+        let scoring = atgc_scoring();
+        let seq = Seq::dna("ATGCATGCATGCAATTGGCCATGC").unwrap();
+        let base = find_top_alignments(&seq, &scoring, 5);
+        let cfg = FinderConfig {
+            stripe: Some(3),
+            ..FinderConfig::checkpointed(5, repro_align::DEFAULT_CHECKPOINT_BUDGET)
+        };
+        let incr = TopAlignmentFinder::new(&seq, &scoring, cfg).run();
+        assert_eq!(base.alignments, incr.alignments);
+    }
+
+    /// The Figure 4 golden schedule survives checkpointing untouched,
+    /// and the recorder's counters cross-check against `Stats` exactly
+    /// (the PR 3 invariant, extended to the new counters).
+    #[test]
+    fn checkpointing_preserves_recorder_golden_totals() {
+        use repro_obs::FlightRecorder;
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let mut rec = FlightRecorder::new();
+        let cfg = FinderConfig::checkpointed(3, repro_align::DEFAULT_CHECKPOINT_BUDGET);
+        let result = TopAlignmentFinder::new(&seq, &atgc_scoring(), cfg).run_recorded(&mut rec);
+        assert_eq!(result.alignments.len(), 3);
+        assert_eq!(result.stats.stale_pops, 17);
+        assert_eq!(result.stats.fresh_pops, 3);
+        assert_eq!(result.stats.alignments, 17);
+        assert_eq!(rec.phase_entries(Phase::FirstSweep), 11);
+        assert_eq!(rec.phase_entries(Phase::Drain), 6);
+        assert_eq!(rec.phase_entries(Phase::Traceback), 3);
+        assert_eq!(
+            rec.counter(Counter::CheckpointHits),
+            result.stats.checkpoint_hits
+        );
+        assert_eq!(
+            rec.counter(Counter::CheckpointMisses),
+            result.stats.checkpoint_misses
+        );
+        assert_eq!(
+            rec.counter(Counter::RealignRowsSwept),
+            result.stats.realign_rows_swept
+        );
+        assert_eq!(
+            rec.counter(Counter::RealignRowsSkipped),
+            result.stats.realign_rows_skipped
+        );
+        assert_eq!(rec.counter(Counter::PoolReuses), result.stats.pool_reuses);
+        assert_eq!(
+            result.stats.checkpoint_hits + result.stats.checkpoint_misses,
+            6,
+            "all six drain realignments route through the layer"
+        );
+        // Output identical to the plain engine.
+        let plain = find_top_alignments(&seq, &atgc_scoring(), 3);
+        assert_eq!(plain.alignments, result.alignments);
+    }
+
     /// Differential oracle: each accepted alignment's score must equal an
     /// independent masked alignment of its split computed from scratch,
     /// and its pairs must rescore to exactly that value.
@@ -922,8 +1171,10 @@ mod tests {
             let (prefix, suffix) = seq.split(top.r);
             let mask = SplitMask::new(&triangle, top.r);
             let last = sw_last_row(prefix, suffix, &scoring, mask);
-            assert!(top.score <= last.best_in_row,
-                "accepted score exceeds what the split can produce");
+            assert!(
+                top.score <= last.best_in_row,
+                "accepted score exceeds what the split can produce"
+            );
             for &(p, q) in &top.pairs {
                 triangle.set(p, q);
             }

@@ -1,0 +1,557 @@
+//! The checkpointed incremental sweeper.
+//!
+//! [`IncrementalSweeper`] wraps the scalar score-only sweep with three
+//! exact shortcuts, all driven by the [`crate::DirtyLog`]:
+//!
+//! 1. **Full skip** — if no pair accepted since the split's previous
+//!    sweep straddles it, the whole matrix (and therefore the sweep's
+//!    result) is unchanged: replay the memoised `(score, col, shadows)`
+//!    without touching a single cell.
+//! 2. **Checkpoint resume** — otherwise, resume from the deepest stored
+//!    [`Checkpoint`] whose prefix rows are still clean, sweeping only
+//!    `rows − checkpoint.row` rows. Checkpoints are captured during
+//!    every sweep at positions adapted to the swept region and held
+//!    under a global byte budget with queue-priority eviction.
+//! 3. **Scratch pool** — all row buffers are recycled, so steady-state
+//!    realignments perform no allocation.
+//!
+//! A miss (no memo, no valid checkpoint, or budget 0) falls back to the
+//! full sweep, so results are always bit-identical to from-scratch
+//! computation — the engines' equality tests difference the two paths
+//! directly.
+
+use crate::dirty::DirtyLog;
+use crate::finder::TaskResult;
+use crate::split_mask::SplitMask;
+use crate::triangle::OverrideTriangle;
+use repro_align::checkpoint::{Checkpoint, CheckpointStore, ScratchPool};
+use repro_align::{sw_last_row_resume, NoMask, Score, Scoring, Seq, NEG_INF};
+use std::collections::HashMap;
+
+/// Result of the previous sweep of one split, replayed verbatim on a
+/// full skip. Valid exactly while the dirty log reports no straddling
+/// pair since `version`.
+#[derive(Debug, Clone)]
+struct SweepMemo {
+    /// Dirty-log version of the triangle the sweep ran under.
+    version: u64,
+    score: Score,
+    col: Option<usize>,
+    shadows: u64,
+}
+
+/// What an incremental sweep did, alongside the ordinary [`TaskResult`].
+#[derive(Debug)]
+pub struct IncrementalSweep {
+    /// The sweep outcome, exactly as [`crate::align_task`] would report.
+    pub result: TaskResult,
+    /// `true` if the whole sweep was served from the memo (zero rows).
+    pub full_skip: bool,
+    /// Row the DP resumed from (`0` = swept from scratch).
+    pub resumed_at: usize,
+    /// Rows actually swept.
+    pub rows_swept: u64,
+    /// Rows skipped (memo or checkpoint).
+    pub rows_skipped: u64,
+}
+
+impl IncrementalSweep {
+    /// Did a checkpoint or memo shortcut fire?
+    pub fn hit(&self) -> bool {
+        self.full_skip || self.resumed_at > 0
+    }
+}
+
+/// Per-engine (or per-worker) incremental realignment state: checkpoint
+/// store, sweep memos, and the scratch-buffer pool.
+///
+/// One sweeper serves one triangle replica: the `version` stamps passed
+/// in must count the accepts applied to the triangle the sweeps run
+/// under, and the [`DirtyLog`] must contain at least those accepts.
+#[derive(Debug)]
+pub struct IncrementalSweeper {
+    store: CheckpointStore,
+    pool: ScratchPool,
+    memo: HashMap<usize, SweepMemo>,
+}
+
+/// Checkpoint capture boundaries for a sweep of `start..rows`: an even
+/// sixteenth-grid over the swept region, adapted to wherever this sweep
+/// actually started. A resume lands on the deepest boundary at or above
+/// which every row is clean, so a denser grid loses fewer rows to
+/// rounding — the copies are two `memcpy`s per boundary, far below the
+/// DP cost of the rows they let a later sweep skip.
+fn capture_rows(start: usize, rows: usize) -> Vec<usize> {
+    let len = rows - start;
+    let mut out: Vec<usize> = (1..16)
+        .map(|k| start + k * len / 16)
+        .filter(|&c| c > start && c < rows)
+        .collect();
+    out.dedup();
+    out
+}
+
+/// Checkpoints kept per split at most; beyond this the shallowest are
+/// dropped first (deep checkpoints skip more rows when they survive).
+const MAX_CKPTS_PER_SPLIT: usize = 24;
+
+impl IncrementalSweeper {
+    /// A sweeper with the given global checkpoint byte budget. Budget 0
+    /// is the degenerate enabled-but-empty configuration: every sweep
+    /// runs from scratch and counts as a miss.
+    pub fn new(budget: usize) -> Self {
+        IncrementalSweeper {
+            store: CheckpointStore::new(budget),
+            pool: ScratchPool::new(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Buffers served from the pool instead of the allocator.
+    pub fn pool_reuses(&self) -> u64 {
+        self.pool.reuses()
+    }
+
+    /// Bytes currently pinned by stored checkpoints.
+    pub fn store_used_bytes(&self) -> usize {
+        self.store.used_bytes()
+    }
+
+    /// Return a spent row buffer (e.g. a first-pass bottom row after it
+    /// has been copied into the bottom-row store) to the pool.
+    pub fn reclaim(&mut self, buf: Vec<Score>) {
+        self.pool.give(buf);
+    }
+
+    /// First (empty-triangle) sweep of split `r`: always sweeps every
+    /// row, but seeds the memo and captures checkpoints so later
+    /// realignments can resume. Returns the ordinary first-pass
+    /// [`TaskResult`] (with the bottom row attached for storage).
+    pub fn first_pass(
+        &mut self,
+        seq: &Seq,
+        scoring: &Scoring,
+        r: usize,
+        triangle: &OverrideTriangle,
+        version: u64,
+    ) -> TaskResult {
+        debug_assert!(
+            triangle.is_empty(),
+            "first pass of split {r} must see an empty triangle"
+        );
+        let (best, col, row, cells, merged) = self.sweep(seq, scoring, r, triangle, version);
+        // Store under the swept score: it is the bound the queue
+        // reinserts this split with, so eviction order tracks pop order
+        // — the splits realigned soonest keep their checkpoints.
+        self.store.put_split(r, best, merged);
+        self.memo.insert(
+            r,
+            SweepMemo {
+                version,
+                score: best,
+                col,
+                shadows: 0,
+            },
+        );
+        TaskResult {
+            score: best,
+            col,
+            cells,
+            first_row: Some(row),
+            shadow_rejections: 0,
+        }
+    }
+
+    /// Incremental realignment of split `r` under `triangle` (whose
+    /// accept count is `version`), shadow-filtered against `original`.
+    ///
+    /// Bit-identical to
+    /// `align_task(seq, scoring, r, triangle, Some(original), None)`,
+    /// but skipping every row the dirty log proves unchanged.
+    #[allow(clippy::too_many_arguments)] // the engines thread all of this anyway
+    pub fn realign(
+        &mut self,
+        seq: &Seq,
+        scoring: &Scoring,
+        r: usize,
+        triangle: &OverrideTriangle,
+        original: &[Score],
+        dirty: &DirtyLog,
+        version: u64,
+    ) -> IncrementalSweep {
+        let rows = r;
+        let enabled = self.store.budget() > 0;
+
+        // Shortcut 1: nothing straddling r changed since our last sweep
+        // — the matrix, and thus the result, is identical.
+        if enabled {
+            if let Some(memo) = self.memo.get_mut(&r) {
+                if dirty.dirty_row(r, memo.version).is_none() {
+                    memo.version = version;
+                    let result = TaskResult {
+                        score: memo.score,
+                        col: memo.col,
+                        cells: 0,
+                        first_row: None,
+                        shadow_rejections: memo.shadows,
+                    };
+                    return IncrementalSweep {
+                        result,
+                        full_skip: true,
+                        resumed_at: 0,
+                        rows_swept: 0,
+                        rows_skipped: rows as u64,
+                    };
+                }
+            }
+        }
+
+        // Shortcut 2: resume from the deepest still-valid checkpoint.
+        let mut kept: Vec<Checkpoint> = Vec::new();
+        let mut start = 0usize;
+        if enabled {
+            for ckpt in self.store.take_split(r) {
+                let valid = dirty.dirty_row(r, ckpt.stamp).is_none_or(|d| d >= ckpt.row);
+                if valid {
+                    start = start.max(ckpt.row);
+                    kept.push(ckpt);
+                } else {
+                    self.pool.give(ckpt.m);
+                    self.pool.give(ckpt.maxy);
+                }
+            }
+        }
+
+        // The dirty frontier: the first row any accept so far has
+        // touched for this split. Rows above it have never changed, and
+        // workloads whose repeats cluster (the common case — accepts
+        // overlap the same region) keep dirtying at or below it, so a
+        // checkpoint captured exactly there is both the deepest state
+        // the next realignment can reuse and the one most likely to
+        // survive future accepts.
+        let frontier = dirty.dirty_row(r, 0);
+
+        let resumed_at = start;
+        let (score, col, row, cells, shadows_swept, merged) = if start > 0 {
+            let seed = kept
+                .iter()
+                .find(|c| c.row == start)
+                .expect("start came from a kept checkpoint");
+            let mut m = self.pool.take(seed.m.len(), 0);
+            m.copy_from_slice(&seed.m);
+            let mut maxy = self.pool.take(seed.maxy.len(), 0);
+            maxy.copy_from_slice(&seed.maxy);
+            let out = self.sweep_from(
+                seq, scoring, r, triangle, version, start, m, maxy, kept, frontier,
+            );
+            let (s, c, sh) = best_valid(&out.0, original);
+            (s, c, out.0, out.1, sh, out.2)
+        } else {
+            let out = self.sweep_with_kept(seq, scoring, r, triangle, version, kept, frontier);
+            let (s, c, sh) = best_valid(&out.0, original);
+            (s, c, out.0, out.1, sh, out.2)
+        };
+
+        if enabled {
+            // Store under the shadow-filtered score — the bound this
+            // split re-enters the queue with (see `first_pass`).
+            self.store.put_split(r, score, merged);
+            self.memo.insert(
+                r,
+                SweepMemo {
+                    version,
+                    score,
+                    col,
+                    shadows: shadows_swept,
+                },
+            );
+        }
+        self.pool.give(row);
+
+        IncrementalSweep {
+            result: TaskResult {
+                score,
+                col,
+                cells,
+                first_row: None,
+                shadow_rejections: shadows_swept,
+            },
+            full_skip: false,
+            resumed_at,
+            rows_swept: (rows - resumed_at) as u64,
+            rows_skipped: resumed_at as u64,
+        }
+    }
+
+    /// Full sweep from row 0 with fresh state (wrapper keeping the
+    /// first-pass path simple). Returns (score, col, bottom row, cells,
+    /// merged checkpoint set to store).
+    #[allow(clippy::type_complexity)]
+    fn sweep(
+        &mut self,
+        seq: &Seq,
+        scoring: &Scoring,
+        r: usize,
+        triangle: &OverrideTriangle,
+        version: u64,
+    ) -> (Score, Option<usize>, Vec<Score>, u64, Vec<Checkpoint>) {
+        let (row, cells, merged) =
+            self.sweep_with_kept(seq, scoring, r, triangle, version, Vec::new(), None);
+        let mut best = 0;
+        let mut col = None;
+        for (x, &v) in row.iter().enumerate() {
+            if v > best {
+                best = v;
+                col = Some(x);
+            }
+        }
+        (best, col, row, cells, merged)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_with_kept(
+        &mut self,
+        seq: &Seq,
+        scoring: &Scoring,
+        r: usize,
+        triangle: &OverrideTriangle,
+        version: u64,
+        kept: Vec<Checkpoint>,
+        frontier: Option<usize>,
+    ) -> (Vec<Score>, u64, Vec<Checkpoint>) {
+        let cols = seq.len() - r;
+        let m = self.pool.take(cols, 0);
+        let maxy = self.pool.take(cols, NEG_INF);
+        self.sweep_from(
+            seq, scoring, r, triangle, version, 0, m, maxy, kept, frontier,
+        )
+    }
+
+    /// The one real sweep: resume at `start` with state `(m, maxy)`,
+    /// capture fresh checkpoints, and merge them with the surviving old
+    /// ones. Returns (bottom row, cells swept, merged checkpoint set);
+    /// the caller stores the set under the post-sweep score so eviction
+    /// order tracks the queue's pop order.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_from(
+        &mut self,
+        seq: &Seq,
+        scoring: &Scoring,
+        r: usize,
+        triangle: &OverrideTriangle,
+        version: u64,
+        start: usize,
+        m: Vec<Score>,
+        mut maxy: Vec<Score>,
+        mut kept: Vec<Checkpoint>,
+        frontier: Option<usize>,
+    ) -> (Vec<Score>, u64, Vec<Checkpoint>) {
+        let rows = r;
+        let (prefix, suffix) = seq.split(r);
+        let enabled = self.store.budget() > 0;
+        let captures = if enabled {
+            let mut c = capture_rows(start, rows);
+            if let Some(f) = frontier {
+                if f > start && f < rows {
+                    if let Err(at) = c.binary_search(&f) {
+                        c.insert(at, f);
+                    }
+                }
+            }
+            c
+        } else {
+            Vec::new()
+        };
+        let mut fresh: Vec<Checkpoint> = Vec::new();
+        {
+            let pool = &mut self.pool;
+            let mut capture = |row: usize, m: &[Score], my: &[Score]| {
+                let mut cm = pool.take(m.len(), 0);
+                cm.copy_from_slice(m);
+                let mut cy = pool.take(my.len(), 0);
+                cy.copy_from_slice(my);
+                fresh.push(Checkpoint {
+                    row,
+                    stamp: version,
+                    m: cm,
+                    maxy: cy,
+                });
+            };
+            // An empty triangle masks nothing: use the zero-cost mask,
+            // exactly as the plain first-pass path does.
+            let last = if triangle.is_empty() {
+                sw_last_row_resume(
+                    prefix,
+                    suffix,
+                    scoring,
+                    NoMask,
+                    start,
+                    m,
+                    &mut maxy,
+                    &captures,
+                    &mut capture,
+                )
+            } else {
+                sw_last_row_resume(
+                    prefix,
+                    suffix,
+                    scoring,
+                    SplitMask::new(triangle, r),
+                    start,
+                    m,
+                    &mut maxy,
+                    &captures,
+                    &mut capture,
+                )
+            };
+            self.pool.give(maxy);
+            let merged = if enabled {
+                // Merge: surviving old checkpoints + fresh captures,
+                // deduplicated by row (equal rows hold equal state).
+                kept.extend(fresh);
+                kept.sort_by_key(|c| c.row);
+                let mut merged: Vec<Checkpoint> = Vec::with_capacity(kept.len());
+                for c in kept {
+                    if merged.last().is_some_and(|p| p.row == c.row) {
+                        self.pool.give(c.m);
+                        self.pool.give(c.maxy);
+                    } else {
+                        merged.push(c);
+                    }
+                }
+                while merged.len() > MAX_CKPTS_PER_SPLIT {
+                    let c = merged.remove(0);
+                    self.pool.give(c.m);
+                    self.pool.give(c.maxy);
+                }
+                merged
+            } else {
+                Vec::new()
+            };
+            (last.row, last.cells, merged)
+        }
+    }
+}
+
+/// `best_valid_entry_counted` shadowing, local to keep imports tight.
+fn best_valid(current: &[Score], original: &[Score]) -> (Score, Option<usize>, u64) {
+    crate::bottom::best_valid_entry_counted(current, original)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::finder::align_task;
+    use repro_align::Seq;
+
+    fn dna(text: &str) -> Seq {
+        Seq::dna(text).unwrap()
+    }
+
+    /// Drive a sweeper and a from-scratch oracle through the same accept
+    /// schedule; every realignment must agree bit-for-bit.
+    #[test]
+    fn incremental_matches_from_scratch_under_growing_triangle() {
+        let seq = dna(&"ATGCATGCATGC".repeat(3));
+        let scoring = Scoring::dna_example();
+        let m = seq.len();
+        for budget in [0usize, 512, 1 << 20] {
+            let mut sweeper = IncrementalSweeper::new(budget);
+            let mut triangle = OverrideTriangle::new(m);
+            let mut dirty = DirtyLog::new();
+            // First passes for a handful of splits.
+            let splits = [4usize, 8, 12, 18, 24, 30];
+            let mut originals = std::collections::HashMap::new();
+            for &r in &splits {
+                let res = sweeper.first_pass(&seq, &scoring, r, &triangle, 0);
+                let oracle = align_task(&seq, &scoring, r, &triangle, None, None);
+                assert_eq!(res.score, oracle.score, "budget {budget} first pass r={r}");
+                assert_eq!(res.first_row, oracle.first_row);
+                originals.insert(r, res.first_row.unwrap());
+            }
+            // Synthetic accepts, then realign every split after each.
+            let accepts: Vec<Vec<(usize, usize)>> = vec![
+                vec![(0, 4), (1, 5), (2, 6), (3, 7)],
+                vec![(8, 20), (9, 21), (10, 22)],
+                vec![(30, 33), (31, 34)],
+            ];
+            for pairs in &accepts {
+                for &(p, q) in pairs {
+                    triangle.set(p, q);
+                }
+                dirty.record_accept(pairs);
+                let v = dirty.version();
+                for &r in &splits {
+                    let orig = &originals[&r];
+                    let inc = sweeper.realign(&seq, &scoring, r, &triangle, orig, &dirty, v);
+                    let oracle = align_task(&seq, &scoring, r, &triangle, Some(orig), None);
+                    assert_eq!(
+                        (
+                            inc.result.score,
+                            inc.result.col,
+                            inc.result.shadow_rejections
+                        ),
+                        (oracle.score, oracle.col, oracle.shadow_rejections),
+                        "budget {budget} version {v} split {r}"
+                    );
+                    if budget == 0 {
+                        assert!(!inc.hit(), "budget 0 must always miss");
+                        assert_eq!(inc.rows_skipped, 0);
+                    }
+                    assert_eq!(inc.rows_swept + inc.rows_skipped, r as u64);
+                }
+            }
+            if budget > 0 {
+                assert!(sweeper.pool_reuses() > 0, "pool must recycle buffers");
+            }
+        }
+    }
+
+    /// A split no accept straddles is served entirely from the memo.
+    #[test]
+    fn untouched_split_full_skips() {
+        let seq = dna("ATGCATGCATGCATGC");
+        let scoring = Scoring::dna_example();
+        let mut sweeper = IncrementalSweeper::new(1 << 20);
+        let mut triangle = OverrideTriangle::new(seq.len());
+        let mut dirty = DirtyLog::new();
+        let first = sweeper.first_pass(&seq, &scoring, 4, &triangle, 0);
+        let orig = first.first_row.unwrap();
+        // Accept far away: pairs entirely above split 4? No — straddles
+        // need p < 4 ≤ q. Use p ≥ 4 so split 4 stays clean.
+        triangle.set(8, 12);
+        dirty.record_accept(&[(8, 12)]);
+        let inc = sweeper.realign(&seq, &scoring, 4, &triangle, &orig, &dirty, 1);
+        assert!(inc.full_skip);
+        assert_eq!(inc.result.cells, 0);
+        assert_eq!(inc.rows_skipped, 4);
+        let oracle = align_task(&seq, &scoring, 4, &triangle, Some(&orig), None);
+        assert_eq!(inc.result.score, oracle.score);
+        assert_eq!(inc.result.shadow_rejections, oracle.shadow_rejections);
+    }
+
+    /// Deep splits resume from a checkpoint instead of row 0 when the
+    /// dirty region starts low in the matrix.
+    #[test]
+    fn dirty_tail_resumes_from_a_checkpoint() {
+        let seq = dna(&"ACGT".repeat(16)); // 64 residues
+        let scoring = Scoring::dna_example();
+        let mut sweeper = IncrementalSweeper::new(1 << 20);
+        let mut triangle = OverrideTriangle::new(seq.len());
+        let mut dirty = DirtyLog::new();
+        let r = 48;
+        let first = sweeper.first_pass(&seq, &scoring, r, &triangle, 0);
+        let orig = first.first_row.unwrap();
+        // Dirty only rows ≥ 40 of split 48 (pair p=40 < 48 ≤ q=50).
+        triangle.set(40, 50);
+        dirty.record_accept(&[(40, 50)]);
+        let inc = sweeper.realign(&seq, &scoring, r, &triangle, &orig, &dirty, 1);
+        assert!(!inc.full_skip);
+        assert!(inc.resumed_at > 0, "expected a checkpoint resume");
+        assert!(inc.resumed_at <= 40, "resume must stay above the dirty row");
+        let oracle = align_task(&seq, &scoring, r, &triangle, Some(&orig), None);
+        assert_eq!(inc.result.score, oracle.score);
+        assert_eq!(inc.result.col, oracle.col);
+        assert_eq!(inc.result.shadow_rejections, oracle.shadow_rejections);
+    }
+}

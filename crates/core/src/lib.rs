@@ -18,6 +18,12 @@
 //!   freshness stamp.
 //! * [`finder`] — [`finder::TopAlignmentFinder`], the sequential driver,
 //!   plus the task-alignment primitive shared with the parallel engines.
+//! * [`dirty`] — per-accept **dirty bounds**: for each split, where the
+//!   newly overridden pairs can first perturb the DP matrix.
+//! * [`incremental`] — the checkpointed incremental realignment layer:
+//!   budget-capped DP-row snapshots plus sweep memoisation, resuming
+//!   realignments below the dirty boundary (bit-identical by
+//!   construction).
 //! * [`stats`] — work accounting (alignments, cells, realignment rates:
 //!   the quantities behind the paper's "90–97 % fewer realignments" and
 //!   "3–10 % need realignment" claims).
@@ -30,7 +36,9 @@
 pub mod bottom;
 pub mod consensus;
 pub mod delineate;
+pub mod dirty;
 pub mod finder;
+pub mod incremental;
 pub mod split_mask;
 pub mod stats;
 pub mod tasks;
@@ -39,11 +47,13 @@ pub mod triangle;
 pub use bottom::{best_valid_entry_counted, BottomRowStore};
 pub use consensus::{unit_consensus, Consensus};
 pub use delineate::{delineate, RepeatReport, RepeatUnit};
+pub use dirty::DirtyLog;
 pub use finder::{
     accept_task, accept_task_with_row, align_task, find_top_alignments,
     find_top_alignments_recorded, FinderConfig, RowMode, Step, TaskResult, TopAlignment,
     TopAlignmentFinder, TopAlignments,
 };
+pub use incremental::{IncrementalSweep, IncrementalSweeper};
 pub use split_mask::SplitMask;
 pub use stats::Stats;
 pub use tasks::{Task, TaskQueue, NEVER_ALIGNED, SCORE_INFINITY};

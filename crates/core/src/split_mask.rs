@@ -48,7 +48,7 @@ mod tests {
     fn maps_matrix_cells_to_sequence_pairs() {
         let mut t = OverrideTriangle::new(10);
         t.set(2, 7); // prefix position 2 vs suffix position 7
-        // For split r = 5: cell (2, 2) aligns positions (2, 5 + 2 = 7).
+                     // For split r = 5: cell (2, 2) aligns positions (2, 5 + 2 = 7).
         let mask = SplitMask::new(&t, 5);
         assert!(mask.is_overridden(2, 2));
         assert!(!mask.is_overridden(2, 1));

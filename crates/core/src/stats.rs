@@ -45,6 +45,19 @@ pub struct Stats {
     pub cluster_retries: u64,
     /// Cluster tasks reassigned away from a dead worker.
     pub cluster_reassignments: u64,
+    /// Realignment sweeps served by the incremental layer: a memoised
+    /// full skip or a checkpointed mid-matrix resume.
+    pub checkpoint_hits: u64,
+    /// Realignment sweeps that ran from row 0 with checkpointing
+    /// enabled (no valid checkpoint survived, or the budget is 0).
+    pub checkpoint_misses: u64,
+    /// Realignment DP rows actually swept (first passes excluded).
+    pub realign_rows_swept: u64,
+    /// Realignment DP rows skipped via memo or checkpoint resume.
+    pub realign_rows_skipped: u64,
+    /// Row buffers served from the scratch pool instead of the
+    /// allocator.
+    pub pool_reuses: u64,
 }
 
 impl Stats {
@@ -110,6 +123,21 @@ impl Stats {
         self.fresh_pops += other.fresh_pops;
         self.cluster_retries += other.cluster_retries;
         self.cluster_reassignments += other.cluster_reassignments;
+        self.checkpoint_hits += other.checkpoint_hits;
+        self.checkpoint_misses += other.checkpoint_misses;
+        self.realign_rows_swept += other.realign_rows_swept;
+        self.realign_rows_skipped += other.realign_rows_skipped;
+        self.pool_reuses += other.pool_reuses;
+    }
+
+    /// Fraction of realignment DP rows the incremental layer skipped
+    /// (0.0 when no realignment rows were processed at all).
+    pub fn rows_skipped_fraction(&self) -> f64 {
+        let total = self.realign_rows_swept + self.realign_rows_skipped;
+        if total == 0 {
+            return 0.0;
+        }
+        self.realign_rows_skipped as f64 / total as f64
     }
 
     /// Total score-pass cells spent up to (and including) finding top
@@ -171,6 +199,13 @@ mod tests {
         b.fresh_pops = 2;
         b.cluster_retries = 5;
         b.cluster_reassignments = 1;
+        a.checkpoint_hits = 7;
+        b.checkpoint_hits = 2;
+        b.checkpoint_misses = 3;
+        a.realign_rows_swept = 100;
+        b.realign_rows_swept = 50;
+        b.realign_rows_skipped = 25;
+        b.pool_reuses = 9;
         a.merge(&b);
         assert_eq!(a.alignments, 3);
         assert_eq!(a.cells, 60);
@@ -181,6 +216,12 @@ mod tests {
         assert_eq!(a.fresh_pops, 2);
         assert_eq!(a.cluster_retries, 5);
         assert_eq!(a.cluster_reassignments, 1);
+        assert_eq!(a.checkpoint_hits, 9);
+        assert_eq!(a.checkpoint_misses, 3);
+        assert_eq!(a.realign_rows_swept, 150);
+        assert_eq!(a.realign_rows_skipped, 25);
+        assert_eq!(a.pool_reuses, 9);
+        assert!((a.rows_skipped_fraction() - 25.0 / 175.0).abs() < 1e-12);
     }
 
     #[test]

@@ -138,9 +138,7 @@ impl PartialEq for OverrideTriangle {
     /// Logical equality: same length and same overridden pairs,
     /// regardless of representation.
     fn eq(&self, other: &Self) -> bool {
-        self.m == other.m
-            && self.set_count == other.set_count
-            && self.iter().eq(other.iter())
+        self.m == other.m && self.set_count == other.set_count && self.iter().eq(other.iter())
     }
 }
 

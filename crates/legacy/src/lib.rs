@@ -54,18 +54,19 @@ pub fn find_top_alignments_old(
     let mut stats = Stats::new();
     let mut alignments: Vec<TopAlignment> = Vec::new();
 
-    let align = |prefix: &[u8], suffix: &[u8], mask_r: Option<(&repro_core::OverrideTriangle, usize)>| {
-        match (kernel, mask_r) {
-            (LegacyKernel::Naive, Some((t, r))) => {
-                sw_last_row_naive(prefix, suffix, scoring, SplitMask::new(t, r))
+    let align =
+        |prefix: &[u8], suffix: &[u8], mask_r: Option<(&repro_core::OverrideTriangle, usize)>| {
+            match (kernel, mask_r) {
+                (LegacyKernel::Naive, Some((t, r))) => {
+                    sw_last_row_naive(prefix, suffix, scoring, SplitMask::new(t, r))
+                }
+                (LegacyKernel::Naive, None) => sw_last_row_naive(prefix, suffix, scoring, NoMask),
+                (LegacyKernel::Gotoh, Some((t, r))) => {
+                    sw_last_row(prefix, suffix, scoring, SplitMask::new(t, r))
+                }
+                (LegacyKernel::Gotoh, None) => sw_last_row(prefix, suffix, scoring, NoMask),
             }
-            (LegacyKernel::Naive, None) => sw_last_row_naive(prefix, suffix, scoring, NoMask),
-            (LegacyKernel::Gotoh, Some((t, r))) => {
-                sw_last_row(prefix, suffix, scoring, SplitMask::new(t, r))
-            }
-            (LegacyKernel::Gotoh, None) => sw_last_row(prefix, suffix, scoring, NoMask),
-        }
-    };
+        };
 
     'tops: while alignments.len() < count {
         let tops_found = alignments.len();
@@ -134,9 +135,18 @@ mod tests {
         let scoring = Scoring::dna_example();
         let result = find_top_alignments_old(&seq, &scoring, 3, LegacyKernel::Gotoh);
         assert_eq!(result.alignments.len(), 3);
-        assert_eq!(result.alignments[0].pairs, vec![(0, 4), (1, 5), (2, 6), (3, 7)]);
-        assert_eq!(result.alignments[1].pairs, vec![(0, 8), (1, 9), (2, 10), (3, 11)]);
-        assert_eq!(result.alignments[2].pairs, vec![(4, 8), (5, 9), (6, 10), (7, 11)]);
+        assert_eq!(
+            result.alignments[0].pairs,
+            vec![(0, 4), (1, 5), (2, 6), (3, 7)]
+        );
+        assert_eq!(
+            result.alignments[1].pairs,
+            vec![(0, 8), (1, 9), (2, 10), (3, 11)]
+        );
+        assert_eq!(
+            result.alignments[2].pairs,
+            vec![(4, 8), (5, 9), (6, 10), (7, 11)]
+        );
     }
 
     /// The paper's central correctness claim: the new algorithm computes

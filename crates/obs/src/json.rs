@@ -167,7 +167,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -383,7 +387,12 @@ impl Parser<'_> {
 
 /// Convenience: build an object from (key, value) pairs.
 pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 /// Convenience: a number value.
@@ -437,7 +446,16 @@ mod tests {
 
     #[test]
     fn errors_carry_offsets() {
-        for bad in ["", "{", "[1,]", "{\"a\":}", "tru", "\"abc", "1 2", "{\"a\" 1}"] {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"abc",
+            "1 2",
+            "{\"a\" 1}",
+        ] {
             assert!(Json::parse(bad).is_err(), "should fail: {bad:?}");
         }
         let e = Json::parse("[1, x]").unwrap_err();

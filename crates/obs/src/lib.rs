@@ -114,11 +114,24 @@ pub enum Counter {
     ClusterBroadcasts,
     /// Times the master degraded to finishing the search locally.
     ClusterLocalFallbacks,
+    /// Realignment sweeps served by the incremental layer (memoised
+    /// full skip or checkpointed mid-matrix resume).
+    CheckpointHits,
+    /// Realignment sweeps that ran from row 0 despite checkpointing
+    /// being enabled.
+    CheckpointMisses,
+    /// Realignment DP rows actually swept (first passes excluded).
+    RealignRowsSwept,
+    /// Realignment DP rows skipped via memo or checkpoint resume.
+    RealignRowsSkipped,
+    /// Row buffers served from the scratch pool instead of the
+    /// allocator.
+    PoolReuses,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 18] = [
         Counter::LanesActive,
         Counter::LanesPadded,
         Counter::GroupSweeps,
@@ -132,6 +145,11 @@ impl Counter {
         Counter::ClusterResyncs,
         Counter::ClusterBroadcasts,
         Counter::ClusterLocalFallbacks,
+        Counter::CheckpointHits,
+        Counter::CheckpointMisses,
+        Counter::RealignRowsSwept,
+        Counter::RealignRowsSkipped,
+        Counter::PoolReuses,
     ];
 
     /// Stable snake_case name used in reports.
@@ -150,6 +168,11 @@ impl Counter {
             Counter::ClusterResyncs => "cluster_resyncs",
             Counter::ClusterBroadcasts => "cluster_broadcasts",
             Counter::ClusterLocalFallbacks => "cluster_local_fallbacks",
+            Counter::CheckpointHits => "checkpoint_hits",
+            Counter::CheckpointMisses => "checkpoint_misses",
+            Counter::RealignRowsSwept => "realign_rows_swept",
+            Counter::RealignRowsSkipped => "realign_rows_skipped",
+            Counter::PoolReuses => "pool_reuses",
         }
     }
 

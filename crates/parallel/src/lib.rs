@@ -23,13 +23,17 @@
 
 pub mod simd_smp;
 
-pub use simd_smp::{find_top_alignments_parallel_simd, ParallelSimdResult};
+pub use simd_smp::{
+    find_top_alignments_parallel_simd, find_top_alignments_parallel_simd_checkpointed,
+    ParallelSimdResult,
+};
 
 use parking_lot::{Condvar, Mutex};
 use repro_align::{Score, Scoring, Seq};
 use repro_core::bottom::best_valid_entry_counted;
 use repro_core::{
-    accept_task_with_row, OverrideTriangle, SplitMask, Stats, TopAlignment, TopAlignments,
+    accept_task_with_row, DirtyLog, IncrementalSweeper, OverrideTriangle, SplitMask, Stats,
+    TopAlignment, TopAlignments,
 };
 use std::sync::Arc;
 use std::sync::OnceLock;
@@ -78,6 +82,10 @@ struct Engine<'a> {
     seq: &'a Seq,
     scoring: &'a Scoring,
     count: usize,
+    /// Incremental realignment layer budget (`None` = off). Each worker
+    /// keeps its own sweeper and dirty-log replica, synced from the
+    /// shared top list under the lock.
+    checkpoint_budget: Option<usize>,
     shared: Mutex<Shared>,
     wake: Condvar,
     rows: Vec<OnceLock<Vec<Score>>>, // index r − 1, first-pass bottom rows
@@ -103,6 +111,23 @@ pub fn find_top_alignments_parallel(
     count: usize,
     threads: usize,
 ) -> ParallelResult {
+    find_top_alignments_parallel_checkpointed(seq, scoring, count, threads, None)
+}
+
+/// [`find_top_alignments_parallel`] with the incremental realignment
+/// layer: `checkpoint_budget` bytes of DP checkpoints per worker
+/// (`None` disables; `Some(0)` enables the accounting but every sweep
+/// misses). Alignments are bit-identical either way — each worker keeps
+/// a private dirty-log replica synced from the shared top list under
+/// the lock, so the stamp a sweep runs under always matches the
+/// triangle snapshot it cloned.
+pub fn find_top_alignments_parallel_checkpointed(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    threads: usize,
+    checkpoint_budget: Option<usize>,
+) -> ParallelResult {
     assert!(threads >= 1, "need at least one worker");
     let m = seq.len();
     let splits = m.saturating_sub(1);
@@ -111,6 +136,7 @@ pub fn find_top_alignments_parallel(
         seq,
         scoring,
         count,
+        checkpoint_budget,
         shared: Mutex::new(Shared {
             state: vec![
                 TaskState {
@@ -169,8 +195,15 @@ pub fn find_top_alignments_parallel(
 }
 
 enum Decision {
-    Accept { r: usize, score: Score },
-    Realign { r: usize, stamp: usize, triangle: Arc<OverrideTriangle> },
+    Accept {
+        r: usize,
+        score: Score,
+    },
+    Realign {
+        r: usize,
+        stamp: usize,
+        triangle: Arc<OverrideTriangle>,
+    },
     Wait,
     Finished,
 }
@@ -216,13 +249,16 @@ impl Engine<'_> {
         // Speculate: best stale unassigned task, if any.
         let mut pick: Option<(Score, usize)> = None;
         for (i, t) in shared.state.iter().enumerate() {
-            if !t.assigned && t.aligned_with != tops_found && t.score > 0
-                && pick.is_none_or(|(ps, _)| t.score > ps) {
-                    pick = Some((t.score, i));
-                }
+            if !t.assigned
+                && t.aligned_with != tops_found
+                && t.score > 0
+                && pick.is_none_or(|(ps, _)| t.score > ps)
+            {
+                pick = Some((t.score, i));
+            }
         }
         match pick {
-            Some((_, i)) => {
+            Some((_prior, i)) => {
                 shared.state[i].assigned = true;
                 shared.claims += 1;
                 shared.stats.stale_pops += 1;
@@ -237,10 +273,20 @@ impl Engine<'_> {
     }
 
     fn worker(&self) {
+        // Worker-private incremental state: the sweeper owns this
+        // worker's checkpoints and scratch pool; the dirty log is a
+        // replica of the shared accept history, appended to under the
+        // lock so its version always equals the stamp of the triangle
+        // snapshot the worker sweeps under.
+        let mut incr = self.checkpoint_budget.map(IncrementalSweeper::new);
+        let mut local_dirty = DirtyLog::new();
         let mut guard = self.shared.lock();
         loop {
             match self.decide(&mut guard) {
                 Decision::Finished => {
+                    if let Some(sweeper) = &incr {
+                        guard.stats.pool_reuses += sweeper.pool_reuses();
+                    }
                     self.wake.notify_all();
                     return;
                 }
@@ -277,32 +323,80 @@ impl Engine<'_> {
                     self.wake.notify_all();
                 }
                 Decision::Realign { r, stamp, triangle } => {
+                    if incr.is_some() {
+                        // Catch the replica up to the snapshot we are
+                        // about to sweep under: tops is still exactly
+                        // `stamp` long (same lock hold as decide()).
+                        local_dirty.sync_from(&guard.tops);
+                        debug_assert_eq!(local_dirty.version(), stamp as u64);
+                    }
                     drop(guard);
 
-                    let (prefix, suffix) = self.seq.split(r);
-                    let mask = SplitMask::new(&triangle, r);
-                    let last = repro_align::sw_last_row(prefix, suffix, self.scoring, mask);
-                    let cells = last.cells;
-                    let (score, shadows, first) = match self.rows[r - 1].get() {
-                        None => {
-                            debug_assert!(triangle.is_empty());
-                            let s = last.best_in_row;
-                            (s, 0, Some(last.row))
+                    // (hit, rows swept, rows skipped) — realignments only.
+                    let mut inc_stats: Option<(bool, u64, u64)> = None;
+                    let (score, shadows, cells) = match (&mut incr, self.rows[r - 1].get()) {
+                        (Some(sweeper), None) => {
+                            let res = sweeper.first_pass(
+                                self.seq,
+                                self.scoring,
+                                r,
+                                &triangle,
+                                stamp as u64,
+                            );
+                            self.rows[r - 1]
+                                .set(res.first_row.expect("first pass returns its row"))
+                                .expect("first pass runs exactly once per split");
+                            (res.score, 0, res.cells)
                         }
-                        Some(original) => {
-                            let (s, _, shadows) = best_valid_entry_counted(&last.row, original);
-                            (s, shadows, None)
+                        (Some(sweeper), Some(original)) => {
+                            let sweep = sweeper.realign(
+                                self.seq,
+                                self.scoring,
+                                r,
+                                &triangle,
+                                original,
+                                &local_dirty,
+                                stamp as u64,
+                            );
+                            inc_stats = Some((sweep.hit(), sweep.rows_swept, sweep.rows_skipped));
+                            (
+                                sweep.result.score,
+                                sweep.result.shadow_rejections,
+                                sweep.result.cells,
+                            )
+                        }
+                        (None, row) => {
+                            let (prefix, suffix) = self.seq.split(r);
+                            let mask = SplitMask::new(&triangle, r);
+                            let last = repro_align::sw_last_row(prefix, suffix, self.scoring, mask);
+                            let cells = last.cells;
+                            match row {
+                                None => {
+                                    debug_assert!(triangle.is_empty());
+                                    let s = last.best_in_row;
+                                    self.rows[r - 1]
+                                        .set(last.row)
+                                        .expect("first pass runs exactly once per split");
+                                    (s, 0, cells)
+                                }
+                                Some(original) => {
+                                    let (s, _, shadows) =
+                                        best_valid_entry_counted(&last.row, original);
+                                    (s, shadows, cells)
+                                }
+                            }
                         }
                     };
-                    if let Some(row) = first {
-                        self.rows[r - 1]
-                            .set(row)
-                            .expect("first pass runs exactly once per split");
-                    }
 
                     guard = self.shared.lock();
                     guard.stats.shadow_rejections += shadows;
                     guard.stats.record_alignment(cells, stamp);
+                    if let Some((hit, swept, skipped)) = inc_stats {
+                        guard.stats.checkpoint_hits += u64::from(hit);
+                        guard.stats.checkpoint_misses += u64::from(!hit);
+                        guard.stats.realign_rows_swept += swept;
+                        guard.stats.realign_rows_skipped += skipped;
+                    }
                     if stamp != guard.tops.len() {
                         guard.superseded += 1;
                     }
@@ -370,7 +464,10 @@ mod tests {
         assert_eq!(got.result.stats.alignments, want.stats.alignments);
         assert_eq!(got.result.stats.stale_pops, want.stats.stale_pops);
         assert_eq!(got.result.stats.fresh_pops, want.stats.fresh_pops);
-        assert_eq!(got.result.stats.shadow_rejections, want.stats.shadow_rejections);
+        assert_eq!(
+            got.result.stats.shadow_rejections,
+            want.stats.shadow_rejections
+        );
         assert_eq!(
             got.task_claims,
             got.result.stats.stale_pops + got.result.stats.fresh_pops
@@ -418,6 +515,53 @@ mod tests {
         let want = find_top_alignments(&seq, &scoring, 5);
         let got = find_top_alignments_parallel(&seq, &scoring, 5, 6);
         assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn checkpointed_matches_plain_bit_for_bit() {
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAA{motif}CCAAGGTT{motif}TGCATTGG");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments_parallel(&seq, &scoring, 6, 2);
+        for budget in [Some(0), Some(1 << 20)] {
+            for threads in [1, 2, 4] {
+                let got =
+                    find_top_alignments_parallel_checkpointed(&seq, &scoring, 6, threads, budget);
+                assert_eq!(
+                    got.result.alignments, want.result.alignments,
+                    "budget {budget:?}, {threads} threads"
+                );
+                let s = &got.result.stats;
+                assert!(
+                    s.checkpoint_hits + s.checkpoint_misses > 0,
+                    "enabled run must account every realignment"
+                );
+                if budget == Some(0) {
+                    assert_eq!(s.checkpoint_hits, 0, "budget 0 must always miss");
+                    assert_eq!(s.realign_rows_skipped, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_single_thread_skips_rows_on_embedded_repeats() {
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAA{motif}CCAAGGTT{motif}TGCATTGG");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let got = find_top_alignments_parallel_checkpointed(&seq, &scoring, 6, 1, Some(1 << 20));
+        let s = &got.result.stats;
+        assert!(s.checkpoint_hits > 0, "expected memo/checkpoint hits");
+        assert!(s.realign_rows_skipped > 0, "expected skipped rows");
+        // Schedule counters are untouched by the incremental layer: one
+        // worker still does exactly the sequential amount of claiming.
+        let want = find_top_alignments(&seq, &scoring, 6);
+        assert_eq!(s.alignments, want.stats.alignments);
+        assert_eq!(s.stale_pops, want.stats.stale_pops);
+        assert_eq!(s.fresh_pops, want.stats.fresh_pops);
+        assert_eq!(s.shadow_rejections, want.stats.shadow_rejections);
     }
 
     #[test]

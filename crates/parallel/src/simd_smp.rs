@@ -28,11 +28,18 @@
 use parking_lot::{Condvar, Mutex};
 use repro_align::{Score, Scoring, Seq};
 use repro_core::bottom::best_valid_entry_counted;
-use repro_core::{accept_task_with_row, OverrideTriangle, Stats, TopAlignment, TopAlignments};
+use repro_core::{
+    accept_task_with_row, DirtyLog, OverrideTriangle, Stats, TopAlignment, TopAlignments,
+};
 use repro_simd::{GroupSweeper, SimdSel, SimdStats};
 use std::sync::Arc;
 use std::sync::OnceLock;
 use std::time::Instant;
+
+/// Per-group sweep memo: the dirty-log version of the group's last
+/// sweep plus the per-lane exact `(score, shadow_rejections)` to replay
+/// verbatim on a whole-group skip.
+type GroupMemo = Option<(u64, Vec<(Score, u64)>)>;
 
 /// Result of the SIMD × SMP engine.
 #[derive(Debug, Clone)]
@@ -77,6 +84,13 @@ struct Shared {
     idle_secs: f64,
     accept_in_progress: bool,
     done: bool,
+    /// Accept history mirrored for the incremental layer; its version
+    /// always equals `tops.len()` (appended under the same lock hold).
+    dirty: DirtyLog,
+    /// Per-group sweep memo: `(version, per-lane (score, shadows))`.
+    /// Replayed verbatim — under the lock, no DP — when the dirty log
+    /// proves no accept since `version` straddles any member split.
+    group_memo: Vec<GroupMemo>,
 }
 
 struct Engine<'a> {
@@ -86,6 +100,11 @@ struct Engine<'a> {
     count: usize,
     lanes: usize,
     splits: usize,
+    /// Incremental layer switch: `None` = off, `Some(0)` = accounting
+    /// only (every group re-sweeps), `Some(_)` = whole-group skips. The
+    /// interleaved kernel keeps no mid-matrix checkpoints, so groups
+    /// skip entirely or re-sweep entirely.
+    checkpoint_budget: Option<usize>,
     shared: Mutex<Shared>,
     wake: Condvar,
     rows: Vec<OnceLock<Vec<Score>>>, // index r − 1, first-pass bottom rows
@@ -115,6 +134,21 @@ pub fn find_top_alignments_parallel_simd(
     threads: usize,
     sel: SimdSel,
 ) -> ParallelSimdResult {
+    find_top_alignments_parallel_simd_checkpointed(seq, scoring, count, threads, sel, None)
+}
+
+/// [`find_top_alignments_parallel_simd`] with the incremental layer:
+/// whole groups whose member splits no accept has straddled since their
+/// last sweep are replayed from a shared memo under the lock instead of
+/// re-swept. Alignments are bit-identical either way.
+pub fn find_top_alignments_parallel_simd_checkpointed(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    threads: usize,
+    sel: SimdSel,
+    checkpoint_budget: Option<usize>,
+) -> ParallelSimdResult {
     assert!(threads >= 1, "need at least one worker");
     let m = seq.len();
     let splits = m.saturating_sub(1);
@@ -129,6 +163,7 @@ pub fn find_top_alignments_parallel_simd(
         count,
         lanes,
         splits,
+        checkpoint_budget,
         shared: Mutex::new(Shared {
             groups: (0..ngroups)
                 .map(|gi| GroupState {
@@ -147,6 +182,8 @@ pub fn find_top_alignments_parallel_simd(
             idle_secs: 0.0,
             accept_in_progress: false,
             done: false,
+            dirty: DirtyLog::new(),
+            group_memo: vec![None; ngroups],
         }),
         wake: Condvar::new(),
         rows: (0..splits).map(|_| OnceLock::new()).collect(),
@@ -177,8 +214,15 @@ pub fn find_top_alignments_parallel_simd(
 }
 
 enum Decision {
-    Accept { r: usize, score: Score },
-    Sweep { gi: usize, stamp: usize, triangle: Arc<OverrideTriangle> },
+    Accept {
+        r: usize,
+        score: Score,
+    },
+    Sweep {
+        gi: usize,
+        stamp: usize,
+        triangle: Arc<OverrideTriangle>,
+    },
     Wait,
     Finished,
 }
@@ -240,10 +284,13 @@ impl Engine<'_> {
         // Speculate: best stale unassigned group, if any.
         let mut pick: Option<(Score, usize)> = None;
         for (gi, g) in shared.groups.iter().enumerate() {
-            if !g.assigned && g.aligned_with != tops_found && g.score > 0
-                && pick.is_none_or(|(ps, _)| g.score > ps) {
-                    pick = Some((g.score, gi));
-                }
+            if !g.assigned
+                && g.aligned_with != tops_found
+                && g.score > 0
+                && pick.is_none_or(|(ps, _)| g.score > ps)
+            {
+                pick = Some((g.score, gi));
+            }
         }
         match pick {
             Some((_, gi)) => {
@@ -294,18 +341,60 @@ impl Engine<'_> {
                     guard = self.shared.lock();
                     guard.stats.record_traceback(cells);
                     guard.triangle = Arc::new(triangle);
+                    if self.checkpoint_budget.is_some() {
+                        guard.dirty.record_accept(&top.pairs);
+                    }
                     guard.tops.push(top);
                     guard.accept_in_progress = false;
                     // The accepted group keeps its score as an upper bound
                     // and is now stale (tops count advanced).
                     self.wake.notify_all();
                 }
-                Decision::Sweep { gi, stamp, triangle } => {
-                    drop(guard);
-
+                Decision::Sweep {
+                    gi,
+                    stamp,
+                    triangle,
+                } => {
                     let r0 = self.group_r0(gi);
                     let nl = self.group_lanes(gi);
                     let first_pass = self.rows[r0 - 1].get().is_none();
+
+                    // Whole-group skip: replayed under the lock (no DP at
+                    // all), exactly as the single-threaded SIMD engine.
+                    let skips_enabled = self.checkpoint_budget.is_some_and(|b| b > 0);
+                    if skips_enabled
+                        && !first_pass
+                        && guard.group_memo[gi].as_ref().is_some_and(|(since, _)| {
+                            !guard.dirty.dirty_in_range(r0, r0 + nl - 1, *since)
+                        })
+                    {
+                        let version = guard.dirty.version();
+                        let (memo_version, lanes) =
+                            guard.group_memo[gi].as_mut().expect("checked above");
+                        *memo_version = version;
+                        let mut members = Vec::with_capacity(nl);
+                        let mut shadows = 0u64;
+                        let mut rows_skipped = 0u64;
+                        for (l, &(score, lane_shadows)) in lanes.iter().enumerate() {
+                            members.push(score);
+                            shadows += lane_shadows;
+                            rows_skipped += (r0 + l) as u64;
+                        }
+                        guard.stats.shadow_rejections += shadows;
+                        for _ in 0..nl {
+                            guard.stats.record_alignment(0, stamp);
+                        }
+                        guard.stats.checkpoint_hits += 1;
+                        guard.stats.realign_rows_skipped += rows_skipped;
+                        let state = &mut guard.groups[gi];
+                        state.score = members.iter().copied().max().unwrap_or(0);
+                        state.members = members;
+                        state.aligned_with = stamp;
+                        state.assigned = false;
+                        self.wake.notify_all();
+                        continue;
+                    }
+                    drop(guard);
                     let tri = if first_pass {
                         debug_assert!(triangle.is_empty());
                         None
@@ -317,8 +406,11 @@ impl Engine<'_> {
                     let per_lane_cells = g.cells / nl as u64;
                     let mut members = Vec::with_capacity(nl);
                     let mut shadows = 0u64;
+                    let mut lane_memo = Vec::with_capacity(nl);
+                    let mut rows_swept = 0u64;
                     for l in 0..nl {
                         let r = r0 + l;
+                        let mut lane_shadows = 0u64;
                         let score = if first_pass {
                             let s = g.rows[l].iter().copied().max().unwrap_or(0).max(0);
                             self.rows[r - 1]
@@ -329,11 +421,13 @@ impl Engine<'_> {
                             let original = self.rows[r - 1]
                                 .get()
                                 .expect("re-swept member must have a stored first-pass row");
-                            let (s, _, lane_shadows) =
-                                best_valid_entry_counted(&g.rows[l], original);
-                            shadows += lane_shadows;
+                            let (s, _, sh) = best_valid_entry_counted(&g.rows[l], original);
+                            lane_shadows = sh;
+                            shadows += sh;
+                            rows_swept += r as u64;
                             s
                         };
+                        lane_memo.push((score, lane_shadows));
                         members.push(score);
                     }
 
@@ -341,6 +435,13 @@ impl Engine<'_> {
                     guard.stats.shadow_rejections += shadows;
                     for _ in 0..nl {
                         guard.stats.record_alignment(per_lane_cells, stamp);
+                    }
+                    if self.checkpoint_budget.is_some() {
+                        guard.group_memo[gi] = Some((stamp as u64, lane_memo));
+                        if !first_pass {
+                            guard.stats.checkpoint_misses += 1;
+                            guard.stats.realign_rows_swept += rows_swept;
+                        }
                     }
                     guard.simd.group_sweeps += 1;
                     guard.simd.vector_cells += outcome.vector_cells;
@@ -382,13 +483,8 @@ mod tests {
         let want = find_top_alignments(&seq, &scoring, 3);
         for threads in [1, 2, 4] {
             for width in [LaneWidth::X4, LaneWidth::X8, LaneWidth::X16] {
-                let got = find_top_alignments_parallel_simd(
-                    &seq,
-                    &scoring,
-                    3,
-                    threads,
-                    sel_for(width),
-                );
+                let got =
+                    find_top_alignments_parallel_simd(&seq, &scoring, 3, threads, sel_for(width));
                 assert_eq!(
                     got.result.alignments, want.alignments,
                     "{threads} threads × {width:?} disagree with sequential"
@@ -444,8 +540,7 @@ mod tests {
             repro_align::GapPenalties::new(2, 1),
         );
         let want = find_top_alignments(&seq, &scoring, 2);
-        let got =
-            find_top_alignments_parallel_simd(&seq, &scoring, 2, 3, sel_for(LaneWidth::X8));
+        let got = find_top_alignments_parallel_simd(&seq, &scoring, 2, 3, sel_for(LaneWidth::X8));
         assert_eq!(got.result.alignments, want.alignments);
         assert!(got.simd.saturation_fallbacks > 0);
     }
@@ -455,8 +550,7 @@ mod tests {
         // One worker never speculates past the sequential fixed point.
         let seq = Seq::dna(&"ATGC".repeat(20)).unwrap();
         let scoring = Scoring::dna_example();
-        let got =
-            find_top_alignments_parallel_simd(&seq, &scoring, 8, 1, sel_for(LaneWidth::X4));
+        let got = find_top_alignments_parallel_simd(&seq, &scoring, 8, 1, sel_for(LaneWidth::X4));
         assert_eq!(got.superseded_sweeps, 0);
         let want = find_top_alignments(&seq, &scoring, 8);
         assert_eq!(got.result.alignments, want.alignments);
@@ -480,8 +574,7 @@ mod tests {
             assert_eq!(got.result.alignments, want.alignments, "input {text:?}");
         }
         let seq = Seq::dna("ATGCATGC").unwrap();
-        let got =
-            find_top_alignments_parallel_simd(&seq, &scoring, 0, 4, sel_for(LaneWidth::X8));
+        let got = find_top_alignments_parallel_simd(&seq, &scoring, 0, 4, sel_for(LaneWidth::X8));
         assert!(got.result.alignments.is_empty());
     }
 
@@ -489,8 +582,70 @@ mod tests {
     fn exhaustion_terminates_with_threads() {
         let seq = Seq::dna("ACGT").unwrap();
         let scoring = Scoring::dna_example();
-        let got =
-            find_top_alignments_parallel_simd(&seq, &scoring, 10, 4, sel_for(LaneWidth::X4));
+        let got = find_top_alignments_parallel_simd(&seq, &scoring, 10, 4, sel_for(LaneWidth::X4));
         assert!(got.result.alignments.len() < 10);
+    }
+
+    #[test]
+    fn checkpointed_matches_plain_bit_for_bit() {
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAA{motif}CCAAGGTT{motif}TGCATTGG");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 6);
+        for width in [LaneWidth::X4, LaneWidth::X8] {
+            for budget in [Some(0), Some(1 << 20)] {
+                for threads in [1, 2, 4] {
+                    let got = find_top_alignments_parallel_simd_checkpointed(
+                        &seq,
+                        &scoring,
+                        6,
+                        threads,
+                        sel_for(width),
+                        budget,
+                    );
+                    assert_eq!(
+                        got.result.alignments, want.alignments,
+                        "budget {budget:?}, {threads} threads, {width:?}"
+                    );
+                    let s = &got.result.stats;
+                    if budget == Some(0) {
+                        assert_eq!(s.checkpoint_hits, 0, "budget 0 must always miss");
+                        assert_eq!(s.realign_rows_skipped, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_single_thread_skips_groups() {
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAA{motif}CCAAGGTT{motif}TGCATTGG");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let plain = find_top_alignments_parallel_simd(&seq, &scoring, 6, 1, sel_for(LaneWidth::X4));
+        let got = find_top_alignments_parallel_simd_checkpointed(
+            &seq,
+            &scoring,
+            6,
+            1,
+            sel_for(LaneWidth::X4),
+            Some(1 << 20),
+        );
+        assert_eq!(got.result.alignments, plain.result.alignments);
+        let s = &got.result.stats;
+        assert!(s.checkpoint_hits > 0, "expected whole-group skips");
+        assert!(s.realign_rows_skipped > 0);
+        // Each skip saves a group sweep outright.
+        assert_eq!(
+            got.simd.group_sweeps + s.checkpoint_hits,
+            plain.simd.group_sweeps,
+        );
+        // The schedule itself is untouched.
+        assert_eq!(s.stale_pops, plain.result.stats.stale_pops);
+        assert_eq!(s.fresh_pops, plain.result.stats.fresh_pops);
+        assert_eq!(s.alignments, plain.result.stats.alignments);
+        assert_eq!(s.shadow_rejections, plain.result.stats.shadow_rejections);
     }
 }

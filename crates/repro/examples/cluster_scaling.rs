@@ -31,7 +31,10 @@ fn main() {
     );
 
     let cache = Rc::new(RefCell::new(AlignCache::new()));
-    println!("\n{:>6} {:>14} {:>16} {:>14}", "procs", "virtual time", "improvement", "vs SSE");
+    println!(
+        "\n{:>6} {:>14} {:>16} {:>14}",
+        "procs", "virtual time", "improvement", "vs SSE"
+    );
     for procs in [2, 3, 5, 9, 17, 33, 65] {
         let report = simulate_cluster(
             &seq,

@@ -51,19 +51,17 @@ pub use repro_seqgen as seqgen;
 pub use repro_simd as simd;
 pub use repro_xmpi as xmpi;
 
-pub use repro_align::{
-    Alphabet, ExchangeMatrix, GapPenalties, Scoring, Seq,
-};
+pub use repro_align::{Alphabet, ExchangeMatrix, GapPenalties, Scoring, Seq};
+pub use repro_cluster::ClusterError;
 pub use repro_core::{
     delineate, find_top_alignments, unit_consensus, Consensus, RepeatReport, Stats, TopAlignment,
     TopAlignments,
 };
-pub use repro_cluster::ClusterError;
 pub use repro_legacy::{find_top_alignments_old, LegacyKernel};
 pub use repro_parallel::{find_top_alignments_parallel, find_top_alignments_parallel_simd};
 pub use repro_simd::{
-    find_top_alignments_simd, find_top_alignments_simd_auto, find_top_alignments_simd_sel,
-    select, DispatchError, DispatchPath, LaneWidth, SimdSel,
+    find_top_alignments_simd, find_top_alignments_simd_auto, find_top_alignments_simd_sel, select,
+    DispatchError, DispatchPath, LaneWidth, SimdSel,
 };
 
 pub use report::{PaperClaims, PhaseTiming, RunReport, REPORT_SCHEMA_VERSION};
@@ -160,6 +158,7 @@ pub struct Repro {
     engine: Engine,
     low_memory: bool,
     trace: bool,
+    checkpoint_budget: Option<usize>,
 }
 
 /// Everything a run produces: the top alignments (with work stats and
@@ -192,6 +191,7 @@ impl Repro {
             engine: Engine::Sequential,
             low_memory: false,
             trace: false,
+            checkpoint_budget: None,
         }
     }
 
@@ -222,6 +222,18 @@ impl Repro {
     /// does not.
     pub fn trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Enable the incremental-realignment layer with the given
+    /// checkpoint byte budget (`None` disables it — the default;
+    /// `Some(0)` enables the accounting but every sweep misses; a
+    /// reasonable default budget is
+    /// [`align::checkpoint::DEFAULT_CHECKPOINT_BUDGET`]). Every engine
+    /// honours this; alignments are bit-identical on or off, only the
+    /// DP rows actually swept change.
+    pub fn checkpoint_budget(mut self, budget: Option<usize>) -> Self {
+        self.checkpoint_budget = budget;
         self
     }
 
@@ -272,35 +284,45 @@ impl Repro {
         } else {
             FlightRecorder::new()
         };
+        let budget = self.checkpoint_budget;
         let tops = match self.engine {
-            Engine::Sequential if self.low_memory => repro_core::TopAlignmentFinder::new(
-                seq,
-                &self.scoring,
-                repro_core::FinderConfig::linear_memory(self.count),
-            )
-            .run_recorded(&mut rec),
+            Engine::Sequential if self.low_memory => {
+                let config = repro_core::FinderConfig {
+                    checkpoint_budget: budget,
+                    ..repro_core::FinderConfig::linear_memory(self.count)
+                };
+                repro_core::TopAlignmentFinder::new(seq, &self.scoring, config)
+                    .run_recorded(&mut rec)
+            }
             Engine::Sequential => {
-                repro_core::find_top_alignments_recorded(seq, &self.scoring, self.count, &mut rec)
+                let config = repro_core::FinderConfig {
+                    checkpoint_budget: budget,
+                    ..repro_core::FinderConfig::new(self.count)
+                };
+                repro_core::TopAlignmentFinder::new(seq, &self.scoring, config)
+                    .run_recorded(&mut rec)
             }
             Engine::Simd(width) => {
                 let sel = select(Some(width), None)
                     .expect("width-only selection always resolves (portable covers every width)");
-                repro_simd::find_top_alignments_simd_recorded(
+                repro_simd::find_top_alignments_simd_checkpointed(
                     seq,
                     &self.scoring,
                     self.count,
                     sel,
+                    budget,
                     &mut rec,
                 )
                 .result
             }
             Engine::SimdDispatch { width, path } => {
                 let sel = select(width, path)?;
-                repro_simd::find_top_alignments_simd_recorded(
+                repro_simd::find_top_alignments_simd_checkpointed(
                     seq,
                     &self.scoring,
                     self.count,
                     sel,
+                    budget,
                     &mut rec,
                 )
                 .result
@@ -311,8 +333,14 @@ impl Repro {
                 path,
             } => {
                 let sel = select(width, path)?;
-                let out =
-                    find_top_alignments_parallel_simd(seq, &self.scoring, self.count, threads, sel);
+                let out = parallel::find_top_alignments_parallel_simd_checkpointed(
+                    seq,
+                    &self.scoring,
+                    self.count,
+                    threads,
+                    sel,
+                    budget,
+                );
                 // The SMP engines track their own tallies (their workers
                 // outlive any one borrow of the recorder); fold them in.
                 rec.add(Counter::TaskClaims, out.task_claims);
@@ -321,40 +349,52 @@ impl Repro {
                 rec.add(Counter::GroupSweeps, out.simd.group_sweeps);
                 rec.add(Counter::NarrowSaturations, out.simd.saturation_fallbacks);
                 rec.add(Counter::PromotedSweeps, out.simd.promoted_sweeps);
+                fold_checkpoint_counters(&mut rec, &out.result.stats);
                 out.result
             }
             Engine::Threads(threads) => {
-                let out = find_top_alignments_parallel(seq, &self.scoring, self.count, threads);
+                let out = parallel::find_top_alignments_parallel_checkpointed(
+                    seq,
+                    &self.scoring,
+                    self.count,
+                    threads,
+                    budget,
+                );
                 rec.add(Counter::TaskClaims, out.task_claims);
                 rec.add_phase_secs(Phase::WorkerIdle, out.idle_secs);
                 rec.add(Counter::SupersededWork, out.superseded_alignments);
+                fold_checkpoint_counters(&mut rec, &out.result.stats);
                 out.result
             }
             Engine::Cluster { workers } => {
-                repro_cluster::find_top_alignments_cluster_recorded(
+                let out = repro_cluster::find_top_alignments_cluster_checkpointed_recorded(
                     seq,
                     &self.scoring,
                     self.count,
                     workers,
                     Duration::from_secs(600),
+                    budget,
                     &mut rec,
-                )?
-                .result
+                )?;
+                fold_checkpoint_counters(&mut rec, &out.result.stats);
+                out.result
             }
             Engine::Hybrid {
                 nodes,
                 threads_per_node,
             } => {
-                repro_cluster::find_top_alignments_hybrid_recorded(
+                let out = repro_cluster::find_top_alignments_hybrid_checkpointed_recorded(
                     seq,
                     &self.scoring,
                     self.count,
                     nodes,
                     threads_per_node,
                     Duration::from_secs(600),
+                    budget,
                     &mut rec,
-                )?
-                .result
+                )?;
+                fold_checkpoint_counters(&mut rec, &out.result.stats);
+                out.result
             }
             Engine::Legacy(kernel) => {
                 find_top_alignments_old(seq, &self.scoring, self.count, kernel)
@@ -376,6 +416,18 @@ impl Repro {
             events,
         })
     }
+}
+
+/// Mirror the incremental-realignment tallies of an engine that cannot
+/// hold the recorder itself (its workers outlive any one borrow) into
+/// the flight recorder, keeping the `rec counter == stats field`
+/// invariant the sequential and SIMD engines maintain internally.
+fn fold_checkpoint_counters<R: Recorder>(rec: &mut R, stats: &Stats) {
+    rec.add(Counter::CheckpointHits, stats.checkpoint_hits);
+    rec.add(Counter::CheckpointMisses, stats.checkpoint_misses);
+    rec.add(Counter::RealignRowsSwept, stats.realign_rows_swept);
+    rec.add(Counter::RealignRowsSkipped, stats.realign_rows_skipped);
+    rec.add(Counter::PoolReuses, stats.pool_reuses);
 }
 
 #[cfg(test)]

@@ -19,7 +19,9 @@ use repro_obs::{Counter, FlightRecorder, Phase};
 
 /// Schema version stamped into every report; bump on breaking layout
 /// changes so downstream consumers can fail loudly instead of misread.
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+/// Version 2 added the incremental-realignment stats (checkpoint
+/// hits/misses, rows swept/skipped, pool reuses).
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// One phase's accumulated wall-clock time and entry count.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +83,18 @@ pub struct RunReport {
     pub cluster_retries: u64,
     /// Cluster tasks reassigned away from a dead worker.
     pub cluster_reassignments: u64,
+    /// Realignment sweeps served by the incremental layer (memo skip or
+    /// checkpoint resume).
+    pub checkpoint_hits: u64,
+    /// Realignment sweeps run from row 0 with checkpointing enabled.
+    pub checkpoint_misses: u64,
+    /// Realignment DP rows actually swept (first passes excluded).
+    pub realign_rows_swept: u64,
+    /// Realignment DP rows skipped via memo or checkpoint resume.
+    pub realign_rows_skipped: u64,
+    /// Row buffers served from the scratch pool instead of the
+    /// allocator.
+    pub pool_reuses: u64,
     /// Every phase's timing, in [`Phase::ALL`] order (zero entries
     /// included so the schema is identical across engines).
     pub phases: Vec<PhaseTiming>,
@@ -122,6 +136,11 @@ impl RunReport {
             row_recomputations: stats.row_recomputations,
             cluster_retries: stats.cluster_retries,
             cluster_reassignments: stats.cluster_reassignments,
+            checkpoint_hits: stats.checkpoint_hits,
+            checkpoint_misses: stats.checkpoint_misses,
+            realign_rows_swept: stats.realign_rows_swept,
+            realign_rows_skipped: stats.realign_rows_skipped,
+            pool_reuses: stats.pool_reuses,
             phases: Phase::ALL
                 .iter()
                 .map(|&p| PhaseTiming {
@@ -130,7 +149,10 @@ impl RunReport {
                     entries: rec.phase_entries(p),
                 })
                 .collect(),
-            counters: Counter::ALL.iter().map(|&c| (c.name(), rec.counter(c))).collect(),
+            counters: Counter::ALL
+                .iter()
+                .map(|&c| (c.name(), rec.counter(c)))
+                .collect(),
             claims: PaperClaims {
                 realignment_fraction: fraction,
                 realignments_avoided: 1.0 - fraction,
@@ -166,6 +188,14 @@ impl RunReport {
                 "cluster_reassignments",
                 num(self.cluster_reassignments as f64),
             ),
+            ("checkpoint_hits", num(self.checkpoint_hits as f64)),
+            ("checkpoint_misses", num(self.checkpoint_misses as f64)),
+            ("realign_rows_swept", num(self.realign_rows_swept as f64)),
+            (
+                "realign_rows_skipped",
+                num(self.realign_rows_skipped as f64),
+            ),
+            ("pool_reuses", num(self.pool_reuses as f64)),
         ]);
         let phases = Json::Arr(
             self.phases
@@ -189,7 +219,10 @@ impl RunReport {
                 "realignment_fraction",
                 num(self.claims.realignment_fraction),
             ),
-            ("realignments_avoided", num(self.claims.realignments_avoided)),
+            (
+                "realignments_avoided",
+                num(self.claims.realignments_avoided),
+            ),
             (
                 "extra_alignment_overhead",
                 match self.claims.extra_alignment_overhead {
@@ -248,6 +281,11 @@ impl RunReport {
             "row_recomputations",
             "cluster_retries",
             "cluster_reassignments",
+            "checkpoint_hits",
+            "checkpoint_misses",
+            "realign_rows_swept",
+            "realign_rows_skipped",
+            "pool_reuses",
         ] {
             if !stats.iter().any(|(k, j)| k == key && j.as_f64().is_some()) {
                 return Err(format!("stats: missing or non-numeric field `{key}`"));
@@ -291,12 +329,14 @@ impl RunReport {
             }
         }
         let claims = v.get("claims").ok_or("missing field `claims`")?;
-        let fraction = req_num(claims, "realignment_fraction")
-            .map_err(|e| format!("claims: {e}"))?;
-        let avoided = req_num(claims, "realignments_avoided")
-            .map_err(|e| format!("claims: {e}"))?;
+        let fraction =
+            req_num(claims, "realignment_fraction").map_err(|e| format!("claims: {e}"))?;
+        let avoided =
+            req_num(claims, "realignments_avoided").map_err(|e| format!("claims: {e}"))?;
         if !(0.0..=1.0).contains(&fraction) {
-            return Err(format!("claims: realignment_fraction {fraction} out of [0, 1]"));
+            return Err(format!(
+                "claims: realignment_fraction {fraction} out of [0, 1]"
+            ));
         }
         if (fraction + avoided - 1.0).abs() > 1e-9 {
             return Err("claims: fraction and avoided do not sum to 1".into());
@@ -366,7 +406,7 @@ mod tests {
         let err = RunReport::validate(&Json::parse(&bad).unwrap()).unwrap_err();
         assert!(err.contains("stale_pops"), "{err}");
         // Wrong schema version.
-        let bad = good.replace("\"schema_version\":1", "\"schema_version\":999");
+        let bad = good.replace("\"schema_version\":2", "\"schema_version\":999");
         let err = RunReport::validate(&Json::parse(&bad).unwrap()).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         // Phase renamed.

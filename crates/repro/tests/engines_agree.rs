@@ -56,10 +56,59 @@ fn assert_all_agree(seq: &Seq, scoring: &Scoring, count: usize) {
             .engine(engine)
             .run(seq);
         assert_eq!(
-            analysis.tops.alignments, base.tops.alignments,
+            analysis.tops.alignments,
+            base.tops.alignments,
             "{engine:?} disagrees on {}…",
             &seq.to_text()[..seq.len().min(30)]
         );
+    }
+}
+
+/// The incremental-realignment layer is an exact shortcut: at any
+/// budget (including the enabled-but-always-missing zero budget) every
+/// engine must reproduce the plain run's alignments bit for bit, and
+/// the acceptance schedule (alignment count, fresh pops) must be
+/// untouched — checkpointing changes which DP rows are *swept*, never
+/// which scores are *seen*.
+fn assert_checkpointing_is_transparent(seq: &Seq, scoring: &Scoring, count: usize) {
+    let base = Repro::new(scoring.clone()).top_alignments(count).run(seq);
+    for engine in all_engines() {
+        // The schedule comparison is per-engine (SIMD realigns whole
+        // groups, so its logical-alignment tally legitimately differs
+        // from the sequential engine's) and only meaningful for the
+        // single-threaded engines: the speculative thread/cluster
+        // engines' work tallies vary with scheduling luck even without
+        // checkpointing. Their bit-identical *answers* are still
+        // asserted for every engine.
+        let deterministic = matches!(
+            engine,
+            Engine::Sequential | Engine::Simd(_) | Engine::SimdDispatch { .. }
+        );
+        let plain = Repro::new(scoring.clone())
+            .top_alignments(count)
+            .engine(engine)
+            .run(seq);
+        for budget in [Some(0), Some(1 << 20)] {
+            let analysis = Repro::new(scoring.clone())
+                .top_alignments(count)
+                .engine(engine)
+                .checkpoint_budget(budget)
+                .run(seq);
+            assert_eq!(
+                analysis.tops.alignments, base.tops.alignments,
+                "{engine:?} with budget {budget:?} disagrees"
+            );
+            if deterministic {
+                assert_eq!(
+                    analysis.tops.stats.alignments, plain.tops.stats.alignments,
+                    "{engine:?} with budget {budget:?} changed the schedule"
+                );
+                assert_eq!(
+                    analysis.run.fresh_pops, plain.run.fresh_pops,
+                    "{engine:?} with budget {budget:?} changed fresh pops"
+                );
+            }
+        }
     }
 }
 
@@ -70,6 +119,24 @@ fn titin_like_protein() {
 }
 
 #[test]
+fn checkpointing_transparent_on_embedded_repeats() {
+    // Interior motifs (repeats that do not start at residue 0) make the
+    // dirty bounds non-trivial, so checkpoint hits actually occur.
+    let motif = "ATGCATGCATGC";
+    let seq = Seq::dna(&format!(
+        "GGTTCCAA{motif}CCAAGGTT{motif}TGCATTGG{motif}AACCGGTT"
+    ))
+    .unwrap();
+    assert_checkpointing_is_transparent(&seq, &Scoring::dna_example(), 6);
+}
+
+#[test]
+fn checkpointing_transparent_on_titin_like() {
+    let seq = titin_like(220, 7);
+    assert_checkpointing_is_transparent(&seq, &Scoring::protein_default(), 5);
+}
+
+#[test]
 fn planted_tandem_dna() {
     let planted = PlantedRepeats::generate(&RepeatSpec::dna_tandem(25, 6), 3);
     assert_all_agree(&planted.seq, &Scoring::dna_example(), 10);
@@ -77,8 +144,7 @@ fn planted_tandem_dna() {
 
 #[test]
 fn planted_interspersed_protein() {
-    let planted =
-        PlantedRepeats::generate(&RepeatSpec::protein_interspersed(30, 4), 5);
+    let planted = PlantedRepeats::generate(&RepeatSpec::protein_interspersed(30, 4), 5);
     assert_all_agree(&planted.seq, &Scoring::protein_default(), 6);
 }
 

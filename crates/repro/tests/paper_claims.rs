@@ -71,9 +71,7 @@ fn simd_speculation_overhead_shrinks_with_size() {
         let base = find_top_alignments(&seq, &scoring, 10);
         let simd = find_top_alignments_simd(&seq, &scoring, 10, LaneWidth::X4);
         assert_eq!(simd.result.alignments, base.alignments);
-        overheads.push(
-            simd.result.stats.alignments as f64 / base.stats.alignments as f64 - 1.0,
-        );
+        overheads.push(simd.result.stats.alignments as f64 / base.stats.alignments as f64 - 1.0);
     }
     assert!(
         overheads[1] < overheads[0],

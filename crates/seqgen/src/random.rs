@@ -15,12 +15,7 @@ pub fn random_seq(alphabet: Alphabet, len: usize, rng: &mut Rng) -> Seq {
 /// A random sequence drawn from an explicit composition: `weights[c]` is
 /// the relative frequency of residue code `c`. Extra weights are ignored;
 /// missing weights count as zero.
-pub fn random_seq_weighted(
-    alphabet: Alphabet,
-    len: usize,
-    weights: &[f64],
-    rng: &mut Rng,
-) -> Seq {
+pub fn random_seq_weighted(alphabet: Alphabet, len: usize, weights: &[f64], rng: &mut Rng) -> Seq {
     let k = alphabet.len().min(weights.len());
     let total: f64 = weights[..k].iter().sum();
     assert!(total > 0.0, "weights must sum to a positive value");

@@ -157,7 +157,11 @@ impl PlantedRepeats {
             .map(|r| format!("{}-{}", r.start, r.end))
             .collect();
         let record = repro_align::FastaRecord {
-            id: format!("{id} unit_len={} copies={}", self.unit.len(), truth.join(",")),
+            id: format!(
+                "{id} unit_len={} copies={}",
+                self.unit.len(),
+                truth.join(",")
+            ),
             seq: self.seq.clone(),
         };
         repro_align::fasta::format_fasta(&[record], 60)
@@ -232,10 +236,7 @@ mod tests {
         let p = PlantedRepeats::generate(&spec, 2);
         assert_eq!(p.copy_ranges.len(), 4);
         for w in p.copy_ranges.windows(2) {
-            assert!(
-                w[1].start >= w[0].end + 15,
-                "spacer missing between copies"
-            );
+            assert!(w[1].start >= w[0].end + 15, "spacer missing between copies");
         }
         // Flanks exist on both sides.
         assert!(p.copy_ranges[0].start >= 30);
@@ -300,8 +301,7 @@ mod tests {
         let p = PlantedRepeats::generate(&RepeatSpec::dna_tandem(10, 3), 8);
         let fasta = p.to_fasta("workload");
         assert!(fasta.starts_with(">workload unit_len=10 copies=0-10,"));
-        let records =
-            repro_align::fasta::parse_fasta(&fasta, repro_align::Alphabet::Dna).unwrap();
+        let records = repro_align::fasta::parse_fasta(&fasta, repro_align::Alphabet::Dna).unwrap();
         assert_eq!(records[0].seq, p.seq);
     }
 

@@ -15,8 +15,8 @@ use repro_align::{Alphabet, Seq};
 /// Approximate residue composition of globular proteins (A..V order of
 /// the protein alphabet, X weight zero). Coarse Swiss-Prot frequencies.
 const PROTEIN_COMPOSITION: [f64; 21] = [
-    8.3, 5.6, 4.1, 5.5, 1.4, 3.9, 6.7, 7.1, 2.3, 6.0, 9.7, 5.8, 2.4, 3.9, 4.7, 6.6, 5.4, 1.1,
-    2.9, 6.9, 0.0,
+    8.3, 5.6, 4.1, 5.5, 1.4, 3.9, 6.7, 7.1, 2.3, 6.0, 9.7, 5.8, 2.4, 3.9, 4.7, 6.6, 5.4, 1.1, 2.9,
+    6.9, 0.0,
 ];
 
 /// Parameters of the titin-like generator.
@@ -102,8 +102,12 @@ pub fn titin_like_with(len: usize, seed: u64, params: &TitinParams) -> Seq {
             }
         }
         let linker_len = range_inclusive(&mut rng, params.linker_len);
-        let linker =
-            random_seq_weighted(Alphabet::Protein, linker_len, &PROTEIN_COMPOSITION, &mut rng);
+        let linker = random_seq_weighted(
+            Alphabet::Protein,
+            linker_len,
+            &PROTEIN_COMPOSITION,
+            &mut rng,
+        );
         codes.extend_from_slice(linker.codes());
     }
     codes.truncate(len);

@@ -26,9 +26,7 @@
 //! intrinsics would be called as opaque functions and the 16-lane
 //! kernel would be slower than the 8-lane one.
 
-use crate::group::{
-    align_group_lookup_impl, align_group_profile_impl, group_stripe, GroupResult,
-};
+use crate::group::{align_group_lookup_impl, align_group_profile_impl, group_stripe, GroupResult};
 use crate::LaneWidth;
 use repro_align::{QueryProfile, Scoring};
 use repro_core::OverrideTriangle;
@@ -189,7 +187,11 @@ pub fn select(
     let width = match width {
         Some(w) => {
             if w.lanes() > max.lanes() {
-                return Err(DispatchError::WidthUnsupported { width: w, path, max });
+                return Err(DispatchError::WidthUnsupported {
+                    width: w,
+                    path,
+                    max,
+                });
             }
             w
         }
@@ -259,11 +261,15 @@ pub fn sweep_group_profile_i16(
         }
         #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
         (DispatchPath::Sse2 | DispatchPath::Avx2, LaneWidth::X4) => {
-            align_group_profile_impl::<I16x4Sse2>(seq, scoring, profile, r0, lanes, triangle, stripe)
+            align_group_profile_impl::<I16x4Sse2>(
+                seq, scoring, profile, r0, lanes, triangle, stripe,
+            )
         }
         #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
         (DispatchPath::Sse2 | DispatchPath::Avx2, LaneWidth::X8) => {
-            align_group_profile_impl::<I16x8Sse2>(seq, scoring, profile, r0, lanes, triangle, stripe)
+            align_group_profile_impl::<I16x8Sse2>(
+                seq, scoring, profile, r0, lanes, triangle, stripe,
+            )
         }
         #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
         (DispatchPath::Avx2, LaneWidth::X16) => {
@@ -351,7 +357,13 @@ mod tests {
     fn portable_is_always_available() {
         assert!(available(DispatchPath::Portable));
         let sel = select(None, Some(DispatchPath::Portable)).unwrap();
-        assert_eq!(sel, SimdSel { width: LaneWidth::X16, path: DispatchPath::Portable });
+        assert_eq!(
+            sel,
+            SimdSel {
+                width: LaneWidth::X16,
+                path: DispatchPath::Portable
+            }
+        );
     }
 
     #[test]
@@ -395,8 +407,13 @@ mod tests {
             max: LaneWidth::X8,
         };
         let msg = e.to_string();
-        assert!(msg.contains("16") && msg.contains("sse2") && msg.contains('8'), "{msg}");
-        let e = DispatchError::PathUnavailable { path: DispatchPath::Avx2 };
+        assert!(
+            msg.contains("16") && msg.contains("sse2") && msg.contains('8'),
+            "{msg}"
+        );
+        let e = DispatchError::PathUnavailable {
+            path: DispatchPath::Avx2,
+        };
         assert!(e.to_string().contains("avx2"));
     }
 
@@ -406,7 +423,10 @@ mod tests {
         let scoring = Scoring::dna_example();
         let prof = QueryProfile::new_narrow(&scoring, seq.codes()).unwrap();
         let reference = sweep_group_profile_i16(
-            SimdSel { width: LaneWidth::X4, path: DispatchPath::Portable },
+            SimdSel {
+                width: LaneWidth::X4,
+                path: DispatchPath::Portable,
+            },
             seq.codes(),
             &scoring,
             &prof,
@@ -414,7 +434,11 @@ mod tests {
             4,
             None,
         );
-        for path in [DispatchPath::Portable, DispatchPath::Sse2, DispatchPath::Avx2] {
+        for path in [
+            DispatchPath::Portable,
+            DispatchPath::Sse2,
+            DispatchPath::Avx2,
+        ] {
             if !available(path) {
                 continue;
             }
@@ -422,8 +446,7 @@ mod tests {
                 let Ok(sel) = select(Some(width), Some(path)) else {
                     continue;
                 };
-                let got =
-                    sweep_group_profile_i16(sel, seq.codes(), &scoring, &prof, 3, 4, None);
+                let got = sweep_group_profile_i16(sel, seq.codes(), &scoring, &prof, 3, 4, None);
                 assert_eq!(got.rows, reference.rows, "{sel}");
                 let lk = sweep_group_lookup_i16(sel, seq.codes(), &scoring, 3, 4, None);
                 assert_eq!(lk.rows, reference.rows, "lookup {sel}");
@@ -431,8 +454,7 @@ mod tests {
         }
         let wide_prof = QueryProfile::new_wide(&scoring, seq.codes());
         for width in [LaneWidth::X4, LaneWidth::X8, LaneWidth::X16] {
-            let got =
-                sweep_group_wide(width, seq.codes(), &scoring, &wide_prof, 3, 4, None);
+            let got = sweep_group_wide(width, seq.codes(), &scoring, &wide_prof, 3, 4, None);
             assert_eq!(got.rows, reference.rows, "wide x{}", width.lanes());
         }
     }

@@ -27,11 +27,18 @@ use crate::group::GroupResult;
 use crate::LaneWidth;
 use repro_align::{QueryProfile, Score, Scoring, Seq};
 use repro_core::bottom::best_valid_entry_counted;
-use repro_core::{accept_task, BottomRowStore, OverrideTriangle, Stats, TopAlignment, TopAlignments};
+use repro_core::{
+    accept_task, BottomRowStore, DirtyLog, OverrideTriangle, Stats, TopAlignment, TopAlignments,
+};
 use repro_obs::{Counter, NoopRecorder, Phase, Recorder};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::OnceLock;
+
+/// Per-group sweep memo: the dirty-log version of the group's last
+/// sweep plus the per-lane exact `(score, shadow_rejections)` to replay
+/// verbatim on a whole-group skip.
+type GroupMemo = Option<(u64, Vec<(Score, u64)>)>;
 
 /// SIMD-engine-specific counters, on top of the common [`Stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -213,14 +220,18 @@ pub fn find_top_alignments_simd(
 ) -> SimdFinderResult {
     let sel = select(Some(width), None)
         .expect("width-only selection always resolves (portable covers every width)");
-    run(seq, scoring, count, sel, &mut NoopRecorder)
+    run(seq, scoring, count, sel, None, &mut NoopRecorder)
 }
 
 /// [`find_top_alignments_simd`] with full auto-dispatch: the widest
 /// kernel the running CPU supports.
-pub fn find_top_alignments_simd_auto(seq: &Seq, scoring: &Scoring, count: usize) -> SimdFinderResult {
+pub fn find_top_alignments_simd_auto(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+) -> SimdFinderResult {
     let sel = select(None, None).expect("full auto selection always resolves");
-    run(seq, scoring, count, sel, &mut NoopRecorder)
+    run(seq, scoring, count, sel, None, &mut NoopRecorder)
 }
 
 /// [`find_top_alignments_simd`] with an explicit, pre-resolved kernel
@@ -231,7 +242,7 @@ pub fn find_top_alignments_simd_sel(
     count: usize,
     sel: SimdSel,
 ) -> SimdFinderResult {
-    run(seq, scoring, count, sel, &mut NoopRecorder)
+    run(seq, scoring, count, sel, None, &mut NoopRecorder)
 }
 
 /// [`find_top_alignments_simd_sel`] with a recorder: phase spans around
@@ -247,7 +258,25 @@ pub fn find_top_alignments_simd_recorded<R: Recorder>(
     sel: SimdSel,
     rec: &mut R,
 ) -> SimdFinderResult {
-    run(seq, scoring, count, sel, rec)
+    run(seq, scoring, count, sel, None, rec)
+}
+
+/// [`find_top_alignments_simd_recorded`] with the incremental
+/// realignment layer: when `checkpoint_budget` is `Some`, a stale group
+/// none of whose members was dirtied since its last sweep replays its
+/// memoised per-lane scores instead of sweeping — a whole-group skip.
+/// (Interleaved lane state is not checkpointed mid-matrix; the group
+/// engines only use the exact full-skip shortcut.) Results are
+/// bit-identical either way.
+pub fn find_top_alignments_simd_checkpointed<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    sel: SimdSel,
+    checkpoint_budget: Option<usize>,
+    rec: &mut R,
+) -> SimdFinderResult {
+    run(seq, scoring, count, sel, checkpoint_budget, rec)
 }
 
 #[allow(clippy::needless_range_loop)] // index loops mirror the paper's pseudo code
@@ -256,6 +285,7 @@ fn run<R: Recorder>(
     scoring: &Scoring,
     count: usize,
     sel: SimdSel,
+    checkpoint_budget: Option<usize>,
     rec: &mut R,
 ) -> SimdFinderResult {
     let m = seq.len();
@@ -278,6 +308,15 @@ fn run<R: Recorder>(
     let mut member_scores: Vec<Vec<Score>> = (0..ngroups)
         .map(|gi| vec![Score::MAX; group_lanes(gi)])
         .collect();
+
+    // Incremental layer (whole-group skips only — lane state is
+    // interleaved, so mid-matrix resume does not apply here).
+    let incremental = checkpoint_budget.is_some();
+    let skips_enabled = checkpoint_budget.is_some_and(|b| b > 0);
+    let mut dirty = DirtyLog::new();
+    // Per group: (dirty-log version of the last sweep, per-lane exact
+    // (score, shadow_rejections) to replay on a skip).
+    let mut group_memo: Vec<GroupMemo> = vec![None; ngroups];
 
     let mut queue: BinaryHeap<GroupTask> = (0..ngroups)
         .map(|gi| GroupTask {
@@ -318,6 +357,9 @@ fn run<R: Recorder>(
                 index,
             );
             stats.record_traceback(cells);
+            if incremental {
+                dirty.record_accept(&top.pairs);
+            }
             alignments.push(top);
             queue.push(GroupTask {
                 score: task.score,
@@ -335,6 +377,35 @@ fn run<R: Recorder>(
             } else {
                 Phase::Drain
             };
+            // Whole-group full skip: no accept since this group's last
+            // sweep straddles any member split, so every lane's bottom
+            // row — and therefore every exact score — is unchanged.
+            let skip = !first_pass
+                && skips_enabled
+                && group_memo[gi]
+                    .as_ref()
+                    .is_some_and(|(since, _)| !dirty.dirty_in_range(r0, r0 + nl - 1, *since));
+            if skip {
+                rec.phase_start(sweep_phase);
+                let memo = group_memo[gi].as_mut().expect("skip implies a memo");
+                memo.0 = dirty.version();
+                stats.checkpoint_hits += 1;
+                let mut group_best = 0;
+                for (l, &(score, shadows)) in memo.1.iter().enumerate() {
+                    stats.shadow_rejections += shadows;
+                    stats.record_alignment(0, tops_found);
+                    stats.realign_rows_skipped += (r0 + l) as u64;
+                    member_scores[gi][l] = score;
+                    group_best = group_best.max(score);
+                }
+                rec.phase_end(sweep_phase);
+                queue.push(GroupTask {
+                    score: group_best,
+                    gi: Reverse(gi),
+                    aligned_with: tops_found,
+                });
+                continue;
+            }
             let tri = if first_pass { None } else { Some(&triangle) };
             rec.phase_start(sweep_phase);
             let outcome = sweeper.sweep(r0, nl, tri);
@@ -354,8 +425,13 @@ fn run<R: Recorder>(
             let g = outcome.group;
             let per_lane_cells = g.cells / nl as u64;
             let mut group_best = 0;
+            let mut lane_memo: Vec<(Score, u64)> = Vec::new();
+            if incremental && !first_pass {
+                stats.checkpoint_misses += 1;
+            }
             for l in 0..nl {
                 let r = r0 + l;
+                let mut lane_shadows = 0;
                 let score = if first_pass {
                     debug_assert!(triangle.is_empty());
                     let s = g.rows[l].iter().copied().max().unwrap_or(0).max(0);
@@ -367,11 +443,21 @@ fn run<R: Recorder>(
                         .expect("realigned member must have a stored first-pass row");
                     let (s, _, shadows) = best_valid_entry_counted(&g.rows[l], original);
                     stats.shadow_rejections += shadows;
+                    lane_shadows = shadows;
+                    if incremental {
+                        stats.realign_rows_swept += r as u64;
+                    }
                     s
                 };
                 stats.record_alignment(per_lane_cells, tops_found);
+                if incremental {
+                    lane_memo.push((score, lane_shadows));
+                }
                 member_scores[gi][l] = score;
                 group_best = group_best.max(score);
+            }
+            if incremental {
+                group_memo[gi] = Some((dirty.version(), lane_memo));
             }
             rec.phase_end(sweep_phase);
             queue.push(GroupTask {
@@ -380,6 +466,13 @@ fn run<R: Recorder>(
                 aligned_with: tops_found,
             });
         }
+    }
+
+    if incremental {
+        rec.add(Counter::CheckpointHits, stats.checkpoint_hits);
+        rec.add(Counter::CheckpointMisses, stats.checkpoint_misses);
+        rec.add(Counter::RealignRowsSwept, stats.realign_rows_swept);
+        rec.add(Counter::RealignRowsSkipped, stats.realign_rows_skipped);
     }
 
     SimdFinderResult {
@@ -428,7 +521,10 @@ mod tests {
             let want = find_top_alignments(&seq, &scoring, 6);
             for width in ALL_WIDTHS {
                 let got = find_top_alignments_simd(&seq, &scoring, 6, width);
-                assert_eq!(got.result.alignments, want.alignments, "{width:?} on {text}");
+                assert_eq!(
+                    got.result.alignments, want.alignments,
+                    "{width:?} on {text}"
+                );
             }
         }
     }
@@ -523,8 +619,8 @@ mod tests {
         use repro_obs::FlightRecorder;
         let seq = Seq::dna(&"ATGC".repeat(10)).unwrap(); // 39 splits
         let scoring = Scoring::dna_example();
-        let sel = crate::dispatch::select(Some(LaneWidth::X4), Some(DispatchPath::Portable))
-            .unwrap();
+        let sel =
+            crate::dispatch::select(Some(LaneWidth::X4), Some(DispatchPath::Portable)).unwrap();
         let plain = find_top_alignments_simd_sel(&seq, &scoring, 5, sel);
         let mut rec = FlightRecorder::new();
         let recorded = find_top_alignments_simd_recorded(&seq, &scoring, 5, sel, &mut rec);
@@ -532,7 +628,10 @@ mod tests {
         assert_eq!(plain.result.stats, recorded.result.stats);
         assert_eq!(plain.simd, recorded.simd);
         // The recorder's sweep counters mirror SimdStats exactly.
-        assert_eq!(rec.counter(Counter::GroupSweeps), recorded.simd.group_sweeps);
+        assert_eq!(
+            rec.counter(Counter::GroupSweeps),
+            recorded.simd.group_sweeps
+        );
         assert_eq!(
             rec.counter(Counter::PromotedSweeps),
             recorded.simd.promoted_sweeps
@@ -562,6 +661,53 @@ mod tests {
             rec.phase_entries(Phase::FirstSweep) + rec.phase_entries(Phase::Drain),
             recorded.simd.group_sweeps
         );
+    }
+
+    /// Whole-group skips must be invisible: identical alignments and
+    /// schedule-sensitive stats at every budget, with real skips firing
+    /// on an embedded-repeat workload.
+    #[test]
+    fn checkpointed_run_matches_plain_bit_for_bit() {
+        let scoring = Scoring::dna_example();
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAA{motif}CCAAGGTT{motif}TGCATTGG");
+        let seq = Seq::dna(&text).unwrap();
+        for width in ALL_WIDTHS {
+            let sel = crate::dispatch::select(Some(width), None).unwrap();
+            let plain = find_top_alignments_simd_sel(&seq, &scoring, 8, sel);
+            for budget in [Some(0usize), Some(1 << 20)] {
+                let got = find_top_alignments_simd_checkpointed(
+                    &seq,
+                    &scoring,
+                    8,
+                    sel,
+                    budget,
+                    &mut NoopRecorder,
+                );
+                assert_eq!(
+                    got.result.alignments, plain.result.alignments,
+                    "{width:?} budget {budget:?}"
+                );
+                assert_eq!(got.result.stats.alignments, plain.result.stats.alignments);
+                assert_eq!(got.result.stats.stale_pops, plain.result.stats.stale_pops);
+                assert_eq!(got.result.stats.fresh_pops, plain.result.stats.fresh_pops);
+                assert_eq!(
+                    got.result.stats.shadow_rejections,
+                    plain.result.stats.shadow_rejections
+                );
+                if budget == Some(0) {
+                    assert_eq!(got.result.stats.checkpoint_hits, 0);
+                    assert_eq!(got.result.stats.realign_rows_skipped, 0);
+                } else {
+                    assert!(
+                        got.result.stats.checkpoint_hits > 0,
+                        "{width:?}: no group skip fired"
+                    );
+                    assert!(got.result.stats.realign_rows_skipped > 0);
+                    assert!(got.simd.group_sweeps < plain.simd.group_sweeps);
+                }
+            }
+        }
     }
 
     #[test]

@@ -146,13 +146,16 @@ fn sweep_prologue<V: SimdVec>(
     stripe: usize,
 ) -> SweepState<V> {
     assert!(lanes >= 1 && lanes <= V::LANES, "bad lane count");
-    assert!(r0 >= 1 && r0 + lanes - 1 <= m.saturating_sub(1), "group out of range");
+    assert!(
+        r0 >= 1 && r0 + lanes - 1 <= m.saturating_sub(1),
+        "group out of range"
+    );
     assert!(stripe > 0, "stripe width must be positive");
     let rmax = r0 + lanes - 1; // largest split ⇒ deepest row rmax−1
     let width = m - r0; // columns q ∈ [r0, m)
 
-    let gap_open = V::Elem::from_score(scoring.gaps.open)
-        .expect("gap-open penalty must fit the SIMD element");
+    let gap_open =
+        V::Elem::from_score(scoring.gaps.open).expect("gap-open penalty must fit the SIMD element");
     let gap_ext = V::Elem::from_score(scoring.gaps.extend)
         .expect("gap-extend penalty must fit the SIMD element");
 
@@ -339,7 +342,13 @@ fn lookup_sweep<V: SimdVec, T: TriProbe>(
         .collect();
 
     sweep_body!(
-        V, st, seq, r0, lanes, tri, stripe,
+        V,
+        st,
+        seq,
+        r0,
+        lanes,
+        tri,
+        stripe,
         |p| &exch[seq[p] as usize * k..(seq[p] as usize + 1) * k],
         |exch_row, qi| exch_row[seq[r0 + qi] as usize]
     );
@@ -379,7 +388,13 @@ fn profile_sweep<V: SimdVec, T: TriProbe>(
     let mut st = sweep_prologue::<V>(m, scoring, r0, lanes, stripe);
 
     sweep_body!(
-        V, st, seq, r0, lanes, tri, stripe,
+        V,
+        st,
+        seq,
+        r0,
+        lanes,
+        tri,
+        stripe,
         |p| profile.row(seq[p], r0),
         |prow, qi| prow[qi]
     );
@@ -393,7 +408,12 @@ mod tests {
     use repro_align::{sw_last_row, NoMask, Seq};
     use repro_core::SplitMask;
 
-    fn scalar_row(seq: &Seq, scoring: &Scoring, r: usize, t: Option<&OverrideTriangle>) -> Vec<Score> {
+    fn scalar_row(
+        seq: &Seq,
+        scoring: &Scoring,
+        r: usize,
+        t: Option<&OverrideTriangle>,
+    ) -> Vec<Score> {
         let (prefix, suffix) = seq.split(r);
         match t {
             Some(t) => sw_last_row(prefix, suffix, scoring, SplitMask::new(t, r)).row,
@@ -467,17 +487,9 @@ mod tests {
         }
         for tri in [None, Some(&t)] {
             for (r0, lanes) in [(1, 8), (5, 8), (9, 4), (20, 2)] {
-                let lookup =
-                    align_group_striped::<I16x8>(seq.codes(), &scoring, r0, lanes, tri, 7);
-                let profile = align_group_profile::<I16x8>(
-                    seq.codes(),
-                    &scoring,
-                    &prof,
-                    r0,
-                    lanes,
-                    tri,
-                    7,
-                );
+                let lookup = align_group_striped::<I16x8>(seq.codes(), &scoring, r0, lanes, tri, 7);
+                let profile =
+                    align_group_profile::<I16x8>(seq.codes(), &scoring, &prof, r0, lanes, tri, 7);
                 assert_eq!(profile.rows, lookup.rows, "r0={r0} lanes={lanes}");
                 assert_eq!(profile.cells, lookup.cells);
                 assert_eq!(profile.vector_cells, lookup.vector_cells);
@@ -551,7 +563,10 @@ mod tests {
             repro_align::GapPenalties::new(2, 1),
         );
         let g = align_group::<I16x4>(seq.codes(), &scoring, 38, 4, None);
-        assert!(g.saturated, "40 000-ish scores must trip the saturation flag");
+        assert!(
+            g.saturated,
+            "40 000-ish scores must trip the saturation flag"
+        );
     }
 
     #[test]
@@ -567,7 +582,12 @@ mod tests {
             for w in [1usize, 3, 7, 16, 100] {
                 let striped =
                     crate::group::align_group_striped::<I16x8>(seq.codes(), &scoring, 5, 8, tri, w);
-                assert_eq!(striped.rows, reference.rows, "stripe {w}, mask {:?}", tri.is_some());
+                assert_eq!(
+                    striped.rows,
+                    reference.rows,
+                    "stripe {w}, mask {:?}",
+                    tri.is_some()
+                );
                 assert_eq!(striped.cells, reference.cells);
             }
         }

@@ -214,16 +214,36 @@ macro_rules! portable_lanes {
     };
 }
 
-portable_lanes!(I16x4, i16, 4, "Four saturating `i16` lanes — the paper's SSE width.");
-portable_lanes!(I16x8, i16, 8, "Eight saturating `i16` lanes — the paper's SSE2 width.");
+portable_lanes!(
+    I16x4,
+    i16,
+    4,
+    "Four saturating `i16` lanes — the paper's SSE width."
+);
+portable_lanes!(
+    I16x8,
+    i16,
+    8,
+    "Eight saturating `i16` lanes — the paper's SSE2 width."
+);
 portable_lanes!(
     I16x16,
     i16,
     16,
     "Sixteen saturating `i16` lanes — the AVX2 width (portable form)."
 );
-portable_lanes!(I32x4, i32, 4, "Four wide `i32` lanes — the 4-lane promotion element.");
-portable_lanes!(I32x8, i32, 8, "Eight wide `i32` lanes — the 8-lane promotion element.");
+portable_lanes!(
+    I32x4,
+    i32,
+    4,
+    "Four wide `i32` lanes — the 4-lane promotion element."
+);
+portable_lanes!(
+    I32x8,
+    i32,
+    8,
+    "Eight wide `i32` lanes — the 8-lane promotion element."
+);
 portable_lanes!(
     I32x16,
     i32,

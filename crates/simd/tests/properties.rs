@@ -41,7 +41,11 @@ fn check_lane_ops<V: SimdVec>(a16: &[i16], b16: &[i16], keep: usize) -> Result<(
         prop_assert_eq!(add.get(l), x.vadd(y), "adds lane {}", l);
         prop_assert_eq!(sub.get(l), x.vsub(y), "subs lane {}", l);
         prop_assert_eq!(max.get(l), x.max(y), "max lane {}", l);
-        let want = if l >= keep.min(V::LANES) { V::Elem::ZERO } else { x };
+        let want = if l >= keep.min(V::LANES) {
+            V::Elem::ZERO
+        } else {
+            x
+        };
         prop_assert_eq!(zeroed.get(l), want, "zero_lanes_from({}) lane {}", keep, l);
     }
 
@@ -53,8 +57,7 @@ fn check_lane_ops<V: SimdVec>(a16: &[i16], b16: &[i16], keep: usize) -> Result<(
 }
 
 fn arb_dna(min: usize, max: usize) -> impl Strategy<Value = Seq> {
-    prop::collection::vec(0u8..4, min..=max)
-        .prop_map(|codes| Seq::from_codes(Alphabet::Dna, codes))
+    prop::collection::vec(0u8..4, min..=max).prop_map(|codes| Seq::from_codes(Alphabet::Dna, codes))
 }
 
 fn arb_triangle(m: usize) -> impl Strategy<Value = OverrideTriangle> {

@@ -139,7 +139,11 @@ impl ThreadComm {
 
     /// Undelivered sends across the whole world.
     pub fn world_dropped_sends(&self) -> u64 {
-        self.shared.dropped.iter().map(|c| c.load(Ordering::SeqCst)).sum()
+        self.shared
+            .dropped
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
+            .sum()
     }
 
     /// Payloads corrupted by the fault injector, world-wide.
@@ -277,7 +281,9 @@ mod tests {
     #[test]
     fn timeout_instead_of_hang() {
         let world = ThreadComm::world(2);
-        let err = world[1].recv_timeout(Duration::from_millis(20)).unwrap_err();
+        let err = world[1]
+            .recv_timeout(Duration::from_millis(20))
+            .unwrap_err();
         assert_eq!(err, RecvError::Timeout);
     }
 

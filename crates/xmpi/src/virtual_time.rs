@@ -148,23 +148,24 @@ pub fn run<A: Actor>(mut actors: Vec<A>, link: LinkModel) -> (SimOutcome, Vec<A>
     let mut messages = 0u64;
     let mut bytes = 0u64;
 
-    let flush =
-        |ctx: &mut Ctx, calendar: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64,
-         bytes: &mut u64| {
-            for (to, tag, payload, depart) in ctx.outbox.drain(..) {
-                *seq += 1;
-                *bytes += payload.len() as u64;
-                let arrive = depart + link.latency + payload.len() as f64 / link.bandwidth;
-                calendar.push(Reverse(Event {
-                    time: arrive,
-                    seq: *seq,
-                    to,
-                    from: ctx.rank,
-                    tag,
-                    payload,
-                }));
-            }
-        };
+    let flush = |ctx: &mut Ctx,
+                 calendar: &mut BinaryHeap<Reverse<Event>>,
+                 seq: &mut u64,
+                 bytes: &mut u64| {
+        for (to, tag, payload, depart) in ctx.outbox.drain(..) {
+            *seq += 1;
+            *bytes += payload.len() as u64;
+            let arrive = depart + link.latency + payload.len() as f64 / link.bandwidth;
+            calendar.push(Reverse(Event {
+                time: arrive,
+                seq: *seq,
+                to,
+                from: ctx.rank,
+                tag,
+                payload,
+            }));
+        }
+    };
 
     // Start phase: every actor runs on_start at t = 0, rank order.
     for (rank, actor) in actors.iter_mut().enumerate() {

@@ -42,10 +42,16 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::Truncated { needed, remaining } => {
-                write!(f, "payload truncated: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "payload truncated: needed {needed} bytes, {remaining} remain"
+                )
             }
             WireError::BadLength { claimed } => {
-                write!(f, "length prefix claims {claimed} elements, buffer too small")
+                write!(
+                    f,
+                    "length prefix claims {claimed} elements, buffer too small"
+                )
             }
             WireError::BadFrame => write!(f, "malformed frame header"),
             WireError::BadChecksum => write!(f, "frame checksum mismatch"),
@@ -308,7 +314,10 @@ mod tests {
 
     #[test]
     fn framed_detects_any_single_byte_flip() {
-        let framed = Encoder::new().usize(5).i32_slice(&[1, 2, 3]).finish_framed();
+        let framed = Encoder::new()
+            .usize(5)
+            .i32_slice(&[1, 2, 3])
+            .finish_framed();
         for i in 0..framed.len() {
             let mut bad = framed.clone();
             bad[i] ^= 0xA5;
@@ -327,7 +336,10 @@ mod tests {
         }
         let mut extended = framed.clone();
         extended.push(0xA5);
-        assert_eq!(Decoder::new_framed(&extended).unwrap_err(), WireError::BadFrame);
+        assert_eq!(
+            Decoder::new_framed(&extended).unwrap_err(),
+            WireError::BadFrame
+        );
         assert_eq!(Decoder::new_framed(&[]).unwrap_err(), WireError::BadFrame);
     }
 

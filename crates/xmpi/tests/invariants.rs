@@ -25,7 +25,10 @@ fn send_to_dead_endpoint_is_reported_not_silent() {
     );
     // The rest of the world is untouched.
     world[0].send(1, 7, vec![]).unwrap();
-    assert_eq!(world[1].recv_timeout(Duration::from_secs(5)).unwrap().tag, 7);
+    assert_eq!(
+        world[1].recv_timeout(Duration::from_secs(5)).unwrap().tag,
+        7
+    );
 }
 
 /// A crashed endpoint cannot send either: it gets [`SendError::SelfDead`].
@@ -35,8 +38,14 @@ fn send_to_dead_endpoint_is_reported_not_silent() {
 fn dead_sender_reports_self_dead() {
     let world = ThreadComm::world(2);
     world[1].kill();
-    assert_eq!(world[1].send(0, 1, vec![]).unwrap_err(), SendError::SelfDead);
-    assert_eq!(world[0].send(1, 1, vec![]).unwrap_err(), SendError::PeerDead(1));
+    assert_eq!(
+        world[1].send(0, 1, vec![]).unwrap_err(),
+        SendError::SelfDead
+    );
+    assert_eq!(
+        world[0].send(1, 1, vec![]).unwrap_err(),
+        SendError::PeerDead(1)
+    );
     assert_eq!(world[0].world_dropped_sends(), 1);
 }
 
