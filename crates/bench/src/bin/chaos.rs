@@ -10,28 +10,60 @@
 //! byte-for-byte) or the typed error a master crash legitimately
 //! produces. Any other outcome aborts the sweep: it is a bug, not a
 //! data point.
+//!
+//! With `--transport proc` the same seeded schedules run over the real
+//! multi-process socket transport: each fault plan is translated into
+//! frame-level proxy faults (`repro::chaos::socket_faults`) and
+//! injected between live TCP endpoints. Master-crash schedules become
+//! whole-world severance there (the calling process cannot crash
+//! itself), so they may either heal via local fallback or fail typed.
 
-use repro::chaos::{run_schedule, schedules, ChaosOutcome};
+use repro::chaos::{run_schedule, run_schedule_proc, schedules, ChaosOutcome};
 use repro_bench::{secs, time, Scale, Table};
 use std::time::Duration;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let proc = args
+        .windows(2)
+        .any(|w| w[0] == "--transport" && w[1] == "proc");
     let scale = Scale::from_args();
     let n: u64 = match scale {
         Scale::Small => 16,
         Scale::Medium => 56,
         Scale::Full => 200,
     };
-    let deadline = Duration::from_secs(60);
+    // The socket sweep runs under a tighter budget: a link delayed past
+    // usefulness degrades to local fallback, which still heals to the
+    // identical result, so the smaller budget only bounds wall time.
+    let deadline = if proc {
+        Duration::from_secs(20)
+    } else {
+        Duration::from_secs(60)
+    };
+    let transport = if proc {
+        "real sockets (fault proxy)"
+    } else {
+        "simulator (rank threads)"
+    };
 
-    println!("Chaos sweep — {n} seeded fault schedules against the distributed engine");
+    println!(
+        "Chaos sweep — {n} seeded fault schedules against the distributed engine \
+         over {transport}"
+    );
     println!("every schedule must end byte-identical to sequential or in a clean typed error\n");
 
     let table = Table::new(&["seed", "faults", "workers", "len", "outcome", "time (s)"]);
     let (mut identical, mut typed) = (0u64, 0u64);
     let mut slowest: (f64, u64) = (0.0, 0);
     for s in schedules(n) {
-        let (outcome, t) = time(|| run_schedule(&s, deadline));
+        let (outcome, t) = time(|| {
+            if proc {
+                run_schedule_proc(&s, deadline)
+            } else {
+                run_schedule(&s, deadline)
+            }
+        });
         let shown = match outcome {
             Ok(ChaosOutcome::Identical) => {
                 identical += 1;

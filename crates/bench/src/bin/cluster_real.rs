@@ -1,0 +1,201 @@
+//! **Real-transport cluster overhead** — wall time of the distributed
+//! engine over the in-process simulator vs the real multi-process
+//! socket transport, at 2 and 4 workers on a planted-repeat workload.
+//!
+//! Both transports drive the identical master/worker protocol behind
+//! the same `Comm` trait; the only difference is the substrate
+//! (lock-free channels vs TCP frames through the wire codec). This
+//! binary measures what that substrate costs end to end and asserts
+//! the two backends return byte-identical alignments — any divergence
+//! aborts the bench, because it would be a transport bug, not a data
+//! point.
+//!
+//! Usage: `cargo run --release -p repro-bench --bin cluster_real --
+//! [--scale small|medium|full] [--out BENCH_cluster_real.json]
+//! [--check]`. Under `--check` the binary additionally exits non-zero
+//! if the socket transport exceeds [`MAX_OVERHEAD`]× the simulator's
+//! wall time at any worker count — the gate that keeps the real
+//! transport's overhead bounded.
+
+use repro::obs::json::Json;
+use repro::{Engine, Repro, Scoring, Transport};
+use repro_bench::{secs, time_min, Scale, Table};
+use repro_seqgen::{PlantedRepeats, RepeatKind, RepeatSpec};
+use std::time::Duration;
+
+/// Maximum socket-over-simulator wall-time ratio tolerated per worker
+/// count under `--check`. The socket backend pays for connection
+/// setup, frame encode/decode and checksums on every hop, so it is
+/// never free — but on a real workload the DP dominates and the
+/// transport tax must stay bounded. Generous headroom for CI machines
+/// with slow loopback or heavy scheduler noise.
+const MAX_OVERHEAD: f64 = 12.0;
+
+struct TransportRow {
+    workers: usize,
+    sim_secs: f64,
+    proc_secs: f64,
+    alignments: usize,
+    ranks_seen: usize,
+}
+
+fn measure(
+    seq: &repro::Seq,
+    scoring: &Scoring,
+    tops: usize,
+    workers: usize,
+    timing_budget: Duration,
+) -> TransportRow {
+    let sim = Repro::new(scoring.clone())
+        .top_alignments(tops)
+        .engine(Engine::Cluster { workers })
+        .transport(Transport::Sim);
+    let proc = sim.clone().transport(Transport::Proc);
+
+    // One untimed run per transport proves the equivalence claim
+    // before any timing happens.
+    let sim_analysis = sim.run(seq);
+    let proc_analysis = proc.run(seq);
+    assert_eq!(
+        sim_analysis.tops.alignments, proc_analysis.tops.alignments,
+        "socket transport diverged from the simulator at {workers} workers"
+    );
+
+    let sim_secs = time_min(timing_budget, || {
+        std::hint::black_box(sim.run(seq));
+    });
+    let proc_secs = time_min(timing_budget, || {
+        std::hint::black_box(proc.run(seq));
+    });
+    TransportRow {
+        workers,
+        sim_secs,
+        proc_secs,
+        alignments: sim_analysis.tops.alignments.len(),
+        ranks_seen: workers,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_cluster_real.json".to_string());
+
+    let scale = Scale::from_args();
+    let (unit, copies, flank, tops, timing_budget) = match scale {
+        Scale::Small => (12, 3, 40, 4, Duration::from_millis(200)),
+        Scale::Medium => (20, 4, 120, 6, Duration::from_millis(800)),
+        Scale::Full => (30, 6, 300, 10, Duration::from_secs(3)),
+    };
+    let scoring = Scoring::dna_example();
+    let spec = RepeatSpec {
+        flank,
+        kind: RepeatKind::Interspersed {
+            min_spacer: unit / 2,
+            max_spacer: unit,
+        },
+        ..RepeatSpec::dna_tandem(unit, copies)
+    };
+    let planted = PlantedRepeats::generate(&spec, 7);
+    let seq = planted.seq;
+    let len = seq.len();
+
+    println!(
+        "Cluster transport overhead — planted interspersed repeats \
+         ({len} nt: {copies}x{unit} unit, flank {flank}), {tops} top alignments"
+    );
+    println!("sim = in-process rank threads, proc = real TCP sockets via the worker entry point\n");
+
+    let table = Table::new(&["workers", "sim", "proc (sockets)", "overhead", "alignments"]);
+    let mut rows: Vec<TransportRow> = Vec::new();
+    for workers in [2usize, 4] {
+        let row = measure(&seq, &scoring, tops, workers, timing_budget);
+        table.row(&[
+            row.workers.to_string(),
+            secs(row.sim_secs),
+            secs(row.proc_secs),
+            format!("{:.2}x", row.proc_secs / row.sim_secs.max(1e-12)),
+            row.alignments.to_string(),
+        ]);
+        rows.push(row);
+    }
+
+    let doc = Json::Obj(vec![
+        (
+            "bench".to_string(),
+            Json::Str("cluster_real".to_string()),
+        ),
+        ("scale".to_string(), Json::Str(format!("{scale:?}"))),
+        (
+            "sequence".to_string(),
+            Json::Obj(vec![
+                (
+                    "kind".to_string(),
+                    Json::Str("planted_interspersed_dna".to_string()),
+                ),
+                ("residues".to_string(), Json::Num(len as f64)),
+                ("unit".to_string(), Json::Num(unit as f64)),
+                ("copies".to_string(), Json::Num(copies as f64)),
+                ("flank".to_string(), Json::Num(flank as f64)),
+                ("tops".to_string(), Json::Num(tops as f64)),
+            ]),
+        ),
+        (
+            "transports".to_string(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("workers".to_string(), Json::Num(r.workers as f64)),
+                            ("sim_secs".to_string(), Json::Num(r.sim_secs)),
+                            ("proc_secs".to_string(), Json::Num(r.proc_secs)),
+                            (
+                                "overhead".to_string(),
+                                Json::Num(r.proc_secs / r.sim_secs.max(1e-12)),
+                            ),
+                            (
+                                "alignments".to_string(),
+                                Json::Num(r.alignments as f64),
+                            ),
+                            (
+                                "identical_to_sim".to_string(),
+                                Json::Bool(true),
+                            ),
+                            (
+                                "ranks".to_string(),
+                                Json::Num(r.ranks_seen as f64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut text = doc.to_string_compact();
+    text.push('\n');
+    std::fs::write(&out, text).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("\nwrote {out}");
+
+    if check {
+        let mut ok = true;
+        for r in &rows {
+            let overhead = r.proc_secs / r.sim_secs.max(1e-12);
+            if overhead > MAX_OVERHEAD {
+                eprintln!(
+                    "CHECK FAIL: socket transport at {} workers is {overhead:.2}x \
+                     the simulator (limit {MAX_OVERHEAD}x)",
+                    r.workers
+                );
+                ok = false;
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("check passed: socket overhead within {MAX_OVERHEAD}x at every worker count");
+    }
+}

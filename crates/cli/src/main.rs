@@ -3,6 +3,7 @@
 //! ```text
 //! repro [OPTIONS] <input.fasta | ->
 //! repro --generate titin:LEN:SEED | tandem:U:C:SEED | interspersed:U:C:SEED
+//! repro worker --connect HOST:PORT
 //!
 //! Options:
 //!   --alphabet dna|protein     residue alphabet         [default: protein]
@@ -11,6 +12,12 @@
 //!                              simd-threads:N | threads:N |
 //!                              cluster:N | hybrid:N:T | legacy
 //!                                                       [default: seq]
+//!   --transport sim|proc       cluster:N message substrate: in-process
+//!                              rank threads, or real TCP sockets (the
+//!                              master binds a hub; workers may also
+//!                              join from other processes with the
+//!                              `repro worker` subcommand)
+//!                                                       [default: sim]
 //!   --lanes auto|4|8|16        SIMD lane width for --engine simd /
 //!                              simd-threads:N            [default: auto]
 //!   --dispatch auto|portable|sse2|avx2
@@ -37,10 +44,16 @@
 //!
 //! Reads FASTA (`-` = stdin), prints the top alignments and the repeat
 //! report per record.
+//!
+//! `repro worker --connect HOST:PORT` turns this process into a cluster
+//! worker: it joins the hub at that address, receives the job
+//! description, and serves tasks until the master says DONE (exit 0) or
+//! goes silent past the job's deadline. Workers may join a run that is
+//! already in progress.
 
 use repro::align::fasta::read_fasta;
 use repro::align::{Alphabet, ExchangeMatrix, GapPenalties};
-use repro::{DispatchPath, Engine, LaneWidth, LegacyKernel, Repro, Scoring, Seq};
+use repro::{DispatchPath, Engine, LaneWidth, LegacyKernel, Repro, Scoring, Seq, Transport};
 use std::process::ExitCode;
 
 #[derive(Debug)]
@@ -49,6 +62,7 @@ struct Options {
     alphabet: Alphabet,
     tops: usize,
     engine: Engine,
+    transport: Transport,
     lanes: Option<Option<LaneWidth>>,
     dispatch: Option<Option<DispatchPath>>,
     match_score: Option<i32>,
@@ -71,11 +85,13 @@ struct Options {
 fn usage() -> &'static str {
     "usage: repro [--alphabet dna|protein] [--tops N] \
      [--engine seq|simd|simd4|simd8|simd16|simd-threads:N|threads:N|cluster:N|hybrid:N:T|legacy] \
+     [--transport sim|proc] \
      [--lanes auto|4|8|16] [--dispatch auto|portable|sse2|avx2] \
      [--match N] [--mismatch N] [--open N] [--extend N] [--matrix FILE] \
      [--pairs] [--cigar] [--consensus] [--low-memory] [--checkpoint-budget BYTES] [--quiet] \
      [--report FILE] [--trace FILE] \
-     <input.fasta | -> | repro --generate titin:LEN:SEED"
+     <input.fasta | -> | repro --generate titin:LEN:SEED | \
+     repro worker --connect HOST:PORT"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -84,6 +100,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         alphabet: Alphabet::Protein,
         tops: 10,
         engine: Engine::Sequential,
+        transport: Transport::Sim,
         lanes: None,
         dispatch: None,
         match_score: None,
@@ -183,6 +200,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                             return Err(format!("unknown engine {other:?}"));
                         }
                     }
+                }
+            }
+            "--transport" => {
+                opts.transport = match next("--transport")?.as_str() {
+                    "sim" => Transport::Sim,
+                    "proc" => Transport::Proc,
+                    other => return Err(format!("--transport needs sim or proc, not {other:?}")),
                 }
             }
             "--lanes" => {
@@ -411,6 +435,7 @@ fn analyze_one(
     let analysis = Repro::new(scoring.clone())
         .top_alignments(opts.tops)
         .engine(opts.engine)
+        .transport(opts.transport)
         .low_memory(opts.low_memory)
         .checkpoint_budget(opts.checkpoint_budget)
         .trace(opts.trace.is_some())
@@ -502,9 +527,45 @@ fn restore_sigpipe() {
 #[cfg(not(unix))]
 fn restore_sigpipe() {}
 
+/// `repro worker --connect HOST:PORT`: serve a cluster run as a worker
+/// process until the master says DONE.
+fn run_worker(args: &[String]) -> ExitCode {
+    const USAGE: &str = "usage: repro worker --connect HOST:PORT";
+    let mut connect = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => connect = it.next().cloned(),
+            other => {
+                eprintln!("repro worker: unknown argument {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(addr) = connect else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match repro::cluster::socket_worker(&addr) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     restore_sigpipe();
+    // A re-exec'd worker (spawned by a master with REPRO_WORKER_CONNECT
+    // set) must become that worker before anything else looks at argv.
+    if repro::cluster::maybe_run_worker_from_env() {
+        return ExitCode::SUCCESS;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("worker") {
+        return run_worker(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {
@@ -575,6 +636,24 @@ mod tests {
             let o = parse_args(&args(&["--engine", name, "x.fa"])).unwrap();
             assert_eq!(o.engine, want, "{name}");
         }
+    }
+
+    #[test]
+    fn parses_transport() {
+        let o = parse_args(&args(&["x.fa"])).unwrap();
+        assert_eq!(o.transport, Transport::Sim);
+        let o = parse_args(&args(&[
+            "--engine",
+            "cluster:2",
+            "--transport",
+            "proc",
+            "x.fa",
+        ]))
+        .unwrap();
+        assert_eq!(o.transport, Transport::Proc);
+        assert_eq!(o.engine, Engine::Cluster { workers: 2 });
+        assert!(parse_args(&args(&["--transport", "pigeon", "x.fa"])).is_err());
+        assert!(parse_args(&args(&["x.fa", "--transport"])).is_err());
     }
 
     #[test]

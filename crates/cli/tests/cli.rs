@@ -330,3 +330,107 @@ fn custom_matrix_file() {
     let _ = std::fs::remove_file(path);
     let _ = std::fs::remove_file(matrix);
 }
+
+#[test]
+fn proc_transport_agrees_with_sim_end_to_end() {
+    let path = write_fasta("proc-vs-sim", ">toy repeat\nATGCATGCATGCATGC\n");
+    let base = ["--alphabet", "dna", "--tops", "3", "--engine", "cluster:2"];
+    let sim = repro_bin().args(base).arg(&path).output().unwrap();
+    let proc = repro_bin()
+        .args(base)
+        .args(["--transport", "proc"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(
+        sim.status.success() && proc.status.success(),
+        "sim stderr: {}\nproc stderr: {}",
+        String::from_utf8_lossy(&sim.stderr),
+        String::from_utf8_lossy(&proc.stderr)
+    );
+    // Identical analysis either way; only the wall-clock line differs.
+    let strip = |b: &[u8]| -> String {
+        String::from_utf8_lossy(b)
+            .lines()
+            .filter(|l| !l.starts_with("work:"))
+            .collect()
+    };
+    assert_eq!(strip(&sim.stdout), strip(&proc.stdout));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn worker_subcommand_requires_connect() {
+    let out = repro_bin().arg("worker").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--connect"));
+}
+
+/// Spawn the real binary as a worker process against an in-test hub:
+/// the worker must join, take the job greeting, announce IDLE, serve a
+/// first-pass task, and exit 0 on DONE — the full cross-process
+/// protocol, driven from the master's side of the wire.
+#[test]
+fn worker_subcommand_serves_a_real_master_over_sockets() {
+    use repro::cluster::protocol::{tag, JobMsg, ResultMsg, TaskMsg};
+    use repro::xmpi::socket::SocketHub;
+    use repro::xmpi::Comm;
+    use repro::{Scoring, Seq};
+    use std::time::{Duration, Instant};
+
+    let seq = Seq::dna("ATGCATGCATGC").unwrap();
+    let scoring = Scoring::dna_example();
+    let hub = SocketHub::bind("127.0.0.1:0").unwrap();
+    let job = JobMsg {
+        count: 3,
+        seq: seq.clone(),
+        scoring: scoring.clone(),
+        deadline_ms: 10_000,
+        checkpoint_budget: None,
+    };
+    let payload = job.encode();
+    hub.add_greeting(tag::JOB, &payload);
+    hub.add_greeting(tag::JOB, &payload);
+
+    let mut child = repro_bin()
+        .args(["worker", "--connect", &hub.addr().to_string()])
+        .stdout(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(15);
+    // The worker joins, decodes the job, and announces itself IDLE.
+    loop {
+        match hub.recv_timeout(Duration::from_millis(200)) {
+            Ok(m) if m.tag == tag::IDLE => break,
+            Ok(_) => {}
+            Err(_) if Instant::now() < deadline => {}
+            Err(e) => panic!("no IDLE from the worker process: {e:?}"),
+        }
+    }
+
+    // Hand it a first-pass task; the result must carry the bottom row.
+    let task = TaskMsg {
+        r: 4,
+        stamp: 0,
+        attempt: 1,
+        first: true,
+        row: None,
+    };
+    hub.send(1, tag::TASK, task.encode()).unwrap();
+    let res = loop {
+        match hub.recv_timeout(Duration::from_millis(200)) {
+            Ok(m) if m.tag == tag::RESULT => break ResultMsg::decode(&m.payload).unwrap(),
+            Ok(_) => {}
+            Err(_) if Instant::now() < deadline => {}
+            Err(e) => panic!("no RESULT from the worker process: {e:?}"),
+        }
+    };
+    assert_eq!((res.r, res.attempt), (4, 1));
+    assert!(res.first_row.is_some(), "first pass must return its row");
+
+    // DONE sends it home; the process exits cleanly.
+    hub.send(1, tag::DONE, vec![]).unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success(), "worker exit: {status:?}");
+}

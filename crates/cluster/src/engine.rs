@@ -221,10 +221,14 @@ fn run_cluster<R: Recorder>(
     result.map(|r| ClusterResult { result: r, ranks })
 }
 
-fn worker_loop(
+/// The worker body, generic over the transport: the exact same loop
+/// serves a simulator thread (rank = a `ThreadComm` endpoint) and a
+/// worker process (rank = a `SocketPeer`). See the module docs for the
+/// defer/resync discipline.
+pub(crate) fn worker_loop<C: Comm>(
     seq: &Seq,
     scoring: &Scoring,
-    comm: ThreadComm,
+    comm: C,
     deadline: Duration,
     checkpoint_budget: Option<usize>,
 ) {
@@ -342,10 +346,10 @@ fn worker_loop(
 /// worker's cue to exit; injected drops stay invisible and are healed
 /// by the master's retransmission.
 #[allow(clippy::too_many_arguments)] // the worker loop threads its whole replica state
-fn run_task(
+fn run_task<C: Comm>(
     seq: &Seq,
     scoring: &Scoring,
-    comm: &ThreadComm,
+    comm: &C,
     triangle: &OverrideTriangle,
     rows: &mut HashMap<usize, Vec<Score>>,
     incr: &mut Option<IncrementalSweeper>,
@@ -656,6 +660,36 @@ mod tests {
         )
         .expect("losing every worker must degrade to local computation");
         assert_eq!(got.result.alignments, want.alignments);
+    }
+
+    #[test]
+    fn all_workers_dying_at_once_mid_run_never_hangs() {
+        // Recv-timeout audit (satellite): the whole pool dying at the
+        // same instant — between a broadcast and its results — must
+        // terminate promptly via the local fallback with the exact
+        // sequential alignments, never hang on a collect that can no
+        // longer complete.
+        let seq = Seq::dna(&"ATGC".repeat(8)).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 4);
+        let start = Instant::now();
+        let got = find_top_alignments_cluster_faulty(
+            &seq,
+            &scoring,
+            4,
+            3,
+            Duration::from_secs(60),
+            FaultPlan {
+                crash_workers_after: 4,
+                ..FaultPlan::default()
+            },
+        )
+        .expect("whole-pool death must degrade to local computation");
+        assert_eq!(got.result.alignments, want.alignments);
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "must not idle out the 60s budget"
+        );
     }
 
     #[test]

@@ -259,10 +259,10 @@ fn run_hybrid<R: Recorder>(
 }
 
 #[allow(clippy::too_many_arguments)] // per-thread replica state, threaded explicitly
-fn node_worker(
+fn node_worker<C: Comm>(
     seq: &Seq,
     scoring: &Scoring,
-    comm: Arc<Mutex<ThreadComm>>,
+    comm: Arc<Mutex<C>>,
     shared: Arc<NodeShared>,
     slot: usize,
     deadline: Duration,
@@ -449,10 +449,10 @@ fn sync_dirty(local: &mut DirtyLog, inner: &NodeInner) {
 }
 
 #[allow(clippy::too_many_arguments)] // per-thread replica state, threaded explicitly
-fn run_task(
+fn run_task<C: Comm>(
     seq: &Seq,
     scoring: &Scoring,
-    comm: &Arc<Mutex<ThreadComm>>,
+    comm: &Arc<Mutex<C>>,
     shared: &Arc<NodeShared>,
     triangle: &OverrideTriangle,
     incr: &mut Option<IncrementalSweeper>,

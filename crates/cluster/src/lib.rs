@@ -25,6 +25,11 @@
 //! * [`engine`] — the real backend on [`repro_xmpi::thread`]: one OS
 //!   thread per rank. Injected message loss is healed by retransmission
 //!   and surfaces, at worst, as a typed error — never a hang.
+//! * [`proc`] — the same protocol over real TCP sockets
+//!   ([`repro_xmpi::socket`]) with workers in their own processes (or
+//!   threads, for tests). Membership is elastic: workers join mid-run
+//!   via the hub's greeting replay and leave by dying; socket-level
+//!   chaos rides through a frame-aware fault proxy.
 //! * [`sim`] — the same protocol on [`repro_xmpi::virtual_time`]: real
 //!   alignment computations, virtual clocks, calibrated per-cell costs
 //!   and a Myrinet-class link model. This regenerates Figure 8 on one
@@ -35,6 +40,7 @@
 pub mod engine;
 pub mod hybrid;
 pub mod master;
+pub mod proc;
 pub mod protocol;
 pub mod recovery;
 pub mod sim;
@@ -51,5 +57,9 @@ pub use hybrid::{
     HybridResult,
 };
 pub use master::{MasterAction, MasterState, LOCAL_WORKER};
+pub use proc::{
+    find_top_alignments_proc, maybe_run_worker_from_env, run_cluster_proc, socket_worker,
+    ProcOptions, SpawnMode, WorkerError, WORKER_ENV,
+};
 pub use recovery::RecoveryConfig;
 pub use sim::{simulate_cluster, AlignCache, CostModel, SimReport};

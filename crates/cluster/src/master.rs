@@ -595,6 +595,43 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_result_delivery_is_rejected_exactly_once() {
+        // Satellite of the transport work: a result frame re-delivered
+        // by the wire (duplicated, or retransmitted after the original
+        // already landed) settles its assignment on the FIRST copy and
+        // is discarded on every later one by the attempt-stamp check.
+        let scoring = Scoring::dna_example();
+        let seq = Seq::dna("ATGCATGC").unwrap();
+        let mut master = MasterState::new(&seq, &scoring, 2);
+        let actions = master.worker_idle(1, 0);
+        let Some(MasterAction::Assign { task, .. }) = actions.first().cloned() else {
+            panic!("one idle worker must receive an assignment");
+        };
+        let res = ResultMsg {
+            r: task.r,
+            stamp: task.stamp,
+            attempt: task.attempt,
+            score: 0, // keep the split unaccepted so the state is easy to audit
+            cells: 7,
+            shadow_rejections: 0,
+            incr: [0; 4],
+            first_row: Some(vec![0; 4]),
+        };
+        let first = master.result(1, res.clone());
+        assert!(
+            !first.is_empty(),
+            "first copy settles: slot freed, next task assigned"
+        );
+        let aligned = master.stats().alignments;
+        // The transport re-delivers the identical frame.
+        let dup = master.result(1, res.clone());
+        assert!(dup.is_empty(), "second copy must be discarded");
+        assert_eq!(master.stats().alignments, aligned, "no double count");
+        // And a third copy is equally inert.
+        assert!(master.result(1, res).is_empty());
+    }
+
+    #[test]
     fn all_workers_lost_finishes_locally_with_sequential_result() {
         let scoring = Scoring::dna_example();
         for text in ["ATGCATGCATGC", "ACGGTACGGTAACGGTTTTTACGGT"] {

@@ -9,7 +9,7 @@
 //! the result of the current assignment from stale deliveries of
 //! earlier attempts that were duplicated, delayed or reassigned.
 
-use repro_align::Score;
+use repro_align::{Alphabet, ExchangeMatrix, GapPenalties, Score, Scoring, Seq};
 use repro_xmpi::wire::{Decoder, Encoder, WireError};
 
 /// Message tags.
@@ -31,6 +31,11 @@ pub mod tag {
     /// Worker → master: "my replica is at version `applied`; re-send
     /// the acceptances I am missing" (recovers from a lost ACCEPTED).
     pub const RESYNC: u32 = 7;
+    /// Master → worker: the job description (sequence, scoring,
+    /// deadline). Worker *processes* cannot share the master's memory,
+    /// so the whole input ships as the first message every joiner —
+    /// early or late — receives.
+    pub const JOB: u32 = 8;
 }
 
 /// A task assignment.
@@ -194,6 +199,101 @@ impl AcceptedMsg {
     }
 }
 
+/// The job description a worker *process* needs to participate: the
+/// sequence, the full scoring scheme, and the run's knobs. Stored as
+/// the hub's greeting so every joiner — including one that connects
+/// mid-run — starts from the same input the master holds. (Thread
+/// workers share the master's memory and never see this message.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMsg {
+    /// Top alignments requested.
+    pub count: usize,
+    /// The sequence under search.
+    pub seq: Seq,
+    /// Exchange matrix and gap penalties.
+    pub scoring: Scoring,
+    /// Worker-side silence budget, in milliseconds: how long the master
+    /// may go quiet before the worker gives up and exits.
+    pub deadline_ms: u64,
+    /// Checkpoint budget for the incremental realignment layer
+    /// (`None` = layer off).
+    pub checkpoint_budget: Option<usize>,
+}
+
+impl JobMsg {
+    /// Encode to a framed payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let alphabet = self.seq.alphabet();
+        let k = alphabet.len();
+        let mut table = Vec::with_capacity(k * k);
+        for a in 0..k as u8 {
+            table.extend_from_slice(self.scoring.exchange.row(a));
+        }
+        let e = Encoder::new()
+            .usize(self.count)
+            .u32(match alphabet {
+                Alphabet::Dna => 0,
+                Alphabet::Protein => 1,
+            })
+            .bytes(self.seq.codes())
+            .i32_slice(&table)
+            .i32(self.scoring.gaps.open)
+            .i32(self.scoring.gaps.extend)
+            .u64(self.deadline_ms);
+        match self.checkpoint_budget {
+            Some(b) => e.u64(1).usize(b),
+            None => e.u64(0),
+        }
+        .finish_framed()
+    }
+
+    /// Decode from a framed payload. The gap penalties are re-validated
+    /// (non-negative open, positive extend) so a frame from a buggy
+    /// peer fails typed instead of tripping an assert downstream.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut d = Decoder::new_framed(payload)?;
+        let count = d.usize()?;
+        let alphabet = match d.u32()? {
+            0 => Alphabet::Dna,
+            1 => Alphabet::Protein,
+            _ => return Err(WireError::BadFrame),
+        };
+        let codes = d.bytes_vec()?;
+        if codes.iter().any(|&c| !alphabet.is_valid_code(c)) {
+            return Err(WireError::BadFrame);
+        }
+        let k = alphabet.len();
+        let table = d.i32_vec()?;
+        if table.len() != k * k {
+            return Err(WireError::BadLength {
+                claimed: table.len(),
+            });
+        }
+        let open = d.i32()?;
+        let extend = d.i32()?;
+        if open < 0 || extend <= 0 {
+            return Err(WireError::BadFrame);
+        }
+        let deadline_ms = d.u64()?;
+        let checkpoint_budget = if d.u64()? == 1 {
+            Some(d.usize()?)
+        } else {
+            None
+        };
+        d.expect_exhausted()?;
+        let exchange = ExchangeMatrix::from_fn(alphabet, |a, b| {
+            table[a as usize * k + b as usize]
+        });
+        Ok(JobMsg {
+            count,
+            seq: Seq::from_codes(alphabet, codes),
+            scoring: Scoring::new(exchange, GapPenalties::new(open, extend)),
+            deadline_ms,
+            checkpoint_budget,
+        })
+    }
+}
+
 /// A worker's replica-resync request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResyncMsg {
@@ -285,6 +385,107 @@ mod tests {
     fn resync_roundtrip() {
         let msg = ResyncMsg { applied: 3 };
         assert_eq!(ResyncMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn job_roundtrip_rebuilds_seq_and_scoring() {
+        for (seq, scoring) in [
+            (Seq::dna("ATGCATGCNN").unwrap(), Scoring::dna_example()),
+            (
+                Seq::protein("MGEKALVPYRX").unwrap(),
+                Scoring::protein_default(),
+            ),
+        ] {
+            let msg = JobMsg {
+                count: 7,
+                seq,
+                scoring,
+                deadline_ms: 45_000,
+                checkpoint_budget: Some(1 << 20),
+            };
+            let back = JobMsg::decode(&msg.encode()).unwrap();
+            assert_eq!(back, msg);
+            // The rebuilt matrix scores identically on every pair.
+            let k = msg.seq.alphabet().len() as u8;
+            for a in 0..k {
+                for b in 0..k {
+                    assert_eq!(
+                        back.scoring.exch(a, b),
+                        msg.scoring.exch(a, b),
+                        "pair ({a},{b})"
+                    );
+                }
+            }
+        }
+        let no_budget = JobMsg {
+            count: 1,
+            seq: Seq::dna("ACGT").unwrap(),
+            scoring: Scoring::dna_example(),
+            deadline_ms: 10,
+            checkpoint_budget: None,
+        };
+        assert_eq!(JobMsg::decode(&no_budget.encode()).unwrap(), no_budget);
+    }
+
+    #[test]
+    fn job_with_hostile_fields_fails_typed_not_panicking() {
+        // Hand-build payloads with out-of-range fields: each must fail
+        // with a WireError, never trip an assert in align's ctors.
+        let good = JobMsg {
+            count: 2,
+            seq: Seq::dna("ACGT").unwrap(),
+            scoring: Scoring::dna_example(),
+            deadline_ms: 10,
+            checkpoint_budget: None,
+        };
+        // A zero gap-extend would panic GapPenalties::new if trusted.
+        let bad_gaps = Encoder::new()
+            .usize(2)
+            .u32(0)
+            .bytes(good.seq.codes())
+            .i32_slice(&[0; 25])
+            .i32(2)
+            .i32(0) // extend = 0: invalid
+            .u64(10)
+            .u64(0)
+            .finish_framed();
+        assert!(JobMsg::decode(&bad_gaps).is_err());
+        // An unknown alphabet id.
+        let bad_alpha = Encoder::new()
+            .usize(2)
+            .u32(9)
+            .bytes(b"")
+            .i32_slice(&[])
+            .i32(2)
+            .i32(1)
+            .u64(10)
+            .u64(0)
+            .finish_framed();
+        assert!(JobMsg::decode(&bad_alpha).is_err());
+        // Residue codes outside the alphabet.
+        let bad_codes = Encoder::new()
+            .usize(2)
+            .u32(0)
+            .bytes(&[0, 1, 200])
+            .i32_slice(&[0; 25])
+            .i32(2)
+            .i32(1)
+            .u64(10)
+            .u64(0)
+            .finish_framed();
+        assert!(JobMsg::decode(&bad_codes).is_err());
+        // A wrong-size exchange table.
+        let bad_table = Encoder::new()
+            .usize(2)
+            .u32(0)
+            .bytes(&[0, 1])
+            .i32_slice(&[1, 2, 3])
+            .i32(2)
+            .i32(1)
+            .u64(10)
+            .u64(0)
+            .finish_framed();
+        assert!(JobMsg::decode(&bad_table).is_err());
     }
 
     #[test]

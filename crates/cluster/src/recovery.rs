@@ -30,7 +30,6 @@ use crate::protocol::{tag, ResultMsg, ResyncMsg, TaskMsg};
 use repro_align::{Scoring, Seq};
 use repro_core::TopAlignments;
 use repro_obs::{Counter, Event, Recorder};
-use repro_xmpi::thread::ThreadComm;
 use repro_xmpi::{Comm, RecvError, SendError};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -55,6 +54,15 @@ pub struct RecoveryConfig {
     /// Hard budget for the whole run; when it expires the master stops
     /// waiting and finishes the remaining work locally.
     pub overall: Duration,
+    /// How long the master waits for a *first* worker to register
+    /// before giving up on the cluster and finishing locally. Without
+    /// this, a world where no worker ever announces itself — none
+    /// spawned, all crashed before their first IDLE, or (on the socket
+    /// backend) none connected — would spin silently until `overall`
+    /// (minutes at production budgets) with zero in-flight work to
+    /// retry. The audit: a master with no live workers *and* no flights
+    /// past this grace must degrade, never idle.
+    pub join_grace: Duration,
 }
 
 impl RecoveryConfig {
@@ -66,6 +74,7 @@ impl RecoveryConfig {
             retry_cap: Duration::from_millis(250),
             liveness: Duration::from_millis(400),
             overall,
+            join_grace: Duration::from_secs(2).min(overall),
         }
     }
 }
@@ -95,9 +104,9 @@ fn finalize(mut tops: TopAlignments, retries: u64, reassigns: u64) -> TopAlignme
 /// Drain the master's local-fallback actions and return its result.
 /// Emits a [`Event::LocalFallback`] so event logs make the degradation
 /// visible, then the terminal [`Event::Done`].
-fn local_finish<R: Recorder>(
+fn local_finish<C: Comm, R: Recorder>(
     mut master: MasterState,
-    comm: &ThreadComm,
+    comm: &C,
     rec: &mut R,
     retries: u64,
     reassigns: u64,
@@ -137,8 +146,8 @@ fn local_finish<R: Recorder>(
 // A failed direct send declares the destination dead on the spot,
 // and the resulting reassignments join the work list.
 #[allow(clippy::too_many_arguments)] // transport loop state, threaded explicitly
-fn act<R: Recorder>(
-    comm: &ThreadComm,
+fn act<C: Comm, R: Recorder>(
+    comm: &C,
     master: &mut MasterState,
     flights: &mut HashMap<usize, Flight>,
     config: &RecoveryConfig,
@@ -214,11 +223,11 @@ fn act<R: Recorder>(
 /// (assign, result, retransmit, death, resync, fallback) is mirrored
 /// into `rec` as a structured [`Event`], which is what makes chaos
 /// failures replayable from the JSONL event log.
-pub(crate) fn master_loop<R: Recorder>(
+pub(crate) fn master_loop<C: Comm, R: Recorder>(
     seq: &Seq,
     scoring: &Scoring,
     count: usize,
-    comm: ThreadComm,
+    comm: C,
     config: RecoveryConfig,
     rec: &mut R,
 ) -> Result<TopAlignments, ClusterError> {
@@ -234,6 +243,18 @@ pub(crate) fn master_loop<R: Recorder>(
         if now.duration_since(start) >= config.overall {
             // Budget exhausted with the search unfinished: stop
             // believing the cluster and compute the rest ourselves.
+            repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
+            return local_finish(master, &comm, rec, retries_total, reassigns_total);
+        }
+        if master.live_workers() == 0
+            && flights.is_empty()
+            && !master.is_done()
+            && now.duration_since(start) >= config.join_grace
+        {
+            // No worker ever registered (or every registered one was
+            // already written off) and nothing is in flight to retry:
+            // waiting longer cannot make progress, so degrade now
+            // instead of idling out the whole overall budget.
             repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
             return local_finish(master, &comm, rec, retries_total, reassigns_total);
         }
@@ -424,4 +445,37 @@ pub(crate) fn already_deferred(deferred: &[TaskMsg], task: &TaskMsg) -> bool {
     deferred
         .iter()
         .any(|t| t.r == task.r && t.attempt == task.attempt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repro_core::find_top_alignments;
+    use repro_obs::NoopRecorder;
+    use repro_xmpi::thread::ThreadComm;
+
+    #[test]
+    fn master_alone_degrades_after_join_grace_not_overall() {
+        // Recv-timeout audit: a master whose workers never announce
+        // themselves (none spawned, none connected, or all dead before
+        // their first IDLE) must degrade to local computation after the
+        // join grace — not idle silently until the overall budget.
+        let seq = Seq::dna(&"ATGC".repeat(6)).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 3);
+        // Endpoints for ranks 1 and 2 exist but nobody ever runs them.
+        let mut world = ThreadComm::world(3);
+        let master = world.remove(0);
+        let mut config = RecoveryConfig::with_overall(Duration::from_secs(600));
+        config.join_grace = Duration::from_millis(150);
+        let start = Instant::now();
+        let got = master_loop(&seq, &scoring, 3, master, config, &mut NoopRecorder)
+            .expect("a silent world must still produce the local result");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "must not idle out the 600s overall budget"
+        );
+        assert_eq!(got.alignments, want.alignments);
+        drop(world);
+    }
 }

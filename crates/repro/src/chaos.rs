@@ -22,7 +22,9 @@
 //! they run is the same.
 
 use crate::{find_top_alignments, Alphabet, Scoring, Seq};
-use repro_cluster::{find_top_alignments_cluster_faulty, ClusterError};
+use repro_cluster::{find_top_alignments_cluster_faulty, ClusterError, ProcOptions};
+use repro_obs::NoopRecorder;
+use repro_xmpi::socket::ProxyFaults;
 use repro_xmpi::thread::FaultPlan;
 use std::time::Duration;
 
@@ -201,6 +203,90 @@ pub fn run_schedule(s: &ChaosSchedule, deadline: Duration) -> Result<ChaosOutcom
             } else {
                 Err(format!(
                     "seed {}: '{e}' under {} — a survivable world must not error",
+                    s.seed, s.label,
+                ))
+            }
+        }
+    }
+}
+
+/// Translate a simulator [`FaultPlan`] into its socket-level twin for
+/// the multi-process backend: `(proxy faults, whole-world severance)`.
+///
+/// Frame faults (drop/dup/delay/corrupt) map one-to-one — the proxy
+/// keys them off per-direction frame counters exactly as the simulator
+/// keys message counters. Rank-crash faults become connection
+/// severance: a worker crash cuts each relayed connection after the
+/// same frame count (the socket analogue of a process dying mid-run).
+/// A **master** crash cannot be injected into the calling process, so
+/// it is reinterpreted as whole-world severance — every worker torn
+/// off at once — which the engine must survive via local fallback.
+pub fn socket_faults(plan: &FaultPlan) -> (ProxyFaults, Option<Duration>) {
+    let faults = ProxyFaults {
+        drop_every: plan.drop_every,
+        dup_every: plan.dup_every,
+        delay_every: plan.delay_every,
+        delay: plan.delay,
+        corrupt_every: plan.corrupt_every,
+        sever_after: match plan.crash_rank {
+            Some(rank) if rank > 0 => plan.crash_after_sends.max(1),
+            _ => 0,
+        },
+    };
+    let sever_all_after = if plan.crash_rank == Some(0) || plan.crash_workers_after != 0 {
+        let after = plan.crash_after_sends.max(plan.crash_workers_after);
+        Some(Duration::from_millis(30 + 20 * after))
+    } else {
+        None
+    };
+    (faults, sever_all_after)
+}
+
+/// [`run_schedule`] over the real multi-process transport: the same
+/// seeded world, with its fault plan translated by [`socket_faults`]
+/// and injected at the socket level through a fault proxy. Master-crash
+/// schedules run as whole-world severance here (see [`socket_faults`]),
+/// so for those either a healed identical result *or* a typed error is
+/// legitimate; every other schedule must heal to identical.
+pub fn run_schedule_proc(s: &ChaosSchedule, deadline: Duration) -> Result<ChaosOutcome, String> {
+    let scoring = Scoring::dna_example();
+    let want = find_top_alignments(&s.seq, &scoring, s.count);
+    let (faults, sever_all_after) = socket_faults(&s.faults);
+    let opts = ProcOptions {
+        faults,
+        sever_all_after,
+        ..ProcOptions::default()
+    };
+    match repro_cluster::run_cluster_proc(
+        &s.seq,
+        &scoring,
+        s.count,
+        s.workers,
+        deadline,
+        &opts,
+        &mut NoopRecorder,
+    ) {
+        Ok(got) => {
+            if got.result.alignments == want.alignments {
+                Ok(ChaosOutcome::Identical)
+            } else {
+                Err(format!(
+                    "seed {}: alignments diverged from sequential under {} \
+                     over sockets ({} workers, {} residues)",
+                    s.seed,
+                    s.label,
+                    s.workers,
+                    s.seq.len(),
+                ))
+            }
+        }
+        Err(e) => {
+            if s.faults.crash_rank == Some(0) {
+                Ok(ChaosOutcome::TypedError(e))
+            } else {
+                Err(format!(
+                    "seed {}: '{e}' under {} over sockets — a survivable \
+                     world must not error",
                     s.seed, s.label,
                 ))
             }

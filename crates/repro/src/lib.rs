@@ -150,12 +150,30 @@ pub enum Engine {
     Legacy(LegacyKernel),
 }
 
+/// Which physical transport the message-passing [`Engine::Cluster`]
+/// runs over. The protocol, recovery behaviour and alignments are
+/// identical; only the substrate differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// In-process rank threads over channels (the simulator backend):
+    /// no sockets, fully deterministic fault injection. The default.
+    #[default]
+    Sim,
+    /// Real TCP sockets: the master binds a hub and workers run
+    /// [`cluster::socket_worker`] against it (as threads here; spawn
+    /// separate processes with the `repro worker` subcommand for full
+    /// process isolation). Membership is elastic — workers may join
+    /// mid-run and die at any time.
+    Proc,
+}
+
 /// High-level entry point: configure once, run on any sequence.
 #[derive(Debug, Clone)]
 pub struct Repro {
     scoring: Scoring,
     count: usize,
     engine: Engine,
+    transport: Transport,
     low_memory: bool,
     trace: bool,
     checkpoint_budget: Option<usize>,
@@ -189,6 +207,7 @@ impl Repro {
             scoring,
             count: 10,
             engine: Engine::Sequential,
+            transport: Transport::default(),
             low_memory: false,
             trace: false,
             checkpoint_budget: None,
@@ -204,6 +223,13 @@ impl Repro {
     /// Select the execution engine.
     pub fn engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Select the transport for [`Engine::Cluster`]: the in-process
+    /// simulator (default) or real sockets. Other engines ignore it.
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -251,7 +277,10 @@ impl Repro {
             Engine::SimdDispatch { .. } => "simd-dispatch".into(),
             Engine::SimdThreads { threads, .. } => format!("simd-threads:{threads}"),
             Engine::Threads(threads) => format!("threads:{threads}"),
-            Engine::Cluster { workers } => format!("cluster:{workers}"),
+            Engine::Cluster { workers } => match self.transport {
+                Transport::Sim => format!("cluster:{workers}"),
+                Transport::Proc => format!("cluster-proc:{workers}"),
+            },
             Engine::Hybrid {
                 nodes,
                 threads_per_node,
@@ -367,15 +396,31 @@ impl Repro {
                 out.result
             }
             Engine::Cluster { workers } => {
-                let out = repro_cluster::find_top_alignments_cluster_checkpointed_recorded(
-                    seq,
-                    &self.scoring,
-                    self.count,
-                    workers,
-                    Duration::from_secs(600),
-                    budget,
-                    &mut rec,
-                )?;
+                let out = match self.transport {
+                    Transport::Sim => {
+                        repro_cluster::find_top_alignments_cluster_checkpointed_recorded(
+                            seq,
+                            &self.scoring,
+                            self.count,
+                            workers,
+                            Duration::from_secs(600),
+                            budget,
+                            &mut rec,
+                        )?
+                    }
+                    Transport::Proc => repro_cluster::run_cluster_proc(
+                        seq,
+                        &self.scoring,
+                        self.count,
+                        workers,
+                        Duration::from_secs(600),
+                        &repro_cluster::ProcOptions {
+                            checkpoint_budget: budget,
+                            ..Default::default()
+                        },
+                        &mut rec,
+                    )?,
+                };
                 fold_checkpoint_counters(&mut rec, &out.result.stats);
                 out.result
             }
@@ -527,6 +572,19 @@ mod tests {
             .run(&seq);
         assert!(untraced.events.is_empty());
         assert_eq!(traced.tops.alignments, untraced.tops.alignments);
+    }
+
+    #[test]
+    fn proc_transport_matches_sim_through_the_facade() {
+        let seq = Seq::dna(&"ATGC".repeat(8)).unwrap();
+        let base = Repro::new(Scoring::dna_example())
+            .top_alignments(4)
+            .engine(Engine::Cluster { workers: 2 });
+        let sim = base.clone().run(&seq);
+        let proc = base.transport(Transport::Proc).run(&seq);
+        assert_eq!(sim.tops.alignments, proc.tops.alignments);
+        assert_eq!(proc.run.engine, "cluster-proc:2");
+        assert_eq!(sim.run.engine, "cluster:2");
     }
 
     #[test]

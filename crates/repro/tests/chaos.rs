@@ -11,7 +11,7 @@
 //! the seed — a failing seed replays exactly. The sweep is split into
 //! chunks so the test runner can drive schedules in parallel.
 
-use repro::chaos::{run_schedule, schedule, schedules, ChaosOutcome};
+use repro::chaos::{run_schedule, run_schedule_proc, schedule, schedules, ChaosOutcome};
 use std::time::Duration;
 
 /// Far above any observed schedule runtime (worst observed is a few
@@ -57,6 +57,49 @@ fn chaos_sweep_chunk_2() {
 #[test]
 fn chaos_sweep_chunk_3() {
     let (identical, _) = run_chunk(3);
+    assert!(identical > 0);
+}
+
+/// Overall budget for the socket sweep. Tighter than the simulator's:
+/// when a heavily-delayed link cannot carry the run to completion in
+/// time, the master degrades to local computation — which still yields
+/// the identical result, so a smaller budget only bounds wall time.
+const DEADLINE_PROC: Duration = Duration::from_secs(20);
+
+fn run_chunk_proc(chunk: u64) -> (u32, u32) {
+    let per = SWEEP / CHUNKS;
+    let (mut identical, mut typed) = (0, 0);
+    for s in (chunk * per..(chunk + 1) * per).map(schedule) {
+        match run_schedule_proc(&s, DEADLINE_PROC) {
+            Ok(ChaosOutcome::Identical) => identical += 1,
+            Ok(ChaosOutcome::TypedError(_)) => typed += 1,
+            Err(defect) => panic!("{defect}"),
+        }
+    }
+    (identical, typed)
+}
+
+#[test]
+fn chaos_sweep_sockets_chunk_0() {
+    let (identical, _) = run_chunk_proc(0);
+    assert!(identical > 0);
+}
+
+#[test]
+fn chaos_sweep_sockets_chunk_1() {
+    let (identical, _) = run_chunk_proc(1);
+    assert!(identical > 0);
+}
+
+#[test]
+fn chaos_sweep_sockets_chunk_2() {
+    let (identical, _) = run_chunk_proc(2);
+    assert!(identical > 0);
+}
+
+#[test]
+fn chaos_sweep_sockets_chunk_3() {
+    let (identical, _) = run_chunk_proc(3);
     assert!(identical > 0);
 }
 

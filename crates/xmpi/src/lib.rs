@@ -12,6 +12,10 @@
 //!   travel over the in-process channels of [`chan`]. Functional runs
 //!   and tests use this; its [`thread::FaultPlan`] injects drops,
 //!   duplicates, delays, payload corruption and whole-rank crashes.
+//! * [`socket`] — the multi-process backend: a TCP star of worker
+//!   processes around a master hub, sharing [`wire`]'s framing with the
+//!   simulator. Workers join and leave at any time, and a frame-aware
+//!   [`socket::FaultProxy`] ports the chaos apparatus to real sockets.
 //! * [`virtual_time`] — a deterministic discrete-event backend: ranks
 //!   are actors on a virtual clock, message delivery costs latency plus
 //!   size/bandwidth, and handlers charge explicit compute time. The
@@ -30,6 +34,7 @@
 
 pub mod chan;
 pub mod collectives;
+pub mod socket;
 pub mod thread;
 pub mod virtual_time;
 pub mod wire;

@@ -42,6 +42,12 @@ pub struct FaultPlan {
     pub crash_rank: Option<Rank>,
     /// Send attempts the crashing rank completes before dying.
     pub crash_after_sends: u64,
+    /// Kill every non-zero rank at once when rank 0 has attempted this
+    /// many sends (0 = never): the whole worker pool dies mid-broadcast
+    /// while the master survives. The master must then terminate with a
+    /// typed error or local fallback — never hang (the recv-timeout
+    /// audit regression).
+    pub crash_workers_after: u64,
 }
 
 impl FaultPlan {
@@ -52,6 +58,7 @@ impl FaultPlan {
             && self.delay_every == 0
             && self.corrupt_every == 0
             && self.crash_rank.is_none()
+            && self.crash_workers_after == 0
     }
 }
 
@@ -183,6 +190,14 @@ impl Comm for ThreadComm {
         if self.faults.crash_rank == Some(self.rank) && n > self.faults.crash_after_sends {
             self.kill();
             return Err(SendError::SelfDead);
+        }
+        if self.faults.crash_workers_after != 0
+            && self.rank == 0
+            && n > self.faults.crash_workers_after
+        {
+            for alive in self.shared.alive.iter().skip(1) {
+                alive.store(false, Ordering::SeqCst);
+            }
         }
         if !self.is_alive(to) {
             self.count_drop();
@@ -390,6 +405,26 @@ mod tests {
         // Peers get a typed error, and the drop is counted.
         assert_eq!(world[0].send(1, 9, vec![]), Err(SendError::PeerDead(1)));
         assert_eq!(world[0].dropped_sends(), 1);
+    }
+
+    #[test]
+    fn crash_workers_after_kills_the_whole_pool_at_once() {
+        let world = ThreadComm::world_with_faults(
+            4,
+            FaultPlan {
+                crash_workers_after: 2,
+                ..FaultPlan::default()
+            },
+        );
+        assert!(world[0].send(1, 1, vec![]).is_ok());
+        assert!(world[0].send(2, 2, vec![]).is_ok());
+        // Third master send trips the world-death fault: every worker
+        // endpoint is dead at once, and the send itself fails typed.
+        assert_eq!(world[0].send(3, 3, vec![]), Err(SendError::PeerDead(3)));
+        for w in 1..4 {
+            assert!(!world[0].is_alive(w));
+        }
+        assert!(world[0].is_alive(0), "master survives");
     }
 
     #[test]

@@ -2,15 +2,37 @@
 //! buffer. Enough for the engines' task ids, scores and score rows,
 //! without pulling a serialisation framework into the dependency tree.
 //!
-//! Two integrity layers:
+//! Three integrity layers:
 //!
 //! * every [`Decoder`] read is bounds-checked and returns a
 //!   [`WireError`] instead of panicking, so a truncated or garbled
 //!   payload is an error value the engine can drop;
 //! * [`Encoder::finish_framed`] / [`Decoder::new_framed`] wrap the
-//!   payload in a `[len: u32][payload][fnv1a64 checksum]` frame, so a
-//!   payload whose *bytes* were flipped in flight (not just shortened)
-//!   is detected before any field is interpreted.
+//!   payload in a `[magic: u32][version: u32][len: u32][payload]
+//!   [fnv1a64 checksum]` frame, so a payload whose *bytes* were flipped
+//!   in flight (not just shortened) is detected before any field is
+//!   interpreted;
+//! * the magic word and protocol version at the front mean a peer
+//!   speaking a different (stale or foreign) protocol fails with a
+//!   typed [`WireError::Version`] on its very first frame instead of a
+//!   garbage decode deep inside a message codec. The thread simulator
+//!   and the socket transport share this framing, so a frame captured
+//!   on one backend replays on the other.
+
+/// Frame magic word: ASCII `rpro`, little-endian. A stream that does
+/// not start every frame with it is not ours.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"rpro");
+
+/// Wire protocol version. Bump on any framing or message-layout change;
+/// a peer with a different version is rejected with
+/// [`WireError::Version`] before any field of its payload is read.
+pub const VERSION: u32 = 1;
+
+/// Bytes of frame header (`magic + version + len`) before the payload.
+pub const FRAME_HEADER: usize = 12;
+
+/// Bytes of frame trailer (the fnv1a64 checksum) after the payload.
+pub const FRAME_TRAILER: usize = 8;
 
 /// Decoding failure modes. All of them mean "this payload did not come
 /// intact from our encoder" — the right response is to drop the
@@ -29,9 +51,18 @@ pub enum WireError {
         /// Claimed element count.
         claimed: usize,
     },
-    /// The frame header is malformed (too short, or the declared
-    /// payload length disagrees with the buffer size).
+    /// The frame header is malformed (too short, wrong magic word, or
+    /// the declared payload length disagrees with the buffer size).
     BadFrame,
+    /// The frame carries a different protocol version: a stale or
+    /// mismatched peer. Unlike [`WireError::BadChecksum`], retrying is
+    /// pointless — every frame from that peer will fail the same way.
+    Version {
+        /// The version the peer's frame declared.
+        got: u32,
+        /// The version this build speaks ([`VERSION`]).
+        want: u32,
+    },
     /// The frame checksum does not match the payload bytes.
     BadChecksum,
     /// Bytes were left over after the message was fully decoded.
@@ -54,6 +85,9 @@ impl std::fmt::Display for WireError {
                 )
             }
             WireError::BadFrame => write!(f, "malformed frame header"),
+            WireError::Version { got, want } => {
+                write!(f, "peer speaks wire protocol v{got}, this build v{want}")
+            }
             WireError::BadChecksum => write!(f, "frame checksum mismatch"),
             WireError::TrailingBytes => write!(f, "trailing bytes after message"),
         }
@@ -91,6 +125,19 @@ impl Encoder {
         self
     }
 
+    /// Append a `u32`.
+    pub fn u32(mut self, v: u32) -> Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed byte slice.
+    pub fn bytes(mut self, vs: &[u8]) -> Self {
+        self = self.usize(vs.len());
+        self.buf.extend_from_slice(vs);
+        self
+    }
+
     /// Append a `usize` (as `u64`).
     pub fn usize(self, v: usize) -> Self {
         self.u64(v as u64)
@@ -125,16 +172,43 @@ impl Encoder {
         self.buf
     }
 
-    /// Finish as a checksummed frame:
-    /// `[len: u32 LE][payload][fnv1a64(payload): u64 LE]`.
+    /// Finish as a versioned, checksummed frame:
+    /// `[MAGIC: u32 LE][VERSION: u32 LE][len: u32 LE][payload]
+    /// [fnv1a64(payload): u64 LE]`.
     pub fn finish_framed(self) -> Vec<u8> {
         let payload = self.buf;
-        let mut out = Vec::with_capacity(payload.len() + 12);
+        let mut out = Vec::with_capacity(payload.len() + FRAME_HEADER + FRAME_TRAILER);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&payload);
         out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
         out
     }
+}
+
+/// Validate a [`FRAME_HEADER`]-byte frame header (magic word, protocol
+/// version) and return how many bytes follow it (payload + trailer).
+/// This is what a *stream* reader uses to delimit frames: read
+/// [`FRAME_HEADER`] bytes, call this, read that many more, then hand
+/// the whole buffer to [`Decoder::new_framed`].
+pub fn frame_body_len(header: &[u8]) -> Result<usize, WireError> {
+    if header.len() != FRAME_HEADER {
+        return Err(WireError::BadFrame);
+    }
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(WireError::BadFrame);
+    }
+    let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(WireError::Version {
+            got: version,
+            want: VERSION,
+        });
+    }
+    let len = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+    Ok(len + FRAME_TRAILER)
 }
 
 /// Sequential payload reader. Every read is bounds-checked: malformed
@@ -153,18 +227,20 @@ impl<'a> Decoder<'a> {
     }
 
     /// Verify and strip a [`Encoder::finish_framed`] frame, returning a
-    /// decoder positioned over the payload. Rejects short buffers,
-    /// length mismatches and checksum failures.
+    /// decoder positioned over the payload. Rejects short buffers, a
+    /// wrong magic word, a mismatched protocol version (typed as
+    /// [`WireError::Version`]), length mismatches and checksum failures.
     pub fn new_framed(buf: &'a [u8]) -> Result<Self, WireError> {
-        if buf.len() < 12 {
+        if buf.len() < FRAME_HEADER + FRAME_TRAILER {
             return Err(WireError::BadFrame);
         }
-        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
-        if buf.len() != len + 12 {
+        let body = frame_body_len(&buf[..FRAME_HEADER])?;
+        if buf.len() != FRAME_HEADER + body {
             return Err(WireError::BadFrame);
         }
-        let payload = &buf[4..4 + len];
-        let want = u64::from_le_bytes(buf[4 + len..].try_into().unwrap());
+        let len = body - FRAME_TRAILER;
+        let payload = &buf[FRAME_HEADER..FRAME_HEADER + len];
+        let want = u64::from_le_bytes(buf[FRAME_HEADER + len..].try_into().unwrap());
         if fnv1a64(payload) != want {
             return Err(WireError::BadChecksum);
         }
@@ -197,9 +273,25 @@ impl<'a> Decoder<'a> {
         Ok(self.u64()? as usize)
     }
 
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
     /// Read an `i32`.
     pub fn i32(&mut self) -> Result<i32, WireError> {
         Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed byte vector (written by
+    /// [`Encoder::bytes`]). The claimed length is validated against the
+    /// remaining bytes before any allocation.
+    pub fn bytes_vec(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.usize()?;
+        if n > self.buf.len() - self.pos {
+            return Err(WireError::BadLength { claimed: n });
+        }
+        Ok(self.take(n)?.to_vec())
     }
 
     /// Read a length-prefixed `i32` vector. The claimed length is
@@ -341,6 +433,57 @@ mod tests {
             WireError::BadFrame
         );
         assert_eq!(Decoder::new_framed(&[]).unwrap_err(), WireError::BadFrame);
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_bad_length() {
+        let payload = Encoder::new().bytes(b"hello").u32(77).finish();
+        let mut d = Decoder::new(&payload);
+        assert_eq!(d.bytes_vec().unwrap(), b"hello");
+        assert_eq!(d.u32().unwrap(), 77);
+        assert!(d.is_exhausted());
+
+        let bogus = Encoder::new().u64(u64::MAX).finish();
+        let mut d = Decoder::new(&bogus);
+        assert!(matches!(d.bytes_vec(), Err(WireError::BadLength { .. })));
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut framed = Encoder::new().u64(1).finish_framed();
+        // Bump the version word (bytes 4..8) to a future protocol.
+        framed[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        assert_eq!(
+            Decoder::new_framed(&framed).unwrap_err(),
+            WireError::Version {
+                got: VERSION + 1,
+                want: VERSION
+            }
+        );
+        assert_eq!(
+            frame_body_len(&framed[..FRAME_HEADER]).unwrap_err(),
+            WireError::Version {
+                got: VERSION + 1,
+                want: VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn frame_body_len_delimits_streams() {
+        let framed = Encoder::new().i32_slice(&[4, 5, 6]).finish_framed();
+        let body = frame_body_len(&framed[..FRAME_HEADER]).unwrap();
+        assert_eq!(FRAME_HEADER + body, framed.len());
+
+        // Wrong magic: not our stream.
+        let mut alien = framed.clone();
+        alien[0] ^= 0xFF;
+        assert_eq!(
+            frame_body_len(&alien[..FRAME_HEADER]).unwrap_err(),
+            WireError::BadFrame
+        );
+        // Short header slice.
+        assert_eq!(frame_body_len(&framed[..4]).unwrap_err(), WireError::BadFrame);
     }
 
     #[test]
