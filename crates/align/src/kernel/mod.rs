@@ -11,6 +11,7 @@
 //! | [`striped`] | `O(1)`, cache-aware vertical stripes | one row + per-row carries | paper §4.1 |
 //! | [`nw`] | `O(1)` | full matrix | global alignment (paper §2.1 background) |
 //! | [`linmem`] | `O(1)` | bounding box only | linear-memory traceback (paper App. A's "on-demand recomputation") |
+//! | [`tri`] | `O(1)` | one row | triangular self-sweep: admissible per-split bounds for seed pruning |
 
 pub mod full;
 pub mod gotoh;
@@ -18,6 +19,7 @@ pub mod linmem;
 pub mod naive;
 pub mod nw;
 pub mod striped;
+pub mod tri;
 pub mod waterman_eggert;
 
 use crate::Score;

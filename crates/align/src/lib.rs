@@ -75,11 +75,12 @@ pub use kernel::nw::{nw_align, nw_score, NwAlignment, NwOp};
 pub use kernel::striped::{
     stripe_for_bytes, sw_last_row_striped, DEFAULT_STRIPE, STRIPE_L1_BUDGET,
 };
+pub use kernel::tri::{tri_initial_state, tri_self_sweep_resume};
 pub use kernel::waterman_eggert::{is_shadow, waterman_eggert};
 pub use kernel::LastRow;
 pub use mask::{CellMask, NoMask, SetMask};
 pub use matrix::ExchangeMatrix;
-pub use profile::QueryProfile;
+pub use profile::{kmer_keys, QueryProfile, MAX_KMER_K};
 pub use scoring::{GapPenalties, Scoring};
 pub use seq::Seq;
 

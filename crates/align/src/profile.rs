@@ -86,10 +86,66 @@ impl QueryProfile<i32> {
     }
 }
 
+/// Widest k-mer [`kmer_keys`] can pack (5 bits per residue code into a
+/// `u64`, leaving headroom for protein's 25-letter alphabet).
+pub const MAX_KMER_K: usize = 12;
+
+/// Packed k-mer keys along a sequence: entry `i` is the window
+/// `codes[i..i + k]` packed 5 bits per residue code, so equal keys ⇔
+/// equal k-mers for every alphabet up to 32 letters. Empty when the
+/// sequence is shorter than `k`. This is the profile-layer hook the
+/// seed index in `repro-core` builds on — like [`QueryProfile`], it is
+/// computed once per sequence and shared by every split.
+///
+/// # Panics
+/// If `k == 0` or `k > MAX_KMER_K`.
+pub fn kmer_keys(codes: &[u8], k: usize) -> Vec<u64> {
+    assert!((1..=MAX_KMER_K).contains(&k), "k-mer width {k} out of range");
+    if codes.len() < k {
+        return Vec::new();
+    }
+    let mask: u64 = if k == MAX_KMER_K {
+        u64::MAX >> (64 - 5 * MAX_KMER_K)
+    } else {
+        (1u64 << (5 * k)) - 1
+    };
+    let mut keys = Vec::with_capacity(codes.len() - k + 1);
+    let mut key: u64 = 0;
+    for (i, &c) in codes.iter().enumerate() {
+        debug_assert!(c < 32, "residue code {c} does not fit 5 bits");
+        key = ((key << 5) | u64::from(c)) & mask;
+        if i + 1 >= k {
+            keys.push(key);
+        }
+    }
+    keys
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::seq::Seq;
+
+    #[test]
+    fn kmer_keys_equal_iff_windows_equal() {
+        let seq = Seq::dna("ATGCATGCATTT").unwrap();
+        let k = 4;
+        let keys = kmer_keys(seq.codes(), k);
+        assert_eq!(keys.len(), seq.len() - k + 1);
+        for i in 0..keys.len() {
+            for j in 0..keys.len() {
+                let same = seq.codes()[i..i + k] == seq.codes()[j..j + k];
+                assert_eq!(keys[i] == keys[j], same, "windows {i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn kmer_keys_short_sequence_is_empty() {
+        let seq = Seq::dna("ATG").unwrap();
+        assert!(kmer_keys(seq.codes(), 4).is_empty());
+        assert_eq!(kmer_keys(seq.codes(), 3).len(), 1);
+    }
 
     #[test]
     fn narrow_profile_matches_matrix() {

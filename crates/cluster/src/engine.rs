@@ -23,7 +23,8 @@ use crate::protocol::{tag, AcceptedMsg, ResultMsg, ResyncMsg, TaskMsg};
 use crate::recovery::{
     already_deferred, idle_payload, master_loop, RecoveryConfig, BEACON_PERIOD, WORKER_POLL,
 };
-use repro_align::{Score, Scoring, Seq};
+use repro_align::{NoMask, Score, Scoring, Seq};
+use repro_core::seed::SeedConfig;
 use repro_core::{DirtyLog, IncrementalSweeper, OverrideTriangle, SplitMask, TopAlignments};
 use repro_obs::{NoopRecorder, Recorder};
 use repro_xmpi::thread::{FaultPlan, ThreadComm};
@@ -98,6 +99,36 @@ pub fn find_top_alignments_cluster_checkpointed(
         FaultPlan::default(),
         &mut NoopRecorder,
         checkpoint_budget,
+        None,
+    )
+}
+
+/// [`find_top_alignments_cluster_checkpointed`] with seeded split
+/// pruning on the master: splits whose seed bound never reaches the
+/// acceptance frontier are never assigned to any worker (the master
+/// owns the only seed index; per-task bounds ship inside the
+/// [`TaskMsg`]). Alignments are bit-identical to the unseeded run.
+#[allow(clippy::too_many_arguments)] // thin wrapper over run_cluster
+pub fn find_top_alignments_cluster_seeded<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    workers: usize,
+    deadline: Duration,
+    checkpoint_budget: Option<usize>,
+    seed: Option<SeedConfig>,
+    rec: &mut R,
+) -> Result<ClusterResult, ClusterError> {
+    run_cluster(
+        seq,
+        scoring,
+        count,
+        workers,
+        deadline,
+        FaultPlan::default(),
+        rec,
+        checkpoint_budget,
+        seed,
     )
 }
 
@@ -122,6 +153,7 @@ pub fn find_top_alignments_cluster_checkpointed_recorded<R: Recorder>(
         FaultPlan::default(),
         rec,
         checkpoint_budget,
+        None,
     )
 }
 
@@ -182,7 +214,9 @@ pub fn find_top_alignments_cluster_faulty_recorded<R: Recorder>(
     faults: FaultPlan,
     rec: &mut R,
 ) -> Result<ClusterResult, ClusterError> {
-    run_cluster(seq, scoring, count, workers, deadline, faults, rec, None)
+    run_cluster(
+        seq, scoring, count, workers, deadline, faults, rec, None, None,
+    )
 }
 
 /// The engine body every public entry point funnels into.
@@ -196,6 +230,7 @@ fn run_cluster<R: Recorder>(
     faults: FaultPlan,
     rec: &mut R,
     checkpoint_budget: Option<usize>,
+    seed: Option<SeedConfig>,
 ) -> Result<ClusterResult, ClusterError> {
     assert!(workers >= 1, "need at least one worker rank");
     let ranks = workers + 1;
@@ -214,6 +249,7 @@ fn run_cluster<R: Recorder>(
             master_comm,
             RecoveryConfig::with_overall(deadline),
             rec,
+            seed,
         )
     });
     rec.phase_end(repro_obs::Phase::Recovery);
@@ -408,8 +444,28 @@ fn run_task<C: Comm>(
         let mask = SplitMask::new(triangle, task.r);
         let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
         if task.first {
-            rows.insert(task.r, last.row.clone());
-            (last.best_in_row, 0, last.cells, [0; 4], Some(last.row))
+            if triangle.is_empty() {
+                rows.insert(task.r, last.row.clone());
+                (last.best_in_row, 0, last.cells, [0; 4], Some(last.row))
+            } else {
+                // A first pass under a grown replica — possible when the
+                // master prunes with seed bounds (accepts then precede
+                // some first passes). The row every later realignment
+                // diffs against must be the CLEAN bottom row, so sweep
+                // unmasked for the row and shadow-score the masked
+                // sweep against it.
+                let clean = repro_align::sw_last_row(prefix, suffix, scoring, NoMask);
+                let (score, _, shadows) =
+                    repro_core::bottom::best_valid_entry_counted(&last.row, &clean.row);
+                rows.insert(task.r, clean.row.clone());
+                (
+                    score,
+                    shadows,
+                    last.cells + clean.cells,
+                    [0; 4],
+                    Some(clean.row),
+                )
+            }
         } else {
             let original = rows
                 .get(&task.r)
@@ -419,6 +475,16 @@ fn run_task<C: Comm>(
             (score, shadows, last.cells, [0; 4], None)
         }
     };
+    // The shipped bound dominates any score computed at or past the
+    // task's stamp (masking monotonicity); a violation would mean the
+    // master's seed index is broken.
+    debug_assert!(
+        score <= task.bound,
+        "split {}: score {} above shipped bound {}",
+        task.r,
+        score,
+        task.bound
+    );
     let res = ResultMsg {
         r: task.r,
         stamp: task.stamp,
@@ -522,6 +588,59 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn seeded_matches_unpruned_across_workers_and_budgets() {
+        let scoring = Scoring::dna_example();
+        for text in ["ATGCATGCATGC", "ACGGTACGGTAACGGTTTTTACGGT"] {
+            let seq = Seq::dna(text).unwrap();
+            let want = find_top_alignments(&seq, &scoring, 4);
+            for workers in [1, 2] {
+                for budget in [None, Some(1 << 20)] {
+                    let got = find_top_alignments_cluster_seeded(
+                        &seq,
+                        &scoring,
+                        4,
+                        workers,
+                        DL,
+                        budget,
+                        Some(SeedConfig::default()),
+                        &mut NoopRecorder,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        got.result.alignments, want.alignments,
+                        "seeded {workers} workers, budget {budget:?}, on {text}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_cluster_prunes_splits_on_low_repeat_input() {
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 1);
+        let got = find_top_alignments_cluster_seeded(
+            &seq,
+            &scoring,
+            1,
+            2,
+            DL,
+            None,
+            Some(SeedConfig::default()),
+            &mut NoopRecorder,
+        )
+        .unwrap();
+        assert_eq!(got.result.alignments, want.alignments);
+        let s = &got.result.stats;
+        assert!(s.splits_pruned > 0, "flank splits must never be assigned");
+        assert!((s.splits_pruned as usize) < seq.len() - 1);
+        assert!(s.seed_index_build_ns > 0);
     }
 
     #[test]

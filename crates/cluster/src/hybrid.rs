@@ -30,7 +30,8 @@ use crate::recovery::{
     already_deferred, idle_payload, master_loop, RecoveryConfig, BEACON_PERIOD, WORKER_POLL,
 };
 use parking_lot::{Condvar, Mutex};
-use repro_align::{Score, Scoring, Seq};
+use repro_align::{NoMask, Score, Scoring, Seq};
+use repro_core::seed::SeedConfig;
 use repro_core::{DirtyLog, IncrementalSweeper, OverrideTriangle, SplitMask, TopAlignments};
 use repro_obs::{NoopRecorder, Recorder};
 use repro_xmpi::thread::ThreadComm;
@@ -120,6 +121,37 @@ pub fn find_top_alignments_hybrid_checkpointed(
         deadline,
         &mut NoopRecorder,
         checkpoint_budget,
+        None,
+    )
+}
+
+/// [`find_top_alignments_hybrid_checkpointed`] with seeded split
+/// pruning on the master (see
+/// [`crate::engine::find_top_alignments_cluster_seeded`]): the master
+/// owns the only seed index and pruned splits are never assigned to
+/// any node. Alignments are bit-identical to the unseeded run.
+#[allow(clippy::too_many_arguments)] // thin wrapper over run_hybrid
+pub fn find_top_alignments_hybrid_seeded<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    nodes: usize,
+    threads_per_node: usize,
+    deadline: Duration,
+    checkpoint_budget: Option<usize>,
+    seed: Option<SeedConfig>,
+    rec: &mut R,
+) -> Result<HybridResult, ClusterError> {
+    run_hybrid(
+        seq,
+        scoring,
+        count,
+        nodes,
+        threads_per_node,
+        deadline,
+        rec,
+        checkpoint_budget,
+        seed,
     )
 }
 
@@ -146,6 +178,7 @@ pub fn find_top_alignments_hybrid_checkpointed_recorded<R: Recorder>(
         deadline,
         rec,
         checkpoint_budget,
+        None,
     )
 }
 
@@ -170,6 +203,7 @@ pub fn find_top_alignments_hybrid_recorded<R: Recorder>(
         deadline,
         rec,
         None,
+        None,
     )
 }
 
@@ -184,6 +218,7 @@ fn run_hybrid<R: Recorder>(
     deadline: Duration,
     rec: &mut R,
     checkpoint_budget: Option<usize>,
+    seed: Option<SeedConfig>,
 ) -> Result<HybridResult, ClusterError> {
     assert!(nodes >= 1, "need at least the master's node");
     assert!(threads_per_node >= 1, "nodes need at least one CPU");
@@ -247,6 +282,7 @@ fn run_hybrid<R: Recorder>(
             master_comm,
             RecoveryConfig::with_overall(deadline),
             rec,
+            seed,
         )
     });
     rec.phase_end(repro_obs::Phase::Recovery);
@@ -514,15 +550,34 @@ fn run_task<C: Comm>(
         let mask = SplitMask::new(triangle, task.r);
         let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
         if task.first {
-            let row = Arc::new(last.row);
-            shared.inner.lock().rows.insert(task.r, Arc::clone(&row));
-            (
-                last.best_in_row,
-                0,
-                last.cells,
-                [0; 4],
-                Some((*row).clone()),
-            )
+            if triangle.is_empty() {
+                let row = Arc::new(last.row);
+                shared.inner.lock().rows.insert(task.r, Arc::clone(&row));
+                (
+                    last.best_in_row,
+                    0,
+                    last.cells,
+                    [0; 4],
+                    Some((*row).clone()),
+                )
+            } else {
+                // First pass under a grown replica (seed pruning lets
+                // accepts precede some first passes): cache and return
+                // the CLEAN bottom row, score the masked sweep against
+                // it — same as the flat engine's worker.
+                let clean = repro_align::sw_last_row(prefix, suffix, scoring, NoMask);
+                let (score, _, shadows) =
+                    repro_core::bottom::best_valid_entry_counted(&last.row, &clean.row);
+                let row = Arc::new(clean.row);
+                shared.inner.lock().rows.insert(task.r, Arc::clone(&row));
+                (
+                    score,
+                    shadows,
+                    last.cells + clean.cells,
+                    [0; 4],
+                    Some((*row).clone()),
+                )
+            }
         } else {
             let original = {
                 let mut inner = shared.inner.lock();
@@ -541,6 +596,13 @@ fn run_task<C: Comm>(
             (score, shadows, last.cells, [0; 4], None)
         }
     };
+    debug_assert!(
+        score <= task.bound,
+        "split {}: score {} above shipped bound {}",
+        task.r,
+        score,
+        task.bound
+    );
     let res = ResultMsg {
         r: task.r,
         stamp: task.stamp,
@@ -635,6 +697,34 @@ mod tests {
                     assert!(s.realign_rows_skipped > 0);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn seeded_matches_unpruned_and_prunes() {
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 2);
+        for (nodes, tpn) in [(1, 2), (2, 2)] {
+            let got = find_top_alignments_hybrid_seeded(
+                &seq,
+                &scoring,
+                2,
+                nodes,
+                tpn,
+                DL,
+                None,
+                Some(repro_core::seed::SeedConfig::default()),
+                &mut NoopRecorder,
+            )
+            .unwrap();
+            assert_eq!(
+                got.result.alignments, want.alignments,
+                "seeded {nodes}×{tpn}"
+            );
+            assert!(got.result.stats.splits_pruned > 0, "{nodes}×{tpn}");
         }
     }
 

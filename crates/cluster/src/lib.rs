@@ -49,12 +49,12 @@ pub use engine::{
     find_top_alignments_cluster, find_top_alignments_cluster_checkpointed,
     find_top_alignments_cluster_checkpointed_recorded, find_top_alignments_cluster_faulty,
     find_top_alignments_cluster_faulty_recorded, find_top_alignments_cluster_recorded,
-    ClusterError, ClusterResult,
+    find_top_alignments_cluster_seeded, ClusterError, ClusterResult,
 };
 pub use hybrid::{
     find_top_alignments_hybrid, find_top_alignments_hybrid_checkpointed,
     find_top_alignments_hybrid_checkpointed_recorded, find_top_alignments_hybrid_recorded,
-    HybridResult,
+    find_top_alignments_hybrid_seeded, HybridResult,
 };
 pub use master::{MasterAction, MasterState, LOCAL_WORKER};
 pub use proc::{

@@ -27,7 +27,8 @@
 //!   the search with the exact sequential result instead of stalling.
 
 use crate::protocol::{AcceptedMsg, ResultMsg, TaskMsg};
-use repro_align::{sw_last_row, Score, Scoring, Seq};
+use repro_align::{sw_last_row, NoMask, Score, Scoring, Seq};
+use repro_core::seed::{SeedConfig, SplitBounds};
 use repro_core::{accept_task_with_row, OverrideTriangle, SplitMask, Stats, TopAlignment};
 use std::collections::{HashMap, HashSet};
 
@@ -90,35 +91,62 @@ pub struct MasterState<'a> {
     idle: Vec<(usize, usize)>,
     in_flight: usize,
     done: bool,
+    /// Seed bounds (pruning on): the master owns the only seed index in
+    /// the cluster; workers receive the per-task bound inside
+    /// [`TaskMsg`] and never build one themselves.
+    bounds: Option<SplitBounds>,
+    /// Splits whose first pass has settled — the complement of the
+    /// splits pruning kept seedless forever.
+    first_passes: usize,
 }
 
 impl<'a> MasterState<'a> {
     /// A master searching for `count` top alignments of `seq`.
     pub fn new(seq: &'a Seq, scoring: &'a Scoring, count: usize) -> Self {
+        Self::new_seeded(seq, scoring, count, None)
+    }
+
+    /// [`MasterState::new`] with seeded split pruning: every split
+    /// starts at its seed bound instead of `Score::MAX`, so splits
+    /// whose bound never reaches the acceptance frontier are never
+    /// assigned to any worker at all.
+    pub fn new_seeded(
+        seq: &'a Seq,
+        scoring: &'a Scoring,
+        count: usize,
+        seed: Option<SeedConfig>,
+    ) -> Self {
         let m = seq.len();
         let splits = m.saturating_sub(1);
+        let bounds = seed.map(|sc| SplitBounds::build(seq.codes(), scoring, sc));
+        let mut stats = Stats::new();
+        if let Some(b) = &bounds {
+            stats.seed_index_build_ns = b.build_ns();
+        }
+        let state = (0..splits)
+            .map(|i| TaskState {
+                score: bounds.as_ref().map_or(Score::MAX, |b| b.bound(i + 1)),
+                aligned_with: NEVER,
+                assigned: None,
+                attempts: 0,
+            })
+            .collect();
         MasterState {
             seq,
             scoring,
             count,
-            state: vec![
-                TaskState {
-                    score: Score::MAX,
-                    aligned_with: NEVER,
-                    assigned: None,
-                    attempts: 0,
-                };
-                splits
-            ],
+            state,
             rows: vec![None; splits],
             worker_has_row: HashMap::new(),
             dead: HashSet::new(),
             triangle: OverrideTriangle::new(m),
             tops: Vec::new(),
-            stats: Stats::new(),
+            stats,
             idle: Vec::new(),
             in_flight: 0,
             done: false,
+            bounds,
+            first_passes: 0,
         }
     }
 
@@ -148,7 +176,11 @@ impl<'a> MasterState<'a> {
     }
 
     /// Consume the machine, yielding the final result.
-    pub fn into_result(self) -> repro_core::TopAlignments {
+    pub fn into_result(mut self) -> repro_core::TopAlignments {
+        if let Some(b) = &self.bounds {
+            self.stats.splits_pruned = self.state.len().saturating_sub(self.first_passes) as u64;
+            self.stats.bound_recomputes = b.recomputes();
+        }
         repro_core::TopAlignments {
             alignments: self.tops,
             stats: self.stats,
@@ -224,6 +256,10 @@ impl<'a> MasterState<'a> {
         self.stats.realign_rows_skipped += res.incr[3];
         if let Some(row) = res.first_row {
             if self.rows[res.r - 1].is_none() {
+                // Exactly one result per split settles with its row
+                // slot still empty (one assignment per split at a
+                // time), so this counts each first pass once.
+                self.first_passes += 1;
                 self.rows[res.r - 1] = Some(row);
             }
             if let Some(flags) = self.worker_has_row.get_mut(&worker) {
@@ -321,7 +357,19 @@ impl<'a> MasterState<'a> {
         let mask = SplitMask::new(&self.triangle, task.r);
         let last = sw_last_row(prefix, suffix, self.scoring, mask);
         if task.first {
-            (last.best_in_row, last.cells, 0, Some(last.row))
+            if self.triangle.is_empty() {
+                (last.best_in_row, last.cells, 0, Some(last.row))
+            } else {
+                // A first pass after accepts (possible only under seed
+                // pruning): the stored row must be the CLEAN bottom
+                // row — later realignments diff against it — so sweep
+                // unmasked for the row and score the masked sweep
+                // against it, shadow-filtered like any realignment.
+                let clean = sw_last_row(prefix, suffix, self.scoring, NoMask);
+                let (score, _, shadows) =
+                    repro_core::bottom::best_valid_entry_counted(&last.row, &clean.row);
+                (score, last.cells + clean.cells, shadows, Some(clean.row))
+            }
         } else {
             let original = self.rows[task.r - 1]
                 .as_deref()
@@ -370,6 +418,21 @@ impl<'a> MasterState<'a> {
             );
             self.stats.record_traceback(cells);
             self.stats.fresh_pops += 1;
+            // Seeded: tighten the bounds of every still-seedless split
+            // under the grown triangle, so splits whose (now masked)
+            // bound falls off the frontier are never assigned. Skipped
+            // once every split has had its first pass — from there the
+            // bounds can prune nothing.
+            if self.first_passes < self.state.len() {
+                if let (Some(bounds), Some(&(p, _))) = (self.bounds.as_mut(), top.pairs.first()) {
+                    bounds.recompute(self.seq.codes(), self.scoring, &self.triangle, p);
+                    for (i, t) in self.state.iter_mut().enumerate() {
+                        if t.aligned_with == NEVER && t.assigned.is_none() {
+                            t.score = bounds.bound(i + 1);
+                        }
+                    }
+                }
+            }
             actions.push(MasterAction::Broadcast(AcceptedMsg {
                 index,
                 pairs: top.pairs.clone(),
@@ -412,6 +475,10 @@ impl<'a> MasterState<'a> {
                     stamp,
                     attempt,
                     first,
+                    // The current upper bound (seed bound for a first
+                    // pass, stale score otherwise) rides along so the
+                    // worker can sanity-check without a seed index.
+                    bound: self.state[i].score,
                     row,
                 },
             });
@@ -467,7 +534,17 @@ mod tests {
     /// "worker" that computes results immediately — a transport-free
     /// correctness test of the scheduling logic.
     fn drive(seq: &Seq, scoring: &Scoring, count: usize, workers: usize) -> Vec<TopAlignment> {
-        let mut master = MasterState::new(seq, scoring, count);
+        drive_seeded(seq, scoring, count, workers, None).alignments
+    }
+
+    fn drive_seeded(
+        seq: &Seq,
+        scoring: &Scoring,
+        count: usize,
+        workers: usize,
+        seed: Option<SeedConfig>,
+    ) -> repro_core::TopAlignments {
+        let mut master = MasterState::new_seeded(seq, scoring, count, seed);
         let mut worker_triangles: Vec<OverrideTriangle> = (0..workers)
             .map(|_| OverrideTriangle::new(seq.len()))
             .collect();
@@ -491,7 +568,7 @@ mod tests {
                             }
                         }
                     }
-                    MasterAction::Done => return master.into_result().alignments,
+                    MasterAction::Done => return master.into_result(),
                 }
             }
             let Some((w, task)) = pending.pop_front() else {
@@ -503,8 +580,24 @@ mod tests {
             let mask = SplitMask::new(&worker_triangles[w], task.r);
             let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
             let (score, shadows, first_row) = if task.first {
-                worker_caches[w].insert(task.r, last.row.clone());
-                (last.best_in_row, 0, Some(last.row))
+                assert!(
+                    last.best_in_row <= task.bound,
+                    "shipped bound {} must dominate the first-pass score {}",
+                    task.bound,
+                    last.best_in_row
+                );
+                if worker_triangles[w].is_empty() {
+                    worker_caches[w].insert(task.r, last.row.clone());
+                    (last.best_in_row, 0, Some(last.row))
+                } else {
+                    // Late first pass (seeded): store the clean row,
+                    // score masked-vs-clean — same as a real worker.
+                    let clean = repro_align::sw_last_row(prefix, suffix, scoring, NoMask);
+                    let (s, _, shadows) =
+                        repro_core::bottom::best_valid_entry_counted(&last.row, &clean.row);
+                    worker_caches[w].insert(task.r, clean.row.clone());
+                    (s, shadows, Some(clean.row))
+                }
             } else {
                 if let Some(row) = &task.row {
                     worker_caches[w].insert(task.r, row.clone());
@@ -543,6 +636,44 @@ mod tests {
                 assert_eq!(got, want, "{workers} workers on {text}");
             }
         }
+    }
+
+    #[test]
+    fn seeded_matches_unpruned_for_various_worker_counts() {
+        let scoring = Scoring::dna_example();
+        for text in ["ATGCATGCATGC", "ACGGTACGGTAACGGTTTTTACGGT", "AAAAAAAA"] {
+            let seq = Seq::dna(text).unwrap();
+            let want = find_top_alignments(&seq, &scoring, 4).alignments;
+            for workers in [1, 2, 5] {
+                let got = drive_seeded(&seq, &scoring, 4, workers, Some(SeedConfig::default()));
+                assert_eq!(got.alignments, want, "seeded {workers} workers on {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_master_never_assigns_pruned_splits() {
+        // Low-repeat fixture: two adjacent motif copies in long random
+        // flanks. The bounds keep every seedless flank split below the
+        // acceptance frontier, so the master never assigns them and
+        // they count as pruned in the final stats.
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 1);
+        let got = drive_seeded(&seq, &scoring, 1, 2, Some(SeedConfig::default()));
+        assert_eq!(got.alignments, want.alignments);
+        assert!(
+            got.stats.splits_pruned > 0,
+            "low-repeat input must leave splits never aligned"
+        );
+        assert!((got.stats.splits_pruned as usize) < seq.len() - 1);
+        assert!(got.stats.seed_index_build_ns > 0);
+        assert!(
+            got.stats.alignments < (seq.len() - 1) as u64,
+            "pruned splits must never have been assigned"
+        );
     }
 
     #[test]

@@ -88,6 +88,11 @@ pub struct ProcOptions {
     /// Cut every worker connection at once this long into the run (the
     /// whole-world-death fault; forces a proxy even with clean faults).
     pub sever_all_after: Option<Duration>,
+    /// Seeded split pruning on the master (`None` = off). Only the
+    /// master builds the seed index; workers receive per-task bounds
+    /// inside their [`crate::protocol::TaskMsg`]s, so nothing
+    /// seed-related ships in the job greeting.
+    pub seed: Option<repro_core::seed::SeedConfig>,
 }
 
 impl Default for ProcOptions {
@@ -98,6 +103,7 @@ impl Default for ProcOptions {
             faults: ProxyFaults::default(),
             late_join_after: None,
             sever_all_after: None,
+            seed: None,
         }
     }
 }
@@ -290,6 +296,7 @@ pub fn run_cluster_proc<R: Recorder>(
         &hub,
         RecoveryConfig::with_overall(deadline),
         rec,
+        opts.seed,
     );
     rec.phase_end(repro_obs::Phase::Recovery);
 
@@ -404,6 +411,33 @@ mod tests {
         assert_eq!(got.result.alignments, want.alignments);
         assert!(got.result.stats.checkpoint_hits > 0);
         assert!(got.result.stats.realign_rows_skipped > 0);
+    }
+
+    #[test]
+    fn seeded_proc_matches_sequential_and_prunes() {
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 2);
+        let got = run_cluster_proc(
+            &seq,
+            &scoring,
+            2,
+            2,
+            DL,
+            &ProcOptions {
+                seed: Some(repro_core::seed::SeedConfig::default()),
+                ..ProcOptions::default()
+            },
+            &mut NoopRecorder,
+        )
+        .unwrap();
+        assert_eq!(got.result.alignments, want.alignments);
+        assert!(
+            got.result.stats.splits_pruned > 0,
+            "socket workers must never see pruned splits"
+        );
     }
 
     #[test]

@@ -51,6 +51,19 @@ pub struct TaskMsg {
     /// `true` iff this is the split's very first alignment (no stored
     /// row exists anywhere yet; the worker must return its bottom row).
     pub first: bool,
+    /// The master's current upper bound on this split's score: the
+    /// seed bound for never-aligned splits, the stale score otherwise,
+    /// and [`Score::MAX`] in unseeded runs. Shipping it with the task
+    /// means workers never rebuild the seed index; they may
+    /// sanity-check their computed score against it (masking
+    /// monotonicity guarantees `score <= bound` at any replica version
+    /// at or past the stamp). This field is the wire-v2 layout change
+    /// ([`repro_xmpi::wire::VERSION`]): a v1 socket peer is rejected
+    /// at hello, and within a version a frame missing the field fails
+    /// the decoder's length check and is dropped like corruption — so
+    /// skewed worlds degrade to typed rejection or retransmission,
+    /// never to silently wrong bounds.
+    pub bound: Score,
     /// The stored first-pass bottom row, included when the worker has no
     /// cached copy; `None` on first passes and for cache hits.
     pub row: Option<Vec<Score>>,
@@ -63,7 +76,8 @@ impl TaskMsg {
             .usize(self.r)
             .usize(self.stamp)
             .u64(self.attempt)
-            .u64(self.first as u64);
+            .u64(self.first as u64)
+            .i32(self.bound);
         match &self.row {
             Some(row) => e.u64(1).i32_slice(row),
             None => e.u64(0),
@@ -78,6 +92,7 @@ impl TaskMsg {
         let stamp = d.usize()?;
         let attempt = d.u64()?;
         let first = d.u64()? == 1;
+        let bound = d.i32()?;
         let row = if d.u64()? == 1 {
             Some(d.i32_vec()?)
         } else {
@@ -89,6 +104,7 @@ impl TaskMsg {
             stamp,
             attempt,
             first,
+            bound,
             row,
         })
     }
@@ -330,6 +346,7 @@ mod tests {
                 stamp: 2,
                 attempt: 1,
                 first: true,
+                bound: Score::MAX,
                 row: None,
             },
             TaskMsg {
@@ -337,6 +354,7 @@ mod tests {
                 stamp: 0,
                 attempt: 3,
                 first: false,
+                bound: -17,
                 row: Some(vec![3, -1, 0, 99]),
             },
         ] {
@@ -496,6 +514,7 @@ mod tests {
                 stamp: 1,
                 attempt: 2,
                 first: false,
+                bound: 42,
                 row: Some(vec![1, 2, 3]),
             }
             .encode(),
@@ -539,6 +558,7 @@ mod tests {
             stamp: 0,
             attempt: 1,
             first: true,
+            bound: 9,
             row: None,
         }
         .encode();

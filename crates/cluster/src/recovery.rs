@@ -28,6 +28,7 @@ use crate::engine::ClusterError;
 use crate::master::{MasterAction, MasterState};
 use crate::protocol::{tag, ResultMsg, ResyncMsg, TaskMsg};
 use repro_align::{Scoring, Seq};
+use repro_core::seed::SeedConfig;
 use repro_core::TopAlignments;
 use repro_obs::{Counter, Event, Recorder};
 use repro_xmpi::{Comm, RecvError, SendError};
@@ -223,6 +224,7 @@ fn act<C: Comm, R: Recorder>(
 /// (assign, result, retransmit, death, resync, fallback) is mirrored
 /// into `rec` as a structured [`Event`], which is what makes chaos
 /// failures replayable from the JSONL event log.
+#[allow(clippy::too_many_arguments)] // transport loop knobs, threaded explicitly
 pub(crate) fn master_loop<C: Comm, R: Recorder>(
     seq: &Seq,
     scoring: &Scoring,
@@ -230,8 +232,9 @@ pub(crate) fn master_loop<C: Comm, R: Recorder>(
     comm: C,
     config: RecoveryConfig,
     rec: &mut R,
+    seed: Option<SeedConfig>,
 ) -> Result<TopAlignments, ClusterError> {
-    let mut master = MasterState::new(seq, scoring, count);
+    let mut master = MasterState::new_seeded(seq, scoring, count, seed);
     let mut flights: HashMap<usize, Flight> = HashMap::new();
     let start = Instant::now();
     let mut last_heard: HashMap<usize, Instant> = (1..comm.size()).map(|r| (r, start)).collect();
@@ -469,7 +472,7 @@ mod tests {
         let mut config = RecoveryConfig::with_overall(Duration::from_secs(600));
         config.join_grace = Duration::from_millis(150);
         let start = Instant::now();
-        let got = master_loop(&seq, &scoring, 3, master, config, &mut NoopRecorder)
+        let got = master_loop(&seq, &scoring, 3, master, config, &mut NoopRecorder, None)
             .expect("a silent world must still produce the local result");
         assert!(
             start.elapsed() < Duration::from_secs(30),

@@ -15,6 +15,7 @@
 use crate::bottom::{best_valid_entry, best_valid_entry_counted, BottomRowStore};
 use crate::dirty::DirtyLog;
 use crate::incremental::IncrementalSweeper;
+use crate::seed::{SeedConfig, SplitBounds};
 use crate::split_mask::SplitMask;
 use crate::stats::Stats;
 use crate::tasks::{Task, TaskQueue, NEVER_ALIGNED};
@@ -59,6 +60,13 @@ pub struct FinderConfig {
     /// `stripe` option only affects the clean-row recomputations.
     /// Results are bit-identical either way.
     pub checkpoint_budget: Option<usize>,
+    /// Seeded split pruning: replace the infinite initial task bounds
+    /// with admissible [`SplitBounds`] so splits that cannot beat the
+    /// accepted alignments are never aligned at all. `None` (the
+    /// default) reproduces the paper's schedule exactly; `Some` keeps
+    /// the accepted alignments bit-identical but skips sweeps (the
+    /// pop-level accounting moves to `pruned_pops`/`splits_pruned`).
+    pub seed: Option<SeedConfig>,
 }
 
 impl FinderConfig {
@@ -71,6 +79,7 @@ impl FinderConfig {
             row_mode: RowMode::Store,
             sparse_triangle: false,
             checkpoint_budget: None,
+            seed: None,
         }
     }
 
@@ -79,6 +88,14 @@ impl FinderConfig {
     pub fn checkpointed(count: usize, budget: usize) -> Self {
         FinderConfig {
             checkpoint_budget: Some(budget),
+            ..FinderConfig::new(count)
+        }
+    }
+
+    /// [`Self::new`] with seeded split pruning enabled.
+    pub fn seeded(count: usize, seed: SeedConfig) -> Self {
+        FinderConfig {
+            seed: Some(seed),
             ..FinderConfig::new(count)
         }
     }
@@ -92,6 +109,7 @@ impl FinderConfig {
             row_mode: RowMode::Recompute,
             sparse_triangle: true,
             checkpoint_budget: None,
+            seed: None,
         }
     }
 }
@@ -321,6 +339,15 @@ pub enum Step {
         /// The accepted score.
         score: Score,
     },
+    /// A never-aligned head task was requeued with its tightened seed
+    /// bound **without aligning it** — the bound-fresh fast path. Only
+    /// produced with [`FinderConfig::seed`] set.
+    Pruned {
+        /// The split whose bound was tightened.
+        r: usize,
+        /// The tightened (still admissible) bound it re-entered with.
+        bound: Score,
+    },
     /// No positive nonoverlapping alignment remains (or the requested
     /// count is reached).
     Done,
@@ -343,6 +370,11 @@ pub struct TopAlignmentFinder<'a> {
     dirty: DirtyLog,
     /// `Some` iff `config.checkpoint_budget` is set.
     incr: Option<IncrementalSweeper>,
+    /// `Some` iff `config.seed` is set: the admissible per-split bounds.
+    bounds: Option<SplitBounds>,
+    /// Splits that have completed their first alignment pass (with
+    /// seeding, not all of them ever do).
+    first_passes: usize,
 }
 
 impl<'a> TopAlignmentFinder<'a> {
@@ -359,17 +391,30 @@ impl<'a> TopAlignmentFinder<'a> {
             RowMode::Recompute => None,
         };
         let incr = config.checkpoint_budget.map(IncrementalSweeper::new);
+        let bounds = config
+            .seed
+            .map(|sc| SplitBounds::build(seq.codes(), scoring, sc));
+        let queue = match &bounds {
+            Some(b) => TaskQueue::for_sequence_len_bounded(m, b.bounds()),
+            None => TaskQueue::for_sequence_len(m),
+        };
+        let mut stats = Stats::new();
+        if let Some(b) = &bounds {
+            stats.seed_index_build_ns = b.build_ns();
+        }
         TopAlignmentFinder {
             seq,
             scoring,
             config,
-            queue: TaskQueue::for_sequence_len(m),
+            queue,
             triangle,
             bottom,
             alignments: Vec::new(),
-            stats: Stats::new(),
+            stats,
             dirty: DirtyLog::new(),
             incr,
+            bounds,
+            first_passes: 0,
         }
     }
 
@@ -474,6 +519,25 @@ impl<'a> TopAlignmentFinder<'a> {
             return Step::Done;
         }
         let tops_found = self.alignments.len();
+        // Bound-fresh fast path: a never-aligned head whose seed bound
+        // has tightened since it was queued re-enters at the tighter
+        // bound without any sweep. (Bounds only ever decrease, so the
+        // queued entry was admissible all along; this just avoids
+        // aligning a split the tightened bound may keep buried forever.)
+        if let Some(bounds) = &self.bounds {
+            if task.aligned_with == NEVER_ALIGNED {
+                let bound = bounds.bound(task.r);
+                if bound < task.score {
+                    self.stats.pruned_pops += 1;
+                    self.queue.push(Task {
+                        r: task.r,
+                        score: bound,
+                        aligned_with: NEVER_ALIGNED,
+                    });
+                    return Step::Pruned { r: task.r, bound };
+                }
+            }
+        }
         if task.is_fresh(tops_found) {
             self.stats.fresh_pops += 1;
             let index = tops_found;
@@ -518,6 +582,19 @@ impl<'a> TopAlignmentFinder<'a> {
             if self.incr.is_some() {
                 self.dirty.record_accept(&top.pairs);
             }
+            // Tighten the seed bounds under the grown triangle instead
+            // of resetting anything to infinity. Once every split has
+            // first-passed, never-aligned tasks no longer exist and the
+            // bounds can't influence the schedule — skip the resweep
+            // (this is what keeps repeat-dense inputs at parity).
+            if let Some(bounds) = self.bounds.as_mut() {
+                let splits = self.seq.len().saturating_sub(1);
+                if self.first_passes < splits {
+                    if let Some(&(p, _)) = top.pairs.first() {
+                        bounds.recompute(self.seq.codes(), self.scoring, &self.triangle, p);
+                    }
+                }
+            }
             let (r, score) = (top.r, top.score);
             self.alignments.push(top);
             // Requeue (Figure 5 line 20): the task keeps its old score as
@@ -531,12 +608,43 @@ impl<'a> TopAlignmentFinder<'a> {
         } else {
             self.stats.stale_pops += 1;
             let first_pass = task.aligned_with == NEVER_ALIGNED;
+            self.first_passes += usize::from(first_pass);
             let sweep_phase = if first_pass {
                 Phase::FirstSweep
             } else {
                 Phase::Drain
             };
-            let result = if self.incr.is_some() {
+            let result = if first_pass && !self.triangle.is_empty() {
+                // Late first pass — only reachable with seed pruning,
+                // which can delay a split's first sweep past an accept.
+                // The stored row must be the *clean* first-pass row
+                // (the shadow filter's reference), but the task's score
+                // must reflect the current mask: sweep clean, then
+                // masked, shadow-filtering like a realignment.
+                rec.phase_start(sweep_phase);
+                let (prefix, suffix) = self.seq.split(task.r);
+                let clean = match self.config.stripe {
+                    Some(w) => sw_last_row_striped(prefix, suffix, self.scoring, NoMask, w),
+                    None => sw_last_row(prefix, suffix, self.scoring, NoMask),
+                };
+                let masked = align_task(
+                    self.seq,
+                    self.scoring,
+                    task.r,
+                    &self.triangle,
+                    Some(&clean.row),
+                    self.config.stripe,
+                );
+                let out = TaskResult {
+                    score: masked.score,
+                    col: masked.col,
+                    cells: clean.cells + masked.cells,
+                    first_row: Some(clean.row),
+                    shadow_rejections: masked.shadow_rejections,
+                };
+                rec.phase_end(sweep_phase);
+                out
+            } else if self.incr.is_some() {
                 self.incremental_sweep(&task, first_pass, sweep_phase, rec)
             } else {
                 match self.config.row_mode {
@@ -599,9 +707,12 @@ impl<'a> TopAlignmentFinder<'a> {
                     incr.reclaim(row);
                 }
             }
+            // Holds for realignments (masking monotonicity) *and* first
+            // passes (∞ without seeding; the admissible seed bound with
+            // it) — the live end-to-end admissibility check.
             debug_assert!(
-                first_pass || result.score <= task.score,
-                "realignment of split {} rose above its upper bound",
+                result.score <= task.score,
+                "sweep of split {} rose above its queued upper bound",
                 task.r
             );
             self.stats.shadow_rejections += result.shadow_rejections;
@@ -633,6 +744,15 @@ impl<'a> TopAlignmentFinder<'a> {
             rec.add(Counter::RealignRowsSwept, self.stats.realign_rows_swept);
             rec.add(Counter::RealignRowsSkipped, self.stats.realign_rows_skipped);
             rec.add(Counter::PoolReuses, self.stats.pool_reuses);
+        }
+        if let Some(bounds) = &self.bounds {
+            let splits = self.seq.len().saturating_sub(1);
+            self.stats.splits_pruned = splits.saturating_sub(self.first_passes) as u64;
+            self.stats.bound_recomputes = bounds.recomputes();
+            rec.add(Counter::SplitsPruned, self.stats.splits_pruned);
+            rec.add(Counter::PrunedPops, self.stats.pruned_pops);
+            rec.add(Counter::BoundRecomputes, self.stats.bound_recomputes);
+            rec.add(Counter::SeedIndexBuildNs, self.stats.seed_index_build_ns);
         }
         TopAlignments {
             alignments: self.alignments,
@@ -899,7 +1019,7 @@ mod tests {
             match finder.step() {
                 Step::Realigned { .. } => realigned += 1,
                 Step::Accepted { .. } => break,
-                Step::Done => panic!("should accept one top alignment"),
+                other => panic!("should accept one top alignment, got {other:?}"),
             }
         }
         // All m−1 = 11 splits align once before the first acceptance.
@@ -1154,6 +1274,112 @@ mod tests {
         // Output identical to the plain engine.
         let plain = find_top_alignments(&seq, &atgc_scoring(), 3);
         assert_eq!(plain.alignments, result.alignments);
+    }
+
+    /// Seeded pruning must be invisible in the output: identical
+    /// alignments and triangle on every input shape, whatever the k-mer
+    /// width, including inputs that exhaust before `count`.
+    #[test]
+    fn seeded_pruning_is_output_invisible() {
+        let scoring = atgc_scoring();
+        let motif = "ATGCATGCATGC";
+        for text in [
+            "ATGCATGCATGC".to_string(),
+            "ACGTTGCAACGTACGTTGCAGGTT".to_string(),
+            "ATGC".repeat(20),
+            "AAAAAAAAAA".to_string(),
+            "ACGT".to_string(),
+            format!("GGTTCCAACCGGTTAA{motif}CAGTCCGGAATTCCGG{motif}TTGGACCA"),
+        ] {
+            let seq = Seq::dna(&text).unwrap();
+            let base = find_top_alignments(&seq, &scoring, 10);
+            for k in [3usize, 6] {
+                let cfg = FinderConfig::seeded(10, crate::seed::SeedConfig::new(k));
+                let pruned = TopAlignmentFinder::new(&seq, &scoring, cfg).run();
+                assert_eq!(base.alignments, pruned.alignments, "k {k} on {text}");
+                assert_eq!(base.triangle, pruned.triangle, "k {k} on {text}");
+                // Pop accounting: the three buckets partition all pops.
+                assert_eq!(base.stats.fresh_pops, pruned.stats.fresh_pops);
+            }
+        }
+    }
+
+    /// On a low-repeat input with a small requested count, splits whose
+    /// seed bound stays below every accepted score are never aligned.
+    #[test]
+    fn seeded_pruning_skips_splits_on_low_repeat_input() {
+        let scoring = atgc_scoring();
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT");
+        let seq = Seq::dna(&text).unwrap();
+        let base = find_top_alignments(&seq, &scoring, 1);
+        let cfg = FinderConfig::seeded(1, crate::seed::SeedConfig::default());
+        let pruned = TopAlignmentFinder::new(&seq, &scoring, cfg).run();
+        assert_eq!(base.alignments, pruned.alignments);
+        assert!(
+            pruned.stats.splits_pruned > 0,
+            "no split was pruned on a low-repeat input"
+        );
+        // Pruned splits performed no sweep: alignment passes + pruned
+        // splits cover all splits at most once before the accept.
+        let splits = (seq.len() - 1) as u64;
+        let first_passes = pruned.stats.realignments_per_top.first().copied().unwrap_or(0);
+        assert_eq!(first_passes + pruned.stats.splits_pruned, splits);
+        assert!(pruned.stats.seed_index_build_ns > 0);
+    }
+
+    /// Seeding composes with the incremental checkpoint layer and the
+    /// linear-memory configuration, still bit-identical.
+    #[test]
+    fn seeded_pruning_composes_with_other_configs() {
+        let scoring = atgc_scoring();
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAACC{motif}GGTTAACCAGT{motif}GCACAGTCCGG");
+        let seq = Seq::dna(&text).unwrap();
+        let base = find_top_alignments(&seq, &scoring, 4);
+        let seeded = crate::seed::SeedConfig::default();
+        let combos = [
+            FinderConfig {
+                checkpoint_budget: Some(repro_align::DEFAULT_CHECKPOINT_BUDGET),
+                ..FinderConfig::seeded(4, seeded)
+            },
+            FinderConfig {
+                seed: Some(seeded),
+                ..FinderConfig::linear_memory(4)
+            },
+            FinderConfig {
+                stripe: Some(3),
+                ..FinderConfig::seeded(4, seeded)
+            },
+        ];
+        for cfg in combos {
+            let got = TopAlignmentFinder::new(&seq, &scoring, cfg.clone()).run();
+            assert_eq!(base.alignments, got.alignments, "config {cfg:?}");
+            assert_eq!(base.triangle, got.triangle, "config {cfg:?}");
+        }
+    }
+
+    /// The recorder sees the prune counters exactly as `Stats` does.
+    #[test]
+    fn seeded_counters_reach_the_recorder() {
+        use repro_obs::FlightRecorder;
+        let scoring = atgc_scoring();
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT");
+        let seq = Seq::dna(&text).unwrap();
+        let mut rec = FlightRecorder::new();
+        let cfg = FinderConfig::seeded(1, crate::seed::SeedConfig::default());
+        let result = TopAlignmentFinder::new(&seq, &scoring, cfg).run_recorded(&mut rec);
+        assert_eq!(rec.counter(Counter::SplitsPruned), result.stats.splits_pruned);
+        assert_eq!(rec.counter(Counter::PrunedPops), result.stats.pruned_pops);
+        assert_eq!(
+            rec.counter(Counter::BoundRecomputes),
+            result.stats.bound_recomputes
+        );
+        assert_eq!(
+            rec.counter(Counter::SeedIndexBuildNs),
+            result.stats.seed_index_build_ns
+        );
     }
 
     /// Differential oracle: each accepted alignment's score must equal an

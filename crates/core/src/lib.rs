@@ -20,6 +20,9 @@
 //!   plus the task-alignment primitive shared with the parallel engines.
 //! * [`dirty`] — per-accept **dirty bounds**: for each split, where the
 //!   newly overridden pairs can first perturb the DP matrix.
+//! * [`seed`] — seeded split pruning: a k-mer/diagonal index plus
+//!   admissible per-split score bounds from one triangular self-sweep,
+//!   so seedless splits are never aligned at all.
 //! * [`incremental`] — the checkpointed incremental realignment layer:
 //!   budget-capped DP-row snapshots plus sweep memoisation, resuming
 //!   realignments below the dirty boundary (bit-identical by
@@ -39,6 +42,7 @@ pub mod delineate;
 pub mod dirty;
 pub mod finder;
 pub mod incremental;
+pub mod seed;
 pub mod split_mask;
 pub mod stats;
 pub mod tasks;
@@ -54,6 +58,7 @@ pub use finder::{
     TopAlignmentFinder, TopAlignments,
 };
 pub use incremental::{IncrementalSweep, IncrementalSweeper};
+pub use seed::{PairMask, SeedConfig, SeedIndex, SplitBounds};
 pub use split_mask::SplitMask;
 pub use stats::Stats;
 pub use tasks::{Task, TaskQueue, NEVER_ALIGNED, SCORE_INFINITY};

@@ -41,6 +41,18 @@ pub struct Stats {
     /// Queue pops whose bound was fresh (→ the head was accepted as a
     /// top alignment without realignment).
     pub fresh_pops: u64,
+    /// Queue pops resolved by tightening a never-aligned task's seed
+    /// bound without aligning it (the third pop bucket: neither a
+    /// realignment nor an acceptance).
+    pub pruned_pops: u64,
+    /// Splits whose alignment was never computed at all — their seed
+    /// bound kept them below every acceptance for the whole run.
+    pub splits_pruned: u64,
+    /// Post-accept seed-bound recomputations (masked resweeps).
+    pub bound_recomputes: u64,
+    /// Nanoseconds spent building the seed index and initial bounds
+    /// (0 when seeding is off).
+    pub seed_index_build_ns: u64,
     /// Cluster task retransmissions (recovery layer).
     pub cluster_retries: u64,
     /// Cluster tasks reassigned away from a dead worker.
@@ -121,6 +133,10 @@ impl Stats {
         self.shadow_rejections += other.shadow_rejections;
         self.stale_pops += other.stale_pops;
         self.fresh_pops += other.fresh_pops;
+        self.pruned_pops += other.pruned_pops;
+        self.splits_pruned += other.splits_pruned;
+        self.bound_recomputes += other.bound_recomputes;
+        self.seed_index_build_ns += other.seed_index_build_ns;
         self.cluster_retries += other.cluster_retries;
         self.cluster_reassignments += other.cluster_reassignments;
         self.checkpoint_hits += other.checkpoint_hits;
@@ -159,6 +175,15 @@ impl Stats {
         let after_first: u64 = self.realignments_per_top[1..].iter().sum();
         let rounds = (self.realignments_per_top.len() - 1) as u64;
         after_first as f64 / (rounds * splits as u64) as f64
+    }
+
+    /// [`Self::realignment_fraction`] over the splits that entered the
+    /// alignment pipeline at all: seed pruning removes `splits_pruned`
+    /// splits from the naive budget, so keeping the full denominator
+    /// would overstate "realignments avoided". This is the honest
+    /// denominator the prune-aware report band uses.
+    pub fn realignment_fraction_effective(&self, splits: usize) -> f64 {
+        self.realignment_fraction(splits.saturating_sub(self.splits_pruned as usize))
     }
 }
 
@@ -206,6 +231,11 @@ mod tests {
         b.realign_rows_swept = 50;
         b.realign_rows_skipped = 25;
         b.pool_reuses = 9;
+        a.pruned_pops = 6;
+        b.pruned_pops = 4;
+        b.splits_pruned = 11;
+        b.bound_recomputes = 2;
+        b.seed_index_build_ns = 1000;
         a.merge(&b);
         assert_eq!(a.alignments, 3);
         assert_eq!(a.cells, 60);
@@ -221,7 +251,30 @@ mod tests {
         assert_eq!(a.realign_rows_swept, 150);
         assert_eq!(a.realign_rows_skipped, 25);
         assert_eq!(a.pool_reuses, 9);
+        assert_eq!(a.pruned_pops, 10);
+        assert_eq!(a.splits_pruned, 11);
+        assert_eq!(a.bound_recomputes, 2);
+        assert_eq!(a.seed_index_build_ns, 1000);
         assert!((a.rows_skipped_fraction() - 25.0 / 175.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_fraction_shrinks_the_denominator() {
+        let mut s = Stats::new();
+        // 10 first passes, then 3 realignments over 2 rounds.
+        for _ in 0..10 {
+            s.record_alignment(100, 0);
+        }
+        s.record_alignment(100, 1);
+        s.record_alignment(100, 2);
+        s.record_alignment(100, 2);
+        s.splits_pruned = 10;
+        // Naive budget: 20 splits; effective: 10 aligned splits.
+        assert!((s.realignment_fraction(20) - 3.0 / 40.0).abs() < 1e-12);
+        assert!((s.realignment_fraction_effective(20) - 3.0 / 20.0).abs() < 1e-12);
+        // Degenerate: everything pruned.
+        s.splits_pruned = 20;
+        assert_eq!(s.realignment_fraction_effective(20), 0.0);
     }
 
     #[test]

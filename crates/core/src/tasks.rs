@@ -8,6 +8,38 @@
 //! was last aligned; a task is *fresh* iff that count equals the current
 //! one, and a fresh task at the head of the queue is by construction the
 //! next top alignment.
+//!
+//! ## The bound lattice
+//!
+//! A task's score only ever moves **down** a three-step lattice, and
+//! every step preserves the queue invariant "score ≥ anything this
+//! split can still achieve":
+//!
+//! 1. `SCORE_INFINITY` — the paper's initial bound: trivially
+//!    admissible, totally uninformative.
+//! 2. **seed bound** `B(r)` — from [`crate::seed::SplitBounds`]
+//!    ([`Task::initial_bounded`] /
+//!    [`TaskQueue::for_sequence_len_bounded`]): admissible by the
+//!    triangular-sweep dominance argument, finite, and recomputed
+//!    (only ever tightening) as the override triangle grows. A task
+//!    can re-enter the queue with a tighter seed bound without being
+//!    aligned — that is the "pruned pop" fast path.
+//! 3. **exact score** — after a (re)alignment; still an upper bound
+//!    later because masking is monotone.
+//!
+//! Because stale scores at any lattice level are upper bounds, a fresh
+//! task at the head still beats every possible competitor — pruning
+//! changes *which* sweeps happen, never *what* is accepted.
+//!
+//! ## Tie-breaking
+//!
+//! Ties break on the **smaller split** (the `Ord` impl below). With finite
+//! seed bounds, ties become common (e.g. many seedless splits sharing a
+//! low bound), and the sequential finder, SIMD group sweep, SMP
+//! workers, and the cluster master must all pop the same task next or
+//! their accepted-alignment streams diverge. The deterministic order
+//! `(score desc, r asc)` is what lets `engines_agree` demand
+//! bit-identical output across all engines with pruning on or off.
 
 use repro_align::Score;
 use std::collections::BinaryHeap;
@@ -36,6 +68,18 @@ impl Task {
         Task {
             r,
             score: SCORE_INFINITY,
+            aligned_with: NEVER_ALIGNED,
+        }
+    }
+
+    /// A brand-new task for split `r` carrying a finite admissible
+    /// bound instead of [`SCORE_INFINITY`] (lattice step 1 → 2; the
+    /// bound must dominate the split's true masked score, as
+    /// [`crate::seed::SplitBounds`] guarantees).
+    pub fn initial_bounded(r: usize, bound: Score) -> Self {
+        Task {
+            r,
+            score: bound,
             aligned_with: NEVER_ALIGNED,
         }
     }
@@ -76,6 +120,22 @@ impl TaskQueue {
         let mut heap = BinaryHeap::with_capacity(m.saturating_sub(1));
         for r in 1..m {
             heap.push(Task::initial(r));
+        }
+        TaskQueue { heap }
+    }
+
+    /// Queue initialised with one [`Task::initial_bounded`] per split,
+    /// taking each split's bound from `bounds[r]` (indexed by `r`,
+    /// entry 0 unused — the layout of
+    /// [`crate::seed::SplitBounds::bounds`]). Splits beyond
+    /// `bounds.len()` fall back to [`SCORE_INFINITY`].
+    pub fn for_sequence_len_bounded(m: usize, bounds: &[Score]) -> Self {
+        let mut heap = BinaryHeap::with_capacity(m.saturating_sub(1));
+        for r in 1..m {
+            match bounds.get(r) {
+                Some(&b) => heap.push(Task::initial_bounded(r, b)),
+                None => heap.push(Task::initial(r)),
+            }
         }
         TaskQueue { heap }
     }
@@ -161,6 +221,23 @@ mod tests {
         let mut splits: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|t| t.r).collect();
         splits.sort();
         assert_eq!(splits, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bounded_queue_orders_by_bound_then_split() {
+        // bounds indexed by r; entry 0 unused.
+        let bounds = [0, 5, 9, 5, 2];
+        let mut q = TaskQueue::for_sequence_len_bounded(5, &bounds);
+        assert_eq!(q.len(), 4);
+        let popped: Vec<(usize, Score)> =
+            std::iter::from_fn(|| q.pop()).map(|t| (t.r, t.score)).collect();
+        assert_eq!(popped, vec![(2, 9), (1, 5), (3, 5), (4, 2)]);
+        // All bounded tasks start never-aligned.
+        let q = TaskQueue::for_sequence_len_bounded(3, &[0, 7, 7]);
+        assert!(q.peek().unwrap().aligned_with == NEVER_ALIGNED);
+        // Short bound tables fall back to infinity.
+        let mut q = TaskQueue::for_sequence_len_bounded(4, &[0, 1]);
+        assert_eq!(q.pop().unwrap().score, SCORE_INFINITY);
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Property tests for seed-bound admissibility (ISSUE 7 satellite):
+//! the per-split bound from the triangular self-sweep must dominate the
+//! exact `align_task` score for random sequences, scorings, and
+//! override triangles — including bounds recomputed after accepts —
+//! and seeded pruning must never change the finder's output.
+
+use proptest::prelude::*;
+use repro_align::{sw_last_row, Alphabet, ExchangeMatrix, GapPenalties, Scoring, Seq};
+use repro_core::seed::{SeedConfig, SplitBounds};
+use repro_core::{
+    align_task, find_top_alignments, FinderConfig, OverrideTriangle, SplitMask,
+    TopAlignmentFinder,
+};
+
+fn arb_dna(max: usize) -> impl Strategy<Value = Seq> {
+    prop::collection::vec(0u8..4, 0..=max).prop_map(|codes| Seq::from_codes(Alphabet::Dna, codes))
+}
+
+fn arb_scoring() -> impl Strategy<Value = Scoring> {
+    (1i32..=4, -4i32..=0, 0i32..=4, 1i32..=3).prop_map(|(mat, mis, open, ext)| {
+        Scoring::new(
+            ExchangeMatrix::match_mismatch(Alphabet::Dna, mat, mis),
+            GapPenalties::new(open, ext),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Freshly built bounds dominate the exact first-pass score of
+    /// every split, for arbitrary sequences and scoring models.
+    #[test]
+    fn bound_dominates_exact_score_on_empty_triangle(
+        seq in arb_dna(48),
+        scoring in arb_scoring(),
+        k in 2usize..8,
+    ) {
+        let bounds = SplitBounds::build(seq.codes(), &scoring, SeedConfig::new(k));
+        let triangle = OverrideTriangle::new(seq.len());
+        for r in 1..seq.len() {
+            let exact = align_task(&seq, &scoring, r, &triangle, None, None);
+            prop_assert!(
+                bounds.bound(r) >= exact.score,
+                "split {}: bound {} < exact {} on {}",
+                r, bounds.bound(r), exact.score, seq
+            );
+        }
+    }
+
+    /// After every real accept (override triangles grown by genuine
+    /// top-alignment pair lists), the recomputed bounds still dominate
+    /// the exact masked score of every split, and never increase.
+    #[test]
+    fn recomputed_bounds_stay_admissible_after_accepts(
+        seq in arb_dna(40),
+        scoring in arb_scoring(),
+    ) {
+        let tops = find_top_alignments(&seq, &scoring, 4);
+        let mut triangle = OverrideTriangle::new(seq.len());
+        let mut bounds = SplitBounds::build(seq.codes(), &scoring, SeedConfig::default());
+        for top in &tops.alignments {
+            let before: Vec<_> = bounds.bounds().to_vec();
+            for &(p, q) in &top.pairs {
+                triangle.set(p, q);
+            }
+            let dirty_row = top.pairs.iter().map(|&(p, _)| p).min().unwrap();
+            bounds.recompute(seq.codes(), &scoring, &triangle, dirty_row);
+            for (r, &prev) in before.iter().enumerate().skip(1) {
+                prop_assert!(
+                    bounds.bound(r) <= prev,
+                    "split {}: bound rose under a grown mask", r
+                );
+                let (prefix, suffix) = seq.split(r);
+                let exact = sw_last_row(prefix, suffix, &scoring, SplitMask::new(&triangle, r));
+                prop_assert!(
+                    bounds.bound(r) >= exact.best,
+                    "split {}: recomputed bound {} < masked exact {} on {}",
+                    r, bounds.bound(r), exact.best, seq
+                );
+            }
+        }
+    }
+
+    /// The seeded finder produces bit-identical top alignments to the
+    /// unpruned finder on arbitrary inputs, counts, and k-mer widths.
+    #[test]
+    fn seeded_finder_output_matches_unpruned(
+        seq in arb_dna(36),
+        scoring in arb_scoring(),
+        count in 1usize..6,
+        k in 2usize..8,
+    ) {
+        let base = find_top_alignments(&seq, &scoring, count);
+        let cfg = FinderConfig::seeded(count, SeedConfig::new(k));
+        let pruned = TopAlignmentFinder::new(&seq, &scoring, cfg).run();
+        prop_assert_eq!(&base.alignments, &pruned.alignments, "k {} on {}", k, seq);
+        prop_assert_eq!(&base.triangle, &pruned.triangle);
+    }
+}

@@ -127,11 +127,22 @@ pub enum Counter {
     /// Row buffers served from the scratch pool instead of the
     /// allocator.
     PoolReuses,
+    /// Splits whose alignment was never computed at all: their seed
+    /// bound kept them below every acceptance for the whole run.
+    SplitsPruned,
+    /// Queue pops resolved by tightening a never-aligned task's seed
+    /// bound without aligning it.
+    PrunedPops,
+    /// Post-accept seed-bound recomputations (masked resweeps of the
+    /// bound triangle).
+    BoundRecomputes,
+    /// Nanoseconds spent building the seed index and initial bounds.
+    SeedIndexBuildNs,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 22] = [
         Counter::LanesActive,
         Counter::LanesPadded,
         Counter::GroupSweeps,
@@ -150,6 +161,10 @@ impl Counter {
         Counter::RealignRowsSwept,
         Counter::RealignRowsSkipped,
         Counter::PoolReuses,
+        Counter::SplitsPruned,
+        Counter::PrunedPops,
+        Counter::BoundRecomputes,
+        Counter::SeedIndexBuildNs,
     ];
 
     /// Stable snake_case name used in reports.
@@ -173,6 +188,10 @@ impl Counter {
             Counter::RealignRowsSwept => "realign_rows_swept",
             Counter::RealignRowsSkipped => "realign_rows_skipped",
             Counter::PoolReuses => "pool_reuses",
+            Counter::SplitsPruned => "splits_pruned",
+            Counter::PrunedPops => "pruned_pops",
+            Counter::BoundRecomputes => "bound_recomputes",
+            Counter::SeedIndexBuildNs => "seed_index_build_ns",
         }
     }
 

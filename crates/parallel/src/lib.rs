@@ -25,15 +25,15 @@ pub mod simd_smp;
 
 pub use simd_smp::{
     find_top_alignments_parallel_simd, find_top_alignments_parallel_simd_checkpointed,
-    ParallelSimdResult,
+    find_top_alignments_parallel_simd_seeded, ParallelSimdResult,
 };
 
 use parking_lot::{Condvar, Mutex};
 use repro_align::{Score, Scoring, Seq};
 use repro_core::bottom::best_valid_entry_counted;
 use repro_core::{
-    accept_task_with_row, DirtyLog, IncrementalSweeper, OverrideTriangle, SplitMask, Stats,
-    TopAlignment, TopAlignments,
+    accept_task_with_row, DirtyLog, IncrementalSweeper, OverrideTriangle, SeedConfig, SplitBounds,
+    SplitMask, Stats, TopAlignment, TopAlignments,
 };
 use std::sync::Arc;
 use std::sync::OnceLock;
@@ -76,6 +76,11 @@ struct Shared {
     idle_secs: f64,
     accept_in_progress: bool,
     done: bool,
+    /// `Some` with seeded pruning: the admissible per-split bounds,
+    /// recomputed (tightened) under the lock after each accept.
+    bounds: Option<SplitBounds>,
+    /// Splits that have completed their first alignment pass.
+    first_passes: usize,
 }
 
 struct Engine<'a> {
@@ -128,9 +133,44 @@ pub fn find_top_alignments_parallel_checkpointed(
     threads: usize,
     checkpoint_budget: Option<usize>,
 ) -> ParallelResult {
+    find_top_alignments_parallel_seeded(seq, scoring, count, threads, checkpoint_budget, None)
+}
+
+/// [`find_top_alignments_parallel_checkpointed`] with seeded split
+/// pruning: every task starts at its admissible seed bound instead of
+/// infinity, and never-aligned tasks whose bound stays below every
+/// acceptance are never swept by any worker. Bounds are recomputed
+/// (only ever tightening) under the shared lock after each accept and
+/// folded straight into the task state — the in-place analogue of the
+/// sequential engine's bound-refresh pops. Alignments are bit-identical
+/// with pruning on or off.
+pub fn find_top_alignments_parallel_seeded(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    threads: usize,
+    checkpoint_budget: Option<usize>,
+    seed: Option<SeedConfig>,
+) -> ParallelResult {
     assert!(threads >= 1, "need at least one worker");
     let m = seq.len();
     let splits = m.saturating_sub(1);
+
+    let bounds = seed.map(|sc| SplitBounds::build(seq.codes(), scoring, sc));
+    let state: Vec<TaskState> = (0..splits)
+        .map(|i| TaskState {
+            score: match &bounds {
+                Some(b) => b.bound(i + 1),
+                None => Score::MAX,
+            },
+            aligned_with: NEVER,
+            assigned: false,
+        })
+        .collect();
+    let mut stats = Stats::new();
+    if let Some(b) = &bounds {
+        stats.seed_index_build_ns = b.build_ns();
+    }
 
     let engine = Engine {
         seq,
@@ -138,29 +178,28 @@ pub fn find_top_alignments_parallel_checkpointed(
         count,
         checkpoint_budget,
         shared: Mutex::new(Shared {
-            state: vec![
-                TaskState {
-                    score: Score::MAX,
-                    aligned_with: NEVER,
-                    assigned: false,
-                };
-                splits
-            ],
+            state,
             triangle: Arc::new(OverrideTriangle::new(m)),
             tops: Vec::new(),
-            stats: Stats::new(),
+            stats,
             superseded: 0,
             claims: 0,
             idle_secs: 0.0,
             accept_in_progress: false,
             done: false,
+            bounds,
+            first_passes: 0,
         }),
         wake: Condvar::new(),
         rows: (0..splits).map(|_| OnceLock::new()).collect(),
     };
 
     if splits == 0 || count == 0 {
-        let shared = engine.shared.into_inner();
+        let mut shared = engine.shared.into_inner();
+        if let Some(b) = &shared.bounds {
+            shared.stats.splits_pruned = splits as u64;
+            shared.stats.bound_recomputes = b.recomputes();
+        }
         return ParallelResult {
             result: TopAlignments {
                 alignments: shared.tops,
@@ -180,7 +219,11 @@ pub fn find_top_alignments_parallel_checkpointed(
         }
     });
 
-    let shared = engine.shared.into_inner();
+    let mut shared = engine.shared.into_inner();
+    if let Some(b) = &shared.bounds {
+        shared.stats.splits_pruned = splits.saturating_sub(shared.first_passes) as u64;
+        shared.stats.bound_recomputes = b.recomputes();
+    }
     ParallelResult {
         result: TopAlignments {
             alignments: shared.tops,
@@ -316,6 +359,25 @@ impl Engine<'_> {
                     guard = self.shared.lock();
                     guard.stats.record_traceback(cells);
                     guard.triangle = Arc::new(triangle);
+                    // Tighten the seed bounds under the grown triangle
+                    // and fold them straight into every never-aligned
+                    // unassigned task — the in-place analogue of the
+                    // sequential bound-refresh pop. Skipped once every
+                    // split has first-passed (bounds can no longer
+                    // influence the schedule).
+                    let shared = &mut *guard;
+                    if shared.first_passes < shared.state.len() {
+                        if let (Some(bounds), Some(&(p, _))) =
+                            (shared.bounds.as_mut(), top.pairs.first())
+                        {
+                            bounds.recompute(self.seq.codes(), self.scoring, &shared.triangle, p);
+                            for (i, t) in shared.state.iter_mut().enumerate() {
+                                if t.aligned_with == NEVER && !t.assigned {
+                                    t.score = bounds.bound(i + 1);
+                                }
+                            }
+                        }
+                    }
                     guard.tops.push(top);
                     guard.accept_in_progress = false;
                     // The accepted task keeps its score as an upper bound
@@ -332,63 +394,94 @@ impl Engine<'_> {
                     }
                     drop(guard);
 
+                    let is_first = self.rows[r - 1].get().is_none();
                     // (hit, rows swept, rows skipped) — realignments only.
                     let mut inc_stats: Option<(bool, u64, u64)> = None;
-                    let (score, shadows, cells) = match (&mut incr, self.rows[r - 1].get()) {
-                        (Some(sweeper), None) => {
-                            let res = sweeper.first_pass(
-                                self.seq,
-                                self.scoring,
-                                r,
-                                &triangle,
-                                stamp as u64,
-                            );
-                            self.rows[r - 1]
-                                .set(res.first_row.expect("first pass returns its row"))
-                                .expect("first pass runs exactly once per split");
-                            (res.score, 0, res.cells)
-                        }
-                        (Some(sweeper), Some(original)) => {
-                            let sweep = sweeper.realign(
-                                self.seq,
-                                self.scoring,
-                                r,
-                                &triangle,
-                                original,
-                                &local_dirty,
-                                stamp as u64,
-                            );
-                            inc_stats = Some((sweep.hit(), sweep.rows_swept, sweep.rows_skipped));
-                            (
-                                sweep.result.score,
-                                sweep.result.shadow_rejections,
-                                sweep.result.cells,
-                            )
-                        }
-                        (None, row) => {
-                            let (prefix, suffix) = self.seq.split(r);
-                            let mask = SplitMask::new(&triangle, r);
-                            let last = repro_align::sw_last_row(prefix, suffix, self.scoring, mask);
-                            let cells = last.cells;
-                            match row {
-                                None => {
-                                    debug_assert!(triangle.is_empty());
-                                    let s = last.best_in_row;
-                                    self.rows[r - 1]
-                                        .set(last.row)
-                                        .expect("first pass runs exactly once per split");
-                                    (s, 0, cells)
-                                }
-                                Some(original) => {
-                                    let (s, _, shadows) =
-                                        best_valid_entry_counted(&last.row, original);
-                                    (s, shadows, cells)
+                    let (score, shadows, cells) = if is_first && !triangle.is_empty() {
+                        // Late first pass: with seeded pruning a split's
+                        // first sweep can happen after accepts have grown
+                        // the triangle. The shadow store needs the CLEAN
+                        // (unmasked) bottom row, so sweep twice — unmasked
+                        // for the store, masked for the score. Bypasses
+                        // the incremental layer (a later checkpoint miss
+                        // at worst, never a correctness issue).
+                        let (prefix, suffix) = self.seq.split(r);
+                        let clean = repro_align::sw_last_row(
+                            prefix,
+                            suffix,
+                            self.scoring,
+                            repro_align::NoMask,
+                        );
+                        let mask = SplitMask::new(&triangle, r);
+                        let masked = repro_align::sw_last_row(prefix, suffix, self.scoring, mask);
+                        let (s, _, shadows) = best_valid_entry_counted(&masked.row, &clean.row);
+                        let cells = clean.cells + masked.cells;
+                        self.rows[r - 1]
+                            .set(clean.row)
+                            .expect("first pass runs exactly once per split");
+                        (s, shadows, cells)
+                    } else {
+                        match (&mut incr, self.rows[r - 1].get()) {
+                            (Some(sweeper), None) => {
+                                let res = sweeper.first_pass(
+                                    self.seq,
+                                    self.scoring,
+                                    r,
+                                    &triangle,
+                                    stamp as u64,
+                                );
+                                self.rows[r - 1]
+                                    .set(res.first_row.expect("first pass returns its row"))
+                                    .expect("first pass runs exactly once per split");
+                                (res.score, 0, res.cells)
+                            }
+                            (Some(sweeper), Some(original)) => {
+                                let sweep = sweeper.realign(
+                                    self.seq,
+                                    self.scoring,
+                                    r,
+                                    &triangle,
+                                    original,
+                                    &local_dirty,
+                                    stamp as u64,
+                                );
+                                inc_stats =
+                                    Some((sweep.hit(), sweep.rows_swept, sweep.rows_skipped));
+                                (
+                                    sweep.result.score,
+                                    sweep.result.shadow_rejections,
+                                    sweep.result.cells,
+                                )
+                            }
+                            (None, row) => {
+                                let (prefix, suffix) = self.seq.split(r);
+                                let mask = SplitMask::new(&triangle, r);
+                                let last =
+                                    repro_align::sw_last_row(prefix, suffix, self.scoring, mask);
+                                let cells = last.cells;
+                                match row {
+                                    None => {
+                                        debug_assert!(triangle.is_empty());
+                                        let s = last.best_in_row;
+                                        self.rows[r - 1]
+                                            .set(last.row)
+                                            .expect("first pass runs exactly once per split");
+                                        (s, 0, cells)
+                                    }
+                                    Some(original) => {
+                                        let (s, _, shadows) =
+                                            best_valid_entry_counted(&last.row, original);
+                                        (s, shadows, cells)
+                                    }
                                 }
                             }
                         }
                     };
 
                     guard = self.shared.lock();
+                    if is_first {
+                        guard.first_passes += 1;
+                    }
                     guard.stats.shadow_rejections += shadows;
                     guard.stats.record_alignment(cells, stamp);
                     if let Some((hit, swept, skipped)) = inc_stats {
@@ -562,6 +655,66 @@ mod tests {
         assert_eq!(s.stale_pops, want.stats.stale_pops);
         assert_eq!(s.fresh_pops, want.stats.fresh_pops);
         assert_eq!(s.shadow_rejections, want.stats.shadow_rejections);
+    }
+
+    #[test]
+    fn seeded_matches_unpruned_across_thread_counts() {
+        let scoring = Scoring::dna_example();
+        let motif = "ATGCATGCATGC";
+        for text in [
+            format!("GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT"),
+            "ACGTTGCAACGTACGTTGCAGGTT".to_string(),
+            "AAAAAAAAAAAAAAA".to_string(),
+        ] {
+            let seq = Seq::dna(&text).unwrap();
+            for count in [1, 4] {
+                let want = find_top_alignments(&seq, &scoring, count);
+                for threads in [1, 2, 4] {
+                    for budget in [None, Some(1 << 20)] {
+                        let got = find_top_alignments_parallel_seeded(
+                            &seq,
+                            &scoring,
+                            count,
+                            threads,
+                            budget,
+                            Some(SeedConfig::default()),
+                        );
+                        assert_eq!(
+                            got.result.alignments, want.alignments,
+                            "count {count}, {threads} threads, budget {budget:?} on {text}"
+                        );
+                        assert_eq!(got.result.triangle, want.triangle);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_single_thread_prunes_splits_on_low_repeat_input() {
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let got = find_top_alignments_parallel_seeded(
+            &seq,
+            &scoring,
+            1,
+            1,
+            None,
+            Some(SeedConfig::default()),
+        );
+        let s = &got.result.stats;
+        assert!(
+            s.splits_pruned > 0,
+            "expected pruned splits, got {}",
+            s.splits_pruned
+        );
+        assert!(s.seed_index_build_ns > 0);
+        assert!((s.splits_pruned as usize) < seq.len() - 1);
+        // Unpruned output is preserved.
+        let want = find_top_alignments(&seq, &scoring, 1);
+        assert_eq!(got.result.alignments, want.alignments);
     }
 
     #[test]

@@ -20,16 +20,19 @@
 //!   selects exactly the smallest split among the top-scoring ones —
 //!   the same split the sequential engine accepts;
 //! * the query profiles are built once and shared read-only across
-//!   workers; first-pass bottom rows are write-once (`OnceLock`), and
-//!   — as in the split engine — every first pass completes before the
-//!   first acceptance, because a never-swept group holds score
-//!   `Score::MAX` and can never be fresh.
+//!   workers; first-pass bottom rows are write-once (`OnceLock`).
+//!   Unseeded, every first pass completes before the first acceptance
+//!   (a never-swept group holds score `Score::MAX` and can never be
+//!   fresh); with seeded pruning a group's first sweep can happen after
+//!   accepts, in which case the worker sweeps twice — clean for the
+//!   shadow store, masked for the exact scores.
 
 use parking_lot::{Condvar, Mutex};
 use repro_align::{Score, Scoring, Seq};
 use repro_core::bottom::best_valid_entry_counted;
 use repro_core::{
-    accept_task_with_row, DirtyLog, OverrideTriangle, Stats, TopAlignment, TopAlignments,
+    accept_task_with_row, DirtyLog, OverrideTriangle, SeedConfig, SplitBounds, Stats, TopAlignment,
+    TopAlignments,
 };
 use repro_simd::{GroupSweeper, SimdSel, SimdStats};
 use std::sync::Arc;
@@ -91,6 +94,11 @@ struct Shared {
     /// Replayed verbatim — under the lock, no DP — when the dirty log
     /// proves no accept since `version` straddles any member split.
     group_memo: Vec<GroupMemo>,
+    /// `Some` with seeded pruning: the admissible per-split bounds,
+    /// recomputed (tightened) under the lock after each accept.
+    bounds: Option<SplitBounds>,
+    /// Splits (not groups) that have completed a first alignment pass.
+    first_passes: usize,
 }
 
 struct Engine<'a> {
@@ -149,12 +157,46 @@ pub fn find_top_alignments_parallel_simd_checkpointed(
     sel: SimdSel,
     checkpoint_budget: Option<usize>,
 ) -> ParallelSimdResult {
+    find_top_alignments_parallel_simd_seeded(
+        seq,
+        scoring,
+        count,
+        threads,
+        sel,
+        checkpoint_budget,
+        None,
+    )
+}
+
+/// [`find_top_alignments_parallel_simd_checkpointed`] with seeded split
+/// pruning: every group enters the schedule at the maximum of its
+/// members' seed bounds, and whole lane-packs whose bound stays below
+/// every acceptance are never swept by any worker. Bounds are
+/// recomputed (only ever tightening) under the shared lock after each
+/// accept and folded straight into the group state. Alignments are
+/// bit-identical with pruning on or off.
+pub fn find_top_alignments_parallel_simd_seeded(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    threads: usize,
+    sel: SimdSel,
+    checkpoint_budget: Option<usize>,
+    seed: Option<SeedConfig>,
+) -> ParallelSimdResult {
     assert!(threads >= 1, "need at least one worker");
     let m = seq.len();
     let splits = m.saturating_sub(1);
     let lanes = sel.width.lanes();
     let ngroups = splits.div_ceil(lanes.max(1));
     let group_lanes = |gi: usize| lanes.min(splits - gi * lanes);
+    let group_r0 = |gi: usize| 1 + gi * lanes;
+
+    let bounds = seed.map(|sc| SplitBounds::build(seq.codes(), scoring, sc));
+    let mut stats = Stats::new();
+    if let Some(b) = &bounds {
+        stats.seed_index_build_ns = b.build_ns();
+    }
 
     let engine = Engine {
         seq,
@@ -167,7 +209,15 @@ pub fn find_top_alignments_parallel_simd_checkpointed(
         shared: Mutex::new(Shared {
             groups: (0..ngroups)
                 .map(|gi| GroupState {
-                    score: Score::MAX,
+                    // A group's admissible bound is the max of its
+                    // members' split bounds (swept as a unit).
+                    score: match &bounds {
+                        Some(b) => (0..group_lanes(gi))
+                            .map(|l| b.bound(group_r0(gi) + l))
+                            .max()
+                            .unwrap_or(0),
+                        None => Score::MAX,
+                    },
                     members: vec![Score::MAX; group_lanes(gi)],
                     aligned_with: NEVER,
                     assigned: false,
@@ -175,7 +225,7 @@ pub fn find_top_alignments_parallel_simd_checkpointed(
                 .collect(),
             triangle: Arc::new(OverrideTriangle::new(m)),
             tops: Vec::new(),
-            stats: Stats::new(),
+            stats,
             simd: SimdStats::default(),
             superseded: 0,
             claims: 0,
@@ -184,6 +234,8 @@ pub fn find_top_alignments_parallel_simd_checkpointed(
             done: false,
             dirty: DirtyLog::new(),
             group_memo: vec![None; ngroups],
+            bounds,
+            first_passes: 0,
         }),
         wake: Condvar::new(),
         rows: (0..splits).map(|_| OnceLock::new()).collect(),
@@ -197,7 +249,11 @@ pub fn find_top_alignments_parallel_simd_checkpointed(
         });
     }
 
-    let shared = engine.shared.into_inner();
+    let mut shared = engine.shared.into_inner();
+    if let Some(b) = &shared.bounds {
+        shared.stats.splits_pruned = splits.saturating_sub(shared.first_passes) as u64;
+        shared.stats.bound_recomputes = b.recomputes();
+    }
     ParallelSimdResult {
         result: TopAlignments {
             alignments: shared.tops,
@@ -344,6 +400,26 @@ impl Engine<'_> {
                     if self.checkpoint_budget.is_some() {
                         guard.dirty.record_accept(&top.pairs);
                     }
+                    // Tighten the seed bounds under the grown triangle
+                    // and lower every never-swept unassigned group to
+                    // its new (max-member) bound. Skipped once every
+                    // split has first-passed.
+                    let shared = &mut *guard;
+                    if shared.first_passes < self.splits {
+                        if let (Some(bounds), Some(&(p, _))) =
+                            (shared.bounds.as_mut(), top.pairs.first())
+                        {
+                            bounds.recompute(self.seq.codes(), self.scoring, &shared.triangle, p);
+                            for (gi, g) in shared.groups.iter_mut().enumerate() {
+                                if g.aligned_with == NEVER && !g.assigned {
+                                    g.score = (0..self.group_lanes(gi))
+                                        .map(|l| bounds.bound(self.group_r0(gi) + l))
+                                        .max()
+                                        .unwrap_or(0);
+                                }
+                            }
+                        }
+                    }
                     guard.tops.push(top);
                     guard.accept_in_progress = false;
                     // The accepted group keeps its score as an upper bound
@@ -395,15 +471,21 @@ impl Engine<'_> {
                         continue;
                     }
                     drop(guard);
-                    let tri = if first_pass {
-                        debug_assert!(triangle.is_empty());
-                        None
-                    } else {
-                        Some(&*triangle)
-                    };
+                    let tri = if first_pass { None } else { Some(&*triangle) };
                     let outcome = self.sweeper.sweep(r0, nl, tri);
+                    // Late first pass: under seeded pruning a group's
+                    // first sweep can happen after accepts have grown
+                    // the triangle. The clean sweep above feeds the
+                    // shadow store; this masked resweep yields the
+                    // exact current scores.
+                    let masked = if first_pass && !triangle.is_empty() {
+                        Some(self.sweeper.sweep(r0, nl, Some(&*triangle)))
+                    } else {
+                        None
+                    };
                     let g = outcome.group;
-                    let per_lane_cells = g.cells / nl as u64;
+                    let total_cells = g.cells + masked.as_ref().map_or(0, |mo| mo.group.cells);
+                    let per_lane_cells = total_cells / nl as u64;
                     let mut members = Vec::with_capacity(nl);
                     let mut shadows = 0u64;
                     let mut lane_memo = Vec::with_capacity(nl);
@@ -412,11 +494,19 @@ impl Engine<'_> {
                         let r = r0 + l;
                         let mut lane_shadows = 0u64;
                         let score = if first_pass {
-                            let s = g.rows[l].iter().copied().max().unwrap_or(0).max(0);
                             self.rows[r - 1]
                                 .set(g.rows[l].clone())
                                 .expect("first pass runs exactly once per split");
-                            s
+                            if let Some(mo) = &masked {
+                                let (s, _, sh) =
+                                    best_valid_entry_counted(&mo.group.rows[l], &g.rows[l]);
+                                lane_shadows = sh;
+                                shadows += sh;
+                                s
+                            } else {
+                                debug_assert!(triangle.is_empty());
+                                g.rows[l].iter().copied().max().unwrap_or(0).max(0)
+                            }
                         } else {
                             let original = self.rows[r - 1]
                                 .get()
@@ -450,6 +540,19 @@ impl Engine<'_> {
                     }
                     if outcome.promoted {
                         guard.simd.promoted_sweeps += 1;
+                    }
+                    if let Some(mo) = &masked {
+                        guard.simd.group_sweeps += 1;
+                        guard.simd.vector_cells += mo.vector_cells;
+                        if mo.saturated_narrow {
+                            guard.simd.saturation_fallbacks += 1;
+                        }
+                        if mo.promoted {
+                            guard.simd.promoted_sweeps += 1;
+                        }
+                    }
+                    if first_pass {
+                        guard.first_passes += nl;
                     }
                     if stamp != guard.tops.len() {
                         guard.superseded += 1;
@@ -616,6 +719,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn seeded_matches_unpruned_across_threads_and_widths() {
+        let scoring = Scoring::dna_example();
+        let motif = "ATGCATGCATGC";
+        for text in [
+            format!("GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT"),
+            "ACGTTGCAACGTACGTTGCAGGTT".to_string(),
+            "AAAAAAAAAAAAAAA".to_string(),
+        ] {
+            let seq = Seq::dna(&text).unwrap();
+            for count in [1, 4] {
+                let want = find_top_alignments(&seq, &scoring, count);
+                for width in [LaneWidth::X4, LaneWidth::X8] {
+                    for threads in [1, 2, 4] {
+                        let got = find_top_alignments_parallel_simd_seeded(
+                            &seq,
+                            &scoring,
+                            count,
+                            threads,
+                            sel_for(width),
+                            None,
+                            Some(SeedConfig::default()),
+                        );
+                        assert_eq!(
+                            got.result.alignments, want.alignments,
+                            "count {count}, {threads} threads, {width:?} on {text}"
+                        );
+                        assert_eq!(got.result.triangle, want.triangle);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_single_thread_prunes_lane_packs() {
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let got = find_top_alignments_parallel_simd_seeded(
+            &seq,
+            &scoring,
+            1,
+            1,
+            sel_for(LaneWidth::X4),
+            None,
+            Some(SeedConfig::default()),
+        );
+        let s = &got.result.stats;
+        assert!(s.splits_pruned > 0, "expected pruned lane-packs");
+        assert!(s.seed_index_build_ns > 0);
+        let want = find_top_alignments(&seq, &scoring, 1);
+        assert_eq!(got.result.alignments, want.alignments);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub use repro_core::{
     delineate, find_top_alignments, unit_consensus, Consensus, RepeatReport, Stats, TopAlignment,
     TopAlignments,
 };
+pub use repro_core::seed::SeedConfig;
 pub use repro_legacy::{find_top_alignments_old, LegacyKernel};
 pub use repro_parallel::{find_top_alignments_parallel, find_top_alignments_parallel_simd};
 pub use repro_simd::{
@@ -177,6 +178,7 @@ pub struct Repro {
     low_memory: bool,
     trace: bool,
     checkpoint_budget: Option<usize>,
+    seed: Option<repro_core::seed::SeedConfig>,
 }
 
 /// Everything a run produces: the top alignments (with work stats and
@@ -211,6 +213,7 @@ impl Repro {
             low_memory: false,
             trace: false,
             checkpoint_budget: None,
+            seed: None,
         }
     }
 
@@ -260,6 +263,19 @@ impl Repro {
     /// DP rows actually swept change.
     pub fn checkpoint_budget(mut self, budget: Option<usize>) -> Self {
         self.checkpoint_budget = budget;
+        self
+    }
+
+    /// Enable seeded split pruning with the given configuration (`None`
+    /// disables it — the default). When enabled, an exact k-mer seed
+    /// index computes an upper bound per split that provably dominates
+    /// its true alignment score; splits whose bound cannot beat the
+    /// current frontier are **never aligned at all**. Alignments are
+    /// bit-identical on or off; only the number of splits swept changes
+    /// (see the `splits_pruned` counter). Every engine except
+    /// [`Engine::Legacy`] honours this.
+    pub fn seed_config(mut self, seed: Option<repro_core::seed::SeedConfig>) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -318,6 +334,7 @@ impl Repro {
             Engine::Sequential if self.low_memory => {
                 let config = repro_core::FinderConfig {
                     checkpoint_budget: budget,
+                    seed: self.seed,
                     ..repro_core::FinderConfig::linear_memory(self.count)
                 };
                 repro_core::TopAlignmentFinder::new(seq, &self.scoring, config)
@@ -326,6 +343,7 @@ impl Repro {
             Engine::Sequential => {
                 let config = repro_core::FinderConfig {
                     checkpoint_budget: budget,
+                    seed: self.seed,
                     ..repro_core::FinderConfig::new(self.count)
                 };
                 repro_core::TopAlignmentFinder::new(seq, &self.scoring, config)
@@ -334,24 +352,26 @@ impl Repro {
             Engine::Simd(width) => {
                 let sel = select(Some(width), None)
                     .expect("width-only selection always resolves (portable covers every width)");
-                repro_simd::find_top_alignments_simd_checkpointed(
+                repro_simd::find_top_alignments_simd_seeded(
                     seq,
                     &self.scoring,
                     self.count,
                     sel,
                     budget,
+                    self.seed,
                     &mut rec,
                 )
                 .result
             }
             Engine::SimdDispatch { width, path } => {
                 let sel = select(width, path)?;
-                repro_simd::find_top_alignments_simd_checkpointed(
+                repro_simd::find_top_alignments_simd_seeded(
                     seq,
                     &self.scoring,
                     self.count,
                     sel,
                     budget,
+                    self.seed,
                     &mut rec,
                 )
                 .result
@@ -362,13 +382,14 @@ impl Repro {
                 path,
             } => {
                 let sel = select(width, path)?;
-                let out = parallel::find_top_alignments_parallel_simd_checkpointed(
+                let out = parallel::find_top_alignments_parallel_simd_seeded(
                     seq,
                     &self.scoring,
                     self.count,
                     threads,
                     sel,
                     budget,
+                    self.seed,
                 );
                 // The SMP engines track their own tallies (their workers
                 // outlive any one borrow of the recorder); fold them in.
@@ -379,35 +400,37 @@ impl Repro {
                 rec.add(Counter::NarrowSaturations, out.simd.saturation_fallbacks);
                 rec.add(Counter::PromotedSweeps, out.simd.promoted_sweeps);
                 fold_checkpoint_counters(&mut rec, &out.result.stats);
+                fold_prune_counters(&mut rec, &out.result.stats);
                 out.result
             }
             Engine::Threads(threads) => {
-                let out = parallel::find_top_alignments_parallel_checkpointed(
+                let out = parallel::find_top_alignments_parallel_seeded(
                     seq,
                     &self.scoring,
                     self.count,
                     threads,
                     budget,
+                    self.seed,
                 );
                 rec.add(Counter::TaskClaims, out.task_claims);
                 rec.add_phase_secs(Phase::WorkerIdle, out.idle_secs);
                 rec.add(Counter::SupersededWork, out.superseded_alignments);
                 fold_checkpoint_counters(&mut rec, &out.result.stats);
+                fold_prune_counters(&mut rec, &out.result.stats);
                 out.result
             }
             Engine::Cluster { workers } => {
                 let out = match self.transport {
-                    Transport::Sim => {
-                        repro_cluster::find_top_alignments_cluster_checkpointed_recorded(
-                            seq,
-                            &self.scoring,
-                            self.count,
-                            workers,
-                            Duration::from_secs(600),
-                            budget,
-                            &mut rec,
-                        )?
-                    }
+                    Transport::Sim => repro_cluster::find_top_alignments_cluster_seeded(
+                        seq,
+                        &self.scoring,
+                        self.count,
+                        workers,
+                        Duration::from_secs(600),
+                        budget,
+                        self.seed,
+                        &mut rec,
+                    )?,
                     Transport::Proc => repro_cluster::run_cluster_proc(
                         seq,
                         &self.scoring,
@@ -416,19 +439,21 @@ impl Repro {
                         Duration::from_secs(600),
                         &repro_cluster::ProcOptions {
                             checkpoint_budget: budget,
+                            seed: self.seed,
                             ..Default::default()
                         },
                         &mut rec,
                     )?,
                 };
                 fold_checkpoint_counters(&mut rec, &out.result.stats);
+                fold_prune_counters(&mut rec, &out.result.stats);
                 out.result
             }
             Engine::Hybrid {
                 nodes,
                 threads_per_node,
             } => {
-                let out = repro_cluster::find_top_alignments_hybrid_checkpointed_recorded(
+                let out = repro_cluster::find_top_alignments_hybrid_seeded(
                     seq,
                     &self.scoring,
                     self.count,
@@ -436,9 +461,11 @@ impl Repro {
                     threads_per_node,
                     Duration::from_secs(600),
                     budget,
+                    self.seed,
                     &mut rec,
                 )?;
                 fold_checkpoint_counters(&mut rec, &out.result.stats);
+                fold_prune_counters(&mut rec, &out.result.stats);
                 out.result
             }
             Engine::Legacy(kernel) => {
@@ -473,6 +500,16 @@ fn fold_checkpoint_counters<R: Recorder>(rec: &mut R, stats: &Stats) {
     rec.add(Counter::RealignRowsSwept, stats.realign_rows_swept);
     rec.add(Counter::RealignRowsSkipped, stats.realign_rows_skipped);
     rec.add(Counter::PoolReuses, stats.pool_reuses);
+}
+
+/// Same mirroring for the seeded split-pruning tallies. The sequential
+/// and SIMD engines stamp these into the recorder internally; the SMP
+/// and message-passing engines only carry them in `Stats`.
+fn fold_prune_counters<R: Recorder>(rec: &mut R, stats: &Stats) {
+    rec.add(Counter::SplitsPruned, stats.splits_pruned);
+    rec.add(Counter::PrunedPops, stats.pruned_pops);
+    rec.add(Counter::BoundRecomputes, stats.bound_recomputes);
+    rec.add(Counter::SeedIndexBuildNs, stats.seed_index_build_ns);
 }
 
 #[cfg(test)]
@@ -585,6 +622,28 @@ mod tests {
         assert_eq!(sim.tops.alignments, proc.tops.alignments);
         assert_eq!(proc.run.engine, "cluster-proc:2");
         assert_eq!(sim.run.engine, "cluster:2");
+    }
+
+    #[test]
+    fn seeded_pruning_matches_unseeded_and_counts_pruned_splits() {
+        // Low-repeat fixture: two adjacent motif copies inside long
+        // non-repetitive flanks, so most splits share no k-mer with
+        // their other side and prune away.
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT");
+        let seq = Seq::dna(&text).unwrap();
+        let base = Repro::new(Scoring::dna_example())
+            .top_alignments(1)
+            .run(&seq);
+        let seeded = Repro::new(Scoring::dna_example())
+            .top_alignments(1)
+            .seed_config(Some(SeedConfig::default()))
+            .run(&seq);
+        assert_eq!(base.tops.alignments, seeded.tops.alignments);
+        assert_eq!(base.run.splits_pruned, 0);
+        assert!(seeded.run.splits_pruned > 0, "expected pruning on the sparse fixture");
+        assert!(seeded.run.seed_index_build_ns > 0);
+        assert!(seeded.run.alignments < base.run.alignments);
     }
 
     #[test]

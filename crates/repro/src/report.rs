@@ -20,8 +20,11 @@ use repro_obs::{Counter, FlightRecorder, Phase};
 /// Schema version stamped into every report; bump on breaking layout
 /// changes so downstream consumers can fail loudly instead of misread.
 /// Version 2 added the incremental-realignment stats (checkpoint
-/// hits/misses, rows swept/skipped, pool reuses).
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+/// hits/misses, rows swept/skipped, pool reuses). Version 3 added the
+/// seeded split-pruning stats (splits pruned, pruned pops, bound
+/// recomputes, seed-index build time) and made the avoided-realignment
+/// claim prune-aware.
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
 
 /// One phase's accumulated wall-clock time and entry count.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,6 +98,16 @@ pub struct RunReport {
     /// Row buffers served from the scratch pool instead of the
     /// allocator.
     pub pool_reuses: u64,
+    /// Splits never aligned at all: their seed bound stayed below every
+    /// acceptance for the whole run (0 when seeding is off).
+    pub splits_pruned: u64,
+    /// Queue pops resolved by refreshing a never-aligned task's seed
+    /// bound instead of realigning it.
+    pub pruned_pops: u64,
+    /// Post-accept seed-bound recomputations (masked resweeps).
+    pub bound_recomputes: u64,
+    /// Nanoseconds spent building the seed index and initial bounds.
+    pub seed_index_build_ns: u64,
     /// Every phase's timing, in [`Phase::ALL`] order (zero entries
     /// included so the schema is identical across engines).
     pub phases: Vec<PhaseTiming>,
@@ -119,7 +132,9 @@ impl RunReport {
     ) -> Self {
         let stats = &tops.stats;
         let splits = seq_len.saturating_sub(1);
-        let fraction = stats.realignment_fraction(splits);
+        // Prune-aware denominator: pruned splits never entered the
+        // realignment budget, so counting them would inflate "avoided".
+        let fraction = stats.realignment_fraction_effective(splits);
         RunReport {
             engine: engine.into(),
             seq_len,
@@ -141,6 +156,10 @@ impl RunReport {
             realign_rows_swept: stats.realign_rows_swept,
             realign_rows_skipped: stats.realign_rows_skipped,
             pool_reuses: stats.pool_reuses,
+            splits_pruned: stats.splits_pruned,
+            pruned_pops: stats.pruned_pops,
+            bound_recomputes: stats.bound_recomputes,
+            seed_index_build_ns: stats.seed_index_build_ns,
             phases: Phase::ALL
                 .iter()
                 .map(|&p| PhaseTiming {
@@ -196,6 +215,13 @@ impl RunReport {
                 num(self.realign_rows_skipped as f64),
             ),
             ("pool_reuses", num(self.pool_reuses as f64)),
+            ("splits_pruned", num(self.splits_pruned as f64)),
+            ("pruned_pops", num(self.pruned_pops as f64)),
+            ("bound_recomputes", num(self.bound_recomputes as f64)),
+            (
+                "seed_index_build_ns",
+                num(self.seed_index_build_ns as f64),
+            ),
         ]);
         let phases = Json::Arr(
             self.phases
@@ -286,6 +312,10 @@ impl RunReport {
             "realign_rows_swept",
             "realign_rows_skipped",
             "pool_reuses",
+            "splits_pruned",
+            "pruned_pops",
+            "bound_recomputes",
+            "seed_index_build_ns",
         ] {
             if !stats.iter().any(|(k, j)| k == key && j.as_f64().is_some()) {
                 return Err(format!("stats: missing or non-numeric field `{key}`"));
@@ -406,7 +436,7 @@ mod tests {
         let err = RunReport::validate(&Json::parse(&bad).unwrap()).unwrap_err();
         assert!(err.contains("stale_pops"), "{err}");
         // Wrong schema version.
-        let bad = good.replace("\"schema_version\":2", "\"schema_version\":999");
+        let bad = good.replace("\"schema_version\":3", "\"schema_version\":999");
         let err = RunReport::validate(&Json::parse(&bad).unwrap()).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         // Phase renamed.

@@ -6,7 +6,7 @@
 //! the paper's correctness backbone: parallelisation and the `O(n³)`
 //! rewrite change *work*, not *answers*.
 
-use repro::{DispatchPath, Engine, LaneWidth, LegacyKernel, Repro, Scoring, Seq};
+use repro::{DispatchPath, Engine, LaneWidth, LegacyKernel, Repro, Scoring, SeedConfig, Seq};
 use repro_seqgen::{titin_like, PlantedRepeats, RepeatSpec, Rng};
 
 fn all_engines() -> Vec<Engine> {
@@ -110,6 +110,59 @@ fn assert_checkpointing_is_transparent(seq: &Seq, scoring: &Scoring, count: usiz
             }
         }
     }
+}
+
+/// Seeded split pruning is an exact shortcut in the same sense: the
+/// seed bound provably dominates each split's true score, so with
+/// pruning on, every engine must reproduce the unseeded run's top
+/// alignments bit for bit — pruning changes which splits are *swept*,
+/// never which alignments are *accepted*. ([`Engine::Legacy`] ignores
+/// the seed configuration; it rides along as a no-op.)
+fn assert_pruning_is_transparent(seq: &Seq, scoring: &Scoring, count: usize) {
+    let base = Repro::new(scoring.clone()).top_alignments(count).run(seq);
+    for engine in all_engines() {
+        for k in [3, 6] {
+            let analysis = Repro::new(scoring.clone())
+                .top_alignments(count)
+                .engine(engine)
+                .seed_config(Some(SeedConfig::new(k)))
+                .run(seq);
+            assert_eq!(
+                analysis.tops.alignments, base.tops.alignments,
+                "{engine:?} with seed k={k} disagrees on {}…",
+                &seq.to_text()[..seq.len().min(30)]
+            );
+        }
+    }
+}
+
+#[test]
+fn pruning_transparent_on_sparse_repeat_island() {
+    // Two motif copies in long non-repetitive flanks: most splits carry
+    // no seed and are actually pruned, so this exercises the pruned
+    // path, not just the seeded bookkeeping.
+    let motif = "ATGCATGCATGC";
+    let seq = Seq::dna(&format!(
+        "GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT"
+    ))
+    .unwrap();
+    assert_pruning_is_transparent(&seq, &Scoring::dna_example(), 2);
+}
+
+#[test]
+fn pruning_transparent_on_embedded_repeats() {
+    let motif = "ATGCATGCATGC";
+    let seq = Seq::dna(&format!(
+        "GGTTCCAA{motif}CCAAGGTT{motif}TGCATTGG{motif}AACCGGTT"
+    ))
+    .unwrap();
+    assert_pruning_is_transparent(&seq, &Scoring::dna_example(), 6);
+}
+
+#[test]
+fn pruning_transparent_on_titin_like() {
+    let seq = titin_like(220, 7);
+    assert_pruning_is_transparent(&seq, &Scoring::protein_default(), 5);
 }
 
 #[test]

@@ -60,6 +60,42 @@ impl RepeatSpec {
         }
     }
 
+    /// A low-repeat "sparse island" workload: a short tandem block of
+    /// near-identical copies embedded in long unrelated flanks (four
+    /// island-lengths of random sequence on each side). Most splits fall
+    /// inside the flanks, where prefix and suffix share no repeated
+    /// material — the fixture the seeded split-pruning layer is measured
+    /// on (`BENCH_prune.json`'s ≥ 50 % prune floor).
+    pub fn dna_sparse_island(unit_len: usize, copies: usize) -> Self {
+        RepeatSpec {
+            alphabet: Alphabet::Dna,
+            unit_len,
+            copies,
+            substitution_rate: 0.02,
+            indel_rate: 0.0,
+            kind: RepeatKind::Tandem,
+            flank: unit_len * copies * 4,
+        }
+    }
+
+    /// The protein variant of [`RepeatSpec::dna_sparse_island`]. On the
+    /// 20-letter alphabet, chance self-matches in the flanks are rare
+    /// and heavily penalised, so the seed layer's flank bounds stay
+    /// near zero and nearly every flank split prunes — DNA's 4-letter
+    /// alphabet lets noise alignments drift upward instead, capping the
+    /// prune fraction well below the protein figure.
+    pub fn protein_sparse_island(unit_len: usize, copies: usize) -> Self {
+        RepeatSpec {
+            alphabet: Alphabet::Protein,
+            unit_len,
+            copies,
+            substitution_rate: 0.05,
+            indel_rate: 0.0,
+            kind: RepeatKind::Tandem,
+            flank: unit_len * copies * 4,
+        }
+    }
+
     /// A protein interspersed-repeat workload with substantial divergence
     /// (the regime Repro was built for).
     pub fn protein_interspersed(unit_len: usize, copies: usize) -> Self {
@@ -241,6 +277,28 @@ mod tests {
         // Flanks exist on both sides.
         assert!(p.copy_ranges[0].start >= 30);
         assert!(p.seq.len() >= p.copy_ranges.last().unwrap().end + 30);
+    }
+
+    #[test]
+    fn sparse_island_is_mostly_flank() {
+        let spec = RepeatSpec::dna_sparse_island(12, 2);
+        let p = PlantedRepeats::generate(&spec, 7);
+        // Island ≈ 24 residues, flanks 96 each side → repeats are well
+        // under a fifth of the sequence, and the island is contiguous.
+        assert_eq!(p.copy_ranges.len(), 2);
+        assert_eq!(p.copy_ranges[0].end, p.copy_ranges[1].start);
+        let repeat_fraction = p.repeat_residues() as f64 / p.seq.len() as f64;
+        assert!(
+            repeat_fraction < 0.2,
+            "sparse island too dense: {repeat_fraction}"
+        );
+        assert!(p.copy_ranges[0].start >= 96);
+        // The protein variant shares the layout, only alphabet/rates
+        // differ.
+        let prot = PlantedRepeats::generate(&RepeatSpec::protein_sparse_island(12, 2), 7);
+        assert_eq!(prot.copy_ranges.len(), 2);
+        assert_eq!(prot.seq.alphabet(), Alphabet::Protein);
+        assert!(prot.copy_ranges[0].start >= 96);
     }
 
     #[test]

@@ -28,7 +28,8 @@ use crate::LaneWidth;
 use repro_align::{QueryProfile, Score, Scoring, Seq};
 use repro_core::bottom::best_valid_entry_counted;
 use repro_core::{
-    accept_task, BottomRowStore, DirtyLog, OverrideTriangle, Stats, TopAlignment, TopAlignments,
+    accept_task, BottomRowStore, DirtyLog, OverrideTriangle, SeedConfig, SplitBounds, Stats,
+    TopAlignment, TopAlignments,
 };
 use repro_obs::{Counter, NoopRecorder, Phase, Recorder};
 use std::cmp::Reverse;
@@ -220,7 +221,7 @@ pub fn find_top_alignments_simd(
 ) -> SimdFinderResult {
     let sel = select(Some(width), None)
         .expect("width-only selection always resolves (portable covers every width)");
-    run(seq, scoring, count, sel, None, &mut NoopRecorder)
+    run(seq, scoring, count, sel, None, None, &mut NoopRecorder)
 }
 
 /// [`find_top_alignments_simd`] with full auto-dispatch: the widest
@@ -231,7 +232,7 @@ pub fn find_top_alignments_simd_auto(
     count: usize,
 ) -> SimdFinderResult {
     let sel = select(None, None).expect("full auto selection always resolves");
-    run(seq, scoring, count, sel, None, &mut NoopRecorder)
+    run(seq, scoring, count, sel, None, None, &mut NoopRecorder)
 }
 
 /// [`find_top_alignments_simd`] with an explicit, pre-resolved kernel
@@ -242,7 +243,7 @@ pub fn find_top_alignments_simd_sel(
     count: usize,
     sel: SimdSel,
 ) -> SimdFinderResult {
-    run(seq, scoring, count, sel, None, &mut NoopRecorder)
+    run(seq, scoring, count, sel, None, None, &mut NoopRecorder)
 }
 
 /// [`find_top_alignments_simd_sel`] with a recorder: phase spans around
@@ -258,7 +259,7 @@ pub fn find_top_alignments_simd_recorded<R: Recorder>(
     sel: SimdSel,
     rec: &mut R,
 ) -> SimdFinderResult {
-    run(seq, scoring, count, sel, None, rec)
+    run(seq, scoring, count, sel, None, None, rec)
 }
 
 /// [`find_top_alignments_simd_recorded`] with the incremental
@@ -276,7 +277,26 @@ pub fn find_top_alignments_simd_checkpointed<R: Recorder>(
     checkpoint_budget: Option<usize>,
     rec: &mut R,
 ) -> SimdFinderResult {
-    run(seq, scoring, count, sel, checkpoint_budget, rec)
+    run(seq, scoring, count, sel, checkpoint_budget, None, rec)
+}
+
+/// [`find_top_alignments_simd_checkpointed`] with seeded split pruning:
+/// every group enters the queue at the maximum of its members' seed
+/// bounds, and a whole lane-pack whose bound stays below every
+/// acceptance is never swept at all. A never-swept group popped with a
+/// stale bound is requeued at its tightened bound without sweeping (a
+/// `pruned_pops` bucket entry, group-granular). Alignments are
+/// bit-identical with pruning on or off.
+pub fn find_top_alignments_simd_seeded<R: Recorder>(
+    seq: &Seq,
+    scoring: &Scoring,
+    count: usize,
+    sel: SimdSel,
+    checkpoint_budget: Option<usize>,
+    seed: Option<SeedConfig>,
+    rec: &mut R,
+) -> SimdFinderResult {
+    run(seq, scoring, count, sel, checkpoint_budget, seed, rec)
 }
 
 #[allow(clippy::needless_range_loop)] // index loops mirror the paper's pseudo code
@@ -286,6 +306,7 @@ fn run<R: Recorder>(
     count: usize,
     sel: SimdSel,
     checkpoint_budget: Option<usize>,
+    seed: Option<SeedConfig>,
     rec: &mut R,
 ) -> SimdFinderResult {
     let m = seq.len();
@@ -304,6 +325,22 @@ fn run<R: Recorder>(
     let mut simd = SimdStats::default();
     let mut alignments: Vec<TopAlignment> = Vec::new();
 
+    // Seeded pruning: a group's admissible bound is the max of its
+    // members' split bounds (a lane-pack is swept as a unit, so the
+    // group enters the queue at the loosest member bound).
+    let mut bounds = seed.map(|sc| SplitBounds::build(seq.codes(), scoring, sc));
+    if let Some(b) = &bounds {
+        stats.seed_index_build_ns = b.build_ns();
+    }
+    let group_bound = |b: &SplitBounds, gi: usize| -> Score {
+        (0..group_lanes(gi))
+            .map(|l| b.bound(group_r0(gi) + l))
+            .max()
+            .unwrap_or(0)
+    };
+    // Splits (not groups) that have completed a first alignment pass.
+    let mut first_passes = 0usize;
+
     // Last exact member scores per group (valid, shadow-filtered).
     let mut member_scores: Vec<Vec<Score>> = (0..ngroups)
         .map(|gi| vec![Score::MAX; group_lanes(gi)])
@@ -320,7 +357,10 @@ fn run<R: Recorder>(
 
     let mut queue: BinaryHeap<GroupTask> = (0..ngroups)
         .map(|gi| GroupTask {
-            score: Score::MAX,
+            score: match &bounds {
+                Some(b) => group_bound(b, gi),
+                None => Score::MAX,
+            },
             gi: Reverse(gi),
             aligned_with: usize::MAX,
         })
@@ -333,6 +373,26 @@ fn run<R: Recorder>(
         }
         let Reverse(gi) = task.gi;
         let tops_found = alignments.len();
+
+        // Bound-refresh fast path: a never-swept group whose bound has
+        // tightened since it was queued is requeued at the new bound
+        // without sweeping — a whole lane-pack resolved with zero DP
+        // work. Only never-swept groups qualify: exact scores must not
+        // be replaced by bounds.
+        if task.aligned_with == usize::MAX {
+            if let Some(b) = &bounds {
+                let gb = group_bound(b, gi);
+                if gb < task.score {
+                    stats.pruned_pops += 1;
+                    queue.push(GroupTask {
+                        score: gb,
+                        gi: Reverse(gi),
+                        aligned_with: usize::MAX,
+                    });
+                    continue;
+                }
+            }
+        }
 
         if task.aligned_with == tops_found {
             stats.fresh_pops += 1;
@@ -359,6 +419,15 @@ fn run<R: Recorder>(
             stats.record_traceback(cells);
             if incremental {
                 dirty.record_accept(&top.pairs);
+            }
+            // Tighten the seed bounds under the grown triangle; stale
+            // queue entries keep their old (looser) bound and stay
+            // admissible, the bound-refresh fast path lowers them on
+            // pop. Skipped once every split has first-passed.
+            if first_passes < splits {
+                if let (Some(b), Some(&(p, _))) = (bounds.as_mut(), top.pairs.first()) {
+                    b.recompute(seq.codes(), scoring, &triangle, p);
+                }
             }
             alignments.push(top);
             queue.push(GroupTask {
@@ -408,22 +477,37 @@ fn run<R: Recorder>(
             }
             let tri = if first_pass { None } else { Some(&triangle) };
             rec.phase_start(sweep_phase);
+            let mut count_sweep = |outcome: &SweepOutcome| {
+                simd.group_sweeps += 1;
+                simd.vector_cells += outcome.vector_cells;
+                rec.add(Counter::GroupSweeps, 1);
+                rec.add(Counter::LanesActive, nl as u64);
+                rec.add(Counter::LanesPadded, (lanes - nl) as u64);
+                if outcome.saturated_narrow {
+                    simd.saturation_fallbacks += 1;
+                    rec.add(Counter::NarrowSaturations, 1);
+                }
+                if outcome.promoted {
+                    simd.promoted_sweeps += 1;
+                    rec.add(Counter::PromotedSweeps, 1);
+                }
+            };
             let outcome = sweeper.sweep(r0, nl, tri);
-            simd.group_sweeps += 1;
-            simd.vector_cells += outcome.vector_cells;
-            rec.add(Counter::GroupSweeps, 1);
-            rec.add(Counter::LanesActive, nl as u64);
-            rec.add(Counter::LanesPadded, (lanes - nl) as u64);
-            if outcome.saturated_narrow {
-                simd.saturation_fallbacks += 1;
-                rec.add(Counter::NarrowSaturations, 1);
-            }
-            if outcome.promoted {
-                simd.promoted_sweeps += 1;
-                rec.add(Counter::PromotedSweeps, 1);
-            }
+            count_sweep(&outcome);
+            // Late first pass: under seeded pruning a group's first
+            // sweep can happen after accepts have grown the triangle.
+            // The clean (unmasked) sweep above feeds the shadow store;
+            // this masked resweep yields the exact current scores.
+            let masked = if first_pass && !triangle.is_empty() {
+                let mo = sweeper.sweep(r0, nl, Some(&triangle));
+                count_sweep(&mo);
+                Some(mo.group)
+            } else {
+                None
+            };
             let g = outcome.group;
-            let per_lane_cells = g.cells / nl as u64;
+            let total_cells = g.cells + masked.as_ref().map_or(0, |mg| mg.cells);
+            let per_lane_cells = total_cells / nl as u64;
             let mut group_best = 0;
             let mut lane_memo: Vec<(Score, u64)> = Vec::new();
             if incremental && !first_pass {
@@ -433,10 +517,16 @@ fn run<R: Recorder>(
                 let r = r0 + l;
                 let mut lane_shadows = 0;
                 let score = if first_pass {
-                    debug_assert!(triangle.is_empty());
-                    let s = g.rows[l].iter().copied().max().unwrap_or(0).max(0);
                     bottomstore.store(r, &g.rows[l]);
-                    s
+                    if let Some(mg) = &masked {
+                        let (s, _, shadows) = best_valid_entry_counted(&mg.rows[l], &g.rows[l]);
+                        stats.shadow_rejections += shadows;
+                        lane_shadows = shadows;
+                        s
+                    } else {
+                        debug_assert!(triangle.is_empty());
+                        g.rows[l].iter().copied().max().unwrap_or(0).max(0)
+                    }
                 } else {
                     let original = bottomstore
                         .get(r)
@@ -459,6 +549,9 @@ fn run<R: Recorder>(
             if incremental {
                 group_memo[gi] = Some((dirty.version(), lane_memo));
             }
+            if first_pass {
+                first_passes += nl;
+            }
             rec.phase_end(sweep_phase);
             queue.push(GroupTask {
                 score: group_best,
@@ -473,6 +566,15 @@ fn run<R: Recorder>(
         rec.add(Counter::CheckpointMisses, stats.checkpoint_misses);
         rec.add(Counter::RealignRowsSwept, stats.realign_rows_swept);
         rec.add(Counter::RealignRowsSkipped, stats.realign_rows_skipped);
+    }
+
+    if let Some(b) = &bounds {
+        stats.splits_pruned = splits.saturating_sub(first_passes) as u64;
+        stats.bound_recomputes = b.recomputes();
+        rec.add(Counter::SplitsPruned, stats.splits_pruned);
+        rec.add(Counter::PrunedPops, stats.pruned_pops);
+        rec.add(Counter::BoundRecomputes, stats.bound_recomputes);
+        rec.add(Counter::SeedIndexBuildNs, stats.seed_index_build_ns);
     }
 
     SimdFinderResult {
@@ -719,5 +821,70 @@ mod tests {
             let got = find_top_alignments_simd(&seq, &scoring, 3, LaneWidth::X4);
             assert_eq!(got.result.alignments, want.alignments, "input {text:?}");
         }
+    }
+
+    #[test]
+    fn seeded_matches_unpruned_at_every_width() {
+        let scoring = Scoring::dna_example();
+        let motif = "ATGCATGCATGC";
+        for text in [
+            format!("GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT"),
+            "ACGTTGCAACGTACGTTGCAGGTT".to_string(),
+            "AAAAAAAAAAAAAAA".to_string(),
+            "ATG".to_string(),
+        ] {
+            let seq = Seq::dna(&text).unwrap();
+            for count in [1, 5] {
+                let want = find_top_alignments(&seq, &scoring, count);
+                for width in ALL_WIDTHS {
+                    let sel = crate::dispatch::select(Some(width), None).unwrap();
+                    for budget in [None, Some(1 << 20)] {
+                        let got = find_top_alignments_simd_seeded(
+                            &seq,
+                            &scoring,
+                            count,
+                            sel,
+                            budget,
+                            Some(repro_core::SeedConfig::default()),
+                            &mut NoopRecorder,
+                        );
+                        assert_eq!(
+                            got.result.alignments, want.alignments,
+                            "{width:?} count {count} budget {budget:?} on {text}"
+                        );
+                        assert_eq!(got.result.triangle, want.triangle);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_prunes_whole_groups_on_low_repeat_input() {
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAACCGGTTAACCAGTGCA{motif}{motif}CAGTCCGGAATTCCGGTAACCGT");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let sel = crate::dispatch::select(Some(LaneWidth::X4), None).unwrap();
+        let got = find_top_alignments_simd_seeded(
+            &seq,
+            &scoring,
+            1,
+            sel,
+            None,
+            Some(repro_core::SeedConfig::default()),
+            &mut NoopRecorder,
+        );
+        let s = &got.result.stats;
+        assert!(
+            s.splits_pruned > 0,
+            "expected whole lane-packs pruned, got {}",
+            s.splits_pruned
+        );
+        // Pruning is lane-pack-granular: the pruned splits are whole
+        // groups' worth (the last group may be short).
+        assert!(s.seed_index_build_ns > 0);
+        let want = find_top_alignments(&seq, &scoring, 1);
+        assert_eq!(got.result.alignments, want.alignments);
     }
 }

@@ -26,7 +26,9 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"rpro");
 /// Wire protocol version. Bump on any framing or message-layout change;
 /// a peer with a different version is rejected with
 /// [`WireError::Version`] before any field of its payload is read.
-pub const VERSION: u32 = 1;
+/// v2: `TaskMsg` grew the master's per-split `bound` field (seeded
+/// split pruning), so a v1 peer would mis-frame every task.
+pub const VERSION: u32 = 2;
 
 /// Bytes of frame header (`magic + version + len`) before the payload.
 pub const FRAME_HEADER: usize = 12;
