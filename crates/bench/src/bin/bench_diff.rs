@@ -1,0 +1,344 @@
+//! **Bench diff** — compare freshly generated `BENCH_*.json` files
+//! against the committed baselines under `results/`, direction-aware.
+//!
+//! Each bench file contributes a set of headline metrics (wall ratios,
+//! speedups, throughputs) with a known good direction; `bench_diff`
+//! matches them by name between the two trees, prints the relative
+//! change, and — under `--check` — exits non-zero when any metric
+//! moved in its *bad* direction by more than the threshold. Metrics
+//! present on only one side (new benches, renamed engines) are listed
+//! but never fail the gate; whole files missing on either side warn
+//! and skip, so the gate degrades gracefully while a bench suite is
+//! being grown.
+//!
+//! Usage: `cargo run --release -p repro-bench --bin bench_diff --
+//! [--fresh DIR] [--baseline DIR] [--threshold PCT] [--check]`
+//!
+//! Defaults: fresh = current directory (where the bench bins write),
+//! baseline = `results/`, threshold = 15 (percent).
+
+use repro::obs::json::Json;
+use repro_bench::Table;
+
+/// The bench outputs the diff knows how to read. A file absent from a
+/// tree is warned about and skipped, not failed — regenerating every
+/// suite for every change would defeat the point of a quick gate.
+const FILES: &[&str] = &[
+    "BENCH_report.json",
+    "BENCH_e2e.json",
+    "BENCH_prune.json",
+    "BENCH_cluster_real.json",
+    "BENCH_simd.json",
+];
+
+/// Relative regression allowed before `--check` fails, in percent.
+const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
+
+/// One headline metric: a stable name, its value, and which direction
+/// is an improvement.
+#[derive(Debug, Clone, PartialEq)]
+struct MetricVal {
+    name: String,
+    value: f64,
+    higher_is_better: bool,
+}
+
+fn m(name: String, value: f64, higher_is_better: bool) -> MetricVal {
+    MetricVal {
+        name,
+        value,
+        higher_is_better,
+    }
+}
+
+fn f(v: Option<&Json>) -> Option<f64> {
+    v.and_then(Json::as_f64)
+}
+
+fn s(v: Option<&Json>) -> &str {
+    v.and_then(Json::as_str).unwrap_or("?")
+}
+
+/// Pull the headline metrics out of a parsed bench file, dispatching
+/// on its `bench` tag. Unknown tags yield no metrics (forward
+/// compatible: a new bench diffs as empty until a rule is added here).
+fn extract(doc: &Json) -> Vec<MetricVal> {
+    let mut out = Vec::new();
+    match s(doc.get("bench")) {
+        "run_report" => {
+            if let Some(r) = f(doc.get("ablation").and_then(|a| a.get("ratio"))) {
+                out.push(m("report:ablation_ratio".into(), r, false));
+            }
+            for rep in doc.get("reports").and_then(Json::as_arr).unwrap_or(&[]) {
+                let engine = s(rep.get("engine"));
+                if let Some(v) = f(rep.get("elapsed_secs")) {
+                    out.push(m(format!("report:{engine}:elapsed_secs"), v, false));
+                }
+            }
+        }
+        "e2e_speed" => {
+            for e in doc.get("engines").and_then(Json::as_arr).unwrap_or(&[]) {
+                let engine = s(e.get("engine"));
+                if let Some(v) = f(e.get("speedup")) {
+                    out.push(m(format!("e2e:{engine}:speedup"), v, true));
+                }
+            }
+        }
+        "split_prune" => {
+            for r in doc.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+                let workload = s(r.get("workload"));
+                let engine = s(r.get("engine"));
+                if let Some(v) = f(r.get("wall_ratio")) {
+                    out.push(m(
+                        format!("prune:{workload}:{engine}:wall_ratio"),
+                        v,
+                        false,
+                    ));
+                }
+            }
+        }
+        "cluster_real" => {
+            for t in doc
+                .get("transports")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+            {
+                let workers = f(t.get("workers")).unwrap_or(0.0) as u64;
+                if let Some(v) = f(t.get("overhead")) {
+                    out.push(m(format!("cluster:{workers}w:proc_overhead"), v, false));
+                }
+            }
+        }
+        "simd_sweep" => {
+            for k in doc.get("kernels").and_then(Json::as_arr).unwrap_or(&[]) {
+                let path = s(k.get("path"));
+                let lanes = f(k.get("lanes")).unwrap_or(0.0) as u64;
+                let kernel = s(k.get("kernel"));
+                if let Some(v) = f(k.get("lane_cells_per_sec")) {
+                    out.push(m(
+                        format!("simd:{path}:x{lanes}:{kernel}:lane_cells_per_sec"),
+                        v,
+                        true,
+                    ));
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// One compared metric: the signed relative change and whether it
+/// crossed the regression threshold in its bad direction.
+#[derive(Debug, Clone, PartialEq)]
+struct DiffRow {
+    name: String,
+    base: f64,
+    fresh: f64,
+    /// Relative change in the metric's value, in percent (sign follows
+    /// the raw value, not goodness).
+    change_pct: f64,
+    regressed: bool,
+}
+
+/// Match metrics by name and flag regressions beyond `threshold_pct`.
+/// A regression is a move in the metric's *bad* direction: up for
+/// costs/ratios, down for speedups/throughputs.
+fn diff(base: &[MetricVal], fresh: &[MetricVal], threshold_pct: f64) -> Vec<DiffRow> {
+    let mut rows = Vec::new();
+    for b in base {
+        let Some(fr) = fresh.iter().find(|f| f.name == b.name) else {
+            continue;
+        };
+        if b.value.abs() < 1e-12 {
+            continue; // a zero baseline has no meaningful relative change
+        }
+        let change_pct = 100.0 * (fr.value - b.value) / b.value;
+        let worse_pct = if b.higher_is_better {
+            -change_pct
+        } else {
+            change_pct
+        };
+        rows.push(DiffRow {
+            name: b.name.clone(),
+            base: b.value,
+            fresh: fr.value,
+            change_pct,
+            regressed: worse_pct > threshold_pct,
+        });
+    }
+    rows
+}
+
+fn load(path: &std::path::Path) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_val = |name: &str| {
+        args.windows(2)
+            .find(|w| w[0] == name)
+            .map(|w| w[1].clone())
+    };
+    let fresh_dir = flag_val("--fresh").unwrap_or_else(|| ".".to_string());
+    let base_dir = flag_val("--baseline").unwrap_or_else(|| "results".to_string());
+    let threshold: f64 = flag_val("--threshold")
+        .map(|t| t.parse().unwrap_or(DEFAULT_THRESHOLD_PCT))
+        .unwrap_or(DEFAULT_THRESHOLD_PCT);
+    let check = args.iter().any(|a| a == "--check");
+
+    println!(
+        "bench_diff: fresh={fresh_dir} baseline={base_dir} \
+         threshold={threshold}%{}",
+        if check { " (check)" } else { "" }
+    );
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for file in FILES {
+        let base_path = std::path::Path::new(&base_dir).join(file);
+        let fresh_path = std::path::Path::new(&fresh_dir).join(file);
+        let base = match load(&base_path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("warning: no baseline for {file} ({e}); skipping");
+                continue;
+            }
+        };
+        let fresh = match load(&fresh_path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("warning: no fresh run of {file} ({e}); skipping");
+                continue;
+            }
+        };
+        let rows = diff(&extract(&base), &extract(&fresh), threshold);
+        if rows.is_empty() {
+            eprintln!("warning: {file}: no comparable metrics");
+            continue;
+        }
+        println!("\n{file}");
+        let table = Table::new(&["metric", "baseline", "fresh", "change"]);
+        for r in &rows {
+            table.row(&[
+                r.name.clone(),
+                format!("{:.4}", r.base),
+                format!("{:.4}", r.fresh),
+                format!(
+                    "{:+.1}%{}",
+                    r.change_pct,
+                    if r.regressed { "  REGRESSED" } else { "" }
+                ),
+            ]);
+        }
+        compared += rows.len();
+        regressions += rows.iter().filter(|r| r.regressed).count();
+    }
+
+    println!("\n{compared} metric(s) compared, {regressions} regression(s)");
+    if check && regressions > 0 {
+        eprintln!(
+            "CHECK FAILED: {regressions} metric(s) regressed past \
+             {threshold}% — see the rows marked REGRESSED"
+        );
+        std::process::exit(1);
+    }
+    if check && compared == 0 {
+        eprintln!("CHECK FAILED: nothing was compared (no fresh bench output?)");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Json {
+        Json::parse(text).unwrap()
+    }
+
+    #[test]
+    fn extracts_every_known_bench_kind() {
+        let report = doc(
+            r#"{"bench":"run_report","ablation":{"ratio":0.95},
+                "reports":[{"engine":"sequential","elapsed_secs":1.5}]}"#,
+        );
+        let got = extract(&report);
+        assert_eq!(got.len(), 2);
+        assert!(!got[0].higher_is_better);
+        assert_eq!(got[1].name, "report:sequential:elapsed_secs");
+
+        let e2e = doc(r#"{"bench":"e2e_speed","engines":[{"engine":"threads:2","speedup":2.8}]}"#);
+        let got = extract(&e2e);
+        assert_eq!(got[0].name, "e2e:threads:2:speedup");
+        assert!(got[0].higher_is_better);
+
+        let prune = doc(
+            r#"{"bench":"split_prune","rows":[
+                {"workload":"sparse_island","engine":"sequential","wall_ratio":0.06}]}"#,
+        );
+        assert_eq!(
+            extract(&prune)[0].name,
+            "prune:sparse_island:sequential:wall_ratio"
+        );
+
+        let cluster = doc(r#"{"bench":"cluster_real","transports":[{"workers":2,"overhead":1.0}]}"#);
+        assert_eq!(extract(&cluster)[0].name, "cluster:2w:proc_overhead");
+
+        let simd = doc(
+            r#"{"bench":"simd_sweep","kernels":[
+                {"path":"sse2","lanes":8,"kernel":"profile","lane_cells_per_sec":3.0e9}]}"#,
+        );
+        assert_eq!(
+            extract(&simd)[0].name,
+            "simd:sse2:x8:profile:lane_cells_per_sec"
+        );
+
+        assert!(extract(&doc(r#"{"bench":"novel"}"#)).is_empty());
+    }
+
+    #[test]
+    fn diff_is_direction_aware() {
+        let base = vec![
+            m("cost".into(), 1.0, false),
+            m("speed".into(), 1.0, true),
+        ];
+        // Cost up 20% = regression; speed up 20% = improvement.
+        let fresh = vec![
+            m("cost".into(), 1.2, false),
+            m("speed".into(), 1.2, true),
+        ];
+        let rows = diff(&base, &fresh, 15.0);
+        assert!(rows[0].regressed, "cost +20% must regress");
+        assert!(!rows[1].regressed, "speed +20% must not regress");
+        // And mirrored: cost down is fine, speed down 20% regresses.
+        let fresh = vec![
+            m("cost".into(), 0.8, false),
+            m("speed".into(), 0.8, true),
+        ];
+        let rows = diff(&base, &fresh, 15.0);
+        assert!(!rows[0].regressed);
+        assert!(rows[1].regressed, "speed -20% must regress");
+    }
+
+    #[test]
+    fn diff_respects_the_threshold_and_skips_unmatched() {
+        let base = vec![
+            m("a".into(), 1.0, false),
+            m("gone".into(), 1.0, false),
+            m("zero".into(), 0.0, false),
+        ];
+        let fresh = vec![m("a".into(), 1.10, false), m("new".into(), 5.0, false)];
+        let rows = diff(&base, &fresh, 15.0);
+        // +10% stays under a 15% threshold; unmatched and zero-baseline
+        // metrics are skipped rather than failed.
+        assert_eq!(rows.len(), 1);
+        assert!(!rows[0].regressed);
+        assert!((rows[0].change_pct - 10.0).abs() < 1e-9);
+        let rows = diff(&base, &fresh, 5.0);
+        assert!(rows[0].regressed, "+10% must regress at a 5% threshold");
+    }
+}

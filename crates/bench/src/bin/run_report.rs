@@ -13,8 +13,13 @@
 //!   on real proteins).
 //! * `--check`: additionally exit non-zero if the flight recorder's
 //!   measured overhead over the `NoopRecorder` path exceeds the
-//!   ablation threshold, or if any claim leaves its band. This is the
-//!   CI gate proving the instrumentation stays out of the hot loop.
+//!   ablation threshold (the recorder now carries the full histogram
+//!   set, so this is the histograms-enabled gate), if any claim leaves
+//!   its band, if any engine's schema-v4 report is missing its latency
+//!   histograms, or if the sim and proc transports disagree on the
+//!   merged cluster-wide work counters. This is the CI gate proving
+//!   the instrumentation stays out of the hot loop *and* stays
+//!   truthful over real sockets.
 //! * `--validate FILE`: parse a report file — either this binary's
 //!   output or the CLI's `--report` output (`{"reports":[…]}`) — and
 //!   structurally validate every embedded report
@@ -26,7 +31,7 @@
 
 use repro::obs::json::Json;
 use repro::obs::{FlightRecorder, NoopRecorder, DEFAULT_EVENT_CAP};
-use repro::{Engine, Repro, RunReport, Scoring, SeedConfig};
+use repro::{Engine, Repro, RunReport, Scoring, SeedConfig, Transport};
 use repro_bench::{secs, time_min, Scale, Table};
 use std::time::Duration;
 
@@ -142,6 +147,7 @@ fn main() {
     let mut baseline: Option<RunReport> = None;
     let mut reports: Vec<Json> = Vec::new();
     let mut claims_ok = true;
+    let mut hist_rows: Vec<(String, Vec<repro::HistogramSummary>)> = Vec::new();
     for engine in engines {
         let analysis = Repro::new(scoring.clone())
             .top_alignments(tops)
@@ -170,6 +176,7 @@ fn main() {
             },
             analysis.events.len().to_string(),
         ]);
+        hist_rows.push((run.engine.clone(), run.histograms.clone()));
         reports.push(run.to_json());
         if baseline.is_none() {
             baseline = Some(run);
@@ -207,6 +214,82 @@ fn main() {
         ]);
         reports.push(run.to_json());
     }
+
+    // Per-engine latency distributions (schema v4's `histograms`
+    // block): the nanosecond quantiles behind every wall-clock claim.
+    println!("\nlatency histograms (p50/p99 ns; count in parens)");
+    let hist_table = Table::new(&["engine", "sweep", "task_rtt", "queue_wait"]);
+    let mut hists_ok = true;
+    for (engine, hists) in &hist_rows {
+        let cell = |name: &str| -> String {
+            match hists.iter().find(|h| h.metric == name) {
+                Some(h) if h.count > 0 => format!("{}/{} ({})", h.p50, h.p99, h.count),
+                _ => "-".to_string(),
+            }
+        };
+        hist_table.row(&[
+            engine.clone(),
+            cell("sweep_ns"),
+            cell("task_round_trip_ns"),
+            cell("queue_wait_ns"),
+        ]);
+        let count_of = |name: &str| {
+            hists
+                .iter()
+                .find(|h| h.metric == name)
+                .map_or(0, |h| h.count)
+        };
+        // Every engine sweeps; the task-queue engines must also show
+        // round trips — a zero count means the telemetry path silently
+        // dropped the worker-side recorder again.
+        if count_of("sweep_ns") == 0 {
+            eprintln!("histograms: {engine} recorded no sweep durations");
+            hists_ok = false;
+        }
+        let has_tasks = engine.contains("threads") || engine.contains("cluster");
+        if has_tasks && count_of("task_round_trip_ns") == 0 {
+            eprintln!("histograms: {engine} recorded no task round trips");
+            hists_ok = false;
+        }
+    }
+
+    // Transport truthfulness: the cluster-wide merged counters must be
+    // bit-equal between the simulator and real sockets on the same
+    // deterministic single-worker schedule, and the worker-side pool
+    // counter must actually survive the trip (0 == 0 proves nothing).
+    let transport_ok = {
+        let tseq = repro_seqgen::titin_like(300, 7);
+        let base = Repro::new(scoring.clone())
+            .top_alignments(6)
+            .checkpoint_budget(Some(repro::align::checkpoint::DEFAULT_CHECKPOINT_BUDGET))
+            .engine(Engine::Cluster { workers: 1 });
+        let sim = base.clone().run(&tseq);
+        let proc = base.transport(Transport::Proc).run(&tseq);
+        let pairs = [
+            ("alignments", sim.run.alignments, proc.run.alignments),
+            ("cells", sim.run.cells, proc.run.cells),
+            ("checkpoint_hits", sim.run.checkpoint_hits, proc.run.checkpoint_hits),
+            ("pool_reuses", sim.run.pool_reuses, proc.run.pool_reuses),
+        ];
+        let mut ok = sim.tops.alignments == proc.tops.alignments;
+        for (name, s, p) in pairs {
+            if s != p {
+                eprintln!("transport: {name} diverged (sim {s}, proc {p})");
+                ok = false;
+            }
+        }
+        if sim.run.pool_reuses == 0 {
+            eprintln!("transport: pool_reuses is 0 — worker telemetry went missing");
+            ok = false;
+        }
+        println!(
+            "\ntransport: sim vs proc merged counters {} \
+             (pool_reuses {} on both)",
+            if ok { "bit-equal" } else { "DIVERGED" },
+            sim.run.pool_reuses,
+        );
+        ok
+    };
 
     let (noop, flight) = ablation(&seq, &scoring, tops.min(10));
     let ratio = flight / noop.max(1e-12);
@@ -260,6 +343,20 @@ fn main() {
             );
             failed = true;
         }
+        if !hists_ok {
+            eprintln!(
+                "CHECK FAILED: an engine's schema-v4 report is missing its \
+                 latency histograms (see above)"
+            );
+            failed = true;
+        }
+        if !transport_ok {
+            eprintln!(
+                "CHECK FAILED: sim and proc transports disagree on the merged \
+                 cluster-wide counters (see above)"
+            );
+            failed = true;
+        }
         if let Err(e) = validate_file(&out) {
             eprintln!("CHECK FAILED: {e}");
             failed = true;
@@ -267,6 +364,9 @@ fn main() {
         if failed {
             std::process::exit(1);
         }
-        println!("check: ablation + claims + schema all within bounds");
+        println!(
+            "check: ablation + claims + histograms + transport + schema all \
+             within bounds"
+        );
     }
 }

@@ -3,8 +3,9 @@
 //! ```text
 //! repro [OPTIONS] <input.fasta | ->
 //! repro --generate titin:LEN:SEED | tandem:U:C:SEED | interspersed:U:C:SEED |
-//!                  sparse:U:C:SEED
+//!                  sparse:U:C:SEED | island:U:C:FLANK:SEED
 //! repro worker --connect HOST:PORT
+//! repro trace --chrome out.json [OPTIONS] <input.fasta | ->
 //!
 //! Options:
 //!   --alphabet dna|protein     residue alphabet         [default: protein]
@@ -44,6 +45,12 @@
 //!                              (`{"reports":[…]}`, one per record)
 //!   --trace FILE               write the structured event log as JSONL
 //!                              (cluster/hybrid engines; see repro-obs)
+//!   --progress FILE|-          stream JSONL progress heartbeats to FILE
+//!                              (`-` = stderr) while the run executes
+//!   --chrome FILE              export a Chrome trace-event JSON (phase
+//!                              spans + worker task spans; open it in
+//!                              chrome://tracing or Perfetto); needs a
+//!                              single-record input
 //!   --generate SPEC            emit a workload FASTA and exit
 //! ```
 //!
@@ -55,6 +62,10 @@
 //! description, and serves tasks until the master says DONE (exit 0) or
 //! goes silent past the job's deadline. Workers may join a run that is
 //! already in progress.
+//!
+//! `repro trace` is the same analysis pipeline with Chrome trace export
+//! made mandatory: `--chrome out.json` is required, and event capture
+//! is forced on so the worker task spans materialize.
 
 use repro::align::fasta::read_fasta;
 use repro::align::{Alphabet, ExchangeMatrix, GapPenalties};
@@ -86,6 +97,8 @@ struct Options {
     quiet: bool,
     report: Option<String>,
     trace: Option<String>,
+    progress: Option<String>,
+    chrome: Option<String>,
     generate: Option<String>,
 }
 
@@ -97,9 +110,10 @@ fn usage() -> &'static str {
      [--match N] [--mismatch N] [--open N] [--extend N] [--matrix FILE] \
      [--pairs] [--cigar] [--consensus] [--low-memory] [--checkpoint-budget BYTES] \
      [--no-prune] [--seed-k K] [--quiet] \
-     [--report FILE] [--trace FILE] \
+     [--report FILE] [--trace FILE] [--progress FILE|-] [--chrome FILE] \
      <input.fasta | -> | repro --generate titin:LEN:SEED | \
-     repro worker --connect HOST:PORT"
+     repro worker --connect HOST:PORT | \
+     repro trace --chrome out.json [OPTIONS] <input.fasta | ->"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -127,6 +141,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         quiet: false,
         report: None,
         trace: None,
+        progress: None,
+        chrome: None,
         generate: None,
     };
     let mut it = args.iter();
@@ -280,6 +296,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--quiet" => opts.quiet = true,
             "--report" => opts.report = Some(next("--report")?.clone()),
             "--trace" => opts.trace = Some(next("--trace")?.clone()),
+            "--progress" => opts.progress = Some(next("--progress")?.clone()),
+            "--chrome" => opts.chrome = Some(next("--chrome")?.clone()),
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other}\n{}", usage()))
@@ -319,8 +337,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 
 /// Generate a workload FASTA to stdout: `titin:LEN:SEED` (protein),
 /// `tandem:UNIT:COPIES:SEED` (DNA), `interspersed:UNIT:COPIES:SEED`
-/// (protein) or `sparse:UNIT:COPIES:SEED` (protein sparse island — a
-/// tandem block in long unrelated flanks, the split-pruning fixture).
+/// (protein), `sparse:UNIT:COPIES:SEED` (protein sparse island — a
+/// tandem block in long unrelated flanks, the split-pruning fixture)
+/// or `island:UNIT:COPIES:FLANK:SEED` (protein interspersed copies
+/// with tight spacers in explicit flanks, the `e2e_speed` fixture).
 fn generate(spec: &str) -> Result<(), String> {
     use repro::align::fasta::{format_fasta, FastaRecord};
     use repro::seqgen::{titin_like, PlantedRepeats, RepeatSpec};
@@ -364,11 +384,33 @@ fn generate(spec: &str) -> Result<(), String> {
                 seq: planted.seq,
             }
         }
+        // The `e2e_speed` bench fixture: interspersed protein copies
+        // with tight spacers and an explicit flank, so EXPERIMENTS.md
+        // protocols over that workload are reproducible from the CLI.
+        ["island", unit, copies, flank, seed] => {
+            use repro::seqgen::RepeatKind;
+            let unit_len = num(unit)?;
+            let spec = RepeatSpec {
+                flank: num(flank)?,
+                kind: RepeatKind::Interspersed {
+                    min_spacer: unit_len / 2,
+                    max_spacer: unit_len,
+                },
+                ..RepeatSpec::protein_interspersed(unit_len, num(copies)?)
+            };
+            let planted = PlantedRepeats::generate(&spec, num(seed)? as u64);
+            FastaRecord {
+                id: format!(
+                    "repeat-island unit={unit} copies={copies} flank={flank} seed={seed}"
+                ),
+                seq: planted.seq,
+            }
+        }
         _ => {
             return Err(format!(
                 "bad --generate spec {spec:?}: expected titin:LEN:SEED, \
-                 tandem:UNIT:COPIES:SEED, interspersed:UNIT:COPIES:SEED or \
-                 sparse:UNIT:COPIES:SEED"
+                 tandem:UNIT:COPIES:SEED, interspersed:UNIT:COPIES:SEED, \
+                 sparse:UNIT:COPIES:SEED or island:UNIT:COPIES:FLANK:SEED"
             ))
         }
     };
@@ -427,16 +469,54 @@ fn run(opts: &Options) -> Result<(), String> {
     if records.is_empty() {
         return Err("no FASTA records in input".to_string());
     }
+    if opts.chrome.is_some() && records.len() > 1 {
+        return Err(format!(
+            "--chrome exports one timeline and the input has {} records; \
+             split the FASTA or pick one record",
+            records.len()
+        ));
+    }
+
+    // One sink for the whole input: a multi-record file streams all its
+    // runs into the same heartbeat log (each run's final forced line
+    // marks the boundary).
+    let progress_sink = match opts.progress.as_deref() {
+        None => None,
+        Some("-") => Some(repro::obs::ProgressSink::stderr(
+            repro::obs::DEFAULT_HEARTBEAT,
+        )),
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create progress file {path}: {e}"))?;
+            Some(repro::obs::ProgressSink::to_writer(
+                Box::new(file),
+                repro::obs::DEFAULT_HEARTBEAT,
+            ))
+        }
+    };
 
     let mut reports: Vec<repro::obs::json::Json> = Vec::new();
     let mut trace_lines: Vec<String> = Vec::new();
     for record in &records {
-        let analysis = analyze_one(&record.id, &record.seq, &scoring, opts)?;
+        let analysis = analyze_one(
+            &record.id,
+            &record.seq,
+            &scoring,
+            opts,
+            progress_sink.clone(),
+        )?;
         if opts.report.is_some() {
             reports.push(analysis.run.to_json());
         }
         if opts.trace.is_some() {
             trace_lines.extend(analysis.events.iter().map(|e| e.to_jsonl()));
+        }
+        if let Some(path) = &opts.chrome {
+            let doc = repro::trace::chrome_trace(&analysis.run, &analysis.events);
+            let mut text = doc.to_string_compact();
+            text.push('\n');
+            std::fs::write(path, text)
+                .map_err(|e| format!("cannot write chrome trace {path}: {e}"))?;
         }
     }
     if let Some(path) = &opts.report {
@@ -460,6 +540,7 @@ fn analyze_one(
     seq: &Seq,
     scoring: &Scoring,
     opts: &Options,
+    progress: Option<repro::obs::ProgressSink>,
 ) -> Result<repro::Analysis, String> {
     println!(
         ">{id} ({} residues, {} alphabet)",
@@ -483,7 +564,8 @@ fn analyze_one(
                 None => repro::SeedConfig::default(),
             })
         })
-        .trace(opts.trace.is_some())
+        .trace(opts.trace.is_some() || opts.chrome.is_some())
+        .progress(progress)
         .try_run(seq)
         .map_err(|e| format!("engine failure on {id:?}: {e}"))?;
     let elapsed = t0.elapsed();
@@ -600,6 +682,29 @@ fn run_worker(args: &[String]) -> ExitCode {
     }
 }
 
+/// `repro trace --chrome out.json [OPTIONS] <input>`: the normal
+/// analysis pipeline with Chrome trace export mandatory.
+fn run_trace(args: &[String]) -> ExitCode {
+    let opts = match parse_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.chrome.is_none() {
+        eprintln!("repro trace: --chrome FILE is required\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     restore_sigpipe();
     // A re-exec'd worker (spawned by a master with REPRO_WORKER_CONNECT
@@ -610,6 +715,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("worker") {
         return run_worker(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return run_trace(&args[1..]);
     }
     let opts = match parse_args(&args) {
         Ok(o) => o,
@@ -908,6 +1016,103 @@ mod tests {
         for line in trace_text.lines() {
             Json::parse(line).unwrap();
         }
+    }
+
+    #[test]
+    fn parses_progress_and_chrome_paths() {
+        let o = parse_args(&args(&["--progress", "-", "x.fa"])).unwrap();
+        assert_eq!(o.progress.as_deref(), Some("-"));
+        let o = parse_args(&args(&["--progress", "p.jsonl", "--chrome", "t.json", "x.fa"]))
+            .unwrap();
+        assert_eq!(o.progress.as_deref(), Some("p.jsonl"));
+        assert_eq!(o.chrome.as_deref(), Some("t.json"));
+        assert!(parse_args(&args(&["x.fa", "--progress"])).is_err());
+        assert!(parse_args(&args(&["x.fa", "--chrome"])).is_err());
+    }
+
+    #[test]
+    fn progress_file_streams_heartbeats_ending_in_the_final_line() {
+        use repro::obs::json::Json;
+        let dir = std::env::temp_dir();
+        let fasta = dir.join("repro_cli_progress_test.fa");
+        let progress = dir.join("repro_cli_progress_test.jsonl");
+        std::fs::write(&fasta, ">t\nATGCATGCATGCATGC\n").unwrap();
+        let o = parse_args(&args(&[
+            "--alphabet",
+            "dna",
+            "--tops",
+            "3",
+            "--quiet",
+            "--progress",
+            progress.to_str().unwrap(),
+            fasta.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&o).unwrap();
+        let text = std::fs::read_to_string(&progress).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "no heartbeats written");
+        for line in &lines {
+            Json::parse(line).unwrap();
+        }
+        // The forced end-of-run line reports a finished search.
+        let last = Json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(last.get("tops_found").and_then(Json::as_u64), Some(3));
+        assert!(matches!(last.get("eta_secs"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn chrome_trace_file_is_written_with_worker_spans() {
+        use repro::obs::json::Json;
+        let dir = std::env::temp_dir();
+        let fasta = dir.join("repro_cli_chrome_test.fa");
+        let chrome = dir.join("repro_cli_chrome_test.json");
+        std::fs::write(&fasta, ">t\nATGCATGCATGCATGC\n").unwrap();
+        let o = parse_args(&args(&[
+            "--alphabet",
+            "dna",
+            "--tops",
+            "3",
+            "--engine",
+            "cluster:2",
+            "--quiet",
+            "--chrome",
+            chrome.to_str().unwrap(),
+            fasta.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&o).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // Phase spans plus at least one worker task span (the chrome
+        // flag forces event capture even without --trace).
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("tid").and_then(Json::as_u64) == Some(0)
+        }));
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X")
+                && e.get("tid").and_then(Json::as_u64).unwrap_or(0) >= 1
+        }));
+    }
+
+    #[test]
+    fn chrome_export_rejects_multi_record_input() {
+        let dir = std::env::temp_dir();
+        let fasta = dir.join("repro_cli_chrome_multi_test.fa");
+        let chrome = dir.join("repro_cli_chrome_multi_test.json");
+        std::fs::write(&fasta, ">a\nATGCATGC\n>b\nATGCATGC\n").unwrap();
+        let o = parse_args(&args(&[
+            "--alphabet",
+            "dna",
+            "--quiet",
+            "--chrome",
+            chrome.to_str().unwrap(),
+            fasta.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = run(&o).unwrap_err();
+        assert!(err.contains("2 records"), "{err}");
     }
 
     #[test]

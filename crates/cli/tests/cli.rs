@@ -267,6 +267,27 @@ fn generate_titin_and_bad_specs() {
 }
 
 #[test]
+fn generate_island_matches_its_spec() {
+    // The e2e_speed fixture: copies × unit inside two explicit flanks,
+    // spacers bounded by the unit length. Total length is therefore
+    // bracketed by the spec even though spacers are random.
+    let out = repro_bin()
+        .args(["--generate", "island:30:4:150:1"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let fasta = String::from_utf8_lossy(&out.stdout);
+    assert!(fasta.starts_with(">repeat-island unit=30 copies=4 flank=150 seed=1"));
+    let len: usize = fasta
+        .lines()
+        .filter(|l| !l.starts_with('>'))
+        .map(|l| l.len())
+        .sum();
+    // 2 flanks + 4 units + 3 spacers of 15..=30 residues.
+    assert!((465..=510).contains(&len), "unexpected island length {len}");
+}
+
+#[test]
 fn gff_output() {
     let path = write_fasta("gff", ">chrT extra words\nATGCATGCATGCATGC\n");
     let out = repro_bin()

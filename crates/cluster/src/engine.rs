@@ -19,14 +19,14 @@
 //! ACCEPTED broadcast went missing, and watches its own deadline so a
 //! dead master never leaves a thread hanging.
 
-use crate::protocol::{tag, AcceptedMsg, ResultMsg, ResyncMsg, TaskMsg};
+use crate::protocol::{tag, AcceptedMsg, ResultMsg, ResyncMsg, TaskMsg, TelemetryMsg};
 use crate::recovery::{
     already_deferred, idle_payload, master_loop, RecoveryConfig, BEACON_PERIOD, WORKER_POLL,
 };
 use repro_align::{NoMask, Score, Scoring, Seq};
 use repro_core::seed::SeedConfig;
 use repro_core::{DirtyLog, IncrementalSweeper, OverrideTriangle, SplitMask, TopAlignments};
-use repro_obs::{NoopRecorder, Recorder};
+use repro_obs::{Counter, FlightRecorder, Metric, NoopRecorder, Recorder};
 use repro_xmpi::thread::{FaultPlan, ThreadComm};
 use repro_xmpi::{Comm, RecvError};
 use std::collections::{HashMap, HashSet};
@@ -283,17 +283,28 @@ pub(crate) fn worker_loop<C: Comm>(
     let mut sent: HashSet<(usize, u64)> = HashSet::new();
     let mut last_master = Instant::now();
     let mut next_beacon = Instant::now(); // fires immediately: first IDLE
+    // This worker's own telemetry: sweep/resume/queue-wait samples and
+    // the scratch-pool tally, shipped home as cumulative snapshots on
+    // the beacon cadence. Pure observability — every frame may be lost
+    // without changing the search result.
+    let mut wrec = FlightRecorder::new();
+    let mut tele_seq: u64 = 0;
+    let mut pool_sent: u64 = 0;
+    let mut idle_since = Instant::now();
 
     loop {
         // Run any deferred task whose stamp the replica has reached.
         if let Some(pos) = deferred.iter().position(|t| t.stamp <= applied) {
             let task = deferred.swap_remove(pos);
             let repeat = !sent.insert((task.r, task.attempt));
+            wrec.observe(Metric::QueueWaitNs, idle_since.elapsed().as_nanos() as u64);
             if !run_task(
-                seq, scoring, &comm, &triangle, &mut rows, &mut incr, &dirty, applied, task, repeat,
+                seq, scoring, &comm, &triangle, &mut rows, &mut incr, &dirty, applied, task,
+                repeat, &mut wrec,
             ) {
                 return; // endpoint (ours or the master's) is dead
             }
+            idle_since = Instant::now();
             continue;
         }
         let now = Instant::now();
@@ -319,6 +330,21 @@ pub(crate) fn worker_loop<C: Comm>(
             if beacon.is_err() {
                 return;
             }
+            // Ship the cumulative telemetry snapshot alongside the
+            // beacon. The sweeper's pool tally lives outside the
+            // recorder, so fold its growth in first.
+            let pool = incr.as_ref().map_or(0, |s| s.pool_reuses());
+            wrec.add(Counter::PoolReuses, pool - pool_sent);
+            pool_sent = pool;
+            tele_seq += 1;
+            let frame = TelemetryMsg {
+                seq: tele_seq,
+                fin: false,
+                snap: wrec.telemetry_snapshot(),
+            };
+            if comm.send(0, tag::TELEMETRY, frame.encode()).is_err() {
+                return;
+            }
             next_beacon = now + BEACON_PERIOD;
         }
         let msg = match comm.recv_timeout(WORKER_POLL) {
@@ -334,12 +360,14 @@ pub(crate) fn worker_loop<C: Comm>(
                 };
                 if task.stamp <= applied {
                     let repeat = !sent.insert((task.r, task.attempt));
+                    wrec.observe(Metric::QueueWaitNs, idle_since.elapsed().as_nanos() as u64);
                     if !run_task(
                         seq, scoring, &comm, &triangle, &mut rows, &mut incr, &dirty, applied,
-                        task, repeat,
+                        task, repeat, &mut wrec,
                     ) {
                         return;
                     }
+                    idle_since = Instant::now();
                 } else if !already_deferred(&deferred, &task) {
                     deferred.push(task); // replica lags; wait for ACCEPTED
                 }
@@ -371,7 +399,23 @@ pub(crate) fn worker_loop<C: Comm>(
                 }
                 applied += 1;
             }
-            tag::DONE => return,
+            tag::DONE => {
+                // Final (`fin`) snapshot, sent twice so a period-2 loss
+                // pattern cannot swallow the worker's whole telemetry
+                // tail. Failures are moot: we are exiting either way.
+                let pool = incr.as_ref().map_or(0, |s| s.pool_reuses());
+                wrec.add(Counter::PoolReuses, pool - pool_sent);
+                tele_seq += 1;
+                let frame = TelemetryMsg {
+                    seq: tele_seq,
+                    fin: true,
+                    snap: wrec.telemetry_snapshot(),
+                };
+                let payload = frame.encode();
+                let _ = comm.send(0, tag::TELEMETRY, payload.clone());
+                let _ = comm.send(0, tag::TELEMETRY, payload);
+                return;
+            }
             _ => {} // stray tag: ignore
         }
     }
@@ -393,12 +437,14 @@ fn run_task<C: Comm>(
     applied: usize,
     task: TaskMsg,
     repeat: bool,
+    wrec: &mut FlightRecorder,
 ) -> bool {
     if !task.first {
         if let Some(row) = &task.row {
             rows.insert(task.r, row.clone());
         }
     }
+    let sweep_t0 = Instant::now();
     // The incremental path serves realignments, and first passes while
     // the replica is still pristine. A first pass re-run under a newer
     // replica (a retransmitted attempt racing an acceptance) takes the
@@ -431,6 +477,7 @@ fn run_task<C: Comm>(
                 sweep.rows_swept,
                 sweep.rows_skipped,
             ];
+            wrec.observe(Metric::ResumeRows, sweep.rows_swept);
             (
                 sweep.result.score,
                 sweep.result.shadow_rejections,
@@ -475,6 +522,7 @@ fn run_task<C: Comm>(
             (score, shadows, last.cells, [0; 4], None)
         }
     };
+    wrec.observe(Metric::SweepNs, sweep_t0.elapsed().as_nanos() as u64);
     // The shipped bound dominates any score computed at or past the
     // task's stamp (masking monotonicity); a violation would mean the
     // master's seed index is broken.
@@ -893,6 +941,55 @@ mod tests {
             let line = e.to_jsonl();
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
+    }
+
+    #[test]
+    fn telemetry_ships_worker_histograms_and_pool_reuses_home() {
+        use repro_obs::{Event, FlightRecorder, Metric};
+        let motif = "ATGCATGCATGC";
+        let text = format!("GGTTCCAA{motif}CCAAGGTT{motif}TGCATTGG");
+        let seq = Seq::dna(&text).unwrap();
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, 6);
+        let mut rec = FlightRecorder::with_events(10_000);
+        let got = find_top_alignments_cluster_checkpointed_recorded(
+            &seq,
+            &scoring,
+            6,
+            2,
+            DL,
+            Some(1 << 20),
+            &mut rec,
+        )
+        .unwrap();
+        assert_eq!(got.result.alignments, want.alignments);
+        // The workers' scratch-pool tallies come home: before the
+        // telemetry channel existed they were silently lost on every
+        // cluster transport and reported as 0.
+        assert!(
+            got.result.stats.pool_reuses > 0,
+            "worker pool reuses must survive the wire"
+        );
+        // Master-side round trips and worker-side sweep/queue samples
+        // all land in the master's merged histograms.
+        for m in [Metric::TaskRoundTripNs, Metric::SweepNs, Metric::QueueWaitNs] {
+            let h = rec.hist(m);
+            assert!(h.count() > 0, "{} must have samples", m.name());
+            assert!(h.p99() >= h.p50(), "{} quantiles inverted", m.name());
+        }
+        // Telemetry folds appear in the event log as a per-worker
+        // timeline with strictly increasing sequence numbers.
+        let mut last_seq: HashMap<usize, u64> = HashMap::new();
+        let mut folds = 0;
+        for e in rec.events() {
+            if let Event::Telemetry { worker, seq, .. } = e.event {
+                let prev = last_seq.entry(worker).or_insert(0);
+                assert!(seq > *prev, "worker {worker} telemetry folded out of order");
+                *prev = seq;
+                folds += 1;
+            }
+        }
+        assert!(folds > 0, "telemetry events must appear in the log");
     }
 
     #[test]

@@ -165,6 +165,24 @@ impl<'a> MasterState<'a> {
         &self.stats
     }
 
+    /// A live progress snapshot in the same units the shared-memory
+    /// engines report: first passes done vs total splits, splits still
+    /// never assigned (pruning keeps them seedless forever, so this
+    /// converges from above to the final pruned count), and realignments
+    /// the workers' checkpoint layers avoided.
+    pub fn progress(&self) -> repro_obs::Progress {
+        let total = self.state.len() as u64;
+        let done = self.first_passes as u64;
+        repro_obs::Progress {
+            splits_done: done,
+            splits_total: total,
+            splits_pruned: total - done,
+            realignments_avoided: self.stats.checkpoint_hits,
+            tops_found: self.tops.len() as u64,
+            tops_requested: self.count as u64,
+        }
+    }
+
     /// Registered workers not declared dead.
     pub fn live_workers(&self) -> usize {
         self.worker_has_row.len()

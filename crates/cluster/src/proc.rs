@@ -411,6 +411,13 @@ mod tests {
         assert_eq!(got.result.alignments, want.alignments);
         assert!(got.result.stats.checkpoint_hits > 0);
         assert!(got.result.stats.realign_rows_skipped > 0);
+        // The workers' scratch-pool tallies ride the telemetry channel
+        // home even with no recorder attached (they patch the stats,
+        // which must not depend on observability being on).
+        assert!(
+            got.result.stats.pool_reuses > 0,
+            "worker pool reuses must survive the socket transport"
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! earlier attempts that were duplicated, delayed or reassigned.
 
 use repro_align::{Alphabet, ExchangeMatrix, GapPenalties, Score, Scoring, Seq};
+use repro_obs::{Counter, Hist, HistSet, Metric, TelemetrySnapshot};
 use repro_xmpi::wire::{Decoder, Encoder, WireError};
 
 /// Message tags.
@@ -36,6 +37,11 @@ pub mod tag {
     /// so the whole input ships as the first message every joiner —
     /// early or late — receives.
     pub const JOB: u32 = 8;
+    /// Worker → master: a cumulative telemetry snapshot (counters +
+    /// metric histograms). Pure observability: losing every one of
+    /// these frames must not change the search result. This tag is the
+    /// wire-v3 layout change ([`repro_xmpi::wire::VERSION`]).
+    pub const TELEMETRY: u32 = 9;
 }
 
 /// A task assignment.
@@ -310,6 +316,71 @@ impl JobMsg {
     }
 }
 
+/// A worker's cumulative telemetry snapshot.
+///
+/// Snapshots are *cumulative*, not deltas: the master diffs each one
+/// against the previous snapshot it holds for that worker
+/// ([`TelemetrySnapshot::delta_from`]), so a lost or duplicated frame
+/// costs at most staleness, never double-counting. `seq` is monotone
+/// per worker within a process lifetime; a snapshot whose counters or
+/// histograms *shrink* signals a worker restart and the master falls
+/// back to treating the whole snapshot as fresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryMsg {
+    /// Monotone per-worker snapshot sequence number; the master drops
+    /// frames with `seq` at or below the last one folded.
+    pub seq: u64,
+    /// `true` on the final snapshot a worker sends while shutting
+    /// down, so the master knows this worker's telemetry is complete.
+    pub fin: bool,
+    /// The cumulative counter and histogram state.
+    pub snap: TelemetrySnapshot,
+}
+
+impl TelemetryMsg {
+    /// Encode to a framed payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new()
+            .u64(self.seq)
+            .u64(self.fin as u64)
+            .u64_slice(&self.snap.counters);
+        for m in Metric::ALL {
+            let h = self.snap.hists.get(m);
+            e = e.u64(h.count()).u64(h.sum()).u64_slice(h.buckets());
+        }
+        e.finish_framed()
+    }
+
+    /// Decode from a framed payload. Histogram internals are
+    /// re-validated via [`Hist::from_parts`] (bucket totals must match
+    /// the claimed count, bucket vectors must fit), so a hostile frame
+    /// cannot smuggle an inconsistent histogram into the master's
+    /// merged view.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut d = Decoder::new_framed(payload)?;
+        let seq = d.u64()?;
+        let fin = d.u64()? == 1;
+        let counters_vec = d.u64_vec()?;
+        let counters: [u64; Counter::ALL.len()] = counters_vec
+            .try_into()
+            .map_err(|_| WireError::BadFrame)?;
+        let mut hists = HistSet::new();
+        for m in Metric::ALL {
+            let count = d.u64()?;
+            let sum = d.u64()?;
+            let buckets = d.u64_vec()?;
+            let h = Hist::from_parts(count, sum, buckets).ok_or(WireError::BadFrame)?;
+            hists.merge_hist(m, &h);
+        }
+        d.expect_exhausted()?;
+        Ok(TelemetryMsg {
+            seq,
+            fin,
+            snap: TelemetrySnapshot { counters, hists },
+        })
+    }
+}
+
 /// A worker's replica-resync request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResyncMsg {
@@ -403,6 +474,69 @@ mod tests {
     fn resync_roundtrip() {
         let msg = ResyncMsg { applied: 3 };
         assert_eq!(ResyncMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    fn sample_telemetry() -> TelemetryMsg {
+        let mut snap = TelemetrySnapshot::default();
+        snap.counters[0] = 17;
+        snap.counters[Counter::ALL.len() - 1] = u64::MAX;
+        for v in [1u64, 900, 1 << 33, u64::MAX] {
+            snap.hists.observe(Metric::SweepNs, v);
+            snap.hists.observe(Metric::TaskRoundTripNs, v / 2);
+        }
+        snap.hists.observe(Metric::PruneSlack, 0);
+        TelemetryMsg {
+            seq: 41,
+            fin: true,
+            snap,
+        }
+    }
+
+    #[test]
+    fn telemetry_roundtrip_preserves_quantiles() {
+        let msg = sample_telemetry();
+        let back = TelemetryMsg::decode(&msg.encode()).unwrap();
+        assert_eq!(back, msg);
+        for m in Metric::ALL {
+            assert_eq!(
+                back.snap.hists.get(m).quantile(0.99),
+                msg.snap.hists.get(m).quantile(0.99),
+                "p99 drifted over the wire for {}",
+                m.name()
+            );
+        }
+        // Empty snapshot (a worker that did no work yet) also survives.
+        let empty = TelemetryMsg {
+            seq: 0,
+            fin: false,
+            snap: TelemetrySnapshot::default(),
+        };
+        assert_eq!(TelemetryMsg::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn telemetry_with_hostile_histograms_fails_typed() {
+        // An inconsistent histogram (claimed count != bucket total)
+        // must be rejected by Hist::from_parts, not folded.
+        let mut e = Encoder::new()
+            .u64(1)
+            .u64(0)
+            .u64_slice(&[0; Counter::ALL.len()]);
+        for (i, _) in Metric::ALL.iter().enumerate() {
+            if i == 0 {
+                e = e.u64(5).u64(9).u64_slice(&[1, 1]); // count 5, total 2
+            } else {
+                e = e.u64(0).u64(0).u64_slice(&[]);
+            }
+        }
+        assert!(TelemetryMsg::decode(&e.finish_framed()).is_err());
+
+        // A wrong-length counter block must be rejected too.
+        let mut short = Encoder::new().u64(1).u64(0).u64_slice(&[0; 3]);
+        for _ in Metric::ALL {
+            short = short.u64(0).u64(0).u64_slice(&[]);
+        }
+        assert!(TelemetryMsg::decode(&short.finish_framed()).is_err());
     }
 
     #[test]
@@ -535,6 +669,7 @@ mod tests {
             }
             .encode(),
             ResyncMsg { applied: 1 }.encode(),
+            sample_telemetry().encode(),
         ];
         for frame in frames {
             for i in 0..frame.len() {
@@ -544,7 +679,8 @@ mod tests {
                     TaskMsg::decode(&bad).is_err()
                         && ResultMsg::decode(&bad).is_err()
                         && AcceptedMsg::decode(&bad).is_err()
-                        && ResyncMsg::decode(&bad).is_err(),
+                        && ResyncMsg::decode(&bad).is_err()
+                        && TelemetryMsg::decode(&bad).is_err(),
                     "byte {i} flip survived decoding"
                 );
             }

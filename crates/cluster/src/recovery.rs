@@ -26,11 +26,11 @@
 
 use crate::engine::ClusterError;
 use crate::master::{MasterAction, MasterState};
-use crate::protocol::{tag, ResultMsg, ResyncMsg, TaskMsg};
+use crate::protocol::{tag, ResultMsg, ResyncMsg, TaskMsg, TelemetryMsg};
 use repro_align::{Scoring, Seq};
 use repro_core::seed::SeedConfig;
 use repro_core::TopAlignments;
-use repro_obs::{Counter, Event, Recorder};
+use repro_obs::{Counter, Event, Metric, Recorder, TelemetrySnapshot};
 use repro_xmpi::{Comm, RecvError, SendError};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -89,16 +89,125 @@ struct Flight {
     retry_at: Instant,
     backoff: Duration,
     retries: u32,
+    /// When the task was first handed to the transport; the round-trip
+    /// histogram samples `sent_at → accepted result`.
+    sent_at: Instant,
 }
 
 /// Receive poll granularity when no retransmit deadline is nearer.
 const TICK: Duration = Duration::from_millis(25);
 
+/// How long the master keeps listening after DONE for the final (`fin`)
+/// telemetry snapshots of workers that already sent telemetry. Bounded:
+/// a crashed worker's missing fin costs at most this much shutdown
+/// latency and some understated tallies, never a hang.
+const TELEMETRY_GRACE: Duration = Duration::from_millis(250);
+
+/// Per-worker telemetry state on the master: the last cumulative
+/// snapshot folded (so the next one can be diffed into a delta), the
+/// highest sequence number seen, and whether the final snapshot landed.
+#[derive(Default)]
+struct WorkerTelemetry {
+    snap: TelemetrySnapshot,
+    last_seq: Option<u64>,
+    fin: bool,
+}
+
+/// The master's fold of every worker's telemetry stream. Counter and
+/// histogram snapshots arrive *cumulative*; the ledger diffs each
+/// against the previous one from that worker, so lost or duplicated
+/// frames cost staleness, never double-counting. The pool-reuse total
+/// is tracked recorder-independently: it patches the result's `Stats`,
+/// which must come out identical whether or not a recorder is attached.
+struct TelemetryLedger {
+    per_worker: HashMap<usize, WorkerTelemetry>,
+    pool_reuses: u64,
+}
+
+impl TelemetryLedger {
+    fn new() -> Self {
+        TelemetryLedger {
+            per_worker: HashMap::new(),
+            pool_reuses: 0,
+        }
+    }
+
+    /// Fold one snapshot: drop stale sequence numbers, diff against the
+    /// previous snapshot, fold the delta's histograms into the recorder
+    /// and its pool-reuse count into the stats-bound total.
+    fn fold<R: Recorder>(&mut self, worker: usize, msg: TelemetryMsg, rec: &mut R) {
+        let entry = self.per_worker.entry(worker).or_default();
+        if entry.last_seq.is_some_and(|s| msg.seq <= s) {
+            return; // duplicate or reordered: already folded
+        }
+        let delta = msg.snap.delta_from(&entry.snap);
+        self.pool_reuses += delta.counter(Counter::PoolReuses);
+        for m in Metric::ALL {
+            let h = delta.hists.get(m);
+            if !h.is_empty() {
+                rec.observe_hist(m, h);
+            }
+        }
+        if R::ENABLED {
+            rec.event(Event::Telemetry {
+                worker,
+                seq: msg.seq,
+                pool_reuses: msg.snap.counter(Counter::PoolReuses),
+            });
+        }
+        entry.snap = msg.snap;
+        entry.last_seq = Some(msg.seq);
+        entry.fin |= msg.fin;
+    }
+
+    /// `true` while some worker that has sent telemetry has not yet
+    /// delivered its final snapshot.
+    fn awaiting_fins(&self) -> bool {
+        self.per_worker.values().any(|w| !w.fin)
+    }
+}
+
+/// After DONE went out: keep folding late telemetry until every worker
+/// that ever sent any delivers its `fin` snapshot, bounded by
+/// [`TELEMETRY_GRACE`]. Workers that never sent telemetry (crashed, or
+/// a peer that does not speak the tag) are not waited for.
+fn drain_final_telemetry<C: Comm, R: Recorder>(
+    comm: &C,
+    ledger: &mut TelemetryLedger,
+    rec: &mut R,
+) {
+    let deadline = Instant::now() + TELEMETRY_GRACE;
+    while ledger.awaiting_fins() {
+        let now = Instant::now();
+        let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero()) else {
+            return;
+        };
+        let msg = match comm.recv_timeout(left) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        if msg.tag == tag::TELEMETRY {
+            if let Ok(t) = TelemetryMsg::decode(&msg.payload) {
+                ledger.fold(msg.from, t, rec);
+            }
+        }
+        // Any other late traffic (results, beacons) is post-DONE noise.
+    }
+}
+
 /// Patch the transport-level recovery tallies into the result's stats
 /// before handing it back (the state machine itself never sees them).
-fn finalize(mut tops: TopAlignments, retries: u64, reassigns: u64) -> TopAlignments {
+/// `pool_reuses` is the ledger's fold of the workers' scratch-pool
+/// tallies, which otherwise never leave the worker ranks.
+fn finalize(
+    mut tops: TopAlignments,
+    retries: u64,
+    reassigns: u64,
+    pool_reuses: u64,
+) -> TopAlignments {
     tops.stats.cluster_retries = retries;
     tops.stats.cluster_reassignments = reassigns;
+    tops.stats.pool_reuses += pool_reuses;
     tops
 }
 
@@ -111,6 +220,7 @@ fn local_finish<C: Comm, R: Recorder>(
     rec: &mut R,
     retries: u64,
     reassigns: u64,
+    ledger: &mut TelemetryLedger,
 ) -> Result<TopAlignments, ClusterError> {
     rec.add(Counter::ClusterLocalFallbacks, 1);
     rec.event(Event::LocalFallback);
@@ -135,7 +245,13 @@ fn local_finish<C: Comm, R: Recorder>(
                 tops: master.alignments().len(),
             });
         }
-        Ok(finalize(master.into_result(), retries, reassigns))
+        drain_final_telemetry(comm, ledger, rec);
+        Ok(finalize(
+            master.into_result(),
+            retries,
+            reassigns,
+            ledger.pool_reuses,
+        ))
     } else {
         // No workers, and the local pass could not finish either
         // (it always can; this is a defensive dead end).
@@ -180,6 +296,7 @@ fn act<C: Comm, R: Recorder>(
                         retry_at: now + config.retry_base,
                         backoff: config.retry_base,
                         retries: 0,
+                        sent_at: now,
                     },
                 );
                 match comm.send(worker, tag::TASK, payload) {
@@ -240,6 +357,7 @@ pub(crate) fn master_loop<C: Comm, R: Recorder>(
     let mut last_heard: HashMap<usize, Instant> = (1..comm.size()).map(|r| (r, start)).collect();
     let mut retries_total: u64 = 0;
     let mut reassigns_total: u64 = 0;
+    let mut ledger = TelemetryLedger::new();
 
     loop {
         let now = Instant::now();
@@ -247,7 +365,14 @@ pub(crate) fn master_loop<C: Comm, R: Recorder>(
             // Budget exhausted with the search unfinished: stop
             // believing the cluster and compute the rest ourselves.
             repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
-            return local_finish(master, &comm, rec, retries_total, reassigns_total);
+            return local_finish(
+                master,
+                &comm,
+                rec,
+                retries_total,
+                reassigns_total,
+                &mut ledger,
+            );
         }
         if master.live_workers() == 0
             && flights.is_empty()
@@ -259,7 +384,14 @@ pub(crate) fn master_loop<C: Comm, R: Recorder>(
             // waiting longer cannot make progress, so degrade now
             // instead of idling out the whole overall budget.
             repro_xmpi::broadcast_from(&comm, tag::DONE, &[]);
-            return local_finish(master, &comm, rec, retries_total, reassigns_total);
+            return local_finish(
+                master,
+                &comm,
+                rec,
+                retries_total,
+                reassigns_total,
+                &mut ledger,
+            );
         }
 
         // Retransmit overdue assignments; escalate silent workers.
@@ -332,14 +464,23 @@ pub(crate) fn master_loop<C: Comm, R: Recorder>(
                 rec,
                 &mut reassigns_total,
             )? {
+                drain_final_telemetry(&comm, &mut ledger, rec);
                 return Ok(finalize(
                     master.into_result(),
                     retries_total,
                     reassigns_total,
+                    ledger.pool_reuses,
                 ));
             }
             if master.live_workers() == 0 && !master.is_done() {
-                return local_finish(master, &comm, rec, retries_total, reassigns_total);
+                return local_finish(
+                    master,
+                    &comm,
+                    rec,
+                    retries_total,
+                    reassigns_total,
+                    &mut ledger,
+                );
             }
         }
 
@@ -371,7 +512,13 @@ pub(crate) fn master_loop<C: Comm, R: Recorder>(
                         .get(&res.r)
                         .is_some_and(|f| f.worker == msg.from && f.attempt == res.attempt)
                     {
-                        flights.remove(&res.r);
+                        let flight = flights.remove(&res.r).expect("checked above");
+                        if R::ENABLED {
+                            rec.observe(
+                                Metric::TaskRoundTripNs,
+                                flight.sent_at.elapsed().as_nanos() as u64,
+                            );
+                        }
                     }
                     if R::ENABLED {
                         rec.event(Event::Result {
@@ -381,7 +528,11 @@ pub(crate) fn master_loop<C: Comm, R: Recorder>(
                             score: res.score as i64,
                         });
                     }
-                    master.result(msg.from, res)
+                    let acts = master.result(msg.from, res);
+                    if R::ENABLED {
+                        rec.progress(&master.progress());
+                    }
+                    acts
                 }
                 Err(_) => Vec::new(), // corrupted in flight; retry recovers
             },
@@ -405,6 +556,14 @@ pub(crate) fn master_loop<C: Comm, R: Recorder>(
                 }
                 Vec::new()
             }
+            tag::TELEMETRY => {
+                // Pure observability: folded into the ledger (and the
+                // recorder's histograms), never into scheduling state.
+                if let Ok(t) = TelemetryMsg::decode(&msg.payload) {
+                    ledger.fold(msg.from, t, rec);
+                }
+                Vec::new()
+            }
             _ => Vec::new(), // stray tag: ignore rather than crash
         };
         if act(
@@ -416,15 +575,24 @@ pub(crate) fn master_loop<C: Comm, R: Recorder>(
             rec,
             &mut reassigns_total,
         )? {
+            drain_final_telemetry(&comm, &mut ledger, rec);
             return Ok(finalize(
                 master.into_result(),
                 retries_total,
                 reassigns_total,
+                ledger.pool_reuses,
             ));
         }
         if master.live_workers() == 0 && !master.is_done() && flights.is_empty() {
             // Every registered worker has been written off.
-            return local_finish(master, &comm, rec, retries_total, reassigns_total);
+            return local_finish(
+                master,
+                &comm,
+                rec,
+                retries_total,
+                reassigns_total,
+                &mut ledger,
+            );
         }
     }
 }

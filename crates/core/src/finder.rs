@@ -22,7 +22,8 @@ use crate::tasks::{Task, TaskQueue, NEVER_ALIGNED};
 use crate::triangle::OverrideTriangle;
 use repro_align::kernel::full::{sw_full, traceback};
 use repro_align::{sw_last_row, sw_last_row_striped, NoMask, Score, Scoring, Seq};
-use repro_obs::{Counter, NoopRecorder, Phase, Recorder};
+use repro_obs::{Counter, Metric, NoopRecorder, Phase, Progress, Recorder};
+use std::time::Instant;
 
 /// How first-pass bottom rows are kept for shadow filtering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -476,6 +477,7 @@ impl<'a> TopAlignmentFinder<'a> {
             self.stats.checkpoint_misses += u64::from(!sweep.hit());
             self.stats.realign_rows_swept += sweep.rows_swept;
             self.stats.realign_rows_skipped += sweep.rows_skipped;
+            rec.observe(Metric::ResumeRows, sweep.rows_swept);
             sweep.result
         };
         rec.phase_end(sweep_phase);
@@ -503,10 +505,34 @@ impl<'a> TopAlignmentFinder<'a> {
     }
 
     /// [`Self::step`] with instrumentation: phase spans around the
-    /// alignment kernels and stale/fresh pop accounting. The recorder is
-    /// a monomorphized generic — with [`NoopRecorder`] this compiles to
-    /// exactly the uninstrumented loop.
+    /// alignment kernels, stale/fresh pop accounting, latency histogram
+    /// samples and a progress heartbeat per pop. The recorder is a
+    /// monomorphized generic — with [`NoopRecorder`] this compiles to
+    /// exactly the uninstrumented loop (the clock reads and snapshot
+    /// construction are gated on [`Recorder::ENABLED`]).
     pub fn step_recorded<R: Recorder>(&mut self, rec: &mut R) -> Step {
+        let t0 = R::ENABLED.then(Instant::now);
+        let step = self.step_inner(rec);
+        if R::ENABLED {
+            if let Some(t0) = t0 {
+                if !matches!(step, Step::Done) {
+                    rec.observe(Metric::TaskRoundTripNs, t0.elapsed().as_nanos() as u64);
+                }
+            }
+            let splits_total = self.seq.len().saturating_sub(1) as u64;
+            rec.progress(&Progress {
+                splits_done: self.first_passes as u64,
+                splits_total,
+                splits_pruned: splits_total.saturating_sub(self.first_passes as u64),
+                realignments_avoided: self.stats.pruned_pops + self.stats.checkpoint_hits,
+                tops_found: self.alignments.len() as u64,
+                tops_requested: self.config.count as u64,
+            });
+        }
+        step
+    }
+
+    fn step_inner<R: Recorder>(&mut self, rec: &mut R) -> Step {
         if self.alignments.len() >= self.config.count {
             return Step::Done;
         }
@@ -529,6 +555,9 @@ impl<'a> TopAlignmentFinder<'a> {
                 let bound = bounds.bound(task.r);
                 if bound < task.score {
                     self.stats.pruned_pops += 1;
+                    // How far the stale bound overshot the fresh one —
+                    // the slack pruning had to work with.
+                    rec.observe(Metric::PruneSlack, (task.score - bound) as u64);
                     self.queue.push(Task {
                         r: task.r,
                         score: bound,
@@ -614,6 +643,7 @@ impl<'a> TopAlignmentFinder<'a> {
             } else {
                 Phase::Drain
             };
+            let sweep_t0 = R::ENABLED.then(Instant::now);
             let result = if first_pass && !self.triangle.is_empty() {
                 // Late first pass — only reachable with seed pruning,
                 // which can delay a split's first sweep past an accept.
@@ -696,6 +726,9 @@ impl<'a> TopAlignmentFinder<'a> {
                     }
                 }
             };
+            if let Some(t0) = sweep_t0 {
+                rec.observe(Metric::SweepNs, t0.elapsed().as_nanos() as u64);
+            }
             if let Some(row) = result.first_row {
                 if let Some(bottom) = self.bottom.as_mut() {
                     bottom.store(task.r, &row);
@@ -975,6 +1008,16 @@ mod tests {
         assert!(rec.phase_secs(Phase::Traceback) > 0.0);
         // Realignments after an acceptance hit the shadow filter.
         assert!(result.stats.shadow_rejections > 0);
+        // Histogram samples mirror the pops: one sweep per stale pop,
+        // one round trip per pop of any kind.
+        use repro_obs::Metric;
+        assert_eq!(rec.hist(Metric::SweepNs).count(), 17);
+        assert_eq!(rec.hist(Metric::TaskRoundTripNs).count(), 20);
+        assert!(rec.hist(Metric::SweepNs).sum() > 0);
+        assert!(rec.hist(Metric::SweepNs).p99() >= rec.hist(Metric::SweepNs).p50());
+        // No seeding and no checkpointing in this config.
+        assert_eq!(rec.hist(Metric::PruneSlack).count(), 0);
+        assert_eq!(rec.hist(Metric::ResumeRows).count(), 0);
         // The recorded run is the same computation: identical output and
         // stats as the unrecorded entry point.
         let plain = find_top_alignments(&seq, &atgc_scoring(), 3);

@@ -1,0 +1,421 @@
+//! Log-bucketed histograms for the live-telemetry layer.
+//!
+//! [`Hist`] is an HDR-style histogram over `u64` samples: 16 sub-buckets
+//! per power-of-two octave, which bounds the *relative* quantile error
+//! at `1/16` (6.25 %) while keeping the whole value range of `u64` in at
+//! most [`NUM_BUCKETS`] fixed-width counters. That shape was chosen over
+//! a t-digest deliberately:
+//!
+//! * **mergeable exactly** — two histograms merge by element-wise bucket
+//!   addition, so per-worker histograms folded across a cluster are
+//!   *identical* to one histogram recorded centrally. A t-digest merge
+//!   is approximate and order-dependent, which would make the
+//!   cluster-folded report depend on message timing;
+//! * **wire-friendly** — a histogram is `count + sum + a short u64
+//!   slice`, trivially framed by the `xmpi` codec and cheap to diff
+//!   (buckets only ever grow, so a delta is a subtraction);
+//! * **O(1) record** — index arithmetic on the leading-zero count, no
+//!   allocation past the high-water bucket, fitting the recorder's
+//!   "monomorphized into the hot path" contract.
+//!
+//! Values `0..16` map to their own exact buckets; a value `v >= 16` with
+//! exponent `e = 63 - v.leading_zeros()` lands in bucket
+//! `(e - 3) * 16 + ((v >> (e - 4)) & 15)`. Quantiles report the bucket's
+//! lower bound, so estimates never exceed the true sample and undershoot
+//! by strictly less than `1/16` of it (exact below 16).
+
+/// Total addressable buckets: 16 exact small-value buckets plus 16
+/// sub-buckets for each of the 60 octaves `2^4..2^63`.
+pub const NUM_BUCKETS: usize = 16 + 60 * 16;
+
+/// Guaranteed bound on the relative quantile error: estimates are lower
+/// bounds within `value / 16` of the true sample (exact for values
+/// below 16).
+pub const MAX_RELATIVE_ERROR: f64 = 1.0 / 16.0;
+
+/// The value-distribution metrics recorded on the engine hot paths.
+/// Like [`crate::Counter`], the set is closed and ordered so reports
+/// and wire frames agree on layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Nanoseconds per score-only DP sweep (first passes and
+    /// realignments alike, one sample per split or SIMD group sweep).
+    SweepNs,
+    /// DP rows actually swept by an incremental (checkpoint-resumed)
+    /// realignment — the resume depth distribution.
+    ResumeRows,
+    /// Nanoseconds from a task leaving the scheduler (queue pop or
+    /// master assignment) to its result settling.
+    TaskRoundTripNs,
+    /// Nanoseconds a worker spent waiting for claimable work before a
+    /// task arrived.
+    QueueWaitNs,
+    /// Score points by which a refreshed seed bound undershot the stale
+    /// bound on a pruned queue pop (how much slack pruning had).
+    PruneSlack,
+}
+
+impl Metric {
+    /// Every metric, in report and wire order.
+    pub const ALL: [Metric; 5] = [
+        Metric::SweepNs,
+        Metric::ResumeRows,
+        Metric::TaskRoundTripNs,
+        Metric::QueueWaitNs,
+        Metric::PruneSlack,
+    ];
+
+    /// Stable snake_case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::SweepNs => "sweep_ns",
+            Metric::ResumeRows => "resume_rows",
+            Metric::TaskRoundTripNs => "task_round_trip_ns",
+            Metric::QueueWaitNs => "queue_wait_ns",
+            Metric::PruneSlack => "prune_slack",
+        }
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Bucket index for `v`. Total order preserving: `a <= b` implies
+/// `bucket_index(a) <= bucket_index(b)`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros() as usize; // e >= 4
+        (e - 3) * 16 + ((v >> (e - 4)) & 15) as usize
+    }
+}
+
+/// Smallest value mapping to bucket `i` — the quantile estimate the
+/// histogram reports for samples in that bucket.
+#[inline]
+fn bucket_low(i: usize) -> u64 {
+    if i < 16 {
+        i as u64
+    } else {
+        let octave = i / 16; // 1-based past the exact range
+        let sub = (i % 16) as u64;
+        (16 + sub) << (octave - 1)
+    }
+}
+
+/// A mergeable log-bucketed histogram of `u64` samples with bounded
+/// relative quantile error (see the module docs). The bucket vector
+/// grows lazily to the high-water index, so an idle histogram is a few
+/// words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hist {
+    count: u64,
+    sum: u64,
+    buckets: Vec<u64>,
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Hist::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let i = bucket_index(v);
+        if self.buckets.len() <= i {
+            self.buckets.resize(i + 1, 0);
+        }
+        self.buckets[i] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// `true` iff no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The raw bucket counts up to the high-water bucket (wire format).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Rebuild a histogram from wire parts. Rejects bucket vectors
+    /// longer than the addressable range and counts that disagree with
+    /// the bucket total — a corrupted frame must not produce a
+    /// quantile-lying histogram.
+    pub fn from_parts(count: u64, sum: u64, buckets: Vec<u64>) -> Option<Self> {
+        if buckets.len() > NUM_BUCKETS {
+            return None;
+        }
+        let total: u64 = buckets.iter().fold(0u64, |a, &b| a.saturating_add(b));
+        if total != count {
+            return None;
+        }
+        Some(Hist {
+            count,
+            sum,
+            buckets,
+        })
+    }
+
+    /// Fold `other` into `self` (exact: bucket-wise addition).
+    pub fn merge(&mut self, other: &Hist) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The growth of `self` since `prev` (both cumulative snapshots of
+    /// the same histogram). Returns `None` when `self` is not a
+    /// superset of `prev` — a restarted or foreign peer — in which case
+    /// the caller should treat `self` as a whole fresh histogram.
+    pub fn delta_from(&self, prev: &Hist) -> Option<Hist> {
+        if prev.count > self.count || prev.buckets.len() > self.buckets.len() {
+            return None;
+        }
+        let mut buckets = self.buckets.clone();
+        for (a, b) in buckets.iter_mut().zip(&prev.buckets) {
+            *a = a.checked_sub(*b)?;
+        }
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        Some(Hist {
+            count: self.count - prev.count,
+            sum: self.sum.saturating_sub(prev.sum),
+            buckets,
+        })
+    }
+
+    /// The `q`-quantile estimate (`0.0..=1.0`): the lower bound of the
+    /// bucket holding the sample of rank `ceil(q * count)`. `None` on
+    /// an empty histogram. The estimate never exceeds the true sample
+    /// and undershoots by less than [`MAX_RELATIVE_ERROR`] of it.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_low(i));
+            }
+        }
+        // Unreachable when count equals the bucket total (guaranteed by
+        // record/merge/from_parts); kept defensive for the wire path.
+        Some(bucket_low(self.buckets.len().saturating_sub(1)))
+    }
+
+    /// Median estimate (0 on an empty histogram).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50).unwrap_or(0)
+    }
+
+    /// 90th-percentile estimate (0 on an empty histogram).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90).unwrap_or(0)
+    }
+
+    /// 99th-percentile estimate (0 on an empty histogram).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99).unwrap_or(0)
+    }
+}
+
+/// One histogram per [`Metric`] — the block the recorder, the SMP
+/// out-structs and the telemetry snapshots all carry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistSet {
+    hists: [Hist; Metric::ALL.len()],
+}
+
+impl HistSet {
+    /// All-empty histograms.
+    pub fn new() -> Self {
+        HistSet::default()
+    }
+
+    /// Record one sample of `metric`.
+    #[inline]
+    pub fn observe(&mut self, metric: Metric, v: u64) {
+        self.hists[metric.index()].record(v);
+    }
+
+    /// The histogram of `metric`.
+    pub fn get(&self, metric: Metric) -> &Hist {
+        &self.hists[metric.index()]
+    }
+
+    /// Fold one whole histogram into `metric`'s slot.
+    pub fn merge_hist(&mut self, metric: Metric, hist: &Hist) {
+        self.hists[metric.index()].merge(hist);
+    }
+
+    /// Fold another set into this one, metric by metric.
+    pub fn merge(&mut self, other: &HistSet) {
+        for m in Metric::ALL {
+            self.hists[m.index()].merge(&other.hists[m.index()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Hist::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.sum(), (0..16).sum::<u64>());
+        for (rank, v) in (1..=16u64).zip(0..16u64) {
+            let q = rank as f64 / 16.0;
+            assert_eq!(h.quantile(q), Some(v), "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            1000,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut prev = None;
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "index {i} out of range for {v}");
+            assert!(bucket_low(i) <= v, "low bound above the sample for {v}");
+            if let Some((pv, pi)) = prev {
+                assert!(v >= pv && i >= pi, "monotonicity broke at {v}");
+            }
+            prev = Some((v, i));
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn top_bucket_saturates_cleanly() {
+        let mut h = Hist::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        // The saturating sum cannot wrap.
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.buckets().len(), NUM_BUCKETS);
+        assert_eq!(h.buckets()[NUM_BUCKETS - 1], 3);
+        // The quantile is the top bucket's lower bound: an underestimate
+        // but still within the relative-error contract.
+        let p99 = h.p99();
+        assert!(p99 as f64 >= u64::MAX as f64 * (1.0 - MAX_RELATIVE_ERROR));
+    }
+
+    #[test]
+    fn merge_equals_recording_together() {
+        let samples_a = [3u64, 900, 17, 65_000, 5];
+        let samples_b = [1u64, 1_000_000, 17, 8];
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut both = Hist::new();
+        for &v in &samples_a {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &samples_b {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn delta_roundtrip_and_restart_detection() {
+        let mut prev = Hist::new();
+        prev.record(100);
+        prev.record(5);
+        let mut cur = prev.clone();
+        cur.record(7_000);
+        cur.record(5);
+        let delta = cur.delta_from(&prev).expect("cur grew from prev");
+        assert_eq!(delta.count(), 2);
+        let mut rebuilt = prev.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, cur);
+        // A shrunk histogram (worker restart) is not a delta.
+        assert!(prev.delta_from(&cur).is_none());
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let mut h = Hist::new();
+        h.record(42);
+        h.record(9);
+        let back = Hist::from_parts(h.count(), h.sum(), h.buckets().to_vec()).unwrap();
+        assert_eq!(back, h);
+        // Count disagreeing with the bucket total is rejected.
+        assert!(Hist::from_parts(3, 51, h.buckets().to_vec()).is_none());
+        // An over-long bucket vector is rejected.
+        assert!(Hist::from_parts(0, 0, vec![0; NUM_BUCKETS + 1]).is_none());
+    }
+
+    #[test]
+    fn hist_set_routes_by_metric() {
+        let mut s = HistSet::new();
+        s.observe(Metric::SweepNs, 1_000);
+        s.observe(Metric::SweepNs, 2_000);
+        s.observe(Metric::QueueWaitNs, 5);
+        assert_eq!(s.get(Metric::SweepNs).count(), 2);
+        assert_eq!(s.get(Metric::QueueWaitNs).count(), 1);
+        assert_eq!(s.get(Metric::PruneSlack).count(), 0);
+        let mut t = HistSet::new();
+        t.observe(Metric::SweepNs, 4_000);
+        s.merge(&t);
+        assert_eq!(s.get(Metric::SweepNs).count(), 3);
+    }
+
+    #[test]
+    fn metric_names_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for m in Metric::ALL {
+            assert!(seen.insert(m.name()), "duplicate metric name {}", m.name());
+        }
+    }
+}

@@ -23,7 +23,12 @@
 
 #![warn(missing_docs)]
 
+pub mod hist;
 pub mod json;
+pub mod progress;
+
+pub use hist::{Hist, HistSet, Metric, MAX_RELATIVE_ERROR, NUM_BUCKETS};
+pub use progress::{Progress, ProgressSink, DEFAULT_HEARTBEAT};
 
 use std::time::Instant;
 
@@ -260,6 +265,19 @@ pub enum Event {
     /// Every worker was lost (or the budget expired); the master is
     /// finishing the search locally.
     LocalFallback,
+    /// A telemetry snapshot arrived from a worker and was folded into
+    /// the master's cluster-wide view (the per-worker counter timeline
+    /// in chaos replays).
+    Telemetry {
+        /// Source worker rank.
+        worker: usize,
+        /// Monotone snapshot sequence number (gaps mean lost frames;
+        /// cumulative snapshots make them harmless).
+        seq: u64,
+        /// The worker's cumulative scratch-pool reuse count — the
+        /// counter that used to vanish with the worker process.
+        pool_reuses: u64,
+    },
     /// The search finished; DONE was broadcast.
     Done {
         /// Top alignments found.
@@ -278,6 +296,7 @@ impl Event {
             Event::Broadcast { .. } => "broadcast",
             Event::Resync { .. } => "resync",
             Event::LocalFallback => "local_fallback",
+            Event::Telemetry { .. } => "telemetry",
             Event::Done { .. } => "done",
         }
     }
@@ -324,6 +343,15 @@ impl Event {
                 vec![("worker", worker as i64), ("applied", applied as i64)]
             }
             Event::LocalFallback => Vec::new(),
+            Event::Telemetry {
+                worker,
+                seq,
+                pool_reuses,
+            } => vec![
+                ("worker", worker as i64),
+                ("seq", seq as i64),
+                ("pool_reuses", pool_reuses as i64),
+            ],
             Event::Done { tops } => vec![("tops", tops as i64)],
         }
     }
@@ -403,6 +431,31 @@ pub trait Recorder {
     fn event_at(&mut self, t_us: u64, event: Event) {
         let _ = (t_us, event);
     }
+
+    /// Record one sample into `metric`'s histogram. Call sites that
+    /// must *measure* the sample (take a clock, compute a delta) should
+    /// gate the measurement on [`Recorder::ENABLED`] so the disabled
+    /// path folds away.
+    #[inline]
+    fn observe(&mut self, metric: Metric, value: u64) {
+        let _ = (metric, value);
+    }
+
+    /// Fold a whole pre-built histogram into `metric`'s slot (how
+    /// per-worker and remote histograms merge into the run-wide view;
+    /// exact, because log-bucketed merge is bucket-wise addition).
+    #[inline]
+    fn observe_hist(&mut self, metric: Metric, hist: &Hist) {
+        let _ = (metric, hist);
+    }
+
+    /// Offer a progress snapshot to the attached [`ProgressSink`], if
+    /// any (rate-limited by the sink; a recorder without a sink drops
+    /// it). Snapshot construction should gate on [`Recorder::ENABLED`].
+    #[inline]
+    fn progress(&mut self, p: &Progress) {
+        let _ = p;
+    }
 }
 
 /// The disabled recorder: compiles to nothing.
@@ -426,10 +479,12 @@ pub struct FlightRecorder {
     phase_entries: [u64; Phase::ALL.len()],
     phase_open: [Option<Instant>; Phase::ALL.len()],
     counters: [u64; Counter::ALL.len()],
+    hists: HistSet,
     /// `Some` iff event capture is on.
     events: Option<Vec<EventRecord>>,
     event_cap: usize,
     dropped_events: u64,
+    progress_sink: Option<ProgressSink>,
 }
 
 impl Default for FlightRecorder {
@@ -447,9 +502,11 @@ impl FlightRecorder {
             phase_entries: [0; Phase::ALL.len()],
             phase_open: [None; Phase::ALL.len()],
             counters: [0; Counter::ALL.len()],
+            hists: HistSet::new(),
             events: None,
             event_cap: DEFAULT_EVENT_CAP,
             dropped_events: 0,
+            progress_sink: None,
         }
     }
 
@@ -481,6 +538,39 @@ impl FlightRecorder {
         self.counters[counter.index()]
     }
 
+    /// The histogram of `metric`.
+    pub fn hist(&self, metric: Metric) -> &Hist {
+        self.hists.get(metric)
+    }
+
+    /// All metric histograms.
+    pub fn hists(&self) -> &HistSet {
+        &self.hists
+    }
+
+    /// Attach a progress sink; subsequent [`Recorder::progress`] calls
+    /// stream rate-limited JSONL heartbeats through it.
+    pub fn set_progress(&mut self, sink: ProgressSink) {
+        self.progress_sink = Some(sink);
+    }
+
+    /// Emit a final heartbeat, bypassing the sink's rate limit (so a
+    /// run always ends with an up-to-date line).
+    pub fn progress_force(&mut self, p: &Progress) {
+        if let Some(sink) = &self.progress_sink {
+            sink.force(p);
+        }
+    }
+
+    /// Cumulative counters + histograms as a telemetry snapshot — what
+    /// a cluster worker ships to the master.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self.counters,
+            hists: self.hists.clone(),
+        }
+    }
+
     /// The buffered events (empty when capture is off).
     pub fn events(&self) -> &[EventRecord] {
         self.events.as_deref().unwrap_or(&[])
@@ -501,6 +591,7 @@ impl FlightRecorder {
         for i in 0..Counter::ALL.len() {
             self.counters[i] += other.counters[i];
         }
+        self.hists.merge(&other.hists);
         self.dropped_events += other.dropped_events;
         for rec in other.events() {
             self.push_event(rec.clone());
@@ -557,6 +648,61 @@ impl Recorder for FlightRecorder {
     #[inline]
     fn event_at(&mut self, t_us: u64, event: Event) {
         self.push_event(EventRecord { t_us, event });
+    }
+
+    #[inline]
+    fn observe(&mut self, metric: Metric, value: u64) {
+        self.hists.observe(metric, value);
+    }
+
+    #[inline]
+    fn observe_hist(&mut self, metric: Metric, hist: &Hist) {
+        self.hists.merge_hist(metric, hist);
+    }
+
+    #[inline]
+    fn progress(&mut self, p: &Progress) {
+        if let Some(sink) = &self.progress_sink {
+            sink.emit(p);
+        }
+    }
+}
+
+/// A cumulative snapshot of a recorder's counters and histograms — the
+/// payload of a cluster telemetry frame. Snapshots are cumulative (not
+/// deltas) so lost frames are harmless: the next one covers the gap.
+/// The master diffs consecutive snapshots per worker via
+/// [`TelemetrySnapshot::delta_from`] and folds the deltas.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Cumulative counter values, in [`Counter::ALL`] order.
+    pub counters: [u64; Counter::ALL.len()],
+    /// Cumulative metric histograms.
+    pub hists: HistSet,
+}
+
+impl TelemetrySnapshot {
+    /// The cumulative value of `counter`.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// The growth of `self` since `prev` (an earlier snapshot of the
+    /// same worker). Counters subtract saturating; a histogram that
+    /// shrank (worker restart) contributes its whole current state
+    /// rather than a bogus delta.
+    pub fn delta_from(&self, prev: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let mut counters = [0u64; Counter::ALL.len()];
+        for (i, slot) in counters.iter_mut().enumerate() {
+            *slot = self.counters[i].saturating_sub(prev.counters[i]);
+        }
+        let mut hists = HistSet::new();
+        for m in Metric::ALL {
+            let cur = self.hists.get(m);
+            let d = cur.delta_from(prev.hists.get(m)).unwrap_or_else(|| cur.clone());
+            hists.merge_hist(m, &d);
+        }
+        TelemetrySnapshot { counters, hists }
     }
 }
 
@@ -663,5 +809,66 @@ mod tests {
         for c in Counter::ALL {
             assert!(seen.insert(c.name()), "duplicate counter name {}", c.name());
         }
+        let mut seen = std::collections::HashSet::new();
+        for m in Metric::ALL {
+            assert!(seen.insert(m.name()), "duplicate metric name {}", m.name());
+        }
+    }
+
+    #[test]
+    fn recorder_observes_into_histograms_and_merge_folds_them() {
+        let mut a = FlightRecorder::new();
+        a.observe(Metric::SweepNs, 1_000);
+        a.observe(Metric::SweepNs, 100_000);
+        let mut b = FlightRecorder::new();
+        b.observe(Metric::SweepNs, 50);
+        let mut pre = Hist::new();
+        pre.record(7);
+        pre.record(9);
+        b.observe_hist(Metric::QueueWaitNs, &pre);
+        a.merge(&b);
+        assert_eq!(a.hist(Metric::SweepNs).count(), 3);
+        assert_eq!(a.hist(Metric::QueueWaitNs).count(), 2);
+        assert_eq!(a.hist(Metric::QueueWaitNs).sum(), 16);
+        assert_eq!(a.hist(Metric::ResumeRows).count(), 0);
+    }
+
+    #[test]
+    fn telemetry_snapshot_delta_covers_counters_and_hists() {
+        let mut r = FlightRecorder::new();
+        r.add(Counter::PoolReuses, 5);
+        r.observe(Metric::SweepNs, 100);
+        let first = r.telemetry_snapshot();
+        r.add(Counter::PoolReuses, 3);
+        r.observe(Metric::SweepNs, 200);
+        r.observe(Metric::ResumeRows, 12);
+        let second = r.telemetry_snapshot();
+        let delta = second.delta_from(&first);
+        assert_eq!(delta.counter(Counter::PoolReuses), 3);
+        assert_eq!(delta.hists.get(Metric::SweepNs).count(), 1);
+        assert_eq!(delta.hists.get(Metric::ResumeRows).count(), 1);
+        // A shrunk (restarted-worker) snapshot contributes its whole
+        // current histogram, never a bogus delta.
+        let restarted = first.delta_from(&second);
+        assert_eq!(restarted.hists.get(Metric::SweepNs).count(), 1);
+        assert_eq!(restarted.counter(Counter::PoolReuses), 0);
+    }
+
+    #[test]
+    fn progress_event_serializes() {
+        let mut r = FlightRecorder::with_events(4);
+        r.event_at(
+            9,
+            Event::Telemetry {
+                worker: 2,
+                seq: 5,
+                pool_reuses: 31,
+            },
+        );
+        let line = r.events()[0].to_jsonl();
+        assert_eq!(
+            line,
+            "{\"t_us\":9,\"ev\":\"telemetry\",\"worker\":2,\"seq\":5,\"pool_reuses\":31}"
+        );
     }
 }

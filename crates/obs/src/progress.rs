@@ -1,0 +1,230 @@
+//! Streaming progress heartbeats.
+//!
+//! A [`ProgressSink`] turns engine progress snapshots into periodic
+//! JSONL heartbeat lines — one self-contained JSON object per line, so
+//! a consumer can tail the stream (`repro --progress -` writes them to
+//! stderr) without buffering a document. Engines offer snapshots via
+//! [`crate::Recorder::progress`] as often as convenient (every queue
+//! pop is fine); the sink rate-limits the actual writes, so emission
+//! frequency is an I/O knob, not an instrumentation knob.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A point-in-time progress snapshot, in units the paper's claims are
+/// stated in: splits resolved vs total, splits pruned without aligning,
+/// realignments avoided, and top alignments accepted so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Progress {
+    /// Splits that have received their first alignment sweep.
+    pub splits_done: u64,
+    /// Total splits in the search (the queue's initial population).
+    pub splits_total: u64,
+    /// Splits still never aligned: with seed pruning on this converges,
+    /// from above, to the run's final pruned-splits count.
+    pub splits_pruned: u64,
+    /// Work-avoidance so far: queue pops resolved without a fresh
+    /// from-scratch sweep (pruned pops plus memo/checkpoint hits).
+    pub realignments_avoided: u64,
+    /// Top alignments accepted so far.
+    pub tops_found: u64,
+    /// Top alignments requested.
+    pub tops_requested: u64,
+}
+
+/// Default heartbeat period: frequent enough to feel live, sparse
+/// enough that a fast run emits a handful of lines, not thousands.
+pub const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(200);
+
+struct SinkState {
+    writer: Box<dyn Write + Send>,
+    last_emit: Option<Instant>,
+}
+
+/// A rate-limited JSONL heartbeat writer. Cloning shares the underlying
+/// writer and rate limiter, so a sink can be handed to an engine while
+/// the caller keeps a handle for the final flush.
+#[derive(Clone)]
+pub struct ProgressSink {
+    state: Arc<Mutex<SinkState>>,
+    every: Duration,
+    start: Instant,
+}
+
+impl fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgressSink")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProgressSink {
+    /// A sink writing heartbeats to `writer` at most once per `every`
+    /// (`Duration::ZERO` emits on every offer — useful in tests).
+    pub fn to_writer(writer: Box<dyn Write + Send>, every: Duration) -> Self {
+        ProgressSink {
+            state: Arc::new(Mutex::new(SinkState {
+                writer,
+                last_emit: None,
+            })),
+            every,
+            start: Instant::now(),
+        }
+    }
+
+    /// A sink writing heartbeats to stderr.
+    pub fn stderr(every: Duration) -> Self {
+        ProgressSink::to_writer(Box::new(std::io::stderr()), every)
+    }
+
+    /// Offer a snapshot; writes a heartbeat line iff the rate limit
+    /// allows. Returns whether a line was written. Write errors are
+    /// swallowed: a broken progress pipe must never fail the run.
+    pub fn emit(&self, p: &Progress) -> bool {
+        let mut state = match self.state.lock() {
+            Ok(s) => s,
+            Err(_) => return false,
+        };
+        if let Some(last) = state.last_emit {
+            if last.elapsed() < self.every {
+                return false;
+            }
+        }
+        state.last_emit = Some(Instant::now());
+        let line = self.line(p);
+        let _ = writeln!(state.writer, "{line}");
+        let _ = state.writer.flush();
+        true
+    }
+
+    /// Write a heartbeat unconditionally (the end-of-run line).
+    pub fn force(&self, p: &Progress) {
+        if let Ok(mut state) = self.state.lock() {
+            state.last_emit = Some(Instant::now());
+            let line = self.line(p);
+            let _ = writeln!(state.writer, "{line}");
+            let _ = state.writer.flush();
+        }
+    }
+
+    fn line(&self, p: &Progress) -> String {
+        let t_secs = self.start.elapsed().as_secs_f64();
+        // A split counts as resolved whether it was aligned or pruned:
+        // the run is over (ETA null) once the two together cover the
+        // total, even though pruned splits never become "done".
+        let resolved = p.splits_done + p.splits_pruned;
+        let eta = match (p.splits_done, p.splits_total) {
+            (done, total) if done > 0 && total > resolved => {
+                let rate = t_secs / done as f64;
+                format!("{:.3}", rate * (total - resolved) as f64)
+            }
+            _ => "null".to_owned(),
+        };
+        format!(
+            "{{\"t_secs\":{t_secs:.3},\"splits_done\":{},\"splits_total\":{},\
+             \"splits_pruned\":{},\"realignments_avoided\":{},\
+             \"tops_found\":{},\"tops_requested\":{},\"eta_secs\":{eta}}}",
+            p.splits_done,
+            p.splits_total,
+            p.splits_pruned,
+            p.realignments_avoided,
+            p.tops_found,
+            p.tops_requested,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    /// A `Write` that appends into a shared buffer the test can read.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn lines(buf: &SharedBuf) -> Vec<String> {
+        String::from_utf8(buf.0.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn heartbeats_are_valid_jsonl_with_eta() {
+        let buf = SharedBuf::default();
+        let sink = ProgressSink::to_writer(Box::new(buf.clone()), Duration::ZERO);
+        let p = Progress {
+            splits_done: 25,
+            splits_total: 100,
+            splits_pruned: 10,
+            realignments_avoided: 40,
+            tops_found: 1,
+            tops_requested: 3,
+        };
+        assert!(sink.emit(&p));
+        let out = lines(&buf);
+        assert_eq!(out.len(), 1);
+        let v = Json::parse(&out[0]).unwrap();
+        assert_eq!(v.get("splits_done").and_then(Json::as_u64), Some(25));
+        assert_eq!(v.get("splits_total").and_then(Json::as_u64), Some(100));
+        assert_eq!(v.get("splits_pruned").and_then(Json::as_u64), Some(10));
+        assert_eq!(
+            v.get("realignments_avoided").and_then(Json::as_u64),
+            Some(40)
+        );
+        assert!(v.get("t_secs").and_then(Json::as_f64).is_some());
+        // 75 splits remain after 25: ETA is a number.
+        assert!(v.get("eta_secs").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn finished_run_has_null_eta() {
+        let buf = SharedBuf::default();
+        let sink = ProgressSink::to_writer(Box::new(buf.clone()), Duration::ZERO);
+        let p = Progress {
+            splits_done: 100,
+            splits_total: 100,
+            ..Progress::default()
+        };
+        sink.force(&p);
+        let v = Json::parse(&lines(&buf)[0]).unwrap();
+        assert!(matches!(v.get("eta_secs"), Some(Json::Null)));
+    }
+
+    #[test]
+    fn rate_limit_suppresses_and_force_bypasses() {
+        let buf = SharedBuf::default();
+        let sink = ProgressSink::to_writer(Box::new(buf.clone()), Duration::from_secs(3600));
+        let p = Progress::default();
+        assert!(sink.emit(&p)); // first offer always writes
+        assert!(!sink.emit(&p)); // within the period: suppressed
+        assert!(!sink.emit(&p));
+        sink.force(&p); // final line bypasses the limit
+        assert_eq!(lines(&buf).len(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_rate_limiter() {
+        let buf = SharedBuf::default();
+        let sink = ProgressSink::to_writer(Box::new(buf.clone()), Duration::from_secs(3600));
+        let clone = sink.clone();
+        assert!(sink.emit(&Progress::default()));
+        assert!(!clone.emit(&Progress::default()));
+        assert_eq!(lines(&buf).len(), 1);
+    }
+}

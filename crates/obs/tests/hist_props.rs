@@ -1,0 +1,130 @@
+//! Property tests for the log-bucketed histogram (S3): merge algebra,
+//! quantile relative-error bound against an exact sorted oracle, and
+//! top-bucket saturation.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use repro_obs::{Hist, MAX_RELATIVE_ERROR};
+
+fn hist_of(samples: &[u64]) -> Hist {
+    let mut h = Hist::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// The oracle: exact order-statistic quantile with the same rank rule
+/// the histogram documents (`rank = clamp(ceil(q·n), 1, n)`).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+fn check_quantile_error(samples: &[u64], q: f64) {
+    let h = hist_of(samples);
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let exact = exact_quantile(&sorted, q);
+    let est = h.quantile(q).expect("non-empty");
+    // The estimate is the lower bound of the exact sample's bucket:
+    // never above it, and within the documented relative error below it
+    // (exact < est + width and width <= est/16 ⇒ est > exact·16/17).
+    assert!(est <= exact, "q={q}: est {est} above exact {exact}");
+    let floor = exact as f64 * (1.0 - MAX_RELATIVE_ERROR) - 1.0;
+    assert!(
+        est as f64 >= floor,
+        "q={q}: est {est} beyond the relative-error bound of exact {exact}"
+    );
+    if exact < 16 {
+        assert_eq!(est, exact, "small values are exact");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merge is commutative: folding B into A gives the same histogram
+    /// as folding A into B.
+    #[test]
+    fn merge_commutes(
+        a in vec(0u64..1_000_000, 0..100),
+        b in vec(0u64..1_000_000, 0..100),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative: (A + B) + C == A + (B + C), and both equal
+    /// recording every sample into one histogram.
+    #[test]
+    fn merge_associates(
+        a in vec(0u64..u64::MAX, 0..60),
+        b in vec(0u64..u64::MAX, 0..60),
+        c in vec(0u64..u64::MAX, 0..60),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &hist_of(&all));
+    }
+
+    /// Quantile estimates stay within the documented relative error of
+    /// the exact sorted-oracle quantile, across the whole u64 range.
+    #[test]
+    fn quantiles_bound_relative_error_wide(
+        samples in vec(0u64..u64::MAX, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        check_quantile_error(&samples, q);
+        for fixed in [0.5, 0.9, 0.99] {
+            check_quantile_error(&samples, fixed);
+        }
+    }
+
+    /// Same bound on small-value-dominated distributions (the regime
+    /// where buckets are exact or nearly so).
+    #[test]
+    fn quantiles_bound_relative_error_narrow(
+        samples in vec(0u64..4096, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        check_quantile_error(&samples, q);
+    }
+
+    /// Saturation: near-`u64::MAX` samples land in the top bucket, the
+    /// count survives, the sum saturates instead of wrapping, and
+    /// quantiles stay monotone and within bound.
+    #[test]
+    fn top_bucket_saturates(
+        normal in vec(0u64..1_000_000, 0..40),
+        huge in vec(u64::MAX - 1000..=u64::MAX, 1..20),
+    ) {
+        let all: Vec<u64> = normal.iter().chain(&huge).copied().collect();
+        let h = hist_of(&all);
+        prop_assert_eq!(h.count(), all.len() as u64);
+        // Saturating accumulation is monotone: the sum can never fall
+        // below the largest single sample, which a wrapping add would.
+        prop_assert!(h.sum() >= u64::MAX - 1000);
+        prop_assert!(h.buckets().len() <= repro_obs::NUM_BUCKETS);
+        // The max quantile resolves to the top occupied bucket's lower
+        // bound, which is within relative error of the true max.
+        let est = h.quantile(1.0).unwrap();
+        let max = *all.iter().max().unwrap();
+        prop_assert!(est <= max);
+        prop_assert!(est as f64 >= max as f64 * (1.0 - MAX_RELATIVE_ERROR) - 1.0);
+        check_quantile_error(&all, 0.99);
+    }
+}

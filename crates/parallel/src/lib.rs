@@ -35,6 +35,7 @@ use repro_core::{
     accept_task_with_row, DirtyLog, IncrementalSweeper, OverrideTriangle, SeedConfig, SplitBounds,
     SplitMask, Stats, TopAlignment, TopAlignments,
 };
+use repro_obs::{HistSet, Metric};
 use std::sync::Arc;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -57,6 +58,11 @@ pub struct ParallelResult {
     /// Total seconds worker threads spent blocked waiting for claimable
     /// work, summed across workers (reported as the `worker_idle` phase).
     pub idle_secs: f64,
+    /// Latency histograms measured across all workers (sweep duration,
+    /// task round trip, queue wait, resume rows). Like `idle_secs`,
+    /// these are measured unconditionally — a couple of clock reads per
+    /// coarse-grained task — and folded into the recorder by the facade.
+    pub hists: HistSet,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +80,7 @@ struct Shared {
     superseded: u64,
     claims: u64,
     idle_secs: f64,
+    hists: HistSet,
     accept_in_progress: bool,
     done: bool,
     /// `Some` with seeded pruning: the admissible per-split bounds,
@@ -185,6 +192,7 @@ pub fn find_top_alignments_parallel_seeded(
             superseded: 0,
             claims: 0,
             idle_secs: 0.0,
+            hists: HistSet::new(),
             accept_in_progress: false,
             done: false,
             bounds,
@@ -210,6 +218,7 @@ pub fn find_top_alignments_parallel_seeded(
             superseded_alignments: 0,
             task_claims: 0,
             idle_secs: 0.0,
+            hists: HistSet::new(),
         };
     }
 
@@ -234,6 +243,7 @@ pub fn find_top_alignments_parallel_seeded(
         superseded_alignments: shared.superseded,
         task_claims: shared.claims,
         idle_secs: shared.idle_secs,
+        hists: shared.hists,
     }
 }
 
@@ -337,8 +347,12 @@ impl Engine<'_> {
                     let t0 = Instant::now();
                     self.wake.wait(&mut guard);
                     guard.idle_secs += t0.elapsed().as_secs_f64();
+                    guard
+                        .hists
+                        .observe(Metric::QueueWaitNs, t0.elapsed().as_nanos() as u64);
                 }
                 Decision::Accept { r, score } => {
+                    let claim_t0 = Instant::now();
                     let index = guard.tops.len();
                     let mut triangle = (*guard.triangle).clone();
                     drop(guard);
@@ -380,11 +394,15 @@ impl Engine<'_> {
                     }
                     guard.tops.push(top);
                     guard.accept_in_progress = false;
+                    guard
+                        .hists
+                        .observe(Metric::TaskRoundTripNs, claim_t0.elapsed().as_nanos() as u64);
                     // The accepted task keeps its score as an upper bound
                     // and is now stale (tops count advanced).
                     self.wake.notify_all();
                 }
                 Decision::Realign { r, stamp, triangle } => {
+                    let claim_t0 = Instant::now();
                     if incr.is_some() {
                         // Catch the replica up to the snapshot we are
                         // about to sweep under: tops is still exactly
@@ -394,6 +412,7 @@ impl Engine<'_> {
                     }
                     drop(guard);
 
+                    let sweep_t0 = Instant::now();
                     let is_first = self.rows[r - 1].get().is_none();
                     // (hit, rows swept, rows skipped) — realignments only.
                     let mut inc_stats: Option<(bool, u64, u64)> = None;
@@ -478,7 +497,11 @@ impl Engine<'_> {
                         }
                     };
 
+                    // Measure the unlocked sweep before re-acquiring the
+                    // lock so contention does not inflate the sample.
+                    let sweep_ns = sweep_t0.elapsed().as_nanos() as u64;
                     guard = self.shared.lock();
+                    guard.hists.observe(Metric::SweepNs, sweep_ns);
                     if is_first {
                         guard.first_passes += 1;
                     }
@@ -489,6 +512,7 @@ impl Engine<'_> {
                         guard.stats.checkpoint_misses += u64::from(!hit);
                         guard.stats.realign_rows_swept += swept;
                         guard.stats.realign_rows_skipped += skipped;
+                        guard.hists.observe(Metric::ResumeRows, swept);
                     }
                     if stamp != guard.tops.len() {
                         guard.superseded += 1;
@@ -497,6 +521,9 @@ impl Engine<'_> {
                     t.score = score;
                     t.aligned_with = stamp;
                     t.assigned = false;
+                    guard
+                        .hists
+                        .observe(Metric::TaskRoundTripNs, claim_t0.elapsed().as_nanos() as u64);
                     self.wake.notify_all();
                 }
             }

@@ -34,6 +34,7 @@ use repro_core::{
     accept_task_with_row, DirtyLog, OverrideTriangle, SeedConfig, SplitBounds, Stats, TopAlignment,
     TopAlignments,
 };
+use repro_obs::{HistSet, Metric};
 use repro_simd::{GroupSweeper, SimdSel, SimdStats};
 use std::sync::Arc;
 use std::sync::OnceLock;
@@ -64,6 +65,10 @@ pub struct ParallelSimdResult {
     /// Total seconds workers spent blocked waiting for claimable work,
     /// summed across workers.
     pub idle_secs: f64,
+    /// Latency histograms measured across all workers (group sweep
+    /// duration, task round trip, queue wait, resume rows), folded into
+    /// the recorder by the facade.
+    pub hists: HistSet,
 }
 
 #[derive(Debug, Clone)]
@@ -85,6 +90,7 @@ struct Shared {
     superseded: u64,
     claims: u64,
     idle_secs: f64,
+    hists: HistSet,
     accept_in_progress: bool,
     done: bool,
     /// Accept history mirrored for the incremental layer; its version
@@ -230,6 +236,7 @@ pub fn find_top_alignments_parallel_simd_seeded(
             superseded: 0,
             claims: 0,
             idle_secs: 0.0,
+            hists: HistSet::new(),
             accept_in_progress: false,
             done: false,
             dirty: DirtyLog::new(),
@@ -266,6 +273,7 @@ pub fn find_top_alignments_parallel_simd_seeded(
         superseded_sweeps: shared.superseded,
         task_claims: shared.claims,
         idle_secs: shared.idle_secs,
+        hists: shared.hists,
     }
 }
 
@@ -375,8 +383,12 @@ impl Engine<'_> {
                     let t0 = Instant::now();
                     self.wake.wait(&mut guard);
                     guard.idle_secs += t0.elapsed().as_secs_f64();
+                    guard
+                        .hists
+                        .observe(Metric::QueueWaitNs, t0.elapsed().as_nanos() as u64);
                 }
                 Decision::Accept { r, score } => {
+                    let claim_t0 = Instant::now();
                     let index = guard.tops.len();
                     let mut triangle = (*guard.triangle).clone();
                     drop(guard);
@@ -422,6 +434,9 @@ impl Engine<'_> {
                     }
                     guard.tops.push(top);
                     guard.accept_in_progress = false;
+                    guard
+                        .hists
+                        .observe(Metric::TaskRoundTripNs, claim_t0.elapsed().as_nanos() as u64);
                     // The accepted group keeps its score as an upper bound
                     // and is now stale (tops count advanced).
                     self.wake.notify_all();
@@ -431,6 +446,7 @@ impl Engine<'_> {
                     stamp,
                     triangle,
                 } => {
+                    let claim_t0 = Instant::now();
                     let r0 = self.group_r0(gi);
                     let nl = self.group_lanes(gi);
                     let first_pass = self.rows[r0 - 1].get().is_none();
@@ -467,10 +483,14 @@ impl Engine<'_> {
                         state.members = members;
                         state.aligned_with = stamp;
                         state.assigned = false;
+                        guard
+                            .hists
+                            .observe(Metric::TaskRoundTripNs, claim_t0.elapsed().as_nanos() as u64);
                         self.wake.notify_all();
                         continue;
                     }
                     drop(guard);
+                    let sweep_t0 = Instant::now();
                     let tri = if first_pass { None } else { Some(&*triangle) };
                     let outcome = self.sweeper.sweep(r0, nl, tri);
                     // Late first pass: under seeded pruning a group's
@@ -521,7 +541,11 @@ impl Engine<'_> {
                         members.push(score);
                     }
 
+                    // Measure the unlocked sweep before re-acquiring the
+                    // lock so contention does not inflate the sample.
+                    let sweep_ns = sweep_t0.elapsed().as_nanos() as u64;
                     guard = self.shared.lock();
+                    guard.hists.observe(Metric::SweepNs, sweep_ns);
                     guard.stats.shadow_rejections += shadows;
                     for _ in 0..nl {
                         guard.stats.record_alignment(per_lane_cells, stamp);
@@ -531,6 +555,7 @@ impl Engine<'_> {
                         if !first_pass {
                             guard.stats.checkpoint_misses += 1;
                             guard.stats.realign_rows_swept += rows_swept;
+                            guard.hists.observe(Metric::ResumeRows, rows_swept);
                         }
                     }
                     guard.simd.group_sweeps += 1;
@@ -562,6 +587,9 @@ impl Engine<'_> {
                     state.members = members;
                     state.aligned_with = stamp;
                     state.assigned = false;
+                    guard
+                        .hists
+                        .observe(Metric::TaskRoundTripNs, claim_t0.elapsed().as_nanos() as u64);
                     self.wake.notify_all();
                 }
             }

@@ -40,6 +40,7 @@
 
 pub mod chaos;
 pub mod report;
+pub mod trace;
 
 pub use repro_align as align;
 pub use repro_cluster as cluster;
@@ -65,9 +66,14 @@ pub use repro_simd::{
     DispatchError, DispatchPath, LaneWidth, SimdSel,
 };
 
-pub use report::{PaperClaims, PhaseTiming, RunReport, REPORT_SCHEMA_VERSION};
+pub use report::{
+    HistogramSummary, PaperClaims, PhaseTiming, RunReport, REPORT_SCHEMA_VERSION,
+};
 
-use repro_obs::{Counter, EventRecord, FlightRecorder, Phase, Recorder, DEFAULT_EVENT_CAP};
+use repro_obs::{
+    Counter, EventRecord, FlightRecorder, Metric, Phase, Progress, ProgressSink, Recorder,
+    DEFAULT_EVENT_CAP,
+};
 use std::time::Duration;
 
 /// Why a run could not start or finish: either the distributed engine
@@ -179,6 +185,7 @@ pub struct Repro {
     trace: bool,
     checkpoint_budget: Option<usize>,
     seed: Option<repro_core::seed::SeedConfig>,
+    progress: Option<ProgressSink>,
 }
 
 /// Everything a run produces: the top alignments (with work stats and
@@ -214,6 +221,7 @@ impl Repro {
             trace: false,
             checkpoint_budget: None,
             seed: None,
+            progress: None,
         }
     }
 
@@ -279,6 +287,17 @@ impl Repro {
         self
     }
 
+    /// Stream periodic progress heartbeats (JSONL, one object per
+    /// line) into `sink` while the run executes, and write one final
+    /// line when it finishes. The recorder-holding engines (sequential,
+    /// SIMD, cluster) heartbeat live mid-run; the SMP engines track
+    /// their tallies worker-side and so only produce the final line.
+    /// `None` (the default) disables streaming.
+    pub fn progress(mut self, sink: Option<ProgressSink>) -> Self {
+        self.progress = sink;
+        self
+    }
+
     /// The configured scoring scheme.
     pub fn scoring(&self) -> &Scoring {
         &self.scoring
@@ -329,6 +348,9 @@ impl Repro {
         } else {
             FlightRecorder::new()
         };
+        if let Some(sink) = &self.progress {
+            rec.set_progress(sink.clone());
+        }
         let budget = self.checkpoint_budget;
         let tops = match self.engine {
             Engine::Sequential if self.low_memory => {
@@ -399,6 +421,9 @@ impl Repro {
                 rec.add(Counter::GroupSweeps, out.simd.group_sweeps);
                 rec.add(Counter::NarrowSaturations, out.simd.saturation_fallbacks);
                 rec.add(Counter::PromotedSweeps, out.simd.promoted_sweeps);
+                for m in Metric::ALL {
+                    rec.observe_hist(m, out.hists.get(m));
+                }
                 fold_checkpoint_counters(&mut rec, &out.result.stats);
                 fold_prune_counters(&mut rec, &out.result.stats);
                 out.result
@@ -415,6 +440,9 @@ impl Repro {
                 rec.add(Counter::TaskClaims, out.task_claims);
                 rec.add_phase_secs(Phase::WorkerIdle, out.idle_secs);
                 rec.add(Counter::SupersededWork, out.superseded_alignments);
+                for m in Metric::ALL {
+                    rec.observe_hist(m, out.hists.get(m));
+                }
                 fold_checkpoint_counters(&mut rec, &out.result.stats);
                 fold_prune_counters(&mut rec, &out.result.stats);
                 out.result
@@ -472,6 +500,21 @@ impl Repro {
                 find_top_alignments_old(seq, &self.scoring, self.count, kernel)
             }
         };
+        if self.progress.is_some() {
+            // End-of-run heartbeat, reconstructed from the final stats
+            // so it is truthful for every engine — including the SMP
+            // ones, which never offered a mid-run snapshot.
+            let total = seq.len().saturating_sub(1) as u64;
+            let pruned = tops.stats.splits_pruned;
+            rec.progress_force(&Progress {
+                splits_done: total.saturating_sub(pruned),
+                splits_total: total,
+                splits_pruned: pruned,
+                realignments_avoided: tops.stats.pruned_pops + tops.stats.checkpoint_hits,
+                tops_found: tops.alignments.len() as u64,
+                tops_requested: self.count as u64,
+            });
+        }
         rec.phase_start(Phase::Delineate);
         let report = delineate(seq, &tops.alignments);
         rec.phase_end(Phase::Delineate);
@@ -622,6 +665,110 @@ mod tests {
         assert_eq!(sim.tops.alignments, proc.tops.alignments);
         assert_eq!(proc.run.engine, "cluster-proc:2");
         assert_eq!(sim.run.engine, "cluster:2");
+    }
+
+    #[test]
+    fn sim_and_proc_transports_report_identical_merged_counters() {
+        // The regression this pins down: worker-side tallies (scratch-
+        // pool reuses above all) used to be dropped on the floor by
+        // both cluster transports — the report showed 0 where the
+        // sequential engine showed thousands. With telemetry frames the
+        // merged cluster-wide counters must be deterministic and
+        // transport-independent: same seed, same work, same numbers.
+        // One worker: with a single claimant the task schedule is
+        // deterministic, so *every* merged work counter must agree
+        // bit-for-bit (more workers put `alignments` at the mercy of
+        // claim interleaving, which is exactly what this test is not
+        // about).
+        let seq = seqgen::titin_like(120, 7);
+        let scoring = Scoring::protein_default();
+        let base = Repro::new(scoring)
+            .top_alignments(4)
+            .checkpoint_budget(Some(repro_align::checkpoint::DEFAULT_CHECKPOINT_BUDGET))
+            .engine(Engine::Cluster { workers: 1 });
+        let sim = base.clone().run(&seq);
+        let proc = base.transport(Transport::Proc).run(&seq);
+        assert_eq!(sim.tops.alignments, proc.tops.alignments);
+        // Deterministic work counters are bit-equal across transports.
+        // (Timing histograms and retry counts are scheduling-dependent
+        // and excluded by design.)
+        assert_eq!(sim.run.alignments, proc.run.alignments);
+        assert_eq!(sim.run.cells, proc.run.cells);
+        assert_eq!(sim.run.checkpoint_hits, proc.run.checkpoint_hits);
+        assert_eq!(sim.run.checkpoint_misses, proc.run.checkpoint_misses);
+        assert_eq!(sim.run.realign_rows_swept, proc.run.realign_rows_swept);
+        assert_eq!(sim.run.realign_rows_skipped, proc.run.realign_rows_skipped);
+        assert_eq!(
+            sim.run.pool_reuses, proc.run.pool_reuses,
+            "merged pool reuses diverged between transports"
+        );
+        assert!(
+            sim.run.pool_reuses > 0,
+            "worker pool reuses must survive the transport (0 == 0 would pass vacuously)"
+        );
+        // The recorder mirror agrees with the stats field on both.
+        for a in [&sim, &proc] {
+            let mirrored = a
+                .run
+                .counters
+                .iter()
+                .find(|(name, _)| *name == "pool_reuses")
+                .map(|&(_, v)| v)
+                .unwrap();
+            assert_eq!(mirrored, a.run.pool_reuses);
+        }
+    }
+
+    #[test]
+    fn progress_sink_streams_heartbeats_and_a_final_line() {
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let seq = seqgen::titin_like(120, 3);
+        let buf = SharedBuf::default();
+        let sink = ProgressSink::to_writer(Box::new(buf.clone()), Duration::ZERO);
+        let analysis = Repro::new(Scoring::protein_default())
+            .top_alignments(3)
+            .progress(Some(sink))
+            .run(&seq);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Zero-period sink: the sequential engine offers a snapshot per
+        // queue pop, so there are mid-run lines plus the forced final.
+        assert!(lines.len() >= 2, "expected streaming heartbeats, got {lines:?}");
+        for line in &lines {
+            obs::json::Json::parse(line).expect("heartbeat lines are valid JSON");
+        }
+        let last = obs::json::Json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(
+            last.get("splits_total").and_then(obs::json::Json::as_u64),
+            Some(seq.len() as u64 - 1)
+        );
+        assert_eq!(
+            last.get("tops_found").and_then(obs::json::Json::as_u64),
+            Some(analysis.tops.alignments.len() as u64)
+        );
+        assert_eq!(
+            last.get("tops_requested").and_then(obs::json::Json::as_u64),
+            Some(3)
+        );
+        // The final line reports a finished search: ETA is null.
+        assert!(matches!(
+            last.get("eta_secs"),
+            Some(obs::json::Json::Null)
+        ));
     }
 
     #[test]

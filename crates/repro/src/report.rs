@@ -15,7 +15,7 @@
 
 use repro_core::TopAlignments;
 use repro_obs::json::{num, obj, str, Json};
-use repro_obs::{Counter, FlightRecorder, Phase};
+use repro_obs::{Counter, FlightRecorder, Metric, Phase};
 
 /// Schema version stamped into every report; bump on breaking layout
 /// changes so downstream consumers can fail loudly instead of misread.
@@ -23,8 +23,10 @@ use repro_obs::{Counter, FlightRecorder, Phase};
 /// hits/misses, rows swept/skipped, pool reuses). Version 3 added the
 /// seeded split-pruning stats (splits pruned, pruned pops, bound
 /// recomputes, seed-index build time) and made the avoided-realignment
-/// claim prune-aware.
-pub const REPORT_SCHEMA_VERSION: u64 = 3;
+/// claim prune-aware. Version 4 added the `histograms` block: per-metric
+/// latency/size distributions (count, sum, p50/p90/p99) from the
+/// log-bucketed histograms, cluster-wide for the distributed engines.
+pub const REPORT_SCHEMA_VERSION: u64 = 4;
 
 /// One phase's accumulated wall-clock time and entry count.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +37,26 @@ pub struct PhaseTiming {
     pub secs: f64,
     /// Times the phase was entered (or credited externally).
     pub entries: u64,
+}
+
+/// One metric's distribution summary: the serialized face of a
+/// log-bucketed [`repro_obs::Hist`]. Quantiles carry the histogram's
+/// bounded relative error (≤ 1/16); a never-recorded metric summarizes
+/// as all zeros so the schema is identical across engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Stable snake_case metric name (see [`Metric::name`]).
+    pub metric: &'static str,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (exact, not bucketed).
+    pub sum: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
 }
 
 /// The ratios behind the paper's headline work-accounting claims.
@@ -113,6 +135,10 @@ pub struct RunReport {
     pub phases: Vec<PhaseTiming>,
     /// Every flight-recorder counter, in [`Counter::ALL`] order.
     pub counters: Vec<(&'static str, u64)>,
+    /// Every metric's distribution summary, in [`Metric::ALL`] order
+    /// (all-zero summaries included so the schema is identical across
+    /// engines).
+    pub histograms: Vec<HistogramSummary>,
     /// Derived paper-claim ratios.
     pub claims: PaperClaims,
     /// Events the recorder dropped because its buffer cap was reached.
@@ -171,6 +197,20 @@ impl RunReport {
             counters: Counter::ALL
                 .iter()
                 .map(|&c| (c.name(), rec.counter(c)))
+                .collect(),
+            histograms: Metric::ALL
+                .iter()
+                .map(|&m| {
+                    let h = rec.hist(m);
+                    HistogramSummary {
+                        metric: m.name(),
+                        count: h.count(),
+                        sum: h.sum(),
+                        p50: h.p50(),
+                        p90: h.p90(),
+                        p99: h.p99(),
+                    }
+                })
                 .collect(),
             claims: PaperClaims {
                 realignment_fraction: fraction,
@@ -240,6 +280,22 @@ impl RunReport {
             .iter()
             .map(|&(name, v)| (name, num(v as f64)))
             .collect());
+        let histograms = obj(self
+            .histograms
+            .iter()
+            .map(|h| {
+                (
+                    h.metric,
+                    obj(vec![
+                        ("count", num(h.count as f64)),
+                        ("sum", num(h.sum as f64)),
+                        ("p50", num(h.p50 as f64)),
+                        ("p90", num(h.p90 as f64)),
+                        ("p99", num(h.p99 as f64)),
+                    ]),
+                )
+            })
+            .collect());
         let claims = obj(vec![
             (
                 "realignment_fraction",
@@ -267,6 +323,7 @@ impl RunReport {
             ("stats", stats),
             ("phases", phases),
             ("counters", counters),
+            ("histograms", histograms),
             ("claims", claims),
             ("dropped_events", num(self.dropped_events as f64)),
         ])
@@ -358,6 +415,21 @@ impl RunReport {
                 return Err(format!("counters: missing or non-numeric `{}`", c.name()));
             }
         }
+        let histograms = v
+            .get("histograms")
+            .and_then(|j| j.as_obj())
+            .ok_or("missing or non-object field `histograms`")?;
+        for m in Metric::ALL {
+            let h = histograms
+                .iter()
+                .find(|(k, _)| k == m.name())
+                .map(|(_, j)| j)
+                .ok_or_else(|| format!("histograms: missing metric `{}`", m.name()))?;
+            for key in ["count", "sum", "p50", "p90", "p99"] {
+                req_num(h, key)
+                    .map_err(|e| format!("histograms.{}: {e}", m.name()))?;
+            }
+        }
         let claims = v.get("claims").ok_or("missing field `claims`")?;
         let fraction =
             req_num(claims, "realignment_fraction").map_err(|e| format!("claims: {e}"))?;
@@ -436,12 +508,39 @@ mod tests {
         let err = RunReport::validate(&Json::parse(&bad).unwrap()).unwrap_err();
         assert!(err.contains("stale_pops"), "{err}");
         // Wrong schema version.
-        let bad = good.replace("\"schema_version\":3", "\"schema_version\":999");
+        let bad = good.replace("\"schema_version\":4", "\"schema_version\":999");
         let err = RunReport::validate(&Json::parse(&bad).unwrap()).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         // Phase renamed.
         let bad = good.replace("\"first_sweep\"", "\"zeroth_sweep\"");
         assert!(RunReport::validate(&Json::parse(&bad).unwrap()).is_err());
+        // Histogram metric renamed.
+        let bad = good.replace("\"sweep_ns\"", "\"swoop_ns\"");
+        let err = RunReport::validate(&Json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("sweep_ns"), "{err}");
+    }
+
+    #[test]
+    fn histograms_are_captured_and_serialized() {
+        let report = sample();
+        assert_eq!(report.histograms.len(), Metric::ALL.len());
+        let sweep = report
+            .histograms
+            .iter()
+            .find(|h| h.metric == "sweep_ns")
+            .unwrap();
+        assert!(sweep.count > 0, "sequential run must record sweep durations");
+        assert!(sweep.sum > 0);
+        assert!(sweep.p99 >= sweep.p50);
+        let text = report.to_json().to_string_compact();
+        let parsed = Json::parse(&text).unwrap();
+        let got = parsed
+            .get("histograms")
+            .and_then(|h| h.get("sweep_ns"))
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert_eq!(got, sweep.count);
     }
 
     #[test]

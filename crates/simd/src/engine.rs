@@ -31,7 +31,7 @@ use repro_core::{
     accept_task, BottomRowStore, DirtyLog, OverrideTriangle, SeedConfig, SplitBounds, Stats,
     TopAlignment, TopAlignments,
 };
-use repro_obs::{Counter, NoopRecorder, Phase, Recorder};
+use repro_obs::{Counter, Metric, NoopRecorder, Phase, Progress, Recorder};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::OnceLock;
@@ -371,6 +371,17 @@ fn run<R: Recorder>(
         if task.score <= 0 {
             break;
         }
+        let pop_t0 = R::ENABLED.then(std::time::Instant::now);
+        if R::ENABLED {
+            rec.progress(&Progress {
+                splits_done: first_passes as u64,
+                splits_total: splits as u64,
+                splits_pruned: (splits - first_passes) as u64,
+                realignments_avoided: stats.pruned_pops + stats.checkpoint_hits,
+                tops_found: alignments.len() as u64,
+                tops_requested: count as u64,
+            });
+        }
         let Reverse(gi) = task.gi;
         let tops_found = alignments.len();
 
@@ -384,6 +395,10 @@ fn run<R: Recorder>(
                 let gb = group_bound(b, gi);
                 if gb < task.score {
                     stats.pruned_pops += 1;
+                    rec.observe(Metric::PruneSlack, (task.score - gb) as u64);
+                    if let Some(t0) = pop_t0 {
+                        rec.observe(Metric::TaskRoundTripNs, t0.elapsed().as_nanos() as u64);
+                    }
                     queue.push(GroupTask {
                         score: gb,
                         gi: Reverse(gi),
@@ -436,6 +451,9 @@ fn run<R: Recorder>(
                 aligned_with: task.aligned_with,
             });
             rec.phase_end(Phase::Traceback);
+            if let Some(t0) = pop_t0 {
+                rec.observe(Metric::TaskRoundTripNs, t0.elapsed().as_nanos() as u64);
+            }
         } else {
             stats.stale_pops += 1;
             let r0 = group_r0(gi);
@@ -468,6 +486,9 @@ fn run<R: Recorder>(
                     group_best = group_best.max(score);
                 }
                 rec.phase_end(sweep_phase);
+                if let Some(t0) = pop_t0 {
+                    rec.observe(Metric::TaskRoundTripNs, t0.elapsed().as_nanos() as u64);
+                }
                 queue.push(GroupTask {
                     score: group_best,
                     gi: Reverse(gi),
@@ -492,19 +513,30 @@ fn run<R: Recorder>(
                     rec.add(Counter::PromotedSweeps, 1);
                 }
             };
+            let sweep_t0 = R::ENABLED.then(std::time::Instant::now);
             let outcome = sweeper.sweep(r0, nl, tri);
+            let clean_ns = sweep_t0.map(|t0| t0.elapsed().as_nanos() as u64);
             count_sweep(&outcome);
             // Late first pass: under seeded pruning a group's first
             // sweep can happen after accepts have grown the triangle.
             // The clean (unmasked) sweep above feeds the shadow store;
             // this masked resweep yields the exact current scores.
+            let mut masked_ns = None;
             let masked = if first_pass && !triangle.is_empty() {
+                let masked_t0 = R::ENABLED.then(std::time::Instant::now);
                 let mo = sweeper.sweep(r0, nl, Some(&triangle));
+                masked_ns = masked_t0.map(|t0| t0.elapsed().as_nanos() as u64);
                 count_sweep(&mo);
                 Some(mo.group)
             } else {
                 None
             };
+            if let Some(ns) = clean_ns {
+                rec.observe(Metric::SweepNs, ns);
+            }
+            if let Some(ns) = masked_ns {
+                rec.observe(Metric::SweepNs, ns);
+            }
             let g = outcome.group;
             let total_cells = g.cells + masked.as_ref().map_or(0, |mg| mg.cells);
             let per_lane_cells = total_cells / nl as u64;
@@ -512,6 +544,12 @@ fn run<R: Recorder>(
             let mut lane_memo: Vec<(Score, u64)> = Vec::new();
             if incremental && !first_pass {
                 stats.checkpoint_misses += 1;
+                // A full-group realign sweeps r0+l DP rows per lane —
+                // the "resume" depth of a miss is the whole matrix.
+                rec.observe(
+                    Metric::ResumeRows,
+                    (0..nl).map(|l| (r0 + l) as u64).sum(),
+                );
             }
             for l in 0..nl {
                 let r = r0 + l;
@@ -553,6 +591,9 @@ fn run<R: Recorder>(
                 first_passes += nl;
             }
             rec.phase_end(sweep_phase);
+            if let Some(t0) = pop_t0 {
+                rec.observe(Metric::TaskRoundTripNs, t0.elapsed().as_nanos() as u64);
+            }
             queue.push(GroupTask {
                 score: group_best,
                 gi: Reverse(gi),

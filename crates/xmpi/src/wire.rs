@@ -28,7 +28,9 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"rpro");
 /// [`WireError::Version`] before any field of its payload is read.
 /// v2: `TaskMsg` grew the master's per-split `bound` field (seeded
 /// split pruning), so a v1 peer would mis-frame every task.
-pub const VERSION: u32 = 2;
+/// v3: telemetry control frames (`TELEMETRY` tag carrying histogram
+/// snapshots), so a v2 peer would treat them as garbage tags.
+pub const VERSION: u32 = 3;
 
 /// Bytes of frame header (`magic + version + len`) before the payload.
 pub const FRAME_HEADER: usize = 12;
@@ -156,6 +158,15 @@ impl Encoder {
         self = self.usize(vs.len());
         for &v in vs {
             self = self.i32(v);
+        }
+        self
+    }
+
+    /// Append a length-prefixed `u64` slice.
+    pub fn u64_slice(mut self, vs: &[u64]) -> Self {
+        self = self.usize(vs.len());
+        for &v in vs {
+            self = self.u64(v);
         }
         self
     }
@@ -307,6 +318,17 @@ impl<'a> Decoder<'a> {
         (0..n).map(|_| self.i32()).collect()
     }
 
+    /// Read a length-prefixed `u64` vector. The claimed length is
+    /// validated against the remaining bytes before any allocation, so
+    /// a corrupted prefix cannot trigger a huge reservation.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.usize()?;
+        if n > (self.buf.len() - self.pos) / 8 {
+            return Err(WireError::BadLength { claimed: n });
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
     /// Read a length-prefixed list of `usize` pairs (length validated
     /// as in [`Decoder::i32_vec`]).
     pub fn pairs(&mut self) -> Result<Vec<(usize, usize)>, WireError> {
@@ -345,6 +367,7 @@ mod tests {
             .usize(42)
             .i32(-7)
             .i32_slice(&[1, -2, 3])
+            .u64_slice(&[0, u64::MAX, 7])
             .pairs(&[(0, 9), (5, 5)])
             .finish();
         let mut d = Decoder::new(&payload);
@@ -352,6 +375,7 @@ mod tests {
         assert_eq!(d.usize().unwrap(), 42);
         assert_eq!(d.i32().unwrap(), -7);
         assert_eq!(d.i32_vec().unwrap(), vec![1, -2, 3]);
+        assert_eq!(d.u64_vec().unwrap(), vec![0, u64::MAX, 7]);
         assert_eq!(d.pairs().unwrap(), vec![(0, 9), (5, 5)]);
         assert!(d.is_exhausted());
         assert_eq!(d.expect_exhausted(), Ok(()));
