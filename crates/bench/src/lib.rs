@@ -63,6 +63,32 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, t0.elapsed().as_secs_f64())
 }
 
+/// Time two closures head-to-head until `budget` elapses (each runs at
+/// least once), returning each one's minimum per-iteration seconds.
+/// The arms alternate rep-by-rep so slow frequency/thermal drift hits
+/// both equally instead of biasing whichever arm ran second — on
+/// sub-20 ms workloads that drift alone was measured moving a ratio of
+/// the two minima by ±5 %.
+pub fn time_min_pair(
+    budget: Duration,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> (f64, f64) {
+    let start = Instant::now();
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    loop {
+        let t0 = Instant::now();
+        a();
+        best_a = best_a.min(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        b();
+        best_b = best_b.min(t1.elapsed().as_secs_f64());
+        if start.elapsed() >= budget {
+            return (best_a, best_b);
+        }
+    }
+}
+
 /// Time a closure repeatedly until `budget` elapses (at least once),
 /// returning the minimum per-iteration seconds.
 pub fn time_min(budget: Duration, mut f: impl FnMut()) -> f64 {

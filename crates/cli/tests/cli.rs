@@ -393,7 +393,7 @@ fn worker_subcommand_requires_connect() {
 /// protocol, driven from the master's side of the wire.
 #[test]
 fn worker_subcommand_serves_a_real_master_over_sockets() {
-    use repro::cluster::protocol::{tag, JobMsg, ResultMsg, TaskMsg};
+    use repro::cluster::protocol::{tag, JobMsg, ResultMsg, TaskItem, TaskMsg};
     use repro::xmpi::socket::SocketHub;
     use repro::xmpi::Comm;
     use repro::{Scoring, Seq};
@@ -431,14 +431,16 @@ fn worker_subcommand_serves_a_real_master_over_sockets() {
     }
 
     // Hand it a first-pass task; the result must carry the bottom row.
-    let task = TaskMsg {
-        r: 4,
-        stamp: 0,
-        attempt: 1,
-        first: true,
-        bound: repro::align::Score::MAX,
-        row: None,
-    };
+    let task = TaskMsg::single(
+        0,
+        TaskItem {
+            r: 4,
+            attempt: 1,
+            first: true,
+            bound: repro::align::Score::MAX,
+            row: None,
+        },
+    );
     hub.send(1, tag::TASK, task.encode()).unwrap();
     let res = loop {
         match hub.recv_timeout(Duration::from_millis(200)) {

@@ -19,7 +19,7 @@
 //! ACCEPTED broadcast went missing, and watches its own deadline so a
 //! dead master never leaves a thread hanging.
 
-use crate::protocol::{tag, AcceptedMsg, ResultMsg, ResyncMsg, TaskMsg, TelemetryMsg};
+use crate::protocol::{tag, AcceptedMsg, ResultMsg, ResyncMsg, TaskItem, TaskMsg, TelemetryMsg};
 use crate::recovery::{
     already_deferred, idle_payload, master_loop, RecoveryConfig, BEACON_PERIOD, WORKER_POLL,
 };
@@ -294,13 +294,21 @@ pub(crate) fn worker_loop<C: Comm>(
 
     loop {
         // Run any deferred task whose stamp the replica has reached.
+        // Deferred frames are single-item (batches are exploded at
+        // receipt), so one pop runs one split.
         if let Some(pos) = deferred.iter().position(|t| t.stamp <= applied) {
             let task = deferred.swap_remove(pos);
-            let repeat = !sent.insert((task.r, task.attempt));
+            let stamp = task.stamp;
+            let item = task
+                .items
+                .into_iter()
+                .next()
+                .expect("deferred frames are single-item");
+            let repeat = !sent.insert((item.r, item.attempt));
             wrec.observe(Metric::QueueWaitNs, idle_since.elapsed().as_nanos() as u64);
             if !run_task(
-                seq, scoring, &comm, &triangle, &mut rows, &mut incr, &dirty, applied, task,
-                repeat, &mut wrec,
+                seq, scoring, &comm, &triangle, &mut rows, &mut incr, &dirty, applied, stamp,
+                item, repeat, &mut wrec,
             ) {
                 return; // endpoint (ours or the master's) is dead
             }
@@ -358,18 +366,42 @@ pub(crate) fn worker_loop<C: Comm>(
                 let Ok(task) = TaskMsg::decode(&msg.payload) else {
                     continue; // corrupted; the master will retransmit
                 };
-                if task.stamp <= applied {
-                    let repeat = !sent.insert((task.r, task.attempt));
-                    wrec.observe(Metric::QueueWaitNs, idle_since.elapsed().as_nanos() as u64);
-                    if !run_task(
-                        seq, scoring, &comm, &triangle, &mut rows, &mut incr, &dirty, applied,
-                        task, repeat, &mut wrec,
-                    ) {
+                let stamp = task.stamp;
+                if stamp <= applied {
+                    // Run the batch back to back, streaming one result
+                    // per item — consecutive items are neighbouring
+                    // splits (bound locality), so their checkpoint and
+                    // row-cache state stays hot between runs.
+                    let mut dead = false;
+                    for item in task.items {
+                        let repeat = !sent.insert((item.r, item.attempt));
+                        wrec.observe(
+                            Metric::QueueWaitNs,
+                            idle_since.elapsed().as_nanos() as u64,
+                        );
+                        if !run_task(
+                            seq, scoring, &comm, &triangle, &mut rows, &mut incr, &dirty,
+                            applied, stamp, item, repeat, &mut wrec,
+                        ) {
+                            dead = true;
+                            break;
+                        }
+                        idle_since = Instant::now();
+                    }
+                    if dead {
                         return;
                     }
-                    idle_since = Instant::now();
-                } else if !already_deferred(&deferred, &task) {
-                    deferred.push(task); // replica lags; wait for ACCEPTED
+                } else {
+                    // Replica lags the whole batch (one stamp per
+                    // frame: all-run-or-all-defer). Defer each item as
+                    // its own single-item frame so per-item
+                    // retransmissions dedupe against it.
+                    for item in task.items {
+                        let single = TaskMsg::single(stamp, item);
+                        if !already_deferred(&deferred, &single) {
+                            deferred.push(single);
+                        }
+                    }
                 }
             }
             tag::ACCEPTED => {
@@ -435,7 +467,8 @@ fn run_task<C: Comm>(
     incr: &mut Option<IncrementalSweeper>,
     dirty: &DirtyLog,
     applied: usize,
-    task: TaskMsg,
+    stamp: usize,
+    task: TaskItem,
     repeat: bool,
     wrec: &mut FlightRecorder,
 ) -> bool {
@@ -535,7 +568,7 @@ fn run_task<C: Comm>(
     );
     let res = ResultMsg {
         r: task.r,
-        stamp: task.stamp,
+        stamp,
         attempt: task.attempt,
         score,
         cells,

@@ -25,7 +25,7 @@
 //! node's work migrates to the surviving nodes.
 
 use crate::engine::ClusterError;
-use crate::protocol::{tag, AcceptedMsg, ResultMsg, ResyncMsg, TaskMsg};
+use crate::protocol::{tag, AcceptedMsg, ResultMsg, ResyncMsg, TaskItem, TaskMsg};
 use crate::recovery::{
     already_deferred, idle_payload, master_loop, RecoveryConfig, BEACON_PERIOD, WORKER_POLL,
 };
@@ -319,18 +319,26 @@ fn node_worker<C: Comm>(
             }
             match inner.deferred.iter().position(|t| t.stamp <= inner.applied) {
                 Some(pos) => {
+                    // Deferred frames are single-item (batches are
+                    // exploded at receipt), so one pop runs one split.
                     let task = inner.deferred.swap_remove(pos);
+                    let stamp = task.stamp;
+                    let item = task
+                        .items
+                        .into_iter()
+                        .next()
+                        .expect("deferred frames are single-item");
                     let snapshot = Arc::clone(&inner.triangle);
-                    let repeat = !inner.sent.insert((task.r, task.attempt));
+                    let repeat = !inner.sent.insert((item.r, item.attempt));
                     if incr.is_some() {
                         sync_dirty(&mut local_dirty, &inner);
                     }
-                    Some((task, snapshot, repeat, inner.applied))
+                    Some((stamp, item, snapshot, repeat, inner.applied))
                 }
                 None => None,
             }
         };
-        if let Some((task, triangle, repeat, applied)) = runnable {
+        if let Some((stamp, item, triangle, repeat, applied)) = runnable {
             run_task(
                 seq,
                 scoring,
@@ -340,7 +348,8 @@ fn node_worker<C: Comm>(
                 &mut incr,
                 &local_dirty,
                 applied,
-                task,
+                stamp,
+                item,
                 repeat,
             );
             continue;
@@ -396,37 +405,55 @@ fn node_worker<C: Comm>(
         shared.inner.lock().last_master = Instant::now();
         match msg.tag {
             tag::TASK => {
-                let Ok(task) = TaskMsg::decode(&msg.payload) else {
+                let Ok(mut task) = TaskMsg::decode(&msg.payload) else {
                     continue; // corrupted; the master will retransmit
                 };
+                let stamp = task.stamp;
                 let snapshot = {
                     let mut inner = shared.inner.lock();
-                    if task.stamp <= inner.applied {
-                        let repeat = !inner.sent.insert((task.r, task.attempt));
+                    if stamp <= inner.applied {
+                        // Claim every item of the batch under one lock
+                        // hold so the repeat flags and the dirty sync
+                        // describe the same replica version.
+                        let repeats: Vec<bool> = task
+                            .items
+                            .iter()
+                            .map(|item| !inner.sent.insert((item.r, item.attempt)))
+                            .collect();
                         if incr.is_some() {
                             sync_dirty(&mut local_dirty, &inner);
                         }
-                        Some((Arc::clone(&inner.triangle), repeat, inner.applied))
+                        Some((Arc::clone(&inner.triangle), repeats, inner.applied))
                     } else {
-                        if !already_deferred(&inner.deferred, &task) {
-                            inner.deferred.push(task.clone());
+                        // Replica lags the whole batch (one stamp per
+                        // frame: all-run-or-all-defer). Defer each item
+                        // as its own single-item frame so per-item
+                        // retransmissions dedupe against it.
+                        for item in task.items.drain(..) {
+                            let single = TaskMsg::single(stamp, item);
+                            if !already_deferred(&inner.deferred, &single) {
+                                inner.deferred.push(single);
+                            }
                         }
                         None
                     }
                 };
-                if let Some((triangle, repeat, applied)) = snapshot {
-                    run_task(
-                        seq,
-                        scoring,
-                        &comm,
-                        &shared,
-                        &triangle,
-                        &mut incr,
-                        &local_dirty,
-                        applied,
-                        task,
-                        repeat,
-                    );
+                if let Some((triangle, repeats, applied)) = snapshot {
+                    for (item, repeat) in task.items.into_iter().zip(repeats) {
+                        run_task(
+                            seq,
+                            scoring,
+                            &comm,
+                            &shared,
+                            &triangle,
+                            &mut incr,
+                            &local_dirty,
+                            applied,
+                            stamp,
+                            item,
+                            repeat,
+                        );
+                    }
                 }
             }
             tag::ACCEPTED => {
@@ -494,7 +521,8 @@ fn run_task<C: Comm>(
     incr: &mut Option<IncrementalSweeper>,
     dirty: &DirtyLog,
     applied: usize,
-    task: TaskMsg,
+    stamp: usize,
+    task: TaskItem,
     repeat: bool,
 ) {
     // Same routing rule as the flat cluster worker: incremental for
@@ -605,7 +633,7 @@ fn run_task<C: Comm>(
     );
     let res = ResultMsg {
         r: task.r,
-        stamp: task.stamp,
+        stamp,
         attempt: task.attempt,
         score,
         cells,

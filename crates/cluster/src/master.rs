@@ -26,7 +26,7 @@
 //!   tasks against its own (authoritative) triangle, which completes
 //!   the search with the exact sequential result instead of stalling.
 
-use crate::protocol::{AcceptedMsg, ResultMsg, TaskMsg};
+use crate::protocol::{AcceptedMsg, ResultMsg, TaskItem, TaskMsg};
 use repro_align::{sw_last_row, NoMask, Score, Scoring, Seq};
 use repro_core::seed::{SeedConfig, SplitBounds};
 use repro_core::{accept_task_with_row, OverrideTriangle, SplitMask, Stats, TopAlignment};
@@ -36,6 +36,12 @@ use std::collections::{HashMap, HashSet};
 /// local computation ([`MasterState::finish_locally`]). Transports must
 /// never register a real worker under this id.
 pub const LOCAL_WORKER: usize = usize::MAX;
+
+/// Most assignments a single [`TaskMsg`] batch may carry. Batching
+/// amortises a round trip over several tasks; capping it bounds the
+/// speculation wasted when an acceptance lands mid-batch and keeps a
+/// dead worker's reassignment burst small.
+pub const MAX_BATCH: usize = 4;
 
 /// What the transport must do next, in order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -347,13 +353,15 @@ impl<'a> MasterState<'a> {
                 unreachable!("position matched an Assign");
             };
             out.append(&mut queue);
-            let (score, cells, shadow_rejections, first_row) = self.compute_local(&task);
+            debug_assert_eq!(task.items.len(), 1, "local assignments are single-item");
+            let item = &task.items[0];
+            let (score, cells, shadow_rejections, first_row) = self.compute_local(task.stamp, item);
             queue = self.result(
                 LOCAL_WORKER,
                 ResultMsg {
-                    r: task.r,
+                    r: item.r,
                     stamp: task.stamp,
-                    attempt: task.attempt,
+                    attempt: item.attempt,
                     score,
                     cells,
                     shadow_rejections,
@@ -369,8 +377,8 @@ impl<'a> MasterState<'a> {
     /// Run one task on the master itself. Identical to a worker's
     /// compute, but against the master's own triangle — always at
     /// version `tops.len()`, which equals every locally issued stamp.
-    fn compute_local(&self, task: &TaskMsg) -> (Score, u64, u64, Option<Vec<Score>>) {
-        debug_assert_eq!(task.stamp, self.tops.len());
+    fn compute_local(&self, stamp: usize, task: &TaskItem) -> (Score, u64, u64, Option<Vec<Score>>) {
+        debug_assert_eq!(stamp, self.tops.len());
         let (prefix, suffix) = self.seq.split(task.r);
         let mask = SplitMask::new(&self.triangle, task.r);
         let last = sw_last_row(prefix, suffix, self.scoring, mask);
@@ -458,39 +466,63 @@ impl<'a> MasterState<'a> {
             self.tops.push(top);
         }
 
-        // Hand the best stale unassigned tasks to idle capacity.
+        // Hand the best stale unassigned tasks to idle capacity, up to
+        // MAX_BATCH per slot token. The batch size adapts to the
+        // supply/demand ratio so a thin backlog still spreads across
+        // every idle slot instead of piling onto the first one; each
+        // batch is sorted by split index so consecutive items land in
+        // neighbouring checkpoint and row-cache state on the worker
+        // (bound locality).
         while let Some(&(worker, slot)) = self.idle.last() {
-            let Some((_, i)) = self.best_stale_unassigned() else {
+            let tops = self.tops.len();
+            let avail = if tops >= self.count {
+                0
+            } else {
+                self.state
+                    .iter()
+                    .filter(|t| t.assigned.is_none() && t.aligned_with != tops && t.score > 0)
+                    .count()
+            };
+            if avail == 0 {
                 break;
+            }
+            let k = if worker == LOCAL_WORKER {
+                // The local fallback computes at the live stamp, one
+                // task at a time — a batch would go stale mid-loop on
+                // the first acceptance.
+                1
+            } else {
+                (avail / self.idle.len()).clamp(1, MAX_BATCH)
             };
             self.idle.pop();
-            let r = i + 1;
-            let attempt = self.state[i].attempts + 1;
-            self.state[i].attempts = attempt;
-            self.state[i].assigned = Some(Assignment {
-                worker,
-                slot,
-                attempt,
-            });
-            self.in_flight += 1;
-            self.stats.stale_pops += 1;
-            let stamp = self.tops.len();
-            let first = self.rows[i].is_none();
-            let flags = self
-                .worker_has_row
-                .get_mut(&worker)
-                .expect("worker registered at idle time");
-            let row = if first || flags[i] {
-                None // first pass (no row yet), or worker has it cached
-            } else {
-                flags[i] = true;
-                Some(self.rows[i].clone().expect("row checked above"))
-            };
-            actions.push(MasterAction::Assign {
-                worker,
-                task: TaskMsg {
-                    r,
-                    stamp,
+            let stamp = tops;
+            let mut items = Vec::with_capacity(k);
+            for _ in 0..k {
+                let Some((_, i)) = self.best_stale_unassigned() else {
+                    break;
+                };
+                let attempt = self.state[i].attempts + 1;
+                self.state[i].attempts = attempt;
+                self.state[i].assigned = Some(Assignment {
+                    worker,
+                    slot,
+                    attempt,
+                });
+                self.in_flight += 1;
+                self.stats.stale_pops += 1;
+                let first = self.rows[i].is_none();
+                let flags = self
+                    .worker_has_row
+                    .get_mut(&worker)
+                    .expect("worker registered at idle time");
+                let row = if first || flags[i] {
+                    None // first pass (no row yet), or worker has it cached
+                } else {
+                    flags[i] = true;
+                    Some(self.rows[i].clone().expect("row checked above"))
+                };
+                items.push(TaskItem {
+                    r: i + 1,
                     attempt,
                     first,
                     // The current upper bound (seed bound for a first
@@ -498,7 +530,12 @@ impl<'a> MasterState<'a> {
                     // worker can sanity-check without a seed index.
                     bound: self.state[i].score,
                     row,
-                },
+                });
+            }
+            items.sort_by_key(|it| it.r);
+            actions.push(MasterAction::Assign {
+                worker,
+                task: TaskMsg { stamp, items },
             });
         }
 
@@ -568,7 +605,7 @@ mod tests {
             .collect();
         let mut worker_caches: Vec<std::collections::HashMap<usize, Vec<Score>>> =
             vec![std::collections::HashMap::new(); workers];
-        let mut pending: std::collections::VecDeque<(usize, TaskMsg)> =
+        let mut pending: std::collections::VecDeque<(usize, usize, TaskItem)> =
             std::collections::VecDeque::new();
 
         let mut actions: Vec<MasterAction> = Vec::new();
@@ -578,7 +615,11 @@ mod tests {
         loop {
             for a in actions.drain(..) {
                 match a {
-                    MasterAction::Assign { worker, task } => pending.push_back((worker, task)),
+                    MasterAction::Assign { worker, task } => {
+                        for item in task.items {
+                            pending.push_back((worker, task.stamp, item));
+                        }
+                    }
                     MasterAction::Broadcast(acc) => {
                         for t in &mut worker_triangles {
                             for &(p, q) in &acc.pairs {
@@ -589,11 +630,14 @@ mod tests {
                     MasterAction::Done => return master.into_result(),
                 }
             }
-            let Some((w, task)) = pending.pop_front() else {
+            let Some((w, stamp, task)) = pending.pop_front() else {
                 panic!("master stalled without Done");
             };
             // Worker computes with ITS replica (which here is in lockstep
-            // with the master; async transports exercise the lag).
+            // with the master; async transports exercise the lag). Later
+            // items of a batch may run under a replica that grew past
+            // their stamp — the master records those results as stale
+            // and reassigns, exactly like lagging remote speculation.
             let (prefix, suffix) = seq.split(task.r);
             let mask = SplitMask::new(&worker_triangles[w], task.r);
             let last = repro_align::sw_last_row(prefix, suffix, scoring, mask);
@@ -630,7 +674,7 @@ mod tests {
                 w,
                 ResultMsg {
                     r: task.r,
-                    stamp: task.stamp,
+                    stamp,
                     attempt: task.attempt,
                     score,
                     cells: last.cells,
@@ -712,16 +756,18 @@ mod tests {
             panic!("one idle worker must receive an assignment");
         };
         assert_eq!(worker, 1);
-        // The worker "dies"; its task goes back to the pool.
+        let item = task.items[0].clone();
+        // The worker "dies"; its batch goes back to the pool.
         let _ = master.worker_dead(1);
-        // A new worker picks the task up under a fresh attempt…
+        // A new worker picks the work up under fresh attempts…
         let actions = master.worker_idle(2, 0);
         let Some(MasterAction::Assign { task: task2, .. }) = actions.first().cloned() else {
             panic!("reissued task expected");
         };
-        assert_eq!(task2.r, task.r);
+        let item2 = task2.items[0].clone();
+        assert_eq!(item2.r, item.r);
         assert!(
-            task2.attempt > task.attempt,
+            item2.attempt > item.attempt,
             "reissue must bump the attempt"
         );
         // …and the zombie's late result (old attempt) changes nothing.
@@ -729,9 +775,9 @@ mod tests {
         let zombie = master.result(
             1,
             ResultMsg {
-                r: task.r,
+                r: item.r,
                 stamp: task.stamp,
-                attempt: task.attempt,
+                attempt: item.attempt,
                 score: 999_999, // a wrong score that must never be trusted
                 cells: 1,
                 shadow_rejections: 0,
@@ -756,10 +802,11 @@ mod tests {
         let Some(MasterAction::Assign { task, .. }) = actions.first().cloned() else {
             panic!("one idle worker must receive an assignment");
         };
+        let item = task.items[0].clone();
         let res = ResultMsg {
-            r: task.r,
+            r: item.r,
             stamp: task.stamp,
-            attempt: task.attempt,
+            attempt: item.attempt,
             score: 0, // keep the split unaccepted so the state is easy to audit
             cells: 7,
             shadow_rejections: 0,
@@ -768,10 +815,11 @@ mod tests {
         };
         let first = master.result(1, res.clone());
         assert!(
-            !first.is_empty(),
-            "first copy settles: slot freed, next task assigned"
+            first.is_empty(),
+            "the rest of the batch keeps the slot busy: nothing new to do"
         );
         let aligned = master.stats().alignments;
+        assert_eq!(aligned, 1, "first copy settles and is counted");
         // The transport re-delivers the identical frame.
         let dup = master.result(1, res.clone());
         assert!(dup.is_empty(), "second copy must be discarded");
@@ -820,5 +868,115 @@ mod tests {
         // (the hybrid engine runs several CPUs behind one rank).
         let second = master.worker_idle(1, 1);
         assert_eq!(assigns(&second), 1, "second slot is real capacity");
+    }
+
+    #[test]
+    fn assignments_are_batched_and_bound_local() {
+        let scoring = Scoring::dna_example();
+        let seq = Seq::dna("ATGCATGCATGCATGC").unwrap(); // 15 splits
+        let mut master = MasterState::new(&seq, &scoring, 3);
+        let actions = master.worker_idle(1, 0);
+        let tasks: Vec<&TaskMsg> = actions
+            .iter()
+            .filter_map(|a| match a {
+                MasterAction::Assign { task, .. } => Some(task),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tasks.len(), 1, "one slot token, one batch frame");
+        let batch = tasks[0];
+        assert_eq!(
+            batch.items.len(),
+            MAX_BATCH,
+            "a deep backlog fills the batch to the cap"
+        );
+        assert!(
+            batch.items.windows(2).all(|w| w[0].r < w[1].r),
+            "batch items must be distinct splits sorted by r (bound locality)"
+        );
+        // Every item consumed the same slot: a re-announced IDLE is a
+        // duplicate while ANY item is outstanding.
+        let again = master.worker_idle(1, 0);
+        assert!(
+            !again
+                .iter()
+                .any(|a| matches!(a, MasterAction::Assign { .. })),
+            "slot stays busy until the whole batch settles"
+        );
+        // Settle all but the last item: still busy.
+        for item in &batch.items[..MAX_BATCH - 1] {
+            let _ = master.result(
+                1,
+                ResultMsg {
+                    r: item.r,
+                    stamp: batch.stamp,
+                    attempt: item.attempt,
+                    score: 0,
+                    cells: 1,
+                    shadow_rejections: 0,
+                    incr: [0; 4],
+                    first_row: Some(vec![0; seq.len()]),
+                },
+            );
+        }
+        let still = master.worker_idle(1, 0);
+        assert!(
+            !still
+                .iter()
+                .any(|a| matches!(a, MasterAction::Assign { .. })),
+            "one outstanding item still pins the slot"
+        );
+        // The last item settles the batch: the slot comes back and the
+        // master immediately hands out the next batch.
+        let last = &batch.items[MAX_BATCH - 1];
+        let next = master.result(
+            1,
+            ResultMsg {
+                r: last.r,
+                stamp: batch.stamp,
+                attempt: last.attempt,
+                score: 0,
+                cells: 1,
+                shadow_rejections: 0,
+                incr: [0; 4],
+                first_row: Some(vec![0; seq.len()]),
+            },
+        );
+        assert!(
+            next.iter()
+                .any(|a| matches!(a, MasterAction::Assign { .. })),
+            "freed slot is refilled with the next batch"
+        );
+    }
+
+    #[test]
+    fn thin_backlog_spreads_across_idle_slots() {
+        // More idle tokens than MAX_BATCH-sized shares of the backlog:
+        // the adaptive batch size must spread work instead of letting
+        // the first slot hoard it.
+        let scoring = Scoring::dna_example();
+        let seq = Seq::dna("ATGCATGC").unwrap(); // 7 splits
+        let mut master = MasterState::new(&seq, &scoring, 3);
+        // Register 4 slots on a dead-letter pattern: hold the actions.
+        let mut all = Vec::new();
+        for w in 0..4 {
+            all.extend(master.worker_idle(w, 0));
+        }
+        let sizes: Vec<usize> = all
+            .iter()
+            .filter_map(|a| match a {
+                MasterAction::Assign { task, .. } => Some(task.items.len()),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            sizes.len() >= 2,
+            "7 tasks over 4 slots must use more than one slot, got {sizes:?}"
+        );
+        assert_eq!(sizes.iter().sum::<usize>(), 7, "every split assigned once");
+        assert!(
+            sizes.iter().all(|&s| s <= MAX_BATCH),
+            "no batch may exceed the cap: {sizes:?}"
+        );
     }
 }

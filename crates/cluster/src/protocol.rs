@@ -44,13 +44,11 @@ pub mod tag {
     pub const TELEMETRY: u32 = 9;
 }
 
-/// A task assignment.
+/// One split's assignment inside a (possibly batched) [`TaskMsg`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TaskMsg {
+pub struct TaskItem {
     /// Split to (re)align.
     pub r: usize,
-    /// Triangle version (top alignments accepted so far) to align under.
-    pub stamp: usize,
     /// Assignment attempt for this split, bumped on every (re)issue;
     /// echoed back in the result so the master can discard stale ones.
     pub attempt: u64,
@@ -63,7 +61,7 @@ pub struct TaskMsg {
     /// means workers never rebuild the seed index; they may
     /// sanity-check their computed score against it (masking
     /// monotonicity guarantees `score <= bound` at any replica version
-    /// at or past the stamp). This field is the wire-v2 layout change
+    /// at or past the stamp). This field was the wire-v2 layout change
     /// ([`repro_xmpi::wire::VERSION`]): a v1 socket peer is rejected
     /// at hello, and within a version a frame missing the field fails
     /// the decoder's length check and is dropped like corruption — so
@@ -75,12 +73,10 @@ pub struct TaskMsg {
     pub row: Option<Vec<Score>>,
 }
 
-impl TaskMsg {
-    /// Encode to a framed payload.
-    pub fn encode(&self) -> Vec<u8> {
-        let e = Encoder::new()
+impl TaskItem {
+    fn encode_into(&self, e: Encoder) -> Encoder {
+        let e = e
             .usize(self.r)
-            .usize(self.stamp)
             .u64(self.attempt)
             .u64(self.first as u64)
             .i32(self.bound);
@@ -88,14 +84,10 @@ impl TaskMsg {
             Some(row) => e.u64(1).i32_slice(row),
             None => e.u64(0),
         }
-        .finish_framed()
     }
 
-    /// Decode from a framed payload.
-    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
-        let mut d = Decoder::new_framed(payload)?;
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
         let r = d.usize()?;
-        let stamp = d.usize()?;
         let attempt = d.u64()?;
         let first = d.u64()? == 1;
         let bound = d.i32()?;
@@ -104,15 +96,74 @@ impl TaskMsg {
         } else {
             None
         };
-        d.expect_exhausted()?;
-        Ok(TaskMsg {
+        Ok(TaskItem {
             r,
-            stamp,
             attempt,
             first,
             bound,
             row,
         })
+    }
+}
+
+/// A task assignment: a batch of one or more splits to (re)align under
+/// one triangle version. Batching whole assignments into a single
+/// frame is the wire-v4 layout change ([`repro_xmpi::wire::VERSION`]):
+/// a v3 peer is rejected at hello with a typed version error. Workers
+/// answer each item with its own [`ResultMsg`] (results stream back;
+/// there is no batched result), and a retransmission may re-ship any
+/// subset of the original batch as smaller `TaskMsg`s — the per-item
+/// `attempt` numbers, not batch boundaries, are what results are
+/// matched on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskMsg {
+    /// Triangle version (top alignments accepted so far) every item in
+    /// the batch must be aligned under. One stamp for the whole batch:
+    /// a worker either runs the batch or defers all of it, so batching
+    /// never lets items of one frame run under different replicas.
+    pub stamp: usize,
+    /// The batched assignments, sorted by split index ascending (the
+    /// bound-locality order: consecutive splits share checkpoint and
+    /// row-cache neighbourhoods on the worker).
+    pub items: Vec<TaskItem>,
+}
+
+impl TaskMsg {
+    /// Convenience: a single-item batch (the shape every retransmission
+    /// and deferred re-run uses).
+    pub fn single(stamp: usize, item: TaskItem) -> Self {
+        TaskMsg {
+            stamp,
+            items: vec![item],
+        }
+    }
+
+    /// Encode to a framed payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new().usize(self.stamp).usize(self.items.len());
+        for item in &self.items {
+            e = item.encode_into(e);
+        }
+        e.finish_framed()
+    }
+
+    /// Decode from a framed payload. An empty batch is rejected as
+    /// malformed: the master never sends one, so it can only be
+    /// corruption that survived the checksum by colliding.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut d = Decoder::new_framed(payload)?;
+        let stamp = d.usize()?;
+        let n = d.usize()?;
+        // Each item needs at least its fixed fields; reject a hostile
+        // count before allocating.
+        if n == 0 || n > 1 << 20 {
+            return Err(WireError::BadLength { claimed: n });
+        }
+        let items = (0..n)
+            .map(|_| TaskItem::decode_from(&mut d))
+            .collect::<Result<Vec<_>, _>>()?;
+        d.expect_exhausted()?;
+        Ok(TaskMsg { stamp, items })
     }
 }
 
@@ -412,25 +463,65 @@ mod tests {
     #[test]
     fn task_roundtrip() {
         for msg in [
+            TaskMsg::single(
+                2,
+                TaskItem {
+                    r: 5,
+                    attempt: 1,
+                    first: true,
+                    bound: Score::MAX,
+                    row: None,
+                },
+            ),
+            TaskMsg::single(
+                0,
+                TaskItem {
+                    r: 1,
+                    attempt: 3,
+                    first: false,
+                    bound: -17,
+                    row: Some(vec![3, -1, 0, 99]),
+                },
+            ),
+            // A mixed batch: first pass, cached realignment, attached row.
             TaskMsg {
-                r: 5,
-                stamp: 2,
-                attempt: 1,
-                first: true,
-                bound: Score::MAX,
-                row: None,
-            },
-            TaskMsg {
-                r: 1,
-                stamp: 0,
-                attempt: 3,
-                first: false,
-                bound: -17,
-                row: Some(vec![3, -1, 0, 99]),
+                stamp: 4,
+                items: vec![
+                    TaskItem {
+                        r: 2,
+                        attempt: 1,
+                        first: true,
+                        bound: 50,
+                        row: None,
+                    },
+                    TaskItem {
+                        r: 3,
+                        attempt: 2,
+                        first: false,
+                        bound: 44,
+                        row: None,
+                    },
+                    TaskItem {
+                        r: 7,
+                        attempt: 5,
+                        first: false,
+                        bound: 9,
+                        row: Some(vec![0, 1, -2]),
+                    },
+                ],
             },
         ] {
             assert_eq!(TaskMsg::decode(&msg.encode()).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn empty_task_batch_is_rejected() {
+        let framed = Encoder::new().usize(3).usize(0).finish_framed();
+        assert!(matches!(
+            TaskMsg::decode(&framed),
+            Err(WireError::BadLength { claimed: 0 })
+        ));
     }
 
     #[test]
@@ -644,12 +735,23 @@ mod tests {
     fn corrupted_frames_are_rejected_for_every_message_kind() {
         let frames = [
             TaskMsg {
-                r: 4,
                 stamp: 1,
-                attempt: 2,
-                first: false,
-                bound: 42,
-                row: Some(vec![1, 2, 3]),
+                items: vec![
+                    TaskItem {
+                        r: 4,
+                        attempt: 2,
+                        first: false,
+                        bound: 42,
+                        row: Some(vec![1, 2, 3]),
+                    },
+                    TaskItem {
+                        r: 5,
+                        attempt: 1,
+                        first: true,
+                        bound: 42,
+                        row: None,
+                    },
+                ],
             }
             .encode(),
             ResultMsg {
@@ -689,14 +791,16 @@ mod tests {
 
     #[test]
     fn truncated_frames_are_rejected() {
-        let frame = TaskMsg {
-            r: 1,
-            stamp: 0,
-            attempt: 1,
-            first: true,
-            bound: 9,
-            row: None,
-        }
+        let frame = TaskMsg::single(
+            0,
+            TaskItem {
+                r: 1,
+                attempt: 1,
+                first: true,
+                bound: 9,
+                row: None,
+            },
+        )
         .encode();
         for cut in 0..frame.len() {
             assert!(TaskMsg::decode(&frame[..cut]).is_err());

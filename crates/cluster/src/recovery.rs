@@ -280,32 +280,44 @@ fn act<C: Comm, R: Recorder>(
                 let payload = task.encode();
                 let now = Instant::now();
                 if R::ENABLED {
-                    rec.event(Event::Assign {
-                        worker,
-                        r: task.r,
-                        attempt: task.attempt,
-                        stamp: task.stamp,
-                    });
+                    rec.observe(Metric::BatchSize, task.items.len() as u64);
+                    for item in &task.items {
+                        rec.event(Event::Assign {
+                            worker,
+                            r: item.r,
+                            attempt: item.attempt,
+                            stamp: task.stamp,
+                        });
+                    }
                 }
-                flights.insert(
-                    task.r,
-                    Flight {
-                        worker,
-                        attempt: task.attempt,
-                        payload: payload.clone(),
-                        retry_at: now + config.retry_base,
-                        backoff: config.retry_base,
-                        retries: 0,
-                        sent_at: now,
-                    },
-                );
+                // One flight per batched item, each with a single-item
+                // retransmit payload: an unanswered item is re-shipped
+                // alone, so a partially-answered batch is healed
+                // piecewise and settled items never recompute.
+                for item in &task.items {
+                    flights.insert(
+                        item.r,
+                        Flight {
+                            worker,
+                            attempt: item.attempt,
+                            payload: TaskMsg::single(task.stamp, item.clone()).encode(),
+                            retry_at: now + config.retry_base,
+                            backoff: config.retry_base,
+                            retries: 0,
+                            sent_at: now,
+                        },
+                    );
+                }
                 match comm.send(worker, tag::TASK, payload) {
                     Ok(()) => {}
                     Err(SendError::SelfDead) => return Err(ClusterError::MasterDead),
                     Err(SendError::PeerDead(_)) => {
-                        flights.remove(&task.r);
-                        *reassigns += 1;
-                        rec.add(Counter::ClusterReassignments, 1);
+                        let dropped = task.items.len() as u64;
+                        for item in &task.items {
+                            flights.remove(&item.r);
+                        }
+                        *reassigns += dropped;
+                        rec.add(Counter::ClusterReassignments, dropped);
                         rec.add(Counter::ClusterWorkerDeaths, 1);
                         if R::ENABLED {
                             rec.event(Event::WorkerDead { worker });
@@ -610,12 +622,18 @@ pub(crate) fn idle_payload(slot: usize) -> Vec<u8> {
     ResyncMsg { applied: slot }.encode()
 }
 
-/// `true` if `task` duplicates an entry already deferred (same split
-/// and attempt) — re-deferring it would just burn compute later.
+/// `true` if `task` duplicates an entry already deferred (any shared
+/// split + attempt) — re-deferring it would just burn compute later.
+/// Workers explode received batches into single-item frames before
+/// deferring, so in practice both sides hold exactly one item.
 pub(crate) fn already_deferred(deferred: &[TaskMsg], task: &TaskMsg) -> bool {
-    deferred
-        .iter()
-        .any(|t| t.r == task.r && t.attempt == task.attempt)
+    deferred.iter().any(|t| {
+        t.items.iter().any(|ti| {
+            task.items
+                .iter()
+                .any(|si| ti.r == si.r && ti.attempt == si.attempt)
+        })
+    })
 }
 
 #[cfg(test)]

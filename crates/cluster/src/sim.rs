@@ -16,7 +16,7 @@
 //! compute; the rest replay it under different schedules.
 
 use crate::master::{MasterAction, MasterState};
-use crate::protocol::{AcceptedMsg, ResultMsg, TaskMsg};
+use crate::protocol::{AcceptedMsg, ResultMsg, TaskItem, TaskMsg};
 use repro_align::{Score, Scoring, Seq};
 use repro_core::{OverrideTriangle, SplitMask, TopAlignments};
 use repro_xmpi::virtual_time::{run, Actor, Ctx, LinkModel};
@@ -180,7 +180,7 @@ impl MasterSim<'_> {
 }
 
 impl WorkerSim<'_> {
-    fn run_task(&mut self, task: TaskMsg, ctx: &mut Ctx) {
+    fn run_task(&mut self, stamp: usize, task: TaskItem, ctx: &mut Ctx) {
         let version = self.applied;
         let key = (task.r, version);
         let cached = self.cache.borrow().entries.get(&key).cloned();
@@ -223,7 +223,7 @@ impl WorkerSim<'_> {
         ctx.compute(cells as f64 / self.cost.worker_cells_per_sec);
         let res = ResultMsg {
             r: task.r,
-            stamp: task.stamp,
+            stamp,
             attempt: task.attempt,
             score,
             cells,
@@ -235,9 +235,17 @@ impl WorkerSim<'_> {
     }
 
     fn drain_deferred(&mut self, ctx: &mut Ctx) {
+        // Deferred frames are single-item (batches are exploded at
+        // receipt), so each pop runs one split.
         while let Some(pos) = self.deferred.iter().position(|t| t.stamp <= self.applied) {
             let task = self.deferred.swap_remove(pos);
-            self.run_task(task, ctx);
+            let stamp = task.stamp;
+            let item = task
+                .items
+                .into_iter()
+                .next()
+                .expect("deferred frames are single-item");
+            self.run_task(stamp, item, ctx);
         }
     }
 }
@@ -271,10 +279,18 @@ impl Actor for SimActor<'_> {
                 sim_tag::TASK => {
                     let task = TaskMsg::decode(payload)
                         .expect("simulator transport cannot corrupt frames");
-                    if task.stamp <= w.applied {
-                        w.run_task(task, ctx);
+                    let stamp = task.stamp;
+                    if stamp <= w.applied {
+                        for item in task.items {
+                            w.run_task(stamp, item, ctx);
+                        }
                     } else {
-                        w.deferred.push(task);
+                        // One stamp per frame: all-run-or-all-defer.
+                        // Keep deferred frames single-item so draining
+                        // stays one-split-at-a-time.
+                        for item in task.items {
+                            w.deferred.push(TaskMsg::single(stamp, item));
+                        }
                     }
                 }
                 sim_tag::ACCEPTED => {

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use repro_align::{sw_last_row, Alphabet, Score, Scoring, Seq};
-use repro_cluster::protocol::{ResultMsg, TaskMsg};
+use repro_cluster::protocol::{ResultMsg, TaskItem};
 use repro_cluster::{
     find_top_alignments_cluster, simulate_cluster, AlignCache, CostModel, MasterAction, MasterState,
 };
@@ -86,7 +86,9 @@ proptest! {
         let mut lockstep = OverrideTriangle::new(seq.len());
         let mut triangles: HashMap<usize, OverrideTriangle> = HashMap::new();
         let mut caches: HashMap<usize, HashMap<usize, Vec<Score>>> = HashMap::new();
-        let mut pending: VecDeque<(usize, TaskMsg)> = VecDeque::new();
+        // Assignments arrive as batches sharing one stamp; the scheduler
+        // adversary interleaves them item by item.
+        let mut pending: VecDeque<(usize, usize, TaskItem)> = VecDeque::new();
         // Results computed by workers that died before delivering them;
         // replayed later as zombie traffic with wildly inflated scores.
         let mut zombies: Vec<(usize, ResultMsg)> = Vec::new();
@@ -96,7 +98,8 @@ proptest! {
             scoring: &Scoring,
             triangle: &OverrideTriangle,
             cache: &mut HashMap<usize, Vec<Score>>,
-            task: &TaskMsg,
+            stamp: usize,
+            task: &TaskItem,
         ) -> ResultMsg {
             let (prefix, suffix) = seq.split(task.r);
             let mask = SplitMask::new(triangle, task.r);
@@ -115,7 +118,7 @@ proptest! {
             };
             ResultMsg {
                 r: task.r,
-                stamp: task.stamp,
+                stamp,
                 attempt: task.attempt,
                 score,
                 cells: last.cells,
@@ -140,7 +143,11 @@ proptest! {
             prop_assert!(steps < 20_000, "master livelocked");
             for a in actions.drain(..) {
                 match a {
-                    MasterAction::Assign { worker, task } => pending.push_back((worker, task)),
+                    MasterAction::Assign { worker, task } => {
+                        for item in task.items {
+                            pending.push_back((worker, task.stamp, item));
+                        }
+                    }
                     MasterAction::Broadcast(acc) => {
                         for &(p, q) in &acc.pairs {
                             lockstep.set(p, q);
@@ -154,7 +161,7 @@ proptest! {
                     MasterAction::Done => break 'world,
                 }
             }
-            let Some((w, task)) = pending.pop_front() else {
+            let Some((w, stamp, task)) = pending.pop_front() else {
                 // Nothing honest in flight: replay zombie traffic, which
                 // must be inert — then the world has truly stalled.
                 let Some((zw, res)) = zombies.pop() else {
@@ -172,13 +179,13 @@ proptest! {
                 // replacement worker registers.
                 0 if triangles.len() > 1 => {
                     let mut res = compute(
-                        &seq, &scoring, &triangles[&w], caches.get_mut(&w).unwrap(), &task,
+                        &seq, &scoring, &triangles[&w], caches.get_mut(&w).unwrap(), stamp, &task,
                     );
                     res.score = res.score.saturating_add(1_000_000);
                     zombies.push((w, res));
                     triangles.remove(&w);
                     caches.remove(&w);
-                    pending.retain(|(pw, _)| *pw != w);
+                    pending.retain(|(pw, _, _)| *pw != w);
                     actions = master.worker_dead(w);
                     triangles.insert(next_worker, lockstep.clone());
                     caches.insert(next_worker, HashMap::new());
@@ -189,7 +196,7 @@ proptest! {
                 // echoes a settled attempt and must be discarded.
                 1 => {
                     let res = compute(
-                        &seq, &scoring, &triangles[&w], caches.get_mut(&w).unwrap(), &task,
+                        &seq, &scoring, &triangles[&w], caches.get_mut(&w).unwrap(), stamp, &task,
                     );
                     actions = master.result(w, res.clone());
                     let mut dup = res;
@@ -199,7 +206,7 @@ proptest! {
                 // Honest delivery.
                 _ => {
                     let res = compute(
-                        &seq, &scoring, &triangles[&w], caches.get_mut(&w).unwrap(), &task,
+                        &seq, &scoring, &triangles[&w], caches.get_mut(&w).unwrap(), stamp, &task,
                     );
                     actions = master.result(w, res);
                 }

@@ -70,6 +70,13 @@ pub struct Stats {
     /// Row buffers served from the scratch pool instead of the
     /// allocator.
     pub pool_reuses: u64,
+    /// SIMD lanes replayed from a per-lane memo instead of swept —
+    /// clean lanes of partially-dirty groups plus every lane of a
+    /// whole-group skip.
+    pub lanes_skipped: u64,
+    /// SIMD lanes swept inside a compacted group: a re-packed subset of
+    /// a partially-dirty group, or a full pack resumed above row 0.
+    pub lanes_compacted: u64,
 }
 
 impl Stats {
@@ -144,6 +151,8 @@ impl Stats {
         self.realign_rows_swept += other.realign_rows_swept;
         self.realign_rows_skipped += other.realign_rows_skipped;
         self.pool_reuses += other.pool_reuses;
+        self.lanes_skipped += other.lanes_skipped;
+        self.lanes_compacted += other.lanes_compacted;
     }
 
     /// Fraction of realignment DP rows the incremental layer skipped

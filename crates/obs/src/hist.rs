@@ -53,16 +53,20 @@ pub enum Metric {
     /// Score points by which a refreshed seed bound undershot the stale
     /// bound on a pruned queue pop (how much slack pruning had).
     PruneSlack,
+    /// Tasks carried per cluster assignment message (1 for the
+    /// unbatched engines; the batched master records the actual K).
+    BatchSize,
 }
 
 impl Metric {
     /// Every metric, in report and wire order.
-    pub const ALL: [Metric; 5] = [
+    pub const ALL: [Metric; 6] = [
         Metric::SweepNs,
         Metric::ResumeRows,
         Metric::TaskRoundTripNs,
         Metric::QueueWaitNs,
         Metric::PruneSlack,
+        Metric::BatchSize,
     ];
 
     /// Stable snake_case name used in reports.
@@ -73,6 +77,7 @@ impl Metric {
             Metric::TaskRoundTripNs => "task_round_trip_ns",
             Metric::QueueWaitNs => "queue_wait_ns",
             Metric::PruneSlack => "prune_slack",
+            Metric::BatchSize => "batch_size",
         }
     }
 

@@ -143,11 +143,17 @@ pub enum Counter {
     BoundRecomputes,
     /// Nanoseconds spent building the seed index and initial bounds.
     SeedIndexBuildNs,
+    /// SIMD lanes replayed from their per-lane memo instead of swept
+    /// (clean lanes, including whole-group skips).
+    LanesSkipped,
+    /// SIMD lanes swept inside a compacted (re-packed and/or resumed)
+    /// group instead of a full from-scratch group sweep.
+    LanesCompacted,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 24] = [
         Counter::LanesActive,
         Counter::LanesPadded,
         Counter::GroupSweeps,
@@ -170,6 +176,8 @@ impl Counter {
         Counter::PrunedPops,
         Counter::BoundRecomputes,
         Counter::SeedIndexBuildNs,
+        Counter::LanesSkipped,
+        Counter::LanesCompacted,
     ];
 
     /// Stable snake_case name used in reports.
@@ -197,6 +205,8 @@ impl Counter {
             Counter::PrunedPops => "pruned_pops",
             Counter::BoundRecomputes => "bound_recomputes",
             Counter::SeedIndexBuildNs => "seed_index_build_ns",
+            Counter::LanesSkipped => "lanes_skipped",
+            Counter::LanesCompacted => "lanes_compacted",
         }
     }
 

@@ -35,15 +35,14 @@ use repro_core::{
     TopAlignments,
 };
 use repro_obs::{HistSet, Metric};
-use repro_simd::{GroupSweeper, SimdSel, SimdStats};
+use repro_simd::{GroupIncremental, GroupSweeper, LaneMemo, RealignPlan, SimdSel, SimdStats};
 use std::sync::Arc;
 use std::sync::OnceLock;
 use std::time::Instant;
 
-/// Per-group sweep memo: the dirty-log version of the group's last
-/// sweep plus the per-lane exact `(score, shadow_rejections)` to replay
-/// verbatim on a whole-group skip.
-type GroupMemo = Option<(u64, Vec<(Score, u64)>)>;
+/// Per-group sweep memo: one [`LaneMemo`] per lane — clean lanes replay
+/// individually even when sibling lanes must re-sweep.
+type GroupMemo = Option<Vec<LaneMemo>>;
 
 /// Result of the SIMD × SMP engine.
 #[derive(Debug, Clone)]
@@ -96,10 +95,14 @@ struct Shared {
     /// Accept history mirrored for the incremental layer; its version
     /// always equals `tops.len()` (appended under the same lock hold).
     dirty: DirtyLog,
-    /// Per-group sweep memo: `(version, per-lane (score, shadows))`.
-    /// Replayed verbatim — under the lock, no DP — when the dirty log
-    /// proves no accept since `version` straddles any member split.
+    /// Per-group, per-lane sweep memos. A lane untouched since its
+    /// stamp replays verbatim — under the lock, no DP — while dirty
+    /// siblings re-pack into a compacted sweep.
     group_memo: Vec<GroupMemo>,
+    /// Budget-capped checkpoint store shared by all workers; planning
+    /// (take) and committing (put) happen under the lock, the sweep
+    /// itself runs on taken-out owned state.
+    incr: GroupIncremental,
     /// `Some` with seeded pruning: the admissible per-split bounds,
     /// recomputed (tightened) under the lock after each accept.
     bounds: Option<SplitBounds>,
@@ -151,10 +154,12 @@ pub fn find_top_alignments_parallel_simd(
     find_top_alignments_parallel_simd_checkpointed(seq, scoring, count, threads, sel, None)
 }
 
-/// [`find_top_alignments_parallel_simd`] with the incremental layer:
-/// whole groups whose member splits no accept has straddled since their
-/// last sweep are replayed from a shared memo under the lock instead of
-/// re-swept. Alignments are bit-identical either way.
+/// [`find_top_alignments_parallel_simd`] with the incremental layer,
+/// lane-granular: lanes no accept has straddled since their last sweep
+/// replay from a shared memo under the lock, and the remaining lanes
+/// re-pack into a compacted group resumed from the deepest shared
+/// checkpoint row (see [`repro_simd::resume`]). Alignments are
+/// bit-identical either way.
 pub fn find_top_alignments_parallel_simd_checkpointed(
     seq: &Seq,
     scoring: &Scoring,
@@ -241,6 +246,7 @@ pub fn find_top_alignments_parallel_simd_seeded(
             done: false,
             dirty: DirtyLog::new(),
             group_memo: vec![None; ngroups],
+            incr: GroupIncremental::new(checkpoint_budget.unwrap_or(0)),
             bounds,
             first_passes: 0,
         }),
@@ -450,74 +456,106 @@ impl Engine<'_> {
                     let r0 = self.group_r0(gi);
                     let nl = self.group_lanes(gi);
                     let first_pass = self.rows[r0 - 1].get().is_none();
+                    let incremental = self.checkpoint_budget.is_some();
+                    // The lock has been held since decide(), so the dirty
+                    // version still equals the claim stamp; memo and
+                    // checkpoint stamps use it so they stay correct even
+                    // if the sweep is later superseded.
+                    let version = stamp as u64;
+                    debug_assert!(!incremental || guard.dirty.version() == version);
 
-                    // Whole-group skip: replayed under the lock (no DP at
-                    // all), exactly as the single-threaded SIMD engine.
-                    let skips_enabled = self.checkpoint_budget.is_some_and(|b| b > 0);
-                    if skips_enabled
-                        && !first_pass
-                        && guard.group_memo[gi].as_ref().is_some_and(|(since, _)| {
-                            !guard.dirty.dirty_in_range(r0, r0 + nl - 1, *since)
-                        })
-                    {
-                        let version = guard.dirty.version();
-                        let (memo_version, lanes) =
-                            guard.group_memo[gi].as_mut().expect("checked above");
-                        *memo_version = version;
+                    let shared = &mut *guard;
+                    let mut plan = (incremental && !first_pass).then(|| {
+                        let stamps: Vec<u64> = shared.group_memo[gi]
+                            .as_ref()
+                            .expect("realigned group must have a memo")
+                            .iter()
+                            .map(|lm| lm.stamp)
+                            .collect();
+                        shared.incr.plan(&shared.dirty, r0, nl, &stamps)
+                    });
+
+                    // Whole-group skip (every lane clean): replayed under
+                    // the lock — no DP at all — exactly as the
+                    // single-threaded SIMD engine.
+                    if plan.as_ref().is_some_and(|p| p.full_skip()) {
+                        let memo = shared.group_memo[gi].as_mut().expect("checked above");
                         let mut members = Vec::with_capacity(nl);
                         let mut shadows = 0u64;
                         let mut rows_skipped = 0u64;
-                        for (l, &(score, lane_shadows)) in lanes.iter().enumerate() {
-                            members.push(score);
-                            shadows += lane_shadows;
+                        for (l, lm) in memo.iter_mut().enumerate() {
+                            lm.stamp = version;
+                            members.push(lm.score);
+                            shadows += lm.shadows;
                             rows_skipped += (r0 + l) as u64;
                         }
-                        guard.stats.shadow_rejections += shadows;
+                        shared.stats.shadow_rejections += shadows;
                         for _ in 0..nl {
-                            guard.stats.record_alignment(0, stamp);
+                            shared.stats.record_alignment(0, stamp);
                         }
-                        guard.stats.checkpoint_hits += 1;
-                        guard.stats.realign_rows_skipped += rows_skipped;
-                        let state = &mut guard.groups[gi];
+                        shared.stats.checkpoint_hits += 1;
+                        shared.stats.lanes_skipped += nl as u64;
+                        shared.stats.realign_rows_skipped += rows_skipped;
+                        let state = &mut shared.groups[gi];
                         state.score = members.iter().copied().max().unwrap_or(0);
                         state.members = members;
                         state.aligned_with = stamp;
                         state.assigned = false;
-                        guard
+                        shared
                             .hists
                             .observe(Metric::TaskRoundTripNs, claim_t0.elapsed().as_nanos() as u64);
                         self.wake.notify_all();
                         continue;
                     }
+                    let fp_capture_rows = if first_pass && incremental {
+                        shared.incr.first_pass_captures(&shared.dirty, r0, nl)
+                    } else {
+                        Vec::new()
+                    };
                     drop(guard);
                     let sweep_t0 = Instant::now();
-                    let tri = if first_pass { None } else { Some(&*triangle) };
-                    let outcome = self.sweeper.sweep(r0, nl, tri);
-                    // Late first pass: under seeded pruning a group's
-                    // first sweep can happen after accepts have grown
-                    // the triangle. The clean sweep above feeds the
-                    // shadow store; this masked resweep yields the
-                    // exact current scores.
-                    let masked = if first_pass && !triangle.is_empty() {
-                        Some(self.sweeper.sweep(r0, nl, Some(&*triangle)))
-                    } else {
-                        None
-                    };
-                    let g = outcome.group;
-                    let total_cells = g.cells + masked.as_ref().map_or(0, |mo| mo.group.cells);
-                    let per_lane_cells = total_cells / nl as u64;
-                    let mut members = Vec::with_capacity(nl);
-                    let mut shadows = 0u64;
-                    let mut lane_memo = Vec::with_capacity(nl);
-                    let mut rows_swept = 0u64;
-                    for l in 0..nl {
-                        let r = r0 + l;
-                        let mut lane_shadows = 0u64;
-                        let score = if first_pass {
+                    if first_pass {
+                        let rs_full: Vec<usize> = (0..nl).map(|l| r0 + l).collect();
+                        // Checkpoints must reflect the recurrence the
+                        // realignments will resume: masked when the
+                        // triangle is non-empty, clean otherwise.
+                        let clean_caps: &[usize] = if triangle.is_empty() {
+                            &fp_capture_rows
+                        } else {
+                            &[]
+                        };
+                        let (outcome, mut caps) =
+                            self.sweeper.sweep_at(&rs_full, None, None, clean_caps);
+                        // Late first pass: under seeded pruning a group's
+                        // first sweep can happen after accepts have grown
+                        // the triangle. The clean sweep above feeds the
+                        // shadow store; this masked resweep yields the
+                        // exact current scores.
+                        let masked = if !triangle.is_empty() {
+                            let (mo, mcaps) = self.sweeper.sweep_at(
+                                &rs_full,
+                                Some(&*triangle),
+                                None,
+                                &fp_capture_rows,
+                            );
+                            caps = mcaps;
+                            Some(mo)
+                        } else {
+                            None
+                        };
+                        let g = outcome.group;
+                        let total_cells = g.cells + masked.as_ref().map_or(0, |mo| mo.group.cells);
+                        let per_lane_cells = total_cells / nl as u64;
+                        let mut members = Vec::with_capacity(nl);
+                        let mut shadows = 0u64;
+                        let mut lane_memo = Vec::with_capacity(nl);
+                        for l in 0..nl {
+                            let r = r0 + l;
+                            let mut lane_shadows = 0u64;
                             self.rows[r - 1]
                                 .set(g.rows[l].clone())
                                 .expect("first pass runs exactly once per split");
-                            if let Some(mo) = &masked {
+                            let score = if let Some(mo) = &masked {
                                 let (s, _, sh) =
                                     best_valid_entry_counted(&mo.group.rows[l], &g.rows[l]);
                                 lane_shadows = sh;
@@ -526,71 +564,178 @@ impl Engine<'_> {
                             } else {
                                 debug_assert!(triangle.is_empty());
                                 g.rows[l].iter().copied().max().unwrap_or(0).max(0)
+                            };
+                            lane_memo.push(LaneMemo {
+                                stamp: version,
+                                score,
+                                shadows: lane_shadows,
+                            });
+                            members.push(score);
+                        }
+
+                        // Measure the unlocked sweep before re-acquiring
+                        // the lock so contention does not inflate the
+                        // sample.
+                        let sweep_ns = sweep_t0.elapsed().as_nanos() as u64;
+                        guard = self.shared.lock();
+                        let shared = &mut *guard;
+                        shared.hists.observe(Metric::SweepNs, sweep_ns);
+                        shared.stats.shadow_rejections += shadows;
+                        for _ in 0..nl {
+                            shared.stats.record_alignment(per_lane_cells, stamp);
+                        }
+                        if incremental {
+                            let prios: Vec<Score> = lane_memo.iter().map(|lm| lm.score).collect();
+                            shared.incr.commit(&rs_full, Vec::new(), caps, version, &prios);
+                            shared.group_memo[gi] = Some(lane_memo);
+                        }
+                        shared.simd.group_sweeps += 1;
+                        shared.simd.vector_cells += outcome.vector_cells;
+                        if outcome.saturated_narrow {
+                            shared.simd.saturation_fallbacks += 1;
+                        }
+                        if outcome.promoted {
+                            shared.simd.promoted_sweeps += 1;
+                        }
+                        if let Some(mo) = &masked {
+                            shared.simd.group_sweeps += 1;
+                            shared.simd.vector_cells += mo.vector_cells;
+                            if mo.saturated_narrow {
+                                shared.simd.saturation_fallbacks += 1;
                             }
-                        } else {
+                            if mo.promoted {
+                                shared.simd.promoted_sweeps += 1;
+                            }
+                        }
+                        shared.first_passes += nl;
+                        if stamp != shared.tops.len() {
+                            shared.superseded += 1;
+                        }
+                        let state = &mut shared.groups[gi];
+                        state.score = members.iter().copied().max().unwrap_or(0);
+                        state.members = members;
+                        state.aligned_with = stamp;
+                        state.assigned = false;
+                        shared
+                            .hists
+                            .observe(Metric::TaskRoundTripNs, claim_t0.elapsed().as_nanos() as u64);
+                        self.wake.notify_all();
+                    } else {
+                        // Realignment: sweep only the lanes the plan says
+                        // need work, compacted and resumed from the
+                        // deepest shared checkpoint row; clean lanes
+                        // replay their memos.
+                        let mut p = plan.take().unwrap_or_else(|| RealignPlan {
+                            clean: Vec::new(),
+                            packed: (0..nl).collect(),
+                            rs: (0..nl).map(|l| r0 + l).collect(),
+                            resume_row: 0,
+                            kept: Vec::new(),
+                            capture_rows: Vec::new(),
+                        });
+                        let npack = p.packed.len();
+                        let start = p.resume_row;
+                        let (outcome, caps) = {
+                            let resume = p.resume();
+                            self.sweeper.sweep_at(
+                                &p.rs,
+                                Some(&*triangle),
+                                resume.as_ref(),
+                                &p.capture_rows,
+                            )
+                        };
+                        let per_lane_cells = outcome.group.cells / npack as u64;
+                        let mut pack_scores = Vec::with_capacity(npack);
+                        let mut shadows = 0u64;
+                        let mut rows_swept = 0u64;
+                        for (i, &l) in p.packed.iter().enumerate() {
+                            let r = r0 + l;
                             let original = self.rows[r - 1]
                                 .get()
                                 .expect("re-swept member must have a stored first-pass row");
-                            let (s, _, sh) = best_valid_entry_counted(&g.rows[l], original);
-                            lane_shadows = sh;
+                            let (s, _, sh) =
+                                best_valid_entry_counted(&outcome.group.rows[i], original);
                             shadows += sh;
-                            rows_swept += r as u64;
-                            s
-                        };
-                        lane_memo.push((score, lane_shadows));
-                        members.push(score);
-                    }
+                            rows_swept += (r - start) as u64;
+                            pack_scores.push((l, s, sh));
+                        }
+                        let compacted = npack < nl || start > 0;
 
-                    // Measure the unlocked sweep before re-acquiring the
-                    // lock so contention does not inflate the sample.
-                    let sweep_ns = sweep_t0.elapsed().as_nanos() as u64;
-                    guard = self.shared.lock();
-                    guard.hists.observe(Metric::SweepNs, sweep_ns);
-                    guard.stats.shadow_rejections += shadows;
-                    for _ in 0..nl {
-                        guard.stats.record_alignment(per_lane_cells, stamp);
-                    }
-                    if self.checkpoint_budget.is_some() {
-                        guard.group_memo[gi] = Some((stamp as u64, lane_memo));
-                        if !first_pass {
-                            guard.stats.checkpoint_misses += 1;
-                            guard.stats.realign_rows_swept += rows_swept;
-                            guard.hists.observe(Metric::ResumeRows, rows_swept);
+                        let sweep_ns = sweep_t0.elapsed().as_nanos() as u64;
+                        guard = self.shared.lock();
+                        let shared = &mut *guard;
+                        shared.hists.observe(Metric::SweepNs, sweep_ns);
+                        shared.stats.shadow_rejections += shadows;
+                        let mut members = vec![0; nl];
+                        if incremental {
+                            if p.clean.is_empty() && start == 0 {
+                                shared.stats.checkpoint_misses += 1;
+                            }
+                            shared.stats.lanes_skipped += p.clean.len() as u64;
+                            if compacted {
+                                shared.stats.lanes_compacted += npack as u64;
+                            }
+                            shared.stats.realign_rows_swept += rows_swept;
+                            let memo = shared.group_memo[gi]
+                                .as_mut()
+                                .expect("realigned group must have a memo");
+                            for &l in &p.clean {
+                                let lm = &mut memo[l];
+                                lm.stamp = version;
+                                shared.stats.shadow_rejections += lm.shadows;
+                                shared.stats.record_alignment(0, stamp);
+                                shared.stats.realign_rows_skipped += (r0 + l) as u64;
+                                members[l] = lm.score;
+                            }
+                            for &(l, s, sh) in &pack_scores {
+                                memo[l] = LaneMemo {
+                                    stamp: version,
+                                    score: s,
+                                    shadows: sh,
+                                };
+                                shared.stats.record_alignment(per_lane_cells, stamp);
+                                shared.stats.realign_rows_skipped += start as u64;
+                                shared
+                                    .hists
+                                    .observe(Metric::ResumeRows, ((r0 + l) - start) as u64);
+                                members[l] = s;
+                            }
+                            let prios: Vec<Score> =
+                                pack_scores.iter().map(|&(_, s, _)| s).collect();
+                            shared.incr.commit(
+                                &p.rs,
+                                std::mem::take(&mut p.kept),
+                                caps,
+                                version,
+                                &prios,
+                            );
+                        } else {
+                            for &(l, s, _) in &pack_scores {
+                                shared.stats.record_alignment(per_lane_cells, stamp);
+                                members[l] = s;
+                            }
                         }
-                    }
-                    guard.simd.group_sweeps += 1;
-                    guard.simd.vector_cells += outcome.vector_cells;
-                    if outcome.saturated_narrow {
-                        guard.simd.saturation_fallbacks += 1;
-                    }
-                    if outcome.promoted {
-                        guard.simd.promoted_sweeps += 1;
-                    }
-                    if let Some(mo) = &masked {
-                        guard.simd.group_sweeps += 1;
-                        guard.simd.vector_cells += mo.vector_cells;
-                        if mo.saturated_narrow {
-                            guard.simd.saturation_fallbacks += 1;
+                        shared.simd.group_sweeps += 1;
+                        shared.simd.vector_cells += outcome.vector_cells;
+                        if outcome.saturated_narrow {
+                            shared.simd.saturation_fallbacks += 1;
                         }
-                        if mo.promoted {
-                            guard.simd.promoted_sweeps += 1;
+                        if outcome.promoted {
+                            shared.simd.promoted_sweeps += 1;
                         }
+                        if stamp != shared.tops.len() {
+                            shared.superseded += 1;
+                        }
+                        let state = &mut shared.groups[gi];
+                        state.score = members.iter().copied().max().unwrap_or(0);
+                        state.members = members;
+                        state.aligned_with = stamp;
+                        state.assigned = false;
+                        shared
+                            .hists
+                            .observe(Metric::TaskRoundTripNs, claim_t0.elapsed().as_nanos() as u64);
+                        self.wake.notify_all();
                     }
-                    if first_pass {
-                        guard.first_passes += nl;
-                    }
-                    if stamp != guard.tops.len() {
-                        guard.superseded += 1;
-                    }
-                    let state = &mut guard.groups[gi];
-                    state.score = members.iter().copied().max().unwrap_or(0);
-                    state.members = members;
-                    state.aligned_with = stamp;
-                    state.assigned = false;
-                    guard
-                        .hists
-                        .observe(Metric::TaskRoundTripNs, claim_t0.elapsed().as_nanos() as u64);
-                    self.wake.notify_all();
                 }
             }
         }

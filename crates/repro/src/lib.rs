@@ -67,7 +67,8 @@ pub use repro_simd::{
 };
 
 pub use report::{
-    HistogramSummary, PaperClaims, PhaseTiming, RunReport, REPORT_SCHEMA_VERSION,
+    BatchingSummary, HistogramSummary, PaperClaims, PhaseTiming, RunReport,
+    REPORT_SCHEMA_VERSION,
 };
 
 use repro_obs::{

@@ -26,7 +26,11 @@ use repro_obs::{Counter, FlightRecorder, Metric, Phase};
 /// claim prune-aware. Version 4 added the `histograms` block: per-metric
 /// latency/size distributions (count, sum, p50/p90/p99) from the
 /// log-bucketed histograms, cluster-wide for the distributed engines.
-pub const REPORT_SCHEMA_VERSION: u64 = 4;
+/// Version 5 added the `batching` block: cluster task-batch shape
+/// (batches sent, batch-size median, mean tasks per round trip), the
+/// SIMD per-lane skip/compaction counters, and the resume-depth median
+/// (`resume_rows` p50) — the lane-granular resume headline number.
+pub const REPORT_SCHEMA_VERSION: u64 = 5;
 
 /// One phase's accumulated wall-clock time and entry count.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +61,29 @@ pub struct HistogramSummary {
     pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+}
+
+/// Batched-assignment and lane-granular-resume shape of one run: how
+/// tasks were shipped (cluster engines) and how much re-sweep work the
+/// per-lane incremental layer removed (SIMD engines). All zeros for
+/// engines without the corresponding subsystem, so the schema is
+/// identical across engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchingSummary {
+    /// Task batches shipped by the master (one per `Assign` action).
+    pub batches: u64,
+    /// Median batch size, in tasks.
+    pub batch_size_p50: u64,
+    /// Mean tasks per master→worker round trip (`0.0` when no batches
+    /// were sent).
+    pub tasks_per_round_trip: f64,
+    /// Lanes replayed from their memo without any sweeping.
+    pub lanes_skipped: u64,
+    /// Lanes re-packed into compacted resume groups.
+    pub lanes_compacted: u64,
+    /// Median rows actually swept per checkpointed realignment
+    /// (`resume_rows` p50) — the lane-granular resume headline.
+    pub resume_rows_p50: u64,
 }
 
 /// The ratios behind the paper's headline work-accounting claims.
@@ -139,6 +166,8 @@ pub struct RunReport {
     /// (all-zero summaries included so the schema is identical across
     /// engines).
     pub histograms: Vec<HistogramSummary>,
+    /// Task-batching and per-lane resume shape.
+    pub batching: BatchingSummary,
     /// Derived paper-claim ratios.
     pub claims: PaperClaims,
     /// Events the recorder dropped because its buffer cap was reached.
@@ -212,6 +241,22 @@ impl RunReport {
                     }
                 })
                 .collect(),
+            batching: {
+                let batch = rec.hist(Metric::BatchSize);
+                let resume = rec.hist(Metric::ResumeRows);
+                BatchingSummary {
+                    batches: batch.count(),
+                    batch_size_p50: batch.p50(),
+                    tasks_per_round_trip: if batch.count() == 0 {
+                        0.0
+                    } else {
+                        batch.sum() as f64 / batch.count() as f64
+                    },
+                    lanes_skipped: stats.lanes_skipped,
+                    lanes_compacted: stats.lanes_compacted,
+                    resume_rows_p50: resume.p50(),
+                }
+            },
             claims: PaperClaims {
                 realignment_fraction: fraction,
                 realignments_avoided: 1.0 - fraction,
@@ -296,6 +341,26 @@ impl RunReport {
                 )
             })
             .collect());
+        let batching = obj(vec![
+            ("batches", num(self.batching.batches as f64)),
+            (
+                "batch_size_p50",
+                num(self.batching.batch_size_p50 as f64),
+            ),
+            (
+                "tasks_per_round_trip",
+                num(self.batching.tasks_per_round_trip),
+            ),
+            ("lanes_skipped", num(self.batching.lanes_skipped as f64)),
+            (
+                "lanes_compacted",
+                num(self.batching.lanes_compacted as f64),
+            ),
+            (
+                "resume_rows_p50",
+                num(self.batching.resume_rows_p50 as f64),
+            ),
+        ]);
         let claims = obj(vec![
             (
                 "realignment_fraction",
@@ -324,6 +389,7 @@ impl RunReport {
             ("phases", phases),
             ("counters", counters),
             ("histograms", histograms),
+            ("batching", batching),
             ("claims", claims),
             ("dropped_events", num(self.dropped_events as f64)),
         ])
@@ -430,6 +496,17 @@ impl RunReport {
                     .map_err(|e| format!("histograms.{}: {e}", m.name()))?;
             }
         }
+        let batching = v.get("batching").ok_or("missing field `batching`")?;
+        for key in [
+            "batches",
+            "batch_size_p50",
+            "tasks_per_round_trip",
+            "lanes_skipped",
+            "lanes_compacted",
+            "resume_rows_p50",
+        ] {
+            req_num(batching, key).map_err(|e| format!("batching: {e}"))?;
+        }
         let claims = v.get("claims").ok_or("missing field `claims`")?;
         let fraction =
             req_num(claims, "realignment_fraction").map_err(|e| format!("claims: {e}"))?;
@@ -457,6 +534,7 @@ mod tests {
     use super::*;
     use repro_align::{Scoring, Seq};
     use repro_core::find_top_alignments_recorded;
+    use repro_obs::Recorder;
 
     fn sample() -> RunReport {
         let seq = Seq::dna("ATGCATGCATGC").unwrap();
@@ -508,7 +586,7 @@ mod tests {
         let err = RunReport::validate(&Json::parse(&bad).unwrap()).unwrap_err();
         assert!(err.contains("stale_pops"), "{err}");
         // Wrong schema version.
-        let bad = good.replace("\"schema_version\":4", "\"schema_version\":999");
+        let bad = good.replace("\"schema_version\":5", "\"schema_version\":999");
         let err = RunReport::validate(&Json::parse(&bad).unwrap()).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         // Phase renamed.
@@ -518,6 +596,46 @@ mod tests {
         let bad = good.replace("\"sweep_ns\"", "\"swoop_ns\"");
         let err = RunReport::validate(&Json::parse(&bad).unwrap()).unwrap_err();
         assert!(err.contains("sweep_ns"), "{err}");
+        // Batching field renamed.
+        let bad = good.replace("\"resume_rows_p50\"", "\"resume_rows_p51\"");
+        let err = RunReport::validate(&Json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("resume_rows_p50"), "{err}");
+    }
+
+    #[test]
+    fn batching_block_reflects_recorder_and_stats() {
+        // A sequential run ships no batches and compacts no lanes: the
+        // block must exist with all zeros (schema-stable across engines).
+        let report = sample();
+        assert_eq!(report.batching.batches, 0);
+        assert_eq!(report.batching.tasks_per_round_trip, 0.0);
+        assert_eq!(report.batching.lanes_skipped, 0);
+
+        // A recorder with observed batch sizes and resume depths feeds
+        // the medians straight into the block.
+        let seq = Seq::dna("ATGCATGCATGC").unwrap();
+        let scoring = Scoring::dna_example();
+        let mut rec = FlightRecorder::new();
+        let tops = find_top_alignments_recorded(&seq, &scoring, 3, &mut rec);
+        for size in [1u64, 4, 4] {
+            rec.observe(Metric::BatchSize, size);
+        }
+        rec.observe(Metric::ResumeRows, 100);
+        let report = RunReport::capture("cluster:2", seq.len(), 3, &tops, &rec);
+        assert_eq!(report.batching.batches, 3);
+        assert_eq!(report.batching.tasks_per_round_trip, 3.0);
+        assert!(report.batching.batch_size_p50 >= 4);
+        assert!(report.batching.resume_rows_p50 >= 97); // ≤ 1/16 bucket error
+        let text = report.to_json().to_string_compact();
+        let parsed = Json::parse(&text).unwrap();
+        RunReport::validate(&parsed).unwrap();
+        assert_eq!(
+            parsed
+                .get("batching")
+                .and_then(|b| b.get("batches"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //! intrinsics would be called as opaque functions and the 16-lane
 //! kernel would be slower than the 8-lane one.
 
-use crate::group::{align_group_lookup_impl, align_group_profile_impl, group_stripe, GroupResult};
+use crate::group::{
+    align_group_lookup_impl, align_group_profile_at_impl, align_group_profile_impl, group_stripe,
+    GroupCapture, GroupResult, GroupResume,
+};
 use crate::LaneWidth;
 use repro_align::{QueryProfile, Scoring};
 use repro_core::OverrideTriangle;
@@ -225,6 +228,31 @@ unsafe fn profile_i16_avx2(
 
 #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
 #[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's full state
+unsafe fn profile_i16_at_avx2(
+    seq: &[u8],
+    scoring: &Scoring,
+    profile: &QueryProfile<i16>,
+    rs: &[usize],
+    triangle: Option<&OverrideTriangle>,
+    stripe: usize,
+    resume: Option<&GroupResume<'_>>,
+    capture_rows: &[usize],
+) -> (GroupResult, Vec<GroupCapture>) {
+    align_group_profile_at_impl::<I16x16Avx2>(
+        seq,
+        scoring,
+        profile,
+        rs,
+        triangle,
+        stripe,
+        resume,
+        capture_rows,
+    )
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
+#[target_feature(enable = "avx2")]
 unsafe fn lookup_i16_avx2(
     seq: &[u8],
     scoring: &Scoring,
@@ -278,6 +306,98 @@ pub fn sweep_group_profile_i16(
             // by the engines, and tests that build SimdSel by hand gate on
             // the same probe).
             unsafe { profile_i16_avx2(seq, scoring, profile, r0, lanes, triangle, stripe) }
+        }
+        _ => unreachable!("select() never yields {:?}", sel),
+    }
+}
+
+/// [`sweep_group_profile_i16`] generalised to an arbitrary ascending
+/// split set with optional mid-matrix resume and inter-row capture —
+/// the compacted-resume entry point of the incremental layer.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's full state
+pub fn sweep_group_profile_i16_at(
+    sel: SimdSel,
+    seq: &[u8],
+    scoring: &Scoring,
+    profile: &QueryProfile<i16>,
+    rs: &[usize],
+    triangle: Option<&OverrideTriangle>,
+    resume: Option<&GroupResume<'_>>,
+    capture_rows: &[usize],
+) -> (GroupResult, Vec<GroupCapture>) {
+    let stripe = group_stripe(sel.width.lanes(), 2);
+    match (sel.path, sel.width) {
+        (DispatchPath::Portable, LaneWidth::X4) => align_group_profile_at_impl::<I16x4>(
+            seq,
+            scoring,
+            profile,
+            rs,
+            triangle,
+            stripe,
+            resume,
+            capture_rows,
+        ),
+        (DispatchPath::Portable, LaneWidth::X8) => align_group_profile_at_impl::<I16x8>(
+            seq,
+            scoring,
+            profile,
+            rs,
+            triangle,
+            stripe,
+            resume,
+            capture_rows,
+        ),
+        (DispatchPath::Portable, LaneWidth::X16) => align_group_profile_at_impl::<I16x16>(
+            seq,
+            scoring,
+            profile,
+            rs,
+            triangle,
+            stripe,
+            resume,
+            capture_rows,
+        ),
+        #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
+        (DispatchPath::Sse2 | DispatchPath::Avx2, LaneWidth::X4) => {
+            align_group_profile_at_impl::<I16x4Sse2>(
+                seq,
+                scoring,
+                profile,
+                rs,
+                triangle,
+                stripe,
+                resume,
+                capture_rows,
+            )
+        }
+        #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
+        (DispatchPath::Sse2 | DispatchPath::Avx2, LaneWidth::X8) => {
+            align_group_profile_at_impl::<I16x8Sse2>(
+                seq,
+                scoring,
+                profile,
+                rs,
+                triangle,
+                stripe,
+                resume,
+                capture_rows,
+            )
+        }
+        #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]
+        (DispatchPath::Avx2, LaneWidth::X16) => {
+            // SAFETY: as in `sweep_group_profile_i16`.
+            unsafe {
+                profile_i16_at_avx2(
+                    seq,
+                    scoring,
+                    profile,
+                    rs,
+                    triangle,
+                    stripe,
+                    resume,
+                    capture_rows,
+                )
+            }
         }
         _ => unreachable!("select() never yields {:?}", sel),
     }
@@ -345,6 +465,54 @@ pub fn sweep_group_wide(
         LaneWidth::X16 => {
             align_group_profile_impl::<I32x16>(seq, scoring, profile, r0, lanes, triangle, stripe)
         }
+    }
+}
+
+/// [`sweep_group_wide`] generalised to an arbitrary ascending split set
+/// with optional mid-matrix resume and inter-row capture.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's full state
+pub fn sweep_group_wide_at(
+    width: LaneWidth,
+    seq: &[u8],
+    scoring: &Scoring,
+    profile: &QueryProfile<i32>,
+    rs: &[usize],
+    triangle: Option<&OverrideTriangle>,
+    resume: Option<&GroupResume<'_>>,
+    capture_rows: &[usize],
+) -> (GroupResult, Vec<GroupCapture>) {
+    let stripe = group_stripe(width.lanes(), 4);
+    match width {
+        LaneWidth::X4 => align_group_profile_at_impl::<I32x4>(
+            seq,
+            scoring,
+            profile,
+            rs,
+            triangle,
+            stripe,
+            resume,
+            capture_rows,
+        ),
+        LaneWidth::X8 => align_group_profile_at_impl::<I32x8>(
+            seq,
+            scoring,
+            profile,
+            rs,
+            triangle,
+            stripe,
+            resume,
+            capture_rows,
+        ),
+        LaneWidth::X16 => align_group_profile_at_impl::<I32x16>(
+            seq,
+            scoring,
+            profile,
+            rs,
+            triangle,
+            stripe,
+            resume,
+            capture_rows,
+        ),
     }
 }
 

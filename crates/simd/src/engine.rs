@@ -22,8 +22,12 @@
 //! only the *work grouping* differs. The extra lane-alignments performed
 //! are reported in [`SimdStats`] (the paper measured < 0.70 % extra).
 
-use crate::dispatch::{select, sweep_group_profile_i16, sweep_group_wide, SimdSel};
-use crate::group::GroupResult;
+use crate::dispatch::{
+    select, sweep_group_profile_i16, sweep_group_profile_i16_at, sweep_group_wide,
+    sweep_group_wide_at, SimdSel,
+};
+use crate::group::{GroupCapture, GroupResult, GroupResume};
+use crate::resume::{GroupIncremental, LaneMemo};
 use crate::LaneWidth;
 use repro_align::{QueryProfile, Score, Scoring, Seq};
 use repro_core::bottom::best_valid_entry_counted;
@@ -36,10 +40,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::OnceLock;
 
-/// Per-group sweep memo: the dirty-log version of the group's last
-/// sweep plus the per-lane exact `(score, shadow_rejections)` to replay
-/// verbatim on a whole-group skip.
-type GroupMemo = Option<(u64, Vec<(Score, u64)>)>;
+/// Per-group sweep memo: one [`LaneMemo`] per lane. Lane-granular — a
+/// lane untouched by accepts since *its* stamp replays its exact score
+/// even when sibling lanes must re-sweep.
+type GroupMemo = Option<Vec<LaneMemo>>;
 
 /// SIMD-engine-specific counters, on top of the common [`Stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -175,6 +179,88 @@ impl<'a> GroupSweeper<'a> {
             vector_cells,
         }
     }
+
+    /// Sweep an arbitrary ascending split pack `rs`, optionally resuming
+    /// mid-matrix and capturing inter-row state — the compacted-resume
+    /// form of [`GroupSweeper::sweep`], same narrow → wide promotion
+    /// chain, bit-identical results.
+    ///
+    /// Resume states above `i16` range force the wide path directly:
+    /// values *below* the narrow range pin to `i16::MIN` on restore,
+    /// which is behaviourally identical (anything under `−open` loses
+    /// every comparison), but values above would clamp downward and
+    /// corrupt — and a checkpointed running `maxy` can exceed `i16::MAX`
+    /// even when every `m` fits, so both arrays are checked. Captures
+    /// from a saturated narrow sweep are discarded (saturated sentinels
+    /// must not be checkpointed); the wide re-sweep recaptures exactly.
+    pub fn sweep_at(
+        &self,
+        rs: &[usize],
+        triangle: Option<&OverrideTriangle>,
+        resume: Option<&GroupResume<'_>>,
+        capture_rows: &[usize],
+    ) -> (SweepOutcome, Vec<GroupCapture>) {
+        let mut vector_cells = 0;
+        let mut saturated_narrow = false;
+        let fits_narrow = resume.is_none_or(|res| {
+            res.lanes.iter().all(|l| {
+                l.m.iter()
+                    .chain(l.maxy.iter())
+                    .all(|&v| v < i16::MAX as Score)
+            })
+        });
+        if fits_narrow {
+            if let Some(p16) = &self.prof16 {
+                let (g, caps) = sweep_group_profile_i16_at(
+                    self.sel,
+                    self.seq.codes(),
+                    self.scoring,
+                    p16,
+                    rs,
+                    triangle,
+                    resume,
+                    capture_rows,
+                );
+                vector_cells += g.vector_cells;
+                if !g.saturated {
+                    return (
+                        SweepOutcome {
+                            group: g,
+                            saturated_narrow: false,
+                            promoted: false,
+                            vector_cells,
+                        },
+                        caps,
+                    );
+                }
+                saturated_narrow = true;
+            }
+        }
+        let p32 = self
+            .prof32
+            .get_or_init(|| QueryProfile::new_wide(self.scoring, self.seq.codes()));
+        let (g, caps) = sweep_group_wide_at(
+            self.sel.width,
+            self.seq.codes(),
+            self.scoring,
+            p32,
+            rs,
+            triangle,
+            resume,
+            capture_rows,
+        );
+        debug_assert!(!g.saturated);
+        vector_cells += g.vector_cells;
+        (
+            SweepOutcome {
+                group: g,
+                saturated_narrow,
+                promoted: true,
+                vector_cells,
+            },
+            caps,
+        )
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -263,12 +349,11 @@ pub fn find_top_alignments_simd_recorded<R: Recorder>(
 }
 
 /// [`find_top_alignments_simd_recorded`] with the incremental
-/// realignment layer: when `checkpoint_budget` is `Some`, a stale group
-/// none of whose members was dirtied since its last sweep replays its
-/// memoised per-lane scores instead of sweeping — a whole-group skip.
-/// (Interleaved lane state is not checkpointed mid-matrix; the group
-/// engines only use the exact full-skip shortcut.) Results are
-/// bit-identical either way.
+/// realignment layer: when `checkpoint_budget` is `Some`, a stale
+/// group's lanes are classified individually — clean lanes replay their
+/// memoised exact scores, the rest re-pack into a compacted group swept
+/// from the deepest checkpoint row shared by the pack (see
+/// [`crate::resume`]). Results are bit-identical either way.
 pub fn find_top_alignments_simd_checkpointed<R: Recorder>(
     seq: &Seq,
     scoring: &Scoring,
@@ -346,13 +431,14 @@ fn run<R: Recorder>(
         .map(|gi| vec![Score::MAX; group_lanes(gi)])
         .collect();
 
-    // Incremental layer (whole-group skips only — lane state is
-    // interleaved, so mid-matrix resume does not apply here).
+    // Incremental layer, lane-granular: clean lanes replay their memo,
+    // dirty lanes re-pack into a compacted group resumed from the
+    // deepest checkpoint row shared by the whole pack. Budget 0 keeps
+    // the accounting but disables every shortcut.
     let incremental = checkpoint_budget.is_some();
-    let skips_enabled = checkpoint_budget.is_some_and(|b| b > 0);
+    let mut incr = GroupIncremental::new(checkpoint_budget.unwrap_or(0));
     let mut dirty = DirtyLog::new();
-    // Per group: (dirty-log version of the last sweep, per-lane exact
-    // (score, shadow_rejections) to replay on a skip).
+    // Per group: one LaneMemo per lane (stamp + exact score/shadows).
     let mut group_memo: Vec<GroupMemo> = vec![None; ngroups];
 
     let mut queue: BinaryHeap<GroupTask> = (0..ngroups)
@@ -464,26 +550,32 @@ fn run<R: Recorder>(
             } else {
                 Phase::Drain
             };
-            // Whole-group full skip: no accept since this group's last
-            // sweep straddles any member split, so every lane's bottom
-            // row — and therefore every exact score — is unchanged.
-            let skip = !first_pass
-                && skips_enabled
-                && group_memo[gi]
+            // Per-lane classification: lanes untouched since their memo
+            // stamp replay exactly; the rest re-pack into a compacted
+            // group, resumed from the deepest checkpoint row shared by
+            // the whole pack. All lanes clean = the whole-group skip.
+            let mut plan = (incremental && !first_pass).then(|| {
+                let memo = group_memo[gi]
                     .as_ref()
-                    .is_some_and(|(since, _)| !dirty.dirty_in_range(r0, r0 + nl - 1, *since));
-            if skip {
+                    .expect("realigned group must have a memo");
+                let stamps: Vec<u64> = memo.iter().map(|lm| lm.stamp).collect();
+                incr.plan(&dirty, r0, nl, &stamps)
+            });
+            let version = dirty.version();
+            if plan.as_ref().is_some_and(|p| p.full_skip()) {
                 rec.phase_start(sweep_phase);
                 let memo = group_memo[gi].as_mut().expect("skip implies a memo");
-                memo.0 = dirty.version();
                 stats.checkpoint_hits += 1;
+                stats.lanes_skipped += nl as u64;
+                rec.add(Counter::LanesSkipped, nl as u64);
                 let mut group_best = 0;
-                for (l, &(score, shadows)) in memo.1.iter().enumerate() {
-                    stats.shadow_rejections += shadows;
+                for (l, lm) in memo.iter_mut().enumerate() {
+                    lm.stamp = version;
+                    stats.shadow_rejections += lm.shadows;
                     stats.record_alignment(0, tops_found);
                     stats.realign_rows_skipped += (r0 + l) as u64;
-                    member_scores[gi][l] = score;
-                    group_best = group_best.max(score);
+                    member_scores[gi][l] = lm.score;
+                    group_best = group_best.max(lm.score);
                 }
                 rec.phase_end(sweep_phase);
                 if let Some(t0) = pop_t0 {
@@ -496,14 +588,13 @@ fn run<R: Recorder>(
                 });
                 continue;
             }
-            let tri = if first_pass { None } else { Some(&triangle) };
             rec.phase_start(sweep_phase);
-            let mut count_sweep = |outcome: &SweepOutcome| {
+            let mut count_sweep = |outcome: &SweepOutcome, active: usize| {
                 simd.group_sweeps += 1;
                 simd.vector_cells += outcome.vector_cells;
                 rec.add(Counter::GroupSweeps, 1);
-                rec.add(Counter::LanesActive, nl as u64);
-                rec.add(Counter::LanesPadded, (lanes - nl) as u64);
+                rec.add(Counter::LanesActive, active as u64);
+                rec.add(Counter::LanesPadded, (lanes - active) as u64);
                 if outcome.saturated_narrow {
                     simd.saturation_fallbacks += 1;
                     rec.add(Counter::NarrowSaturations, 1);
@@ -513,50 +604,59 @@ fn run<R: Recorder>(
                     rec.add(Counter::PromotedSweeps, 1);
                 }
             };
-            let sweep_t0 = R::ENABLED.then(std::time::Instant::now);
-            let outcome = sweeper.sweep(r0, nl, tri);
-            let clean_ns = sweep_t0.map(|t0| t0.elapsed().as_nanos() as u64);
-            count_sweep(&outcome);
-            // Late first pass: under seeded pruning a group's first
-            // sweep can happen after accepts have grown the triangle.
-            // The clean (unmasked) sweep above feeds the shadow store;
-            // this masked resweep yields the exact current scores.
-            let mut masked_ns = None;
-            let masked = if first_pass && !triangle.is_empty() {
-                let masked_t0 = R::ENABLED.then(std::time::Instant::now);
-                let mo = sweeper.sweep(r0, nl, Some(&triangle));
-                masked_ns = masked_t0.map(|t0| t0.elapsed().as_nanos() as u64);
-                count_sweep(&mo);
-                Some(mo.group)
-            } else {
-                None
-            };
-            if let Some(ns) = clean_ns {
-                rec.observe(Metric::SweepNs, ns);
-            }
-            if let Some(ns) = masked_ns {
-                rec.observe(Metric::SweepNs, ns);
-            }
-            let g = outcome.group;
-            let total_cells = g.cells + masked.as_ref().map_or(0, |mg| mg.cells);
-            let per_lane_cells = total_cells / nl as u64;
             let mut group_best = 0;
-            let mut lane_memo: Vec<(Score, u64)> = Vec::new();
-            if incremental && !first_pass {
-                stats.checkpoint_misses += 1;
-                // A full-group realign sweeps r0+l DP rows per lane —
-                // the "resume" depth of a miss is the whole matrix.
-                rec.observe(
-                    Metric::ResumeRows,
-                    (0..nl).map(|l| (r0 + l) as u64).sum(),
-                );
-            }
-            for l in 0..nl {
-                let r = r0 + l;
-                let mut lane_shadows = 0;
-                let score = if first_pass {
+            if first_pass {
+                let rs_full: Vec<usize> = (0..nl).map(|l| r0 + l).collect();
+                let capture_rows = if incremental {
+                    incr.first_pass_captures(&dirty, r0, nl)
+                } else {
+                    Vec::new()
+                };
+                // Checkpoints must reflect the *masked* recurrence, so
+                // capture from the clean sweep only when no masked
+                // resweep follows (empty triangle: they coincide).
+                let clean_cap_rows: &[usize] = if triangle.is_empty() {
+                    &capture_rows
+                } else {
+                    &[]
+                };
+                let sweep_t0 = R::ENABLED.then(std::time::Instant::now);
+                let (outcome, mut caps) = sweeper.sweep_at(&rs_full, None, None, clean_cap_rows);
+                let clean_ns = sweep_t0.map(|t0| t0.elapsed().as_nanos() as u64);
+                count_sweep(&outcome, nl);
+                // Late first pass: under seeded pruning a group's first
+                // sweep can happen after accepts have grown the
+                // triangle. The clean (unmasked) sweep above feeds the
+                // shadow store; this masked resweep yields the exact
+                // current scores.
+                let mut masked_ns = None;
+                let masked = if !triangle.is_empty() {
+                    let masked_t0 = R::ENABLED.then(std::time::Instant::now);
+                    let (mo, mcaps) =
+                        sweeper.sweep_at(&rs_full, Some(&triangle), None, &capture_rows);
+                    masked_ns = masked_t0.map(|t0| t0.elapsed().as_nanos() as u64);
+                    count_sweep(&mo, nl);
+                    caps = mcaps;
+                    Some(mo.group)
+                } else {
+                    None
+                };
+                if let Some(ns) = clean_ns {
+                    rec.observe(Metric::SweepNs, ns);
+                }
+                if let Some(ns) = masked_ns {
+                    rec.observe(Metric::SweepNs, ns);
+                }
+                let g = outcome.group;
+                let total_cells = g.cells + masked.as_ref().map_or(0, |mg| mg.cells);
+                let per_lane_cells = total_cells / nl as u64;
+                let mut lane_memo: Vec<LaneMemo> = Vec::new();
+                let mut lane_scores: Vec<Score> = Vec::with_capacity(nl);
+                for l in 0..nl {
+                    let r = r0 + l;
                     bottomstore.store(r, &g.rows[l]);
-                    if let Some(mg) = &masked {
+                    let mut lane_shadows = 0;
+                    let score = if let Some(mg) = &masked {
                         let (s, _, shadows) = best_valid_entry_counted(&mg.rows[l], &g.rows[l]);
                         stats.shadow_rejections += shadows;
                         lane_shadows = shadows;
@@ -564,31 +664,113 @@ fn run<R: Recorder>(
                     } else {
                         debug_assert!(triangle.is_empty());
                         g.rows[l].iter().copied().max().unwrap_or(0).max(0)
+                    };
+                    stats.record_alignment(per_lane_cells, tops_found);
+                    if incremental {
+                        lane_memo.push(LaneMemo {
+                            stamp: version,
+                            score,
+                            shadows: lane_shadows,
+                        });
                     }
-                } else {
+                    lane_scores.push(score);
+                    member_scores[gi][l] = score;
+                    group_best = group_best.max(score);
+                }
+                if incremental {
+                    incr.commit(&rs_full, Vec::new(), caps, version, &lane_scores);
+                    group_memo[gi] = Some(lane_memo);
+                }
+                first_passes += nl;
+            } else {
+                let mut p = plan.take().unwrap_or_else(|| {
+                    // Non-incremental runs realign the whole group from
+                    // scratch, exactly as before.
+                    crate::resume::RealignPlan {
+                        clean: Vec::new(),
+                        packed: (0..nl).collect(),
+                        rs: (0..nl).map(|l| r0 + l).collect(),
+                        resume_row: 0,
+                        kept: Vec::new(),
+                        capture_rows: Vec::new(),
+                    }
+                });
+                let npack = p.packed.len();
+                let start = p.resume_row;
+                let sweep_t0 = R::ENABLED.then(std::time::Instant::now);
+                let (outcome, caps) = {
+                    let resume = p.resume();
+                    sweeper.sweep_at(&p.rs, Some(&triangle), resume.as_ref(), &p.capture_rows)
+                };
+                let sweep_ns = sweep_t0.map(|t0| t0.elapsed().as_nanos() as u64);
+                count_sweep(&outcome, npack);
+                if let Some(ns) = sweep_ns {
+                    rec.observe(Metric::SweepNs, ns);
+                }
+                let g = outcome.group;
+                let per_lane_cells = g.cells / npack as u64;
+                let compacted = npack < nl || start > 0;
+                if incremental {
+                    if p.clean.is_empty() && start == 0 {
+                        stats.checkpoint_misses += 1;
+                    }
+                    stats.lanes_skipped += p.clean.len() as u64;
+                    rec.add(Counter::LanesSkipped, p.clean.len() as u64);
+                    if compacted {
+                        stats.lanes_compacted += npack as u64;
+                        rec.add(Counter::LanesCompacted, npack as u64);
+                    }
+                }
+                // Clean lanes: replay their memo verbatim (and bump the
+                // stamp — they were just verified clean up to now).
+                if !p.clean.is_empty() {
+                    let memo = group_memo[gi].as_mut().expect("clean lanes imply a memo");
+                    for &l in &p.clean {
+                        let lm = &mut memo[l];
+                        lm.stamp = version;
+                        stats.shadow_rejections += lm.shadows;
+                        stats.record_alignment(0, tops_found);
+                        stats.realign_rows_skipped += (r0 + l) as u64;
+                        member_scores[gi][l] = lm.score;
+                        group_best = group_best.max(lm.score);
+                    }
+                }
+                // Packed lanes: score the fresh bottom rows.
+                let mut pack_scores: Vec<Score> = Vec::with_capacity(npack);
+                for (i, &l) in p.packed.iter().enumerate() {
+                    let r = r0 + l;
+                    debug_assert_eq!(r, p.rs[i]);
                     let original = bottomstore
                         .get(r)
                         .expect("realigned member must have a stored first-pass row");
-                    let (s, _, shadows) = best_valid_entry_counted(&g.rows[l], original);
+                    let (score, _, shadows) = best_valid_entry_counted(&g.rows[i], original);
                     stats.shadow_rejections += shadows;
-                    lane_shadows = shadows;
+                    stats.record_alignment(per_lane_cells, tops_found);
                     if incremental {
-                        stats.realign_rows_swept += r as u64;
+                        stats.realign_rows_swept += (r - start) as u64;
+                        stats.realign_rows_skipped += start as u64;
+                        rec.observe(Metric::ResumeRows, (r - start) as u64);
+                        if let Some(memo) = group_memo[gi].as_mut() {
+                            memo[l] = LaneMemo {
+                                stamp: version,
+                                score,
+                                shadows,
+                            };
+                        }
                     }
-                    s
-                };
-                stats.record_alignment(per_lane_cells, tops_found);
-                if incremental {
-                    lane_memo.push((score, lane_shadows));
+                    pack_scores.push(score);
+                    member_scores[gi][l] = score;
+                    group_best = group_best.max(score);
                 }
-                member_scores[gi][l] = score;
-                group_best = group_best.max(score);
-            }
-            if incremental {
-                group_memo[gi] = Some((dirty.version(), lane_memo));
-            }
-            if first_pass {
-                first_passes += nl;
+                if incremental {
+                    incr.commit(
+                        &p.rs,
+                        std::mem::take(&mut p.kept),
+                        caps,
+                        version,
+                        &pack_scores,
+                    );
+                }
             }
             rec.phase_end(sweep_phase);
             if let Some(t0) = pop_t0 {

@@ -1,12 +1,16 @@
 //! The interleaved multi-matrix kernel (paper Figures 6 and 7).
 //!
-//! A *group* is a run of consecutive splits `r0, r0+1, …, r0+lanes−1`.
-//! Lane `l` computes the matrix of split `r_l = r0 + l`. The sweep runs
-//! over sequence positions: row `p` (prefix residue) and column `q`
-//! (suffix residue), `q ∈ [r0, m)`. At `(p, q)` every lane aligns the
-//! same residue pair `(S[p], S[q])`, so the exchange value is looked up
-//! once and splatted — the whole point of grouping *neighbouring*
-//! matrices.
+//! A *group* is a set of splits swept together. Historically a run of
+//! consecutive splits `r0, r0+1, …, r0+lanes−1`; the kernel is now
+//! generic over any strictly ascending split set `rs` (lane `l`
+//! computes the matrix of split `rs[l]`), which is what lets the
+//! incremental layer *compact* a group — re-packing only the lanes
+//! that actually need work. The sweep runs over sequence positions:
+//! row `p` (prefix residue) and column `q` (suffix residue),
+//! `q ∈ [rs[0], m)`. At `(p, q)` every lane aligns the same residue
+//! pair `(S[p], S[q])`, so the exchange value is looked up once and
+//! splatted — neighbouring matrices share cells, arbitrary subsets of
+//! them still share the splat.
 //!
 //! Two sweeps implement the same recurrence:
 //!
@@ -23,16 +27,26 @@
 //! paper's "shorts") or `i32` (wrapping, bit-identical to the scalar
 //! reference — the saturation-promotion path).
 //!
+//! Incremental resume ([`align_group_profile_at`]): the kernel can
+//! start at row `start` from restored inter-row state (per-lane `m` /
+//! `maxy` over each lane's own columns, the exact state a scalar
+//! [`repro_align::Checkpoint`] holds) and capture the same state at
+//! requested rows on the way down. Columns left of a lane's split
+//! (`q < rs[l]`) hold `m = 0` (the border forces them to zero every
+//! row) and a constant `maxy = −open − ext` (the running gap maximum
+//! over a column of zeros), so the packed state is reconstructed from
+//! per-lane checkpoints alone — no interleaved state is ever stored.
+//!
 //! Border corrections:
-//! * **left**: lane `l` has no column `q < r_l`; those cells are forced
-//!   to 0, which doubles as the virtual zero column for the lane's first
-//!   real column (only the first `lanes−1` columns need this);
-//! * **bottom**: lane `l`'s matrix ends at row `r_l − 1`; its bottom row
-//!   is captured when that row completes, and deeper rows of the lane
-//!   are dead weight (the paper's speculation cost).
+//! * **left**: lane `l` has no column `q < rs[l]`; those cells are
+//!   forced to 0, which doubles as the virtual zero column for the
+//!   lane's first real column (only columns `q < rs[last]` need this);
+//! * **bottom**: lane `l`'s matrix ends at row `rs[l] − 1`; its bottom
+//!   row is captured when that row completes, and deeper rows of the
+//!   lane are dead weight (the paper's speculation cost).
 //! * **override**: cell `(p, q)` represents sequence pair `(p, q)` in
-//!   *every* lane, so the triangle mask is lane-uniform — one scalar bit
-//!   test zeroes all lanes.
+//!   *every* lane, so the triangle mask is lane-uniform — one scalar
+//!   bit test zeroes all lanes.
 
 use crate::lanes::{SimdElem, SimdVec};
 use repro_align::{stripe_for_bytes, QueryProfile, Score, Scoring};
@@ -41,15 +55,16 @@ use repro_core::OverrideTriangle;
 /// Per-lane results of one group alignment.
 #[derive(Debug, Clone)]
 pub struct GroupResult {
-    /// First split in the group.
+    /// First (smallest) split in the group.
     pub r0: usize,
     /// Number of live lanes (the final group of a sequence may be short).
     pub lanes: usize,
     /// Per-lane bottom rows, widened to the scalar score type; entry `l`
-    /// is the bottom row of split `r0 + l` (length `m − r0 − l`).
+    /// is the bottom row of the group's `l`-th split (length `m − r`).
     pub rows: Vec<Vec<Score>>,
-    /// Logical cells (sum over lanes of each split's own matrix size) —
-    /// comparable with the sequential engine's counters.
+    /// Logical cells actually computed (sum over lanes of each split's
+    /// rows below the resume row × its own columns) — comparable with
+    /// the sequential engine's counters.
     pub cells: u64,
     /// Vector-sweep cells (`rows × width`), the actual SIMD work incl.
     /// dead lanes; `cells / (vector_cells × LANES)` is lane utilisation.
@@ -58,6 +73,41 @@ pub struct GroupResult {
     /// must recompute the group exactly (promote `i16 → i32`, or fall
     /// back to the scalar kernel).
     pub saturated: bool,
+}
+
+/// One packed lane's restored inter-row state: the kernel's `m` and
+/// `maxy` over the lane's *own* columns (`q ∈ [r, m)`), exactly the
+/// layout of a scalar [`repro_align::Checkpoint`] for that split.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneResume<'a> {
+    /// `M[row−1][x]` for the lane's columns.
+    pub m: &'a [Score],
+    /// Per-column vertical-gap running maxima after row `row−1`.
+    pub maxy: &'a [Score],
+}
+
+/// Resume input for a group sweep: every packed lane's state after rows
+/// `0..row` (one entry per lane, same order as `rs`). All lanes resume
+/// from the same row — the engines pick the deepest checkpoint row that
+/// is valid and present for *every* packed lane.
+#[derive(Debug, Clone)]
+pub struct GroupResume<'a> {
+    /// Rows `0..row` are already reflected in the state (`row ≥ 1`).
+    pub row: usize,
+    /// Per-lane restored state, `lanes[l]` for split `rs[l]`.
+    pub lanes: Vec<LaneResume<'a>>,
+}
+
+/// One inter-row snapshot captured during a group sweep, de-interleaved
+/// back to per-lane scalar state.
+#[derive(Debug, Clone)]
+pub struct GroupCapture {
+    /// The snapshot reflects rows `0..row`.
+    pub row: usize,
+    /// Per packed lane: `(m, maxy)` over the lane's own columns — the
+    /// exact contents of a scalar checkpoint at this row. `None` for
+    /// lanes whose split `rs[l] ≤ row` (their matrix ended above it).
+    pub lanes: Vec<Option<(Vec<Score>, Vec<Score>)>>,
 }
 
 /// Stripe width for a group sweep of `lanes` lanes of `elem_bytes`-byte
@@ -123,7 +173,35 @@ pub fn align_group_profile<V: SimdVec>(
     align_group_profile_impl::<V>(seq, scoring, profile, r0, lanes, triangle, stripe)
 }
 
-/// Shared prologue: bounds checks, gap narrowing, state allocation.
+/// The generalised profile sweep: an arbitrary strictly ascending split
+/// set `rs`, optional mid-matrix `resume`, and inter-row state capture
+/// at each of `capture_rows` (strictly ascending, each strictly between
+/// the resume row and `rs[last]`). With `rs` consecutive, `resume =
+/// None` and no captures this is exactly [`align_group_profile`].
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's full state
+pub fn align_group_profile_at<V: SimdVec>(
+    seq: &[u8],
+    scoring: &Scoring,
+    profile: &QueryProfile<V::Elem>,
+    rs: &[usize],
+    triangle: Option<&OverrideTriangle>,
+    stripe: usize,
+    resume: Option<&GroupResume<'_>>,
+    capture_rows: &[usize],
+) -> (GroupResult, Vec<GroupCapture>) {
+    align_group_profile_at_impl::<V>(
+        seq,
+        scoring,
+        profile,
+        rs,
+        triangle,
+        stripe,
+        resume,
+        capture_rows,
+    )
+}
+
+/// Shared sweep state: interleaved arrays plus per-row stripe carries.
 struct SweepState<V: SimdVec> {
     rmax: usize,
     width: usize,
@@ -135,23 +213,51 @@ struct SweepState<V: SimdVec> {
     edge: Vec<V>,
     rows: Vec<Vec<Score>>,
     sat_acc: V,
+    /// Interleaved capture buffers, parallel to `Geom::capture_rows`.
+    captures: Vec<(Vec<V>, Vec<V>)>,
+}
+
+/// Sweep geometry derived from the split set: everything the hot loop
+/// needs that does not change per cell.
+struct Geom<'a, V: SimdVec> {
+    rs: &'a [usize],
+    r0: usize,
+    /// Columns `qi < border_cols` have at least one inactive lane.
+    border_cols: usize,
+    /// Active-lane count per bordered column (`rs` is ascending, so the
+    /// active lanes are always a prefix).
+    keep: Vec<usize>,
+    /// `bottom[p] = Some(l)` iff row `p` is lane `l`'s bottom row
+    /// (`rs[l] == p + 1`).
+    bottom: Vec<Option<usize>>,
+    /// First row to compute (rows `0..start` come from restored state).
+    start: usize,
+    /// The restored `mrow` at `start` — cross-stripe diagonal seed for
+    /// the first computed row. Empty when `start == 0`.
+    init_m: Vec<V>,
+    capture_rows: &'a [usize],
 }
 
 #[inline(always)]
-fn sweep_prologue<V: SimdVec>(
+#[allow(clippy::needless_range_loop)] // index loops mirror the paper's pseudo code
+fn sweep_prologue_at<'a, V: SimdVec>(
     m: usize,
     scoring: &Scoring,
-    r0: usize,
-    lanes: usize,
+    rs: &'a [usize],
     stripe: usize,
-) -> SweepState<V> {
+    resume: Option<&GroupResume<'_>>,
+    capture_rows: &'a [usize],
+) -> (SweepState<V>, Geom<'a, V>) {
+    let lanes = rs.len();
     assert!(lanes >= 1 && lanes <= V::LANES, "bad lane count");
     assert!(
-        r0 >= 1 && r0 + lanes - 1 <= m.saturating_sub(1),
-        "group out of range"
+        rs.windows(2).all(|w| w[0] < w[1]),
+        "splits must be strictly ascending"
     );
+    let r0 = rs[0];
+    let rmax = *rs.last().expect("non-empty split set");
+    assert!(r0 >= 1 && rmax <= m.saturating_sub(1), "group out of range");
     assert!(stripe > 0, "stripe width must be positive");
-    let rmax = r0 + lanes - 1; // largest split ⇒ deepest row rmax−1
     let width = m - r0; // columns q ∈ [r0, m)
 
     let gap_open =
@@ -161,42 +267,148 @@ fn sweep_prologue<V: SimdVec>(
 
     let neg = V::splat(V::Elem::NEG_INF);
     let zero = V::splat(V::Elem::ZERO);
-    SweepState {
+
+    let start = resume.map_or(0, |rsm| rsm.row);
+    assert!(start < r0, "resume row must precede every packed split");
+    assert!(
+        capture_rows.windows(2).all(|w| w[0] < w[1]),
+        "capture rows must be strictly ascending"
+    );
+    assert!(
+        capture_rows.iter().all(|&c| c > start && c < rmax),
+        "capture rows must lie strictly between the resume row and rmax"
+    );
+
+    let border_cols = rmax - r0;
+    let keep: Vec<usize> = (0..border_cols)
+        .map(|qi| rs.partition_point(|&r| r <= r0 + qi))
+        .collect();
+    let mut bottom: Vec<Option<usize>> = vec![None; rmax];
+    for (l, &r) in rs.iter().enumerate() {
+        bottom[r - 1] = Some(l);
+    }
+
+    let (mrow, maxy, init_m, sat_acc) = match resume {
+        None => (vec![zero; width], vec![neg; width], Vec::new(), zero),
+        Some(rsm) => {
+            assert!(rsm.row >= 1, "resume row must be at least 1");
+            assert_eq!(rsm.lanes.len(), lanes, "one resume state per lane");
+            for (l, st) in rsm.lanes.iter().enumerate() {
+                assert_eq!(st.m.len(), m - rs[l], "lane {l} resume width");
+                assert_eq!(st.maxy.len(), m - rs[l], "lane {l} resume width");
+            }
+            // Inactive columns (q < rs[l]) are forced to zero every row,
+            // so after ≥ 1 rows their running vertical-gap maximum is
+            // the constant `(0 − open) − ext` — reconstructed here, no
+            // interleaved state needed.
+            let inactive_maxy = V::Elem::ZERO.vsub(gap_open).vsub(gap_ext);
+            let mut mrow = Vec::with_capacity(width);
+            let mut maxy = Vec::with_capacity(width);
+            for qi in 0..width {
+                let q = r0 + qi;
+                mrow.push(V::from_fn(|l| {
+                    if l < lanes && q >= rs[l] {
+                        V::Elem::from_score_sat(rsm.lanes[l].m[q - rs[l]])
+                    } else {
+                        V::Elem::ZERO
+                    }
+                }));
+                maxy.push(V::from_fn(|l| {
+                    if l < lanes && q >= rs[l] {
+                        V::Elem::from_score_sat(rsm.lanes[l].maxy[q - rs[l]])
+                    } else {
+                        inactive_maxy
+                    }
+                }));
+            }
+            let init_m = mrow.clone();
+            // Seed the saturation accumulator from the restored row so a
+            // restored sentinel is never missed.
+            let sat = mrow.iter().fold(zero, |acc, &v| acc.max(v));
+            (mrow, maxy, init_m, sat)
+        }
+    };
+
+    let st = SweepState {
         rmax,
         width,
         vopen: V::splat(gap_open),
         vext: V::splat(gap_ext),
         // Interleaved previous-row and MaxY arrays (Figure 7): element qi
         // packs the `lanes` matrices' entries for column q = r0 + qi.
-        mrow: vec![zero; width],
-        maxy: vec![neg; width],
+        mrow,
+        maxy,
         // Per-row carries across stripe boundaries (cf. the scalar striped
         // kernel): the running horizontal-gap maximum and the previous
         // stripe's last-column value (the next stripe's diagonal input).
         maxx_carry: vec![neg; rmax],
         edge: vec![zero; rmax],
-        rows: (0..lanes).map(|l| vec![0; m - (r0 + l)]).collect(),
-        // Saturation is detected by a running max (v is always ≥ 0),
-        // checked once at the end instead of per cell.
-        sat_acc: zero,
-    }
+        rows: rs.iter().map(|&r| vec![0; m - r]).collect(),
+        sat_acc,
+        captures: capture_rows
+            .iter()
+            .map(|_| (vec![zero; width], vec![zero; width]))
+            .collect(),
+    };
+    let geom = Geom {
+        rs,
+        r0,
+        border_cols,
+        keep,
+        bottom,
+        start,
+        init_m,
+        capture_rows,
+    };
+    (st, geom)
 }
 
-fn finish<V: SimdVec>(st: SweepState<V>, m: usize, r0: usize, lanes: usize) -> GroupResult {
-    let cells: u64 = (0..lanes)
-        .map(|l| {
-            let r = r0 + l;
-            r as u64 * (m - r) as u64
-        })
+fn finish<V: SimdVec>(
+    st: SweepState<V>,
+    geom: &Geom<'_, V>,
+    m: usize,
+) -> (GroupResult, Vec<GroupCapture>) {
+    let cells: u64 = geom
+        .rs
+        .iter()
+        .map(|&r| (r - geom.start) as u64 * (m - r) as u64)
         .sum();
-    GroupResult {
-        r0,
-        lanes,
+    let captures = geom
+        .capture_rows
+        .iter()
+        .zip(&st.captures)
+        .map(|(&row, (mbuf, ybuf))| GroupCapture {
+            row,
+            lanes: geom
+                .rs
+                .iter()
+                .enumerate()
+                .map(|(l, &r)| {
+                    if row >= r {
+                        return None;
+                    }
+                    let off = r - geom.r0;
+                    let cols = m - r;
+                    let mut mj = Vec::with_capacity(cols);
+                    let mut yj = Vec::with_capacity(cols);
+                    for qi in off..st.width {
+                        mj.push(mbuf[qi].get(l).to_score());
+                        yj.push(ybuf[qi].get(l).to_score());
+                    }
+                    Some((mj, yj))
+                })
+                .collect(),
+        })
+        .collect();
+    let result = GroupResult {
+        r0: geom.r0,
+        lanes: geom.rs.len(),
         saturated: st.sat_acc.any_saturated(),
         rows: st.rows,
         cells,
-        vector_cells: st.rmax as u64 * st.width as u64,
-    }
+        vector_cells: (st.rmax - geom.start) as u64 * st.width as u64,
+    };
+    (result, captures)
 }
 
 /// Per-cell override probe, monomorphised so the first pass (no
@@ -237,15 +449,23 @@ impl TriProbe for &OverrideTriangle {
 /// keeps everything monomorphic and `inline(always)`-friendly for the
 /// `#[target_feature]` trampolines in [`crate::dispatch`].
 macro_rules! sweep_body {
-    ($V:ty, $st:ident, $seq:ident, $r0:ident, $lanes:ident, $tri:ident, $stripe:ident,
+    ($V:ty, $st:ident, $geom:ident, $tri:ident, $stripe:ident,
      |$p:ident| $row_setup:expr, |$rowctx:ident, $qi:ident| $cell_exch:expr) => {{
+        let start = $geom.start;
         let mut x0 = 0;
         while x0 < $st.width {
             let x1 = x0.saturating_add($stripe).min($st.width);
             // Row p consumes row p−1's *old* edge value; rows run top to
-            // bottom, so carry it across one iteration.
-            let mut above_old_edge = <$V>::splat(SimdElem::ZERO);
-            for $p in 0..$st.rmax {
+            // bottom, so carry it across one iteration. For a resumed
+            // sweep the first computed row's diagonal input is the
+            // restored row's previous-stripe edge.
+            let mut above_old_edge = if start > 0 && x0 > 0 {
+                $geom.init_m[x0 - 1]
+            } else {
+                <$V>::splat(SimdElem::ZERO)
+            };
+            let mut cap_idx = 0usize;
+            for $p in start..$st.rmax {
                 let my_old_edge = $st.edge[$p];
                 let $rowctx = $row_setup;
                 let mut maxx = if x0 == 0 {
@@ -253,7 +473,11 @@ macro_rules! sweep_body {
                 } else {
                     $st.maxx_carry[$p]
                 };
-                let mut diag = if x0 == 0 || $p == 0 {
+                // At x0 == 0 the diagonal input is the virtual zero
+                // column; elsewhere it is the row above's previous-stripe
+                // edge (seeded before the loop for the first row: zero at
+                // the matrix top, the restored row's edge on a resume).
+                let mut diag = if x0 == 0 {
                     <$V>::splat(SimdElem::ZERO)
                 } else {
                     above_old_edge
@@ -267,14 +491,15 @@ macro_rules! sweep_body {
                         .adds(<$V>::splat(exch))
                         .max(<$V>::splat(SimdElem::ZERO));
                     // Lane-uniform override masking (monomorphised away on
-                    // the first pass) and the left-border correction (lane l
-                    // is active iff q ≥ r0 + l); both fire on a sparse
+                    // the first pass) and the left-border correction (lane
+                    // l is active iff q ≥ rs[l]; active lanes are a prefix
+                    // because rs is ascending); both fire on a sparse
                     // subset of cells.
-                    if $tri.hit($p, $r0 + $qi) {
+                    if $tri.hit($p, $geom.r0 + $qi) {
                         v = <$V>::splat(SimdElem::ZERO);
                     }
-                    if $qi + 1 < $lanes {
-                        v = v.zero_lanes_from($qi + 1);
+                    if $qi < $geom.border_cols {
+                        v = v.zero_lanes_from($geom.keep[$qi]);
                     }
                     $st.sat_acc = $st.sat_acc.max(v);
                     $st.mrow[$qi] = v;
@@ -287,16 +512,23 @@ macro_rules! sweep_body {
                 $st.edge[$p] = $st.mrow[x1 - 1];
                 above_old_edge = my_old_edge;
                 // Bottom-border capture for this stripe's segment: row p is
-                // the bottom row of lane l = p + 1 − r0 (split r_l = p + 1),
-                // and segment values are final once computed.
-                if $p + 1 >= $r0 {
-                    let l = $p + 1 - $r0;
-                    if l < $lanes {
-                        let rl = $r0 + l;
-                        for qi in x0.max(rl - $r0)..x1 {
-                            $st.rows[l][$r0 + qi - rl] = $st.mrow[qi].get(l).to_score();
-                        }
+                // the bottom row of lane l iff rs[l] = p + 1, and segment
+                // values are final once computed.
+                if let Some(l) = $geom.bottom[$p] {
+                    let rl = $geom.rs[l];
+                    for qi in x0.max(rl - $geom.r0)..x1 {
+                        $st.rows[l][$geom.r0 + qi - rl] = $st.mrow[qi].get(l).to_score();
                     }
+                }
+                // Checkpoint capture: after row p the state reflects rows
+                // 0..p+1 — exactly what a resume at row p+1 needs.
+                while cap_idx < $geom.capture_rows.len()
+                    && $geom.capture_rows[cap_idx] == $p + 1
+                {
+                    let (mbuf, ybuf) = &mut $st.captures[cap_idx];
+                    mbuf[x0..x1].copy_from_slice(&$st.mrow[x0..x1]);
+                    ybuf[x0..x1].copy_from_slice(&$st.maxy[x0..x1]);
+                    cap_idx += 1;
                 }
             }
             x0 = x1;
@@ -313,9 +545,10 @@ pub(crate) fn align_group_lookup_impl<V: SimdVec>(
     triangle: Option<&OverrideTriangle>,
     stripe: usize,
 ) -> GroupResult {
+    let rs: Vec<usize> = (0..lanes).map(|l| r0 + l).collect();
     match triangle.filter(|t| !t.is_empty()) {
-        None => lookup_sweep::<V, NoTri>(seq, scoring, r0, lanes, NoTri, stripe),
-        Some(t) => lookup_sweep::<V, &OverrideTriangle>(seq, scoring, r0, lanes, t, stripe),
+        None => lookup_sweep::<V, NoTri>(seq, scoring, &rs, NoTri, stripe),
+        Some(t) => lookup_sweep::<V, &OverrideTriangle>(seq, scoring, &rs, t, stripe),
     }
 }
 
@@ -323,13 +556,12 @@ pub(crate) fn align_group_lookup_impl<V: SimdVec>(
 fn lookup_sweep<V: SimdVec, T: TriProbe>(
     seq: &[u8],
     scoring: &Scoring,
-    r0: usize,
-    lanes: usize,
+    rs: &[usize],
     tri: T,
     stripe: usize,
 ) -> GroupResult {
     let m = seq.len();
-    let mut st = sweep_prologue::<V>(m, scoring, r0, lanes, stripe);
+    let (mut st, geom) = sweep_prologue_at::<V>(m, scoring, rs, stripe, None, &[]);
 
     // One-time narrowing of the exchange table to the lane element keeps
     // the hot loop free of checked conversions.
@@ -344,15 +576,13 @@ fn lookup_sweep<V: SimdVec, T: TriProbe>(
     sweep_body!(
         V,
         st,
-        seq,
-        r0,
-        lanes,
+        geom,
         tri,
         stripe,
         |p| &exch[seq[p] as usize * k..(seq[p] as usize + 1) * k],
-        |exch_row, qi| exch_row[seq[r0 + qi] as usize]
+        |exch_row, qi| exch_row[seq[geom.r0 + qi] as usize]
     );
-    finish(st, m, r0, lanes)
+    finish(st, &geom, m).0
 }
 
 #[inline(always)]
@@ -365,40 +595,72 @@ pub(crate) fn align_group_profile_impl<V: SimdVec>(
     triangle: Option<&OverrideTriangle>,
     stripe: usize,
 ) -> GroupResult {
+    let rs: Vec<usize> = (0..lanes).map(|l| r0 + l).collect();
+    align_group_profile_at_impl::<V>(seq, scoring, profile, &rs, triangle, stripe, None, &[]).0
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's full state
+pub(crate) fn align_group_profile_at_impl<V: SimdVec>(
+    seq: &[u8],
+    scoring: &Scoring,
+    profile: &QueryProfile<V::Elem>,
+    rs: &[usize],
+    triangle: Option<&OverrideTriangle>,
+    stripe: usize,
+    resume: Option<&GroupResume<'_>>,
+    capture_rows: &[usize],
+) -> (GroupResult, Vec<GroupCapture>) {
     match triangle.filter(|t| !t.is_empty()) {
-        None => profile_sweep::<V, NoTri>(seq, scoring, profile, r0, lanes, NoTri, stripe),
-        Some(t) => {
-            profile_sweep::<V, &OverrideTriangle>(seq, scoring, profile, r0, lanes, t, stripe)
-        }
+        None => profile_sweep::<V, NoTri>(
+            seq,
+            scoring,
+            profile,
+            rs,
+            NoTri,
+            stripe,
+            resume,
+            capture_rows,
+        ),
+        Some(t) => profile_sweep::<V, &OverrideTriangle>(
+            seq,
+            scoring,
+            profile,
+            rs,
+            t,
+            stripe,
+            resume,
+            capture_rows,
+        ),
     }
 }
 
 #[inline(always)]
+#[allow(clippy::too_many_arguments)] // mirrors the kernel's full state
 fn profile_sweep<V: SimdVec, T: TriProbe>(
     seq: &[u8],
     scoring: &Scoring,
     profile: &QueryProfile<V::Elem>,
-    r0: usize,
-    lanes: usize,
+    rs: &[usize],
     tri: T,
     stripe: usize,
-) -> GroupResult {
+    resume: Option<&GroupResume<'_>>,
+    capture_rows: &[usize],
+) -> (GroupResult, Vec<GroupCapture>) {
     let m = seq.len();
     assert_eq!(profile.len(), m, "profile must cover the whole sequence");
-    let mut st = sweep_prologue::<V>(m, scoring, r0, lanes, stripe);
+    let (mut st, geom) = sweep_prologue_at::<V>(m, scoring, rs, stripe, resume, capture_rows);
 
     sweep_body!(
         V,
         st,
-        seq,
-        r0,
-        lanes,
+        geom,
         tri,
         stripe,
-        |p| profile.row(seq[p], r0),
+        |p| profile.row(seq[p], geom.r0),
         |prow, qi| prow[qi]
     );
-    finish(st, m, r0, lanes)
+    finish(st, &geom, m)
 }
 
 #[cfg(test)]
@@ -602,6 +864,175 @@ mod tests {
         assert_eq!(group_stripe(16, 2), DEFAULT_GROUP_STRIPE / 2);
         assert_eq!(group_stripe(16, 4), DEFAULT_GROUP_STRIPE / 4);
         assert!(group_stripe(16, 4) * 2 * 16 * 4 <= repro_align::STRIPE_L1_BUDGET);
+    }
+
+    #[test]
+    fn compacted_subset_matches_scalar() {
+        // A non-consecutive split set — the compacted-resume packing —
+        // matches the per-split scalar oracle exactly.
+        let seq = Seq::dna("ATGCATGCATGCACGGTTACGTAACCGGTTAC").unwrap();
+        let scoring = Scoring::dna_example();
+        let prof = QueryProfile::new_narrow(&scoring, seq.codes()).unwrap();
+        let mut t = OverrideTriangle::new(seq.len());
+        for &(p, q) in &[(0, 4), (3, 9), (7, 20)] {
+            t.set(p, q);
+        }
+        for tri in [None, Some(&t)] {
+            for rs in [
+                vec![3usize],
+                vec![2, 5],
+                vec![1, 4, 9, 17],
+                vec![6, 7, 11, 20, 28],
+                vec![2, 3, 4, 5], // consecutive through the generic path
+            ] {
+                for stripe in [5usize, 64] {
+                    let (g, caps) = align_group_profile_at::<I16x8>(
+                        seq.codes(),
+                        &scoring,
+                        &prof,
+                        &rs,
+                        tri,
+                        stripe,
+                        None,
+                        &[],
+                    );
+                    assert!(caps.is_empty());
+                    for (l, &r) in rs.iter().enumerate() {
+                        let want = scalar_row(&seq, &scoring, r, tri);
+                        assert_eq!(g.rows[l], want, "split {r} in {rs:?} stripe {stripe}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capture_then_resume_is_bit_identical() {
+        // Capture inter-row state mid-sweep, then resume a compacted
+        // sweep from it: rows must equal the from-scratch sweep at every
+        // capture row and stripe width.
+        let seq = Seq::dna("ATGCATGCATGCACGGTTACGTAACCGGTTACGTTACA").unwrap();
+        let scoring = Scoring::dna_example();
+        let prof = QueryProfile::new_narrow(&scoring, seq.codes()).unwrap();
+        let mut t = OverrideTriangle::new(seq.len());
+        for &(p, q) in &[(1, 6), (4, 12), (9, 25)] {
+            t.set(p, q);
+        }
+        let rs = vec![7usize, 9, 14, 21];
+        for tri in [None, Some(&t)] {
+            let capture_rows: Vec<usize> = (1..*rs.last().unwrap()).collect();
+            let (scratch, caps) = align_group_profile_at::<I16x8>(
+                seq.codes(),
+                &scoring,
+                &prof,
+                &rs,
+                tri,
+                9,
+                None,
+                &capture_rows,
+            );
+            assert_eq!(caps.len(), capture_rows.len());
+            for cap in &caps {
+                // Only lanes whose split exceeds the capture row can be
+                // resumed from it.
+                let live: Vec<usize> = rs
+                    .iter()
+                    .copied()
+                    .filter(|&r| r > cap.row)
+                    .collect();
+                let lanes: Vec<LaneResume<'_>> = cap
+                    .lanes
+                    .iter()
+                    .filter_map(|s| s.as_ref())
+                    .map(|(m, y)| LaneResume { m, maxy: y })
+                    .collect();
+                assert_eq!(lanes.len(), live.len());
+                let resume = GroupResume {
+                    row: cap.row,
+                    lanes,
+                };
+                for stripe in [4usize, 64] {
+                    let (resumed, _) = align_group_profile_at::<I16x8>(
+                        seq.codes(),
+                        &scoring,
+                        &prof,
+                        &live,
+                        tri,
+                        stripe,
+                        Some(&resume),
+                        &[],
+                    );
+                    for (l, &r) in live.iter().enumerate() {
+                        let fl = rs.iter().position(|&x| x == r).unwrap();
+                        assert_eq!(
+                            resumed.rows[l], scratch.rows[fl],
+                            "split {r} resumed at {} stripe {stripe} mask {}",
+                            cap.row,
+                            tri.is_some()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_capture_restores_into_narrow_and_back() {
+        // Checkpoints are Score-typed; restoring them into the wide
+        // kernel is exact, and the saturating narrow restore is
+        // behaviourally identical when every value fits i16.
+        let seq = Seq::protein("MGEKALVPYRLQHCERSTMGEKALVPYRWFNDAGHTKLMNPQ").unwrap();
+        let scoring = Scoring::protein_default();
+        let p16 = QueryProfile::new_narrow(&scoring, seq.codes()).unwrap();
+        let p32 = QueryProfile::new_wide(&scoring, seq.codes());
+        let rs = vec![9usize, 13, 22];
+        let (scratch, caps) = align_group_profile_at::<I32x8>(
+            seq.codes(),
+            &scoring,
+            &p32,
+            &rs,
+            None,
+            16,
+            None,
+            &[5, 8],
+        );
+        for cap in &caps {
+            let lanes: Vec<LaneResume<'_>> = cap
+                .lanes
+                .iter()
+                .map(|s| {
+                    let (m, y) = s.as_ref().unwrap();
+                    LaneResume { m, maxy: y }
+                })
+                .collect();
+            let resume = GroupResume {
+                row: cap.row,
+                lanes,
+            };
+            let (wide, _) = align_group_profile_at::<I32x8>(
+                seq.codes(),
+                &scoring,
+                &p32,
+                &rs,
+                None,
+                16,
+                Some(&resume),
+                &[],
+            );
+            assert_eq!(wide.rows, scratch.rows, "wide resume at {}", cap.row);
+            let (narrow, _) = align_group_profile_at::<I16x8>(
+                seq.codes(),
+                &scoring,
+                &p16,
+                &rs,
+                None,
+                16,
+                Some(&resume),
+                &[],
+            );
+            assert!(!narrow.saturated);
+            assert_eq!(narrow.rows, scratch.rows, "narrow resume at {}", cap.row);
+        }
     }
 
     #[cfg(all(target_arch = "x86_64", not(feature = "portable-only")))]

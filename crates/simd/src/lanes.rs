@@ -49,6 +49,14 @@ pub trait SimdElem: Copy + Ord + std::fmt::Debug + 'static {
     fn vsub(self, o: Self) -> Self;
     /// Checked narrowing from the scalar score type.
     fn from_score(s: Score) -> Option<Self>;
+    /// Saturating narrowing from the scalar score type, for restoring
+    /// checkpointed inter-row state: values below the element's range
+    /// pin to `Self::NEG_INF`-adjacent (`i16::MIN`), which is
+    /// behaviourally identical in the recurrence because any gap maximum
+    /// below `−open` loses every comparison it enters. Values *above*
+    /// the range must be rejected by the caller beforehand (they would
+    /// clamp downward and change results).
+    fn from_score_sat(s: Score) -> Self;
     /// Widening back to the scalar score type.
     fn to_score(self) -> Score;
 }
@@ -72,6 +80,11 @@ impl SimdElem for i16 {
     #[inline(always)]
     fn from_score(s: Score) -> Option<Self> {
         s.try_into().ok()
+    }
+
+    #[inline(always)]
+    fn from_score_sat(s: Score) -> Self {
+        s.clamp(i16::MIN as Score, i16::MAX as Score) as i16
     }
 
     #[inline(always)]
@@ -99,6 +112,11 @@ impl SimdElem for i32 {
     #[inline(always)]
     fn from_score(s: Score) -> Option<Self> {
         Some(s)
+    }
+
+    #[inline(always)]
+    fn from_score_sat(s: Score) -> Self {
+        s
     }
 
     #[inline(always)]

@@ -40,6 +40,7 @@ pub mod dispatch;
 pub mod engine;
 pub mod group;
 pub mod lanes;
+pub mod resume;
 #[cfg(test)]
 pub(crate) mod test_support;
 
@@ -50,10 +51,11 @@ pub use engine::{
     find_top_alignments_simd_sel, GroupSweeper, SimdFinderResult, SimdStats, SweepOutcome,
 };
 pub use group::{
-    align_group, align_group_profile, align_group_striped, group_stripe, GroupResult,
-    DEFAULT_GROUP_STRIPE,
+    align_group, align_group_profile, align_group_striped, group_stripe, GroupCapture,
+    GroupResult, GroupResume, LaneResume, DEFAULT_GROUP_STRIPE,
 };
 pub use lanes::{I16x16, I16x4, I16x8, SimdVec};
+pub use resume::{GroupIncremental, LaneMemo, RealignPlan, SIMD_MAX_CKPTS};
 
 /// Lane-width selection: the paper's Table 2 columns (4 = SSE, 8 = SSE2)
 /// extended with the AVX2 width (16).

@@ -10,8 +10,10 @@ use repro_simd::group::align_group;
 use repro_simd::lanes::{
     I16x16, I16x4, I16x8, I32x16, I32x4, I32x8, NativeI16x4, NativeI16x8, SimdElem, SimdVec,
 };
+use repro_obs::NoopRecorder;
 use repro_simd::{
-    find_top_alignments_simd, find_top_alignments_simd_sel, select, DispatchPath, LaneWidth,
+    find_top_alignments_simd, find_top_alignments_simd_checkpointed, find_top_alignments_simd_sel,
+    select, DispatchPath, GroupResume, GroupSweeper, LaneResume, LaneWidth,
 };
 
 /// Check every `SimdVec` operation of `V` against the scalar element
@@ -180,6 +182,108 @@ proptest! {
     fn triangle_strategy_is_well_formed(t in arb_triangle(30)) {
         for (p, q) in t.iter() {
             prop_assert!(p < q && q < 30);
+        }
+    }
+
+    /// A compacted-resume sweep of an arbitrary ascending split pack —
+    /// exactly what the engines run after partitioning out clean
+    /// lanes — reproduces the per-lane scalar bottom rows bit-for-bit,
+    /// whether swept from scratch or resumed from a mid-matrix capture.
+    #[test]
+    fn compacted_resume_matches_scalar_oracle(
+        seq in arb_dna(12, 44),
+        pack_seed in prop::collection::vec(any::<u16>(), 1..=8),
+        tri in arb_triangle(44),
+        resume_frac in 0.0f64..1.0,
+    ) {
+        let m = seq.len();
+        let scoring = Scoring::dna_example();
+        // An arbitrary ascending split pack (duplicates collapsed), the
+        // shape lane compaction produces when clean lanes drop out.
+        let mut rs: Vec<usize> = pack_seed.iter().map(|&s| 1 + (s as usize) % (m - 1)).collect();
+        rs.sort_unstable();
+        rs.dedup();
+        let triangle = Some(&tri);
+
+        let scalar_rows: Vec<Vec<Score>> = rs
+            .iter()
+            .map(|&r| {
+                let (prefix, suffix) = seq.split(r);
+                sw_last_row(prefix, suffix, &scoring, SplitMask::new(&tri, r)).row
+            })
+            .collect();
+
+        for width in [LaneWidth::X4, LaneWidth::X8, LaneWidth::X16] {
+            let sel = select(Some(width), Some(DispatchPath::Portable))
+                .expect("portable supports every width");
+            let sweeper = GroupSweeper::new(&seq, &scoring, sel);
+            // A pack never exceeds the kernel's lane count.
+            let rs = &rs[..rs.len().min(width.lanes())];
+            let scalar_rows = &scalar_rows[..rs.len()];
+
+            // From scratch, capturing a mid-matrix row to resume from.
+            let rmin = rs[0];
+            let cap_row = 1 + ((resume_frac * (rmin - 1) as f64) as usize).min(rmin - 1);
+            let capture_rows: Vec<usize> = if cap_row < rs[rs.len() - 1] {
+                vec![cap_row]
+            } else {
+                Vec::new()
+            };
+            let (scratch, caps) = sweeper.sweep_at(rs, triangle, None, &capture_rows);
+            prop_assert_eq!(&scratch.group.rows[..], scalar_rows, "{:?} scratch", width);
+
+            // Resume from the captured state: every lane restarts at the
+            // shared row, and the bottom rows must not change by a bit.
+            if let Some(cap) = caps.iter().find(|c| c.lanes.iter().all(|l| l.is_some())) {
+                let lanes: Vec<LaneResume<'_>> = cap
+                    .lanes
+                    .iter()
+                    .map(|l| {
+                        let (cm, cmaxy) = l.as_ref().expect("all lanes captured");
+                        LaneResume { m: cm, maxy: cmaxy }
+                    })
+                    .collect();
+                let resume = GroupResume { row: cap.row, lanes };
+                let (resumed, _) = sweeper.sweep_at(rs, triangle, Some(&resume), &[]);
+                prop_assert_eq!(
+                    &resumed.group.rows[..], scalar_rows,
+                    "{:?} resume at row {}", width, cap.row
+                );
+            }
+        }
+    }
+
+    /// The checkpointed SIMD engine is bit-identical to the sequential
+    /// engine at every lane width and budget — including budget 0 (the
+    /// accounting-only mode) — and the lane-skip counter never shrinks
+    /// as the budget grows (budget 0 admits no skips at all).
+    #[test]
+    fn checkpointed_engine_is_exact_and_skips_monotonically(
+        seq in arb_dna(8, 40),
+        count in 1usize..6,
+    ) {
+        let scoring = Scoring::dna_example();
+        let want = find_top_alignments(&seq, &scoring, count);
+        for width in [LaneWidth::X4, LaneWidth::X8, LaneWidth::X16] {
+            let sel = select(Some(width), Some(DispatchPath::Portable))
+                .expect("portable supports every width");
+            let mut skipped_at = Vec::new();
+            for budget in [0usize, 64 << 10, 1 << 20] {
+                let got = find_top_alignments_simd_checkpointed(
+                    &seq, &scoring, count, sel, Some(budget), &mut NoopRecorder,
+                );
+                prop_assert_eq!(
+                    &got.result.alignments, &want.alignments,
+                    "{:?} budget {} diverged", width, budget
+                );
+                skipped_at.push(got.result.stats.lanes_skipped);
+            }
+            prop_assert_eq!(skipped_at[0], 0, "budget 0 must not skip lanes");
+            prop_assert!(
+                skipped_at[1] <= skipped_at[2],
+                "{:?}: lane skips shrank with a larger budget: {:?}",
+                width, skipped_at
+            );
         }
     }
 }

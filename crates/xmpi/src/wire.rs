@@ -30,7 +30,10 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"rpro");
 /// split pruning), so a v1 peer would mis-frame every task.
 /// v3: telemetry control frames (`TELEMETRY` tag carrying histogram
 /// snapshots), so a v2 peer would treat them as garbage tags.
-pub const VERSION: u32 = 3;
+/// v4: batched task assignment — `TaskMsg` became `{stamp, items}`
+/// with per-item `{r, attempt, first, bound, row}`, so a v3 peer
+/// would mis-frame every task in both directions.
+pub const VERSION: u32 = 4;
 
 /// Bytes of frame header (`magic + version + len`) before the payload.
 pub const FRAME_HEADER: usize = 12;
